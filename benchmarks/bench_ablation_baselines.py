@@ -1,0 +1,87 @@
+"""Ablation `ablation-baselines`: the extension, quantified.
+
+The paper's §I/§II argue that Flynn is too broad and Skillicorn cannot
+express variable-role fabrics or IP-IP composition. This bench maps all
+47 extended classes onto both baselines and verifies the paper's
+headline numbers: 19 classes are new versus Skillicorn 1988, the
+data-flow family and the USP have no Flynn category at all, and a
+single MIMD label swallows all 32 IMP/ISP classes.
+"""
+
+from repro.core import (
+    FlynnClass,
+    all_classes,
+    baseline_resolution,
+    extension_report,
+    flynn_class,
+    skillicorn_verdict,
+)
+from repro.registry import all_architectures
+
+
+def _map_all() -> dict[str, tuple[str, bool]]:
+    out = {}
+    for cls in all_classes():
+        category = flynn_class(cls.signature)
+        out[f"{cls.serial}.{cls.comment}"] = (
+            category.value if category else "(none)",
+            skillicorn_verdict(cls.signature).representable,
+        )
+    return out
+
+
+def test_baseline_mapping(benchmark):
+    table = benchmark(_map_all)
+    assert len(table) == 47
+    new_count = sum(1 for _, representable in table.values() if not representable)
+    assert new_count == 19  # the paper: "introduced 19 new classes"
+    unmapped = sum(1 for category, _ in table.values() if category == "(none)")
+    assert unmapped == 6    # the 5 data-flow rows + USP
+
+
+def test_flynn_resolution_gain(benchmark):
+    rows = benchmark(baseline_resolution)
+    assert rows["MIMD"].resolution_gain == 32
+    assert rows["SIMD"].resolution_gain == 4
+    assert rows["SISD"].resolution_gain == 1
+    assert rows["MISD"].resolution_gain == 4  # the NI rows — Flynn names
+    # a category the extended taxonomy deems not implementable.
+
+
+def test_extension_report(benchmark):
+    report = benchmark(extension_report)
+    assert report.total_classes == 47
+    assert len(report.skillicorn_new) == 19
+    assert report.mimd_fanout == 32
+
+
+def test_survey_under_the_baselines(benchmark):
+    """Applied to the real survey: Flynn collapses 25 architectures into
+    a handful of labels, and several surveyed machines (REDEFINE, Colt,
+    DRRA, MATRIX, FPGA) need the extensions to be classified at all or
+    distinctly."""
+
+    def classify_survey():
+        flynn_labels: dict[str, list[str]] = {}
+        needs_extension: list[str] = []
+        for rec in all_architectures():
+            category = flynn_class(rec.signature)
+            label = category.value if category else "(none)"
+            flynn_labels.setdefault(label, []).append(rec.name)
+            if not skillicorn_verdict(rec.signature).representable:
+                needs_extension.append(rec.name)
+        return flynn_labels, needs_extension
+
+    flynn_labels, needs_extension = benchmark(classify_survey)
+    # The dataflow machines and the FPGA have no Flynn category.
+    assert set(flynn_labels["(none)"]) == {"REDEFINE", "Colt", "FPGA"}
+    # Skillicorn 1988 cannot express the spatial/variable machines.
+    assert set(needs_extension) == {"DRRA", "MATRIX", "FPGA"}
+    # Flynn's SIMD lumps 12 distinct architectures together...
+    assert len(flynn_labels["SIMD"]) >= 10
+    # ...which the extended taxonomy separates into IAP-II vs IAP-IV.
+    from repro.registry import group_by_class
+
+    groups = group_by_class()
+    simd_split = {name for name in groups if name.startswith("IAP")}
+    assert len(simd_split) >= 2

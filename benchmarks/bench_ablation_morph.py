@@ -1,0 +1,64 @@
+"""Ablation `ablation-morph`: §III-B's flexibility argument, executed.
+
+Runs the full set of emulation demonstrations (IMP-I as array processor,
+IAP-I as uniprocessor, the USP as both paradigms, plus the refusals that
+anchor the ladder) and validates the structural morphability order
+against the machine executions and the flexibility scores.
+"""
+
+from repro.analysis import build_morphability_order
+from repro.core import class_by_name, flexibility
+from repro.machine.morph import demonstrate_morphs
+
+
+def test_morph_demonstrations(benchmark):
+    demos = benchmark(demonstrate_morphs)
+    assert all(d.succeeded for d in demos), [
+        (d.emulator, d.target_behaviour) for d in demos if not d.succeeded
+    ]
+    emulators = {d.emulator for d in demos}
+    assert {"IMP-I", "IAP-I", "IUP", "USP"} <= emulators
+
+
+def test_morph_order_construction(benchmark):
+    order = benchmark(build_morphability_order)
+    assert order.graph.number_of_nodes() == 43
+    assert order.maximal_elements() == ["USP"]
+
+
+def test_morph_order_consistent_with_flexibility(benchmark):
+    """If A emulates B (same machine type), A's flexibility >= B's —
+    the scoring system never contradicts the emulation order."""
+    order = build_morphability_order()
+
+    def check():
+        violations = []
+        for a, b in order.graph.edges():
+            cls_a = class_by_name(a)
+            cls_b = class_by_name(b)
+            if (
+                cls_a.name.machine_type is cls_b.name.machine_type
+                and flexibility(cls_a.signature) < flexibility(cls_b.signature)
+            ):
+                violations.append((a, b))
+        return violations
+
+    violations = benchmark(check)
+    assert violations == []
+
+
+def test_morph_coverage_profile(benchmark):
+    """Coverage (fraction of classes reachable by morphing) across the
+    survey's flexibility ladder: USP 100%, rigid classes near zero."""
+    order = build_morphability_order()
+
+    def coverages():
+        return {
+            name: order.coverage(name)
+            for name in ("IUP", "IAP-I", "IMP-I", "IMP-XVI", "ISP-XVI", "USP")
+        }
+
+    table = benchmark(coverages)
+    assert table["USP"] == 1.0
+    assert table["ISP-XVI"] > table["IMP-XVI"] > table["IMP-I"]
+    assert table["IMP-I"] > table["IAP-I"] > table["IUP"]

@@ -1,0 +1,116 @@
+"""Ablation `networks`: the same 'x' cell, four silicon realisations.
+
+Table III marks DRRA's DP-DP as ``nx14`` (a 3-hop window) and MATRIX's
+as ``nxn`` — both 'x' to the taxonomy, very different machines. This
+bench runs identical message-passing workloads on an IMP-II whose DP-DP
+switch is realised as a full crossbar, a sliding window, a mesh and a
+hierarchical network: identical results, topology-dependent makespans,
+and the area/latency trade quantified in one table.
+"""
+
+import pytest
+
+from repro.interconnect import (
+    FullCrossbar,
+    HierarchicalNetwork,
+    Mesh2D,
+    SlidingWindow,
+)
+from repro.machine import Multiprocessor, MultiprocessorSubtype, assemble
+
+N = 8
+
+
+def _networks():
+    return {
+        "crossbar": FullCrossbar(N, N),
+        "window-1hop": SlidingWindow(N, hops=1),
+        "mesh-2x4": Mesh2D(2, 4),
+        "hierarchical": HierarchicalNetwork(N, cluster_size=4),
+    }
+
+
+def _all_to_root_workload():
+    """Every core sends its value to core 0; core 0 sums them."""
+    programs = []
+    receiver_lines = ["    ldi r6, 0"]
+    for source in range(1, N):
+        receiver_lines += [
+            f"    ldi r1, {source}",
+            "    recv r2, r1",
+            "    add r6, r6, r2",
+        ]
+    receiver_lines.append("    halt")
+    programs.append(assemble("\n".join(receiver_lines), name="root"))
+    for core in range(1, N):
+        programs.append(
+            assemble(
+                f"ldi r1, 0\nldi r2, {core * 3}\nsend r1, r2\nhalt",
+                name=f"leaf{core}",
+            )
+        )
+    return programs
+
+
+def test_network_choice_preserves_results(benchmark):
+    expected = sum(core * 3 for core in range(1, N))
+
+    def run_all():
+        outcomes = {}
+        for name, network in _networks().items():
+            machine = Multiprocessor(
+                N, MultiprocessorSubtype.IMP_II, network=network
+            )
+            result = machine.run(_all_to_root_workload())
+            outcomes[name] = (
+                result.outputs["registers"][0][6],
+                result.cycles,
+            )
+        return outcomes
+
+    outcomes = benchmark(run_all)
+    for name, (total, _cycles) in outcomes.items():
+        assert total == expected, name
+
+
+def test_network_choice_shapes_makespan(benchmark):
+    """Long-haul traffic separates the topologies: the 1-hop window
+    relays across the whole array, the crossbar delivers next cycle."""
+
+    def run_all():
+        cycles = {}
+        for name, network in _networks().items():
+            machine = Multiprocessor(
+                N, MultiprocessorSubtype.IMP_II, network=network
+            )
+            result = machine.run(_all_to_root_workload())
+            cycles[name] = result.cycles
+        return cycles
+
+    cycles = benchmark(run_all)
+    assert cycles["crossbar"] <= cycles["window-1hop"]
+    assert cycles["crossbar"] <= cycles["mesh-2x4"]
+
+
+def test_area_latency_tradeoff_table(benchmark):
+    """The composite design table: silicon cost vs delivered makespan."""
+
+    def build():
+        rows = {}
+        for name, network in _networks().items():
+            machine = Multiprocessor(
+                N, MultiprocessorSubtype.IMP_II, network=network
+            )
+            result = machine.run(_all_to_root_workload())
+            rows[name] = (network.area_ge(), result.cycles)
+        return rows
+
+    rows = benchmark(build)
+    # The 1-hop window is the cheapest fabric and pays in cycles.
+    assert rows["window-1hop"][0] == min(area for area, _ in rows.values())
+    assert rows["window-1hop"][1] >= rows["crossbar"][1]
+    # Among the single-stage switches the crossbar is the biggest. (The
+    # mesh's per-node routers carry fixed overhead that only amortises
+    # at larger port counts — see bench_ablation_switches's crossover.)
+    assert rows["crossbar"][0] > rows["hierarchical"][0]
+    assert rows["crossbar"][0] > rows["window-1hop"][0]

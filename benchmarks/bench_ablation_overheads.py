@@ -1,0 +1,120 @@
+"""Ablation `ablation-overheads`: energy and reconfiguration-time costs.
+
+Extends Eq. 1/Eq. 2 along the axes the paper names but does not model:
+per-operation energy and configuration reload latency. Verifies the
+flexibility trade-off holds on both axes, and computes the break-even
+workload sizes at which reconfiguring a flexible fabric amortises.
+"""
+
+import pytest
+
+from repro.core import class_by_name, flexibility, roman
+from repro.models import (
+    EnergyModel,
+    ReconfigurationModel,
+    ReconfigurationPort,
+)
+
+LADDER = ["IUP", "IAP-I", "IAP-IV", "IMP-I", "IMP-XVI", "ISP-XVI", "USP"]
+
+
+def test_energy_per_op_ladder(benchmark):
+    model = EnergyModel()
+
+    def sweep():
+        return {
+            name: model.energy_per_op(class_by_name(name).signature, n=16)
+            for name in LADDER
+        }
+
+    table = benchmark(sweep)
+    # Energy grows along each within-paradigm flexibility chain.
+    assert table["IAP-I"] < table["IAP-IV"]
+    assert table["IMP-I"] < table["IMP-XVI"] < table["ISP-XVI"]
+    # The USP is the most expensive machine to run per operation.
+    assert table["USP"] == max(table.values())
+
+
+def test_energy_ladder_full_imp_family(benchmark):
+    model = EnergyModel()
+
+    def sweep():
+        return [
+            model.energy_per_op(class_by_name(f"IMP-{roman(k)}").signature, n=16)
+            for k in range(1, 17)
+        ]
+
+    values = benchmark(sweep)
+    # Group by switch count: mean energy rises with subtype popcount.
+    by_popcount: dict[int, list[float]] = {}
+    for ordinal, value in enumerate(values, start=1):
+        by_popcount.setdefault(bin(ordinal - 1).count("1"), []).append(value)
+    means = [sum(v) / len(v) for _, v in sorted(by_popcount.items())]
+    assert means == sorted(means)
+
+
+def test_reconfiguration_latency_ladder(benchmark):
+    model = ReconfigurationModel()
+
+    def sweep():
+        return {
+            name: model.cost(class_by_name(name).signature, n=16).cycles
+            for name in LADDER
+        }
+
+    table = benchmark(sweep)
+    assert table["IUP"] < table["IAP-IV"] < table["IMP-XVI"]
+    assert table["USP"] > 100 * table["ISP-XVI"]
+
+
+def test_break_even_analysis(benchmark):
+    """How long must a configuration live to amortise its own load?"""
+    model = ReconfigurationModel(
+        port=ReconfigurationPort(bandwidth_bits_per_cycle=32)
+    )
+
+    def analyse():
+        signatures = {name: class_by_name(name).signature for name in LADDER}
+        return model.break_even_table(signatures, n=16)
+
+    table = benchmark(analyse)
+    ordered = [table[name] for name in LADDER]
+    assert ordered == sorted(ordered)
+    # Concretely: the USP must run thousands of ops per configuration;
+    # the coarse classes need only tens.
+    assert table["USP"] > 1_000
+    assert table["IAP-I"] < 100
+
+
+def test_flexibility_never_free_on_any_axis(benchmark):
+    """The composite claim: within the IMP family, strictly higher
+    flexibility costs at least as much area, bits, energy AND reload
+    latency."""
+    from repro.models import AreaModel, ConfigBitsModel
+
+    def audit():
+        area = AreaModel()
+        bits = ConfigBitsModel()
+        energy = EnergyModel()
+        reload_model = ReconfigurationModel()
+        rows = []
+        for k in range(1, 17):
+            sig = class_by_name(f"IMP-{roman(k)}").signature
+            rows.append(
+                (
+                    flexibility(sig),
+                    area.total_ge(sig, n=16),
+                    bits.total(sig, n=16),
+                    energy.energy_per_op(sig, n=16),
+                    reload_model.cost(sig, n=16).cycles,
+                )
+            )
+        return rows
+
+    rows = benchmark(audit)
+    for flex_a, *costs_a in rows:
+        for flex_b, *costs_b in rows:
+            if flex_a > flex_b:
+                # Not necessarily dominated pairwise (different switch
+                # sets), but never strictly cheaper on every axis.
+                assert not all(a < b for a, b in zip(costs_a, costs_b))

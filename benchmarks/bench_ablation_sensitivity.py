@@ -1,0 +1,140 @@
+"""Ablation `sensitivity`: the paper's ordering claims across parameter space.
+
+Eq. 1 and Eq. 2 take parameter libraries (component areas, configuration
+words, switch costs). A reproduction that only checks the default
+library would leave open whether the paper's qualitative claims are
+artefacts of our chosen numbers; this bench samples many random-but-sane
+parameter sets and verifies the claims hold across all of them:
+
+* area grows with the subtype switch count inside the IMP family;
+* configuration overhead grows with flexibility;
+* the full crossbar always beats the limited crossbar in bits;
+* the USP's configuration overhead dominates every coarse class.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import class_by_name, flexibility, roman
+from repro.models.area import AreaModel, ComponentAreas
+from repro.models.configbits import ComponentConfigWords, ConfigBitsModel
+from repro.models.switches import FullCrossbarModel, LimitedCrossbarModel
+
+N_SAMPLES = 60
+
+
+def _random_libraries(seed: int = 7):
+    rng = np.random.default_rng(seed)
+    for _ in range(N_SAMPLES):
+        areas = ComponentAreas(
+            ip_ge=float(rng.uniform(1_000, 100_000)),
+            dp_ge=float(rng.uniform(500, 50_000)),
+            im_bits=int(rng.integers(1_024, 262_144)),
+            dm_bits=int(rng.integers(1_024, 524_288)),
+            lut_cell_ge=float(rng.uniform(20, 200)),
+        )
+        words = ComponentConfigWords(
+            ip_cw=int(rng.integers(8, 128)),
+            dp_cw=int(rng.integers(8, 256)),
+            im_cw=int(rng.integers(4, 64)),
+            dm_cw=int(rng.integers(4, 64)),
+            lut_inputs=int(rng.integers(3, 7)),
+            lut_routing_cw=int(rng.integers(8, 64)),
+        )
+        width = int(rng.integers(8, 128))
+        yield areas, words, width
+
+
+def test_area_ordering_robust_across_libraries(benchmark):
+    def audit():
+        violations = 0
+        for areas, _words, width in _random_libraries():
+            model = AreaModel(areas=areas, width_bits=width)
+            ladder = [
+                model.total_ge(class_by_name(f"IMP-{roman(k)}").signature, n=16)
+                for k in (1, 2, 4, 8, 16)
+            ]
+            if ladder != sorted(ladder):
+                violations += 1
+        return violations
+
+    assert benchmark(audit) == 0
+
+
+def test_config_ordering_robust_across_libraries(benchmark):
+    def audit():
+        violations = 0
+        coarse = [
+            class_by_name(name).signature
+            for name in ("IUP", "IAP-IV", "IMP-XVI", "ISP-XVI", "DMP-IV")
+        ]
+        usp = class_by_name("USP").signature
+        for _areas, words, width in _random_libraries(seed=11):
+            model = ConfigBitsModel(words=words, width_bits=width)
+            usp_bits = model.total(usp, n=16)
+            if any(usp_bits <= model.total(sig, n=16) for sig in coarse):
+                violations += 1
+            ladder = [
+                model.total(class_by_name(f"IMP-{roman(k)}").signature, n=16)
+                for k in (1, 2, 4, 8, 16)
+            ]
+            if ladder != sorted(ladder):
+                violations += 1
+        return violations
+
+    assert benchmark(audit) == 0
+
+
+def test_full_vs_limited_crossbar_robust(benchmark):
+    def audit():
+        rng = np.random.default_rng(3)
+        violations = 0
+        for _ in range(N_SAMPLES):
+            width = int(rng.integers(1, 256))
+            window = int(rng.integers(1, 32))
+            ports = int(rng.integers(window + 1, 512))
+            full = FullCrossbarModel(width_bits=width)
+            limited = LimitedCrossbarModel(window=window, width_bits=width)
+            if limited.config_bits(ports, ports) > full.config_bits(ports, ports):
+                violations += 1
+            if limited.area_ge(ports, ports) > full.area_ge(ports, ports):
+                violations += 1
+        return violations
+
+    assert benchmark(audit) == 0
+
+
+def test_flexibility_cost_correlation_robust(benchmark):
+    """Across random libraries, the rank correlation between flexibility
+    and configuration bits over all instruction-flow classes stays
+    strongly positive."""
+    from repro.core import implementable_classes
+
+    classes = [
+        cls for cls in implementable_classes()
+        if cls.name.short.startswith(("IUP", "IAP", "IMP", "ISP"))
+    ]
+    flexes = np.array([flexibility(cls.signature) for cls in classes], dtype=float)
+
+    def audit():
+        worst = 1.0
+        for _areas, words, width in _random_libraries(seed=23):
+            model = ConfigBitsModel(words=words, width_bits=width)
+            bits = np.array(
+                [model.total(cls.signature, n=16) for cls in classes],
+                dtype=float,
+            )
+            # Spearman via rank transform + Pearson.
+            def ranks(values):
+                order = values.argsort()
+                out = np.empty_like(order, dtype=float)
+                out[order] = np.arange(len(values))
+                return out
+
+            rf, rb = ranks(flexes), ranks(bits)
+            rho = float(np.corrcoef(rf, rb)[0, 1])
+            worst = min(worst, rho)
+        return worst
+
+    worst_rho = benchmark(audit)
+    assert worst_rho > 0.7

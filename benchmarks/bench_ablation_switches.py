@@ -1,0 +1,134 @@
+"""Ablation `ablation-switch`: what each switch upgrade buys and costs.
+
+Starting from IMP-I (the least flexible multiprocessor), upgrade one
+connectivity site at a time to ``x`` and measure the deltas in
+flexibility, area and configuration bits — the per-switch decomposition
+of the taxonomy's central trade-off. Also profiles the executable
+topologies standing behind each choice of switch implementation.
+"""
+
+from repro.core import Link, LinkSite, class_by_name, flexibility
+from repro.interconnect import (
+    FullCrossbar,
+    HierarchicalNetwork,
+    LimitedCrossbar,
+    Mesh2D,
+    SharedBus,
+    SlidingWindow,
+    profile,
+)
+from repro.models.area import AreaModel
+from repro.models.configbits import ConfigBitsModel
+
+UPGRADABLE = (LinkSite.IP_DP, LinkSite.IP_IM, LinkSite.DP_DM, LinkSite.DP_DP)
+
+
+def _per_switch_deltas() -> dict[str, tuple[int, float, int]]:
+    base = class_by_name("IMP-I").signature
+    area_model = AreaModel()
+    config_model = ConfigBitsModel()
+    base_flex = flexibility(base)
+    base_area = area_model.total_ge(base, n=16)
+    base_bits = config_model.total(base, n=16)
+    deltas = {}
+    for site in UPGRADABLE:
+        upgraded = base.with_link(site, Link.switched("n", "n"))
+        deltas[site.label] = (
+            flexibility(upgraded) - base_flex,
+            area_model.total_ge(upgraded, n=16) - base_area,
+            config_model.total(upgraded, n=16) - base_bits,
+        )
+    return deltas
+
+
+def test_ablation_each_switch_costs_and_pays(benchmark):
+    deltas = benchmark(_per_switch_deltas)
+    for site_label, (d_flex, d_area, d_bits) in deltas.items():
+        assert d_flex == 1, site_label     # each upgrade buys one point
+        assert d_area > 0, site_label      # and costs real area
+        assert d_bits > 0, site_label      # and real configuration bits
+
+
+def test_ablation_switch_implementations(benchmark):
+    """The same 'x' cell can be realised many ways; profile them all at
+    a scale (64 ports) where the quadratic crossbar has pulled away."""
+
+    def profiles():
+        n = 64
+        return {
+            "full-crossbar": profile("full", FullCrossbar(n, n)),
+            "limited-crossbar": profile("limited", LimitedCrossbar(n, window=3)),
+            "shared-bus": profile("bus", SharedBus(n, n)),
+            "mesh-8x8": profile("mesh", Mesh2D(8, 8)),
+            "window-3hop": profile("window", SlidingWindow(n, hops=3)),
+            "hierarchical": profile("hier", HierarchicalNetwork(n, cluster_size=8)),
+        }
+
+    table = benchmark(profiles)
+    full = table["full-crossbar"]
+    # Everything else economises on area relative to the full crossbar...
+    for name, record in table.items():
+        if name != "full-crossbar":
+            assert record.area_ge < full.area_ge, name
+    # ...by giving up single-hop reach or full single-cycle reachability.
+    assert table["limited-crossbar"].reachability < 1.0
+    assert table["mesh-8x8"].diameter > full.diameter
+    assert table["window-3hop"].diameter > full.diameter
+
+
+def test_ablation_mesh_crossbar_crossover(benchmark):
+    """Where the crossover falls: per-node routers beat the monolithic
+    crossbar only past a break-even port count (the quadratic term)."""
+
+    def sweep():
+        out = {}
+        for side in (2, 4, 8, 16):
+            n = side * side
+            out[n] = (
+                Mesh2D(side, side).area_ge(),
+                FullCrossbar(n, n).area_ge(),
+            )
+        return out
+
+    table = benchmark(sweep)
+    # Small fabrics: the crossbar is competitive (mesh routers dominate).
+    mesh_small, xbar_small = table[4]
+    assert mesh_small > xbar_small
+    # Large fabrics: the crossbar's n^2 term loses decisively.
+    mesh_large, xbar_large = table[256]
+    assert mesh_large < xbar_large
+    # And the advantage grows monotonically with size.
+    ratios = [xbar / mesh for mesh, xbar in table.values()]
+    assert ratios == sorted(ratios)
+
+
+def test_ablation_cumulative_ladder(benchmark):
+    """Upgrading switches one by one walks IMP-I -> IMP-XVI, with both
+    cost metrics increasing monotonically along the walk."""
+
+    def walk():
+        signature = class_by_name("IMP-I").signature
+        area_model = AreaModel()
+        config_model = ConfigBitsModel()
+        steps = []
+        for site in UPGRADABLE:
+            signature = signature.with_link(site, Link.switched("n", "n"))
+            steps.append(
+                (
+                    flexibility(signature),
+                    area_model.total_ge(signature, n=16),
+                    config_model.total(signature, n=16),
+                )
+            )
+        return signature, steps
+
+    final, steps = benchmark(walk)
+    from repro.core import classify
+
+    assert classify(final).short_name == "IMP-XVI"
+    flex_values = [s[0] for s in steps]
+    area_values = [s[1] for s in steps]
+    bit_values = [s[2] for s in steps]
+    assert flex_values == [3, 4, 5, 6]
+    assert area_values == sorted(area_values)
+    assert bit_values == sorted(bit_values)

@@ -1,0 +1,57 @@
+"""Experiment `dse`: the §V design-decision workflow, swept.
+
+Workload: for every flexibility floor 0..8, find the feasible classes
+and the cheapest (by configuration overhead) recommendation — the table
+an architect would consult before committing to a class.
+"""
+
+from repro.analysis import Objective, Requirements, explore, evaluate_classes, pareto_frontier
+
+
+def _requirements_sweep() -> dict[int, str | None]:
+    picks: dict[int, str | None] = {}
+    for floor in range(0, 9):
+        result = explore(
+            Requirements(min_flexibility=floor), objective=Objective.CONFIG_BITS
+        )
+        picks[floor] = result.best.name if result.best else None
+    return picks
+
+
+def test_dse_sweep(benchmark):
+    picks = benchmark(_requirements_sweep)
+    # Feasibility shrinks but never vanishes until past the USP.
+    assert picks[0] is not None
+    assert picks[8] == "USP"      # only the USP reaches flexibility 8
+    assert picks[7] in ("ISP-XVI", "USP")
+    # The floor-0 answer is one of the zero-overhead uniprocessors.
+    assert picks[0] in ("DUP", "IUP")
+
+
+def test_dse_monotone_cost_of_flexibility(benchmark):
+    """Raising the flexibility floor never lowers the cheapest
+    configuration overhead — flexibility is never free."""
+
+    def cheapest_bits():
+        out = []
+        for floor in range(0, 9):
+            result = explore(
+                Requirements(min_flexibility=floor),
+                objective=Objective.CONFIG_BITS,
+            )
+            out.append(result.best.config_bits)
+        return out
+
+    bits = benchmark(cheapest_bits)
+    assert bits == sorted(bits)
+
+
+def test_dse_frontier_generation(benchmark):
+    def frontier():
+        return pareto_frontier(evaluate_classes(n=16))
+
+    points = benchmark(frontier)
+    names = {p.name for p in points}
+    assert {"DUP", "IUP", "USP"} <= names
+    flexes = [p.flexibility for p in points]
+    assert flexes == sorted(flexes)

@@ -1,0 +1,87 @@
+"""Experiment `eq1`: the area estimator across classes and sizes.
+
+Workload: evaluate Eq. 1 for every implementable class over an N sweep
+and check the paper's qualitative claims — area grows with flexibility
+inside a family (the ``x`` switch outweighs the ``-`` link), crossbar
+terms grow quadratically while direct wiring grows linearly, and the
+cross-topology cost ordering (direct < window < bus < crossbar) holds
+for the executable interconnects too.
+"""
+
+import pytest
+
+from repro.core import class_by_name, implementable_classes, roman
+from repro.interconnect import FullCrossbar, PointToPoint, SharedBus, SlidingWindow
+from repro.models.area import AreaModel
+
+SWEEP = (4, 16, 64)
+
+
+def _sweep_all() -> dict[str, dict[int, float]]:
+    model = AreaModel()
+    return {
+        cls.name.short: {n: model.total_ge(cls.signature, n=n) for n in SWEEP}
+        for cls in implementable_classes()
+    }
+
+
+def test_eq1_sweep(benchmark):
+    table = benchmark(_sweep_all)
+    assert len(table) == 43
+    # Monotone in n for every plural-population class.
+    for name, row in table.items():
+        values = [row[n] for n in SWEEP]
+        assert values == sorted(values)
+
+
+def test_eq1_flexibility_ordering_within_imp(benchmark):
+    """IMP-I .. IMP-XVI area strictly tracks the subtype switch count."""
+    model = AreaModel()
+
+    def ladder():
+        return [
+            model.total_ge(class_by_name(f"IMP-{roman(k)}").signature, n=16)
+            for k in range(1, 17)
+        ]
+
+    areas = benchmark(ladder)
+    by_popcount = {}
+    for ordinal, area in enumerate(areas, start=1):
+        by_popcount.setdefault(bin(ordinal - 1).count("1"), []).append(area)
+    means = [sum(v) / len(v) for _, v in sorted(by_popcount.items())]
+    assert means == sorted(means)
+    assert means[-1] > means[0]
+
+
+def test_eq1_crossbar_scaling_shape(benchmark):
+    """IMP-XVI/IMP-I area ratio grows with N (quadratic vs linear)."""
+    model = AreaModel()
+    flexible = class_by_name("IMP-XVI").signature
+    rigid = class_by_name("IMP-I").signature
+
+    def ratios():
+        return [
+            model.total_ge(flexible, n=n) / model.total_ge(rigid, n=n)
+            for n in SWEEP
+        ]
+
+    values = benchmark(ratios)
+    assert values == sorted(values)
+    assert values[-1] > 1.5 * values[0]
+
+
+def test_eq1_topology_cost_ordering(benchmark):
+    """The executable interconnects respect the model's cost ladder."""
+
+    def measure():
+        n = 32
+        return {
+            "direct": PointToPoint(n).area_ge(),
+            "window": SlidingWindow(n, hops=3).area_ge(),
+            "bus": SharedBus(n, n).area_ge(),
+            "crossbar": FullCrossbar(n, n).area_ge(),
+        }
+
+    costs = benchmark(measure)
+    assert costs["direct"] < costs["window"] < costs["crossbar"]
+    assert costs["bus"] < costs["crossbar"]

@@ -1,0 +1,99 @@
+"""Experiment `eq2`: the configuration-bit estimator.
+
+Workload: evaluate Eq. 2 for every implementable class over an N sweep
+and check §III-B's claims — overhead grows with flexibility, the USP
+(fine-grained) class dwarfs every coarse class, full crossbars need more
+bits than limited ones, and the LUT fabric's *measured* bitstream cost
+is consistent with the estimator's USP figure in shape.
+"""
+
+import pytest
+
+from repro.core import LinkSite, class_by_name, flexibility, implementable_classes
+from repro.models.configbits import ConfigBitsModel
+from repro.models.switches import FullCrossbarModel, LimitedCrossbarModel
+
+SWEEP = (4, 16, 64)
+
+
+def _sweep_all() -> dict[str, dict[int, int]]:
+    model = ConfigBitsModel()
+    return {
+        cls.name.short: {n: model.total(cls.signature, n=n) for n in SWEEP}
+        for cls in implementable_classes()
+    }
+
+
+def test_eq2_sweep(benchmark):
+    table = benchmark(_sweep_all)
+    assert len(table) == 43
+    for row in table.values():
+        values = [row[n] for n in SWEEP]
+        assert values == sorted(values)
+    # The USP dominates everything at every size.
+    for n in SWEEP:
+        usp = table["USP"][n]
+        assert all(usp > row[n] for name, row in table.items() if name != "USP")
+
+
+def test_eq2_flexibility_overhead_correlation(benchmark):
+    """Across all instruction-flow classes at n=16, configuration bits
+    correlate positively with flexibility (Spearman-style check)."""
+
+    def collect():
+        model = ConfigBitsModel()
+        pairs = []
+        for cls in implementable_classes():
+            if cls.name.short.startswith(("IMP", "ISP", "IAP", "IUP")):
+                pairs.append(
+                    (flexibility(cls.signature), model.total(cls.signature, n=16))
+                )
+        return pairs
+
+    pairs = benchmark(collect)
+    # Group by flexibility: mean bits must increase with flexibility.
+    by_flex: dict[int, list[int]] = {}
+    for flex, bits in pairs:
+        by_flex.setdefault(flex, []).append(bits)
+    means = [sum(v) / len(v) for _, v in sorted(by_flex.items())]
+    assert means == sorted(means)
+
+
+def test_eq2_full_vs_limited_crossbar(benchmark):
+    """'a full cross bar switch will require more bits than a limited
+    crossbar' — quantified across sizes."""
+
+    def measure():
+        full = FullCrossbarModel()
+        limited = LimitedCrossbarModel(window=7)
+        return {
+            n: (full.config_bits(n, n), limited.config_bits(n, n))
+            for n in (16, 64, 256)
+        }
+
+    table = benchmark(measure)
+    for n, (full_bits, limited_bits) in table.items():
+        assert full_bits > limited_bits
+    # The gap widens with size: full grows as n log n, limited as n.
+    gaps = [full - limited for full, limited in table.values()]
+    assert gaps == sorted(gaps)
+
+
+def test_eq2_measured_fabric_agrees_in_shape(benchmark):
+    """The gate-level fabric's measured bitstream grows linearly in the
+    cell count, as the estimator's fine-grained term assumes."""
+    from repro.machine import LutFabric
+
+    def measure():
+        sizes = (256, 1024, 4096)
+        return {size: LutFabric(size, k=4).config_bits_full() for size in sizes}
+
+    table = benchmark(measure)
+    sizes = sorted(table)
+    ratio_small = table[sizes[1]] / table[sizes[0]]
+    ratio_large = table[sizes[2]] / table[sizes[1]]
+    # Slightly superlinear: each 4x in cells multiplies the bitstream by
+    # 4x plus the growth of the per-input select word (log2 of the
+    # source space), matching the estimator's fine-grained term.
+    assert 4.0 <= ratio_small <= 6.0
+    assert 4.0 <= ratio_large <= 6.0

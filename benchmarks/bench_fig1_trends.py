@@ -1,0 +1,54 @@
+"""Experiment `fig1`: regenerate the research-trend series.
+
+Workload: generate the synthetic publication corpus (the IEEE-database
+substitute), run the per-topic keyword queries year by year, and check
+the paper's narrative shape — publication counts for multicore and
+reconfigurable computing surge in the window's last five years.
+"""
+
+import pytest
+
+from repro.bibliometrics import PublicationCorpus, compute_trends
+from repro.reporting.figures import render_fig1
+
+
+def _regenerate_trends():
+    corpus = PublicationCorpus(seed=2012)  # fresh corpus: full pipeline
+    return compute_trends(corpus)
+
+
+def test_fig1_regeneration(benchmark):
+    report = benchmark(_regenerate_trends)
+    assert len(report.trends) == 5
+    multicore = report.by_topic("multicore architecture")
+    reconf = report.by_topic("reconfigurable computing")
+    baseline = report.by_topic("parallel programming")
+    # The published figure's story: the last five years surge hardest for
+    # multicore and reconfigurable computing.
+    assert multicore.recent_growth_factor(recent_years=5) > 5.0
+    assert reconf.recent_growth_factor(recent_years=5) > 2.0
+    assert (
+        multicore.recent_growth_factor(recent_years=5)
+        > baseline.recent_growth_factor(recent_years=5)
+    )
+
+
+def test_fig1_series_shape(benchmark):
+    report = _regenerate_trends()
+
+    def series():
+        return {t.topic: t.counts for t in report.trends}
+
+    data = benchmark(series)
+    for counts in data.values():
+        assert len(counts) == 16  # 1995..2010
+
+    # Late-window counts dominate early-window counts for every topic.
+    for topic, counts in data.items():
+        assert sum(counts[-5:]) > sum(counts[:5])
+
+
+def test_fig1_render(benchmark):
+    text = benchmark(render_fig1)
+    assert "Research Trends" in text
+    assert "multicore" in text

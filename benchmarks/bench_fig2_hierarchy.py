@@ -1,0 +1,25 @@
+"""Experiment `fig2`: regenerate the hierarchy-of-computing-machines tree."""
+
+from repro.core.hierarchy import build_hierarchy, iter_paths
+from repro.reporting.figures import render_fig2
+
+
+def test_fig2_regeneration(benchmark):
+    root = benchmark(build_hierarchy)
+    assert [c.label for c in root.children] == [
+        "Data Flow", "Instruction Flow", "Universal Flow",
+    ]
+    total = sum(len(node.classes) for _, node in root.walk())
+    assert total == 43
+
+
+def test_fig2_render(benchmark):
+    text = benchmark(render_fig2)
+    for branch in ("Data Flow", "Array Processor", "Spatial Processor", "USP"):
+        assert branch in text
+
+
+def test_fig2_paths(benchmark):
+    paths = benchmark(lambda: list(iter_paths(build_hierarchy())))
+    leaves = {p[-1] for p in paths}
+    assert {"DUP", "IUP", "IAP-I", "IMP-XVI", "ISP-XVI", "USP"} <= leaves

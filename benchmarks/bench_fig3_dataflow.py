@@ -1,0 +1,70 @@
+"""Experiment `fig3`: the data-flow machine sub-types, executed.
+
+Fig. 3 illustrates DUP and DMP-I..IV structurally; this bench makes the
+sub-type differences *behavioural*: the same dot-product dataflow graph
+runs on each sub-type, and the measured cycle counts reproduce the
+flexibility ladder (a DP-DP switch shortens the critical path versus a
+memory-mediated exchange; DMP-I cannot run the graph at all).
+"""
+
+import pytest
+
+from repro.core.errors import CapabilityError
+from repro.machine import DataflowMachine, DataflowSubtype
+from repro.machine.kernels import dataflow_dot_product, dot_product_reference
+from repro.reporting.figures import render_fig3
+
+LENGTH = 16
+A = [(i * 7) % 13 for i in range(LENGTH)]
+B = [(i * 5 + 3) % 11 for i in range(LENGTH)]
+GRAPH = dataflow_dot_product(LENGTH)
+INPUTS = {f"a{i}": A[i] for i in range(LENGTH)} | {f"b{i}": B[i] for i in range(LENGTH)}
+EXPECTED = dot_product_reference(A, B)
+
+
+def _run_ladder() -> dict[str, int]:
+    """Cycle count per runnable sub-type at 4 DPs."""
+    cycles = {}
+    for subtype in (
+        DataflowSubtype.DMP_II,
+        DataflowSubtype.DMP_III,
+        DataflowSubtype.DMP_IV,
+    ):
+        result = DataflowMachine(4, subtype).run(GRAPH, INPUTS)
+        assert result.outputs["dot"] == EXPECTED
+        cycles[subtype.label] = result.cycles
+    result = DataflowMachine(1).run(GRAPH, INPUTS)
+    assert result.outputs["dot"] == EXPECTED
+    cycles["DUP"] = result.cycles
+    return cycles
+
+
+def test_fig3_subtype_ladder(benchmark):
+    cycles = benchmark(_run_ladder)
+    # Parallel machines beat the serial DUP.
+    assert cycles["DMP-IV"] < cycles["DUP"]
+    assert cycles["DMP-II"] < cycles["DUP"]
+    # Direct DP-DP token forwarding is no slower than the memory path.
+    assert cycles["DMP-II"] <= cycles["DMP-III"]
+    # The richest sub-type is at least as fast as every other.
+    assert cycles["DMP-IV"] <= min(cycles["DMP-II"], cycles["DMP-III"])
+
+
+def test_fig3_dmp1_infeasibility(benchmark):
+    """DMP-I's missing interconnect is a hard refusal, not a slowdown."""
+
+    def attempt():
+        try:
+            DataflowMachine(4, DataflowSubtype.DMP_I).run(GRAPH, INPUTS)
+            return False
+        except CapabilityError:
+            return True
+
+    refused = benchmark(attempt)
+    assert refused
+
+
+def test_fig3_render(benchmark):
+    text = benchmark(render_fig3)
+    for name in ("DUP", "DMP-I", "DMP-II", "DMP-III", "DMP-IV"):
+        assert name in text

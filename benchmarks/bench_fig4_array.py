@@ -1,0 +1,82 @@
+"""Experiment `fig4`: the array-processor sub-types, executed.
+
+Fig. 4 illustrates IAP-I..IV; this bench runs a capability matrix over
+the four sub-types: the local kernel runs everywhere, the shuffle kernel
+needs the DP-DP switch (II/IV), the gather kernel the DP-DM switch
+(III/IV) — exactly the sub-type semantics the figure encodes.
+"""
+
+from repro.core.errors import CapabilityError
+from repro.machine import ArrayProcessor, ArraySubtype
+from repro.machine.kernels import (
+    simd_gather_reverse,
+    simd_reduction_shuffle,
+    simd_vector_add,
+    vector_add_reference,
+)
+from repro.reporting.figures import render_fig4
+
+N_LANES = 8
+A = list(range(N_LANES * 2))
+B = [v * 3 for v in A]
+
+
+def _capability_matrix() -> dict[str, dict[str, bool]]:
+    matrix: dict[str, dict[str, bool]] = {}
+    kernels = {
+        "local": simd_vector_add(2),
+        "shuffle": simd_reduction_shuffle(N_LANES),
+        "gather": simd_gather_reverse(N_LANES, 1024),
+    }
+    for subtype in ArraySubtype:
+        row = {}
+        for kernel_name, program in kernels.items():
+            machine = ArrayProcessor(N_LANES, subtype)
+            machine.scatter(0, A)
+            machine.scatter(64, B)
+            try:
+                machine.run(program)
+                if kernel_name == "local":
+                    assert machine.gather(128, len(A)) == vector_add_reference(A, B)
+                row[kernel_name] = True
+            except CapabilityError:
+                row[kernel_name] = False
+        matrix[subtype.label] = row
+    return matrix
+
+
+def test_fig4_capability_matrix(benchmark):
+    matrix = benchmark(_capability_matrix)
+    assert matrix == {
+        "IAP-I": {"local": True, "shuffle": False, "gather": False},
+        "IAP-II": {"local": True, "shuffle": True, "gather": False},
+        "IAP-III": {"local": True, "shuffle": False, "gather": True},
+        "IAP-IV": {"local": True, "shuffle": True, "gather": True},
+    }
+
+
+def test_fig4_simd_speedup(benchmark):
+    """The array processor's raison d'etre: lanes multiply throughput."""
+    from repro.machine import Uniprocessor
+    from repro.machine.kernels import scalar_vector_add
+
+    def run_both():
+        iap = ArrayProcessor(8, ArraySubtype.IAP_I)
+        iap.scatter(0, A)
+        iap.scatter(64, B)
+        simd = iap.run(simd_vector_add(2))
+        iup = Uniprocessor(memory_size=2048)
+        iup.load_memory(0, A)
+        iup.load_memory(256, B)
+        scalar = iup.run(scalar_vector_add(len(A)))
+        return simd, scalar
+
+    simd, scalar = benchmark(run_both)
+    assert simd.cycles < scalar.cycles
+    assert simd.operations_per_cycle > scalar.operations_per_cycle
+
+
+def test_fig4_render(benchmark):
+    text = benchmark(render_fig4)
+    for name in ("IAP-I", "IAP-II", "IAP-III", "IAP-IV"):
+        assert name in text

@@ -1,0 +1,41 @@
+"""Experiment `fig7`: the flexibility comparison over the survey.
+
+Workload: classify all 25 architectures, derive flexibility, sort and
+render the bar chart. Checks the published ranking claims: FPGA first,
+MATRIX second, with DRRA in the leading group, and the exact value of
+every bar.
+"""
+
+from repro.registry.survey import flexibility_ranking
+from repro.reporting.figures import fig7_series, render_fig7
+from tests.golden.paper_data import TABLE3, TABLE3_ERRATA
+
+
+def _expected_values() -> dict[str, int]:
+    values = {}
+    for row in TABLE3:
+        name, flex = row[0], row[-1]
+        if name in TABLE3_ERRATA:
+            flex = TABLE3_ERRATA[name]["consistent_flexibility"]
+        values[name] = flex
+    return values
+
+
+def test_fig7_regeneration(benchmark):
+    names, values = benchmark(fig7_series)
+    assert dict(zip(names, values)) == _expected_values()
+    assert names[0] == "FPGA" and values[0] == 8
+    assert names[1] == "MATRIX" and values[1] == 7
+    assert "DRRA" in names[:4]  # the paper's "second and third" group
+
+
+def test_fig7_ranking_descends(benchmark):
+    ranking = benchmark(flexibility_ranking)
+    values = [entry.flexibility for entry in ranking]
+    assert values == sorted(values, reverse=True)
+    assert values[-1] == 0  # the microcontrollers anchor the bottom
+
+
+def test_fig7_render(benchmark):
+    text = benchmark(render_fig7)
+    assert text.splitlines()[1].startswith("FPGA")

@@ -1,0 +1,102 @@
+"""Ablation `streaming`: throughput behaviour of the executable machines.
+
+The surveyed data-flow fabrics are streaming engines (Colt's wormhole
+streams, PipeRench's virtualised pipeline) and several IMPs are task
+farms. This bench measures the two throughput mechanisms the substrate
+models: wave pipelining on the dataflow machine and task-pool draining
+on IP-IM-switched multiprocessors — including the scaling shapes.
+"""
+
+import pytest
+
+from repro.machine import (
+    DataflowMachine,
+    DataflowSubtype,
+    Multiprocessor,
+    MultiprocessorSubtype,
+    assemble,
+)
+from repro.machine.kernels import dataflow_dot_product
+
+WAVES = 8
+GRAPH = dataflow_dot_product(4)
+WAVE_INPUTS = [
+    {f"a{i}": w + i for i in range(4)} | {f"b{i}": 3 for i in range(4)}
+    for w in range(WAVES)
+]
+
+
+def test_streaming_pipelines_overlap(benchmark):
+    machine = DataflowMachine(4, DataflowSubtype.DMP_IV)
+
+    def stream():
+        return machine.run_stream(GRAPH, WAVE_INPUTS)
+
+    result = benchmark(stream)
+    single = machine.run(GRAPH, WAVE_INPUTS[0]).cycles
+    assert result.cycles < single * WAVES          # overlap happened
+    assert result.cycles >= single                 # but not magic
+    got = [wave["dot"] for wave in result.outputs["waves"]]
+    assert got == [GRAPH.evaluate(w)["dot"] for w in WAVE_INPUTS]
+
+
+def test_streaming_throughput_scales_with_dps(benchmark):
+    def sweep():
+        return {
+            n_dps: DataflowMachine(n_dps, DataflowSubtype.DMP_IV)
+            .run_stream(GRAPH, WAVE_INPUTS)
+            .stats["throughput_waves_per_cycle"]
+            for n_dps in (2, 4, 8)
+        }
+
+    table = benchmark(sweep)
+    values = [table[n] for n in (2, 4, 8)]
+    assert values == sorted(values)
+    assert values[-1] > values[0]
+
+
+def test_task_pool_scaling(benchmark):
+    """Task-farm makespan shrinks with core count (IP-IM switch)."""
+    tasks = [
+        assemble("\n".join(["addi r1, r1, 1"] * 12) + "\nhalt", name=f"t{k}")
+        for k in range(16)
+    ]
+
+    def sweep():
+        return {
+            n_cores: Multiprocessor(n_cores, MultiprocessorSubtype.IMP_V)
+            .run_task_pool(tasks)
+            .cycles
+            for n_cores in (2, 4, 8)
+        }
+
+    table = benchmark(sweep)
+    assert table[8] < table[4] < table[2]
+    # Near-perfect speedup for equal-length independent tasks.
+    assert table[2] / table[8] == pytest.approx(4.0, rel=0.2)
+
+
+def test_task_pool_is_a_flexibility_payoff(benchmark):
+    """Measured: the IP-IM switch (IMP-V vs IMP-I) converts directly
+    into the ability to run 4x more tasks than cores — the operational
+    meaning of one Table-II flexibility point."""
+    from repro.core import class_by_name, flexibility
+    from repro.core.errors import CapabilityError
+
+    tasks = [assemble("ldi r1, 1\nhalt") for _ in range(8)]
+
+    def attempt():
+        flex_v = flexibility(class_by_name("IMP-V").signature)
+        flex_i = flexibility(class_by_name("IMP-I").signature)
+        pool_v = Multiprocessor(2, MultiprocessorSubtype.IMP_V).run_task_pool(tasks)
+        try:
+            Multiprocessor(2, MultiprocessorSubtype.IMP_I).run_task_pool(tasks)
+            refused = False
+        except CapabilityError:
+            refused = True
+        return flex_v - flex_i, pool_v.stats["tasks"], refused
+
+    flex_delta, drained, refused = benchmark(attempt)
+    assert flex_delta == 1
+    assert drained == 8
+    assert refused

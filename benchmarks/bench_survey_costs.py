@@ -1,0 +1,59 @@
+"""Ablation `survey-costs`: the surveyed architectures on the cost plane.
+
+The paper classifies but never costs Table III; this bench evaluates
+every survey record with all four models (area, configuration bits,
+energy/op, reload latency) at its own concrete size and checks the
+aggregate shape: the FPGA sits alone at the overhead extreme, the
+microcontrollers at the cost minimum, and same-class-same-size records
+coincide exactly.
+"""
+
+import pytest
+
+from repro.analysis.survey_costs import evaluate_survey, survey_cost_table
+
+
+def test_survey_cost_sweep(benchmark):
+    points = benchmark(lambda: evaluate_survey(default_n=16))
+    assert len(points) == 25
+    by_name = {p.name: p for p in points}
+
+    # FPGA's fine-grained configuration dominates by >10x.
+    fpga = by_name["FPGA"]
+    others = [p for p in points if p.name != "FPGA"]
+    assert fpga.config_bits > 10 * max(p.config_bits for p in others)
+
+    # The uniprocessors anchor the minimum on every axis but energy.
+    assert min(p.area_ge for p in points) == by_name["ARM7TDMI"].area_ge
+    assert min(p.config_bits for p in points) == by_name["AT89C51"].config_bits
+
+    # Identical class + identical concrete size => identical estimates.
+    assert by_name["MorphoSys"].area_ge == by_name["REMARC"].area_ge
+    assert by_name["Cortex-A9 (Quad)"].area_ge != by_name["Core2Duo"].area_ge  # 4 vs 2 cores
+
+
+def test_survey_cost_flexibility_shape(benchmark):
+    """Among same-size (n=16) instruction-flow survey entries, mean cost
+    rises with flexibility — the survey-level restatement of §III-B."""
+
+    def collect():
+        points = evaluate_survey(default_n=16)
+        same_size = [
+            p for p in points
+            if p.n_effective == 16 and not p.taxonomic_name.startswith(("DMP", "USP"))
+        ]
+        by_flex: dict[int, list[float]] = {}
+        for p in same_size:
+            by_flex.setdefault(p.flexibility, []).append(p.config_bits)
+        return {
+            flex: sum(vals) / len(vals) for flex, vals in sorted(by_flex.items())
+        }
+
+    means = benchmark(collect)
+    values = list(means.values())
+    assert values == sorted(values)
+
+
+def test_survey_cost_render(benchmark):
+    text = benchmark(survey_cost_table)
+    assert "MorphoSys" in text and "reload cycles" in text

@@ -1,0 +1,41 @@
+"""Experiment `table2`: regenerate the flexibility values of every class.
+
+Workload: score all 43 named classes with the §III-B scoring system and
+check every value against the published Table II.
+"""
+
+from repro.core.flexibility import score_signature
+from repro.core.taxonomy import implementable_classes
+from repro.reporting.tables import render_table2
+from tests.golden.paper_data import TABLE2
+
+
+def _score_all() -> dict[str, int]:
+    return {
+        cls.name.short: score_signature(cls.signature).total
+        for cls in implementable_classes()
+    }
+
+
+def test_table2_regeneration(benchmark):
+    values = benchmark(_score_all)
+    assert values == TABLE2
+
+
+def test_table2_render(benchmark):
+    text = benchmark(render_table2)
+    assert "IMP-XVI" in text and "USP" in text
+
+
+def test_table2_breakdowns(benchmark):
+    """Scoring with full provenance (the explain path)."""
+
+    def explain_all():
+        return [
+            score_signature(cls.signature).explain()
+            for cls in implementable_classes()
+        ]
+
+    texts = benchmark(explain_all)
+    assert len(texts) == 43
+    assert any("universal-flow bonus" in t for t in texts)

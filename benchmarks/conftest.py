@@ -1,0 +1,12 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table, figure or
+equation sweep), asserts the reproduced shape against the golden
+expectations, and times the regeneration with pytest-benchmark.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the golden paper data importable from the benchmarks as well.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Design-space exploration: pick an architecture class for a workload.
+
+The paper's stated use case (§V): "a designer can decide which computer
+class offers the required flexibility with minimum configuration
+overhead for single or set of target applications."
+
+This example plays the designer for an embedded DSP product that needs:
+
+* data parallelism (a SIMD-friendly filter bank),
+* inter-lane data exchange (FFT-style butterflies),
+* a hard configuration-memory budget,
+
+then sweeps the budget to show where the recommended class changes —
+the early design decision the taxonomy is meant to enable.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.analysis import Objective, Requirements, explore, pareto_frontier, evaluate_classes
+from repro.machine.base import Capability
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    # -- the product requirements ------------------------------------------
+    needs = Requirements(
+        min_flexibility=2,
+        required_capabilities=frozenset(
+            {Capability.DATA_PARALLEL, Capability.LANE_SHUFFLE}
+        ),
+        n=16,  # we expect ~16 processing elements
+    )
+    recommendation = explore(needs, objective=Objective.CONFIG_BITS)
+    print("=== requirement-driven recommendation ===")
+    print(recommendation.explain())
+    print()
+    print("top candidates (cheapest configuration first):")
+    rows = [p.row() for p in recommendation.feasible[:6]]
+    print(format_table(("class", "flex", "area (GE)", "config bits"), rows))
+    print()
+
+    # -- sweep the configuration budget --------------------------------------
+    print("=== how the answer moves with the configuration budget ===")
+    for budget in (500, 1_500, 3_000, 10_000, 1_000_000):
+        constrained = Requirements(
+            min_flexibility=2,
+            required_capabilities=needs.required_capabilities,
+            max_config_bits=budget,
+            n=16,
+        )
+        result = explore(constrained, objective=Objective.FLEXIBILITY_PER_AREA)
+        best = result.best
+        if best is None:
+            print(f"  budget {budget:>9,} bits: no feasible class")
+        else:
+            print(
+                f"  budget {budget:>9,} bits: {best.name:8s} "
+                f"(flexibility {best.flexibility}, {best.config_bits:,} bits)"
+            )
+    print()
+
+    # -- the full trade-off picture ---------------------------------------------
+    print("=== Pareto frontier: flexibility vs area vs configuration ===")
+    frontier = pareto_frontier(evaluate_classes(n=16))
+    rows = [p.row() for p in frontier]
+    print(format_table(("class", "flex", "area (GE)", "config bits"), rows))
+    print()
+    print(
+        "Reading: every class not on this list is dominated — some class "
+        "offers at least the same flexibility for less area and fewer "
+        "configuration bits (within its flow paradigm)."
+    )
+
+
+if __name__ == "__main__":
+    main()

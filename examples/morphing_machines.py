@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Flexibility, executed: one computation across five machine classes.
+
+§III-B defines flexibility as "the ability of a computer architecture
+to morph into a different computing machine". This example makes that
+concrete by running the same dot product on executable models of five
+taxonomy classes — and by showing the refusals that define the
+flexibility ladder (an IAP-I cannot shuffle; an IUP cannot go wide).
+
+The finale is the USP story: a single LUT fabric is configured first as
+a data-flow machine, then reconfigured as a stored-program (instruction
+flow) soft CPU — with its measured configuration-bit cost, the paper's
+"enormous reconfiguration overhead", printed next to each personality.
+
+Run:  python examples/morphing_machines.py
+"""
+
+from repro.core.errors import CapabilityError
+from repro.machine import (
+    ArrayProcessor,
+    ArraySubtype,
+    DataflowMachine,
+    DataflowSubtype,
+    Multiprocessor,
+    MultiprocessorSubtype,
+    SoftInstruction,
+    SoftOp,
+    SoftProgram,
+    Uniprocessor,
+    UniversalMachine,
+)
+from repro.machine.kernels import (
+    dataflow_dot_product,
+    dot_product_reference,
+    mimd_ring_reduction,
+    scalar_dot_product,
+    simd_reduction_shuffle,
+)
+
+A = [3, 1, 4, 1, 5, 9, 2, 6]
+B = [2, 7, 1, 8, 2, 8, 1, 8]
+
+
+def main() -> None:
+    expected = dot_product_reference(A, B)
+    print(f"reference dot product: {expected}\n")
+
+    # --- IUP: the Von Neumann baseline --------------------------------------
+    iup = Uniprocessor(memory_size=2048)
+    iup.load_memory(0, A)
+    iup.load_memory(256, B)
+    result = iup.run(scalar_dot_product(8))
+    print(f"IUP      : {result.outputs['registers'][6]:>4} in {result.cycles:>3} cycles "
+          f"({result.operations_per_cycle:.2f} ops/cycle)")
+
+    # --- DMP-IV: token-driven dataflow ----------------------------------------
+    graph = dataflow_dot_product(8)
+    inputs = {f"a{i}": A[i] for i in range(8)} | {f"b{i}": B[i] for i in range(8)}
+    result = DataflowMachine(4, DataflowSubtype.DMP_IV).run(graph, inputs)
+    print(f"DMP-IV   : {result.outputs['dot']:>4} in {result.cycles:>3} cycles "
+          f"({result.operations_per_cycle:.2f} ops/cycle)")
+
+    # --- IAP-II: SIMD with a shuffle tree ---------------------------------------
+    iap = ArrayProcessor(8, ArraySubtype.IAP_II)
+    for lane, (a, b) in enumerate(zip(A, B)):
+        iap.lanes[lane].store(0, a * b)
+    result = iap.run(simd_reduction_shuffle(8))
+    print(f"IAP-II   : {result.outputs['registers'][0][3]:>4} in {result.cycles:>3} cycles "
+          f"({result.operations_per_cycle:.2f} ops/cycle)")
+
+    # --- IMP-II: message-passing MIMD ring ----------------------------------------
+    imp = Multiprocessor(8, MultiprocessorSubtype.IMP_II)
+    for core, (a, b) in enumerate(zip(A, B)):
+        imp.cores[core].store(0, a * b)
+    result = imp.run(mimd_ring_reduction(8))
+    print(f"IMP-II   : {result.outputs['registers'][0][6]:>4} in {result.cycles:>3} cycles "
+          f"({result.operations_per_cycle:.2f} ops/cycle)")
+
+    # --- USP: the same fabric, two personalities -----------------------------------
+    print("\n=== the universal machine morphs ===")
+    usp = UniversalMachine(n_cells=20_000)
+    cells = usp.configure_dataflow(graph, width=12)
+    result = usp.run_dataflow(inputs)
+    print(f"USP as data-flow machine   : dot={result.outputs['dot']}, "
+          f"{cells} LUT cells, {usp.config_bits_used():,} config bits")
+
+    countdown = SoftProgram(
+        [
+            SoftInstruction(SoftOp.LDI, 8),
+            SoftInstruction(SoftOp.ADD, 255),   # acc -= 1 (mod 256)
+            SoftInstruction(SoftOp.JNZ, 1),
+            SoftInstruction(SoftOp.HALT),
+        ],
+        name="countdown",
+    )
+    cells = usp.configure_soft_processor(countdown)
+    result = usp.run_soft_processor()
+    print(f"USP as instruction machine : acc={result.outputs['acc']} after "
+          f"{result.cycles} cycles, {cells} LUT cells, "
+          f"{usp.config_bits_used():,} config bits")
+
+    # --- the refusals that define the ladder ------------------------------------
+    print("\n=== refusals (missing switches are real) ===")
+    try:
+        Uniprocessor().run(simd_reduction_shuffle(4))
+    except CapabilityError as exc:
+        print(f"IUP    refuses the shuffle kernel: {exc}")
+    try:
+        ArrayProcessor(4, ArraySubtype.IAP_I).run(simd_reduction_shuffle(4))
+    except CapabilityError as exc:
+        print(f"IAP-I  refuses the shuffle kernel: {exc}")
+    try:
+        Multiprocessor(4, MultiprocessorSubtype.IMP_I).run(mimd_ring_reduction(4))
+    except CapabilityError as exc:
+        print(f"IMP-I  refuses the ring kernel   : {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: classify an architecture, score it, and compare it.
+
+Walks the library's core loop on a machine you describe yourself —
+here MorphoSys, an 8x8 coarse-grained reconfigurable array under a
+host processor — and shows how the taxonomy places, scores, prices
+and situates it among the 25 published architectures of the paper's
+survey.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import classify, compare_names, make_signature
+from repro.analysis import nearest_neighbours
+from repro.models import AreaModel, ConfigBitsModel, NODE_65NM
+from repro.registry import architecture
+
+
+def main() -> None:
+    # 1. Describe the machine structurally: component counts and the five
+    #    connectivity sites, in the paper's own cell notation.
+    morphosys_like = make_signature(
+        ips=1,                # one host instruction processor
+        dps=64,               # 8x8 reconfigurable cells
+        ip_dp="1-64",         # host broadcasts to every cell
+        ip_im="1-1",          # host fetches from its own memory
+        dp_dm="64-1",         # cells share one frame buffer, fixed wiring
+        dp_dp="64x64",        # cells interconnect through a crossbar
+    )
+
+    # 2. Classify it.
+    result = classify(morphosys_like)
+    print("=== classification ===")
+    print(result.explain())
+    print()
+
+    # 3. Price it with the Eq.-1 / Eq.-2 estimators.
+    area = AreaModel().total_ge(morphosys_like, n=64)
+    area_mm2 = AreaModel().total_um2(morphosys_like, n=64, node=NODE_65NM) / 1e6
+    bits = ConfigBitsModel().total(morphosys_like, n=64)
+    print("=== early estimates (Eq. 1 / Eq. 2) ===")
+    print(f"logic area : {area:,.0f} gate equivalents (~{area_mm2:.2f} mm^2 at 65nm)")
+    print(f"config bits: {bits:,}")
+    print()
+
+    # 4. Compare against a published machine by name alone (§III-A).
+    print("=== name-based comparison (vs the paper's survey) ===")
+    drra = architecture("DRRA")
+    report = compare_names(result.taxonomy_class, drra.classification.taxonomy_class)
+    print(report.explain())
+    print()
+
+    # 5. Who in the survey is structurally closest?
+    print("=== nearest published architectures to MorphoSys ===")
+    for name, score in nearest_neighbours("MorphoSys", top=4):
+        print(f"  {name:16s} similarity {score:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables editable installs in offline environments lacking
+the `wheel` package (PEP 660 editable builds need bdist_wheel)."""
+from setuptools import setup
+
+setup()

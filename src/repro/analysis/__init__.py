@@ -1,0 +1,43 @@
+"""Analysis toolkit over the taxonomy: pairwise similarity (§III-A),
+flexibility/area/configuration Pareto analysis (§III-B/C/D), the design-
+space exploration workflow of §V, and the morphability order behind the
+flexibility ladder."""
+
+from repro.analysis.dse import (
+    Objective,
+    Recommendation,
+    Requirements,
+    capabilities_of_class,
+    explore,
+)
+from repro.analysis.morphability import MorphabilityOrder, build_morphability_order
+from repro.analysis.pareto import DesignPoint, evaluate_classes, pareto_frontier
+from repro.analysis.survey_costs import (
+    SurveyCostPoint,
+    evaluate_survey,
+    survey_cost_table,
+)
+from repro.analysis.similarity import (
+    SimilarityMatrix,
+    nearest_neighbours,
+    survey_similarity,
+)
+
+__all__ = [
+    "Objective",
+    "Recommendation",
+    "Requirements",
+    "capabilities_of_class",
+    "explore",
+    "MorphabilityOrder",
+    "build_morphability_order",
+    "DesignPoint",
+    "evaluate_classes",
+    "pareto_frontier",
+    "SurveyCostPoint",
+    "evaluate_survey",
+    "survey_cost_table",
+    "SimilarityMatrix",
+    "nearest_neighbours",
+    "survey_similarity",
+]

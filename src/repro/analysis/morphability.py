@@ -1,0 +1,96 @@
+"""The morphability order over taxonomy classes, as a graph.
+
+Builds the directed emulation relation of
+:func:`repro.machine.morph.can_emulate` over all implementable classes
+into a networkx DAG, exposes its Hasse diagram (transitive reduction),
+and answers reachability questions — "which classes can this hardware
+morph into?" — that quantify the paper's flexibility ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.taxonomy import TaxonomyClass, class_by_name, implementable_classes
+from repro.machine.morph import can_emulate
+
+__all__ = ["MorphabilityOrder", "build_morphability_order"]
+
+
+@dataclass(frozen=True)
+class MorphabilityOrder:
+    """The emulation partial order with graph-level queries."""
+
+    graph: nx.DiGraph  # edge a -> b means "a can emulate b" (a != b)
+
+    def can_morph(self, emulator: str, target: str) -> bool:
+        a = class_by_name(emulator).name.short  # type: ignore[union-attr]
+        b = class_by_name(target).name.short  # type: ignore[union-attr]
+        if a == b:
+            return True
+        return self.graph.has_edge(a, b)
+
+    def emulatable_by(self, emulator: str) -> set[str]:
+        """Every class the given class can stand in for (excl. itself)."""
+        name = class_by_name(emulator).name.short  # type: ignore[union-attr]
+        return set(self.graph.successors(name))
+
+    def emulators_of(self, target: str) -> set[str]:
+        """Every class that can stand in for the given class."""
+        name = class_by_name(target).name.short  # type: ignore[union-attr]
+        return set(self.graph.predecessors(name))
+
+    def coverage(self, name: str) -> float:
+        """Fraction of implementable classes this class can emulate.
+
+        1.0 for USP (it emulates everything including itself); a scalar
+        proxy for the flexibility value that is also *checkable* against
+        the scoring system (higher flexibility within a machine type must
+        never mean lower coverage).
+        """
+        total = self.graph.number_of_nodes()
+        reachable = len(self.emulatable_by(name)) + 1  # + itself
+        return reachable / total
+
+    def hasse_edges(self) -> list[tuple[str, str]]:
+        """Edges of the transitive reduction (the diagram one would draw)."""
+        reduction = nx.transitive_reduction(self.graph)
+        return sorted(reduction.edges())
+
+    def maximal_elements(self) -> list[str]:
+        """Classes nothing else can emulate except themselves."""
+        return sorted(
+            node
+            for node in self.graph.nodes()
+            if self.graph.in_degree(node) == 0
+        )
+
+    def minimal_elements(self) -> list[str]:
+        """Classes that cannot emulate anything but themselves."""
+        return sorted(
+            node
+            for node in self.graph.nodes()
+            if self.graph.out_degree(node) == 0
+        )
+
+
+def build_morphability_order() -> MorphabilityOrder:
+    """Evaluate ``can_emulate`` over all implementable class pairs."""
+    classes = implementable_classes()
+    graph = nx.DiGraph()
+    for cls in classes:
+        assert cls.name is not None
+        graph.add_node(cls.name.short, serial=cls.serial)
+    for a in classes:
+        for b in classes:
+            if a.serial == b.serial:
+                continue
+            if can_emulate(a, b):
+                graph.add_edge(a.name.short, b.name.short)  # type: ignore[union-attr]
+    if not nx.is_directed_acyclic_graph(graph):
+        # Mutually-emulating distinct classes would break the ladder.
+        cycles = list(nx.simple_cycles(graph))
+        raise AssertionError(f"morphability relation has cycles: {cycles[:3]}")
+    return MorphabilityOrder(graph=graph)

@@ -1,0 +1,88 @@
+"""Pairwise similarity analytics over the surveyed architectures.
+
+§III-A claims names alone predict similarity; this module computes the
+full similarity matrix over the Table-III survey (and arbitrary class
+sets), finds nearest neighbours, and clusters equal-class groups — the
+quantitative companion to the paper's qualitative comparison examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compare import compare_classes, similarity
+from repro.core.taxonomy import TaxonomyClass, class_by_name
+from repro.registry.survey import SurveyEntry, survey_table
+
+__all__ = ["SimilarityMatrix", "survey_similarity", "nearest_neighbours"]
+
+
+@dataclass(frozen=True)
+class SimilarityMatrix:
+    """A labelled symmetric similarity matrix in [0, 1]."""
+
+    labels: tuple[str, ...]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.labels)
+        if self.values.shape != (n, n):
+            raise ValueError("matrix shape must match labels")
+
+    def value(self, a: str, b: str) -> float:
+        ia = self.labels.index(a)
+        ib = self.labels.index(b)
+        return float(self.values[ia, ib])
+
+    def most_similar_pairs(self, top: int = 5) -> list[tuple[str, str, float]]:
+        """Distinct-label pairs sorted by similarity, descending."""
+        pairs = []
+        n = len(self.labels)
+        for i in range(n):
+            for j in range(i + 1, n):
+                pairs.append(
+                    (self.labels[i], self.labels[j], float(self.values[i, j]))
+                )
+        pairs.sort(key=lambda item: -item[2])
+        return pairs[:top]
+
+    def row(self, label: str) -> dict[str, float]:
+        index = self.labels.index(label)
+        return {
+            other: float(self.values[index, j])
+            for j, other in enumerate(self.labels)
+        }
+
+
+def _entry_class(entry: SurveyEntry) -> TaxonomyClass:
+    return entry.record.classification.taxonomy_class
+
+
+def survey_similarity() -> SimilarityMatrix:
+    """Similarity matrix over the 25 surveyed architectures.
+
+    Similarity between two architectures is the similarity of their
+    taxonomy classes (identical classes score 1.0 — e.g. MorphoSys vs
+    REMARC), which is exactly the paper's name-based prediction.
+    """
+    entries = survey_table()
+    labels = tuple(entry.name for entry in entries)
+    n = len(entries)
+    values = np.ones((n, n))
+    classes = [_entry_class(entry) for entry in entries]
+    for i in range(n):
+        for j in range(i + 1, n):
+            score = compare_classes(classes[i], classes[j]).similarity
+            values[i, j] = values[j, i] = score
+    return SimilarityMatrix(labels=labels, values=values)
+
+
+def nearest_neighbours(name: str, *, top: int = 3) -> list[tuple[str, float]]:
+    """The survey entries most similar to the named architecture."""
+    matrix = survey_similarity()
+    row = matrix.row(name)
+    others = [(label, score) for label, score in row.items() if label != name]
+    others.sort(key=lambda item: -item[1])
+    return others[:top]

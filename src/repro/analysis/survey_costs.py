@@ -1,0 +1,104 @@
+"""Cost out the surveyed architectures — Table III meets Eq. 1/Eq. 2.
+
+The paper classifies the 25 architectures but never costs them; this
+module closes the loop, evaluating every survey record with the area,
+configuration, energy and reconfiguration models *at its own concrete
+size* (MorphoSys's 64 cells, IMAGINE's 6 clusters, the template
+architectures at a caller-chosen n). The result is the scatter an
+architect would actually consult: published machine vs estimated cost
+vs taxonomy flexibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.area import AreaModel
+from repro.models.configbits import ConfigBitsModel
+from repro.models.energy import EnergyModel
+from repro.models.reconfiguration import ReconfigurationModel
+from repro.registry.architectures import all_architectures
+from repro.registry.record import ArchitectureRecord
+
+__all__ = ["SurveyCostPoint", "evaluate_survey", "survey_cost_table"]
+
+
+@dataclass(frozen=True, slots=True)
+class SurveyCostPoint:
+    """One surveyed architecture with its model estimates."""
+
+    name: str
+    taxonomic_name: str
+    flexibility: int
+    n_effective: int
+    area_ge: float
+    config_bits: int
+    energy_per_op_pj: float
+    reconfig_cycles: int
+
+    def row(self) -> tuple[str, ...]:
+        return (
+            self.name,
+            self.taxonomic_name,
+            str(self.flexibility),
+            str(self.n_effective),
+            f"{self.area_ge:,.0f}",
+            f"{self.config_bits:,}",
+            f"{self.energy_per_op_pj:.1f}",
+            f"{self.reconfig_cycles:,}",
+        )
+
+
+def _effective_n(record: ArchitectureRecord, default_n: int) -> int:
+    """The design size used for evaluation: concrete where Table III
+    gives one, ``default_n`` for template (n/m/v) architectures."""
+    resolved = record.signature.dps.resolve(default_n)
+    return max(resolved, 1)
+
+
+def evaluate_survey(
+    *,
+    default_n: int = 16,
+    area_model: "AreaModel | None" = None,
+    config_model: "ConfigBitsModel | None" = None,
+    energy_model: "EnergyModel | None" = None,
+    reconfig_model: "ReconfigurationModel | None" = None,
+) -> list[SurveyCostPoint]:
+    """Estimate every surveyed architecture's costs at its own size."""
+    area = area_model if area_model is not None else AreaModel()
+    config = config_model if config_model is not None else ConfigBitsModel()
+    energy = energy_model if energy_model is not None else EnergyModel(area_model=area)
+    reconfig = (
+        reconfig_model
+        if reconfig_model is not None
+        else ReconfigurationModel(config_model=config)
+    )
+    points = []
+    for record in all_architectures():
+        n = _effective_n(record, default_n)
+        signature = record.signature
+        points.append(
+            SurveyCostPoint(
+                name=record.name,
+                taxonomic_name=record.derived_name,
+                flexibility=record.derived_flexibility,
+                n_effective=n,
+                area_ge=area.total_ge(signature, n=n),
+                config_bits=config.total(signature, n=n),
+                energy_per_op_pj=energy.energy_per_op(signature, n=n),
+                reconfig_cycles=reconfig.cost(signature, n=n).cycles,
+            )
+        )
+    return points
+
+
+def survey_cost_table(*, default_n: int = 16) -> str:
+    """Rendered cost table over the whole survey."""
+    from repro.reporting.tables import format_table
+
+    points = evaluate_survey(default_n=default_n)
+    header = (
+        "architecture", "class", "flex", "n", "area (GE)",
+        "config bits", "pJ/op", "reload cycles",
+    )
+    return format_table(header, [p.row() for p in points])

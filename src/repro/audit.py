@@ -1,0 +1,268 @@
+"""Self-audit: library-wide consistency checks as a public API.
+
+Downstream users extending the registry, the models or the taxonomy can
+call :func:`run_audit` to re-verify the invariants the paper's scheme
+rests on — useful in their CI, and used by ours. Each check is
+independent and reports pass/fail with a detail message; the audit never
+raises on a failed check (only on library bugs).
+
+Checks:
+
+``enumeration``      47 classes, unique signatures, serials contiguous.
+``classification``   every canonical signature classifies onto itself.
+``scoring``          class flexibility equals the scoring rule re-applied.
+``naming``           short names parse back to the same name.
+``registry``         survey rows classify consistently; only documented
+                     errata disagree with the paper.
+``models``           Eq. 1/Eq. 2 monotone in n and in switch upgrades
+                     for every class.
+``morphability``     emulation relation is an antisymmetric DAG with USP
+                     as unique maximum, consistent with flexibility.
+``baselines``        exactly 19 classes new vs Skillicorn; Flynn mapping
+                     total on fixed-shape instruction-flow machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["AuditCheck", "AuditReport", "run_audit"]
+
+
+@dataclass(frozen=True, slots=True)
+class AuditCheck:
+    """Outcome of one named audit check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class AuditReport:
+    """All audit outcomes, with aggregate helpers."""
+
+    checks: list[AuditCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> list[AuditCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def summary(self) -> str:
+        lines = []
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            lines.append(f"[{mark}] {check.name}: {check.detail}")
+        verdict = "all checks passed" if self.passed else (
+            f"{len(self.failures)} check(s) FAILED"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _check_enumeration() -> AuditCheck:
+    from repro.core import all_classes
+
+    classes = all_classes()
+    problems = []
+    if len(classes) != 47:
+        problems.append(f"expected 47 classes, found {len(classes)}")
+    if [c.serial for c in classes] != list(range(1, 48)):
+        problems.append("serials are not contiguous 1..47")
+    if len({c.signature for c in classes}) != len(classes):
+        problems.append("duplicate canonical signatures")
+    named = [c.name.short for c in classes if c.name is not None]
+    if len(named) != len(set(named)):
+        problems.append("duplicate class names")
+    return AuditCheck(
+        "enumeration",
+        not problems,
+        "; ".join(problems) or "47 unique classes, serials 1..47",
+    )
+
+
+def _check_classification() -> AuditCheck:
+    from repro.core import all_classes, classify
+
+    mismatches = [
+        (cls.serial, classify(cls.signature).taxonomy_class.serial)
+        for cls in all_classes()
+        if classify(cls.signature).taxonomy_class.serial != cls.serial
+    ]
+    return AuditCheck(
+        "classification",
+        not mismatches,
+        f"{len(mismatches)} canonical signature(s) misclassify: {mismatches[:3]}"
+        if mismatches
+        else "all 47 canonical signatures classify onto themselves",
+    )
+
+
+def _check_scoring() -> AuditCheck:
+    from repro.core import LINK_SITES, all_classes, flexibility
+
+    bad = []
+    for cls in all_classes():
+        if not cls.implementable:
+            continue
+        sig = cls.signature
+        manual = (
+            sum(1 for c in (sig.ips, sig.dps) if c.multiplicity.is_plural)
+            + sum(1 for s in LINK_SITES if sig.link(s).is_switched)
+            + (1 if sig.is_universal_flow else 0)
+        )
+        if flexibility(sig) != manual:
+            bad.append(cls.comment)
+    return AuditCheck(
+        "scoring",
+        not bad,
+        f"scoring rule violated for: {bad}" if bad else
+        "flexibility equals the scoring rule for all 43 named classes",
+    )
+
+
+def _check_naming() -> AuditCheck:
+    from repro.core import TaxonomicName, implementable_classes
+
+    bad = [
+        cls.name.short
+        for cls in implementable_classes()
+        if TaxonomicName.parse(cls.name.short) != cls.name
+    ]
+    return AuditCheck(
+        "naming",
+        not bad,
+        f"names fail to round-trip: {bad}" if bad else
+        "all 43 names parse back to themselves",
+    )
+
+
+def _check_registry() -> AuditCheck:
+    from repro.registry import KNOWN_ERRATA, all_architectures
+
+    unexpected = []
+    for rec in all_architectures():
+        if rec.matches_paper_name and rec.matches_paper_flexibility:
+            continue
+        if rec.name not in KNOWN_ERRATA:
+            unexpected.append(rec.name)
+    count = len(all_architectures())
+    return AuditCheck(
+        "registry",
+        count == 25 and not unexpected,
+        f"undocumented paper disagreements: {unexpected}" if unexpected else
+        f"{count} records; only documented errata disagree with the paper",
+    )
+
+
+def _check_models() -> AuditCheck:
+    from repro.core import LinkSite, implementable_classes
+    from repro.models import AreaModel, ConfigBitsModel
+
+    area = AreaModel()
+    config = ConfigBitsModel()
+    problems = []
+    for cls in implementable_classes():
+        sig = cls.signature
+        if area.total_ge(sig, n=32) < area.total_ge(sig, n=8):
+            problems.append(f"{cls.comment}: area not monotone in n")
+        if config.total(sig, n=32) < config.total(sig, n=8):
+            problems.append(f"{cls.comment}: config bits not monotone in n")
+        for site in LinkSite:
+            try:
+                upgraded = sig.upgraded(site)
+            except Exception:
+                continue
+            if area.total_ge(upgraded, n=16) < area.total_ge(sig, n=16):
+                problems.append(f"{cls.comment}: upgrade at {site.label} shrank area")
+            if config.total(upgraded, n=16) < config.total(sig, n=16):
+                problems.append(f"{cls.comment}: upgrade at {site.label} shrank bits")
+    return AuditCheck(
+        "models",
+        not problems,
+        "; ".join(problems[:3]) or
+        "Eq.1/Eq.2 monotone in n and under link upgrades for all classes",
+    )
+
+
+def _check_morphability() -> AuditCheck:
+    import networkx as nx
+
+    from repro.analysis import build_morphability_order
+    from repro.core import class_by_name, flexibility
+
+    try:
+        order = build_morphability_order()
+    except AssertionError as exc:
+        return AuditCheck("morphability", False, f"relation has cycles: {exc}")
+    problems = []
+    if not nx.is_directed_acyclic_graph(order.graph):
+        problems.append("not a DAG")
+    if order.maximal_elements() != ["USP"]:
+        problems.append(f"maxima: {order.maximal_elements()}")
+    for a, b in order.graph.edges():
+        cls_a, cls_b = class_by_name(a), class_by_name(b)
+        if (
+            cls_a.name.machine_type is cls_b.name.machine_type
+            and flexibility(cls_a.signature) < flexibility(cls_b.signature)
+        ):
+            problems.append(f"{a} emulates {b} with lower flexibility")
+    return AuditCheck(
+        "morphability",
+        not problems,
+        "; ".join(problems[:3]) or
+        f"DAG with {order.graph.number_of_edges()} edges, USP unique maximum",
+    )
+
+
+def _check_baselines() -> AuditCheck:
+    from repro.core import extension_report
+
+    report = extension_report()
+    problems = []
+    if len(report.skillicorn_new) != 19:
+        problems.append(
+            f"expected 19 new classes vs Skillicorn, found "
+            f"{len(report.skillicorn_new)}"
+        )
+    if len(report.flynn_unmappable) != 6:
+        problems.append(
+            f"expected 6 Flynn-unmappable classes, found "
+            f"{len(report.flynn_unmappable)}"
+        )
+    return AuditCheck(
+        "baselines",
+        not problems,
+        "; ".join(problems) or report.summary(),
+    )
+
+
+_CHECKS: tuple[tuple[str, Callable[[], AuditCheck]], ...] = (
+    ("enumeration", _check_enumeration),
+    ("classification", _check_classification),
+    ("scoring", _check_scoring),
+    ("naming", _check_naming),
+    ("registry", _check_registry),
+    ("models", _check_models),
+    ("morphability", _check_morphability),
+    ("baselines", _check_baselines),
+)
+
+
+def run_audit(*, only: "set[str] | None" = None) -> AuditReport:
+    """Run all (or a subset of) the consistency checks."""
+    report = AuditReport()
+    for name, check in _CHECKS:
+        if only is not None and name not in only:
+            continue
+        report.checks.append(check())
+    if only is not None:
+        unknown = only - {name for name, _ in _CHECKS}
+        if unknown:
+            raise ValueError(f"unknown audit checks: {sorted(unknown)}")
+    return report

@@ -1,0 +1,21 @@
+"""Synthetic bibliometric substrate for Fig. 1: a seeded publication
+corpus standing in for the IEEE database, plus the trend analytics that
+recompute the figure's series by querying it."""
+
+from repro.bibliometrics.corpus import (
+    DEFAULT_TOPICS,
+    Publication,
+    PublicationCorpus,
+    Topic,
+)
+from repro.bibliometrics.trends import TopicTrend, TrendReport, compute_trends
+
+__all__ = [
+    "DEFAULT_TOPICS",
+    "Publication",
+    "PublicationCorpus",
+    "Topic",
+    "TopicTrend",
+    "TrendReport",
+    "compute_trends",
+]

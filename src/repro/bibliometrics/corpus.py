@@ -1,0 +1,197 @@
+"""Synthetic publication corpus — the Fig.-1 substrate.
+
+Fig. 1 of the paper plots publication counts per year (1995-2010) for
+several parallel-computing topics, "compiled using the IEEE database".
+That database is not redistributable, so this module builds the closest
+synthetic equivalent: a seeded generator producing individual publication
+records (year, venue, title keywords) whose per-topic arrival rates
+follow explicit growth models calibrated to the qualitative trend the
+paper reports — research interest "in multicore and reconfigurable
+computer architectures has increased significantly in the last five
+years" (i.e. roughly 2006-2010).
+
+The *query pipeline* is faithful: the trend figures are recomputed by
+keyword search over the raw records, exactly how one would drive the
+real database, rather than by reading the rate models back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Topic", "Publication", "PublicationCorpus", "DEFAULT_TOPICS"]
+
+
+@dataclass(frozen=True, slots=True)
+class Topic:
+    """One research topic with its publication-rate model.
+
+    Expected publications in year ``y`` follow a logistic ramp:
+    ``base + scale / (1 + exp(-(y - midpoint) / width))`` — flat early,
+    inflecting at ``midpoint``. ``keywords`` drive the query side; the
+    first keyword is the topic's canonical label.
+    """
+
+    name: str
+    keywords: tuple[str, ...]
+    base_rate: float
+    scale: float
+    midpoint: float
+    width: float
+
+    def expected_count(self, year: int) -> float:
+        return self.base_rate + self.scale / (
+            1.0 + math.exp(-(year - self.midpoint) / self.width)
+        )
+
+
+#: Topic models mirroring the Fig.-1 series. Midpoints place the surge of
+#: multicore/reconfigurable work in the mid-2000s (multicore inflects
+#: hardest, after ~2005), while classic parallel-programming output grows
+#: slowly — the figure's qualitative story.
+DEFAULT_TOPICS: tuple[Topic, ...] = (
+    Topic(
+        name="parallel programming",
+        keywords=("parallel programming", "parallelizing compiler", "openmp"),
+        base_rate=60.0, scale=90.0, midpoint=2004.0, width=3.0,
+    ),
+    Topic(
+        name="multicore architecture",
+        keywords=("multicore", "many-core", "chip multiprocessor"),
+        base_rate=4.0, scale=260.0, midpoint=2006.5, width=1.2,
+    ),
+    Topic(
+        name="reconfigurable computing",
+        keywords=("reconfigurable", "cgra", "coarse grain reconfigurable"),
+        base_rate=15.0, scale=150.0, midpoint=2005.5, width=1.6,
+    ),
+    Topic(
+        name="fpga",
+        keywords=("fpga", "field programmable gate array", "lut"),
+        base_rate=40.0, scale=120.0, midpoint=2003.0, width=2.5,
+    ),
+    Topic(
+        name="gpu computing",
+        keywords=("gpu", "gpgpu", "graphics processor"),
+        base_rate=1.0, scale=110.0, midpoint=2007.5, width=1.0,
+    ),
+)
+
+_VENUES = (
+    "IPPS", "ISCA", "MICRO", "FPL", "FCCM", "DATE", "DAC", "HPCA",
+    "SC", "PACT", "ISSCC", "TVLSI",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Publication:
+    """One synthetic record, shaped like a bibliographic search hit."""
+
+    pub_id: int
+    year: int
+    venue: str
+    title: str
+    keywords: tuple[str, ...]
+
+    def matches(self, query: str) -> bool:
+        """Case-insensitive keyword/title containment — the search model."""
+        needle = query.lower()
+        if needle in self.title.lower():
+            return True
+        return any(needle in kw.lower() for kw in self.keywords)
+
+
+class PublicationCorpus:
+    """A seeded corpus over a year range with Poisson-distributed counts."""
+
+    def __init__(
+        self,
+        *,
+        start_year: int = 1995,
+        end_year: int = 2010,
+        topics: "tuple[Topic, ...]" = DEFAULT_TOPICS,
+        seed: int = 2012,
+    ):
+        if end_year < start_year:
+            raise ValueError("end_year must not precede start_year")
+        if not topics:
+            raise ValueError("corpus needs at least one topic")
+        self.start_year = start_year
+        self.end_year = end_year
+        self.topics = topics
+        self.seed = seed
+        self._publications: list[Publication] | None = None
+
+    @property
+    def years(self) -> range:
+        return range(self.start_year, self.end_year + 1)
+
+    def generate(self) -> list[Publication]:
+        """Materialise (and cache) the record set. Deterministic per seed."""
+        if self._publications is not None:
+            return self._publications
+        rng = np.random.default_rng(self.seed)
+        records: list[Publication] = []
+        pub_id = 0
+        for topic in self.topics:
+            for year in self.years:
+                count = int(rng.poisson(topic.expected_count(year)))
+                for _ in range(count):
+                    venue = _VENUES[int(rng.integers(len(_VENUES)))]
+                    primary = topic.keywords[
+                        int(rng.integers(len(topic.keywords)))
+                    ]
+                    title = (
+                        f"A study of {primary} techniques "
+                        f"({topic.name}, {year})"
+                    )
+                    records.append(
+                        Publication(
+                            pub_id=pub_id,
+                            year=year,
+                            venue=venue,
+                            title=title,
+                            keywords=topic.keywords,
+                        )
+                    )
+                    pub_id += 1
+        self._publications = records
+        return records
+
+    def __len__(self) -> int:
+        return len(self.generate())
+
+    def search(self, query: str, *, year: int | None = None) -> list[Publication]:
+        """Keyword search, optionally restricted to one year."""
+        hits = [p for p in self.generate() if p.matches(query)]
+        if year is not None:
+            hits = [p for p in hits if p.year == year]
+        return hits
+
+    def count_by_year(self, query: str) -> dict[int, int]:
+        """Publication count per year matching a query (a Fig.-1 series)."""
+        counts = {year: 0 for year in self.years}
+        for publication in self.generate():
+            if publication.matches(query):
+                counts[publication.year] += 1
+        return counts
+
+    def venue_distribution(self, query: str) -> dict[str, int]:
+        """Hit counts per venue for a query, descending by count."""
+        counts: dict[str, int] = {}
+        for publication in self.search(query):
+            counts[publication.venue] = counts.get(publication.venue, 0) + 1
+        return dict(sorted(counts.items(), key=lambda item: (-item[1], item[0])))
+
+    def cumulative_counts(self, query: str) -> dict[int, int]:
+        """Running total of matches up to and including each year."""
+        yearly = self.count_by_year(query)
+        total = 0
+        out: dict[int, int] = {}
+        for year in sorted(yearly):
+            total += yearly[year]
+            out[year] = total
+        return out

@@ -1,0 +1,110 @@
+"""Trend extraction over the publication corpus (Fig. 1 analytics).
+
+Produces the figure's per-topic, per-year series plus the summary
+statistics behind the paper's narrative claim: that the last five years
+of the window show a significant rise for multicore and reconfigurable
+computing relative to the preceding decade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bibliometrics.corpus import PublicationCorpus, Topic
+
+__all__ = ["TopicTrend", "TrendReport", "compute_trends"]
+
+
+@dataclass(frozen=True, slots=True)
+class TopicTrend:
+    """One Fig.-1 series with derived growth statistics."""
+
+    topic: str
+    years: tuple[int, ...]
+    counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.years) != len(self.counts):
+            raise ValueError("years and counts must align")
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def window_mean(self, first: int, last: int) -> float:
+        """Mean yearly count over [first, last]."""
+        values = [
+            count
+            for year, count in zip(self.years, self.counts)
+            if first <= year <= last
+        ]
+        if not values:
+            raise ValueError(f"window {first}..{last} outside series")
+        return sum(values) / len(values)
+
+    def recent_growth_factor(self, *, recent_years: int = 5) -> float:
+        """Mean of the last ``recent_years`` over the mean of the rest.
+
+        The paper's 'increased significantly in the last five years'
+        claim corresponds to this factor being large for multicore and
+        reconfigurable computing.
+        """
+        if len(self.years) <= recent_years:
+            raise ValueError("series too short for the requested window")
+        split = self.years[-recent_years]
+        early = self.window_mean(self.years[0], split - 1)
+        late = self.window_mean(split, self.years[-1])
+        if early == 0:
+            return float("inf") if late > 0 else 1.0
+        return late / early
+
+    def moving_average(self, window: int = 3) -> tuple[float, ...]:
+        """Centred moving average (edges use the available neighbourhood)."""
+        if window <= 0 or window % 2 == 0:
+            raise ValueError("window must be a positive odd number")
+        half = window // 2
+        out = []
+        for index in range(len(self.counts)):
+            lo = max(0, index - half)
+            hi = min(len(self.counts), index + half + 1)
+            chunk = self.counts[lo:hi]
+            out.append(sum(chunk) / len(chunk))
+        return tuple(out)
+
+
+@dataclass(frozen=True, slots=True)
+class TrendReport:
+    """All Fig.-1 series plus the ordering by recent growth."""
+
+    trends: tuple[TopicTrend, ...]
+
+    def by_topic(self, topic: str) -> TopicTrend:
+        for trend in self.trends:
+            if trend.topic == topic:
+                return trend
+        raise KeyError(f"no trend for topic {topic!r}")
+
+    def growth_ranking(self, *, recent_years: int = 5) -> list[tuple[str, float]]:
+        ranked = [
+            (trend.topic, trend.recent_growth_factor(recent_years=recent_years))
+            for trend in self.trends
+        ]
+        ranked.sort(key=lambda item: -item[1])
+        return ranked
+
+
+def compute_trends(corpus: "PublicationCorpus | None" = None) -> TrendReport:
+    """Recompute every topic's series by querying the corpus records."""
+    active = corpus if corpus is not None else PublicationCorpus()
+    trends = []
+    for topic in active.topics:
+        counts = active.count_by_year(topic.keywords[0])
+        years = tuple(sorted(counts))
+        trends.append(
+            TopicTrend(
+                topic=topic.name,
+                years=years,
+                counts=tuple(counts[year] for year in years),
+            )
+        )
+    return TrendReport(trends=tuple(trends))

@@ -1,0 +1,176 @@
+"""Command-line front end: regenerate any paper artifact from a shell.
+
+::
+
+    repro-taxonomy table1            # the 47-class extended taxonomy
+    repro-taxonomy table2            # flexibility values per class
+    repro-taxonomy table3            # the 25-architecture survey
+    repro-taxonomy fig 7             # any of figures 1..7
+    repro-taxonomy classify --ips 1 --dps 64 --ip-dp 1-64 \\
+        --ip-im 1-1 --dp-dm 64-1 --dp-dp 64x64
+    repro-taxonomy explain MorphoSys # survey entry + derivation
+    repro-taxonomy dse --min-flexibility 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.dse import Objective, Requirements, explore
+from repro.core.classify import classify
+from repro.core.signature import make_signature
+from repro.registry.architectures import architecture
+from repro.registry.survey import errata_report
+from repro.reporting.figures import (
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+)
+from repro.reporting.tables import render_table1, render_table2, render_table3
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    1: render_fig1,
+    2: render_fig2,
+    3: render_fig3,
+    4: render_fig4,
+    5: render_fig5,
+    6: render_fig6,
+    7: render_fig7,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-taxonomy",
+        description=(
+            "Extended Skillicorn taxonomy of massively parallel computer "
+            "architectures (Shami & Hemani reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for table in ("table1", "table2", "table3"):
+        table_parser = sub.add_parser(table, help=f"render {table}")
+        table_parser.add_argument(
+            "--markdown", action="store_true", help="Markdown layout"
+        )
+
+    fig_parser = sub.add_parser("fig", help="render a figure (1..7)")
+    fig_parser.add_argument("number", type=int, choices=sorted(_FIGURES))
+
+    classify_parser = sub.add_parser(
+        "classify", help="classify an architecture from its structure"
+    )
+    classify_parser.add_argument("--ips", required=True)
+    classify_parser.add_argument("--dps", required=True)
+    classify_parser.add_argument("--ip-ip", default="none")
+    classify_parser.add_argument("--ip-dp", default="none")
+    classify_parser.add_argument("--ip-im", default="none")
+    classify_parser.add_argument("--dp-dm", default="none")
+    classify_parser.add_argument("--dp-dp", default="none")
+
+    explain_parser = sub.add_parser(
+        "explain", help="explain a surveyed architecture's classification"
+    )
+    explain_parser.add_argument("name")
+
+    dse_parser = sub.add_parser(
+        "dse", help="recommend a class for given requirements"
+    )
+    dse_parser.add_argument("--min-flexibility", type=int, default=0)
+    dse_parser.add_argument("--max-area-ge", type=float, default=None)
+    dse_parser.add_argument("--max-config-bits", type=int, default=None)
+    dse_parser.add_argument("--n", type=int, default=16)
+    dse_parser.add_argument(
+        "--objective",
+        choices=["config", "area", "flex-per-area"],
+        default="config",
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="write every artifact (tables, figures, JSON) to a directory"
+    )
+    report_parser.add_argument("outdir")
+
+    sub.add_parser("errata", help="paper-vs-derived discrepancies")
+    sub.add_parser("audit", help="run the library self-consistency audit")
+    sub.add_parser("baselines", help="compare against Flynn and Skillicorn 1988")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(render_table1(markdown=args.markdown))
+    elif args.command == "table2":
+        print(render_table2(markdown=args.markdown))
+    elif args.command == "table3":
+        print(render_table3(markdown=args.markdown))
+    elif args.command == "fig":
+        print(_FIGURES[args.number]())
+    elif args.command == "classify":
+        signature = make_signature(
+            args.ips,
+            args.dps,
+            ip_ip=args.ip_ip,
+            ip_dp=args.ip_dp,
+            ip_im=args.ip_im,
+            dp_dm=args.dp_dm,
+            dp_dp=args.dp_dp,
+        )
+        print(classify(signature).explain())
+    elif args.command == "explain":
+        record = architecture(args.name)
+        print(f"{record.name} ({record.year}) — {record.family.value}")
+        print(record.description)
+        print()
+        print(record.classification.explain())
+    elif args.command == "dse":
+        objective = {
+            "config": Objective.CONFIG_BITS,
+            "area": Objective.AREA,
+            "flex-per-area": Objective.FLEXIBILITY_PER_AREA,
+        }[args.objective]
+        requirements = Requirements(
+            min_flexibility=args.min_flexibility,
+            max_area_ge=args.max_area_ge,
+            max_config_bits=args.max_config_bits,
+            n=args.n,
+        )
+        print(explore(requirements, objective=objective).explain())
+    elif args.command == "report":
+        from repro.reporting.bundle import generate_report
+
+        files = generate_report(args.outdir)
+        for path in files:
+            print(path)
+        print(f"wrote {len(files)} artifact files to {args.outdir}")
+    elif args.command == "errata":
+        report = errata_report()
+        print("\n".join(report) if report else "no discrepancies")
+    elif args.command == "audit":
+        from repro.audit import run_audit
+
+        audit = run_audit()
+        print(audit.summary())
+        return 0 if audit.passed else 1
+    elif args.command == "baselines":
+        from repro.core import baseline_resolution, extension_report
+
+        print(extension_report().summary())
+        print()
+        for label, row in baseline_resolution().items():
+            members = ", ".join(row.extended_classes)
+            print(f"{label:12s} ({row.resolution_gain:2d}): {members}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Baseline taxonomies the paper extends: Flynn (1966) and Skillicorn (1988).
+
+The paper positions its contribution against both: Flynn's four-way
+split is "perhaps the oldest, simplest and the most widely known" but
+too broad; Skillicorn refined it but (a) fixed the granularity of the
+building blocks, so variable-role fabrics (``v``) cannot be expressed,
+and (b) omitted IP-IP connectivity, so spatial composition of
+instruction processors cannot be expressed.
+
+This module implements both baselines as classifiers over the same
+:class:`~repro.core.signature.Signature` type, plus the mapping that
+quantifies the extension: which extended classes each baseline can and
+cannot represent, and how many extended classes collapse into each
+baseline category (the resolution gain).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.components import Multiplicity
+from repro.core.connectivity import LinkKind, LinkSite
+from repro.core.signature import Signature
+from repro.core.taxonomy import TaxonomyClass, all_classes
+
+__all__ = [
+    "FlynnClass",
+    "flynn_class",
+    "SkillicornVerdict",
+    "skillicorn_verdict",
+    "baseline_resolution",
+    "extension_report",
+]
+
+
+class FlynnClass(enum.Enum):
+    """Flynn's four categories (instruction streams x data streams)."""
+
+    SISD = "SISD"  #: single instruction, single data
+    SIMD = "SIMD"  #: single instruction, multiple data
+    MISD = "MISD"  #: multiple instruction, single data
+    MIMD = "MIMD"  #: multiple instruction, multiple data
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def flynn_class(signature: Signature) -> FlynnClass | None:
+    """Map a signature onto Flynn's taxonomy.
+
+    Instruction streams follow the IP count, data streams the DP count.
+    Pure data-flow machines have **no instruction stream at all** — a
+    machine organisation Flynn's 1966 scheme predates; they map to
+    ``None``, which is itself part of the paper's argument for richer
+    taxonomies. Variable (``v``) machines take whatever shape they are
+    configured into, so they also return ``None`` (no fixed category).
+    """
+    ips = signature.ips.multiplicity
+    dps = signature.dps.multiplicity
+    if ips in (Multiplicity.ZERO, Multiplicity.VARIABLE) or dps is Multiplicity.VARIABLE:
+        return None
+    single_instruction = ips is Multiplicity.ONE
+    single_data = dps is Multiplicity.ONE
+    if single_instruction and single_data:
+        return FlynnClass.SISD
+    if single_instruction:
+        return FlynnClass.SIMD
+    if single_data:
+        return FlynnClass.MISD
+    return FlynnClass.MIMD
+
+
+@dataclass(frozen=True, slots=True)
+class SkillicornVerdict:
+    """Whether (and how) the original 1988 taxonomy covers a signature.
+
+    ``representable`` is False exactly when the signature uses one of
+    the two extensions this paper introduces; ``reasons`` names them.
+    """
+
+    representable: bool
+    reasons: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.representable
+
+
+def skillicorn_verdict(signature: Signature) -> SkillicornVerdict:
+    """Check a signature against the original taxonomy's expressive limits.
+
+    Skillicorn's building blocks are whole IPs/DPs/IMs/DMs whose number
+    is fixed at design time (no ``v``), and his taxonomy table carries
+    no IP-IP column (he modelled the IP on the Von Neumann state machine
+    that "does not accept any input from neighboring state machines").
+    """
+    reasons: list[str] = []
+    if signature.has_variable_components:
+        reasons.append(
+            "variable (v) IP/DP multiplicity: the 1988 taxonomy fixes "
+            "component counts at design time"
+        )
+    if signature.link(LinkSite.IP_IP).exists:
+        reasons.append(
+            "IP-IP connectivity: the 1988 taxonomy has no IP-IP column"
+        )
+    return SkillicornVerdict(representable=not reasons, reasons=tuple(reasons))
+
+
+@dataclass(frozen=True, slots=True)
+class ResolutionRow:
+    """How one baseline category fans out in the extended taxonomy."""
+
+    category: str
+    extended_classes: tuple[str, ...]
+
+    @property
+    def resolution_gain(self) -> int:
+        """Number of extended classes one baseline label lumps together."""
+        return len(self.extended_classes)
+
+
+@lru_cache(maxsize=1)
+def baseline_resolution() -> dict[str, ResolutionRow]:
+    """The Flynn-category -> extended-classes fan-out over Table I.
+
+    Quantifies "the broadness of Flynn's taxonomy" that both Skillicorn
+    and this paper cite: e.g. every IMP and ISP subtype collapses into
+    the single label MIMD.
+    """
+    fanout: dict[str, list[str]] = {}
+    for cls in all_classes():
+        category = flynn_class(cls.signature)
+        label = category.value if category is not None else "(unmappable)"
+        fanout.setdefault(label, []).append(cls.comment)
+    return {
+        label: ResolutionRow(label, tuple(members))
+        for label, members in fanout.items()
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class ExtensionReport:
+    """Summary of what the extended taxonomy adds over the baselines."""
+
+    total_classes: int
+    flynn_unmappable: tuple[str, ...]
+    skillicorn_new: tuple[str, ...]
+    mimd_fanout: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.total_classes} extended classes; "
+            f"{len(self.flynn_unmappable)} have no Flynn category; "
+            f"{len(self.skillicorn_new)} are new versus Skillicorn 1988 "
+            f"(IP-IP and/or v); one MIMD label covers {self.mimd_fanout} "
+            "extended classes"
+        )
+
+
+def extension_report() -> ExtensionReport:
+    """Quantify the extension over both baselines across all 47 classes."""
+    flynn_unmappable: list[str] = []
+    skillicorn_new: list[str] = []
+    seen = set()
+    for cls in all_classes():
+        label = cls.comment
+        key = (label, cls.serial)
+        if key in seen:  # pragma: no cover - defensive
+            continue
+        seen.add(key)
+        if flynn_class(cls.signature) is None:
+            flynn_unmappable.append(f"{cls.serial}.{label}")
+        if not skillicorn_verdict(cls.signature).representable:
+            skillicorn_new.append(f"{cls.serial}.{label}")
+    mimd = baseline_resolution().get("MIMD")
+    return ExtensionReport(
+        total_classes=len(all_classes()),
+        flynn_unmappable=tuple(flynn_unmappable),
+        skillicorn_new=tuple(skillicorn_new),
+        mimd_fanout=mimd.resolution_gain if mimd else 0,
+    )

@@ -1,0 +1,172 @@
+"""Classification of concrete architectures into taxonomy classes.
+
+Given a :class:`~repro.core.signature.Signature` describing a real
+machine (counts may be concrete integers, template constants ``n``/``m``
+or the variable symbol ``v``; links may carry concrete endpoint values
+such as ``64x64``), the classifier determines the machine's Table-I class
+and therefore its taxonomic name and flexibility.
+
+Classification is purely structural: it depends only on the multiplicity
+symbols and the link *kinds*, exactly as the paper applies the taxonomy
+to the 25 surveyed architectures in Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.components import Multiplicity
+from repro.core.connectivity import LinkKind, LinkSite
+from repro.core.errors import ClassificationError, NotImplementableError
+from repro.core.flexibility import FlexibilityScore, score_signature
+from repro.core.naming import (
+    MachineType,
+    ProcessingType,
+    TaxonomicName,
+    subtype_from_switch_bits,
+)
+from repro.core.signature import Signature
+from repro.core.taxonomy import TaxonomyClass, all_classes, class_by_name
+
+__all__ = ["Classification", "classify", "canonical_class"]
+
+
+@dataclass(frozen=True, slots=True)
+class Classification:
+    """The result of classifying one concrete architecture."""
+
+    signature: Signature
+    taxonomy_class: TaxonomyClass
+    score: FlexibilityScore
+
+    @property
+    def name(self) -> TaxonomicName | None:
+        return self.taxonomy_class.name
+
+    @property
+    def short_name(self) -> str:
+        return self.taxonomy_class.comment
+
+    @property
+    def flexibility(self) -> int:
+        return self.score.total
+
+    @property
+    def implementable(self) -> bool:
+        return self.taxonomy_class.implementable
+
+    def explain(self) -> str:
+        """Narrative of how the class was reached."""
+        lines = [
+            f"structure: {self.signature.describe()}",
+            f"class: {self.short_name} "
+            f"(Table-I serial {self.taxonomy_class.serial})",
+            self.score.explain(),
+        ]
+        if not self.implementable:
+            lines.append(
+                "note: the paper marks this configuration as practically "
+                "not implementable (multiple IPs driving a single DP)"
+            )
+        return "\n".join(lines)
+
+
+def _ni_serial(signature: Signature) -> int:
+    """Serial number of the matching NI row (11-14)."""
+    ip_ip = signature.link(LinkSite.IP_IP).kind is LinkKind.SWITCHED
+    ip_im = signature.link(LinkSite.IP_IM).kind is LinkKind.SWITCHED
+    return 11 + 2 * int(ip_ip) + int(ip_im)
+
+
+def canonical_class(signature: Signature) -> TaxonomyClass:
+    """Map a signature to its Table-I class.
+
+    Raises :class:`ClassificationError` when the structure matches no row
+    (which the signature validator should already preclude).
+    """
+    ips = signature.ips.multiplicity
+    dps = signature.dps.multiplicity
+
+    if signature.is_universal_flow:
+        return class_by_name("USP")
+
+    if ips is Multiplicity.ZERO:
+        if dps is Multiplicity.ONE:
+            return class_by_name("DUP")
+        bits = (
+            signature.link(LinkSite.DP_DM).kind is LinkKind.SWITCHED,
+            signature.link(LinkSite.DP_DP).kind is LinkKind.SWITCHED,
+        )
+        return class_by_name(
+            TaxonomicName(
+                MachineType.DATA_FLOW,
+                ProcessingType.MULTI,
+                subtype_from_switch_bits(bits),
+            )
+        )
+
+    if ips is Multiplicity.ONE:
+        if dps is Multiplicity.ONE:
+            return class_by_name("IUP")
+        bits = (
+            signature.link(LinkSite.DP_DM).kind is LinkKind.SWITCHED,
+            signature.link(LinkSite.DP_DP).kind is LinkKind.SWITCHED,
+        )
+        return class_by_name(
+            TaxonomicName(
+                MachineType.INSTRUCTION_FLOW,
+                ProcessingType.ARRAY,
+                subtype_from_switch_bits(bits),
+            )
+        )
+
+    # ips is MANY from here on.
+    if dps is Multiplicity.ONE:
+        serial = _ni_serial(signature)
+        found = all_classes()[serial - 1]
+        assert found.serial == serial and not found.implementable
+        return found
+
+    # Spatial computing requires the IP-IP *switch* (Table I only lists
+    # none/nxn here); a hypothetical fixed IP-IP pairing earns no
+    # flexibility and classifies as plain multi-processing, keeping the
+    # invariant flexibility(machine) == flexibility(its class).
+    spatial = signature.link(LinkSite.IP_IP).kind is LinkKind.SWITCHED
+    bits = (
+        signature.link(LinkSite.IP_DP).kind is LinkKind.SWITCHED,
+        signature.link(LinkSite.IP_IM).kind is LinkKind.SWITCHED,
+        signature.link(LinkSite.DP_DM).kind is LinkKind.SWITCHED,
+        signature.link(LinkSite.DP_DP).kind is LinkKind.SWITCHED,
+    )
+    return class_by_name(
+        TaxonomicName(
+            MachineType.INSTRUCTION_FLOW,
+            ProcessingType.SPATIAL if spatial else ProcessingType.MULTI,
+            subtype_from_switch_bits(bits),
+        )
+    )
+
+
+def classify(signature: Signature, *, allow_ni: bool = True) -> Classification:
+    """Classify a concrete architecture signature.
+
+    Parameters
+    ----------
+    signature:
+        The machine's structural description.
+    allow_ni:
+        When ``False``, classifying into one of the paper's Not
+        Implementable rows raises :class:`NotImplementableError` instead
+        of returning the NI classification.
+    """
+    taxonomy_class = canonical_class(signature)
+    if not taxonomy_class.implementable and not allow_ni:
+        raise NotImplementableError(
+            f"signature maps to NI row {taxonomy_class.serial}: "
+            f"{signature.describe()}"
+        )
+    return Classification(
+        signature=signature,
+        taxonomy_class=taxonomy_class,
+        score=score_signature(signature),
+    )

@@ -1,0 +1,130 @@
+"""Name-based architecture comparison (§III-A).
+
+The paper argues that the naming scheme alone predicts similarity: the
+first letter gives the flow paradigm, the second group the degree of
+parallelism, and the numeral the interconnection pattern. Two classes
+with the same numeral share their switch pattern even across families
+(the paper's example: IAP-I and IMP-I have the same IP-IM, DP-DM and
+DP-DP connectivity).
+
+:func:`compare_names` quantifies this into a structured report plus a
+similarity value in [0, 1]; :func:`similarity` is the scalar shortcut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.connectivity import LINK_SITES, LinkSite
+from repro.core.naming import TaxonomicName
+from repro.core.signature import Signature
+from repro.core.taxonomy import TaxonomyClass, class_by_name
+
+__all__ = ["NameComparison", "compare_names", "compare_classes", "similarity"]
+
+#: Weights of the three naming levels in the scalar similarity.
+_WEIGHT_MACHINE_TYPE = 0.4
+_WEIGHT_PROCESSING_TYPE = 0.3
+_WEIGHT_LINKS = 0.3
+
+
+@dataclass(frozen=True, slots=True)
+class NameComparison:
+    """Structured similarity report between two taxonomy classes."""
+
+    left: TaxonomicName
+    right: TaxonomicName
+    same_machine_type: bool
+    same_processing_type: bool
+    shared_link_sites: tuple[LinkSite, ...]
+    differing_link_sites: tuple[LinkSite, ...]
+
+    @property
+    def link_agreement(self) -> float:
+        total = len(self.shared_link_sites) + len(self.differing_link_sites)
+        if total == 0:
+            return 1.0
+        return len(self.shared_link_sites) / total
+
+    @property
+    def similarity(self) -> float:
+        """Weighted similarity in [0, 1]; 1 means identical class."""
+        return (
+            _WEIGHT_MACHINE_TYPE * float(self.same_machine_type)
+            + _WEIGHT_PROCESSING_TYPE * float(self.same_processing_type)
+            + _WEIGHT_LINKS * self.link_agreement
+        )
+
+    def explain(self) -> str:
+        lines = [f"{self.left.short} vs {self.right.short}:"]
+        lines.append(
+            f"  machine type: {'same' if self.same_machine_type else 'different'} "
+            f"({self.left.machine_type.label} / {self.right.machine_type.label})"
+        )
+        lines.append(
+            f"  processing type: "
+            f"{'same' if self.same_processing_type else 'different'} "
+            f"({self.left.processing_type.label} / {self.right.processing_type.label})"
+        )
+        if self.shared_link_sites:
+            lines.append(
+                "  shared connectivity: "
+                + ", ".join(site.label for site in self.shared_link_sites)
+            )
+        if self.differing_link_sites:
+            lines.append(
+                "  differing connectivity: "
+                + ", ".join(site.label for site in self.differing_link_sites)
+            )
+        lines.append(f"  similarity: {self.similarity:.2f}")
+        return "\n".join(lines)
+
+
+def _signatures(
+    left: "TaxonomicName | TaxonomyClass | str",
+    right: "TaxonomicName | TaxonomyClass | str",
+) -> tuple[TaxonomyClass, TaxonomyClass]:
+    def resolve(item: "TaxonomicName | TaxonomyClass | str") -> TaxonomyClass:
+        if isinstance(item, TaxonomyClass):
+            return item
+        return class_by_name(item)
+
+    return resolve(left), resolve(right)
+
+
+def compare_classes(cls_a: TaxonomyClass, cls_b: TaxonomyClass) -> NameComparison:
+    """Compare two taxonomy classes' canonical signatures site by site."""
+    if cls_a.name is None or cls_b.name is None:
+        raise ValueError("cannot compare Not Implementable classes by name")
+    shared: list[LinkSite] = []
+    differing: list[LinkSite] = []
+    for site in LINK_SITES:
+        if cls_a.signature.link(site).kind is cls_b.signature.link(site).kind:
+            shared.append(site)
+        else:
+            differing.append(site)
+    return NameComparison(
+        left=cls_a.name,
+        right=cls_b.name,
+        same_machine_type=cls_a.name.machine_type is cls_b.name.machine_type,
+        same_processing_type=cls_a.name.processing_type is cls_b.name.processing_type,
+        shared_link_sites=tuple(shared),
+        differing_link_sites=tuple(differing),
+    )
+
+
+def compare_names(
+    left: "TaxonomicName | TaxonomyClass | str",
+    right: "TaxonomicName | TaxonomyClass | str",
+) -> NameComparison:
+    """Compare two classes given names (``"IAP-II"``), parsed names or classes."""
+    cls_a, cls_b = _signatures(left, right)
+    return compare_classes(cls_a, cls_b)
+
+
+def similarity(
+    left: "TaxonomicName | TaxonomyClass | str",
+    right: "TaxonomicName | TaxonomyClass | str",
+) -> float:
+    """Scalar similarity in [0, 1] between two classes."""
+    return compare_names(left, right).similarity

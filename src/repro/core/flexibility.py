@@ -1,0 +1,114 @@
+"""The flexibility scoring system (§III-B, Table II).
+
+Flexibility in the paper's sense is *the ability of an architecture to
+morph into a different computing machine* — to re-organise its components
+to match an algorithm. The scoring rule is:
+
+* 1 point for each processor population whose multiplicity is ``n`` or
+  ``v`` (extra processors can be reorganised or switched off);
+* 1 point for each connectivity site carrying an ``x`` (switched) link;
+* 1 extra point for universal-flow machines, whose building blocks can
+  exchange roles (the ``v`` multiplicity itself).
+
+The numbers are *relative*: data-flow and instruction-flow scores are not
+mutually comparable (those machines cannot substitute each other), but
+each is comparable against a universal-flow machine. The
+:class:`FlexibilityScore` breakdown preserves enough structure for
+callers to respect that caveat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.components import Multiplicity
+from repro.core.connectivity import LINK_SITES, LinkSite
+from repro.core.naming import MachineType
+from repro.core.signature import Signature
+
+__all__ = ["FlexibilityScore", "score_signature", "flexibility", "comparable"]
+
+
+@dataclass(frozen=True, slots=True)
+class FlexibilityScore:
+    """Itemised flexibility score for one signature."""
+
+    multiplicity_points: int
+    """Points from plural (n/v) IP and DP populations (0..2)."""
+
+    switch_points: int
+    """Points from switched connectivity sites (0..5)."""
+
+    universal_bonus: int
+    """1 for universal-flow machines, else 0."""
+
+    switched_sites: tuple[LinkSite, ...]
+    """Which sites earned switch points, in Table-I column order."""
+
+    machine_type: MachineType
+    """Needed to decide which scores are mutually comparable."""
+
+    @property
+    def total(self) -> int:
+        return self.multiplicity_points + self.switch_points + self.universal_bonus
+
+    def __int__(self) -> int:
+        return self.total
+
+    def explain(self) -> str:
+        """Human-readable derivation of the score."""
+        parts = [f"{self.multiplicity_points} for plural processor populations"]
+        if self.switched_sites:
+            sites = ", ".join(site.label for site in self.switched_sites)
+            parts.append(f"{self.switch_points} for switched links ({sites})")
+        else:
+            parts.append("0 for switched links (none)")
+        if self.universal_bonus:
+            parts.append("1 universal-flow bonus (variable IP/DP roles)")
+        return f"flexibility {self.total} = " + " + ".join(parts)
+
+
+def _machine_type_of(signature: Signature) -> MachineType:
+    if signature.is_universal_flow:
+        return MachineType.UNIVERSAL_FLOW
+    if signature.is_data_flow:
+        return MachineType.DATA_FLOW
+    return MachineType.INSTRUCTION_FLOW
+
+
+def score_signature(signature: Signature) -> FlexibilityScore:
+    """Apply the paper's scoring rule to a signature."""
+    multiplicity_points = sum(
+        1
+        for count in (signature.ips, signature.dps)
+        if count.multiplicity.is_plural
+    )
+    switched = signature.switched_sites()
+    machine_type = _machine_type_of(signature)
+    bonus = 1 if machine_type is MachineType.UNIVERSAL_FLOW else 0
+    return FlexibilityScore(
+        multiplicity_points=multiplicity_points,
+        switch_points=len(switched),
+        universal_bonus=bonus,
+        switched_sites=switched,
+        machine_type=machine_type,
+    )
+
+
+def flexibility(signature: Signature) -> int:
+    """The scalar flexibility value (the number Table II tabulates)."""
+    return score_signature(signature).total
+
+
+def comparable(a: "FlexibilityScore | Signature", b: "FlexibilityScore | Signature") -> bool:
+    """Whether two flexibility values may be meaningfully compared.
+
+    Data-flow and instruction-flow scores are incommensurable; anything
+    is comparable against a universal-flow machine (and against its own
+    machine type).
+    """
+    score_a = a if isinstance(a, FlexibilityScore) else score_signature(a)
+    score_b = b if isinstance(b, FlexibilityScore) else score_signature(b)
+    if MachineType.UNIVERSAL_FLOW in (score_a.machine_type, score_b.machine_type):
+        return True
+    return score_a.machine_type is score_b.machine_type

@@ -1,0 +1,115 @@
+"""The naming hierarchy of computing machines (Fig. 2).
+
+Fig. 2 arranges the taxonomy as a tree: machine types at the root's
+children (Data / Instruction / Universal flow), processing types below
+them (Uni / Array / Multi / Spatial), and the sub-processing numerals as
+leaves. This module builds that tree from the enumerated classes so the
+rendering in :mod:`repro.reporting.figures` is derived, not drawn by
+hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.naming import MachineType, ProcessingType
+from repro.core.taxonomy import TaxonomyClass, all_classes
+
+__all__ = ["HierarchyNode", "build_hierarchy", "iter_paths"]
+
+
+@dataclass
+class HierarchyNode:
+    """A node in the Fig.-2 tree."""
+
+    label: str
+    children: list["HierarchyNode"] = field(default_factory=list)
+    classes: list[TaxonomyClass] = field(default_factory=list)
+
+    def child(self, label: str) -> "HierarchyNode":
+        """Find or create a child with the given label."""
+        for node in self.children:
+            if node.label == label:
+                return node
+        node = HierarchyNode(label)
+        self.children.append(node)
+        return node
+
+    @property
+    def leaf_count(self) -> int:
+        if not self.children:
+            return max(1, len(self.classes))
+        return sum(child.leaf_count for child in self.children)
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "HierarchyNode"]]:
+        """Depth-first traversal yielding (depth, node)."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+#: Display order for machine types (matches Fig. 2 left-to-right).
+_MACHINE_ORDER = (
+    MachineType.DATA_FLOW,
+    MachineType.INSTRUCTION_FLOW,
+    MachineType.UNIVERSAL_FLOW,
+)
+
+_PROCESSING_ORDER = (
+    ProcessingType.UNI,
+    ProcessingType.ARRAY,
+    ProcessingType.MULTI,
+    ProcessingType.SPATIAL,
+)
+
+
+def build_hierarchy(*, include_ni: bool = False) -> HierarchyNode:
+    """Build the Fig.-2 tree from the enumerated taxonomy.
+
+    NI rows have no place in the naming hierarchy and are skipped unless
+    ``include_ni`` is set, in which case they appear under a dedicated
+    "Not Implementable" branch of the instruction-flow subtree.
+    """
+    root = HierarchyNode("Computing Machines")
+    for machine_type in _MACHINE_ORDER:
+        root.child(machine_type.label)
+    for cls in all_classes():
+        if cls.name is None:
+            if include_ni:
+                branch = root.child(MachineType.INSTRUCTION_FLOW.label)
+                ni_node = branch.child("Not Implementable")
+                ni_node.classes.append(cls)
+            continue
+        mt_node = root.child(cls.name.machine_type.label)
+        pt_node = mt_node.child(cls.name.processing_type.label)
+        pt_node.classes.append(cls)
+    # Order processing-type children canonically.
+    for mt_node in root.children:
+        mt_node.children.sort(
+            key=lambda node: next(
+                (
+                    index
+                    for index, pt in enumerate(_PROCESSING_ORDER)
+                    if pt.label == node.label
+                ),
+                len(_PROCESSING_ORDER),
+            )
+        )
+    return root
+
+
+def iter_paths(root: HierarchyNode) -> Iterator[tuple[str, ...]]:
+    """Yield every root-to-leaf label path (useful for tests)."""
+
+    def _walk(node: HierarchyNode, prefix: tuple[str, ...]) -> Iterator[tuple[str, ...]]:
+        path = prefix + (node.label,)
+        if not node.children and not node.classes:
+            yield path
+            return
+        for cls in node.classes:
+            yield path + (cls.comment,)
+        for child in node.children:
+            yield from _walk(child, path)
+
+    yield from _walk(root, ())

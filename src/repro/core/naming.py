@@ -1,0 +1,308 @@
+"""The hierarchical naming scheme of the extended taxonomy (Fig. 2, §II-C).
+
+A taxonomic name has three levels:
+
+* **Machine Type (MT)** — Data flow / Instruction flow / Universal flow,
+  determined by the presence (and variability) of instruction processors.
+* **Processing Type (PT)** — Uni / Array / Multi / Spatial processor,
+  determined by the IP and DP multiplicities and IP-IP connectivity.
+* **Sub-Processing Type (SPT)** — a Roman numeral encoding which of the
+  subtype-bearing link sites carry an ``x`` switch; it measures the
+  flexibility of the organisation.
+
+The short codes are the paper's: ``DUP``, ``DMP-I``..``DMP-IV``, ``IUP``,
+``IAP-I``..``IAP-IV``, ``IMP-I``..``IMP-XVI``, ``ISP-I``..``ISP-XVI`` and
+``USP``. Classes 11-14 (many IPs driving one DP) are "Not Implementable"
+and render as ``NI``.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import NamingError
+
+__all__ = [
+    "MachineType",
+    "ProcessingType",
+    "TaxonomicName",
+    "roman",
+    "unroman",
+    "subtype_from_switch_bits",
+    "switch_bits_from_subtype",
+]
+
+
+class MachineType(enum.Enum):
+    """Primary branch of the naming hierarchy."""
+
+    DATA_FLOW = ("D", "Data Flow")
+    INSTRUCTION_FLOW = ("I", "Instruction Flow")
+    UNIVERSAL_FLOW = ("U", "Universal Flow")
+
+    def __init__(self, letter: str, label: str):
+        self.letter = letter
+        self.label = label
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+class ProcessingType(enum.Enum):
+    """Second branch: degree of parallelism (and spatial composability)."""
+
+    UNI = ("UP", "Uni Processor")
+    ARRAY = ("AP", "Array Processor")
+    MULTI = ("MP", "Multi Processor")
+    SPATIAL = ("SP", "Spatial Processor")
+
+    def __init__(self, code: str, label: str):
+        self.code = code
+        self.label = label
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+_ROMAN_VALUES = (
+    (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"), (100, "C"), (90, "XC"),
+    (50, "L"), (40, "XL"), (10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I"),
+)
+
+_ROMAN_RE = re.compile(r"^[MDCLXVI]+$")
+
+
+def roman(value: int) -> str:
+    """Integer to Roman numeral (1..3999)."""
+    if not 1 <= value <= 3999:
+        raise NamingError(f"cannot render {value} as a Roman numeral")
+    out: list[str] = []
+    remaining = value
+    for magnitude, symbol in _ROMAN_VALUES:
+        while remaining >= magnitude:
+            out.append(symbol)
+            remaining -= magnitude
+    return "".join(out)
+
+
+def unroman(text: str) -> int:
+    """Roman numeral to integer, validating canonical form."""
+    token = text.strip().upper()
+    if not token or not _ROMAN_RE.match(token):
+        raise NamingError(f"invalid Roman numeral: {text!r}")
+    single = {"M": 1000, "D": 500, "C": 100, "L": 50, "X": 10, "V": 5, "I": 1}
+    total = 0
+    for index, char in enumerate(token):
+        value = single[char]
+        if index + 1 < len(token) and single[token[index + 1]] > value:
+            total -= value
+        else:
+            total += value
+    if roman(total) != token:
+        raise NamingError(f"non-canonical Roman numeral: {text!r}")
+    return total
+
+
+def subtype_from_switch_bits(bits: tuple[bool, ...]) -> int:
+    """Subtype ordinal (1-based) from subtype-bearing switch flags.
+
+    ``bits`` lists, most-significant first, whether each subtype-bearing
+    link site is switched. Table I orders subtypes lexicographically with
+    direct (``-``/``none``) before switched (``x``), so the ordinal is the
+    binary value of the flags plus one. For DMP/IAP the flags are
+    ``(dp_dm, dp_dp)``; for IMP/ISP they are
+    ``(ip_dp, ip_im, dp_dm, dp_dp)``.
+    """
+    ordinal = 0
+    for bit in bits:
+        ordinal = (ordinal << 1) | int(bit)
+    return ordinal + 1
+
+
+def switch_bits_from_subtype(ordinal: int, width: int) -> tuple[bool, ...]:
+    """Inverse of :func:`subtype_from_switch_bits`."""
+    if not 1 <= ordinal <= (1 << width):
+        raise NamingError(
+            f"subtype ordinal {ordinal} out of range for {width} switch sites"
+        )
+    value = ordinal - 1
+    return tuple(bool((value >> shift) & 1) for shift in range(width - 1, -1, -1))
+
+
+_NAME_RE = re.compile(
+    r"^\s*(?P<code>[A-Z]{2,3})\s*(?:-\s*(?P<subtype>[MDCLXVI]+|\d+))?\s*$"
+)
+
+_CODE_TABLE: dict[str, tuple[MachineType, ProcessingType]] = {
+    "DUP": (MachineType.DATA_FLOW, ProcessingType.UNI),
+    "DMP": (MachineType.DATA_FLOW, ProcessingType.MULTI),
+    "IUP": (MachineType.INSTRUCTION_FLOW, ProcessingType.UNI),
+    "IAP": (MachineType.INSTRUCTION_FLOW, ProcessingType.ARRAY),
+    "IMP": (MachineType.INSTRUCTION_FLOW, ProcessingType.MULTI),
+    "ISP": (MachineType.INSTRUCTION_FLOW, ProcessingType.SPATIAL),
+    "USP": (MachineType.UNIVERSAL_FLOW, ProcessingType.SPATIAL),
+}
+
+#: Number of subtype-bearing switch sites per short code (0 = no subtype).
+SUBTYPE_WIDTH: dict[str, int] = {
+    "DUP": 0,
+    "DMP": 2,
+    "IUP": 0,
+    "IAP": 2,
+    "IMP": 4,
+    "ISP": 4,
+    "USP": 0,
+}
+
+
+_MACHINE_SORT = {
+    MachineType.DATA_FLOW: 0,
+    MachineType.INSTRUCTION_FLOW: 1,
+    MachineType.UNIVERSAL_FLOW: 2,
+}
+
+_PROCESSING_SORT = {
+    ProcessingType.UNI: 0,
+    ProcessingType.ARRAY: 1,
+    ProcessingType.MULTI: 2,
+    ProcessingType.SPATIAL: 3,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TaxonomicName:
+    """A fully-qualified name in the extended taxonomy.
+
+    Comparable/sortable by (machine type, processing type, subtype) so
+    that sorted collections follow Table-I order.
+    """
+
+    machine_type: MachineType
+    processing_type: ProcessingType
+    subtype: int | None = None
+
+    def sort_key(self) -> tuple[int, int, int]:
+        return (
+            _MACHINE_SORT[self.machine_type],
+            _PROCESSING_SORT[self.processing_type],
+            self.subtype or 0,
+        )
+
+    def __lt__(self, other: "TaxonomicName") -> bool:
+        if not isinstance(other, TaxonomicName):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "TaxonomicName") -> bool:
+        if not isinstance(other, TaxonomicName):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "TaxonomicName") -> bool:
+        if not isinstance(other, TaxonomicName):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "TaxonomicName") -> bool:
+        if not isinstance(other, TaxonomicName):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
+
+    def __post_init__(self) -> None:
+        code = self._code_or_raise()
+        width = SUBTYPE_WIDTH[code]
+        if width == 0 and self.subtype is not None:
+            raise NamingError(f"{code} does not take a subtype numeral")
+        if width > 0:
+            if self.subtype is None:
+                raise NamingError(f"{code} requires a subtype numeral")
+            if not 1 <= self.subtype <= (1 << width):
+                raise NamingError(
+                    f"{code} subtype must lie in I..{roman(1 << width)}, "
+                    f"got {self.subtype}"
+                )
+
+    def _code_or_raise(self) -> str:
+        for code, (mt, pt) in _CODE_TABLE.items():
+            if mt is self.machine_type and pt is self.processing_type:
+                return code
+        raise NamingError(
+            f"no taxonomy code for machine type {self.machine_type.label!r} "
+            f"with processing type {self.processing_type.label!r}"
+        )
+
+    @property
+    def code(self) -> str:
+        """The three-letter family code (``DMP``, ``IMP`` …)."""
+        return self._code_or_raise()
+
+    @property
+    def short(self) -> str:
+        """The paper's short name, e.g. ``IMP-XIV`` or ``USP``."""
+        if self.subtype is None:
+            return self.code
+        return f"{self.code}-{roman(self.subtype)}"
+
+    @property
+    def long(self) -> str:
+        """Spelled-out name, e.g. ``Instruction Flow Multi Processor XIV``."""
+        base = f"{self.machine_type.label} {self.processing_type.label}"
+        if self.subtype is None:
+            return base
+        return f"{base} {roman(self.subtype)}"
+
+    def __str__(self) -> str:
+        return self.short
+
+    @property
+    def switch_bits(self) -> tuple[bool, ...]:
+        """Which subtype-bearing sites are switched (empty for no subtype)."""
+        width = SUBTYPE_WIDTH[self.code]
+        if width == 0:
+            return ()
+        assert self.subtype is not None
+        return switch_bits_from_subtype(self.subtype, width)
+
+    @classmethod
+    def parse(cls, text: str) -> "TaxonomicName":
+        """Parse a short name such as ``"IMP-XIV"``, ``"imp-14"`` or ``"USP"``."""
+        match = _NAME_RE.match(text.upper())
+        if match is None:
+            raise NamingError(f"unparseable taxonomic name: {text!r}")
+        code = match.group("code")
+        if code not in _CODE_TABLE:
+            raise NamingError(f"unknown taxonomy code in {text!r}")
+        subtype_token = match.group("subtype")
+        subtype: int | None = None
+        if subtype_token is not None:
+            if subtype_token.isdigit():
+                subtype = int(subtype_token)
+            else:
+                subtype = unroman(subtype_token)
+        machine_type, processing_type = _CODE_TABLE[code]
+        return cls(machine_type, processing_type, subtype)
+
+    def same_family(self, other: "TaxonomicName") -> bool:
+        """True when both names share MT and PT (e.g. any two IMPs)."""
+        return (
+            self.machine_type is other.machine_type
+            and self.processing_type is other.processing_type
+        )
+
+    def same_subtype_pattern(self, other: "TaxonomicName") -> bool:
+        """True when both names encode the same switch pattern.
+
+        §III-A: an IAP-II and an IMP-II share the DP-side connectivity
+        pattern their numeral encodes, even across families — the paper's
+        example is that same-numeral classes "have the same IP-IP, IP-IM,
+        DP-DM and DP-DP connectivity".
+        """
+        if self.subtype is None or other.subtype is None:
+            return self.subtype == other.subtype
+        a, b = self.switch_bits, other.switch_bits
+        # Compare on the common trailing sites (DP-DM, DP-DP) when widths
+        # differ; full pattern otherwise.
+        width = min(len(a), len(b))
+        return a[len(a) - width:] == b[len(b) - width:]

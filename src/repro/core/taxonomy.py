@@ -1,0 +1,326 @@
+"""Enumeration of the 47 extended-taxonomy classes (Table I).
+
+The classes are *derived*, not transcribed: this module walks the
+taxonomy's generative rules — machine type, processor multiplicities and
+the lexicographic expansion of the subtype-bearing switch sites — and
+produces the rows of Table I in the paper's exact order, including the
+four "Not Implementable" configurations (rows 11-14, many IPs sharing a
+single DP).
+
+Golden tests in ``tests/golden`` check the derived table cell-by-cell
+against the published one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator
+
+from repro.core.components import ComponentCount, Granularity, Multiplicity
+from repro.core.connectivity import LINK_SITES, Link, LinkKind, LinkSite
+from repro.core.errors import ClassificationError
+from repro.core.naming import (
+    MachineType,
+    ProcessingType,
+    TaxonomicName,
+    subtype_from_switch_bits,
+)
+from repro.core.signature import Signature
+
+__all__ = [
+    "TaxonomyClass",
+    "enumerate_classes",
+    "all_classes",
+    "class_by_serial",
+    "class_by_name",
+    "implementable_classes",
+    "SECTION_HEADINGS",
+]
+
+#: Table-I section headings keyed by the serial number of their first row.
+SECTION_HEADINGS: dict[int, str] = {
+    1: "Data Flow Machines --> Single Processor",
+    2: "Data Flow Machines --> Multi Processors",
+    6: "Instruction Flow --> Single Processor",
+    7: "Instruction Flow --> Array Processor",
+    15: "Instruction Flow --> Multi Processor",
+    47: "Universal Flow Machine --> Spatial Computing",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TaxonomyClass:
+    """One row of the extended Table I.
+
+    ``name`` is ``None`` for the Not Implementable rows, whose ``comment``
+    is the paper's ``NI`` marker.
+    """
+
+    serial: int
+    signature: Signature
+    name: TaxonomicName | None
+
+    @property
+    def implementable(self) -> bool:
+        return self.name is not None
+
+    @property
+    def comment(self) -> str:
+        """The Table-I "Comments" cell (the short name, or ``NI``)."""
+        return self.name.short if self.name is not None else "NI"
+
+    @property
+    def section(self) -> str:
+        """The Table-I section heading this row falls under."""
+        heading = ""
+        for first_serial in sorted(SECTION_HEADINGS):
+            if self.serial >= first_serial:
+                heading = SECTION_HEADINGS[first_serial]
+        return heading
+
+    def row_cells(self) -> tuple[str, ...]:
+        """The rendered Table-I row: S.N, granularity, IPs, DPs, links, comment."""
+        return (
+            f"{self.serial}.",
+            self.signature.granularity.value,
+            *self.signature.iter_cells(),
+            self.comment,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.serial}. {self.comment}: {self.signature.describe()}"
+
+
+def _link(kind: LinkKind, left: str, right: str) -> Link:
+    if kind is LinkKind.NONE:
+        return Link.none()
+    return Link(kind, left, right)
+
+
+def _binary_kinds(switched: bool) -> LinkKind:
+    return LinkKind.SWITCHED if switched else LinkKind.DIRECT
+
+
+def _dataflow_classes() -> Iterator[TaxonomyClass]:
+    """Rows 1-5: data-flow single- and multi-processors."""
+    # Row 1: DUP — one DP directly tied to its DM.
+    yield TaxonomyClass(
+        serial=1,
+        signature=Signature(
+            granularity=Granularity.COARSE,
+            ips=ComponentCount(Multiplicity.ZERO),
+            dps=ComponentCount(Multiplicity.ONE),
+            ip_ip=Link.none(),
+            ip_dp=Link.none(),
+            ip_im=Link.none(),
+            dp_dm=Link.direct("1", "1"),
+            dp_dp=Link.none(),
+        ),
+        name=TaxonomicName(MachineType.DATA_FLOW, ProcessingType.UNI),
+    )
+    # Rows 2-5: DMP-I..IV, expanding (dp_dm switched?, dp_dp present?).
+    serial = 2
+    for dp_dm_switched in (False, True):
+        for dp_dp_present in (False, True):
+            bits = (dp_dm_switched, dp_dp_present)
+            yield TaxonomyClass(
+                serial=serial,
+                signature=Signature(
+                    granularity=Granularity.COARSE,
+                    ips=ComponentCount(Multiplicity.ZERO),
+                    dps=ComponentCount(Multiplicity.MANY),
+                    ip_ip=Link.none(),
+                    ip_dp=Link.none(),
+                    ip_im=Link.none(),
+                    dp_dm=_link(_binary_kinds(dp_dm_switched), "n", "n"),
+                    dp_dp=_link(LinkKind.SWITCHED, "n", "n") if dp_dp_present else Link.none(),
+                ),
+                name=TaxonomicName(
+                    MachineType.DATA_FLOW,
+                    ProcessingType.MULTI,
+                    subtype_from_switch_bits(bits),
+                ),
+            )
+            serial += 1
+
+
+def _uniprocessor_class() -> TaxonomyClass:
+    """Row 6: IUP — the Von Neumann machine."""
+    return TaxonomyClass(
+        serial=6,
+        signature=Signature(
+            granularity=Granularity.COARSE,
+            ips=ComponentCount(Multiplicity.ONE),
+            dps=ComponentCount(Multiplicity.ONE),
+            ip_ip=Link.none(),
+            ip_dp=Link.direct("1", "1"),
+            ip_im=Link.direct("1", "1"),
+            dp_dm=Link.direct("1", "1"),
+            dp_dp=Link.none(),
+        ),
+        name=TaxonomicName(MachineType.INSTRUCTION_FLOW, ProcessingType.UNI),
+    )
+
+
+def _array_classes() -> Iterator[TaxonomyClass]:
+    """Rows 7-10: IAP-I..IV (one IP broadcasting to n DPs)."""
+    serial = 7
+    for dp_dm_switched in (False, True):
+        for dp_dp_present in (False, True):
+            bits = (dp_dm_switched, dp_dp_present)
+            yield TaxonomyClass(
+                serial=serial,
+                signature=Signature(
+                    granularity=Granularity.COARSE,
+                    ips=ComponentCount(Multiplicity.ONE),
+                    dps=ComponentCount(Multiplicity.MANY),
+                    ip_ip=Link.none(),
+                    ip_dp=Link.direct("1", "n"),
+                    ip_im=Link.direct("1", "1"),
+                    dp_dm=_link(_binary_kinds(dp_dm_switched), "n", "n"),
+                    dp_dp=_link(LinkKind.SWITCHED, "n", "n") if dp_dp_present else Link.none(),
+                ),
+                name=TaxonomicName(
+                    MachineType.INSTRUCTION_FLOW,
+                    ProcessingType.ARRAY,
+                    subtype_from_switch_bits(bits),
+                ),
+            )
+            serial += 1
+
+
+def _not_implementable_classes() -> Iterator[TaxonomyClass]:
+    """Rows 11-14: n IPs driving one DP — marked NI by the paper."""
+    serial = 11
+    for ip_ip_present in (False, True):
+        for ip_im_switched in (False, True):
+            yield TaxonomyClass(
+                serial=serial,
+                signature=Signature(
+                    granularity=Granularity.COARSE,
+                    ips=ComponentCount(Multiplicity.MANY),
+                    dps=ComponentCount(Multiplicity.ONE),
+                    ip_ip=_link(LinkKind.SWITCHED, "n", "n") if ip_ip_present else Link.none(),
+                    ip_dp=Link.direct("n", "1"),
+                    ip_im=_link(_binary_kinds(ip_im_switched), "n", "n"),
+                    dp_dm=Link.direct("1", "1"),
+                    dp_dp=Link.none(),
+                ),
+                name=None,
+            )
+            serial += 1
+
+
+def _multi_and_spatial_classes() -> Iterator[TaxonomyClass]:
+    """Rows 15-46: IMP-I..XVI then ISP-I..XVI.
+
+    Both families expand the four subtype-bearing sites (IP-DP, IP-IM,
+    DP-DM, DP-DP) lexicographically; ISP additionally carries the IP-IP
+    switch that defines spatial computing.
+    """
+    serial = 15
+    for spatial in (False, True):
+        processing = ProcessingType.SPATIAL if spatial else ProcessingType.MULTI
+        for ip_dp_switched in (False, True):
+            for ip_im_switched in (False, True):
+                for dp_dm_switched in (False, True):
+                    for dp_dp_present in (False, True):
+                        bits = (
+                            ip_dp_switched,
+                            ip_im_switched,
+                            dp_dm_switched,
+                            dp_dp_present,
+                        )
+                        yield TaxonomyClass(
+                            serial=serial,
+                            signature=Signature(
+                                granularity=Granularity.COARSE,
+                                ips=ComponentCount(Multiplicity.MANY),
+                                dps=ComponentCount(Multiplicity.MANY),
+                                ip_ip=(
+                                    _link(LinkKind.SWITCHED, "n", "n")
+                                    if spatial
+                                    else Link.none()
+                                ),
+                                ip_dp=_link(_binary_kinds(ip_dp_switched), "n", "n"),
+                                ip_im=_link(_binary_kinds(ip_im_switched), "n", "n"),
+                                dp_dm=_link(_binary_kinds(dp_dm_switched), "n", "n"),
+                                dp_dp=(
+                                    _link(LinkKind.SWITCHED, "n", "n")
+                                    if dp_dp_present
+                                    else Link.none()
+                                ),
+                            ),
+                            name=TaxonomicName(
+                                MachineType.INSTRUCTION_FLOW,
+                                processing,
+                                subtype_from_switch_bits(bits),
+                            ),
+                        )
+                        serial += 1
+
+
+def _universal_class() -> TaxonomyClass:
+    """Row 47: USP — the fine-grained universal-flow spatial machine."""
+    return TaxonomyClass(
+        serial=47,
+        signature=Signature(
+            granularity=Granularity.FINE,
+            ips=ComponentCount(Multiplicity.VARIABLE),
+            dps=ComponentCount(Multiplicity.VARIABLE),
+            ip_ip=Link(LinkKind.SWITCHED, "v", "v"),
+            ip_dp=Link(LinkKind.SWITCHED, "v", "v"),
+            ip_im=Link(LinkKind.SWITCHED, "v", "v"),
+            dp_dm=Link(LinkKind.SWITCHED, "v", "v"),
+            dp_dp=Link(LinkKind.SWITCHED, "v", "v"),
+        ),
+        name=TaxonomicName(MachineType.UNIVERSAL_FLOW, ProcessingType.SPATIAL),
+    )
+
+
+def enumerate_classes() -> Iterator[TaxonomyClass]:
+    """Yield all 47 classes in Table-I order."""
+    yield from _dataflow_classes()
+    yield _uniprocessor_class()
+    yield from _array_classes()
+    yield from _not_implementable_classes()
+    yield from _multi_and_spatial_classes()
+    yield _universal_class()
+
+
+@lru_cache(maxsize=1)
+def all_classes() -> tuple[TaxonomyClass, ...]:
+    """The 47 classes as an immutable, cached tuple."""
+    classes = tuple(enumerate_classes())
+    assert len(classes) == 47, "taxonomy enumeration must produce 47 classes"
+    return classes
+
+
+def implementable_classes() -> tuple[TaxonomyClass, ...]:
+    """The 43 named (non-NI) classes."""
+    return tuple(cls for cls in all_classes() if cls.implementable)
+
+
+def class_by_serial(serial: int) -> TaxonomyClass:
+    """Look up a class by its Table-I serial number (1..47)."""
+    classes = all_classes()
+    if not 1 <= serial <= len(classes):
+        raise ClassificationError(f"serial number out of range: {serial}")
+    found = classes[serial - 1]
+    assert found.serial == serial
+    return found
+
+
+@lru_cache(maxsize=1)
+def _name_index() -> dict[str, TaxonomyClass]:
+    return {cls.name.short: cls for cls in all_classes() if cls.name is not None}
+
+
+def class_by_name(name: "str | TaxonomicName") -> TaxonomyClass:
+    """Look up a class by short name (``"IMP-XIV"``) or parsed name."""
+    short = name.short if isinstance(name, TaxonomicName) else TaxonomicName.parse(name).short
+    try:
+        return _name_index()[short]
+    except KeyError as exc:
+        raise ClassificationError(f"no taxonomy class named {short!r}") from exc

@@ -1,0 +1,41 @@
+"""Executable interconnect substrate: the concrete structures behind the
+taxonomy's ``'-'`` and ``'x'`` cells, with routing, timing, area and
+configuration-bit accounting."""
+
+from repro.interconnect.bus import BusSchedule, SharedBus
+from repro.interconnect.crossbar import FullCrossbar, LimitedCrossbar
+from repro.interconnect.direct import Broadcast, PointToPoint
+from repro.interconnect.hierarchical import HierarchicalNetwork
+from repro.interconnect.mesh import Mesh2D, MeshSimulationResult
+from repro.interconnect.omega import OmegaNetwork
+from repro.interconnect.metrics import (
+    InterconnectProfile,
+    bisection_width,
+    diameter,
+    mean_distance,
+    profile,
+)
+from repro.interconnect.topology import Interconnect, Route, TrafficStats
+from repro.interconnect.window import SlidingWindow
+
+__all__ = [
+    "Interconnect",
+    "Route",
+    "TrafficStats",
+    "PointToPoint",
+    "Broadcast",
+    "SharedBus",
+    "BusSchedule",
+    "FullCrossbar",
+    "LimitedCrossbar",
+    "Mesh2D",
+    "OmegaNetwork",
+    "MeshSimulationResult",
+    "SlidingWindow",
+    "HierarchicalNetwork",
+    "InterconnectProfile",
+    "profile",
+    "diameter",
+    "mean_distance",
+    "bisection_width",
+]

@@ -1,0 +1,209 @@
+"""Crossbar structures — the ``'x'`` cells of the taxonomy.
+
+:class:`FullCrossbar` is the default reading of ``'x'``: any input can
+reach any output, non-blocking for any input-distinct assignment. It also
+keeps an explicit *configuration state* (the per-output input select),
+making the configuration-bit cost of Eq. 2 concrete: programming a route
+writes a select word.
+
+:class:`LimitedCrossbar` restricts each output to a window of inputs
+centred on its own index — the cheaper structure the paper contrasts
+against ("a full cross bar switch will require more bits than a limited
+crossbar").
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.connectivity import LinkKind
+from repro.core.errors import ConfigurationError, RoutingError
+from repro.interconnect.topology import Interconnect, Route
+from repro.models.switches import FullCrossbarModel, LimitedCrossbarModel
+
+__all__ = ["FullCrossbar", "LimitedCrossbar"]
+
+
+class FullCrossbar(Interconnect):
+    """Non-blocking any-to-any switch with explicit select state."""
+
+    def __init__(self, n_inputs: int, n_outputs: int, *, width_bits: int = 32):
+        super().__init__(n_inputs, n_outputs, width_bits=width_bits)
+        self._model = FullCrossbarModel(width_bits=width_bits)
+        #: per-output selected input (None = unconnected).
+        self._selects: list[int | None] = [None] * n_outputs
+
+    @property
+    def link_kind(self) -> LinkKind:
+        return LinkKind.SWITCHED
+
+    # -- configuration ----------------------------------------------------
+
+    def connect(self, source: int, destination: int) -> None:
+        """Program output ``destination`` to listen to input ``source``."""
+        self._check_ports(source, destination)
+        self._selects[destination] = source
+
+    def disconnect(self, destination: int) -> None:
+        if not 0 <= destination < self.n_outputs:
+            raise RoutingError(f"destination port {destination} out of range")
+        self._selects[destination] = None
+
+    def configure(self, assignment: dict[int, int]) -> None:
+        """Program a whole {destination: source} assignment at once."""
+        for destination, source in assignment.items():
+            self.connect(source, destination)
+
+    def configured_source(self, destination: int) -> int | None:
+        if not 0 <= destination < self.n_outputs:
+            raise RoutingError(f"destination port {destination} out of range")
+        return self._selects[destination]
+
+    def configuration_words(self) -> list[int]:
+        """The select codes as programmed (0 = unconnected, k+1 = input k).
+
+        The word list is what a configuration controller would shift in;
+        its width times the output count equals :meth:`config_bits`.
+        """
+        return [0 if s is None else s + 1 for s in self._selects]
+
+    def validate_permutation(self, assignment: dict[int, int]) -> None:
+        """Check an assignment is realisable (it always is on a full crossbar).
+
+        Kept for interface parity with :class:`LimitedCrossbar`, where
+        windows make some assignments impossible.
+        """
+        for destination, source in assignment.items():
+            self._check_ports(source, destination)
+
+    # -- routing ------------------------------------------------------------
+
+    def can_route(self, source: int, destination: int) -> bool:
+        self._check_ports(source, destination)
+        return True
+
+    def route(self, source: int, destination: int) -> Route:
+        self._check_ports(source, destination)
+        return Route(
+            source=self.input_label(source),
+            destination=self.output_label(destination),
+            path=(self.input_label(source), "xbar", self.output_label(destination)),
+            cycles=1,
+        )
+
+    def transfer(self, destination: int, inputs: "list[object]") -> object:
+        """Read through the programmed switch: the value the output sees.
+
+        ``inputs`` holds one value per input port; returns the value
+        selected for ``destination`` or raises if it is unconnected.
+        """
+        if len(inputs) != self.n_inputs:
+            raise ConfigurationError(
+                f"expected {self.n_inputs} input values, got {len(inputs)}"
+            )
+        source = self.configured_source(destination)
+        if source is None:
+            raise ConfigurationError(f"output {destination} is not connected")
+        return inputs[source]
+
+    # -- metrics ---------------------------------------------------------------
+
+    def as_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        for s in range(self.n_inputs):
+            graph.add_edge(self.input_label(s), "xbar")
+        for d in range(self.n_outputs):
+            graph.add_edge("xbar", self.output_label(d))
+        return graph
+
+    def area_ge(self) -> float:
+        return self._model.area_ge(self.n_inputs, self.n_outputs)
+
+    def config_bits(self) -> int:
+        return self._model.config_bits(self.n_inputs, self.n_outputs)
+
+
+class LimitedCrossbar(Interconnect):
+    """Window-limited crossbar: output ``d`` reaches inputs within ±window.
+
+    Used to model DRRA's 3-hop sliding window and similar partial
+    interconnects. Requires equal port counts (it is a peer network).
+    """
+
+    def __init__(self, n_ports: int, *, window: int = 3, width_bits: int = 32):
+        super().__init__(n_ports, n_ports, width_bits=width_bits)
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        # Each output sees itself plus `window` neighbours on each side.
+        self._model = LimitedCrossbarModel(
+            window=min(2 * window + 1, n_ports), width_bits=width_bits
+        )
+        self._selects: list[int | None] = [None] * n_ports
+
+    @property
+    def link_kind(self) -> LinkKind:
+        return LinkKind.SWITCHED
+
+    def reachable_inputs(self, destination: int) -> range:
+        lo = max(0, destination - self.window)
+        hi = min(self.n_inputs - 1, destination + self.window)
+        return range(lo, hi + 1)
+
+    def can_route(self, source: int, destination: int) -> bool:
+        self._check_ports(source, destination)
+        return source in self.reachable_inputs(destination)
+
+    def connect(self, source: int, destination: int) -> None:
+        if not self.can_route(source, destination):
+            raise RoutingError(
+                f"input {source} is outside output {destination}'s "
+                f"±{self.window} window"
+            )
+        self._selects[destination] = source
+
+    def configured_source(self, destination: int) -> int | None:
+        if not 0 <= destination < self.n_outputs:
+            raise RoutingError(f"destination port {destination} out of range")
+        return self._selects[destination]
+
+    def validate_permutation(self, assignment: dict[int, int]) -> None:
+        """Raise RoutingError when any pair falls outside its window."""
+        for destination, source in assignment.items():
+            if not self.can_route(source, destination):
+                raise RoutingError(
+                    f"assignment {source}->{destination} exceeds the "
+                    f"±{self.window} window"
+                )
+
+    def route(self, source: int, destination: int) -> Route:
+        if not self.can_route(source, destination):
+            raise RoutingError(
+                f"input {source} is outside output {destination}'s "
+                f"±{self.window} window"
+            )
+        return Route(
+            source=self.input_label(source),
+            destination=self.output_label(destination),
+            path=(
+                self.input_label(source),
+                f"win{destination}",
+                self.output_label(destination),
+            ),
+            cycles=1,
+        )
+
+    def as_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        for d in range(self.n_outputs):
+            hub = f"win{d}"
+            graph.add_edge(hub, self.output_label(d))
+            for s in self.reachable_inputs(d):
+                graph.add_edge(self.input_label(s), hub)
+        return graph
+
+    def area_ge(self) -> float:
+        return self._model.area_ge(self.n_inputs, self.n_outputs)
+
+    def config_bits(self) -> int:
+        return self._model.config_bits(self.n_inputs, self.n_outputs)

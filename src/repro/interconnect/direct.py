@@ -1,0 +1,101 @@
+"""Direct (fixed-wiring) connectivity structures — the ``'-'`` cells.
+
+Two shapes occur in the taxonomy:
+
+* :class:`PointToPoint` — the ``1-1`` / ``n-n`` pattern: port ``k`` is
+  hard-wired to port ``k`` (each DP to its own DM, each IP to its own
+  DP). Zero configuration, linear area, but only the identity pairing is
+  reachable.
+* :class:`Broadcast` — the ``1-n`` pattern of array processors: one
+  source fans out to every destination (the IP broadcasting instructions
+  to all DPs).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.connectivity import LinkKind
+from repro.core.errors import RoutingError
+from repro.interconnect.topology import Interconnect, Route
+from repro.models.switches import DirectLinkModel
+
+__all__ = ["PointToPoint", "Broadcast"]
+
+
+class PointToPoint(Interconnect):
+    """Identity wiring: input ``k`` connects to output ``k`` only."""
+
+    def __init__(self, n_ports: int, *, width_bits: int = 32):
+        super().__init__(n_ports, n_ports, width_bits=width_bits)
+        self._model = DirectLinkModel(width_bits=width_bits)
+
+    @property
+    def link_kind(self) -> LinkKind:
+        return LinkKind.DIRECT
+
+    def can_route(self, source: int, destination: int) -> bool:
+        self._check_ports(source, destination)
+        return source == destination
+
+    def route(self, source: int, destination: int) -> Route:
+        if not self.can_route(source, destination):
+            raise RoutingError(
+                f"point-to-point wiring connects port {source} only to "
+                f"port {source}, not {destination}"
+            )
+        return Route(
+            source=self.input_label(source),
+            destination=self.output_label(destination),
+            path=(self.input_label(source), self.output_label(destination)),
+            cycles=1,
+        )
+
+    def as_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        for k in range(self.n_inputs):
+            graph.add_edge(self.input_label(k), self.output_label(k))
+        return graph
+
+    def area_ge(self) -> float:
+        return self._model.area_ge(self.n_inputs, self.n_outputs)
+
+    def config_bits(self) -> int:
+        return 0
+
+
+class Broadcast(Interconnect):
+    """One source fanned out to every destination (the IP-DP ``1-n`` cell)."""
+
+    def __init__(self, n_destinations: int, *, width_bits: int = 32):
+        super().__init__(1, n_destinations, width_bits=width_bits)
+        self._model = DirectLinkModel(width_bits=width_bits)
+
+    @property
+    def link_kind(self) -> LinkKind:
+        return LinkKind.DIRECT
+
+    def can_route(self, source: int, destination: int) -> bool:
+        self._check_ports(source, destination)
+        return True
+
+    def route(self, source: int, destination: int) -> Route:
+        self._check_ports(source, destination)
+        return Route(
+            source=self.input_label(source),
+            destination=self.output_label(destination),
+            path=(self.input_label(source), self.output_label(destination)),
+            cycles=1,
+        )
+
+    def as_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        for k in range(self.n_outputs):
+            graph.add_edge(self.input_label(0), self.output_label(k))
+        return graph
+
+    def area_ge(self) -> float:
+        return self._model.area_ge(self.n_inputs, self.n_outputs)
+
+    def config_bits(self) -> int:
+        return 0

@@ -1,0 +1,91 @@
+"""Two-level hierarchical interconnect — PADDI-2's network.
+
+Nodes are grouped into clusters; a full crossbar joins nodes within a
+cluster, and a second-level crossbar joins the clusters. Intra-cluster
+transfers take one cycle, inter-cluster transfers three (egress, level-2,
+ingress). Cheaper than a flat crossbar at the same node count, at the
+price of extra latency across clusters — a measurable design point
+between the ``n-n`` and flat ``nxn`` cells.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.connectivity import LinkKind
+from repro.core.errors import RoutingError
+from repro.interconnect.topology import Interconnect, Route
+from repro.models.switches import FullCrossbarModel
+
+__all__ = ["HierarchicalNetwork"]
+
+
+class HierarchicalNetwork(Interconnect):
+    """Clusters of ``cluster_size`` nodes under a level-2 crossbar."""
+
+    def __init__(self, n_ports: int, *, cluster_size: int = 4, width_bits: int = 32):
+        super().__init__(n_ports, n_ports, width_bits=width_bits)
+        if cluster_size <= 0:
+            raise ValueError("cluster size must be positive")
+        if n_ports % cluster_size != 0:
+            raise ValueError(
+                f"{n_ports} ports do not divide into clusters of {cluster_size}"
+            )
+        self.cluster_size = cluster_size
+        self.n_clusters = n_ports // cluster_size
+        self._model = FullCrossbarModel(width_bits=width_bits)
+
+    @property
+    def link_kind(self) -> LinkKind:
+        return LinkKind.SWITCHED
+
+    def cluster_of(self, node: int) -> int:
+        if not 0 <= node < self.n_inputs:
+            raise RoutingError(f"node {node} out of range")
+        return node // self.cluster_size
+
+    def can_route(self, source: int, destination: int) -> bool:
+        self._check_ports(source, destination)
+        return True
+
+    def route(self, source: int, destination: int) -> Route:
+        self._check_ports(source, destination)
+        src_cluster = self.cluster_of(source)
+        dst_cluster = self.cluster_of(destination)
+        src_label = f"p{source}"
+        dst_label = f"p{destination}"
+        if src_cluster == dst_cluster:
+            path = (src_label, f"xc{src_cluster}", dst_label)
+            cycles = 1
+        else:
+            path = (
+                src_label,
+                f"xc{src_cluster}",
+                "x2",
+                f"xc{dst_cluster}",
+                dst_label,
+            )
+            cycles = 3
+        return Route(source=src_label, destination=dst_label, path=path, cycles=cycles)
+
+    def as_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        for node in range(self.n_inputs):
+            graph.add_edge(f"p{node}", f"xc{self.cluster_of(node)}")
+        for cluster in range(self.n_clusters):
+            graph.add_edge(f"xc{cluster}", "x2")
+        return graph
+
+    def area_ge(self) -> float:
+        # Intra-cluster crossbars see cluster_size + 1 ports (the extra
+        # one is the uplink); the level-2 crossbar joins the clusters.
+        ports = self.cluster_size + 1
+        intra = self.n_clusters * self._model.area_ge(ports, ports)
+        inter = self._model.area_ge(self.n_clusters, self.n_clusters)
+        return intra + inter
+
+    def config_bits(self) -> int:
+        ports = self.cluster_size + 1
+        intra = self.n_clusters * self._model.config_bits(ports, ports)
+        inter = self._model.config_bits(self.n_clusters, self.n_clusters)
+        return intra + inter

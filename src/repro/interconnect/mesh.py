@@ -1,0 +1,175 @@
+"""2-D mesh network-on-chip with XY routing.
+
+Models the packet-switched NoC of REDEFINE's 8x8 compute-element fabric.
+Nodes sit on a grid; packets route X-first then Y. Besides single-route
+queries, :meth:`Mesh2D.simulate` moves a batch of packets cycle by cycle
+with one-flit-per-link capacity, so congestion behaviour is observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.connectivity import LinkKind
+from repro.core.errors import RoutingError
+from repro.interconnect.topology import Interconnect, Route
+from repro.models.switches import LimitedCrossbarModel
+
+__all__ = ["Mesh2D", "MeshSimulationResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class MeshSimulationResult:
+    """Outcome of a batched packet simulation."""
+
+    delivered: int
+    cycles: int
+    total_hops: int
+    max_queue: int
+
+    @property
+    def mean_hops(self) -> float:
+        return self.total_hops / self.delivered if self.delivered else 0.0
+
+
+class Mesh2D(Interconnect):
+    """``rows x cols`` mesh; node ``(r, c)`` has linear index ``r*cols + c``."""
+
+    def __init__(self, rows: int, cols: int, *, width_bits: int = 32):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("mesh dimensions must be positive")
+        super().__init__(rows * cols, rows * cols, width_bits=width_bits)
+        self.rows = rows
+        self.cols = cols
+        # Each router is a small switch over its <=5 ports (4 neighbours
+        # + local); model it as a per-node limited crossbar.
+        self._router_model = LimitedCrossbarModel(window=5, width_bits=width_bits)
+
+    # -- coordinates -----------------------------------------------------
+
+    def coords(self, index: int) -> tuple[int, int]:
+        if not 0 <= index < self.rows * self.cols:
+            raise RoutingError(f"node index {index} out of range")
+        return divmod(index, self.cols)
+
+    def index(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise RoutingError(f"coordinates ({row}, {col}) out of range")
+        return row * self.cols + col
+
+    def node_label(self, index: int) -> str:
+        row, col = self.coords(index)
+        return f"n{row}_{col}"
+
+    # -- routing ------------------------------------------------------------
+
+    @property
+    def link_kind(self) -> LinkKind:
+        return LinkKind.SWITCHED
+
+    def can_route(self, source: int, destination: int) -> bool:
+        self._check_ports(source, destination)
+        return True
+
+    def xy_path(self, source: int, destination: int) -> list[int]:
+        """Node indices along the X-first-then-Y route, endpoints included."""
+        src_row, src_col = self.coords(source)
+        dst_row, dst_col = self.coords(destination)
+        path = [source]
+        col = src_col
+        while col != dst_col:
+            col += 1 if dst_col > col else -1
+            path.append(self.index(src_row, col))
+        row = src_row
+        while row != dst_row:
+            row += 1 if dst_row > row else -1
+            path.append(self.index(row, dst_col))
+        return path
+
+    def route(self, source: int, destination: int) -> Route:
+        self._check_ports(source, destination)
+        path = self.xy_path(source, destination)
+        labels = tuple(self.node_label(i) for i in path)
+        return Route(
+            source=labels[0],
+            destination=labels[-1],
+            path=labels,
+            cycles=max(len(labels) - 1, 1),
+        )
+
+    def simulate(self, packets: "list[tuple[int, int]]") -> MeshSimulationResult:
+        """Move packets hop by hop with per-link capacity one.
+
+        Contention policy: when several packets want the same directed
+        link in the same cycle, the lowest packet id wins and the rest
+        stall a cycle. Deterministic, so results are reproducible.
+        """
+        paths = [self.xy_path(s, d) for s, d in packets]
+        position = [0] * len(packets)  # index into each packet's path
+        delivered = 0
+        cycles = 0
+        total_hops = 0
+        max_queue = 0
+        active = {i for i, p in enumerate(paths) if len(p) > 1}
+        for i, p in enumerate(paths):
+            if len(p) == 1:
+                delivered += 1
+        guard = 4 * (self.rows + self.cols) * max(len(packets), 1) + 16
+        while active:
+            cycles += 1
+            if cycles > guard:  # pragma: no cover - defensive
+                raise RoutingError("mesh simulation failed to converge")
+            claimed: dict[tuple[int, int], int] = {}
+            moved: list[int] = []
+            queue_pressure = 0
+            for pid in sorted(active):
+                path = paths[pid]
+                here = path[position[pid]]
+                nxt = path[position[pid] + 1]
+                link = (here, nxt)
+                if link in claimed:
+                    queue_pressure += 1
+                    continue
+                claimed[link] = pid
+                moved.append(pid)
+            max_queue = max(max_queue, queue_pressure)
+            for pid in moved:
+                position[pid] += 1
+                total_hops += 1
+                if position[pid] == len(paths[pid]) - 1:
+                    active.discard(pid)
+                    delivered += 1
+        return MeshSimulationResult(
+            delivered=delivered,
+            cycles=cycles,
+            total_hops=total_hops,
+            max_queue=max_queue,
+        )
+
+    # -- metrics ---------------------------------------------------------------
+
+    def as_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        for r in range(self.rows):
+            for c in range(self.cols):
+                node = f"n{r}_{c}"
+                if c + 1 < self.cols:
+                    graph.add_edge(node, f"n{r}_{c + 1}")
+                if r + 1 < self.rows:
+                    graph.add_edge(node, f"n{r + 1}_{c}")
+        if self.rows * self.cols == 1:
+            graph.add_node("n0_0")
+        return graph
+
+    def area_ge(self) -> float:
+        # One router per node, each a 5-port switch.
+        per_router = self._router_model.area_ge(5, 5)
+        return self.rows * self.cols * per_router
+
+    def config_bits(self) -> int:
+        # Dynamic (packet) routing needs no static route configuration,
+        # but each router carries a small mode/address word.
+        per_router = self._router_model.config_bits(5, 1)
+        return self.rows * self.cols * per_router

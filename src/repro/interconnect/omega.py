@@ -1,0 +1,168 @@
+"""Omega multistage interconnection network.
+
+The classic blocking multistage network: ``log2(n)`` stages of 2x2
+switch elements joined by perfect-shuffle wiring. It sits between the
+shared bus and the full crossbar in the taxonomy's cost space — full
+single-transfer reachability with ``(n/2)·log2(n)`` switch elements
+instead of ``n²`` crosspoints — at the price of *blocking*: not every
+set of simultaneous transfers is realisable, a property this model
+measures rather than assumes.
+
+Routing is the textbook destination-tag algorithm: at stage ``s`` the
+packet exits the upper or lower port of its 2x2 element according to
+bit ``log2(n)-1-s`` of the destination address.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.core.connectivity import LinkKind
+from repro.core.errors import RoutingError
+from repro.interconnect.topology import Interconnect, Route
+from repro.models.switches import FullCrossbarModel
+
+__all__ = ["OmegaNetwork"]
+
+
+class OmegaNetwork(Interconnect):
+    """``n x n`` Omega network; ``n`` must be a power of two >= 2."""
+
+    def __init__(self, n_ports: int, *, width_bits: int = 32):
+        if n_ports < 2 or n_ports & (n_ports - 1):
+            raise ValueError("an Omega network needs a power-of-two port count")
+        super().__init__(n_ports, n_ports, width_bits=width_bits)
+        self.stages = int(math.log2(n_ports))
+        # Each 2x2 element is a tiny crossbar.
+        self._element = FullCrossbarModel(width_bits=width_bits)
+
+    @property
+    def link_kind(self) -> LinkKind:
+        return LinkKind.SWITCHED
+
+    # -- structure ---------------------------------------------------------
+
+    @staticmethod
+    def _shuffle(value: int, bits: int) -> int:
+        """Perfect shuffle: rotate the address left by one bit."""
+        msb = (value >> (bits - 1)) & 1
+        return ((value << 1) | msb) & ((1 << bits) - 1)
+
+    def element_of(self, stage: int, line: int) -> int:
+        """Index of the 2x2 element a line enters at a stage."""
+        if not 0 <= stage < self.stages:
+            raise RoutingError(f"stage {stage} out of range")
+        if not 0 <= line < self.n_inputs:
+            raise RoutingError(f"line {line} out of range")
+        return line // 2
+
+    # -- routing --------------------------------------------------------------
+
+    def can_route(self, source: int, destination: int) -> bool:
+        self._check_ports(source, destination)
+        return True
+
+    def path_elements(self, source: int, destination: int) -> list[tuple[int, int]]:
+        """(stage, element) pairs traversed by the destination-tag route."""
+        self._check_ports(source, destination)
+        bits = self.stages
+        line = source
+        elements = []
+        for stage in range(bits):
+            line = self._shuffle(line, bits)
+            element = line // 2
+            elements.append((stage, element))
+            # Exit on the port selected by the destination bit.
+            want = (destination >> (bits - 1 - stage)) & 1
+            line = (line & ~1) | want
+        assert line == destination
+        return elements
+
+    def route(self, source: int, destination: int) -> Route:
+        elements = self.path_elements(source, destination)
+        labels = [self.input_label(source)]
+        labels += [f"e{stage}_{element}" for stage, element in elements]
+        labels.append(self.output_label(destination))
+        return Route(
+            source=labels[0],
+            destination=labels[-1],
+            path=tuple(labels),
+            cycles=self.stages,
+        )
+
+    def is_conflict_free(self, assignment: "dict[int, int]") -> bool:
+        """Whether a {source: destination} batch routes simultaneously.
+
+        Two transfers conflict when they need different settings of the
+        same 2x2 element in the same stage — the Omega network's
+        defining blocking behaviour.
+        """
+        for source, destination in assignment.items():
+            self._check_ports(source, destination)
+        settings: dict[tuple[int, int], tuple[int, int]] = {}
+        bits = self.stages
+        for source, destination in assignment.items():
+            line = source
+            for stage in range(bits):
+                line = self._shuffle(line, bits)
+                element = line // 2
+                entered_port = line & 1
+                want = (destination >> (bits - 1 - stage)) & 1
+                key = (stage, element)
+                demand = (entered_port, want)
+                previous = settings.get(key)
+                if previous is not None and previous != demand:
+                    if previous[0] == demand[0] and previous[1] != demand[1]:
+                        return False  # same input port, two outputs
+                    if previous[0] != demand[0] and previous[1] == demand[1]:
+                        return False  # two inputs, same output
+                settings[key] = demand
+                line = (line & ~1) | want
+        return True
+
+    def blocking_fraction(self, permutations: "list[dict[int, int]]") -> float:
+        """Fraction of the given permutations the network cannot route."""
+        if not permutations:
+            return 0.0
+        blocked = sum(
+            1 for perm in permutations if not self.is_conflict_free(perm)
+        )
+        return blocked / len(permutations)
+
+    # -- metrics -----------------------------------------------------------------
+
+    def as_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        bits = self.stages
+        # Input wiring: line `s` shuffles into stage 0.
+        for source in range(self.n_inputs):
+            entry = self._shuffle(source, bits)
+            graph.add_edge(self.input_label(source), f"e0_{entry // 2}")
+        # Inter-stage wiring: both exits of every element shuffle onward.
+        for stage in range(bits - 1):
+            for element in range(self.n_inputs // 2):
+                for exit_port in (0, 1):
+                    line = element * 2 + exit_port
+                    nxt = self._shuffle(line, bits)
+                    graph.add_edge(
+                        f"e{stage}_{element}", f"e{stage + 1}_{nxt // 2}"
+                    )
+        # Output wiring: the last stage's exits are the output lines.
+        for element in range(self.n_inputs // 2):
+            for exit_port in (0, 1):
+                line = element * 2 + exit_port
+                graph.add_edge(
+                    f"e{bits - 1}_{element}", self.output_label(line)
+                )
+        return graph
+
+    def element_count(self) -> int:
+        return (self.n_inputs // 2) * self.stages
+
+    def area_ge(self) -> float:
+        return self.element_count() * self._element.area_ge(2, 2)
+
+    def config_bits(self) -> int:
+        return self.element_count() * self._element.config_bits(2, 2)

@@ -1,0 +1,180 @@
+"""Base abstractions for executable interconnect topologies.
+
+The taxonomy's ``'-'`` and ``'x'`` cells abstract concrete interconnect
+structures; this package makes them executable so the survey's networks
+(crossbars, buses, meshes, sliding windows, hierarchies) can be compared
+on delivered routes, hop counts, area and configuration bits — the
+quantities Eq. 1 and Eq. 2 estimate structurally.
+
+Every topology implements :class:`Interconnect`: it knows its port
+counts, can :meth:`~Interconnect.route` a source to a destination
+(returning the traversed path), exposes an undirected
+:meth:`~Interconnect.as_graph` view for graph metrics, and reports its
+:meth:`~Interconnect.area_ge` and :meth:`~Interconnect.config_bits`
+consistently with :mod:`repro.models.switches`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.connectivity import LinkKind
+from repro.core.errors import RoutingError
+
+__all__ = ["Route", "TrafficStats", "Interconnect"]
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """A realised path through a topology.
+
+    ``path`` lists the traversed node labels, endpoints included; the hop
+    count is ``len(path) - 1``. ``cycles`` is the transfer latency under
+    the topology's timing model (contention-free).
+    """
+
+    source: str
+    destination: str
+    path: tuple[str, ...]
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 1:
+            raise RoutingError("a route must contain at least its endpoint")
+        if self.path[0] != self.source or self.path[-1] != self.destination:
+            raise RoutingError("route path endpoints disagree with source/destination")
+        if self.cycles < 0:
+            raise RoutingError("route latency cannot be negative")
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate statistics over a batch of routed transfers."""
+
+    transfers: int = 0
+    total_hops: int = 0
+    total_cycles: int = 0
+    conflicts: int = 0
+    per_link_load: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def record(self, route: Route) -> None:
+        self.transfers += 1
+        self.total_hops += route.hops
+        self.total_cycles += route.cycles
+        for a, b in zip(route.path, route.path[1:]):
+            key = (a, b) if a <= b else (b, a)
+            self.per_link_load[key] = self.per_link_load.get(key, 0) + 1
+
+    @property
+    def mean_hops(self) -> float:
+        return self.total_hops / self.transfers if self.transfers else 0.0
+
+    @property
+    def max_link_load(self) -> int:
+        return max(self.per_link_load.values(), default=0)
+
+
+class Interconnect(ABC):
+    """An executable connectivity structure between two port sets.
+
+    Sources are labelled ``in0..in{n-1}`` and destinations
+    ``out0..out{m-1}``; self-networks (DP-DP, IP-IP) use the same
+    component population on both sides, so ``inK`` and ``outK`` denote
+    the same physical node's egress/ingress.
+    """
+
+    def __init__(self, n_inputs: int, n_outputs: int, *, width_bits: int = 32):
+        if n_inputs <= 0 or n_outputs <= 0:
+            raise ValueError("port counts must be positive")
+        if width_bits <= 0:
+            raise ValueError("datapath width must be positive")
+        self.n_inputs = n_inputs
+        self.n_outputs = n_outputs
+        self.width_bits = width_bits
+
+    # -- naming ----------------------------------------------------------
+
+    @staticmethod
+    def input_label(index: int) -> str:
+        return f"in{index}"
+
+    @staticmethod
+    def output_label(index: int) -> str:
+        return f"out{index}"
+
+    def _check_ports(self, source: int, destination: int) -> None:
+        if not 0 <= source < self.n_inputs:
+            raise RoutingError(
+                f"source port {source} out of range 0..{self.n_inputs - 1}"
+            )
+        if not 0 <= destination < self.n_outputs:
+            raise RoutingError(
+                f"destination port {destination} out of range 0..{self.n_outputs - 1}"
+            )
+
+    # -- interface ---------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def link_kind(self) -> LinkKind:
+        """The taxonomy cell this structure realises (DIRECT or SWITCHED)."""
+
+    @abstractmethod
+    def can_route(self, source: int, destination: int) -> bool:
+        """Whether the pair is reachable at all on this topology."""
+
+    @abstractmethod
+    def route(self, source: int, destination: int) -> Route:
+        """Path and latency for one transfer; raises RoutingError if unreachable."""
+
+    @abstractmethod
+    def as_graph(self) -> nx.Graph:
+        """Undirected connectivity graph (ports plus internal nodes)."""
+
+    @abstractmethod
+    def area_ge(self) -> float:
+        """Silicon area in gate equivalents (Eq.-1 contribution)."""
+
+    @abstractmethod
+    def config_bits(self) -> int:
+        """Configuration-word width in bits (Eq.-2 contribution)."""
+
+    # -- shared conveniences -------------------------------------------------
+
+    def route_all(self, pairs: "list[tuple[int, int]]") -> TrafficStats:
+        """Route a batch of (source, destination) pairs, accumulating stats."""
+        stats = TrafficStats()
+        for source, destination in pairs:
+            stats.record(self.route(source, destination))
+        return stats
+
+    def reachability_fraction(self) -> float:
+        """Fraction of (source, destination) pairs this topology can route.
+
+        1.0 for crossbars; < 1.0 for fixed or window-limited structures.
+        This is the quantitative face of the flexibility difference
+        between ``'-'`` and ``'x'`` cells.
+        """
+        total = self.n_inputs * self.n_outputs
+        reachable = sum(
+            1
+            for s in range(self.n_inputs)
+            for d in range(self.n_outputs)
+            if self.can_route(s, d)
+        )
+        return reachable / total
+
+    def describe(self) -> str:
+        return (
+            f"{type(self).__name__}({self.n_inputs}x{self.n_outputs}, "
+            f"{self.width_bits}-bit): kind={self.link_kind.value}, "
+            f"area={self.area_ge():,.0f} GE, config={self.config_bits()} bits, "
+            f"reach={self.reachability_fraction():.0%}"
+        )

@@ -1,0 +1,94 @@
+"""Sliding-window connectivity — DRRA's 3-hop neighbourhood.
+
+A linear array where every node reaches peers within ``hops`` columns on
+either side in a single cycle; farther destinations relay through
+intermediate nodes, each relay costing one hop/cycle. Single-cycle
+reachability is window-limited (the taxonomy still marks it ``'x'``
+because the association is programmable), while multi-hop relaying makes
+the fabric globally connected — exactly the DRRA trade: near-crossbar
+flexibility at limited-crossbar cost.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.connectivity import LinkKind
+from repro.core.errors import RoutingError
+from repro.interconnect.topology import Interconnect, Route
+from repro.models.switches import LimitedCrossbarModel
+
+__all__ = ["SlidingWindow"]
+
+
+class SlidingWindow(Interconnect):
+    """1-D array with ±``hops`` single-cycle reach and multi-hop relay."""
+
+    def __init__(self, n_ports: int, *, hops: int = 3, width_bits: int = 32):
+        super().__init__(n_ports, n_ports, width_bits=width_bits)
+        if hops <= 0:
+            raise ValueError("hops must be positive")
+        self.hops = hops
+        # Each node's input mux sees itself plus `hops` on each side.
+        self._model = LimitedCrossbarModel(
+            window=min(2 * hops + 1, n_ports), width_bits=width_bits
+        )
+
+    @property
+    def link_kind(self) -> LinkKind:
+        return LinkKind.SWITCHED
+
+    def window_of(self, node: int) -> range:
+        """Single-cycle reachable peer indices of ``node``."""
+        if not 0 <= node < self.n_inputs:
+            raise RoutingError(f"node {node} out of range")
+        lo = max(0, node - self.hops)
+        hi = min(self.n_inputs - 1, node + self.hops)
+        return range(lo, hi + 1)
+
+    def in_window(self, source: int, destination: int) -> bool:
+        """True when the pair communicates in a single cycle."""
+        self._check_ports(source, destination)
+        return abs(source - destination) <= self.hops
+
+    def can_route(self, source: int, destination: int) -> bool:
+        self._check_ports(source, destination)
+        return True  # always reachable via relays
+
+    def relay_nodes(self, source: int, destination: int) -> list[int]:
+        """The node sequence of the multi-hop route, endpoints included."""
+        self._check_ports(source, destination)
+        path = [source]
+        here = source
+        step = self.hops if destination > source else -self.hops
+        while abs(destination - here) > self.hops:
+            here += step
+            path.append(here)
+        if here != destination:
+            path.append(destination)
+        return path
+
+    def route(self, source: int, destination: int) -> Route:
+        nodes = self.relay_nodes(source, destination)
+        labels = tuple(f"w{n}" for n in nodes)
+        return Route(
+            source=labels[0],
+            destination=labels[-1],
+            path=labels,
+            cycles=max(len(labels) - 1, 1),
+        )
+
+    def as_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(f"w{n}" for n in range(self.n_inputs))
+        for node in range(self.n_inputs):
+            for peer in self.window_of(node):
+                if peer != node:
+                    graph.add_edge(f"w{node}", f"w{peer}")
+        return graph
+
+    def area_ge(self) -> float:
+        return self._model.area_ge(self.n_inputs, self.n_outputs)
+
+    def config_bits(self) -> int:
+        return self._model.config_bits(self.n_inputs, self.n_outputs)

@@ -1,0 +1,71 @@
+"""Shared machine-model abstractions.
+
+Every executable machine in this package — dataflow engines, the
+uniprocessor, array processors, multiprocessors, spatial and universal
+machines — reports its work through :class:`ExecutionResult` and declares
+the structural capabilities it provides. Programs declare the
+capabilities they *require*; the mismatch check is the operational form
+of the paper's flexibility argument (§III-B): a machine can run a program
+only when its class provides every capability the program needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import CapabilityError
+
+__all__ = ["Capability", "ExecutionResult", "check_capabilities"]
+
+
+class Capability(enum.Enum):
+    """Structural abilities a machine class may or may not provide."""
+
+    DATA_PARALLEL = "data-parallel lanes (multiple DPs under one IP)"
+    LANE_SHUFFLE = "inter-lane data exchange (DP-DP switch)"
+    GLOBAL_MEMORY = "access to any memory bank (DP-DM switch)"
+    MESSAGE_PASSING = "inter-core messages (DP-DP switch across cores)"
+    MULTIPLE_STREAMS = "independent instruction streams (multiple IPs)"
+    IP_COMPOSITION = "fusing IPs into a wider issue unit (IP-IP link)"
+    DATAFLOW_EXECUTION = "token-driven firing without an IP"
+    INSTRUCTION_EXECUTION = "stored-program execution (an IP)"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one program on one machine."""
+
+    cycles: int
+    operations: int
+    outputs: dict[str, Any] = field(default_factory=dict)
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0 or self.operations < 0:
+            raise ValueError("cycles and operations must be non-negative")
+
+    @property
+    def operations_per_cycle(self) -> float:
+        """Achieved parallelism: mean operations retired per cycle."""
+        return self.operations / self.cycles if self.cycles else 0.0
+
+    def merge_stats(self, **extra: Any) -> "ExecutionResult":
+        self.stats.update(extra)
+        return self
+
+
+def check_capabilities(
+    provided: "set[Capability]", required: "set[Capability]", *, machine: str
+) -> None:
+    """Raise :class:`CapabilityError` listing every missing capability."""
+    missing = required - provided
+    if missing:
+        detail = "; ".join(sorted(cap.value for cap in missing))
+        raise CapabilityError(
+            f"{machine} cannot run this program — missing: {detail}"
+        )

@@ -1,0 +1,539 @@
+"""Token-driven data-flow machines (DUP and DMP-I..IV).
+
+A data-flow machine has no instruction processor: "data elements carry
+instructions which are then executed on the arrival of the data at the
+inputs of the processing elements" (§II-C-1). The executable model is a
+static, acyclic dataflow graph whose operator nodes fire when all input
+tokens are present.
+
+:class:`DataflowMachine` schedules a graph onto ``n`` data processors.
+Each DP fires at most one ready operator per cycle; a value crossing a
+partition boundary costs extra latency that depends on the machine's
+sub-type, and sub-types without any inter-DP path (DMP-I) refuse graphs
+whose partitions exchange data — the operational face of the sub-type
+flexibility ladder of Fig. 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.errors import CapabilityError, ProgramError
+from repro.machine.base import Capability, ExecutionResult
+
+__all__ = ["DFOp", "DFNode", "DataflowGraph", "DataflowMachine", "DataflowSubtype"]
+
+
+class DFOp(enum.Enum):
+    """Operator vocabulary of the dataflow graphs."""
+
+    INPUT = "input"
+    CONST = "const"
+    OUTPUT = "output"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NEG = "neg"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_ARITY: dict[DFOp, int] = {
+    DFOp.INPUT: 0,
+    DFOp.CONST: 0,
+    DFOp.OUTPUT: 1,
+    DFOp.NEG: 1,
+    DFOp.ADD: 2,
+    DFOp.SUB: 2,
+    DFOp.MUL: 2,
+    DFOp.DIV: 2,
+    DFOp.MIN: 2,
+    DFOp.MAX: 2,
+    DFOp.AND: 2,
+    DFOp.OR: 2,
+    DFOp.XOR: 2,
+}
+
+
+def _apply(op: DFOp, args: list[int]) -> int:
+    if op is DFOp.NEG:
+        return -args[0]
+    a, b = args
+    if op is DFOp.ADD:
+        return a + b
+    if op is DFOp.SUB:
+        return a - b
+    if op is DFOp.MUL:
+        return a * b
+    if op is DFOp.DIV:
+        if b == 0:
+            raise ProgramError("dataflow division by zero")
+        return int(a / b)
+    if op is DFOp.MIN:
+        return min(a, b)
+    if op is DFOp.MAX:
+        return max(a, b)
+    if op is DFOp.AND:
+        return a & b
+    if op is DFOp.OR:
+        return a | b
+    if op is DFOp.XOR:
+        return a ^ b
+    raise ProgramError(f"operator {op} cannot be applied")  # pragma: no cover
+
+
+@dataclass(frozen=True, slots=True)
+class DFNode:
+    """One operator node: id, op, ordered input node ids, optional literal."""
+
+    node_id: str
+    op: DFOp
+    inputs: tuple[str, ...] = ()
+    value: int | None = None  # CONST literal
+
+    def __post_init__(self) -> None:
+        expected = _ARITY[self.op]
+        if len(self.inputs) != expected:
+            raise ProgramError(
+                f"node {self.node_id!r}: {self.op.value} takes {expected} "
+                f"input(s), got {len(self.inputs)}"
+            )
+        if self.op is DFOp.CONST and self.value is None:
+            raise ProgramError(f"CONST node {self.node_id!r} needs a value")
+        if self.op is not DFOp.CONST and self.value is not None:
+            raise ProgramError(f"only CONST nodes carry a literal value")
+
+
+class DataflowGraph:
+    """A static acyclic dataflow program.
+
+    Build with :meth:`add`; INPUT nodes are bound at run time by name,
+    OUTPUT nodes name the results.
+    """
+
+    def __init__(self, name: str = "dataflow"):
+        self.name = name
+        self._nodes: dict[str, DFNode] = {}
+        self._order: list[str] | None = None
+
+    # -- construction ------------------------------------------------------
+
+    def add(
+        self,
+        node_id: str,
+        op: "DFOp | str",
+        *inputs: str,
+        value: int | None = None,
+    ) -> str:
+        """Add a node; returns its id for chaining."""
+        if node_id in self._nodes:
+            raise ProgramError(f"duplicate dataflow node id {node_id!r}")
+        resolved = op if isinstance(op, DFOp) else DFOp(op)
+        for upstream in inputs:
+            if upstream not in self._nodes:
+                raise ProgramError(
+                    f"node {node_id!r} references unknown input {upstream!r} "
+                    "(add nodes in dependency order)"
+                )
+        self._nodes[node_id] = DFNode(node_id, resolved, tuple(inputs), value)
+        self._order = None
+        return node_id
+
+    def input(self, node_id: str) -> str:
+        return self.add(node_id, DFOp.INPUT)
+
+    def const(self, node_id: str, value: int) -> str:
+        return self.add(node_id, DFOp.CONST, value=value)
+
+    def output(self, node_id: str, source: str) -> str:
+        return self.add(node_id, DFOp.OUTPUT, source)
+
+    # -- structure -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> dict[str, DFNode]:
+        return dict(self._nodes)
+
+    def node(self, node_id: str) -> DFNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError as exc:
+            raise ProgramError(f"unknown dataflow node {node_id!r}") from exc
+
+    @property
+    def input_names(self) -> tuple[str, ...]:
+        return tuple(n.node_id for n in self._nodes.values() if n.op is DFOp.INPUT)
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        return tuple(n.node_id for n in self._nodes.values() if n.op is DFOp.OUTPUT)
+
+    def topological_order(self) -> list[str]:
+        """Insertion order is already topological (enforced by add)."""
+        if self._order is None:
+            self._order = list(self._nodes)
+        return self._order
+
+    def edges(self) -> list[tuple[str, str]]:
+        return [
+            (upstream, node.node_id)
+            for node in self._nodes.values()
+            for upstream in node.inputs
+        ]
+
+    def operator_count(self) -> int:
+        """Nodes that occupy a DP when firing (everything but INPUT)."""
+        return sum(1 for n in self._nodes.values() if n.op is not DFOp.INPUT)
+
+    def validate(self) -> None:
+        if not self.output_names:
+            raise ProgramError(f"graph {self.name!r} has no OUTPUT node")
+
+    # -- reference semantics ----------------------------------------------
+
+    def evaluate(self, inputs: "dict[str, int] | None" = None) -> dict[str, int]:
+        """Pure functional evaluation — the semantic ground truth that
+        every machine execution is checked against."""
+        self.validate()
+        bound = dict(inputs or {})
+        missing = set(self.input_names) - set(bound)
+        if missing:
+            raise ProgramError(f"unbound dataflow inputs: {sorted(missing)}")
+        values: dict[str, int] = {}
+        for node_id in self.topological_order():
+            node = self._nodes[node_id]
+            if node.op is DFOp.INPUT:
+                values[node_id] = bound[node_id]
+            elif node.op is DFOp.CONST:
+                assert node.value is not None
+                values[node_id] = node.value
+            elif node.op is DFOp.OUTPUT:
+                values[node_id] = values[node.inputs[0]]
+            else:
+                values[node_id] = _apply(op=node.op, args=[values[i] for i in node.inputs])
+        return {name: values[name] for name in self.output_names}
+
+
+class DataflowSubtype(enum.Enum):
+    """The four DMP sub-types of Fig. 3 (plus the uni-processor DUP)."""
+
+    DUP = ("DUP", False, False)
+    DMP_I = ("DMP-I", False, False)
+    DMP_II = ("DMP-II", False, True)
+    DMP_III = ("DMP-III", True, False)
+    DMP_IV = ("DMP-IV", True, True)
+
+    def __init__(self, label: str, dm_switched: bool, dp_switched: bool):
+        self.label = label
+        self.dm_switched = dm_switched    # DP-DM crossbar (shared memory path)
+        self.dp_switched = dp_switched    # DP-DP crossbar (direct token path)
+
+    @property
+    def cross_partition_latency(self) -> int | None:
+        """Extra cycles for a value crossing DPs; ``None`` = impossible.
+
+        A DP-DP crossbar forwards tokens directly (1 cycle); without it, a
+        DP-DM crossbar lets the producer write and the consumer read a
+        shared bank (2 cycles); DMP-I has neither path.
+        """
+        if self.dp_switched:
+            return 1
+        if self.dm_switched:
+            return 2
+        return None
+
+
+@dataclass
+class _PendingValue:
+    value: int
+    ready_at: int
+
+
+class DataflowMachine:
+    """``n`` data processors firing a static dataflow graph.
+
+    Parameters
+    ----------
+    n_dps:
+        Data-processor count; 1 models DUP.
+    subtype:
+        The DMP sub-type governing cross-partition communication.
+    placement:
+        Optional explicit node->DP map; defaults to round-robin over the
+        topological order (INPUT nodes live with their first consumer).
+    """
+
+    def __init__(
+        self,
+        n_dps: int,
+        subtype: DataflowSubtype = DataflowSubtype.DMP_IV,
+        *,
+        placement: "dict[str, int] | None" = None,
+    ):
+        if n_dps <= 0:
+            raise ValueError("n_dps must be positive")
+        if n_dps == 1 and subtype is not DataflowSubtype.DUP:
+            # A single DP is exactly the DUP class.
+            subtype = DataflowSubtype.DUP
+        if n_dps > 1 and subtype is DataflowSubtype.DUP:
+            raise ValueError("DUP has exactly one data processor")
+        self.n_dps = n_dps
+        self.subtype = subtype
+        self._placement_override = dict(placement) if placement else None
+
+    # -- capability view -----------------------------------------------------
+
+    def capabilities(self) -> set[Capability]:
+        caps = {Capability.DATAFLOW_EXECUTION}
+        if self.n_dps > 1:
+            caps.add(Capability.DATA_PARALLEL)
+        if self.subtype.dp_switched:
+            caps.add(Capability.LANE_SHUFFLE)
+        if self.subtype.dm_switched:
+            caps.add(Capability.GLOBAL_MEMORY)
+        return caps
+
+    # -- placement ---------------------------------------------------------
+
+    def place(self, graph: DataflowGraph) -> dict[str, int]:
+        """Node -> DP assignment used by :meth:`run`."""
+        if self._placement_override is not None:
+            placement = dict(self._placement_override)
+            unknown = set(placement) - set(graph.nodes)
+            if unknown:
+                raise ProgramError(f"placement names unknown nodes: {sorted(unknown)}")
+            for node_id in graph.topological_order():
+                if node_id not in placement:
+                    raise ProgramError(f"placement misses node {node_id!r}")
+                if not 0 <= placement[node_id] < self.n_dps:
+                    raise ProgramError(
+                        f"placement of {node_id!r} onto DP "
+                        f"{placement[node_id]} exceeds 0..{self.n_dps - 1}"
+                    )
+            return placement
+        placement: dict[str, int] = {}
+        cursor = 0
+        for node_id in graph.topological_order():
+            node = graph.node(node_id)
+            if node.op is DFOp.INPUT:
+                continue  # assigned with first consumer below
+            placement[node_id] = cursor % self.n_dps
+            cursor += 1
+        for node_id in graph.topological_order():
+            node = graph.node(node_id)
+            if node.op is DFOp.INPUT:
+                consumers = [
+                    placement[n.node_id]
+                    for n in graph.nodes.values()
+                    if node_id in n.inputs
+                ]
+                placement[node_id] = consumers[0] if consumers else 0
+        return placement
+
+    def _check_feasible(self, graph: DataflowGraph, placement: dict[str, int]) -> None:
+        latency = self.subtype.cross_partition_latency
+        if latency is not None or self.n_dps == 1:
+            return
+        crossings = [
+            (src, dst)
+            for src, dst in graph.edges()
+            if placement[src] != placement[dst]
+        ]
+        if crossings:
+            raise CapabilityError(
+                f"{self.subtype.label} has no inter-DP path (neither DP-DP "
+                f"nor DP-DM switch) but the placement crosses partitions on "
+                f"{len(crossings)} edge(s), e.g. {crossings[0][0]!r}->"
+                f"{crossings[0][1]!r}"
+            )
+
+    # -- execution ------------------------------------------------------------
+
+    def run(
+        self,
+        graph: DataflowGraph,
+        inputs: "dict[str, int] | None" = None,
+        *,
+        max_cycles: int = 100_000,
+    ) -> ExecutionResult:
+        """Fire the graph to completion; outputs match graph.evaluate()."""
+        graph.validate()
+        placement = self.place(graph)
+        self._check_feasible(graph, placement)
+        bound = dict(inputs or {})
+        missing = set(graph.input_names) - set(bound)
+        if missing:
+            raise ProgramError(f"unbound dataflow inputs: {sorted(missing)}")
+
+        cross_latency = self.subtype.cross_partition_latency or 0
+        # value availability per consumer side: (node, consumer) -> ready_at
+        produced: dict[str, _PendingValue] = {}
+        for name in graph.input_names:
+            produced[name] = _PendingValue(bound[name], ready_at=0)
+        fired: set[str] = set(graph.input_names)
+        pending = [
+            node_id
+            for node_id in graph.topological_order()
+            if node_id not in fired
+        ]
+        operations = 0
+        cycle = 0
+        while pending:
+            cycle += 1
+            if cycle > max_cycles:
+                raise ProgramError("dataflow execution exceeded max_cycles")
+            busy: set[int] = set()
+            fired_now: list[str] = []
+            for node_id in pending:
+                dp = placement[node_id]
+                if dp in busy:
+                    continue
+                node = graph.node(node_id)
+                ready = True
+                for upstream in node.inputs:
+                    token = produced.get(upstream)
+                    if token is None:
+                        ready = False
+                        break
+                    arrival = token.ready_at
+                    if placement[upstream] != dp:
+                        arrival += cross_latency
+                    if arrival > cycle - 1:
+                        ready = False
+                        break
+                if not ready:
+                    continue
+                busy.add(dp)
+                if node.op is DFOp.CONST:
+                    assert node.value is not None
+                    result = node.value
+                elif node.op is DFOp.OUTPUT:
+                    result = produced[node.inputs[0]].value
+                else:
+                    result = _apply(
+                        node.op, [produced[u].value for u in node.inputs]
+                    )
+                produced[node_id] = _PendingValue(result, ready_at=cycle)
+                fired_now.append(node_id)
+                operations += 1
+            if not fired_now and pending:
+                # No DP could fire: every remaining node waits on in-flight
+                # tokens; advance time (idle cycle).
+                earliest = None
+                for node_id in pending:
+                    node = graph.node(node_id)
+                    arrivals = []
+                    ok = True
+                    for upstream in node.inputs:
+                        token = produced.get(upstream)
+                        if token is None:
+                            ok = False
+                            break
+                        arrival = token.ready_at
+                        if placement[upstream] != placement[node_id]:
+                            arrival += cross_latency
+                        arrivals.append(arrival)
+                    if ok:
+                        worst = max(arrivals, default=0)
+                        earliest = worst if earliest is None else min(earliest, worst)
+                if earliest is None:
+                    raise ProgramError(
+                        "dataflow deadlock: remaining nodes depend on "
+                        "never-produced values"
+                    )
+                cycle = max(cycle, earliest)
+            for node_id in fired_now:
+                pending.remove(node_id)
+                fired.add(node_id)
+
+        outputs = {name: produced[name].value for name in graph.output_names}
+        return ExecutionResult(
+            cycles=cycle,
+            operations=operations,
+            outputs=outputs,
+            stats={
+                "machine": self.subtype.label,
+                "n_dps": self.n_dps,
+                "graph": graph.name,
+                "nodes": len(graph),
+            },
+        )
+
+    # -- streaming ------------------------------------------------------------
+
+    def run_stream(
+        self,
+        graph: DataflowGraph,
+        waves: "list[dict[str, int]]",
+        *,
+        max_cycles: int = 1_000_000,
+    ) -> ExecutionResult:
+        """Pipelined execution of successive input waves.
+
+        Streaming is the natural operating mode of the surveyed data-flow
+        fabrics (Colt's wormhole streams, PipeRench's virtualised
+        pipeline): while one wave's late operators fire, the next wave's
+        early operators already occupy idle DPs. The model replicates
+        the graph per wave (tags tokens by wave) and lets the ordinary
+        firing rule overlap them — pipelining *emerges* from dataflow
+        scheduling rather than being bolted on.
+
+        Returns per-wave outputs in ``outputs["waves"]`` and the
+        steady-state throughput (waves per cycle) in the stats.
+        """
+        if not waves:
+            raise ProgramError("a stream needs at least one input wave")
+        graph.validate()
+        combined = DataflowGraph(name=f"{graph.name}@x{len(waves)}")
+        combined_inputs: dict[str, int] = {}
+        for wave_index, wave in enumerate(waves):
+            missing = set(graph.input_names) - set(wave)
+            if missing:
+                raise ProgramError(
+                    f"wave {wave_index} misses inputs: {sorted(missing)}"
+                )
+            rename = {
+                node_id: f"w{wave_index}__{node_id}"
+                for node_id in graph.nodes
+            }
+            for node_id in graph.topological_order():
+                node = graph.node(node_id)
+                if node.op is DFOp.INPUT:
+                    combined.input(rename[node_id])
+                    combined_inputs[rename[node_id]] = wave[node_id]
+                elif node.op is DFOp.CONST:
+                    assert node.value is not None
+                    combined.const(rename[node_id], node.value)
+                elif node.op is DFOp.OUTPUT:
+                    combined.output(rename[node_id], rename[node.inputs[0]])
+                else:
+                    combined.add(
+                        rename[node_id],
+                        node.op,
+                        *[rename[upstream] for upstream in node.inputs],
+                    )
+        result = self.run(combined, combined_inputs, max_cycles=max_cycles)
+        per_wave = [
+            {
+                name: result.outputs[f"w{wave_index}__{name}"]
+                for name in graph.output_names
+            }
+            for wave_index in range(len(waves))
+        ]
+        result.outputs = {"waves": per_wave}
+        result.stats["waves"] = len(waves)
+        result.stats["throughput_waves_per_cycle"] = (
+            len(waves) / result.cycles if result.cycles else 0.0
+        )
+        return result

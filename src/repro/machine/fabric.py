@@ -1,0 +1,257 @@
+"""A fine-grained LUT fabric — the physical substrate of the USP class.
+
+Every cell is a ``k``-input lookup table with an optionally registered
+output, and — matching the taxonomy's ``vxv`` cells — any cell may source
+any other cell's output, any external input, or a constant. Cells carry
+no fixed role: configuration alone decides whether a region behaves as an
+IP, a DP or a memory, which is precisely the paper's universal-flow
+argument.
+
+The simulation is genuinely gate-level: combinational cells settle in
+topological order each cycle, then registered cells latch. Configuration
+cost is counted per cell (truth table + input-select words), making the
+USP's configuration overhead a measured number instead of an estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["Source", "CellConfig", "LutFabric"]
+
+#: A cell-input source: ("cell", index) | ("input", name) | ("const", 0 or 1)
+Source = tuple[str, "int | str"]
+
+
+def _validate_source(source: Source) -> None:
+    if not isinstance(source, tuple) or len(source) != 2:
+        raise ConfigurationError(f"malformed source {source!r}")
+    kind, ref = source
+    if kind == "cell":
+        if not isinstance(ref, int) or ref < 0:
+            raise ConfigurationError(f"bad cell reference {ref!r}")
+    elif kind == "input":
+        if not isinstance(ref, str) or not ref:
+            raise ConfigurationError(f"bad input reference {ref!r}")
+    elif kind == "const":
+        if ref not in (0, 1):
+            raise ConfigurationError(f"const source must be 0 or 1, got {ref!r}")
+    else:
+        raise ConfigurationError(f"unknown source kind {kind!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class CellConfig:
+    """Configuration of one LUT cell.
+
+    ``truth_table`` is the function as an integer: output bit for input
+    pattern ``p`` is ``(truth_table >> p) & 1`` where ``p`` packs input 0
+    into the least-significant position.
+    """
+
+    sources: tuple[Source, ...]
+    truth_table: int
+    registered: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise ConfigurationError("a cell needs at least one input source")
+        for source in self.sources:
+            _validate_source(source)
+        patterns = 1 << len(self.sources)
+        if not 0 <= self.truth_table < (1 << patterns):
+            raise ConfigurationError(
+                f"truth table {self.truth_table:#x} exceeds {patterns} patterns"
+            )
+
+
+class LutFabric:
+    """``n_cells`` k-input LUTs over a global (vxv) routing fabric."""
+
+    def __init__(self, n_cells: int, *, k: int = 4):
+        if n_cells <= 0:
+            raise ConfigurationError("fabric needs at least one cell")
+        if not 1 <= k <= 6:
+            raise ConfigurationError("LUT arity must lie in 1..6")
+        self.n_cells = n_cells
+        self.k = k
+        self._configs: dict[int, CellConfig] = {}
+        self._outputs: dict[str, int] = {}
+        self._state: list[int] = [0] * n_cells
+        self._order: list[int] | None = None
+        self._input_names: set[str] = set()
+
+    # -- configuration -----------------------------------------------------
+
+    def configure_cell(self, index: int, config: CellConfig) -> None:
+        if not 0 <= index < self.n_cells:
+            raise ConfigurationError(
+                f"cell index {index} outside fabric of {self.n_cells} cells"
+            )
+        if len(config.sources) > self.k:
+            raise ConfigurationError(
+                f"cell {index}: {len(config.sources)} sources exceed k={self.k}"
+            )
+        for source in config.sources:
+            kind, ref = source
+            if kind == "cell" and ref >= self.n_cells:
+                raise ConfigurationError(
+                    f"cell {index} sources missing cell {ref}"
+                )
+            if kind == "input":
+                self._input_names.add(ref)
+        self._configs[index] = config
+        self._order = None
+
+    def name_output(self, name: str, cell: int) -> None:
+        """Expose a cell's output under a symbolic name."""
+        if cell not in self._configs:
+            raise ConfigurationError(f"cannot expose unconfigured cell {cell}")
+        self._outputs[name] = cell
+
+    def clear(self) -> None:
+        self._configs.clear()
+        self._outputs.clear()
+        self._state = [0] * self.n_cells
+        self._order = None
+        self._input_names.clear()
+
+    @property
+    def used_cells(self) -> int:
+        return len(self._configs)
+
+    @property
+    def utilization(self) -> float:
+        return self.used_cells / self.n_cells
+
+    @property
+    def input_names(self) -> set[str]:
+        return set(self._input_names)
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        return tuple(self._outputs)
+
+    # -- cost accounting ------------------------------------------------------
+
+    def config_bits_per_cell(self) -> int:
+        """Truth table + per-input source select + register flag."""
+        source_space = self.n_cells + len(self._input_names) + 2  # cells+inputs+consts
+        select = self.k * max(1, math.ceil(math.log2(max(source_space, 2))))
+        return (1 << self.k) + select + 1
+
+    def config_bits(self) -> int:
+        """Total configuration bits of the *used* portion of the fabric."""
+        return self.used_cells * self.config_bits_per_cell()
+
+    def config_bits_full(self) -> int:
+        """Bits to program the whole fabric (what a bitstream carries)."""
+        return self.n_cells * self.config_bits_per_cell()
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _topological_order(self) -> list[int]:
+        """Combinational evaluation order; registered outputs break cycles."""
+        if self._order is not None:
+            return self._order
+        comb_deps: dict[int, list[int]] = {}
+        for index, config in self._configs.items():
+            if config.registered:
+                continue  # evaluated too, but ordering handled as comb node
+            deps = []
+            for kind, ref in config.sources:
+                if kind == "cell":
+                    upstream = self._configs.get(ref)  # type: ignore[arg-type]
+                    if upstream is not None and not upstream.registered:
+                        deps.append(ref)
+            comb_deps[index] = deps  # type: ignore[assignment]
+        order: list[int] = []
+        visiting: set[int] = set()
+        done: set[int] = set()
+
+        def visit(node: int) -> None:
+            if node in done:
+                return
+            if node in visiting:
+                raise ConfigurationError(
+                    f"combinational loop through cell {node} (insert a "
+                    "registered cell to break it)"
+                )
+            visiting.add(node)
+            for dep in comb_deps.get(node, ()):
+                visit(dep)
+            visiting.discard(node)
+            done.add(node)
+            order.append(node)
+
+        for node in comb_deps:
+            visit(node)
+        self._order = order
+        return order
+
+    def _source_value(
+        self, source: Source, inputs: dict[str, int], values: list[int]
+    ) -> int:
+        kind, ref = source
+        if kind == "const":
+            return int(ref)
+        if kind == "input":
+            try:
+                return inputs[ref] & 1  # type: ignore[index]
+            except KeyError as exc:
+                raise ConfigurationError(f"unbound fabric input {ref!r}") from exc
+        return values[ref] & 1  # type: ignore[index]
+
+    def _evaluate_cell(
+        self, config: CellConfig, inputs: dict[str, int], values: list[int]
+    ) -> int:
+        pattern = 0
+        for position, source in enumerate(config.sources):
+            pattern |= self._source_value(source, inputs, values) << position
+        return (config.truth_table >> pattern) & 1
+
+    def step(self, inputs: "dict[str, int] | None" = None) -> dict[str, int]:
+        """One clock cycle: settle combinational logic, latch registers.
+
+        Returns the named outputs *after* the cycle. Registered cells see
+        pre-cycle values of their sources (standard synchronous
+        semantics).
+        """
+        bound = dict(inputs or {})
+        values = list(self._state)
+        # Combinational settle.
+        for index in self._topological_order():
+            config = self._configs[index]
+            values[index] = self._evaluate_cell(config, bound, values)
+        # Register latch: registered cells sample the settled values.
+        next_state = list(values)
+        for index, config in self._configs.items():
+            if config.registered:
+                next_state[index] = self._evaluate_cell(config, bound, values)
+        self._state = next_state
+        return {name: self._state[cell] for name, cell in self._outputs.items()}
+
+    def peek(self, name: str) -> int:
+        """Current value of a named output without advancing the clock."""
+        try:
+            return self._state[self._outputs[name]]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown output {name!r}") from exc
+
+    def run(
+        self,
+        cycles: int,
+        inputs: "dict[str, int] | None" = None,
+    ) -> dict[str, int]:
+        """Clock the fabric ``cycles`` times with constant inputs."""
+        if cycles < 0:
+            raise ConfigurationError("cycle count must be non-negative")
+        outputs: dict[str, int] = {
+            name: self._state[cell] for name, cell in self._outputs.items()
+        }
+        for _ in range(cycles):
+            outputs = self.step(inputs)
+        return outputs

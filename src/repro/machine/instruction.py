@@ -1,0 +1,53 @@
+"""The instruction-flow uni-processor (IUP) — the Von Neumann machine.
+
+One IP fetches from one IM and drives one DP over direct links (Table I
+row 6). It executes the scalar core ISA and nothing else: programs using
+lane, global-memory or message extensions are refused before execution
+starts, demonstrating the flexibility floor of the IUP class.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import CapabilityError
+from repro.machine.base import Capability, ExecutionResult, check_capabilities
+from repro.machine.program import Program, required_capabilities
+from repro.machine.scalar import ExtensionPort, ScalarCore
+
+__all__ = ["Uniprocessor"]
+
+
+class Uniprocessor:
+    """IUP: a single scalar core behind a fetch-decode-execute loop."""
+
+    def __init__(self, *, memory_size: int = 4096):
+        self.memory_size = memory_size
+        self.core = ScalarCore(core_id=0, memory_size=memory_size)
+        self._port = ExtensionPort()  # refuses every extension
+
+    def capabilities(self) -> set[Capability]:
+        return {Capability.INSTRUCTION_EXECUTION}
+
+    def reset(self) -> None:
+        self.core = ScalarCore(core_id=0, memory_size=self.memory_size)
+
+    def load_memory(self, base: int, values: "list[int]") -> None:
+        """Initialise the data memory before a run."""
+        self.core.write_block(base, values)
+
+    def read_memory(self, base: int, count: int) -> list[int]:
+        return self.core.read_block(base, count)
+
+    def run(self, program: Program, *, max_cycles: int = 1_000_000) -> ExecutionResult:
+        """Execute to HALT; one instruction per cycle."""
+        check_capabilities(
+            self.capabilities(), required_capabilities(program), machine="IUP"
+        )
+        cycles, executed = self.core.run_to_halt(
+            program, self._port, max_cycles=max_cycles
+        )
+        return ExecutionResult(
+            cycles=cycles,
+            operations=executed,
+            outputs={"registers": list(self.core.registers)},
+            stats={"machine": "IUP", "program": program.name},
+        )

@@ -1,0 +1,388 @@
+"""Kernel library: the same small workloads expressed for every paradigm.
+
+The morphability argument of §III-B ("IMP-I can act as an array
+processor…", "IAP-I can act as a uni-processor…") is only checkable if
+the *same computation* exists in every machine's native form. This module
+provides that: each kernel has a pure-Python reference plus builders for
+the scalar ISA, the SIMD array ISA, the message-passing MIMD form and the
+dataflow-graph form.
+
+Data layout conventions (shared with the machines' scatter/gather
+helpers): vector element ``i`` lives in bank ``i % n`` at offset
+``base + i // n``; scalar machines use a single flat bank.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ProgramError
+from repro.machine.dataflow import DataflowGraph
+from repro.machine.program import Program, assemble
+
+__all__ = [
+    "vector_add_reference",
+    "dot_product_reference",
+    "reduction_reference",
+    "fir_reference",
+    "scalar_vector_add",
+    "scalar_dot_product",
+    "scalar_fir",
+    "simd_vector_add",
+    "simd_reduction_shuffle",
+    "simd_gather_reverse",
+    "mimd_ring_reduction",
+    "mimd_shared_memory_sum",
+    "dataflow_vector_add",
+    "dataflow_dot_product",
+    "dataflow_fir",
+    "dataflow_polynomial",
+]
+
+
+# ---------------------------------------------------------------------------
+# References
+# ---------------------------------------------------------------------------
+
+
+def vector_add_reference(a: "list[int]", b: "list[int]") -> list[int]:
+    if len(a) != len(b):
+        raise ProgramError("vector length mismatch")
+    return [x + y for x, y in zip(a, b)]
+
+
+def dot_product_reference(a: "list[int]", b: "list[int]") -> int:
+    if len(a) != len(b):
+        raise ProgramError("vector length mismatch")
+    return sum(x * y for x, y in zip(a, b))
+
+
+def reduction_reference(values: "list[int]") -> int:
+    return sum(values)
+
+
+def fir_reference(signal: "list[int]", taps: "list[int]") -> list[int]:
+    """Causal FIR: y[i] = sum_k taps[k] * signal[i-k] (zero-padded)."""
+    out = []
+    for i in range(len(signal)):
+        acc = 0
+        for k, tap in enumerate(taps):
+            if i - k >= 0:
+                acc += tap * signal[i - k]
+        out.append(acc)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Scalar (IUP) kernels
+# ---------------------------------------------------------------------------
+
+
+def scalar_vector_add(length: int, *, a_base: int = 0, b_base: int = 256, out_base: int = 512) -> Program:
+    """Element-wise add over a flat bank; result at ``out_base``."""
+    if length <= 0:
+        raise ProgramError("length must be positive")
+    return assemble(
+        f"""
+        ; r1=i, r2=length, r3..r5 scratch
+            ldi r1, 0
+            ldi r2, {length}
+        loop:
+            ld  r3, r1, {a_base}
+            ld  r4, r1, {b_base}
+            add r5, r3, r4
+            st  r1, r5, {out_base}
+            addi r1, r1, 1
+            bne r1, r2, loop
+            halt
+        """,
+        name=f"scalar-vector-add-{length}",
+    )
+
+
+def scalar_dot_product(length: int, *, a_base: int = 0, b_base: int = 256) -> Program:
+    """Dot product over a flat bank; result left in r6."""
+    if length <= 0:
+        raise ProgramError("length must be positive")
+    return assemble(
+        f"""
+            ldi r1, 0
+            ldi r2, {length}
+            ldi r6, 0
+        loop:
+            ld  r3, r1, {a_base}
+            ld  r4, r1, {b_base}
+            mul r5, r3, r4
+            add r6, r6, r5
+            addi r1, r1, 1
+            bne r1, r2, loop
+            halt
+        """,
+        name=f"scalar-dot-{length}",
+    )
+
+
+def scalar_fir(length: int, n_taps: int, *, sig_base: int = 0, tap_base: int = 256, out_base: int = 512) -> Program:
+    """Causal FIR over a flat bank (bounds handled with an inner guard)."""
+    if length <= 0 or n_taps <= 0:
+        raise ProgramError("length and taps must be positive")
+    return assemble(
+        f"""
+        ; r1=i, r2=length, r7=k, r8=taps, r9=i-k
+            ldi r1, 0
+            ldi r2, {length}
+        outer:
+            ldi r6, 0          ; acc
+            ldi r7, 0          ; k
+            ldi r8, {n_taps}
+        inner:
+            sub r9, r1, r7     ; i-k
+            blt r9, r0, skip   ; r0 == 0: skip negative indices
+            ld  r3, r7, {tap_base}
+            ld  r4, r9, {sig_base}
+            mul r5, r3, r4
+            add r6, r6, r5
+        skip:
+            addi r7, r7, 1
+            bne r7, r8, inner
+            st  r1, r6, {out_base}
+            addi r1, r1, 1
+            bne r1, r2, outer
+            halt
+        """,
+        name=f"scalar-fir-{length}x{n_taps}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# SIMD (IAP) kernels
+# ---------------------------------------------------------------------------
+
+
+def simd_vector_add(elements_per_lane: int, *, a_base: int = 0, b_base: int = 64, out_base: int = 128) -> Program:
+    """Each lane adds its slice of scattered vectors (works on IAP-I)."""
+    if elements_per_lane <= 0:
+        raise ProgramError("elements_per_lane must be positive")
+    return assemble(
+        f"""
+            ldi r1, 0
+            ldi r2, {elements_per_lane}
+        loop:
+            ld  r3, r1, {a_base}
+            ld  r4, r1, {b_base}
+            add r5, r3, r4
+            st  r1, r5, {out_base}
+            addi r1, r1, 1
+            bne r1, r2, loop
+            halt
+        """,
+        name=f"simd-vector-add-{elements_per_lane}",
+    )
+
+
+def simd_reduction_shuffle(n_lanes: int, *, value_addr: int = 0) -> Program:
+    """Log-step tree reduction using SHUF (requires the DP-DP switch).
+
+    Each lane starts with dm[value_addr]; after log2(n) shuffle-add steps
+    lane 0's r3 holds the total. ``n_lanes`` must be a power of two.
+    """
+    if n_lanes < 2 or n_lanes & (n_lanes - 1):
+        raise ProgramError("shuffle reduction needs a power-of-two lane count")
+    lines = [
+        "    laneid r1",
+        f"    ld  r3, r0, {value_addr}",
+    ]
+    stride = n_lanes // 2
+    while stride >= 1:
+        lines += [
+            f"    ldi r4, {stride}",
+            "    add r5, r1, r4",     # partner lane = laneid + stride
+            "    shuf r6, r3, r5",    # fetch partner's r3 (mod n wraps)
+            "    add r3, r3, r6",
+        ]
+        stride //= 2
+    lines.append("    halt")
+    return Program(
+        assemble("\n".join(lines)).instructions,
+        name=f"simd-shuffle-reduce-{n_lanes}",
+    )
+
+
+def simd_gather_reverse(n_lanes: int, bank_size: int, *, src_addr: int = 0, dst_addr: int = 1) -> Program:
+    """Lane ``i`` loads lane ``n-1-i``'s element via GLD (needs DP-DM switch)."""
+    if n_lanes < 2:
+        raise ProgramError("gather reverse needs at least two lanes")
+    return assemble(
+        f"""
+            laneid r1
+            ldi r2, {n_lanes - 1}
+            sub r3, r2, r1        ; partner = n-1-lane
+            ldi r4, {bank_size}
+            mul r5, r3, r4        ; partner bank base
+            gld r6, r5, {src_addr}
+            st  r0, r6, {dst_addr}
+            halt
+        """,
+        name=f"simd-gather-reverse-{n_lanes}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# MIMD (IMP) kernels
+# ---------------------------------------------------------------------------
+
+
+def mimd_ring_reduction(n_cores: int, *, value_addr: int = 0) -> list[Program]:
+    """Ring all-reduce by message passing (requires DP-DP / SEND-RECV).
+
+    Every core contributes dm[value_addr]; core 0 ends with the total in
+    r6. Cores pass partial sums around the ring.
+    """
+    if n_cores < 2:
+        raise ProgramError("ring reduction needs at least two cores")
+    programs = []
+    for core in range(n_cores):
+        succ = (core + 1) % n_cores
+        pred = (core - 1) % n_cores
+        if core == 0:
+            text = f"""
+                ld  r6, r0, {value_addr}
+                ldi r1, {succ}
+                send r1, r6
+                ldi r2, {pred}
+                recv r6, r2
+                halt
+            """
+        else:
+            text = f"""
+                ld  r3, r0, {value_addr}
+                ldi r2, {pred}
+                recv r5, r2
+                add r6, r5, r3
+                ldi r1, {succ}
+                send r1, r6
+                halt
+            """
+        programs.append(assemble(text, name=f"ring-reduce-core{core}"))
+    return programs
+
+
+def mimd_shared_memory_sum(
+    n_cores: int,
+    *,
+    value_addr: int = 0,
+    result_addr: int = 1,
+    bank_size: int = 1024,
+) -> list[Program]:
+    """Core 0 gathers every bank's value through GLD (needs DP-DM switch).
+
+    Workers simply halt (their contribution already sits in their bank);
+    core 0 sums bank[i][value_addr] into its r6 and stores at
+    result_addr. Barriers keep the phases ordered. ``bank_size`` must
+    match the target machine's bank size (global addresses are
+    bank*bank_size+offset).
+    """
+    if n_cores < 2:
+        raise ProgramError("shared-memory sum needs at least two cores")
+    worker = assemble(
+        """
+            barrier
+            halt
+        """,
+        name="shared-sum-worker",
+    )
+    gather_lines = ["    barrier", "    ldi r6, 0"]
+    for core in range(n_cores):
+        gather_lines += [
+            f"    ldi r1, {core * bank_size + value_addr}",
+            "    gld r2, r1, 0",
+            "    add r6, r6, r2",
+        ]
+    gather_lines += [f"    st r0, r6, {result_addr}", "    halt"]
+    leader = Program(
+        assemble("\n".join(gather_lines)).instructions, name="shared-sum-leader"
+    )
+    return [leader] + [worker] * (n_cores - 1)
+
+
+# ---------------------------------------------------------------------------
+# Dataflow kernels
+# ---------------------------------------------------------------------------
+
+
+def dataflow_vector_add(length: int) -> DataflowGraph:
+    """Fully parallel element-wise add: one ADD node per element."""
+    if length <= 0:
+        raise ProgramError("length must be positive")
+    graph = DataflowGraph(name=f"df-vector-add-{length}")
+    for i in range(length):
+        graph.input(f"a{i}")
+        graph.input(f"b{i}")
+        graph.add(f"s{i}", "add", f"a{i}", f"b{i}")
+        graph.output(f"y{i}", f"s{i}")
+    return graph
+
+
+def dataflow_dot_product(length: int) -> DataflowGraph:
+    """Multiply lanes then a balanced adder tree."""
+    if length <= 0:
+        raise ProgramError("length must be positive")
+    graph = DataflowGraph(name=f"df-dot-{length}")
+    level = []
+    for i in range(length):
+        graph.input(f"a{i}")
+        graph.input(f"b{i}")
+        graph.add(f"p{i}", "mul", f"a{i}", f"b{i}")
+        level.append(f"p{i}")
+    round_id = 0
+    while len(level) > 1:
+        merged = []
+        for i in range(0, len(level) - 1, 2):
+            node = f"t{round_id}_{i // 2}"
+            graph.add(node, "add", level[i], level[i + 1])
+            merged.append(node)
+        if len(level) % 2:
+            merged.append(level[-1])
+        level = merged
+        round_id += 1
+    graph.output("dot", level[0])
+    return graph
+
+
+def dataflow_fir(length: int, taps: "list[int]") -> DataflowGraph:
+    """Unrolled causal FIR with constant taps."""
+    if length <= 0 or not taps:
+        raise ProgramError("length and taps must be non-trivial")
+    graph = DataflowGraph(name=f"df-fir-{length}x{len(taps)}")
+    for i in range(length):
+        graph.input(f"x{i}")
+    for k, tap in enumerate(taps):
+        graph.const(f"c{k}", tap)
+    for i in range(length):
+        terms = []
+        for k in range(len(taps)):
+            if i - k < 0:
+                continue
+            node = f"m{i}_{k}"
+            graph.add(node, "mul", f"c{k}", f"x{i - k}")
+            terms.append(node)
+        acc = terms[0]
+        for j, term in enumerate(terms[1:], start=1):
+            node = f"a{i}_{j}"
+            graph.add(node, "add", acc, term)
+            acc = node
+        graph.output(f"y{i}", acc)
+    return graph
+
+
+def dataflow_polynomial(coefficients: "list[int]") -> DataflowGraph:
+    """Horner evaluation of sum(c_k * x^k) as a dataflow chain."""
+    if not coefficients:
+        raise ProgramError("need at least one coefficient")
+    graph = DataflowGraph(name=f"df-poly-{len(coefficients) - 1}")
+    graph.input("x")
+    acc = graph.const("cN", coefficients[-1])
+    for index in range(len(coefficients) - 2, -1, -1):
+        mul = graph.add(f"h{index}m", "mul", acc, "x")
+        graph.const(f"c{index}", coefficients[index])
+        acc = graph.add(f"h{index}a", "add", mul, f"c{index}")
+    graph.output("y", acc)
+    return graph

@@ -1,0 +1,323 @@
+"""Extended kernel library: matrix multiply, prefix scan and stencils.
+
+Same contract as :mod:`repro.machine.kernels` — every kernel has a pure
+Python reference plus per-paradigm builders — covering the denser
+workloads the surveyed architectures were actually built for (DSP
+filter banks, linear algebra, scan-based primitives).
+
+Data layouts: matrices are flat row-major; SIMD kernels use one lane
+per row/element with lane-local banks.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ProgramError
+from repro.machine.dataflow import DataflowGraph
+from repro.machine.program import Program, assemble
+
+__all__ = [
+    "matmul_reference",
+    "prefix_sum_reference",
+    "stencil3_reference",
+    "scalar_matmul",
+    "scalar_prefix_sum",
+    "scalar_stencil3",
+    "simd_matmul_rowwise",
+    "simd_prefix_scan",
+    "dataflow_matmul",
+    "dataflow_stencil3",
+    "dataflow_prefix_sum",
+]
+
+
+# ---------------------------------------------------------------------------
+# References
+# ---------------------------------------------------------------------------
+
+
+def matmul_reference(a: "list[int]", b: "list[int]", n: int) -> list[int]:
+    """Row-major n x n product."""
+    if len(a) != n * n or len(b) != n * n:
+        raise ProgramError("matrices must be flat row-major n*n")
+    out = [0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc += a[i * n + k] * b[k * n + j]
+            out[i * n + j] = acc
+    return out
+
+
+def prefix_sum_reference(values: "list[int]") -> list[int]:
+    """Inclusive prefix sum."""
+    out = []
+    acc = 0
+    for value in values:
+        acc += value
+        out.append(acc)
+    return out
+
+
+def stencil3_reference(values: "list[int]", weights: "tuple[int, int, int]") -> list[int]:
+    """1-D 3-point stencil with zero boundary: y[i] = w0*x[i-1]+w1*x[i]+w2*x[i+1]."""
+    n = len(values)
+    out = []
+    for i in range(n):
+        left = values[i - 1] if i - 1 >= 0 else 0
+        right = values[i + 1] if i + 1 < n else 0
+        out.append(weights[0] * left + weights[1] * values[i] + weights[2] * right)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Scalar (IUP) kernels
+# ---------------------------------------------------------------------------
+
+
+def scalar_matmul(n: int, *, a_base: int = 0, b_base: int = 256, out_base: int = 512) -> Program:
+    """Triple-loop n x n matmul over a flat bank."""
+    if n <= 0:
+        raise ProgramError("n must be positive")
+    return assemble(
+        f"""
+        ; r1=i, r2=j, r3=k, r4=n, r5..r9 scratch, r10=acc
+            ldi r4, {n}
+            ldi r1, 0
+        i_loop:
+            ldi r2, 0
+        j_loop:
+            ldi r10, 0
+            ldi r3, 0
+        k_loop:
+            mul r5, r1, r4      ; i*n
+            add r5, r5, r3      ; i*n + k
+            ld  r6, r5, {a_base}
+            mul r7, r3, r4      ; k*n
+            add r7, r7, r2      ; k*n + j
+            ld  r8, r7, {b_base}
+            mul r9, r6, r8
+            add r10, r10, r9
+            addi r3, r3, 1
+            bne r3, r4, k_loop
+            mul r5, r1, r4
+            add r5, r5, r2
+            st  r5, r10, {out_base}
+            addi r2, r2, 1
+            bne r2, r4, j_loop
+            addi r1, r1, 1
+            bne r1, r4, i_loop
+            halt
+        """,
+        name=f"scalar-matmul-{n}",
+    )
+
+
+def scalar_prefix_sum(length: int, *, in_base: int = 0, out_base: int = 256) -> Program:
+    if length <= 0:
+        raise ProgramError("length must be positive")
+    return assemble(
+        f"""
+            ldi r1, 0
+            ldi r2, {length}
+            ldi r6, 0          ; running sum
+        loop:
+            ld  r3, r1, {in_base}
+            add r6, r6, r3
+            st  r1, r6, {out_base}
+            addi r1, r1, 1
+            bne r1, r2, loop
+            halt
+        """,
+        name=f"scalar-prefix-{length}",
+    )
+
+
+def scalar_stencil3(length: int, weights: "tuple[int, int, int]", *, in_base: int = 0, out_base: int = 256) -> Program:
+    """3-point stencil with explicit zero-boundary guards."""
+    if length <= 0:
+        raise ProgramError("length must be positive")
+    w0, w1, w2 = weights
+    return assemble(
+        f"""
+        ; r1=i, r2=length, r6=acc, r7=idx, r8=limit-check scratch
+            ldi r1, 0
+            ldi r2, {length}
+        loop:
+            ld  r3, r1, {in_base}
+            ldi r4, {w1}
+            mul r6, r3, r4       ; acc = w1 * x[i]
+            ; left neighbour (skip when i == 0)
+            beq r1, r0, no_left
+            addi r7, r1, -1
+            ld  r3, r7, {in_base}
+            ldi r4, {w0}
+            mul r5, r3, r4
+            add r6, r6, r5
+        no_left:
+            ; right neighbour (skip when i == length-1)
+            addi r7, r1, 1
+            beq r7, r2, no_right
+            ld  r3, r7, {in_base}
+            ldi r4, {w2}
+            mul r5, r3, r4
+            add r6, r6, r5
+        no_right:
+            st  r1, r6, {out_base}
+            addi r1, r1, 1
+            bne r1, r2, loop
+            halt
+        """,
+        name=f"scalar-stencil3-{length}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# SIMD (IAP) kernels
+# ---------------------------------------------------------------------------
+
+
+def simd_matmul_rowwise(n: int, *, a_row_base: int = 0, b_base: int = 64, out_base: int = 640) -> Program:
+    """Lane ``i`` computes row ``i`` of the product.
+
+    Layout: each lane's bank holds its own row of A at ``a_row_base``
+    and a *full copy* of B (row-major) at ``b_base`` — all accesses are
+    lane-local, so this runs on IAP-I. The result row lands at
+    ``out_base``.
+    """
+    if n <= 0:
+        raise ProgramError("n must be positive")
+    return assemble(
+        f"""
+        ; r2=j, r3=k, r4=n, r5..r9 scratch, r10=acc
+            ldi r4, {n}
+            ldi r2, 0
+        j_loop:
+            ldi r10, 0
+            ldi r3, 0
+        k_loop:
+            ld  r6, r3, {a_row_base}   ; a[lane][k]
+            mul r7, r3, r4
+            add r7, r7, r2
+            ld  r8, r7, {b_base}       ; b[k][j]
+            mul r9, r6, r8
+            add r10, r10, r9
+            addi r3, r3, 1
+            bne r3, r4, k_loop
+            st  r2, r10, {out_base}
+            addi r2, r2, 1
+            bne r2, r4, j_loop
+            halt
+        """,
+        name=f"simd-matmul-{n}",
+    )
+
+
+def simd_prefix_scan(n_lanes: int, *, value_addr: int = 0, out_addr: int = 1) -> Program:
+    """Hillis-Steele inclusive scan across lanes via SHUF (IAP-II/IV).
+
+    Each lane starts with dm[value_addr]; afterwards dm[out_addr] holds
+    the inclusive prefix sum up to that lane. Branch-free: contributions
+    from out-of-range partners are masked with SLT/MUL arithmetic so the
+    single SIMD program counter never diverges.
+    """
+    if n_lanes < 2:
+        raise ProgramError("scan needs at least two lanes")
+    lines = [
+        "    laneid r1",
+        f"    ld  r3, r0, {value_addr}",
+    ]
+    stride = 1
+    while stride < n_lanes:
+        lines += [
+            f"    ldi r4, {stride}",
+            "    sub r5, r1, r4",      # partner = laneid - stride
+            "    shuf r6, r3, r5",     # partner's value (wraps; masked below)
+            "    slt r7, r1, r4",      # 1 when laneid < stride (no partner)
+            "    ldi r8, 1",
+            "    sub r8, r8, r7",      # mask = 1 - (laneid < stride)
+            "    mul r6, r6, r8",      # zero the wrapped contribution
+            "    add r3, r3, r6",
+        ]
+        stride *= 2
+    lines += [f"    st r0, r3, {out_addr}", "    halt"]
+    return Program(
+        assemble("\n".join(lines)).instructions,
+        name=f"simd-scan-{n_lanes}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dataflow kernels
+# ---------------------------------------------------------------------------
+
+
+def dataflow_matmul(n: int) -> DataflowGraph:
+    """Fully unrolled n x n matmul graph (inputs aij, bij; outputs cij)."""
+    if n <= 0:
+        raise ProgramError("n must be positive")
+    graph = DataflowGraph(name=f"df-matmul-{n}")
+    for i in range(n):
+        for j in range(n):
+            graph.input(f"a{i}_{j}")
+            graph.input(f"b{i}_{j}")
+    for i in range(n):
+        for j in range(n):
+            terms = []
+            for k in range(n):
+                node = f"m{i}_{j}_{k}"
+                graph.add(node, "mul", f"a{i}_{k}", f"b{k}_{j}")
+                terms.append(node)
+            acc = terms[0]
+            for idx, term in enumerate(terms[1:], start=1):
+                node = f"s{i}_{j}_{idx}"
+                graph.add(node, "add", acc, term)
+                acc = node
+            graph.output(f"c{i}_{j}", acc)
+    return graph
+
+
+def dataflow_stencil3(length: int, weights: "tuple[int, int, int]") -> DataflowGraph:
+    """Unrolled 3-point stencil with zero boundaries."""
+    if length <= 0:
+        raise ProgramError("length must be positive")
+    graph = DataflowGraph(name=f"df-stencil3-{length}")
+    for i in range(length):
+        graph.input(f"x{i}")
+    for position, weight in enumerate(weights):
+        graph.const(f"w{position}", weight)
+    for i in range(length):
+        centre = f"c{i}"
+        graph.add(centre, "mul", "w1", f"x{i}")
+        acc = centre
+        if i - 1 >= 0:
+            left = f"l{i}"
+            graph.add(left, "mul", "w0", f"x{i - 1}")
+            node = f"al{i}"
+            graph.add(node, "add", acc, left)
+            acc = node
+        if i + 1 < length:
+            right = f"r{i}"
+            graph.add(right, "mul", "w2", f"x{i + 1}")
+            node = f"ar{i}"
+            graph.add(node, "add", acc, right)
+            acc = node
+        graph.output(f"y{i}", acc)
+    return graph
+
+
+def dataflow_prefix_sum(length: int) -> DataflowGraph:
+    """Serial-dependency inclusive scan (the scan's critical path)."""
+    if length <= 0:
+        raise ProgramError("length must be positive")
+    graph = DataflowGraph(name=f"df-prefix-{length}")
+    graph.input("x0")
+    graph.output("y0", "x0")
+    previous = "x0"
+    for i in range(1, length):
+        graph.input(f"x{i}")
+        node = f"p{i}"
+        graph.add(node, "add", previous, f"x{i}")
+        graph.output(f"y{i}", node)
+        previous = node
+    return graph

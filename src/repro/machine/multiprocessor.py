@@ -1,0 +1,424 @@
+"""MIMD multiprocessors — the IMP classes.
+
+``n`` instruction processors each run their own program on their own DP
+and local DM (IMP-I is "separate Von Neumann machines"). The switched
+sites enable cross-core interaction:
+
+* a **DP-DP switch** carries messages: ``SEND``/``RECV`` over per-pair
+  FIFOs (IMP-II and friends);
+* a **DP-DM switch** builds a flat shared address space over the banks:
+  ``GLD``/``GST`` (IMP-III and friends);
+* ``BARRIER`` synchronises all cores (available on every IMP — it only
+  needs the streams, not a switch).
+
+Execution interleaves cores cycle by cycle (one instruction each per
+cycle); blocking RECV and BARRIER stall individual cores. A watchdog
+turns mutual stalls into a diagnosed deadlock error.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+from repro.core.errors import CapabilityError, ProgramError
+from repro.machine.base import Capability, ExecutionResult, check_capabilities
+from repro.machine.program import Program, required_capabilities
+from repro.machine.scalar import ExtensionPort, ScalarCore
+
+__all__ = ["MultiprocessorSubtype", "Multiprocessor"]
+
+
+def _imp_members() -> dict[str, tuple[str, bool, bool, bool, bool]]:
+    """Generate the 16 IMP sub-types from the Table-I ordinal encoding.
+
+    Ordinal bits (MSB first): IP-DP, IP-IM, DP-DM, DP-DP switched.
+    """
+    from repro.core.naming import roman
+
+    members = {}
+    for ordinal in range(1, 17):
+        bits = ordinal - 1
+        members[f"IMP_{roman(ordinal)}"] = (
+            f"IMP-{roman(ordinal)}",
+            bool(bits & 8),  # ip_dp switched
+            bool(bits & 4),  # ip_im switched
+            bool(bits & 2),  # dp_dm switched
+            bool(bits & 1),  # dp_dp switched
+        )
+    return members
+
+
+class MultiprocessorSubtype(enum.Enum):
+    """All 16 IMP sub-types, behaviourally.
+
+    The DP-side switches enable shared memory (DP-DM) and messages
+    (DP-DP) exactly as in the IAP model. The IP-side switches govern
+    instruction distribution: a switched IP-IM lets any IP fetch from
+    any instruction memory, which the model exposes as a shared task
+    pool (:meth:`Multiprocessor.run_task_pool` — cores pick up the next
+    pending program when they halt). A switched IP-DP lets IPs drive
+    any DP; behaviourally transparent in this model (contexts are
+    symmetric), it still participates in classification and costing.
+    """
+
+    locals().update(_imp_members())
+
+    def __init__(
+        self,
+        label: str,
+        ip_dp_switched: bool,
+        im_switched: bool,
+        dm_switched: bool,
+        dp_switched: bool,
+    ):
+        self.label = label
+        self.ip_dp_switched = ip_dp_switched
+        self.im_switched = im_switched
+        self.dm_switched = dm_switched
+        self.dp_switched = dp_switched
+
+
+class _CorePort(ExtensionPort):
+    """Extension semantics closing over the whole multiprocessor."""
+
+    def __init__(self, machine: "Multiprocessor"):
+        self.machine = machine
+
+    def global_load(self, core: ScalarCore, address: int) -> int:
+        if not self.machine.subtype.dm_switched:
+            raise CapabilityError(
+                f"{self.machine.subtype.label} has no DP-DM switch: "
+                "GLD is unavailable"
+            )
+        bank, offset = self.machine.split_global_address(address)
+        return self.machine.cores[bank].load(offset)
+
+    def global_store(self, core: ScalarCore, address: int, value: int) -> None:
+        if not self.machine.subtype.dm_switched:
+            raise CapabilityError(
+                f"{self.machine.subtype.label} has no DP-DM switch: "
+                "GST is unavailable"
+            )
+        bank, offset = self.machine.split_global_address(address)
+        self.machine.cores[bank].store(offset, value)
+
+    def send(self, core: ScalarCore, destination: int, value: int) -> None:
+        if not self.machine.subtype.dp_switched:
+            raise CapabilityError(
+                f"{self.machine.subtype.label} has no DP-DP switch: "
+                "SEND is unavailable"
+            )
+        if not 0 <= destination < self.machine.n_cores:
+            raise ProgramError(
+                f"SEND to core {destination}, outside 0..{self.machine.n_cores - 1}"
+            )
+        machine = self.machine
+        latency = machine.message_latency(core.core_id, destination)
+        machine._fifos[(core.core_id, destination)].append(
+            (machine._cycle + latency, value)
+        )
+
+    def receive(self, core: ScalarCore, source: int) -> "int | None":
+        if not self.machine.subtype.dp_switched:
+            raise CapabilityError(
+                f"{self.machine.subtype.label} has no DP-DP switch: "
+                "RECV is unavailable"
+            )
+        if not 0 <= source < self.machine.n_cores:
+            raise ProgramError(
+                f"RECV from core {source}, outside 0..{self.machine.n_cores - 1}"
+            )
+        fifo = self.machine._fifos[(source, core.core_id)]
+        if not fifo:
+            return None  # stall
+        ready_cycle, value = fifo[0]
+        if ready_cycle > self.machine._cycle:
+            return None  # message still in flight on the network
+        fifo.popleft()
+        return value
+
+    def barrier(self, core: ScalarCore) -> bool:
+        machine = self.machine
+        if core.core_id in machine._barrier_release:
+            # Released by a previously-completed barrier round.
+            machine._barrier_release.discard(core.core_id)
+            return True
+        machine._at_barrier.add(core.core_id)
+        live = {c.core_id for c in machine.cores if not c.halted}
+        if live <= machine._at_barrier:
+            # Everyone still running has arrived: open the barrier.
+            machine._barrier_release = set(machine._at_barrier)
+            machine._at_barrier.clear()
+            machine._barrier_release.discard(core.core_id)
+            return True
+        return False
+
+
+class Multiprocessor:
+    """IMP: ``n`` independent instruction streams with optional switches."""
+
+    def __init__(
+        self,
+        n_cores: int,
+        subtype: MultiprocessorSubtype = MultiprocessorSubtype.IMP_IV,
+        *,
+        bank_size: int = 1024,
+        network: "object | None" = None,
+    ):
+        """``network`` optionally provides the DP-DP switch's concrete
+        implementation (any :class:`~repro.interconnect.topology.Interconnect`
+        with ``n_cores`` ports): message latency then follows the
+        topology's routed cycle count instead of the default single
+        cycle — a crossbar delivers next cycle, a 3-hop window or a mesh
+        charges its relay distance. This is where the taxonomy's ``'x'``
+        cell meets its silicon realisation."""
+        if n_cores <= 1:
+            raise ValueError(
+                "a multiprocessor needs at least 2 cores (1 core is an IUP)"
+            )
+        if network is not None:
+            ports = getattr(network, "n_inputs", None)
+            if ports != n_cores or getattr(network, "n_outputs", None) != n_cores:
+                raise ValueError(
+                    f"network must expose {n_cores}x{n_cores} ports, got "
+                    f"{ports}x{getattr(network, 'n_outputs', None)}"
+                )
+            if not subtype.dp_switched:
+                raise ValueError(
+                    f"{subtype.label} has no DP-DP switch to implement "
+                    "with a network"
+                )
+        self.n_cores = n_cores
+        self.subtype = subtype
+        self.bank_size = bank_size
+        self.network = network
+        self.cores = [
+            ScalarCore(core_id=i, memory_size=bank_size) for i in range(n_cores)
+        ]
+        self._port = _CorePort(self)
+        #: (src, dst) -> deque of (ready_cycle, value)
+        self._fifos: dict[tuple[int, int], deque[tuple[int, int]]] = {
+            (src, dst): deque()
+            for src in range(n_cores)
+            for dst in range(n_cores)
+        }
+        self._at_barrier: set[int] = set()
+        self._barrier_release: set[int] = set()
+        self._cycle = 0
+
+    def message_latency(self, source: int, destination: int) -> int:
+        """Cycles a message spends on the DP-DP network."""
+        if self.network is None:
+            return 1
+        return max(self.network.route(source, destination).cycles, 1)
+
+    # -- capability view --------------------------------------------------
+
+    def capabilities(self) -> set[Capability]:
+        caps = {
+            Capability.INSTRUCTION_EXECUTION,
+            Capability.MULTIPLE_STREAMS,
+            Capability.DATA_PARALLEL,
+        }
+        if self.subtype.dp_switched:
+            caps.add(Capability.MESSAGE_PASSING)
+        if self.subtype.dm_switched:
+            caps.add(Capability.GLOBAL_MEMORY)
+        return caps
+
+    # -- memory -----------------------------------------------------------
+
+    def split_global_address(self, address: int) -> tuple[int, int]:
+        bank, offset = divmod(address, self.bank_size)
+        if not 0 <= bank < self.n_cores:
+            raise ProgramError(
+                f"global address {address} maps to bank {bank}, outside "
+                f"0..{self.n_cores - 1}"
+            )
+        return bank, offset
+
+    def reset(self) -> None:
+        self.__init__(
+            self.n_cores,
+            self.subtype,
+            bank_size=self.bank_size,
+            network=self.network,
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        programs: "list[Program] | Program",
+        *,
+        max_cycles: int = 1_000_000,
+    ) -> ExecutionResult:
+        """Run one program per core (or broadcast a single program SPMD).
+
+        Cycle model: each cycle every non-halted core attempts one
+        instruction; stalls (empty RECV FIFO, waiting barrier) retry next
+        cycle. Deadlock (all live cores stalled with no message in
+        flight) raises ProgramError with the stuck-core set.
+        """
+        if isinstance(programs, Program):
+            programs = [programs] * self.n_cores
+        if len(programs) != self.n_cores:
+            raise ProgramError(
+                f"expected {self.n_cores} programs, got {len(programs)}"
+            )
+        for program in programs:
+            check_capabilities(
+                self.capabilities(),
+                required_capabilities(program),
+                machine=self.subtype.label,
+            )
+        # Each run starts its programs from scratch; registers and memory
+        # persist (kernels preload data between runs) but control state
+        # must not leak from a previous run or a fused-group execution.
+        for core in self.cores:
+            core.pc = 0
+            core.halted = False
+        cycles = 0
+        operations = 0
+        while any(not core.halted for core in self.cores):
+            cycles += 1
+            self._cycle = cycles
+            if cycles > max_cycles:
+                raise ProgramError(
+                    f"{self.subtype.label}: exceeded {max_cycles} cycles"
+                )
+            progressed = False
+            for core, program in zip(self.cores, programs):
+                if core.halted:
+                    continue
+                if core.pc >= len(program):
+                    raise ProgramError(
+                        f"core {core.core_id}: PC {core.pc} ran past the "
+                        f"end of {program.name!r} (missing HALT?)"
+                    )
+                outcome = core.execute(program[core.pc], self._port)
+                if outcome.executed:
+                    operations += 1
+                    progressed = True
+            if not progressed:
+                in_flight = any(
+                    fifo and fifo[0][0] > cycles
+                    for fifo in self._fifos.values()
+                )
+                if in_flight:
+                    continue  # stalls will clear when messages land
+                stuck = [c.core_id for c in self.cores if not c.halted]
+                raise ProgramError(
+                    f"deadlock: cores {stuck} are all stalled "
+                    "(blocking RECV with empty FIFOs or barrier mismatch)"
+                )
+        return ExecutionResult(
+            cycles=cycles,
+            operations=operations,
+            outputs={
+                "registers": [list(core.registers) for core in self.cores],
+            },
+            stats={
+                "machine": self.subtype.label,
+                "n_cores": self.n_cores,
+            },
+        )
+
+    def run_task_pool(
+        self,
+        programs: "list[Program]",
+        *,
+        max_cycles: int = 1_000_000,
+    ) -> ExecutionResult:
+        """Drain a shared pool of programs — more tasks than cores.
+
+        This is what the IP-IM *switch* buys operationally: any IP can
+        fetch from any instruction memory, so a core that halts simply
+        re-binds to the next pending program. Sub-types whose IP-IM site
+        is direct (each IP hard-wired to its own IM) refuse the call —
+        they can only ever run the n programs they were built with.
+
+        Returns per-task completion order in ``stats["schedule"]`` as
+        (task index, core id, completion cycle) triples. Blocking
+        opcodes (RECV/BARRIER) are rejected: tasks in a pool must be
+        independent.
+        """
+        if not self.subtype.im_switched:
+            raise CapabilityError(
+                f"{self.subtype.label} has a direct IP-IM connection: each "
+                "IP is wired to its own instruction memory, so a shared "
+                "task pool needs the IP-IM switch (IMP-V and richer)"
+            )
+        if not programs:
+            raise ProgramError("task pool must not be empty")
+        for program in programs:
+            check_capabilities(
+                self.capabilities(),
+                required_capabilities(program),
+                machine=self.subtype.label,
+            )
+            for instruction in program:
+                if instruction.op.value in ("recv", "barrier"):
+                    raise ProgramError(
+                        "task-pool programs must be non-blocking "
+                        f"({program.name!r} uses {instruction.op.value})"
+                    )
+        for core in self.cores:
+            core.pc = 0
+            core.halted = False
+        pending = deque(range(len(programs)))
+        running: dict[int, int] = {}  # core id -> task index
+        for core in self.cores:
+            if pending:
+                running[core.core_id] = pending.popleft()
+                core.pc = 0
+                core.halted = False
+            else:
+                core.halted = True
+        cycles = 0
+        operations = 0
+        schedule: list[tuple[int, int, int]] = []
+        while running:
+            cycles += 1
+            if cycles > max_cycles:
+                raise ProgramError(
+                    f"{self.subtype.label}: task pool exceeded {max_cycles} cycles"
+                )
+            finished: list[int] = []
+            for core in self.cores:
+                task = running.get(core.core_id)
+                if task is None:
+                    continue
+                program = programs[task]
+                if core.pc >= len(program):
+                    raise ProgramError(
+                        f"task {task}: PC ran past {program.name!r} "
+                        "(missing HALT?)"
+                    )
+                outcome = core.execute(program[core.pc], self._port)
+                if outcome.executed:
+                    operations += 1
+                if outcome.halted:
+                    schedule.append((task, core.core_id, cycles))
+                    finished.append(core.core_id)
+            for core_id in finished:
+                del running[core_id]
+                core = self.cores[core_id]
+                if pending:
+                    running[core_id] = pending.popleft()
+                    core.pc = 0
+                    core.halted = False
+        return ExecutionResult(
+            cycles=cycles,
+            operations=operations,
+            outputs={
+                "registers": [list(core.registers) for core in self.cores],
+            },
+            stats={
+                "machine": self.subtype.label,
+                "n_cores": self.n_cores,
+                "tasks": len(programs),
+                "schedule": schedule,
+            },
+        )

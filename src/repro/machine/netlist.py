@@ -1,0 +1,314 @@
+"""Netlist builder: structured macros over the raw LUT fabric.
+
+Synthesising machines onto :class:`~repro.machine.fabric.LutFabric`
+by hand-writing truth tables does not scale; this module provides the
+small standard-cell layer real FPGA flows have — gates, multiplexers,
+adders, registers, buses — each macro returning the cell indices that
+carry its outputs.
+
+All arithmetic is two's-complement over explicit bit vectors, so the
+synthesised datapaths match the reference integer semantics modulo
+``2**width`` (documented and tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+from repro.machine.fabric import CellConfig, LutFabric, Source
+
+__all__ = ["Bus", "NetlistBuilder"]
+
+
+#: A bit is a fabric source; a Bus is LSB-first bits.
+@dataclass(frozen=True, slots=True)
+class Bus:
+    """An ordered (LSB-first) vector of fabric sources."""
+
+    bits: tuple[Source, ...]
+
+    def __post_init__(self) -> None:
+        if not self.bits:
+            raise ConfigurationError("a bus needs at least one bit")
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+    def __getitem__(self, index: int) -> Source:
+        return self.bits[index]
+
+    def __iter__(self):
+        return iter(self.bits)
+
+
+def _table_from_function(func, arity: int) -> int:
+    """Build a truth-table integer from a Python function of ``arity`` bits."""
+    table = 0
+    for pattern in range(1 << arity):
+        bits = [(pattern >> i) & 1 for i in range(arity)]
+        if func(*bits):
+            table |= 1 << pattern
+    return table
+
+
+# Pre-computed common tables (arity noted).
+_TABLE_NOT = _table_from_function(lambda a: not a, 1)
+_TABLE_BUF = _table_from_function(lambda a: a, 1)
+_TABLE_AND = _table_from_function(lambda a, b: a and b, 2)
+_TABLE_OR = _table_from_function(lambda a, b: a or b, 2)
+_TABLE_XOR = _table_from_function(lambda a, b: a ^ b, 2)
+_TABLE_MUX = _table_from_function(lambda a, b, s: b if s else a, 3)
+_TABLE_SUM = _table_from_function(lambda a, b, c: a ^ b ^ c, 3)
+_TABLE_CARRY = _table_from_function(lambda a, b, c: (a + b + c) >= 2, 3)
+_TABLE_AND3 = _table_from_function(lambda a, b, c: a and b and c, 3)
+_TABLE_OR3 = _table_from_function(lambda a, b, c: a or b or c, 3)
+
+
+class NetlistBuilder:
+    """Allocates fabric cells and wires macros together."""
+
+    def __init__(self, fabric: LutFabric):
+        self.fabric = fabric
+        self._next_cell = 0
+
+    # -- allocation ------------------------------------------------------
+
+    def alloc(self) -> int:
+        if self._next_cell >= self.fabric.n_cells:
+            raise ConfigurationError(
+                f"fabric exhausted: all {self.fabric.n_cells} cells in use "
+                "(instantiate a larger LutFabric)"
+            )
+        cell = self._next_cell
+        self._next_cell += 1
+        return cell
+
+    @property
+    def cells_used(self) -> int:
+        return self._next_cell
+
+    def _cell(self, sources: "list[Source]", table: int, *, registered: bool = False) -> Source:
+        index = self.alloc()
+        self.fabric.configure_cell(
+            index, CellConfig(tuple(sources), table, registered=registered)
+        )
+        return ("cell", index)
+
+    # -- primitives ------------------------------------------------------
+
+    @staticmethod
+    def const(bit: int) -> Source:
+        return ("const", 1 if bit else 0)
+
+    @staticmethod
+    def input_bit(name: str) -> Source:
+        return ("input", name)
+
+    def input_bus(self, name: str, width: int) -> Bus:
+        """External bus ``name``: bits appear as inputs ``name[i]``."""
+        return Bus(tuple(("input", f"{name}[{i}]") for i in range(width)))
+
+    def buf(self, a: Source, *, registered: bool = False) -> Source:
+        return self._cell([a], _TABLE_BUF, registered=registered)
+
+    def not_(self, a: Source) -> Source:
+        return self._cell([a], _TABLE_NOT)
+
+    def and_(self, a: Source, b: Source) -> Source:
+        return self._cell([a, b], _TABLE_AND)
+
+    def and3(self, a: Source, b: Source, c: Source) -> Source:
+        return self._cell([a, b, c], _TABLE_AND3)
+
+    def or_(self, a: Source, b: Source) -> Source:
+        return self._cell([a, b], _TABLE_OR)
+
+    def or3(self, a: Source, b: Source, c: Source) -> Source:
+        return self._cell([a, b, c], _TABLE_OR3)
+
+    def xor_(self, a: Source, b: Source) -> Source:
+        return self._cell([a, b], _TABLE_XOR)
+
+    def mux(self, select: Source, when0: Source, when1: Source) -> Source:
+        """2-way mux: ``when1`` if select else ``when0``."""
+        return self._cell([when0, when1, select], _TABLE_MUX)
+
+    def lut(self, sources: "list[Source]", func) -> Source:
+        """Arbitrary function cell: ``func`` maps bit args to truth value."""
+        return self._cell(sources, _table_from_function(func, len(sources)))
+
+    # -- word-level macros ---------------------------------------------------
+
+    def const_bus(self, value: int, width: int) -> Bus:
+        return Bus(tuple(self.const((value >> i) & 1) for i in range(width)))
+
+    def mux_bus(self, select: Source, when0: Bus, when1: Bus) -> Bus:
+        self._check_widths(when0, when1)
+        return Bus(
+            tuple(self.mux(select, a, b) for a, b in zip(when0, when1))
+        )
+
+    def register_bus(self, next_value: Bus) -> Bus:
+        """Width FFs latching ``next_value`` each cycle.
+
+        Returned sources read the *current* (pre-clock) register value.
+        """
+        return Bus(tuple(self.buf(bit, registered=True) for bit in next_value))
+
+    def register_placeholder(self, width: int) -> Bus:
+        """Registers whose next-value logic is not built yet.
+
+        State machines need feedback (the PC incrementer reads the PC);
+        allocate the register cells first, build the logic that reads
+        them, then close the loop with :meth:`drive_register`.
+        """
+        bits: list[Source] = []
+        for _ in range(width):
+            index = self.alloc()
+            self.fabric.configure_cell(
+                index,
+                CellConfig((("const", 0),), _TABLE_BUF, registered=True),
+            )
+            bits.append(("cell", index))
+        return Bus(tuple(bits))
+
+    def drive_register(self, placeholder: Bus, next_value: Bus) -> None:
+        """Close a placeholder register's feedback loop."""
+        self._check_widths(placeholder, next_value)
+        for reg_bit, next_bit in zip(placeholder, next_value):
+            kind, index = reg_bit
+            if kind != "cell":
+                raise ConfigurationError("placeholder bits must be cells")
+            self.fabric.configure_cell(
+                int(index),
+                CellConfig((next_bit,), _TABLE_BUF, registered=True),
+            )
+
+    def adder(self, a: Bus, b: Bus, *, carry_in: "Source | None" = None) -> tuple[Bus, Source]:
+        """Ripple-carry add; returns (sum bus, carry-out)."""
+        self._check_widths(a, b)
+        carry: Source = carry_in if carry_in is not None else self.const(0)
+        bits: list[Source] = []
+        for bit_a, bit_b in zip(a, b):
+            bits.append(self._cell([bit_a, bit_b, carry], _TABLE_SUM))
+            carry = self._cell([bit_a, bit_b, carry], _TABLE_CARRY)
+        return Bus(tuple(bits)), carry
+
+    def negate(self, a: Bus) -> Bus:
+        """Two's-complement negation (~a + 1)."""
+        inverted = Bus(tuple(self.not_(bit) for bit in a))
+        one = self.const_bus(1, a.width)
+        total, _ = self.adder(inverted, one)
+        return total
+
+    def subtractor(self, a: Bus, b: Bus) -> Bus:
+        """a - b via a + ~b + 1."""
+        self._check_widths(a, b)
+        inverted = Bus(tuple(self.not_(bit) for bit in b))
+        total, _ = self.adder(a, inverted, carry_in=self.const(1))
+        return total
+
+    def bitwise(self, op: str, a: Bus, b: Bus) -> Bus:
+        self._check_widths(a, b)
+        gate = {"and": self.and_, "or": self.or_, "xor": self.xor_}[op]
+        return Bus(tuple(gate(x, y) for x, y in zip(a, b)))
+
+    def and_bus_bit(self, a: Bus, gate_bit: Source) -> Bus:
+        """Mask a bus by a single bit (used by the shift-add multiplier)."""
+        return Bus(tuple(self.and_(bit, gate_bit) for bit in a))
+
+    def shift_left_const(self, a: Bus, amount: int) -> Bus:
+        """Logical shift by a constant, width-preserving (bits fall off)."""
+        if amount < 0:
+            raise ConfigurationError("shift amount must be non-negative")
+        bits: list[Source] = [self.const(0)] * min(amount, a.width)
+        bits.extend(a.bits[: max(a.width - amount, 0)])
+        return Bus(tuple(bits))
+
+    def multiplier(self, a: Bus, b: Bus) -> Bus:
+        """Shift-add array multiplier, result truncated to the operand width.
+
+        Cost grows with width² — the honest silicon story for putting a
+        multiplier on a fine-grained fabric.
+        """
+        self._check_widths(a, b)
+        accumulator = self.const_bus(0, a.width)
+        for position in range(b.width):
+            partial = self.and_bus_bit(self.shift_left_const(a, position), b[position])
+            accumulator, _ = self.adder(accumulator, partial)
+        return accumulator
+
+    def is_zero(self, a: Bus) -> Source:
+        """1 when every bit of the bus is 0 (OR-tree + NOT)."""
+        return self.not_(self.any_bit(a))
+
+    def any_bit(self, a: Bus) -> Source:
+        """OR-reduction of the bus."""
+        spread = list(a.bits)
+        while len(spread) > 1:
+            merged: list[Source] = []
+            for i in range(0, len(spread) - 1, 2):
+                merged.append(self.or_(spread[i], spread[i + 1]))
+            if len(spread) % 2:
+                merged.append(spread[-1])
+            spread = merged
+        return spread[0]
+
+    def equals(self, a: Bus, b: Bus) -> Source:
+        """1 when the buses carry equal values."""
+        self._check_widths(a, b)
+        diffs = Bus(tuple(self.xor_(x, y) for x, y in zip(a, b)))
+        return self.is_zero(diffs)
+
+    def less_than(self, a: Bus, b: Bus) -> Source:
+        """Unsigned a < b via the borrow of a - b."""
+        self._check_widths(a, b)
+        inverted = Bus(tuple(self.not_(bit) for bit in b))
+        _, carry = self.adder(a, inverted, carry_in=self.const(1))
+        return self.not_(carry)
+
+    def min_(self, a: Bus, b: Bus) -> Bus:
+        lt = self.less_than(a, b)
+        return self.mux_bus(lt, b, a)
+
+    def max_(self, a: Bus, b: Bus) -> Bus:
+        lt = self.less_than(a, b)
+        return self.mux_bus(lt, a, b)
+
+    def rom(self, address: Bus, words: "list[int]", word_width: int) -> Bus:
+        """Read-only memory: one LUT per output bit over the address bus.
+
+        Capacity is ``2**address.width`` words — on a k=4 fabric a 4-bit
+        address ROM fits each output bit in exactly one cell, which is
+        how the soft processor stores its program.
+        """
+        capacity = 1 << address.width
+        if len(words) > capacity:
+            raise ConfigurationError(
+                f"{len(words)} words exceed ROM capacity {capacity}"
+            )
+        if address.width > self.fabric.k:
+            raise ConfigurationError(
+                f"ROM address width {address.width} exceeds LUT arity "
+                f"{self.fabric.k}"
+            )
+        padded = list(words) + [0] * (capacity - len(words))
+        bits: list[Source] = []
+        for bit_position in range(word_width):
+            table = 0
+            for addr, word in enumerate(padded):
+                if (word >> bit_position) & 1:
+                    table |= 1 << addr
+            bits.append(self._cell(list(address.bits), table))
+        return Bus(tuple(bits))
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _check_widths(a: Bus, b: Bus) -> None:
+        if a.width != b.width:
+            raise ConfigurationError(
+                f"bus width mismatch: {a.width} vs {b.width}"
+            )

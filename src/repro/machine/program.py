@@ -1,0 +1,327 @@
+"""Instruction-set architecture and program representation.
+
+A deliberately small RISC-flavoured ISA shared by every instruction-flow
+machine in this package. The scalar core runs everywhere; three
+extension groups exist only on machines whose taxonomy class provides
+the corresponding switch:
+
+* **lane extensions** (``LANEID``, ``SHUF``) — array processors; ``SHUF``
+  needs the DP-DP switch (IAP-II/IV);
+* **global-memory extensions** (``GLD``, ``GST``) — any machine whose
+  DP-DM site is switched (IAP-III/IV, shared-memory IMPs);
+* **message extensions** (``SEND``, ``RECV``, ``BARRIER``) — multi-
+  processors; SEND/RECV need the DP-DP switch across cores (IMP-II …).
+
+Programs are built either programmatically (:class:`Program` and the
+``ins`` helper) or from assembly text via :func:`assemble`, which
+supports labels, comments and decimal/hex immediates.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from repro.core.errors import ProgramError
+from repro.machine.base import Capability
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "Program",
+    "assemble",
+    "ins",
+    "NUM_REGISTERS",
+    "required_capabilities",
+]
+
+#: Architectural register count (r0..r15); r0 is general-purpose.
+NUM_REGISTERS = 16
+
+
+class Opcode(enum.Enum):
+    """Operation codes, grouped by extension."""
+
+    # scalar core ------------------------------------------------------
+    NOP = "nop"
+    HALT = "halt"
+    LDI = "ldi"      # rd <- imm
+    MOV = "mov"      # rd <- rs1
+    LD = "ld"        # rd <- dm[rs1 + imm]          (local bank)
+    ST = "st"        # dm[rs1 + imm] <- rs2         (local bank)
+    ADD = "add"      # rd <- rs1 + rs2
+    SUB = "sub"      # rd <- rs1 - rs2
+    MUL = "mul"      # rd <- rs1 * rs2
+    DIV = "div"      # rd <- rs1 // rs2 (toward zero; trap on zero)
+    AND = "and"      # rd <- rs1 & rs2
+    OR = "or"        # rd <- rs1 | rs2
+    XOR = "xor"      # rd <- rs1 ^ rs2
+    SHL = "shl"      # rd <- rs1 << imm
+    SHR = "shr"      # rd <- rs1 >> imm (arithmetic)
+    ADDI = "addi"    # rd <- rs1 + imm
+    SLT = "slt"      # rd <- 1 if rs1 < rs2 else 0
+    BEQ = "beq"      # if rs1 == rs2: pc <- imm
+    BNE = "bne"      # if rs1 != rs2: pc <- imm
+    BLT = "blt"      # if rs1 <  rs2: pc <- imm
+    JMP = "jmp"      # pc <- imm
+    # lane extensions ---------------------------------------------------
+    LANEID = "laneid"  # rd <- lane index (0 on scalar machines)
+    SHUF = "shuf"      # rd <- lane[rs2 of this lane].regs[rs1]
+    # global-memory extensions -------------------------------------------
+    GLD = "gld"      # rd <- global_dm[rs1 + imm]
+    GST = "gst"      # global_dm[rs1 + imm] <- rs2
+    # message extensions ---------------------------------------------------
+    SEND = "send"    # send rs2 to core rs1
+    RECV = "recv"    # rd <- blocking receive from core rs1
+    BARRIER = "barrier"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Opcodes whose execution requires a capability beyond plain execution.
+_CAPABILITY_OF: dict[Opcode, Capability] = {
+    Opcode.SHUF: Capability.LANE_SHUFFLE,
+    Opcode.GLD: Capability.GLOBAL_MEMORY,
+    Opcode.GST: Capability.GLOBAL_MEMORY,
+    Opcode.SEND: Capability.MESSAGE_PASSING,
+    Opcode.RECV: Capability.MESSAGE_PASSING,
+}
+
+_BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.JMP})
+
+#: Which operand fields each opcode uses: (rd, rs1, rs2, imm).
+_OPERAND_SHAPE: dict[Opcode, tuple[bool, bool, bool, bool]] = {
+    Opcode.NOP: (False, False, False, False),
+    Opcode.HALT: (False, False, False, False),
+    Opcode.LDI: (True, False, False, True),
+    Opcode.MOV: (True, True, False, False),
+    Opcode.LD: (True, True, False, True),
+    Opcode.ST: (False, True, True, True),
+    Opcode.ADD: (True, True, True, False),
+    Opcode.SUB: (True, True, True, False),
+    Opcode.MUL: (True, True, True, False),
+    Opcode.DIV: (True, True, True, False),
+    Opcode.AND: (True, True, True, False),
+    Opcode.OR: (True, True, True, False),
+    Opcode.XOR: (True, True, True, False),
+    Opcode.SHL: (True, True, False, True),
+    Opcode.SHR: (True, True, False, True),
+    Opcode.ADDI: (True, True, False, True),
+    Opcode.SLT: (True, True, True, False),
+    Opcode.BEQ: (False, True, True, True),
+    Opcode.BNE: (False, True, True, True),
+    Opcode.BLT: (False, True, True, True),
+    Opcode.JMP: (False, False, False, True),
+    Opcode.LANEID: (True, False, False, False),
+    Opcode.SHUF: (True, True, True, False),
+    Opcode.GLD: (True, True, False, True),
+    Opcode.GST: (False, True, True, True),
+    Opcode.SEND: (False, True, True, False),
+    Opcode.RECV: (True, True, False, False),
+    Opcode.BARRIER: (False, False, False, False),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One decoded instruction. Unused fields are zero."""
+
+    op: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs1", "rs2"):
+            value = getattr(self, name)
+            if not 0 <= value < NUM_REGISTERS:
+                raise ProgramError(
+                    f"{self.op.value}: register {name}={value} out of "
+                    f"range 0..{NUM_REGISTERS - 1}"
+                )
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in _BRANCH_OPS
+
+    def render(self) -> str:
+        uses_rd, uses_rs1, uses_rs2, uses_imm = _OPERAND_SHAPE[self.op]
+        parts = [self.op.value]
+        operands: list[str] = []
+        if uses_rd:
+            operands.append(f"r{self.rd}")
+        if uses_rs1:
+            operands.append(f"r{self.rs1}")
+        if uses_rs2:
+            operands.append(f"r{self.rs2}")
+        if uses_imm:
+            operands.append(str(self.imm))
+        if operands:
+            parts.append(" " + ", ".join(operands))
+        return "".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def ins(op: "Opcode | str", rd: int = 0, rs1: int = 0, rs2: int = 0, imm: int = 0) -> Instruction:
+    """Terse instruction constructor accepting the mnemonic as a string."""
+    opcode = op if isinstance(op, Opcode) else _MNEMONICS[op.lower()]
+    return Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+
+_MNEMONICS = {op.value: op for op in Opcode}
+
+
+@dataclass
+class Program:
+    """A validated instruction sequence with optional metadata."""
+
+    instructions: list[Instruction]
+    name: str = "program"
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ProgramError("a program must contain at least one instruction")
+        for index, instruction in enumerate(self.instructions):
+            if instruction.is_branch:
+                target = instruction.imm
+                if not 0 <= target < len(self.instructions):
+                    raise ProgramError(
+                        f"instruction {index} ({instruction}) branches to "
+                        f"{target}, outside 0..{len(self.instructions) - 1}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def render(self) -> str:
+        reverse_labels: dict[int, list[str]] = {}
+        for label, target in self.labels.items():
+            reverse_labels.setdefault(target, []).append(label)
+        lines = []
+        for index, instruction in enumerate(self.instructions):
+            for label in reverse_labels.get(index, ()):
+                lines.append(f"{label}:")
+            lines.append(f"    {instruction.render()}")
+        return "\n".join(lines)
+
+
+def required_capabilities(program: Program) -> set[Capability]:
+    """The capability set a machine must provide to run ``program``."""
+    required = {Capability.INSTRUCTION_EXECUTION}
+    for instruction in program:
+        cap = _CAPABILITY_OF.get(instruction.op)
+        if cap is not None:
+            required.add(cap)
+        if instruction.op is Opcode.BARRIER:
+            required.add(Capability.MULTIPLE_STREAMS)
+    return required
+
+
+# -- assembler -------------------------------------------------------------
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_REG_RE = re.compile(r"^r([0-9]+)$", re.IGNORECASE)
+
+
+def _parse_value(token: str, labels: dict[str, int]) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token]
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise ProgramError(f"cannot parse operand {token!r}") from exc
+
+
+def assemble(text: str, *, name: str = "program") -> Program:
+    """Two-pass assembler for the textual form of the ISA.
+
+    Syntax: one instruction per line, operands comma-separated, ``;`` or
+    ``#`` introduce comments, ``label:`` lines define branch targets used
+    as immediates (``jmp loop``).
+
+    >>> program = assemble('''
+    ...     ldi r1, 10
+    ... loop:
+    ...     addi r1, r1, -1
+    ...     bne r1, r0, loop
+    ...     halt
+    ... ''')
+    >>> len(program)
+    4
+    """
+    raw_lines = text.splitlines()
+    # First pass: strip comments, collect labels against instruction index.
+    cleaned: list[str] = []
+    labels: dict[str, int] = {}
+    for raw in raw_lines:
+        line = re.split(r"[;#]", raw, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            label = match.group(1)
+            if label in labels:
+                raise ProgramError(f"duplicate label {label!r}")
+            labels[label] = len(cleaned)
+            continue
+        cleaned.append(line)
+    if not cleaned:
+        raise ProgramError("no instructions in assembly source")
+    for label, target in labels.items():
+        if target >= len(cleaned):
+            # trailing label: point at a virtual end; only valid if unused
+            labels[label] = len(cleaned) - 1
+
+    instructions: list[Instruction] = []
+    for line in cleaned:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic not in _MNEMONICS:
+            raise ProgramError(f"unknown mnemonic {mnemonic!r} in line {line!r}")
+        opcode = _MNEMONICS[mnemonic]
+        operand_text = parts[1] if len(parts) > 1 else ""
+        tokens = [t.strip() for t in operand_text.split(",") if t.strip()]
+        uses_rd, uses_rs1, uses_rs2, uses_imm = _OPERAND_SHAPE[opcode]
+        expected = sum((uses_rd, uses_rs1, uses_rs2, uses_imm))
+        if len(tokens) != expected:
+            raise ProgramError(
+                f"{mnemonic} expects {expected} operand(s), got "
+                f"{len(tokens)} in line {line!r}"
+            )
+        fields = {"rd": 0, "rs1": 0, "rs2": 0, "imm": 0}
+        cursor = 0
+
+        def take_register(field_name: str) -> None:
+            nonlocal cursor
+            match = _REG_RE.match(tokens[cursor])
+            if not match:
+                raise ProgramError(
+                    f"{mnemonic}: operand {tokens[cursor]!r} is not a register"
+                )
+            fields[field_name] = int(match.group(1))
+            cursor += 1
+
+        if uses_rd:
+            take_register("rd")
+        if uses_rs1:
+            take_register("rs1")
+        if uses_rs2:
+            take_register("rs2")
+        if uses_imm:
+            fields["imm"] = _parse_value(tokens[cursor], labels)
+            cursor += 1
+        instructions.append(Instruction(opcode, **fields))
+    return Program(instructions, name=name, labels=labels)

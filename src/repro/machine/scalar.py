@@ -1,0 +1,226 @@
+"""The scalar execution core shared by all instruction-flow machines.
+
+One :class:`ScalarCore` is a register file plus a local data-memory bank
+plus a program counter — the DP+DM pair under one IP. Machines compose
+cores: the uniprocessor owns one, the array processor replicates the DP
+state across lanes under one shared PC, the multiprocessor runs one core
+per instruction stream.
+
+Extension opcodes (SHUF/GLD/GST/SEND/RECV/BARRIER) are delegated to an
+:class:`ExtensionPort` supplied by the owning machine; the default port
+rejects them, which is how an IUP refuses an array program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import CapabilityError, ProgramError
+from repro.machine.program import Instruction, NUM_REGISTERS, Opcode, Program
+
+__all__ = ["ExtensionPort", "ScalarCore", "StepOutcome"]
+
+
+class ExtensionPort:
+    """Hooks for opcodes whose semantics live outside a single core.
+
+    The base implementation refuses everything — a machine grants a
+    capability by overriding the corresponding hook.
+    """
+
+    def shuffle(self, core: "ScalarCore", rs1: int, rs2: int) -> int:
+        raise CapabilityError(
+            "SHUF requires inter-lane connectivity (a DP-DP switch)"
+        )
+
+    def global_load(self, core: "ScalarCore", address: int) -> int:
+        raise CapabilityError("GLD requires a DP-DM switch (global memory)")
+
+    def global_store(self, core: "ScalarCore", address: int, value: int) -> None:
+        raise CapabilityError("GST requires a DP-DM switch (global memory)")
+
+    def send(self, core: "ScalarCore", destination: int, value: int) -> None:
+        raise CapabilityError("SEND requires inter-core connectivity")
+
+    def receive(self, core: "ScalarCore", source: int) -> "int | None":
+        """Return the received value, or None to stall (message not there)."""
+        raise CapabilityError("RECV requires inter-core connectivity")
+
+    def barrier(self, core: "ScalarCore") -> bool:
+        """Return True when the core may pass the barrier."""
+        raise CapabilityError("BARRIER requires multiple instruction streams")
+
+
+@dataclass(frozen=True, slots=True)
+class StepOutcome:
+    """What one instruction step did."""
+
+    executed: bool   # False when the core stalled (blocking RECV/BARRIER)
+    halted: bool
+
+
+@dataclass
+class ScalarCore:
+    """Architected state of one DP (+ its DM bank) under one PC."""
+
+    core_id: int = 0
+    memory_size: int = 1024
+    registers: list[int] = field(default_factory=lambda: [0] * NUM_REGISTERS)
+    memory: list[int] = field(default_factory=list)
+    pc: int = 0
+    halted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.memory_size <= 0:
+            raise ValueError("memory size must be positive")
+        if not self.memory:
+            self.memory = [0] * self.memory_size
+        if len(self.registers) != NUM_REGISTERS:
+            raise ProgramError(f"register file must have {NUM_REGISTERS} entries")
+
+    # -- memory ---------------------------------------------------------
+
+    def load(self, address: int) -> int:
+        self._check_address(address)
+        return self.memory[address]
+
+    def store(self, address: int, value: int) -> None:
+        self._check_address(address)
+        self.memory[address] = value
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < len(self.memory):
+            raise ProgramError(
+                f"core {self.core_id}: memory address {address} out of "
+                f"range 0..{len(self.memory) - 1}"
+            )
+
+    def write_block(self, base: int, values: "list[int]") -> None:
+        """Test/kernel helper: bulk-initialise the local bank."""
+        for offset, value in enumerate(values):
+            self.store(base + offset, value)
+
+    def read_block(self, base: int, count: int) -> list[int]:
+        return [self.load(base + offset) for offset in range(count)]
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(
+        self,
+        instruction: Instruction,
+        port: ExtensionPort,
+        *,
+        lane_id: int = 0,
+    ) -> StepOutcome:
+        """Execute one instruction against this core's state.
+
+        The PC advances (or branches) only when the step completes; a
+        stalled step (blocking RECV, waiting BARRIER) leaves all state
+        untouched so it can retry next cycle.
+        """
+        if self.halted:
+            return StepOutcome(executed=False, halted=True)
+        regs = self.registers
+        op = instruction.op
+        next_pc = self.pc + 1
+
+        if op is Opcode.NOP:
+            pass
+        elif op is Opcode.HALT:
+            self.halted = True
+            self.pc = next_pc
+            return StepOutcome(executed=True, halted=True)
+        elif op is Opcode.LDI:
+            regs[instruction.rd] = instruction.imm
+        elif op is Opcode.MOV:
+            regs[instruction.rd] = regs[instruction.rs1]
+        elif op is Opcode.LD:
+            regs[instruction.rd] = self.load(regs[instruction.rs1] + instruction.imm)
+        elif op is Opcode.ST:
+            self.store(regs[instruction.rs1] + instruction.imm, regs[instruction.rs2])
+        elif op is Opcode.ADD:
+            regs[instruction.rd] = regs[instruction.rs1] + regs[instruction.rs2]
+        elif op is Opcode.SUB:
+            regs[instruction.rd] = regs[instruction.rs1] - regs[instruction.rs2]
+        elif op is Opcode.MUL:
+            regs[instruction.rd] = regs[instruction.rs1] * regs[instruction.rs2]
+        elif op is Opcode.DIV:
+            divisor = regs[instruction.rs2]
+            if divisor == 0:
+                raise ProgramError(f"core {self.core_id}: division by zero")
+            regs[instruction.rd] = int(regs[instruction.rs1] / divisor)
+        elif op is Opcode.AND:
+            regs[instruction.rd] = regs[instruction.rs1] & regs[instruction.rs2]
+        elif op is Opcode.OR:
+            regs[instruction.rd] = regs[instruction.rs1] | regs[instruction.rs2]
+        elif op is Opcode.XOR:
+            regs[instruction.rd] = regs[instruction.rs1] ^ regs[instruction.rs2]
+        elif op is Opcode.SHL:
+            regs[instruction.rd] = regs[instruction.rs1] << instruction.imm
+        elif op is Opcode.SHR:
+            regs[instruction.rd] = regs[instruction.rs1] >> instruction.imm
+        elif op is Opcode.ADDI:
+            regs[instruction.rd] = regs[instruction.rs1] + instruction.imm
+        elif op is Opcode.SLT:
+            regs[instruction.rd] = int(regs[instruction.rs1] < regs[instruction.rs2])
+        elif op is Opcode.BEQ:
+            if regs[instruction.rs1] == regs[instruction.rs2]:
+                next_pc = instruction.imm
+        elif op is Opcode.BNE:
+            if regs[instruction.rs1] != regs[instruction.rs2]:
+                next_pc = instruction.imm
+        elif op is Opcode.BLT:
+            if regs[instruction.rs1] < regs[instruction.rs2]:
+                next_pc = instruction.imm
+        elif op is Opcode.JMP:
+            next_pc = instruction.imm
+        elif op is Opcode.LANEID:
+            regs[instruction.rd] = lane_id
+        elif op is Opcode.SHUF:
+            regs[instruction.rd] = port.shuffle(self, instruction.rs1, instruction.rs2)
+        elif op is Opcode.GLD:
+            regs[instruction.rd] = port.global_load(
+                self, regs[instruction.rs1] + instruction.imm
+            )
+        elif op is Opcode.GST:
+            port.global_store(
+                self, regs[instruction.rs1] + instruction.imm, regs[instruction.rs2]
+            )
+        elif op is Opcode.SEND:
+            port.send(self, regs[instruction.rs1], regs[instruction.rs2])
+        elif op is Opcode.RECV:
+            received = port.receive(self, regs[instruction.rs1])
+            if received is None:
+                return StepOutcome(executed=False, halted=False)  # stall
+            regs[instruction.rd] = received
+        elif op is Opcode.BARRIER:
+            if not port.barrier(self):
+                return StepOutcome(executed=False, halted=False)  # stall
+        else:  # pragma: no cover - exhaustive
+            raise ProgramError(f"unimplemented opcode {op}")
+
+        self.pc = next_pc
+        return StepOutcome(executed=True, halted=self.halted)
+
+    def run_to_halt(
+        self, program: Program, port: ExtensionPort, *, max_cycles: int = 1_000_000
+    ) -> tuple[int, int]:
+        """Fetch-execute to HALT; returns (cycles, instructions_executed)."""
+        cycles = 0
+        executed = 0
+        while not self.halted:
+            if self.pc >= len(program):
+                raise ProgramError(
+                    f"core {self.core_id}: PC {self.pc} ran past the end of "
+                    f"{program.name!r} (missing HALT?)"
+                )
+            cycles += 1
+            if cycles > max_cycles:
+                raise ProgramError(
+                    f"core {self.core_id}: exceeded {max_cycles} cycles "
+                    f"(infinite loop in {program.name!r}?)"
+                )
+            outcome = self.execute(program[self.pc], port)
+            if outcome.executed:
+                executed += 1
+        return cycles, executed

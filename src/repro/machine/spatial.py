@@ -1,0 +1,227 @@
+"""Instruction-flow spatial processors — the ISP classes (Fig. 5).
+
+What distinguishes ISP from IMP is the IP-IP switch: instruction
+processors "can be connected together to create a bigger or more complex
+IP" (§II-C-2b). The executable model realises that as *IP fusion*: a
+group of cores surrenders its individual program counters to a fused
+controller that issues one VLIW bundle per cycle — one slot per member
+DP — from a single wide instruction memory.
+
+The same hardware can therefore morph between organisations:
+
+* no fusion — behaves exactly like the IMP of the same sub-type;
+* one group of all cores — behaves like a wide VLIW/array machine;
+* arbitrary partition into groups — a mix of wide and narrow machines,
+  sized "to match the resources needed to run an algorithm".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import CapabilityError, ProgramError
+from repro.machine.base import Capability, ExecutionResult, check_capabilities
+from repro.machine.multiprocessor import Multiprocessor, MultiprocessorSubtype
+from repro.machine.program import Instruction, Program, required_capabilities
+
+__all__ = ["VliwBundle", "VliwProgram", "SpatialMachine"]
+
+
+@dataclass(frozen=True, slots=True)
+class VliwBundle:
+    """One wide instruction: one slot per fused DP (None = that DP idles)."""
+
+    slots: tuple["Instruction | None", ...]
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise ProgramError("a VLIW bundle needs at least one slot")
+        from repro.machine.program import Opcode
+
+        for slot in self.slots:
+            if slot is None:
+                continue
+            if slot.is_branch:
+                raise ProgramError(
+                    "branches live in the bundle's control slot, not data "
+                    "slots; use VliwProgram(control=...)"
+                )
+            if slot.op is Opcode.HALT:
+                raise ProgramError(
+                    "HALT has no meaning inside a fused bundle — the fused "
+                    "controller stops when the bundle list ends"
+                )
+
+    @property
+    def width(self) -> int:
+        return len(self.slots)
+
+
+@dataclass
+class VliwProgram:
+    """A straight-line-with-loops wide program for a fused IP group.
+
+    ``control`` optionally maps bundle index -> branch instruction
+    evaluated on member 0's registers after the bundle's data slots
+    complete (the fused controller owns control flow).
+    """
+
+    bundles: list[VliwBundle]
+    name: str = "vliw"
+    control: dict[int, Instruction] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.bundles:
+            raise ProgramError("a VLIW program needs at least one bundle")
+        widths = {bundle.width for bundle in self.bundles}
+        if len(widths) != 1:
+            raise ProgramError(f"inconsistent bundle widths: {sorted(widths)}")
+        for index, branch in self.control.items():
+            if not 0 <= index < len(self.bundles):
+                raise ProgramError(f"control entry {index} out of range")
+            if not branch.is_branch:
+                raise ProgramError("control slots must hold branch instructions")
+            if not 0 <= branch.imm <= len(self.bundles):
+                raise ProgramError(
+                    f"control branch at {index} targets {branch.imm}, outside "
+                    f"0..{len(self.bundles)}"
+                )
+
+    @property
+    def width(self) -> int:
+        return self.bundles[0].width
+
+    def __len__(self) -> int:
+        return len(self.bundles)
+
+
+class SpatialMachine(Multiprocessor):
+    """ISP: a multiprocessor whose IPs can fuse into wider issue units."""
+
+    def __init__(
+        self,
+        n_cores: int,
+        subtype: MultiprocessorSubtype = MultiprocessorSubtype.IMP_IV,
+        *,
+        bank_size: int = 1024,
+    ):
+        super().__init__(n_cores, subtype, bank_size=bank_size)
+        self._groups: list[tuple[int, ...]] = []
+
+    @property
+    def label(self) -> str:
+        # ISP shares the sub-type numbering with IMP; the IP-IP switch is
+        # what this class adds.
+        return self.subtype.label.replace("IMP", "ISP")
+
+    def capabilities(self) -> set[Capability]:
+        caps = super().capabilities()
+        caps.add(Capability.IP_COMPOSITION)
+        return caps
+
+    # -- fusion ------------------------------------------------------------
+
+    def fuse(self, members: "list[int]") -> int:
+        """Fuse cores into one issue group; returns the group index.
+
+        Members must be distinct, in range, and not already fused — the
+        IP-IP switch associates each IP with at most one composite.
+        """
+        if len(members) < 2:
+            raise ProgramError("a fused group needs at least two IPs")
+        if len(set(members)) != len(members):
+            raise ProgramError("duplicate cores in fusion request")
+        already = {m for group in self._groups for m in group}
+        for member in members:
+            if not 0 <= member < self.n_cores:
+                raise ProgramError(f"core {member} out of range")
+            if member in already:
+                raise ProgramError(f"core {member} is already fused")
+        self._groups.append(tuple(members))
+        return len(self._groups) - 1
+
+    def defuse(self) -> None:
+        """Dissolve all fused groups (back to plain IMP behaviour)."""
+        self._groups = []
+
+    @property
+    def groups(self) -> list[tuple[int, ...]]:
+        return list(self._groups)
+
+    # -- execution -----------------------------------------------------------
+
+    def run_fused(
+        self,
+        group: int,
+        program: VliwProgram,
+        *,
+        max_cycles: int = 1_000_000,
+    ) -> ExecutionResult:
+        """Execute a wide program on one fused group.
+
+        Each cycle issues one bundle: slot ``k`` executes on member ``k``'s
+        DP; the optional control slot then redirects the shared bundle
+        counter using member 0's registers.
+        """
+        if not 0 <= group < len(self._groups):
+            raise ProgramError(f"no fused group {group}")
+        members = self._groups[group]
+        if program.width != len(members):
+            raise ProgramError(
+                f"program width {program.width} != group size {len(members)}"
+            )
+        flat = [slot for bundle in program.bundles for slot in bundle.slots if slot]
+        if flat:
+            check_capabilities(
+                self.capabilities(),
+                required_capabilities(Program(flat, name=program.name)),
+                machine=self.label,
+            )
+        pc = 0
+        cycles = 0
+        operations = 0
+        cores = [self.cores[m] for m in members]
+        while pc < len(program):
+            cycles += 1
+            if cycles > max_cycles:
+                raise ProgramError(f"{self.label}: exceeded {max_cycles} cycles")
+            bundle = program.bundles[pc]
+            for core, slot in zip(cores, bundle.slots):
+                if slot is None:
+                    continue
+                core.pc = pc
+                outcome = core.execute(slot, self._port)
+                if not outcome.executed:
+                    raise ProgramError(
+                        "blocking operations are not allowed inside VLIW "
+                        "bundles"
+                    )
+                operations += 1
+            branch = program.control.get(pc)
+            if branch is not None:
+                lead = cores[0]
+                regs = lead.registers
+                taken = True
+                from repro.machine.program import Opcode
+
+                if branch.op is Opcode.BEQ:
+                    taken = regs[branch.rs1] == regs[branch.rs2]
+                elif branch.op is Opcode.BNE:
+                    taken = regs[branch.rs1] != regs[branch.rs2]
+                elif branch.op is Opcode.BLT:
+                    taken = regs[branch.rs1] < regs[branch.rs2]
+                pc = branch.imm if taken else pc + 1
+            else:
+                pc += 1
+        return ExecutionResult(
+            cycles=cycles,
+            operations=operations,
+            outputs={
+                "registers": [list(core.registers) for core in cores],
+            },
+            stats={
+                "machine": self.label,
+                "group": members,
+                "issue_width": program.width,
+            },
+        )

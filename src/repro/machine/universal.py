@@ -1,0 +1,362 @@
+"""The universal-flow spatial processor (USP) — a reconfigurable machine.
+
+The paper's USP claim is that a fine-grained fabric "can implement both
+Instruction flow or data flow machines" (§II-C-1). This module proves it
+operationally on the gate-level :class:`~repro.machine.fabric.LutFabric`:
+
+* :meth:`UniversalMachine.configure_dataflow` synthesises a dataflow
+  graph into a combinational/arithmetic netlist — the fabric *becomes* a
+  data-flow machine (no instruction processor anywhere);
+* :meth:`UniversalMachine.configure_soft_processor` synthesises a small
+  stored-program accumulator CPU — program ROM, program counter, decode,
+  datapath, all out of LUT cells — the fabric *becomes* an
+  instruction-flow machine.
+
+Both configurations report their measured configuration-bit counts,
+which is the quantitative form of the paper's "enormous reconfiguration
+overhead" argument for the USP class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import CapabilityError, ConfigurationError, ProgramError
+from repro.machine.base import Capability, ExecutionResult
+from repro.machine.dataflow import DataflowGraph, DFOp
+from repro.machine.fabric import LutFabric
+from repro.machine.netlist import Bus, NetlistBuilder
+
+__all__ = ["SoftOp", "SoftInstruction", "SoftProgram", "UniversalMachine"]
+
+
+# ---------------------------------------------------------------------------
+# Soft processor ISA (the instruction-flow personality)
+# ---------------------------------------------------------------------------
+
+
+class SoftOp(enum.Enum):
+    """2-bit opcode space of the soft accumulator CPU."""
+
+    LDI = 0   # acc <- imm
+    ADD = 1   # acc <- acc + imm  (mod 256)
+    JNZ = 2   # if acc != 0: pc <- imm & 0xF
+    HALT = 3
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+
+@dataclass(frozen=True, slots=True)
+class SoftInstruction:
+    """One 10-bit soft instruction: 2-bit opcode + 8-bit operand."""
+
+    op: SoftOp
+    operand: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.operand < 256:
+            raise ProgramError("soft operand must fit in 8 bits")
+        if self.op is SoftOp.JNZ and self.operand >= 16:
+            raise ProgramError("soft JNZ target must fit in 4 bits (16-entry ROM)")
+
+    def encode(self) -> int:
+        return (self.op.value << 8) | self.operand
+
+
+@dataclass
+class SoftProgram:
+    """Up to 16 soft instructions (the ROM capacity of a 4-bit PC)."""
+
+    instructions: list[SoftInstruction]
+    name: str = "soft-program"
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ProgramError("soft program must not be empty")
+        if len(self.instructions) > 16:
+            raise ProgramError("soft program exceeds the 16-entry ROM")
+        for instruction in self.instructions:
+            if instruction.op is SoftOp.JNZ and instruction.operand >= len(
+                self.instructions
+            ) and instruction.operand >= 16:
+                raise ProgramError("JNZ target outside ROM")
+
+    def words(self) -> list[int]:
+        return [instruction.encode() for instruction in self.instructions]
+
+    def reference_run(self, *, max_cycles: int = 10_000) -> tuple[int, int]:
+        """Pure-Python semantics: returns (final accumulator, cycles)."""
+        acc = 0
+        pc = 0
+        cycles = 0
+        while True:
+            cycles += 1
+            if cycles > max_cycles:
+                raise ProgramError("soft reference run exceeded max_cycles")
+            if pc >= len(self.instructions):
+                raise ProgramError("soft PC ran past the program")
+            instruction = self.instructions[pc]
+            if instruction.op is SoftOp.LDI:
+                acc = instruction.operand
+                pc += 1
+            elif instruction.op is SoftOp.ADD:
+                acc = (acc + instruction.operand) & 0xFF
+                pc += 1
+            elif instruction.op is SoftOp.JNZ:
+                pc = instruction.operand if acc != 0 else pc + 1
+            else:  # HALT
+                return acc, cycles
+
+
+# ---------------------------------------------------------------------------
+# The universal machine
+# ---------------------------------------------------------------------------
+
+#: Dataflow ops the synthesiser supports, with rough cell-cost notes.
+_SYNTHESISABLE = {
+    DFOp.INPUT, DFOp.CONST, DFOp.OUTPUT,
+    DFOp.ADD, DFOp.SUB, DFOp.NEG,
+    DFOp.AND, DFOp.OR, DFOp.XOR,
+    DFOp.MUL, DFOp.MIN, DFOp.MAX,
+}
+
+
+class UniversalMachine:
+    """USP: one LUT fabric, many personalities."""
+
+    def __init__(self, n_cells: int = 4096, *, k: int = 4):
+        self.fabric = LutFabric(n_cells, k=k)
+        self._personality: str | None = None
+        self._dataflow: DataflowGraph | None = None
+        self._width: int = 0
+        self._soft_program: SoftProgram | None = None
+
+    def capabilities(self) -> set[Capability]:
+        return {
+            Capability.DATAFLOW_EXECUTION,
+            Capability.INSTRUCTION_EXECUTION,
+            Capability.DATA_PARALLEL,
+            Capability.LANE_SHUFFLE,
+            Capability.GLOBAL_MEMORY,
+            Capability.MESSAGE_PASSING,
+            Capability.MULTIPLE_STREAMS,
+            Capability.IP_COMPOSITION,
+        }
+
+    @property
+    def personality(self) -> str | None:
+        """Which machine the fabric currently implements (None = blank)."""
+        return self._personality
+
+    def config_bits_used(self) -> int:
+        """Measured configuration cost of the current personality."""
+        return self.fabric.config_bits()
+
+    # -- data-flow personality ------------------------------------------------
+
+    def configure_dataflow(self, graph: DataflowGraph, *, width: int = 8) -> int:
+        """Synthesise a dataflow graph; returns cells used.
+
+        Arithmetic is two's-complement modulo ``2**width``. Unsupported
+        operators (DIV) raise ConfigurationError — they would need a
+        sequential divider macro.
+        """
+        if width < 2 or width > 16:
+            raise ConfigurationError("synthesis width must lie in 2..16")
+        graph.validate()
+        for node in graph.nodes.values():
+            if node.op not in _SYNTHESISABLE:
+                raise ConfigurationError(
+                    f"operator {node.op.value!r} (node {node.node_id!r}) is "
+                    "not synthesisable on the fabric"
+                )
+        self.fabric.clear()
+        builder = NetlistBuilder(self.fabric)
+        buses: dict[str, Bus] = {}
+        for node_id in graph.topological_order():
+            node = graph.node(node_id)
+            if node.op is DFOp.INPUT:
+                buses[node_id] = builder.input_bus(node_id, width)
+            elif node.op is DFOp.CONST:
+                assert node.value is not None
+                buses[node_id] = builder.const_bus(node.value & ((1 << width) - 1), width)
+            elif node.op is DFOp.OUTPUT:
+                source_bus = buses[node.inputs[0]]
+                # Materialise output bits as named cells.
+                out_bits = [builder.buf(bit) for bit in source_bus]
+                for position, bit in enumerate(out_bits):
+                    _, cell = bit
+                    self.fabric.name_output(f"{node_id}[{position}]", int(cell))
+                buses[node_id] = Bus(tuple(out_bits))
+            elif node.op is DFOp.NEG:
+                buses[node_id] = builder.negate(buses[node.inputs[0]])
+            else:
+                a = buses[node.inputs[0]]
+                b = buses[node.inputs[1]]
+                if node.op is DFOp.ADD:
+                    buses[node_id], _ = builder.adder(a, b)
+                elif node.op is DFOp.SUB:
+                    buses[node_id] = builder.subtractor(a, b)
+                elif node.op is DFOp.MUL:
+                    buses[node_id] = builder.multiplier(a, b)
+                elif node.op is DFOp.AND:
+                    buses[node_id] = builder.bitwise("and", a, b)
+                elif node.op is DFOp.OR:
+                    buses[node_id] = builder.bitwise("or", a, b)
+                elif node.op is DFOp.XOR:
+                    buses[node_id] = builder.bitwise("xor", a, b)
+                elif node.op is DFOp.MIN:
+                    buses[node_id] = builder.min_(a, b)
+                elif node.op is DFOp.MAX:
+                    buses[node_id] = builder.max_(a, b)
+                else:  # pragma: no cover - guarded above
+                    raise ConfigurationError(f"unhandled op {node.op}")
+        self._personality = "dataflow"
+        self._dataflow = graph
+        self._width = width
+        self._soft_program = None
+        return builder.cells_used
+
+    def run_dataflow(self, inputs: "dict[str, int] | None" = None) -> ExecutionResult:
+        """Evaluate the configured dataflow netlist on bound inputs.
+
+        Combinational settle takes one fabric cycle; outputs are read as
+        width-bit two's-complement integers.
+        """
+        if self._personality != "dataflow" or self._dataflow is None:
+            raise CapabilityError(
+                "fabric is not configured as a dataflow machine"
+            )
+        graph = self._dataflow
+        width = self._width
+        bound = dict(inputs or {})
+        missing = set(graph.input_names) - set(bound)
+        if missing:
+            raise ProgramError(f"unbound dataflow inputs: {sorted(missing)}")
+        bit_inputs: dict[str, int] = {}
+        mask = (1 << width) - 1
+        for name, value in bound.items():
+            encoded = value & mask
+            for position in range(width):
+                bit_inputs[f"{name}[{position}]"] = (encoded >> position) & 1
+        raw = self.fabric.step(bit_inputs)
+        outputs: dict[str, int] = {}
+        for name in graph.output_names:
+            value = 0
+            for position in range(width):
+                value |= raw[f"{name}[{position}]"] << position
+            if value & (1 << (width - 1)):  # sign-extend
+                value -= 1 << width
+            outputs[name] = value
+        return ExecutionResult(
+            cycles=1,
+            operations=graph.operator_count(),
+            outputs=outputs,
+            stats={
+                "machine": "USP(dataflow)",
+                "cells": self.fabric.used_cells,
+                "config_bits": self.config_bits_used(),
+                "width": width,
+            },
+        )
+
+    # -- instruction-flow personality ---------------------------------------
+
+    def configure_soft_processor(self, program: SoftProgram) -> int:
+        """Synthesise the accumulator CPU with ``program`` in ROM.
+
+        Architecture (everything below is LUT cells on the fabric):
+
+        * 4-bit PC register + ripple incrementer,
+        * 10-bit instruction ROM (one LUT per bit over the PC),
+        * 2-bit opcode decode,
+        * 8-bit accumulator with LDI/ADD datapath (ripple adder + muxes),
+        * sticky HALT flag freezing PC and accumulator,
+        * JNZ redirect when the accumulator is non-zero.
+
+        Returns cells used.
+        """
+        self.fabric.clear()
+        builder = NetlistBuilder(self.fabric)
+
+        pc = builder.register_placeholder(4)
+        acc = builder.register_placeholder(8)
+        halted = builder.register_placeholder(1)
+
+        word = builder.rom(pc, program.words(), 10)
+        operand = Bus(word.bits[:8])
+        op0, op1 = word.bits[8], word.bits[9]
+
+        not_op0 = builder.not_(op0)
+        not_op1 = builder.not_(op1)
+        is_ldi = builder.and_(not_op1, not_op0)      # 00
+        is_add = builder.and_(not_op1, op0)          # 01
+        is_jnz = builder.and_(op1, not_op0)          # 10
+        is_halt = builder.and_(op1, op0)             # 11
+
+        # Accumulator datapath.
+        total, _ = builder.adder(acc, operand)
+        after_ldi = builder.mux_bus(is_ldi, acc, operand)
+        after_add = builder.mux_bus(is_add, after_ldi, total)
+        running = builder.not_(halted[0])
+        acc_next = builder.mux_bus(running, acc, after_add)
+        builder.drive_register(acc, acc_next)
+
+        # Program counter.
+        one = builder.const_bus(1, 4)
+        pc_inc, _ = builder.adder(pc, one)
+        acc_nonzero = builder.any_bit(acc)
+        take_jump = builder.and3(is_jnz, acc_nonzero, running)
+        target = Bus(operand.bits[:4])
+        pc_next_running = builder.mux_bus(take_jump, pc_inc, target)
+        freeze = builder.or_(halted[0], is_halt)
+        pc_next = builder.mux_bus(freeze, pc_next_running, pc)
+        builder.drive_register(pc, pc_next)
+
+        # Sticky halt.
+        halt_next = builder.or_(halted[0], is_halt)
+        builder.drive_register(halted, Bus((halt_next,)))
+
+        # Observability.
+        for position, bit in enumerate(acc):
+            _, cell = bit
+            self.fabric.name_output(f"acc[{position}]", int(cell))
+        for position, bit in enumerate(pc):
+            _, cell = bit
+            self.fabric.name_output(f"pc[{position}]", int(cell))
+        _, halt_cell = halted[0]
+        self.fabric.name_output("halted", int(halt_cell))
+
+        self._personality = "soft-processor"
+        self._soft_program = program
+        self._dataflow = None
+        return builder.cells_used
+
+    def run_soft_processor(self, *, max_cycles: int = 10_000) -> ExecutionResult:
+        """Clock the soft CPU until its HALT flag rises; returns the acc."""
+        if self._personality != "soft-processor" or self._soft_program is None:
+            raise CapabilityError(
+                "fabric is not configured as a soft instruction processor"
+            )
+        cycles = 0
+        while True:
+            cycles += 1
+            if cycles > max_cycles:
+                raise ProgramError("soft processor exceeded max_cycles")
+            outputs = self.fabric.step()
+            if outputs["halted"]:
+                break
+        acc = sum(outputs[f"acc[{i}]"] << i for i in range(8))
+        return ExecutionResult(
+            cycles=cycles,
+            operations=cycles,  # one instruction per cycle until halt
+            outputs={"acc": acc},
+            stats={
+                "machine": "USP(soft-processor)",
+                "cells": self.fabric.used_cells,
+                "config_bits": self.config_bits_used(),
+                "program": self._soft_program.name,
+            },
+        )

@@ -1,0 +1,62 @@
+"""Predictive models of the extended taxonomy: Eq. 1 (area) and Eq. 2
+(configuration bits), with the switch-cost and technology-node libraries
+they are parameterised by."""
+
+from repro.models.area import AreaBreakdown, AreaModel, ComponentAreas, estimate_area
+from repro.models.energy import EnergyBreakdown, EnergyModel, EnergyParameters
+from repro.models.reconfiguration import (
+    ReconfigurationCost,
+    ReconfigurationModel,
+    ReconfigurationPort,
+)
+from repro.models.configbits import (
+    ComponentConfigWords,
+    ConfigBitsBreakdown,
+    ConfigBitsModel,
+    estimate_config_bits,
+)
+from repro.models.switches import (
+    DirectLinkModel,
+    FullCrossbarModel,
+    LimitedCrossbarModel,
+    SharedBusModel,
+    SwitchModel,
+    default_switch_model,
+)
+from repro.models.technology import (
+    NODE_28NM,
+    NODE_45NM,
+    NODE_65NM,
+    NODE_90NM,
+    NODES,
+    TechnologyNode,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParameters",
+    "ReconfigurationCost",
+    "ReconfigurationModel",
+    "ReconfigurationPort",
+    "AreaBreakdown",
+    "AreaModel",
+    "ComponentAreas",
+    "estimate_area",
+    "ComponentConfigWords",
+    "ConfigBitsBreakdown",
+    "ConfigBitsModel",
+    "estimate_config_bits",
+    "SwitchModel",
+    "DirectLinkModel",
+    "SharedBusModel",
+    "FullCrossbarModel",
+    "LimitedCrossbarModel",
+    "default_switch_model",
+    "TechnologyNode",
+    "NODES",
+    "NODE_90NM",
+    "NODE_65NM",
+    "NODE_45NM",
+    "NODE_28NM",
+]

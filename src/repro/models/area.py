@@ -1,0 +1,222 @@
+"""The area estimator — Eq. 1 of the paper.
+
+::
+
+    Area = N·A_IP + N·A_IM + A_IP-IP + A_IP-IM
+         + N·A_DP + N·A_DM + A_DP-DP + A_DP-DM
+
+For data-flow machines the IP/IM terms are dropped (the paper: "the first
+part involving IP and IM will be ignored"). Component areas come from a
+:class:`ComponentAreas` parameter set expressed in gate equivalents and
+SRAM bits; switch areas come from :mod:`repro.models.switches`; a
+:class:`~repro.models.technology.TechnologyNode` converts everything to
+µm² when absolute figures are wanted.
+
+The estimator preserves the paper's qualitative claims, which the
+benchmark suite checks: area grows with flexibility because an ``x``
+switch costs more than a ``-`` link, and crossbar area grows
+quadratically in N while direct wiring grows linearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.connectivity import LINK_SITES, LinkKind, LinkSite
+from repro.core.signature import Signature
+from repro.models.switches import SwitchModel, default_switch_model
+from repro.models.technology import NODE_65NM, TechnologyNode
+
+__all__ = ["ComponentAreas", "AreaBreakdown", "AreaModel", "estimate_area"]
+
+
+@dataclass(frozen=True, slots=True)
+class ComponentAreas:
+    """Per-component area parameters.
+
+    Logic blocks (IP, DP) in gate equivalents; memories (IM, DM) in bits.
+    The defaults describe a small RISC-class IP, a 32-bit ALU-class DP and
+    kilobyte-scale memories — deliberately modest, embedded-CGRA-flavoured
+    values; replace them to model a specific design point.
+    """
+
+    ip_ge: float = 12_000.0
+    dp_ge: float = 8_000.0
+    im_bits: int = 8 * 1024 * 8
+    dm_bits: int = 16 * 1024 * 8
+    #: Fine-grained cell (LUT + FF + local routing) for universal fabrics.
+    lut_cell_ge: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in ("ip_ge", "dp_ge", "lut_cell_ge"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        for name in ("im_bits", "dm_bits"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class AreaBreakdown:
+    """Eq.-1 terms, itemised, in gate equivalents.
+
+    Memory terms are tracked separately in bits because SRAM converts to
+    silicon at a different density.
+    """
+
+    ip_logic_ge: float
+    dp_logic_ge: float
+    im_bits: float
+    dm_bits: float
+    switch_ge: dict[LinkSite, float]
+
+    @property
+    def total_logic_ge(self) -> float:
+        return self.ip_logic_ge + self.dp_logic_ge + sum(self.switch_ge.values())
+
+    @property
+    def total_memory_bits(self) -> float:
+        return self.im_bits + self.dm_bits
+
+    def total_um2(self, node: TechnologyNode) -> float:
+        """Absolute area at a technology node."""
+        return node.logic_area(self.total_logic_ge) + node.memory_area(
+            self.total_memory_bits
+        )
+
+    def explain(self) -> str:
+        lines = [
+            f"IP logic: {self.ip_logic_ge:,.0f} GE",
+            f"DP logic: {self.dp_logic_ge:,.0f} GE",
+            f"IM: {self.im_bits:,.0f} bits",
+            f"DM: {self.dm_bits:,.0f} bits",
+        ]
+        for site, area in self.switch_ge.items():
+            lines.append(f"{site.label} switch: {area:,.0f} GE")
+        lines.append(f"total logic: {self.total_logic_ge:,.0f} GE")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class AreaModel:
+    """Configured Eq.-1 evaluator.
+
+    Parameters
+    ----------
+    areas:
+        Per-component area library.
+    width_bits:
+        Datapath width assumed for switch sizing.
+    switch_models:
+        Optional per-site overrides (e.g. a limited crossbar on DP-DP);
+        sites not listed fall back to :func:`default_switch_model`.
+    """
+
+    areas: ComponentAreas = field(default_factory=ComponentAreas)
+    width_bits: int = 32
+    switch_models: dict[LinkSite, SwitchModel] = field(default_factory=dict)
+
+    def _switch_model(self, site: LinkSite, kind: LinkKind) -> SwitchModel | None:
+        if kind is LinkKind.NONE:
+            return None
+        override = self.switch_models.get(site)
+        if override is not None:
+            return override
+        return default_switch_model(kind, width_bits=self.width_bits)
+
+    def _populations(self, signature: Signature, default_n: int) -> tuple[int, int]:
+        n_ip = signature.ips.resolve(default_n)
+        n_dp = signature.dps.resolve(default_n)
+        return n_ip, n_dp
+
+    def _site_ports(
+        self, site: LinkSite, n_ip: int, n_dp: int, n_im: int, n_dm: int
+    ) -> tuple[int, int]:
+        ports = {
+            LinkSite.IP_IP: (n_ip, n_ip),
+            LinkSite.IP_DP: (n_ip, n_dp),
+            LinkSite.IP_IM: (n_ip, n_im),
+            LinkSite.DP_DM: (n_dp, n_dm),
+            LinkSite.DP_DP: (n_dp, n_dp),
+        }
+        return ports[site]
+
+    def breakdown(self, signature: Signature, *, n: int = 16) -> AreaBreakdown:
+        """Evaluate Eq. 1 for a signature with ``n`` substituted for symbols.
+
+        For universal-flow (fine-grained) machines the IP/DP logic terms
+        use the LUT-cell area — the fabric *is* the processors — while the
+        switch terms still apply (the rich vxv interconnect).
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        n_ip, n_dp = self._populations(signature, n)
+        # Memories pair with their processors: one IM per IP, one DM per DP
+        # (Eq. 1 uses the same N for the component and its memory).
+        n_im, n_dm = n_ip, n_dp
+
+        if signature.is_universal_flow:
+            # v-symbol machines: a fabric of fine cells; each "processor"
+            # is a region of LUT cells rather than a hard macro. The IM/DM
+            # of a configured machine live in the same cells (LUT RAM), so
+            # the memory terms stay but shrink to the configured size.
+            ip_logic = n_ip * self.areas.lut_cell_ge * _CELLS_PER_SOFT_IP
+            dp_logic = n_dp * self.areas.lut_cell_ge * _CELLS_PER_SOFT_DP
+        else:
+            ip_logic = n_ip * self.areas.ip_ge
+            dp_logic = n_dp * self.areas.dp_ge
+        im_bits = float(n_im * self.areas.im_bits) if signature.is_data_flow is False else 0.0
+        if signature.is_data_flow:
+            # Eq. 1: IP and IM terms ignored for data-flow machines.
+            ip_logic = 0.0
+            im_bits = 0.0
+        dm_bits = float(n_dm * self.areas.dm_bits)
+
+        switch_ge: dict[LinkSite, float] = {}
+        for site in LINK_SITES:
+            kind = signature.link(site).kind
+            model = self._switch_model(site, kind)
+            if model is None:
+                continue
+            inputs, outputs = self._site_ports(site, n_ip, n_dp, n_im, n_dm)
+            switch_ge[site] = model.area_ge(inputs, outputs)
+
+        return AreaBreakdown(
+            ip_logic_ge=ip_logic,
+            dp_logic_ge=dp_logic,
+            im_bits=im_bits,
+            dm_bits=dm_bits,
+            switch_ge=switch_ge,
+        )
+
+    def total_ge(self, signature: Signature, *, n: int = 16) -> float:
+        """Total logic area in gate equivalents (memories excluded)."""
+        return self.breakdown(signature, n=n).total_logic_ge
+
+    def total_um2(
+        self, signature: Signature, *, n: int = 16, node: TechnologyNode = NODE_65NM
+    ) -> float:
+        """Total area (logic + memory) in µm² at a technology node."""
+        return self.breakdown(signature, n=n).total_um2(node)
+
+
+#: Soft-processor footprints on a fine-grained fabric, in LUT cells.
+_CELLS_PER_SOFT_IP = 600
+_CELLS_PER_SOFT_DP = 400
+
+
+def estimate_area(
+    signature: Signature,
+    *,
+    n: int = 16,
+    model: AreaModel | None = None,
+    node: TechnologyNode | None = None,
+) -> float:
+    """Convenience one-shot Eq.-1 evaluation.
+
+    Returns gate equivalents, or µm² when ``node`` is given.
+    """
+    active = model if model is not None else AreaModel()
+    if node is None:
+        return active.total_ge(signature, n=n)
+    return active.total_um2(signature, n=n, node=node)

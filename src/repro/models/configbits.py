@@ -1,0 +1,181 @@
+"""The configuration-overhead estimator — Eq. 2 of the paper.
+
+::
+
+    CB = N·CW_IP + N·CW_IM + CW_IP-IP + CW_IP-IM
+       + N·CW_DP + N·CW_DM + CW_DP-DP + CW_DP-DM
+
+Each component contributes a configuration word (CW) whose width "depends
+on the type, functionality and IOs of a component"; switch CWs come from
+the models in :mod:`repro.models.switches` (a full crossbar needs more
+bits than a limited one). Fixed-function components — a hard-wired IP
+executing a fixed ISA, a plain memory — contribute zero CW; it is the
+*reconfigurable* structures that pay.
+
+The flexibility/overhead trade-off the paper describes (§III-B: an FPGA
+is most flexible "at the cost of enormous reconfiguration overhead")
+falls out of this model and is checked by the Eq.-2 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.connectivity import LINK_SITES, LinkKind, LinkSite
+from repro.core.signature import Signature
+from repro.models.switches import SwitchModel, default_switch_model
+
+__all__ = ["ComponentConfigWords", "ConfigBitsBreakdown", "ConfigBitsModel", "estimate_config_bits"]
+
+
+@dataclass(frozen=True, slots=True)
+class ComponentConfigWords:
+    """Per-component configuration-word widths, in bits.
+
+    Defaults model a CGRA-style fabric: a sequencer IP with a mode word, a
+    DP with an opcode/constant word, memories with address-generator
+    configuration, and fine-grained LUT cells whose truth table plus
+    input-select bits dominate (the FPGA overhead story).
+    """
+
+    ip_cw: int = 32
+    dp_cw: int = 48
+    im_cw: int = 16
+    dm_cw: int = 24
+    #: Truth table (2^k) + input selection for a k-input LUT cell.
+    lut_inputs: int = 4
+    lut_routing_cw: int = 24
+
+    def __post_init__(self) -> None:
+        for name in ("ip_cw", "dp_cw", "im_cw", "dm_cw", "lut_routing_cw"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.lut_inputs <= 0:
+            raise ValueError("lut_inputs must be positive")
+
+    @property
+    def lut_cell_cw(self) -> int:
+        """Configuration bits of one fine-grained cell."""
+        return (1 << self.lut_inputs) + self.lut_routing_cw
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigBitsBreakdown:
+    """Eq.-2 terms, itemised, in bits."""
+
+    ip_bits: int
+    dp_bits: int
+    im_bits: int
+    dm_bits: int
+    switch_bits: dict[LinkSite, int]
+
+    @property
+    def total(self) -> int:
+        return (
+            self.ip_bits
+            + self.dp_bits
+            + self.im_bits
+            + self.dm_bits
+            + sum(self.switch_bits.values())
+        )
+
+    @property
+    def switch_total(self) -> int:
+        return sum(self.switch_bits.values())
+
+    def explain(self) -> str:
+        lines = [
+            f"IP words: {self.ip_bits:,} bits",
+            f"DP words: {self.dp_bits:,} bits",
+            f"IM words: {self.im_bits:,} bits",
+            f"DM words: {self.dm_bits:,} bits",
+        ]
+        for site, bits in self.switch_bits.items():
+            lines.append(f"{site.label} switch: {bits:,} bits")
+        lines.append(f"total: {self.total:,} bits")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigBitsModel:
+    """Configured Eq.-2 evaluator (mirrors :class:`~repro.models.area.AreaModel`)."""
+
+    words: ComponentConfigWords = field(default_factory=ComponentConfigWords)
+    width_bits: int = 32
+    switch_models: dict[LinkSite, SwitchModel] = field(default_factory=dict)
+    #: Hard-wired (non-reconfigurable) machines pay no component CW.
+    reconfigurable_components: bool = True
+
+    def _switch_model(self, site: LinkSite, kind: LinkKind) -> SwitchModel | None:
+        if kind is LinkKind.NONE:
+            return None
+        override = self.switch_models.get(site)
+        if override is not None:
+            return override
+        return default_switch_model(kind, width_bits=self.width_bits)
+
+    def breakdown(self, signature: Signature, *, n: int = 16) -> ConfigBitsBreakdown:
+        """Evaluate Eq. 2 for a signature with ``n`` substituted for symbols."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        n_ip = signature.ips.resolve(n)
+        n_dp = signature.dps.resolve(n)
+        n_im, n_dm = n_ip, n_dp
+
+        if signature.is_universal_flow:
+            # Fine-grained fabric: every soft processor is a region of LUT
+            # cells, each cell paying its truth-table + routing word.
+            from repro.models.area import _CELLS_PER_SOFT_DP, _CELLS_PER_SOFT_IP
+
+            ip_bits = n_ip * _CELLS_PER_SOFT_IP * self.words.lut_cell_cw
+            dp_bits = n_dp * _CELLS_PER_SOFT_DP * self.words.lut_cell_cw
+            im_bits = n_im * self.words.im_cw
+            dm_bits = n_dm * self.words.dm_cw
+        elif self.reconfigurable_components:
+            ip_bits = n_ip * self.words.ip_cw
+            dp_bits = n_dp * self.words.dp_cw
+            im_bits = n_im * self.words.im_cw
+            dm_bits = n_dm * self.words.dm_cw
+        else:
+            ip_bits = dp_bits = im_bits = dm_bits = 0
+
+        if signature.is_data_flow:
+            ip_bits = 0
+            im_bits = 0
+
+        switch_bits: dict[LinkSite, int] = {}
+        ports = {
+            LinkSite.IP_IP: (n_ip, n_ip),
+            LinkSite.IP_DP: (n_ip, n_dp),
+            LinkSite.IP_IM: (n_ip, n_im),
+            LinkSite.DP_DM: (n_dp, n_dm),
+            LinkSite.DP_DP: (n_dp, n_dp),
+        }
+        for site in LINK_SITES:
+            kind = signature.link(site).kind
+            if kind is not LinkKind.SWITCHED:
+                continue  # direct wiring has nothing to configure
+            model = self._switch_model(site, kind)
+            if model is None:
+                continue
+            inputs, outputs = ports[site]
+            switch_bits[site] = model.config_bits(inputs, outputs)
+
+        return ConfigBitsBreakdown(
+            ip_bits=ip_bits,
+            dp_bits=dp_bits,
+            im_bits=im_bits,
+            dm_bits=dm_bits,
+            switch_bits=switch_bits,
+        )
+
+    def total(self, signature: Signature, *, n: int = 16) -> int:
+        return self.breakdown(signature, n=n).total
+
+
+def estimate_config_bits(
+    signature: Signature, *, n: int = 16, model: ConfigBitsModel | None = None
+) -> int:
+    """Convenience one-shot Eq.-2 evaluation, in bits."""
+    active = model if model is not None else ConfigBitsModel()
+    return active.total(signature, n=n)

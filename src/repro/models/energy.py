@@ -1,0 +1,174 @@
+"""Energy model — the natural companion of Eq. 1 and Eq. 2.
+
+§III-B notes that published architectures are compared on "speed or
+energy efficiency" but offers no energy metric; this module supplies the
+same style of structural estimator the paper builds for area and
+configuration: per-operation energy composed from component activity and
+interconnect traversal costs.
+
+The model follows the standard CMOS decomposition:
+
+* executing one operation costs the DP's switching energy plus its
+  operand traffic through the DP-DM path;
+* instruction delivery costs IP energy plus the IP-IM and IP-DP paths;
+* each traversal of a *switched* path costs more than a direct wire
+  (the mux tree toggles), in proportion to the structure's area — the
+  energetic face of the flexibility trade-off;
+* static (leakage) power is proportional to total area, so flexible
+  (bigger) fabrics pay standby energy even when idle.
+
+Like Eq. 1/Eq. 2, the absolute numbers are library parameters; the
+claims the benchmarks verify are orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.connectivity import LINK_SITES, LinkKind, LinkSite
+from repro.core.signature import Signature
+from repro.models.area import AreaModel
+
+__all__ = ["EnergyParameters", "EnergyBreakdown", "EnergyModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyParameters:
+    """Per-event energy costs in picojoules (order-of-magnitude CMOS)."""
+
+    dp_op_pj: float = 4.0          #: one ALU-class operation
+    ip_issue_pj: float = 6.0       #: fetch/decode/issue of one instruction
+    memory_access_pj: float = 8.0  #: one DM/IM word access
+    wire_traversal_pj: float = 0.5     #: direct link, per word
+    switch_traversal_pj: float = 2.5   #: crossbar-class link, per word
+    #: leakage power per gate equivalent, in pJ per cycle at 1 GHz-class rates.
+    leakage_pj_per_ge_cycle: float = 0.0005
+
+    def __post_init__(self) -> None:
+        for name in (
+            "dp_op_pj", "ip_issue_pj", "memory_access_pj",
+            "wire_traversal_pj", "switch_traversal_pj",
+            "leakage_pj_per_ge_cycle",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.switch_traversal_pj < self.wire_traversal_pj:
+            raise ValueError(
+                "a switched traversal cannot cost less than a direct wire"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyBreakdown:
+    """Energy of one workload, itemised (picojoules)."""
+
+    compute_pj: float
+    instruction_pj: float
+    memory_pj: float
+    interconnect_pj: float
+    leakage_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.compute_pj
+            + self.instruction_pj
+            + self.memory_pj
+            + self.interconnect_pj
+            + self.leakage_pj
+        )
+
+    @property
+    def dynamic_pj(self) -> float:
+        return self.total_pj - self.leakage_pj
+
+    def explain(self) -> str:
+        lines = [
+            f"compute:      {self.compute_pj:,.1f} pJ",
+            f"instruction:  {self.instruction_pj:,.1f} pJ",
+            f"memory:       {self.memory_pj:,.1f} pJ",
+            f"interconnect: {self.interconnect_pj:,.1f} pJ",
+            f"leakage:      {self.leakage_pj:,.1f} pJ",
+            f"total:        {self.total_pj:,.1f} pJ",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Structural per-workload energy estimator for a taxonomy class."""
+
+    parameters: EnergyParameters = field(default_factory=EnergyParameters)
+    area_model: AreaModel = field(default_factory=AreaModel)
+
+    def _traversal_cost(self, signature: Signature, site: LinkSite) -> float:
+        kind = signature.link(site).kind
+        if kind is LinkKind.NONE:
+            return 0.0
+        if kind is LinkKind.DIRECT:
+            return self.parameters.wire_traversal_pj
+        return self.parameters.switch_traversal_pj
+
+    def estimate(
+        self,
+        signature: Signature,
+        *,
+        operations: int,
+        memory_accesses: int | None = None,
+        cycles: int | None = None,
+        n: int = 16,
+    ) -> EnergyBreakdown:
+        """Energy for a workload of ``operations`` ops on the class.
+
+        ``memory_accesses`` defaults to one access per operation;
+        ``cycles`` (for the leakage term) defaults to assuming the
+        machine's DPs are fully utilised (ops / population).
+        """
+        if operations < 0:
+            raise ValueError("operations must be non-negative")
+        params = self.parameters
+        accesses = memory_accesses if memory_accesses is not None else operations
+        if accesses < 0:
+            raise ValueError("memory accesses must be non-negative")
+
+        n_dp = max(signature.dps.resolve(n), 1)
+        if cycles is None:
+            cycles = max(-(-operations // n_dp), 1)
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+
+        compute = operations * params.dp_op_pj
+
+        if signature.is_data_flow:
+            # No instruction stream: operations self-trigger on tokens.
+            instruction = 0.0
+            instruction_traffic = 0.0
+        else:
+            instruction = operations * params.ip_issue_pj
+            instruction_traffic = operations * (
+                self._traversal_cost(signature, LinkSite.IP_IM)
+                + self._traversal_cost(signature, LinkSite.IP_DP)
+            )
+
+        memory = accesses * params.memory_access_pj
+        data_traffic = accesses * self._traversal_cost(signature, LinkSite.DP_DM)
+
+        leakage = (
+            self.area_model.total_ge(signature, n=n)
+            * params.leakage_pj_per_ge_cycle
+            * cycles
+        )
+
+        return EnergyBreakdown(
+            compute_pj=compute,
+            instruction_pj=instruction,
+            memory_pj=memory,
+            interconnect_pj=instruction_traffic + data_traffic,
+            leakage_pj=leakage,
+        )
+
+    def energy_per_op(self, signature: Signature, *, n: int = 16) -> float:
+        """Marginal energy of one fully-utilised operation (pJ/op)."""
+        window = 1000 * max(signature.dps.resolve(n), 1)
+        breakdown = self.estimate(signature, operations=window, n=n)
+        return breakdown.total_pj / window

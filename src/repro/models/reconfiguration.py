@@ -1,0 +1,85 @@
+"""Reconfiguration-overhead model: turning Eq.-2 bits into time and energy.
+
+The paper's flexibility/overhead trade-off (§III-B) speaks of
+"reconfiguration overhead in terms of configuration bits and routing
+resources". Bits become *latency* once a configuration port's bandwidth
+is fixed, and *energy* once the cost of writing a configuration bit is
+fixed; this module provides that conversion plus the break-even
+analysis a designer actually runs: how much work must a configuration
+amortise before reconfiguring was worth it?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.signature import Signature
+from repro.models.configbits import ConfigBitsModel
+
+__all__ = ["ReconfigurationPort", "ReconfigurationCost", "ReconfigurationModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigurationPort:
+    """The configuration interface: how fast and at what energy bits load."""
+
+    bandwidth_bits_per_cycle: int = 32
+    write_energy_pj_per_bit: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bits_per_cycle <= 0:
+            raise ValueError("configuration bandwidth must be positive")
+        if self.write_energy_pj_per_bit < 0:
+            raise ValueError("write energy must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigurationCost:
+    """One reconfiguration event, quantified."""
+
+    config_bits: int
+    cycles: int
+    energy_pj: float
+
+    def amortisation_ops(self, *, useful_op_cycles: float = 1.0) -> float:
+        """Operations of useful work equal in cycles to the reload.
+
+        The break-even question: a configuration that will execute fewer
+        operations than this before being replaced spends more time
+        reconfiguring than computing.
+        """
+        if useful_op_cycles <= 0:
+            raise ValueError("useful_op_cycles must be positive")
+        return self.cycles / useful_op_cycles
+
+
+@dataclass(frozen=True)
+class ReconfigurationModel:
+    """Eq.-2 bits -> reload latency/energy for a taxonomy class."""
+
+    port: ReconfigurationPort = field(default_factory=ReconfigurationPort)
+    config_model: ConfigBitsModel = field(default_factory=ConfigBitsModel)
+
+    def cost(self, signature: Signature, *, n: int = 16) -> ReconfigurationCost:
+        bits = self.config_model.total(signature, n=n)
+        cycles = -(-bits // self.port.bandwidth_bits_per_cycle)  # ceil
+        return ReconfigurationCost(
+            config_bits=bits,
+            cycles=cycles,
+            energy_pj=bits * self.port.write_energy_pj_per_bit,
+        )
+
+    def break_even_table(
+        self,
+        signatures: "dict[str, Signature]",
+        *,
+        n: int = 16,
+        useful_op_cycles: float = 1.0,
+    ) -> dict[str, float]:
+        """Per-class amortisation thresholds (ops before reconfig pays)."""
+        return {
+            name: self.cost(sig, n=n).amortisation_ops(
+                useful_op_cycles=useful_op_cycles
+            )
+            for name, sig in signatures.items()
+        }

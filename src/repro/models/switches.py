@@ -1,0 +1,216 @@
+"""Cost models for the taxonomy's connectivity switches.
+
+Eq. 1 and Eq. 2 need, for every connectivity site, the silicon area and
+the configuration-word width of the structure implementing it. The paper
+distinguishes direct (``'-'``) connections — fixed wiring, no
+configuration — from switched (``'x'``) connections through full or
+limited crossbars, noting that "a full cross bar switch will require
+more bits than a limited crossbar".
+
+The models here are the standard mux-based estimates:
+
+* a **full crossbar** with ``n`` inputs and ``m`` outputs is ``m``
+  ``n``-to-1 multiplexers: area grows with ``n·m`` (times the datapath
+  width), configuration needs ``m·ceil(log2(n+1))`` bits (the ``+1``
+  reserves an "unconnected" code);
+* a **limited crossbar** restricts each output to a window of ``w``
+  candidate inputs (DRRA's 3-hop window, Matrix's length-4 bypass):
+  area ``w·m``, configuration ``m·ceil(log2(w+1))``;
+* a **shared bus** connects everything through one wire set with a
+  per-port tristate driver and an arbiter;
+* a **direct** link is fixed wiring: area proportional to port count,
+  zero configuration bits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.connectivity import LinkKind
+
+__all__ = [
+    "SwitchModel",
+    "DirectLinkModel",
+    "SharedBusModel",
+    "FullCrossbarModel",
+    "LimitedCrossbarModel",
+    "default_switch_model",
+]
+
+#: Gate equivalents of one 2-to-1 mux bit (one GE ~ a NAND2; a mux2 is ~3).
+_MUX2_GE_PER_BIT = 3.0
+#: Gate equivalents per bit of fixed wiring buffer on a direct link.
+_DIRECT_GE_PER_BIT = 0.5
+#: Gate equivalents per bit of a tristate bus driver.
+_BUS_DRIVER_GE_PER_BIT = 1.5
+#: Gate equivalents per request line of a round-robin arbiter.
+_ARBITER_GE_PER_PORT = 12.0
+
+
+def _ceil_log2(value: int) -> int:
+    """ceil(log2(value)) with the convention that values <= 1 cost 0 bits."""
+    if value <= 1:
+        return 0
+    return int(math.ceil(math.log2(value)))
+
+
+@dataclass(frozen=True, slots=True)
+class SwitchModel:
+    """Abstract cost model of one connectivity structure.
+
+    Subclasses implement :meth:`area_ge` (gate equivalents) and
+    :meth:`config_bits` as functions of the endpoint populations.
+    ``width_bits`` is the datapath width carried by each port.
+    """
+
+    width_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.width_bits <= 0:
+            raise ValueError("datapath width must be positive")
+
+    # -- interface ------------------------------------------------------
+
+    def area_ge(self, inputs: int, outputs: int) -> float:
+        raise NotImplementedError
+
+    def config_bits(self, inputs: int, outputs: int) -> int:
+        raise NotImplementedError
+
+    @property
+    def kind(self) -> LinkKind:
+        raise NotImplementedError
+
+    # -- shared validation ----------------------------------------------
+
+    @staticmethod
+    def _check_ports(inputs: int, outputs: int) -> None:
+        if inputs < 0 or outputs < 0:
+            raise ValueError("port counts must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class DirectLinkModel(SwitchModel):
+    """Fixed point-to-point wiring (the ``'-'`` separator).
+
+    One buffered connection per output port; nothing to configure.
+    """
+
+    @property
+    def kind(self) -> LinkKind:
+        return LinkKind.DIRECT
+
+    def area_ge(self, inputs: int, outputs: int) -> float:
+        self._check_ports(inputs, outputs)
+        return max(inputs, outputs) * self.width_bits * _DIRECT_GE_PER_BIT
+
+    def config_bits(self, inputs: int, outputs: int) -> int:
+        self._check_ports(inputs, outputs)
+        return 0
+
+
+@dataclass(frozen=True, slots=True)
+class SharedBusModel(SwitchModel):
+    """A single shared bus with tristate drivers and a round-robin arbiter.
+
+    Switched in the taxonomy sense (any input can reach any output), but
+    serialised: only one transfer per cycle. Configuration selects the
+    granted master per transaction, so the persistent configuration cost
+    is the arbiter's grant register.
+    """
+
+    @property
+    def kind(self) -> LinkKind:
+        return LinkKind.SWITCHED
+
+    def area_ge(self, inputs: int, outputs: int) -> float:
+        self._check_ports(inputs, outputs)
+        ports = inputs + outputs
+        drivers = ports * self.width_bits * _BUS_DRIVER_GE_PER_BIT
+        arbiter = inputs * _ARBITER_GE_PER_PORT
+        return drivers + arbiter
+
+    def config_bits(self, inputs: int, outputs: int) -> int:
+        self._check_ports(inputs, outputs)
+        return _ceil_log2(inputs + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class FullCrossbarModel(SwitchModel):
+    """A full ``n×m`` crossbar: every output owns an ``n``-to-1 mux."""
+
+    @property
+    def kind(self) -> LinkKind:
+        return LinkKind.SWITCHED
+
+    def area_ge(self, inputs: int, outputs: int) -> float:
+        self._check_ports(inputs, outputs)
+        if inputs == 0 or outputs == 0:
+            return 0.0
+        # An n-to-1 mux needs (n-1) mux2 cells per bit; even the
+        # degenerate 1-input switch keeps a gating cell per bit so a
+        # crossbar never undercuts plain wire.
+        mux_cells = max(inputs - 1, 1)
+        return outputs * mux_cells * self.width_bits * _MUX2_GE_PER_BIT
+
+    def config_bits(self, inputs: int, outputs: int) -> int:
+        self._check_ports(inputs, outputs)
+        if inputs == 0 or outputs == 0:
+            return 0
+        return outputs * _ceil_log2(inputs + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class LimitedCrossbarModel(SwitchModel):
+    """A window-limited crossbar: each output sees only ``window`` inputs.
+
+    Models DRRA's 3-hop sliding window and Matrix's nearest-neighbour +
+    bypass fabrics. With ``window >= inputs`` it degenerates to the full
+    crossbar.
+    """
+
+    window: int = 7
+
+    def __post_init__(self) -> None:
+        # Explicit base call: zero-arg super() is broken inside dataclasses
+        # with slots=True (the decorator rebuilds the class).
+        SwitchModel.__post_init__(self)
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+
+    @property
+    def kind(self) -> LinkKind:
+        return LinkKind.SWITCHED
+
+    def _effective_window(self, inputs: int) -> int:
+        return min(self.window, inputs)
+
+    def area_ge(self, inputs: int, outputs: int) -> float:
+        self._check_ports(inputs, outputs)
+        if inputs == 0 or outputs == 0:
+            return 0.0
+        window = self._effective_window(inputs)
+        mux_cells = max(window - 1, 1)  # same gating floor as the full crossbar
+        return outputs * mux_cells * self.width_bits * _MUX2_GE_PER_BIT
+
+    def config_bits(self, inputs: int, outputs: int) -> int:
+        self._check_ports(inputs, outputs)
+        if inputs == 0 or outputs == 0:
+            return 0
+        window = self._effective_window(inputs)
+        return outputs * _ceil_log2(window + 1)
+
+
+def default_switch_model(kind: LinkKind, *, width_bits: int = 32) -> SwitchModel | None:
+    """The default cost model for a link kind (``None`` for NONE).
+
+    Direct links get :class:`DirectLinkModel`; switched links get the
+    conservative :class:`FullCrossbarModel`, matching the paper's default
+    reading of ``'x'`` as a full crossbar.
+    """
+    if kind is LinkKind.NONE:
+        return None
+    if kind is LinkKind.DIRECT:
+        return DirectLinkModel(width_bits=width_bits)
+    return FullCrossbarModel(width_bits=width_bits)

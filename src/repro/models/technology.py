@@ -1,0 +1,75 @@
+"""Technology-node parameters for area estimation.
+
+The paper's Eq. 1 is structural: it composes per-component areas without
+fixing units. To make the estimator concrete we express component areas
+in *gate equivalents* (GE, the area of a 2-input NAND) and provide
+technology nodes that translate GE into square micrometres. The defaults
+are order-of-magnitude values for standard-cell logic; they are inputs
+the user can replace, not claims of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechnologyNode", "NODE_90NM", "NODE_65NM", "NODE_45NM", "NODE_28NM", "NODES"]
+
+
+@dataclass(frozen=True, slots=True)
+class TechnologyNode:
+    """A manufacturing node with its gate-equivalent footprint.
+
+    ``ge_area_um2`` is the silicon area of one gate equivalent;
+    ``sram_bit_um2`` the area of one SRAM bit cell (memories are far
+    denser than logic, so Eq. 1's memory terms use this instead).
+    """
+
+    name: str
+    feature_nm: float
+    ge_area_um2: float
+    sram_bit_um2: float
+
+    def __post_init__(self) -> None:
+        if self.feature_nm <= 0:
+            raise ValueError("feature size must be positive")
+        if self.ge_area_um2 <= 0 or self.sram_bit_um2 <= 0:
+            raise ValueError("area parameters must be positive")
+
+    def logic_area(self, gate_equivalents: float) -> float:
+        """Area in µm² of a logic block of the given GE count."""
+        if gate_equivalents < 0:
+            raise ValueError("gate equivalents must be non-negative")
+        return gate_equivalents * self.ge_area_um2
+
+    def memory_area(self, bits: float) -> float:
+        """Area in µm² of an SRAM of the given bit count."""
+        if bits < 0:
+            raise ValueError("bit count must be non-negative")
+        return bits * self.sram_bit_um2
+
+    def scaled(self, target_feature_nm: float) -> "TechnologyNode":
+        """Classical (Dennard) area scaling to another feature size.
+
+        Area scales with the square of the feature-size ratio. Useful for
+        quick what-if estimates at nodes not in the built-in table.
+        """
+        if target_feature_nm <= 0:
+            raise ValueError("target feature size must be positive")
+        ratio = (target_feature_nm / self.feature_nm) ** 2
+        return TechnologyNode(
+            name=f"{target_feature_nm:g}nm(scaled)",
+            feature_nm=target_feature_nm,
+            ge_area_um2=self.ge_area_um2 * ratio,
+            sram_bit_um2=self.sram_bit_um2 * ratio,
+        )
+
+
+#: Representative nodes (order-of-magnitude standard-cell figures).
+NODE_90NM = TechnologyNode("90nm", 90.0, 4.4, 1.0)
+NODE_65NM = TechnologyNode("65nm", 65.0, 2.1, 0.52)
+NODE_45NM = TechnologyNode("45nm", 45.0, 1.1, 0.25)
+NODE_28NM = TechnologyNode("28nm", 28.0, 0.49, 0.12)
+
+NODES: dict[str, TechnologyNode] = {
+    node.name: node for node in (NODE_90NM, NODE_65NM, NODE_45NM, NODE_28NM)
+}

@@ -1,0 +1,40 @@
+"""Registry of the 25 architectures surveyed in Table III, with the
+query API used to regenerate the survey table and the Fig.-7 ranking."""
+
+from repro.registry.architectures import (
+    KNOWN_ERRATA,
+    SURVEYED_ARCHITECTURES,
+    all_architectures,
+    architecture,
+    architecture_names,
+    architectures_by_family,
+)
+from repro.registry.custom import CustomEntry, CustomRegistry
+from repro.registry.record import ArchitectureFamily, ArchitectureRecord
+from repro.registry.survey import (
+    SurveyEntry,
+    errata_report,
+    flexibility_ranking,
+    group_by_class,
+    most_flexible,
+    survey_table,
+)
+
+__all__ = [
+    "CustomEntry",
+    "CustomRegistry",
+    "ArchitectureFamily",
+    "ArchitectureRecord",
+    "SURVEYED_ARCHITECTURES",
+    "KNOWN_ERRATA",
+    "all_architectures",
+    "architecture",
+    "architecture_names",
+    "architectures_by_family",
+    "SurveyEntry",
+    "survey_table",
+    "flexibility_ranking",
+    "group_by_class",
+    "most_flexible",
+    "errata_report",
+]

@@ -1,0 +1,407 @@
+"""The 25 surveyed architectures of Table III.
+
+Structural cells are transcribed verbatim from the paper's Table III;
+the descriptions condense the §IV prose. ``paper_name`` and
+``paper_flexibility`` are what the paper printed — the library re-derives
+both, and the golden tests check agreement (one known erratum: the paper
+prints flexibility 2 for PACT XPP although its own Table II assigns
+IMP-II a value of 3; see ``KNOWN_ERRATA``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.errors import RegistryError
+from repro.registry.record import ArchitectureFamily, ArchitectureRecord
+
+__all__ = [
+    "SURVEYED_ARCHITECTURES",
+    "KNOWN_ERRATA",
+    "all_architectures",
+    "architecture",
+    "architectures_by_family",
+    "architecture_names",
+]
+
+
+def _record(*args, **kwargs) -> ArchitectureRecord:
+    return ArchitectureRecord(*args, **kwargs)
+
+
+#: Table III, row by row, in the paper's order.
+SURVEYED_ARCHITECTURES: tuple[ArchitectureRecord, ...] = (
+    _record(
+        name="ARM7TDMI",
+        ips="1", dps="1", ip_ip="none", ip_dp="1-1", ip_im="1-1",
+        dp_dm="1-1", dp_dp="none",
+        paper_name="IUP", paper_flexibility=0,
+        family=ArchitectureFamily.MICROCONTROLLER, year=1994,
+        reference="Texas Instruments TMS470R1A256 datasheet [10]",
+        description=(
+            "Classic 32-bit RISC uni-processor: one instruction processor "
+            "directly coupled to one data processor, instruction and data "
+            "memories hard-wired — the baseline instruction-flow machine."
+        ),
+    ),
+    _record(
+        name="AT89C51",
+        ips="1", dps="1", ip_ip="none", ip_dp="1-1", ip_im="1-1",
+        dp_dm="1-1", dp_dp="none",
+        paper_name="IUP", paper_flexibility=0,
+        family=ArchitectureFamily.MICROCONTROLLER, year=1993,
+        reference="Atmel AT89C51 datasheet [11]",
+        description=(
+            "8-bit 8051-family microcontroller with 4K flash; a minimal "
+            "Von Neumann instruction-flow uni-processor."
+        ),
+    ),
+    _record(
+        name="IMAGINE",
+        ips="1", dps="6", ip_ip="none", ip_dp="1-6", ip_im="1-1",
+        dp_dm="6-1", dp_dp="6x6",
+        paper_name="IAP-II", paper_flexibility=2,
+        family=ArchitectureFamily.CGRA, year=2002,
+        reference="Kapasi et al., The Imagine stream processor [12]",
+        description=(
+            "Stream processor: a host controls 6 ALU clusters that can be "
+            "connected to each other or the multi-ported register file "
+            "through a circuit-switched network."
+        ),
+    ),
+    _record(
+        name="MorphoSys",
+        ips="1", dps="64", ip_ip="none", ip_dp="1-64", ip_im="1-1",
+        dp_dm="64-1", dp_dp="64x64",
+        paper_name="IAP-II", paper_flexibility=2,
+        family=ArchitectureFamily.CGRA, year=1999,
+        reference="Lu et al., The MorphoSys dynamically reconfigurable SoC [13]",
+        description=(
+            "8x8 reconfigurable-cell fabric under a host processor; RC "
+            "cells connect to each other and to a frame buffer used for "
+            "storage."
+        ),
+    ),
+    _record(
+        name="REMARC",
+        ips="1", dps="64", ip_ip="none", ip_dp="1-64", ip_im="1-1",
+        dp_dm="64-1", dp_dp="64x64",
+        paper_name="IAP-II", paper_flexibility=2,
+        family=ArchitectureFamily.CGRA, year=1998,
+        reference="Miyamori & Olukotun, REMARC multimedia coprocessor [14]",
+        description=(
+            "8x8 array of NANO processors with local instruction storage "
+            "but a single global control unit providing the program "
+            "counter — SIMD-style array processing."
+        ),
+    ),
+    _record(
+        name="RICA",
+        ips="1", dps="n", ip_ip="none", ip_dp="1-n", ip_im="1-1",
+        dp_dm="n-1", dp_dp="nxn",
+        paper_name="IAP-II", paper_flexibility=2,
+        family=ArchitectureFamily.CGRA, year=2008,
+        reference="Khawam et al., The reconfigurable instruction cell array [8]",
+        description=(
+            "Architectural template of instruction cells loosely coupled "
+            "to data memory through I/O ports and tightly coupled to a "
+            "RISC host; instance size fixed per generated domain design."
+        ),
+    ),
+    _record(
+        name="PADDI",
+        ips="1", dps="8", ip_ip="none", ip_dp="1-8", ip_im="1-8",
+        dp_dm="8-1", dp_dp="8x8",
+        paper_name="IAP-II", paper_flexibility=2,
+        family=ArchitectureFamily.CGRA, year=1992,
+        reference="Chen & Rabaey, PADDI reconfigurable multiprocessor IC [15]",
+        description=(
+            "8 execution units with local nano-stores fed by a global "
+            "instruction sequencer in VLIW fashion; units interconnect "
+            "through a crossbar switch."
+        ),
+    ),
+    _record(
+        name="PACT XPP",
+        ips="n", dps="n", ip_ip="none", ip_dp="n-n", ip_im="n-n",
+        dp_dm="n-n", dp_dp="nxn",
+        paper_name="IMP-II", paper_flexibility=2,
+        family=ArchitectureFamily.CGRA, year=2003,
+        reference="Baumgarte et al., PACT XPP self-reconfigurable fabric [16]",
+        description=(
+            "Self-reconfigurable data-processing array of processing "
+            "array elements with local control, connected by a packet "
+            "network."
+        ),
+    ),
+    _record(
+        name="Chimaera",
+        ips="1", dps="n", ip_ip="none", ip_dp="1-n", ip_im="1-1",
+        dp_dm="n-1", dp_dp="nxn",
+        paper_name="IAP-II", paper_flexibility=2,
+        family=ArchitectureFamily.CGRA, year=2004,
+        reference="Hauck et al., The Chimaera reconfigurable functional unit [17]",
+        description=(
+            "Reconfigurable array of FPGA-style 2/3-input lookup tables "
+            "attached to a shadow register file, controlled by a host "
+            "processor."
+        ),
+    ),
+    _record(
+        name="ADRES",
+        ips="1", dps="64", ip_ip="none", ip_dp="1-64", ip_im="1-1",
+        dp_dm="8-1", dp_dp="64x64",
+        paper_name="IAP-II", paper_flexibility=2,
+        family=ArchitectureFamily.CGRA, year=2005,
+        reference="Kwok & Wilton, register-file optimisation for ADRES [18]",
+        description=(
+            "Template: a VLIW RISC plus an 8x8 RC fabric; only the first "
+            "row couples tightly to the multi-ported register file, the "
+            "rest reach it through a mux-based network."
+        ),
+    ),
+    _record(
+        name="Montium",
+        ips="1", dps="5", ip_ip="none", ip_dp="1-5", ip_im="1-1",
+        dp_dm="5x10", dp_dp="5x5",
+        paper_name="IAP-IV", paper_flexibility=3,
+        family=ArchitectureFamily.CGRA, year=2004,
+        reference="Heysters, Coarse-grained reconfigurable processors (PhD) [19]",
+        description=(
+            "Tile of 5 datapath units connected to 10 memory banks "
+            "through a full circuit-switched network, sequenced in VLIW "
+            "fashion."
+        ),
+    ),
+    _record(
+        name="GARP",
+        ips="1", dps="24xn", ip_ip="none", ip_dp="1-24n", ip_im="1-1",
+        dp_dm="24nx1", dp_dp="24nx24n",
+        paper_name="IAP-IV", paper_flexibility=3,
+        family=ArchitectureFamily.CGRA, year=2000,
+        reference="Callahan, Hauser & Wawrzynek, The GARP architecture [20]",
+        description=(
+            "MIPS core tightly coupled to a reconfigurable fabric of rows "
+            "of 23+1 2-bit logic elements composed into wider datapaths; "
+            "elements loosely coupled to memory."
+        ),
+    ),
+    _record(
+        name="PipeRench",
+        ips="1", dps="n", ip_ip="none", ip_dp="1-n", ip_im="1-1",
+        dp_dm="nx1", dp_dp="nxn",
+        paper_name="IAP-IV", paper_flexibility=3,
+        family=ArchitectureFamily.CGRA, year=1999,
+        reference="Goldstein et al., PipeRench streaming coprocessor [21,22]",
+        description=(
+            "Rows (stripes) of processing elements joined by horizontal "
+            "and vertical buses, virtualising pipeline stages; a single "
+            "input controller drives the fabric and the I/O FIFOs."
+        ),
+    ),
+    _record(
+        name="EGRA",
+        ips="1", dps="n", ip_ip="none", ip_dp="1-n", ip_im="1-1",
+        dp_dm="nxn", dp_dp="nxn",
+        paper_name="IAP-IV", paper_flexibility=3,
+        family=ArchitectureFamily.CGRA, year=2011,
+        reference="Ansaloni, Bonzini & Pozzi, EGRA template [23]",
+        description=(
+            "Template of ALU, multiplier and memory blocks in rows and "
+            "columns, joined by nearest-neighbour plus bus interconnect; "
+            "an external controller drives RAC clusters."
+        ),
+    ),
+    _record(
+        name="ELM",
+        ips="1", dps="2", ip_ip="none", ip_dp="1-2", ip_im="1-1",
+        dp_dm="2x2", dp_dp="2x2",
+        paper_name="IAP-IV", paper_flexibility=3,
+        family=ArchitectureFamily.CGRA, year=2008,
+        reference="Balfour et al., ELM energy-efficient embedded processor [24]",
+        description=(
+            "Energy-focused embedded ensemble whose two datapaths share "
+            "switched access to operand registers and memories."
+        ),
+    ),
+    _record(
+        name="PADDI-2",
+        ips="48", dps="48", ip_ip="none", ip_dp="48-48", ip_im="48-48",
+        dp_dm="48-48", dp_dp="48-48",
+        paper_name="IMP-I", paper_flexibility=2,
+        family=ArchitectureFamily.CGRA, year=1995,
+        reference="Yeung & Rabaey, 2.4 GOPS data-driven multiprocessor [25]",
+        description=(
+            "48 processing elements, each with its own local control "
+            "unit, joined by a hierarchical interconnect; data processors "
+            "tightly coupled to local control and local memory."
+        ),
+    ),
+    _record(
+        name="Cortex-A9 (Quad)",
+        ips="4", dps="4", ip_ip="none", ip_dp="4-4", ip_im="4-4",
+        dp_dm="4-4", dp_dp="none",
+        paper_name="IMP-I", paper_flexibility=2,
+        family=ArchitectureFamily.MULTICORE, year=2009,
+        reference="ARM Cortex-A9 white paper [26]",
+        description=(
+            "Four application-class cores working in parallel, each an "
+            "independent Von Neumann machine — separate IP-DP pairs."
+        ),
+    ),
+    _record(
+        name="Core2Duo",
+        ips="2", dps="2", ip_ip="none", ip_dp="2-2", ip_im="2-2",
+        dp_dm="2-2", dp_dp="none",
+        paper_name="IMP-I", paper_flexibility=2,
+        family=ArchitectureFamily.MULTICORE, year=2008,
+        reference="Intel Core2 Duo development kit documentation [27]",
+        description=(
+            "Dual-core x86 processor: two IPs directly connected to two "
+            "DPs working in parallel."
+        ),
+    ),
+    _record(
+        name="Pleiades",
+        ips="n", dps="n", ip_ip="none", ip_dp="n-n", ip_im="n-n",
+        dp_dm="n-1", dp_dp="nxn",
+        paper_name="IMP-II", paper_flexibility=3,
+        family=ArchitectureFamily.CGRA, year=1997,
+        reference="Rabaey et al., Heterogeneous reconfigurable systems [28]",
+        description=(
+            "Host processor plus satellite processors joined by a "
+            "circuit-switched network — an energy-driven heterogeneous "
+            "multiprocessor."
+        ),
+    ),
+    _record(
+        name="RaPiD",
+        ips="n", dps="m", ip_ip="none", ip_dp="nxm", ip_im="nxn",
+        dp_dm="m-1", dp_dp="mxm",
+        paper_name="IMP-XIV", paper_flexibility=5,
+        family=ArchitectureFamily.CGRA, year=1999,
+        reference="Cronquist et al., RaPiD reconfigurable pipelined datapaths [29]",
+        description=(
+            "Linear array of functional units joined by a bus-based "
+            "network; instruction processors reach the functional units "
+            "over the same buses, limiting scalability."
+        ),
+    ),
+    _record(
+        name="REDEFINE",
+        ips="0", dps="64", ip_ip="none", ip_dp="none", ip_im="none",
+        dp_dm="22x1", dp_dp="64x64",
+        paper_name="DMP-IV", paper_flexibility=3,
+        family=ArchitectureFamily.DATAFLOW, year=2009,
+        reference="Alle et al., REDEFINE polymorphic ASIC [30]",
+        description=(
+            "Static-dataflow fabric: an 8x8 matrix of compute elements "
+            "joined by a packet-switched NoC executes coarse-grain "
+            "HyperOps (dataflow sub-graphs) without any instruction "
+            "processor."
+        ),
+    ),
+    _record(
+        name="Colt",
+        ips="0", dps="16", ip_ip="none", ip_dp="none", ip_im="none",
+        dp_dm="16x6", dp_dp="16x16",
+        paper_name="DMP-IV", paper_flexibility=3,
+        family=ArchitectureFamily.DATAFLOW, year=1996,
+        reference="Bittner, Athanas & Musgrove, Colt wormhole RTR [31]",
+        description=(
+            "4x4 matrix of data processing elements behind a crossbar; "
+            "the data stream itself carries routing information and "
+            "reconfigures the fabric at run time (wormhole RTR). No "
+            "on-chip memory — six I/O ports reach external memories."
+        ),
+    ),
+    _record(
+        name="DRRA",
+        ips="n", dps="n", ip_ip="nx14", ip_dp="n-n", ip_im="n-n",
+        dp_dm="nx14", dp_dp="nx14",
+        paper_name="ISP-IV", paper_flexibility=5,
+        family=ArchitectureFamily.CGRA, year=2010,
+        reference="Shami & Hemani, Control scheme for a CGRA [32]",
+        description=(
+            "Template of distributed control, memory and datapath "
+            "resources; every element reaches peers within a 3-hop "
+            "sliding window left and right (14 reachable column "
+            "neighbours), and control elements compose spatially."
+        ),
+    ),
+    _record(
+        name="MATRIX",
+        ips="n", dps="n", ip_ip="nxn", ip_dp="nxn", ip_im="nxn",
+        dp_dm="nxn", dp_dp="nxn",
+        paper_name="ISP-XVI", paper_flexibility=7,
+        family=ArchitectureFamily.CGRA, year=1996,
+        reference="Mirsky & DeHon, MATRIX configurable instruction distribution [33]",
+        description=(
+            "Every basic functional unit can serve as instruction or "
+            "data storage, register file or datapath, reached via "
+            "nearest-neighbour, length-four bypass and global buses; "
+            "cannot implement pure data-flow, hence instruction-flow "
+            "spatial."
+        ),
+    ),
+    _record(
+        name="FPGA",
+        ips="v", dps="v", ip_ip="vxv", ip_dp="vxv", ip_im="vxv",
+        dp_dm="vxv", dp_dp="vxv",
+        paper_name="USP", paper_flexibility=8,
+        family=ArchitectureFamily.FPGA, year=2011,
+        reference="Altera device family documentation [34]",
+        description=(
+            "Fine-grained fabric of configurable logic blocks that can "
+            "implement IPs, DPs or memories and connect to any other "
+            "block — the universal-flow spatial processor, able to build "
+            "both instruction-flow and data-flow machines."
+        ),
+        granularity="LUTs",
+    ),
+)
+
+#: Paper-vs-derived disagreements that are the paper's own inconsistencies.
+#: Maps architecture name -> (field, paper value, consistent value, note).
+KNOWN_ERRATA: dict[str, tuple[str, object, object, str]] = {
+    "PACT XPP": (
+        "paper_flexibility",
+        2,
+        3,
+        "Table III prints flexibility 2, but the paper's own Table II "
+        "assigns IMP-II a flexibility of 3 (2 plural populations + 1 "
+        "switched DP-DP link), and the same-class Pleiades row prints 3.",
+    ),
+}
+
+
+@lru_cache(maxsize=1)
+def _by_name() -> dict[str, ArchitectureRecord]:
+    index: dict[str, ArchitectureRecord] = {}
+    for rec in SURVEYED_ARCHITECTURES:
+        index[rec.name.lower()] = rec
+    return index
+
+
+def all_architectures() -> tuple[ArchitectureRecord, ...]:
+    """All 25 Table-III records in the paper's row order."""
+    return SURVEYED_ARCHITECTURES
+
+
+def architecture_names() -> tuple[str, ...]:
+    """Names in Table-III order."""
+    return tuple(rec.name for rec in SURVEYED_ARCHITECTURES)
+
+
+def architecture(name: str) -> ArchitectureRecord:
+    """Look up one surveyed architecture by (case-insensitive) name."""
+    try:
+        return _by_name()[name.strip().lower()]
+    except KeyError as exc:
+        known = ", ".join(architecture_names())
+        raise RegistryError(f"unknown architecture {name!r}; known: {known}") from exc
+
+
+def architectures_by_family(family: ArchitectureFamily) -> tuple[ArchitectureRecord, ...]:
+    """All records belonging to a survey family."""
+    return tuple(rec for rec in SURVEYED_ARCHITECTURES if rec.family is family)

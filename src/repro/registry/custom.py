@@ -1,0 +1,153 @@
+"""User-extensible architecture registry.
+
+The paper's survey froze 25 machines in 2012; the point of the taxonomy
+is classifying *new* ones. :class:`CustomRegistry` lets a user register
+their own architectures next to the published survey, classify them with
+the same pipeline, and compare them against the Table-III population —
+the workflow the paper's conclusion prescribes for designers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.classify import Classification, classify
+from repro.core.errors import RegistryError
+from repro.core.signature import Signature, make_signature
+from repro.registry.architectures import all_architectures
+from repro.registry.record import ArchitectureRecord
+
+__all__ = ["CustomEntry", "CustomRegistry"]
+
+
+@dataclass(frozen=True)
+class CustomEntry:
+    """One user-registered architecture with its derived placement."""
+
+    name: str
+    signature: Signature
+    classification: Classification
+    notes: str = ""
+
+    @property
+    def taxonomic_name(self) -> str:
+        return self.classification.short_name
+
+    @property
+    def flexibility(self) -> int:
+        return self.classification.flexibility
+
+
+@dataclass
+class CustomRegistry:
+    """A mutable registry layered over the published survey.
+
+    Names must be unique across both the custom entries and the 25
+    published records (you cannot shadow MorphoSys).
+    """
+
+    entries: dict[str, CustomEntry] = field(default_factory=dict)
+
+    def _published_names(self) -> set[str]:
+        return {rec.name.lower() for rec in all_architectures()}
+
+    def register(
+        self,
+        name: str,
+        ips: "int | str",
+        dps: "int | str",
+        *,
+        ip_ip: str | None = None,
+        ip_dp: str | None = None,
+        ip_im: str | None = None,
+        dp_dm: str | None = None,
+        dp_dp: str | None = None,
+        granularity: str | None = None,
+        notes: str = "",
+    ) -> CustomEntry:
+        """Validate, classify and store a new architecture."""
+        key = name.strip()
+        if not key:
+            raise RegistryError("architecture name must not be empty")
+        if key.lower() in self._published_names():
+            raise RegistryError(
+                f"{key!r} is a published survey architecture; pick another name"
+            )
+        if key.lower() in {existing.lower() for existing in self.entries}:
+            raise RegistryError(f"{key!r} is already registered")
+        signature = make_signature(
+            ips, dps,
+            ip_ip=ip_ip, ip_dp=ip_dp, ip_im=ip_im,
+            dp_dm=dp_dm, dp_dp=dp_dp,
+            granularity=granularity,
+        )
+        entry = CustomEntry(
+            name=key,
+            signature=signature,
+            classification=classify(signature),
+            notes=notes,
+        )
+        self.entries[key] = entry
+        return entry
+
+    def remove(self, name: str) -> None:
+        try:
+            del self.entries[name]
+        except KeyError as exc:
+            raise RegistryError(f"no custom architecture named {name!r}") from exc
+
+    def get(self, name: str) -> CustomEntry:
+        try:
+            return self.entries[name]
+        except KeyError as exc:
+            raise RegistryError(f"no custom architecture named {name!r}") from exc
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    # -- analysis against the survey ---------------------------------------
+
+    def published_classmates(self, name: str) -> list[ArchitectureRecord]:
+        """Survey architectures sharing the custom entry's class."""
+        entry = self.get(name)
+        return [
+            rec
+            for rec in all_architectures()
+            if rec.derived_name == entry.taxonomic_name
+        ]
+
+    def nearest_published(self, name: str, *, top: int = 3) -> list[tuple[str, float]]:
+        """Most similar survey entries by class similarity."""
+        from repro.core.compare import compare_classes
+
+        entry = self.get(name)
+        own = entry.classification.taxonomy_class
+        if own.name is None:
+            raise RegistryError(
+                f"{name!r} classifies as Not Implementable; no comparison"
+            )
+        scored = []
+        for rec in all_architectures():
+            other = rec.classification.taxonomy_class
+            scored.append((rec.name, compare_classes(own, other).similarity))
+        scored.sort(key=lambda item: -item[1])
+        return scored[:top]
+
+    def combined_ranking(self) -> list[tuple[str, int, bool]]:
+        """Survey + custom entries ranked by flexibility.
+
+        Returns (name, flexibility, is_custom) triples, descending.
+        """
+        rows: list[tuple[str, int, bool]] = [
+            (rec.name, rec.derived_flexibility, False)
+            for rec in all_architectures()
+        ]
+        rows += [
+            (entry.name, entry.flexibility, True)
+            for entry in self.entries.values()
+        ]
+        rows.sort(key=lambda item: (-item[1], item[0]))
+        return rows

@@ -1,0 +1,112 @@
+"""Structured records for surveyed architectures (Table III rows).
+
+Each record carries the raw Table-III cells verbatim (so the published
+table can be re-rendered exactly) plus survey metadata from the paper's
+§IV prose: year, reference, family, and a description. The structural
+cells are parsed into a :class:`~repro.core.signature.Signature` on
+demand, which is what the classifier consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.core.classify import Classification, classify
+from repro.core.signature import Signature, make_signature
+
+__all__ = ["ArchitectureFamily", "ArchitectureRecord"]
+
+
+class ArchitectureFamily(enum.Enum):
+    """Coarse grouping used in the paper's survey narrative (§IV)."""
+
+    MICROCONTROLLER = "uni-processor / microcontroller"
+    CGRA = "coarse-grained reconfigurable architecture"
+    MULTICORE = "general-purpose multi-core"
+    DATAFLOW = "data-flow reconfigurable fabric"
+    FPGA = "fine-grained reconfigurable fabric"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ArchitectureRecord:
+    """One surveyed architecture.
+
+    ``ips``/``dps`` and the five link cells hold the Table-III strings
+    verbatim (``"64"``, ``"24xn"``, ``"none"``, ``"64x64"`` …).
+    ``paper_name`` / ``paper_flexibility`` record what the paper *printed*
+    so that errata can be detected against the derived values.
+    """
+
+    name: str
+    ips: str
+    dps: str
+    ip_ip: str
+    ip_dp: str
+    ip_im: str
+    dp_dm: str
+    dp_dp: str
+    paper_name: str
+    paper_flexibility: int
+    family: ArchitectureFamily
+    year: int
+    reference: str
+    description: str
+    granularity: str = "coarse"
+
+    @cached_property
+    def signature(self) -> Signature:
+        """The parsed structural signature (classification input)."""
+        return make_signature(
+            self.ips,
+            self.dps,
+            ip_ip=self.ip_ip,
+            ip_dp=self.ip_dp,
+            ip_im=self.ip_im,
+            dp_dm=self.dp_dm,
+            dp_dp=self.dp_dp,
+            granularity=self.granularity,
+        )
+
+    @cached_property
+    def classification(self) -> Classification:
+        """The derived taxonomy placement."""
+        return classify(self.signature)
+
+    @property
+    def derived_name(self) -> str:
+        return self.classification.short_name
+
+    @property
+    def derived_flexibility(self) -> int:
+        return self.classification.flexibility
+
+    @property
+    def matches_paper_name(self) -> bool:
+        return self.derived_name == self.paper_name
+
+    @property
+    def matches_paper_flexibility(self) -> bool:
+        return self.derived_flexibility == self.paper_flexibility
+
+    def table_row(self) -> tuple[str, ...]:
+        """The Table-III row as rendered cells (derived name/flexibility)."""
+        return (
+            self.name,
+            self.ips,
+            self.dps,
+            self.ip_ip,
+            self.ip_dp,
+            self.ip_im,
+            self.dp_dm,
+            self.dp_dp,
+            self.derived_name,
+            str(self.derived_flexibility),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.year}): {self.derived_name}, flexibility {self.derived_flexibility}"

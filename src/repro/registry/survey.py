@@ -1,0 +1,124 @@
+"""Query API over the architecture registry (the Table-III survey).
+
+Provides the derived survey table, the Fig.-7 flexibility ranking, and
+filtering/grouping helpers an architect would use to navigate the
+classified landscape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.flexibility import comparable
+from repro.core.naming import MachineType
+from repro.registry.architectures import KNOWN_ERRATA, all_architectures
+from repro.registry.record import ArchitectureRecord
+
+__all__ = [
+    "SurveyEntry",
+    "survey_table",
+    "flexibility_ranking",
+    "group_by_class",
+    "errata_report",
+    "most_flexible",
+]
+
+
+@dataclass(frozen=True)
+class SurveyEntry:
+    """One classified survey row with provenance."""
+
+    record: ArchitectureRecord
+
+    @property
+    def name(self) -> str:
+        return self.record.name
+
+    @property
+    def taxonomic_name(self) -> str:
+        return self.record.derived_name
+
+    @property
+    def flexibility(self) -> int:
+        return self.record.derived_flexibility
+
+    @property
+    def machine_type(self) -> MachineType:
+        return self.record.classification.score.machine_type
+
+    @property
+    def agrees_with_paper(self) -> bool:
+        return (
+            self.record.matches_paper_name
+            and self.record.matches_paper_flexibility
+        )
+
+
+def survey_table() -> tuple[SurveyEntry, ...]:
+    """All survey entries in Table-III row order."""
+    return tuple(SurveyEntry(rec) for rec in all_architectures())
+
+
+def flexibility_ranking() -> tuple[SurveyEntry, ...]:
+    """Entries sorted by flexibility, descending (the Fig.-7 ordering).
+
+    Ties keep Table-III order, matching the figure's left-to-right
+    grouping of equal bars.
+    """
+    entries = survey_table()
+    return tuple(
+        sorted(entries, key=lambda entry: (-entry.flexibility,))
+    )
+
+
+def group_by_class() -> dict[str, tuple[SurveyEntry, ...]]:
+    """Survey entries grouped by taxonomic name, in first-seen order."""
+    groups: dict[str, list[SurveyEntry]] = {}
+    for entry in survey_table():
+        groups.setdefault(entry.taxonomic_name, []).append(entry)
+    return {name: tuple(entries) for name, entries in groups.items()}
+
+
+def most_flexible(
+    *, within: MachineType | None = None
+) -> SurveyEntry:
+    """The highest-flexibility survey entry.
+
+    Flexibility values are only comparable within a machine type (or
+    against universal flow); restricting with ``within`` respects the
+    paper's caveat. Without a restriction the answer is the FPGA — the
+    universal-flow machine every other value *is* comparable against.
+    """
+    entries = survey_table()
+    if within is not None:
+        entries = tuple(e for e in entries if e.machine_type is within)
+        if not entries:
+            raise ValueError(f"no surveyed architecture of type {within.label}")
+    return max(entries, key=lambda entry: entry.flexibility)
+
+
+def errata_report() -> list[str]:
+    """Human-readable report of paper-vs-derived disagreements.
+
+    Every disagreement must be a documented erratum; an undocumented one
+    indicates a library bug (and fails the golden tests).
+    """
+    lines: list[str] = []
+    for entry in survey_table():
+        rec = entry.record
+        if rec.matches_paper_name and rec.matches_paper_flexibility:
+            continue
+        known = KNOWN_ERRATA.get(rec.name)
+        if known is None:
+            lines.append(
+                f"UNEXPECTED: {rec.name}: derived {rec.derived_name}/"
+                f"{rec.derived_flexibility} vs paper {rec.paper_name}/"
+                f"{rec.paper_flexibility}"
+            )
+        else:
+            field, paper_value, consistent, note = known
+            lines.append(
+                f"known erratum in {rec.name}.{field}: paper prints "
+                f"{paper_value!r}, consistent value is {consistent!r}. {note}"
+            )
+    return lines

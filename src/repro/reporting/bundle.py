@@ -1,0 +1,101 @@
+"""Artifact bundle writer: dump every reproduced artifact to a directory.
+
+``generate_report(outdir)`` writes the full reproduction record — every
+table (text, Markdown and CSV), every figure (text), the JSON exports
+and the audit summary — so a reviewer can diff a complete run without
+executing Python. This is the "make all artifacts" entry point.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.reporting.export import rows_to_csv, survey_to_json, taxonomy_to_json
+from repro.reporting.figures import (
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+)
+from repro.reporting.tables import (
+    TABLE1_HEADER,
+    TABLE3_HEADER,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+
+__all__ = ["generate_report"]
+
+
+def generate_report(outdir: "str | Path") -> list[Path]:
+    """Write every artifact into ``outdir``; returns the files written."""
+    base = Path(outdir)
+    base.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def write(name: str, content: str) -> None:
+        path = base / name
+        path.write_text(content, encoding="utf-8")
+        written.append(path)
+
+    # Tables in three formats.
+    write("table1.txt", render_table1())
+    write("table1.md", render_table1(markdown=True))
+    write("table1.csv", rows_to_csv(TABLE1_HEADER, table1_rows()))
+    write("table2.txt", render_table2())
+    write("table2.csv", rows_to_csv(("class", "flexibility"), table2_rows()))
+    write("table3.txt", render_table3())
+    write("table3.md", render_table3(markdown=True))
+    write("table3.csv", rows_to_csv(TABLE3_HEADER, table3_rows()))
+
+    # Figures as text renderings.
+    figures = {
+        "fig1_trends.txt": render_fig1,
+        "fig2_hierarchy.txt": render_fig2,
+        "fig3_dataflow.txt": render_fig3,
+        "fig4_array.txt": render_fig4,
+        "fig5_spatial.txt": render_fig5,
+        "fig6_universal.txt": render_fig6,
+        "fig7_flexibility.txt": render_fig7,
+    }
+    for name, renderer in figures.items():
+        write(name, renderer())
+
+    # Figure data series as CSV (for external plotting).
+    from repro.reporting.figures import fig1_series, fig7_series
+
+    years, series = fig1_series()
+    fig1_header = ["year"] + list(series)
+    fig1_rows = [
+        [year] + [series[topic][index] for topic in series]
+        for index, year in enumerate(years)
+    ]
+    write("fig1_series.csv", rows_to_csv(fig1_header, fig1_rows))
+    names, values = fig7_series()
+    write(
+        "fig7_series.csv",
+        rows_to_csv(("architecture", "flexibility"), zip(names, values)),
+    )
+
+    # The survey cost scatter (Table III meets Eq. 1/2 and the models).
+    from repro.analysis.survey_costs import survey_cost_table
+
+    write("survey_costs.txt", survey_cost_table())
+
+    # Machine-readable exports.
+    write("taxonomy.json", taxonomy_to_json())
+    write("survey.json", survey_to_json())
+
+    # Self-audit record.
+    from repro.audit import run_audit
+
+    write("audit.txt", run_audit().summary())
+
+    return written

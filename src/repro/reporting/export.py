@@ -1,0 +1,103 @@
+"""Machine-readable export of tables, figures and signatures.
+
+JSON for programmatic consumers, CSV for spreadsheets. Serialised
+signatures round-trip through :func:`signature_from_dict`, which the
+property tests exercise.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Iterable, Sequence
+
+from repro.core.classify import classify
+from repro.core.signature import Signature, make_signature
+from repro.core.taxonomy import all_classes
+from repro.registry.survey import survey_table
+
+__all__ = [
+    "signature_to_dict",
+    "signature_from_dict",
+    "taxonomy_to_json",
+    "survey_to_json",
+    "rows_to_csv",
+]
+
+
+def signature_to_dict(signature: Signature) -> dict[str, Any]:
+    """Serialise a signature into a plain JSON-safe mapping."""
+    return {
+        "granularity": signature.granularity.value,
+        "ips": str(signature.ips),
+        "dps": str(signature.dps),
+        "ip_ip": signature.ip_ip.render(),
+        "ip_dp": signature.ip_dp.render(),
+        "ip_im": signature.ip_im.render(),
+        "dp_dm": signature.dp_dm.render(),
+        "dp_dp": signature.dp_dp.render(),
+    }
+
+
+def signature_from_dict(payload: "dict[str, Any]") -> Signature:
+    """Inverse of :func:`signature_to_dict`."""
+    return make_signature(
+        payload["ips"],
+        payload["dps"],
+        ip_ip=payload.get("ip_ip", "none"),
+        ip_dp=payload.get("ip_dp", "none"),
+        ip_im=payload.get("ip_im", "none"),
+        dp_dm=payload.get("dp_dm", "none"),
+        dp_dp=payload.get("dp_dp", "none"),
+        granularity=payload.get("granularity"),
+    )
+
+
+def taxonomy_to_json(*, indent: int | None = 2) -> str:
+    """The full 47-class table as JSON."""
+    records = []
+    for cls in all_classes():
+        record: dict[str, Any] = {
+            "serial": cls.serial,
+            "name": cls.comment,
+            "implementable": cls.implementable,
+            "signature": signature_to_dict(cls.signature),
+        }
+        if cls.implementable:
+            record["flexibility"] = classify(cls.signature).flexibility
+        records.append(record)
+    return json.dumps({"classes": records}, indent=indent)
+
+
+def survey_to_json(*, indent: int | None = 2) -> str:
+    """The classified Table-III survey as JSON."""
+    records = []
+    for entry in survey_table():
+        rec = entry.record
+        records.append(
+            {
+                "name": rec.name,
+                "year": rec.year,
+                "family": rec.family.value,
+                "reference": rec.reference,
+                "signature": signature_to_dict(rec.signature),
+                "derived_name": rec.derived_name,
+                "derived_flexibility": rec.derived_flexibility,
+                "paper_name": rec.paper_name,
+                "paper_flexibility": rec.paper_flexibility,
+                "agrees_with_paper": rec.matches_paper_name
+                and rec.matches_paper_flexibility,
+            }
+        )
+    return json.dumps({"architectures": records}, indent=indent)
+
+
+def rows_to_csv(header: "Sequence[str]", rows: "Iterable[Sequence[Any]]") -> str:
+    """Render header + rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()

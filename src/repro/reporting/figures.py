@@ -1,0 +1,232 @@
+"""Text renderings of the paper's figures.
+
+Each function returns both the underlying series (for tests and CSV
+export) and an ASCII rendering, so figures regenerate in any terminal
+without plotting dependencies:
+
+* Fig. 1 — per-topic publication trends (multi-series chart);
+* Fig. 2 — the naming hierarchy tree;
+* Fig. 3-6 — structural diagrams of machine organisations;
+* Fig. 7 — the survey flexibility bar chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bibliometrics.trends import TrendReport, compute_trends
+from repro.core.connectivity import LINK_SITES
+from repro.core.hierarchy import HierarchyNode, build_hierarchy
+from repro.core.taxonomy import class_by_name
+from repro.registry.survey import flexibility_ranking
+
+__all__ = [
+    "bar_chart",
+    "multi_series_chart",
+    "fig1_series",
+    "render_fig1",
+    "render_fig2",
+    "render_structure",
+    "render_fig3",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "fig7_series",
+    "render_fig7",
+]
+
+
+def bar_chart(
+    labels: "list[str]",
+    values: "list[float]",
+    *,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return "(empty chart)"
+    label_width = max(len(label) for label in labels)
+    peak = max(max(values), 1e-12)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(width * value / peak)), 0)
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def multi_series_chart(
+    x_values: "list[int]",
+    series: "dict[str, list[float]]",
+    *,
+    height: int = 12,
+) -> str:
+    """Several series over a shared x axis, one symbol per series."""
+    if not series:
+        return "(empty chart)"
+    symbols = "*o+x#@%&"
+    peak = max(max(values) for values in series.values())
+    peak = max(peak, 1e-12)
+    columns = len(x_values)
+    grid = [[" "] * columns for _ in range(height)]
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        if len(values) != columns:
+            raise ValueError(f"series {name!r} length mismatch")
+        symbol = symbols[index % len(symbols)]
+        legend.append(f"{symbol} = {name}")
+        for column, value in enumerate(values):
+            row = height - 1 - int(round((height - 1) * value / peak))
+            if grid[row][column] == " ":
+                grid[row][column] = symbol
+    lines = [f"{peak:>8.0f} +" + "".join(grid[0])]
+    for row in grid[1:]:
+        lines.append("         +" + "".join(row))
+    lines.append("         +" + "-" * columns)
+    lines.append(f"          {x_values[0]}{' ' * max(columns - 12, 1)}{x_values[-1]}")
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+# -- Fig. 1 ---------------------------------------------------------------
+
+
+def fig1_series(report: "TrendReport | None" = None) -> tuple[list[int], dict[str, list[float]]]:
+    """(years, {topic: counts}) — the data behind Fig. 1."""
+    active = report if report is not None else compute_trends()
+    years = list(active.trends[0].years)
+    series = {
+        trend.topic: [float(c) for c in trend.counts] for trend in active.trends
+    }
+    return years, series
+
+
+def render_fig1(report: "TrendReport | None" = None) -> str:
+    years, series = fig1_series(report)
+    chart = multi_series_chart(years, series)
+    return "Research Trends in Parallel Computing (synthetic corpus)\n" + chart
+
+
+# -- Fig. 2 --------------------------------------------------------------
+
+
+def render_fig2(*, include_ni: bool = False) -> str:
+    """The hierarchy-of-computing-machines tree."""
+    root = build_hierarchy(include_ni=include_ni)
+    lines: list[str] = []
+
+    def walk(node: HierarchyNode, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(node.label)
+            child_prefix = ""
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(prefix + connector + node.label)
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        entries: list[tuple[str, HierarchyNode | None]] = [
+            (child.label, child) for child in node.children
+        ]
+        if node.classes:
+            names = ", ".join(cls.comment for cls in node.classes)
+            entries.append((f"[{names}]", None))
+        for index, (label, child) in enumerate(entries):
+            last = index == len(entries) - 1
+            if child is None:
+                connector = "`-- " if last else "|-- "
+                lines.append(child_prefix + connector + label)
+            else:
+                walk(child, child_prefix, last, False)
+
+    walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+# -- Figs. 3-6: structural diagrams ------------------------------------------
+
+
+def render_structure(class_name: str) -> str:
+    """Block diagram of one taxonomy class's component organisation."""
+    cls = class_by_name(class_name)
+    sig = cls.signature
+    lines = [f"{cls.comment}: {sig.describe()}", ""]
+    ips = str(sig.ips)
+    dps = str(sig.dps)
+    if not sig.is_data_flow:
+        lines.append(f"   [IM x {ips}] <-{_sep(sig, 'IP_IM')}-> [IP x {ips}]")
+        if sig.link(LINK_SITES[0]).exists:  # IP-IP
+            lines.append(f"                     [IP]<-{_sep(sig, 'IP_IP')}->[IP]")
+        lines.append(f"        {_arrow(sig, 'IP_DP')}")
+    lines.append(f"   [DP x {dps}] <-{_sep(sig, 'DP_DM')}-> [DM x {dps}]")
+    if sig.link(LINK_SITES[4]).exists:  # DP-DP
+        lines.append(f"   [DP]<-{_sep(sig, 'DP_DP')}->[DP]")
+    return "\n".join(lines)
+
+
+def _sep(sig, site_name: str) -> str:
+    from repro.core.connectivity import LinkSite
+
+    link = sig.link(LinkSite[site_name])
+    return "xbar" if link.is_switched else "wire"
+
+
+def _arrow(sig, site_name: str) -> str:
+    from repro.core.connectivity import LinkSite
+
+    link = sig.link(LinkSite[site_name])
+    tag = "xbar" if link.is_switched else "direct"
+    return f"| IP-DP {tag} ({link.render()})"
+
+
+def render_fig3() -> str:
+    """Fig. 3: the data-flow machine sub-types."""
+    parts = ["Skillicorn's Data Flow Machines with sub-types", ""]
+    for name in ("DUP", "DMP-I", "DMP-II", "DMP-III", "DMP-IV"):
+        parts.append(render_structure(name))
+        parts.append("")
+    return "\n".join(parts).rstrip()
+
+
+def render_fig4() -> str:
+    """Fig. 4: the array-processor sub-types."""
+    parts = ["Array Processors with sub-types", ""]
+    for name in ("IAP-I", "IAP-II", "IAP-III", "IAP-IV"):
+        parts.append(render_structure(name))
+        parts.append("")
+    return "\n".join(parts).rstrip()
+
+
+def render_fig5() -> str:
+    """Fig. 5: instruction-flow spatial processors (IP-IP composition)."""
+    parts = ["Instruction Flow Spatial Processors", ""]
+    for name in ("ISP-I", "ISP-IV", "ISP-XVI"):
+        parts.append(render_structure(name))
+        parts.append("")
+    return "\n".join(parts).rstrip()
+
+
+def render_fig6() -> str:
+    """Fig. 6: the universal-flow spatial processor."""
+    return "Universal Flow Spatial Processor\n\n" + render_structure("USP")
+
+
+# -- Fig. 7 -------------------------------------------------------------------
+
+
+def fig7_series() -> tuple[list[str], list[int]]:
+    """(architecture names, flexibility values), descending by flexibility."""
+    ranking = flexibility_ranking()
+    return (
+        [entry.name for entry in ranking],
+        [entry.flexibility for entry in ranking],
+    )
+
+
+def render_fig7() -> str:
+    names, values = fig7_series()
+    chart = bar_chart(names, [float(v) for v in values])
+    return (
+        "Comparison of Published Architectures w.r.t. Relative Flexibility\n"
+        + chart
+    )

@@ -1,0 +1,141 @@
+"""Renderers that regenerate the paper's tables from library state.
+
+Each ``table*_rows`` function produces structured cells (consumed by the
+golden tests and benchmarks); ``render_*`` wraps them in plain-text or
+Markdown layout. Nothing here is transcribed — every cell is derived
+from the taxonomy engine, the scoring system or the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.flexibility import flexibility
+from repro.core.taxonomy import SECTION_HEADINGS, all_classes, implementable_classes
+from repro.registry.survey import survey_table
+
+__all__ = [
+    "format_table",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "TABLE1_HEADER",
+    "TABLE3_HEADER",
+]
+
+TABLE1_HEADER = (
+    "S.N", "Gran.", "IPs", "DPs", "IP-IP", "IP-DP", "IP-IM",
+    "DP-DM", "DP-DP", "Comments",
+)
+
+TABLE3_HEADER = (
+    "Architecture", "IPs", "DPs", "IP-IP", "IP-DP", "IP-IM",
+    "DP-DM", "DP-DP", "Name", "Flexibility",
+)
+
+
+def format_table(
+    header: "Sequence[str]",
+    rows: "Iterable[Sequence[str]]",
+    *,
+    markdown: bool = False,
+) -> str:
+    """Fixed-width (or Markdown) tabular layout."""
+    materialised = [tuple(str(c) for c in row) for row in rows]
+    columns = len(header)
+    for row in materialised:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, header has {columns}: {row!r}"
+            )
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in materialised), 1)
+        if materialised
+        else len(header[i])
+        for i in range(columns)
+    ]
+    if markdown:
+        lines = [
+            "| " + " | ".join(h.ljust(w) for h, w in zip(header, widths)) + " |",
+            "|" + "|".join("-" * (w + 2) for w in widths) + "|",
+        ]
+        for row in materialised:
+            lines.append(
+                "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+            )
+        return "\n".join(lines)
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def table1_rows(*, include_sections: bool = False) -> list[tuple[str, ...]]:
+    """The 47 derived Table-I rows (optionally with section-heading rows)."""
+    rows: list[tuple[str, ...]] = []
+    for cls in all_classes():
+        if include_sections and cls.serial in SECTION_HEADINGS:
+            rows.append((SECTION_HEADINGS[cls.serial],) + ("",) * 9)
+        rows.append(cls.row_cells())
+    return rows
+
+
+def render_table1(*, markdown: bool = False) -> str:
+    return format_table(TABLE1_HEADER, table1_rows(), markdown=markdown)
+
+
+def table2_rows() -> list[tuple[str, str]]:
+    """(class short name, flexibility) for every named class, Table-I order."""
+    return [
+        (cls.name.short, str(flexibility(cls.signature)))
+        for cls in implementable_classes()
+        if cls.name is not None
+    ]
+
+
+def render_table2(*, markdown: bool = False) -> str:
+    """Table II in the paper's grouped four-column layout."""
+    rows = table2_rows()
+    groups: list[tuple[str, list[tuple[str, str]]]] = []
+    spec = [
+        ("Data Flow --> Uni Processor (+0)", lambda n: n == "DUP"),
+        ("Data Flow --> Multi Processor (+1)", lambda n: n.startswith("DMP")),
+        ("Instruction Flow --> Uni Processor (+0)", lambda n: n == "IUP"),
+        ("Instruction Flow --> Array Processor (+1)", lambda n: n.startswith("IAP")),
+        (
+            "Instruction Flow --> Multi Processor (+2)",
+            lambda n: n.startswith(("IMP", "ISP")),
+        ),
+        ("Universal Flow --> Fine Grained (+3)", lambda n: n == "USP"),
+    ]
+    for title, predicate in spec:
+        groups.append((title, [row for row in rows if predicate(row[0])]))
+    lines = []
+    header = ("ST", "Flx.", "ST", "Flx.", "ST", "Flx.", "ST", "Flx.")
+    for title, members in groups:
+        lines.append(title)
+        table_rows = []
+        for start in range(0, len(members), 4):
+            chunk = members[start:start + 4]
+            flat: list[str] = []
+            for name, flex in chunk:
+                flat.extend((name, flex))
+            while len(flat) < 8:
+                flat.extend(("-", "-"))
+            table_rows.append(tuple(flat))
+        lines.append(format_table(header, table_rows, markdown=markdown))
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def table3_rows() -> list[tuple[str, ...]]:
+    """The 25 derived Table-III rows in the paper's order."""
+    return [entry.record.table_row() for entry in survey_table()]
+
+
+def render_table3(*, markdown: bool = False) -> str:
+    return format_table(TABLE3_HEADER, table3_rows(), markdown=markdown)

@@ -1,0 +1,117 @@
+"""Unit tests for design-space exploration (§V use case)."""
+
+import pytest
+
+from repro.analysis import Objective, Requirements, capabilities_of_class, explore
+from repro.core.naming import MachineType
+from repro.machine.base import Capability
+
+
+class TestRequirements:
+    def test_flexibility_floor(self):
+        rec = explore(Requirements(min_flexibility=6))
+        assert rec.feasible
+        assert all(p.flexibility >= 6 for p in rec.feasible)
+
+    def test_impossible_requirements(self):
+        rec = explore(Requirements(min_flexibility=99))
+        assert rec.best is None
+        assert "no class satisfies" in rec.explain()
+
+    def test_budget_constraints(self):
+        rec = explore(Requirements(min_flexibility=2, max_config_bits=2000))
+        assert rec.feasible
+        assert all(p.config_bits <= 2000 for p in rec.feasible)
+
+    def test_area_budget(self):
+        tight = explore(Requirements(max_area_ge=50_000))
+        loose = explore(Requirements(max_area_ge=10_000_000))
+        assert len(tight.feasible) < len(loose.feasible)
+
+    def test_machine_type_restriction(self):
+        rec = explore(Requirements(machine_type=MachineType.DATA_FLOW))
+        names = {p.name for p in rec.feasible}
+        # universal-flow is always admissible (it can become anything)
+        assert names <= {"DUP", "DMP-I", "DMP-II", "DMP-III", "DMP-IV", "USP"}
+
+    def test_capability_requirements(self):
+        rec = explore(
+            Requirements(
+                required_capabilities=frozenset(
+                    {Capability.MESSAGE_PASSING, Capability.GLOBAL_MEMORY}
+                )
+            )
+        )
+        assert rec.feasible
+        for point in rec.feasible:
+            caps = capabilities_of_class(point.name)
+            assert Capability.MESSAGE_PASSING in caps
+            assert Capability.GLOBAL_MEMORY in caps
+
+
+class TestObjectives:
+    def test_config_objective_minimises_bits(self):
+        rec = explore(Requirements(min_flexibility=3), objective=Objective.CONFIG_BITS)
+        bits = [p.config_bits for p in rec.feasible]
+        assert bits == sorted(bits)
+
+    def test_area_objective_minimises_area(self):
+        rec = explore(Requirements(min_flexibility=3), objective=Objective.AREA)
+        areas = [p.area_ge for p in rec.feasible]
+        assert areas == sorted(areas)
+
+    def test_flex_per_area_prefers_lean_flexibility(self):
+        rec = explore(Requirements(), objective=Objective.FLEXIBILITY_PER_AREA)
+        best = rec.best
+        assert best is not None
+        ratios = [p.flexibility / p.area_ge for p in rec.feasible]
+        assert best.flexibility / best.area_ge == pytest.approx(max(ratios))
+
+    def test_paper_use_case_story(self):
+        """'which computer class offers the required flexibility with
+        minimum configuration overhead' — ask for flexibility >= 5 and
+        get the cheapest class providing it."""
+        rec = explore(Requirements(min_flexibility=5), objective=Objective.CONFIG_BITS)
+        assert rec.best is not None
+        assert rec.best.flexibility >= 5
+        # The recommendation beats every other feasible class on bits.
+        assert all(rec.best.config_bits <= p.config_bits for p in rec.feasible)
+
+
+class TestCapabilitiesOfClass:
+    def test_usp_provides_everything(self):
+        assert capabilities_of_class("USP") == frozenset(Capability)
+
+    def test_iup_minimal(self):
+        caps = capabilities_of_class("IUP")
+        assert caps == frozenset({Capability.INSTRUCTION_EXECUTION})
+
+    def test_iap_subtype_switches(self):
+        assert Capability.LANE_SHUFFLE in capabilities_of_class("IAP-II")
+        assert Capability.LANE_SHUFFLE not in capabilities_of_class("IAP-I")
+        assert Capability.GLOBAL_MEMORY in capabilities_of_class("IAP-III")
+
+    def test_imp_messages_need_dp_switch(self):
+        assert Capability.MESSAGE_PASSING in capabilities_of_class("IMP-II")
+        assert Capability.MESSAGE_PASSING not in capabilities_of_class("IMP-I")
+
+    def test_dataflow_classes(self):
+        caps = capabilities_of_class("DMP-IV")
+        assert Capability.DATAFLOW_EXECUTION in caps
+        assert Capability.INSTRUCTION_EXECUTION not in caps
+
+    def test_isp_composition(self):
+        assert Capability.IP_COMPOSITION in capabilities_of_class("ISP-I")
+        assert Capability.IP_COMPOSITION not in capabilities_of_class("IMP-XVI")
+
+
+class TestReporting:
+    def test_explain_mentions_recommendation(self):
+        rec = explore(Requirements(min_flexibility=4))
+        text = rec.explain()
+        assert "recommended:" in text
+        assert rec.best.name in text
+
+    def test_feasible_infeasible_partition(self):
+        rec = explore(Requirements(min_flexibility=4))
+        assert len(rec.feasible) + len(rec.infeasible) == 43

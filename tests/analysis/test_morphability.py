@@ -1,0 +1,84 @@
+"""Unit tests for the graph-level morphability order."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis import build_morphability_order
+from repro.core import class_by_name, flexibility
+
+
+@pytest.fixture(scope="module")
+def order():
+    return build_morphability_order()
+
+
+class TestOrderStructure:
+    def test_covers_all_implementable_classes(self, order):
+        assert order.graph.number_of_nodes() == 43
+
+    def test_acyclic(self, order):
+        assert nx.is_directed_acyclic_graph(order.graph)
+
+    def test_usp_is_the_unique_maximum(self, order):
+        assert order.maximal_elements() == ["USP"]
+        assert order.coverage("USP") == 1.0
+
+    def test_minimal_elements_are_the_uniprocessors(self, order):
+        assert order.minimal_elements() == ["DUP", "IUP"]
+
+    def test_can_morph_reflexive(self, order):
+        assert order.can_morph("IMP-I", "IMP-I")
+
+
+class TestQueries:
+    def test_emulatable_by_imp1(self, order):
+        targets = order.emulatable_by("IMP-I")
+        assert "IAP-I" in targets
+        assert "IUP" in targets
+        assert "IAP-II" not in targets  # needs a DP-DP switch
+
+    def test_emulators_of_iup(self, order):
+        emulators = order.emulators_of("IUP")
+        assert "IAP-I" in emulators
+        assert "IMP-I" in emulators
+        assert "USP" in emulators
+        assert "DMP-I" not in emulators  # wrong paradigm
+
+    def test_coverage_monotone_with_flexibility_in_imp_family(self, order):
+        """Within the IMP ladder, more flexibility never means fewer
+        reachable classes — the operational justification of the score."""
+        from repro.core import roman
+
+        coverages = {}
+        for ordinal in range(1, 17):
+            name = f"IMP-{roman(ordinal)}"
+            coverages[name] = (
+                flexibility(class_by_name(name).signature),
+                order.coverage(name),
+            )
+        for name_a, (flex_a, cov_a) in coverages.items():
+            for name_b, (flex_b, cov_b) in coverages.items():
+                if order.can_morph(name_a, name_b) and name_a != name_b:
+                    assert flex_a >= flex_b
+                    assert cov_a > cov_b
+
+
+class TestHasse:
+    def test_hasse_is_a_reduction(self, order):
+        hasse = order.hasse_edges()
+        assert len(hasse) < order.graph.number_of_edges()
+
+    def test_hasse_preserves_reachability(self, order):
+        reduced = nx.DiGraph(order.hasse_edges())
+        reduced.add_nodes_from(order.graph.nodes())
+        original = nx.transitive_closure(order.graph)
+        recovered = nx.transitive_closure(reduced)
+        assert set(original.edges()) == set(recovered.edges())
+
+    def test_usp_hasse_neighbours_are_the_family_maxima(self, order):
+        hasse = nx.DiGraph(order.hasse_edges())
+        direct = set(hasse.successors("USP"))
+        # USP directly covers the top of each paradigm, not e.g. IUP.
+        assert "ISP-XVI" in direct
+        assert "DMP-IV" in direct
+        assert "IUP" not in direct

@@ -1,0 +1,97 @@
+"""Unit tests for the Pareto trade-off analysis."""
+
+import pytest
+
+from repro.analysis import DesignPoint, evaluate_classes, pareto_frontier
+from repro.core.naming import MachineType
+
+
+@pytest.fixture(scope="module")
+def points():
+    return evaluate_classes(n=16)
+
+
+class TestEvaluation:
+    def test_covers_all_implementable_classes(self, points):
+        assert len(points) == 43
+        assert len({p.name for p in points}) == 43
+
+    def test_point_fields(self, points):
+        usp = next(p for p in points if p.name == "USP")
+        assert usp.flexibility == 8
+        assert usp.area_ge > 0
+        assert usp.config_bits > 0
+        assert usp.machine_type is MachineType.UNIVERSAL_FLOW
+
+    def test_rows_render(self, points):
+        assert len(points[0].row()) == 4
+
+    def test_restricted_class_set(self):
+        from repro.core import class_by_name
+
+        chosen = (class_by_name("IUP"), class_by_name("IMP-I"))
+        points = evaluate_classes(n=8, classes=chosen)
+        assert [p.name for p in points] == ["IUP", "IMP-I"]
+
+
+class TestDominance:
+    def test_dominates_requires_strict_improvement(self):
+        a = DesignPoint("a", 1, MachineType.INSTRUCTION_FLOW, 3, 100.0, 10, 16)
+        same = DesignPoint("b", 2, MachineType.INSTRUCTION_FLOW, 3, 100.0, 10, 16)
+        better = DesignPoint("c", 3, MachineType.INSTRUCTION_FLOW, 4, 100.0, 10, 16)
+        assert not a.dominates(same)
+        assert better.dominates(a)
+        assert not a.dominates(better)
+
+    def test_tradeoff_points_incomparable(self):
+        cheap = DesignPoint("cheap", 1, MachineType.INSTRUCTION_FLOW, 1, 10.0, 1, 16)
+        flexible = DesignPoint("flex", 2, MachineType.INSTRUCTION_FLOW, 9, 1000.0, 99, 16)
+        assert not cheap.dominates(flexible)
+        assert not flexible.dominates(cheap)
+
+
+class TestFrontier:
+    def test_frontier_is_subset_sorted_by_flexibility(self, points):
+        frontier = pareto_frontier(points)
+        assert 0 < len(frontier) <= len(points)
+        flexes = [p.flexibility for p in frontier]
+        assert flexes == sorted(flexes)
+
+    def test_frontier_members_are_mutually_non_dominated(self, points):
+        frontier = pareto_frontier(points)
+        for a in frontier:
+            for b in frontier:
+                if a is not b and a.machine_type is b.machine_type:
+                    assert not a.dominates(b)
+
+    def test_cheapest_classes_survive(self, points):
+        """DUP and IUP anchor the low end (flexibility 0, minimal cost)."""
+        names = {p.name for p in pareto_frontier(points)}
+        assert "DUP" in names
+        assert "IUP" in names
+
+    def test_usp_survives_via_flexibility(self, points):
+        """Nothing dominates the USP: it is the unique flexibility-8 point."""
+        names = {p.name for p in pareto_frontier(points)}
+        assert "USP" in names
+
+    def test_subtype_I_dominates_nothing_cross_paradigm(self, points):
+        """Data-flow points never knock instruction-flow points off the
+        frontier (incommensurable flexibility)."""
+        frontier = pareto_frontier(points)
+        # IUP costs more than DUP at equal flexibility but must survive,
+        # because DMP/DUP cannot dominate across machine types.
+        assert "IUP" in {p.name for p in frontier}
+
+    def test_dominated_subtype_is_removed(self, points):
+        """IMP-XVI can never be on the frontier together with every
+        cheaper IMP at lower flexibility — but specifically, any point
+        strictly worse on all axes is gone."""
+        frontier = pareto_frontier(points)
+        by_name = {p.name: p for p in points}
+        # ISP-I has the same flexibility as IMP-II but strictly more area
+        # and bits, so it must not survive.
+        isp1 = by_name["ISP-I"]
+        dominators = [p for p in points if p.dominates(isp1)]
+        if dominators:
+            assert "ISP-I" not in {p.name for p in frontier}

@@ -1,0 +1,69 @@
+"""Tests for the survey cost analysis (Table III meets the models)."""
+
+import pytest
+
+from repro.analysis import evaluate_survey, survey_cost_table
+
+
+@pytest.fixture(scope="module")
+def points():
+    return evaluate_survey(default_n=16)
+
+
+class TestEvaluation:
+    def test_covers_the_whole_survey(self, points):
+        assert len(points) == 25
+        assert len({p.name for p in points}) == 25
+
+    def test_concrete_sizes_used_where_known(self, points):
+        by_name = {p.name: p for p in points}
+        assert by_name["MorphoSys"].n_effective == 64
+        assert by_name["IMAGINE"].n_effective == 6
+        assert by_name["PADDI-2"].n_effective == 48
+        assert by_name["ARM7TDMI"].n_effective == 1
+        # Template architectures fall back to the default n.
+        assert by_name["RICA"].n_effective == 16
+        assert by_name["FPGA"].n_effective == 16
+
+    def test_same_class_same_size_same_cost(self, points):
+        by_name = {p.name: p for p in points}
+        # MorphoSys / REMARC / ADRES: identical class at identical size.
+        assert by_name["MorphoSys"].area_ge == by_name["REMARC"].area_ge
+        assert by_name["MorphoSys"].config_bits == by_name["ADRES"].config_bits
+
+    def test_fpga_has_extreme_overheads(self, points):
+        by_name = {p.name: p for p in points}
+        fpga = by_name["FPGA"]
+        others = [p for p in points if p.name != "FPGA"]
+        assert fpga.config_bits > 10 * max(p.config_bits for p in others)
+        assert fpga.reconfig_cycles > 10 * max(p.reconfig_cycles for p in others)
+        assert fpga.energy_per_op_pj == max(p.energy_per_op_pj for p in points)
+
+    def test_microcontrollers_are_the_smallest(self, points):
+        smallest = min(points, key=lambda p: p.area_ge)
+        assert smallest.name in ("ARM7TDMI", "AT89C51")
+
+    def test_within_instruction_flow_flexibility_costs_energy(self, points):
+        """At equal n=16, the instruction-flow flexibility ladder
+        (IMP-I surrogate Cortex vs RaPiD vs MATRIX) orders by pJ/op."""
+        by_name = {p.name: p for p in points}
+        # all at n=16 and instruction flow:
+        ladder = [by_name["RICA"], by_name["RaPiD"], by_name["MATRIX"]]
+        flexes = [p.flexibility for p in ladder]
+        energies = [p.energy_per_op_pj for p in ladder]
+        assert flexes == sorted(flexes)
+        assert energies == sorted(energies)
+
+    def test_default_n_changes_template_sizes_only(self):
+        small = {p.name: p for p in evaluate_survey(default_n=8)}
+        large = {p.name: p for p in evaluate_survey(default_n=32)}
+        assert small["MorphoSys"].area_ge == large["MorphoSys"].area_ge
+        assert small["RICA"].area_ge < large["RICA"].area_ge
+
+
+class TestRendering:
+    def test_table_renders_all_rows(self):
+        text = survey_cost_table()
+        for name in ("ARM7TDMI", "MorphoSys", "DRRA", "FPGA"):
+            assert name in text
+        assert "reload cycles" in text

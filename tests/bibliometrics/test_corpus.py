@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic publication corpus."""
+
+import pytest
+
+from repro.bibliometrics import DEFAULT_TOPICS, PublicationCorpus, Topic
+
+
+class TestTopics:
+    def test_default_topics_cover_fig1_fields(self):
+        names = {t.name for t in DEFAULT_TOPICS}
+        assert "multicore architecture" in names
+        assert "reconfigurable computing" in names
+        assert "fpga" in names
+
+    def test_logistic_rate_is_increasing(self):
+        topic = DEFAULT_TOPICS[1]  # multicore
+        rates = [topic.expected_count(year) for year in range(1995, 2011)]
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+    def test_rate_saturates_near_base_plus_scale(self):
+        topic = Topic("t", ("t",), base_rate=10, scale=100, midpoint=2000, width=1)
+        assert topic.expected_count(2010) == pytest.approx(110, abs=1)
+        assert topic.expected_count(1990) == pytest.approx(10, abs=1)
+
+
+class TestCorpusGeneration:
+    def test_deterministic_per_seed(self):
+        a = PublicationCorpus(seed=7)
+        b = PublicationCorpus(seed=7)
+        assert len(a) == len(b)
+        assert a.generate()[0].title == b.generate()[0].title
+
+    def test_different_seeds_differ(self):
+        a = PublicationCorpus(seed=1)
+        b = PublicationCorpus(seed=2)
+        assert len(a) != len(b) or a.generate()[10].title != b.generate()[10].title
+
+    def test_generation_cached(self):
+        corpus = PublicationCorpus()
+        assert corpus.generate() is corpus.generate()
+
+    def test_year_range_respected(self):
+        corpus = PublicationCorpus(start_year=2000, end_year=2005)
+        years = {p.year for p in corpus.generate()}
+        assert years <= set(range(2000, 2006))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            PublicationCorpus(start_year=2010, end_year=2000)
+
+    def test_empty_topics_rejected(self):
+        with pytest.raises(ValueError):
+            PublicationCorpus(topics=())
+
+    def test_record_ids_unique(self):
+        corpus = PublicationCorpus()
+        ids = [p.pub_id for p in corpus.generate()]
+        assert len(ids) == len(set(ids))
+
+
+class TestSearch:
+    def test_keyword_search_hits_only_matching_topics(self):
+        corpus = PublicationCorpus()
+        hits = corpus.search("cgra")
+        assert hits
+        assert all("reconfigurable" in " ".join(p.keywords) for p in hits)
+
+    def test_search_is_case_insensitive(self):
+        corpus = PublicationCorpus()
+        assert len(corpus.search("FPGA")) == len(corpus.search("fpga"))
+
+    def test_year_filter(self):
+        corpus = PublicationCorpus()
+        hits = corpus.search("multicore", year=2008)
+        assert hits
+        assert all(p.year == 2008 for p in hits)
+
+    def test_count_by_year_sums_to_search_totals(self):
+        corpus = PublicationCorpus()
+        counts = corpus.count_by_year("gpu")
+        assert sum(counts.values()) == len(corpus.search("gpu"))
+        assert set(counts) == set(corpus.years)
+
+    def test_title_matching(self):
+        corpus = PublicationCorpus()
+        publication = corpus.generate()[0]
+        assert publication.matches(publication.title[:12])
+        assert not publication.matches("zzzznotfound")
+
+
+class TestVenueAndCumulative:
+    def test_venue_distribution_sums_to_search_total(self):
+        corpus = PublicationCorpus()
+        dist = corpus.venue_distribution("fpga")
+        assert sum(dist.values()) == len(corpus.search("fpga"))
+        counts = list(dist.values())
+        assert counts == sorted(counts, reverse=True)
+
+    def test_cumulative_counts_monotone_and_total(self):
+        corpus = PublicationCorpus()
+        cumulative = corpus.cumulative_counts("multicore")
+        values = [cumulative[y] for y in sorted(cumulative)]
+        assert values == sorted(values)
+        assert values[-1] == len(corpus.search("multicore"))
+
+    def test_cumulative_of_unmatched_query_is_zero(self):
+        corpus = PublicationCorpus()
+        cumulative = corpus.cumulative_counts("zzz-no-such-topic")
+        assert all(v == 0 for v in cumulative.values())

@@ -1,0 +1,98 @@
+"""Unit tests for trend extraction (the Fig.-1 analytics)."""
+
+import pytest
+
+from repro.bibliometrics import PublicationCorpus, TopicTrend, compute_trends
+
+
+@pytest.fixture(scope="module")
+def report():
+    return compute_trends(PublicationCorpus(seed=2012))
+
+
+class TestTrendSeries:
+    def test_one_series_per_topic(self, report):
+        assert len(report.trends) == 5
+
+    def test_series_cover_the_window(self, report):
+        for trend in report.trends:
+            assert trend.years[0] == 1995
+            assert trend.years[-1] == 2010
+            assert len(trend.years) == 16
+
+    def test_by_topic_lookup(self, report):
+        trend = report.by_topic("fpga")
+        assert trend.topic == "fpga"
+        with pytest.raises(KeyError):
+            report.by_topic("quantum")
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            TopicTrend("t", (2000, 2001), (1,))
+
+
+class TestPaperNarrative:
+    def test_multicore_surges_in_last_five_years(self, report):
+        """The paper: interest 'has increased significantly in the last
+        five years' for multicore and reconfigurable computing."""
+        multicore = report.by_topic("multicore architecture")
+        assert multicore.recent_growth_factor(recent_years=5) > 5.0
+
+    def test_reconfigurable_also_surges(self, report):
+        reconf = report.by_topic("reconfigurable computing")
+        assert reconf.recent_growth_factor(recent_years=5) > 2.0
+
+    def test_classic_parallel_programming_grows_slower(self, report):
+        baseline = report.by_topic("parallel programming")
+        multicore = report.by_topic("multicore architecture")
+        assert (
+            multicore.recent_growth_factor(recent_years=5)
+            > baseline.recent_growth_factor(recent_years=5)
+        )
+
+    def test_growth_ranking_puts_surging_topics_first(self, report):
+        ranking = report.growth_ranking(recent_years=5)
+        top_names = [name for name, _ in ranking[:3]]
+        assert "multicore architecture" in top_names
+        assert ranking[0][1] >= ranking[-1][1]
+
+
+class TestStatistics:
+    def test_window_mean(self, report):
+        trend = report.by_topic("fpga")
+        early = trend.window_mean(1995, 1999)
+        late = trend.window_mean(2006, 2010)
+        assert late > early
+
+    def test_window_outside_series(self, report):
+        with pytest.raises(ValueError):
+            report.by_topic("fpga").window_mean(1980, 1985)
+
+    def test_moving_average_smooths(self, report):
+        trend = report.by_topic("multicore architecture")
+        smooth = trend.moving_average(3)
+        assert len(smooth) == len(trend.counts)
+        # smoothing reduces total variation
+        def variation(series):
+            return sum(abs(b - a) for a, b in zip(series, series[1:]))
+        assert variation(smooth) <= variation(trend.counts)
+
+    def test_moving_average_window_validation(self, report):
+        trend = report.trends[0]
+        with pytest.raises(ValueError):
+            trend.moving_average(2)
+        with pytest.raises(ValueError):
+            trend.moving_average(0)
+
+    def test_growth_factor_window_validation(self):
+        short = TopicTrend("t", (2000, 2001), (1, 2))
+        with pytest.raises(ValueError):
+            short.recent_growth_factor(recent_years=5)
+
+    def test_zero_early_series_growth(self):
+        trend = TopicTrend("t", tuple(range(2000, 2010)), (0,) * 5 + (3,) * 5)
+        assert trend.recent_growth_factor(recent_years=5) == float("inf")
+
+    def test_total(self, report):
+        for trend in report.trends:
+            assert trend.total == sum(trend.counts)

@@ -1,0 +1,122 @@
+"""Unit tests for the Flynn and Skillicorn baseline taxonomies."""
+
+import pytest
+
+from repro.core import (
+    FlynnClass,
+    all_classes,
+    baseline_resolution,
+    class_by_name,
+    class_by_serial,
+    extension_report,
+    flynn_class,
+    make_signature,
+    skillicorn_verdict,
+)
+
+
+class TestFlynn:
+    def test_sisd_is_the_uniprocessor(self):
+        assert flynn_class(class_by_name("IUP").signature) is FlynnClass.SISD
+
+    def test_simd_is_the_array_processor(self):
+        for name in ("IAP-I", "IAP-II", "IAP-III", "IAP-IV"):
+            assert flynn_class(class_by_name(name).signature) is FlynnClass.SIMD
+
+    def test_mimd_covers_imp_and_isp(self):
+        assert flynn_class(class_by_name("IMP-I").signature) is FlynnClass.MIMD
+        assert flynn_class(class_by_name("ISP-XVI").signature) is FlynnClass.MIMD
+
+    def test_misd_is_the_ni_configuration(self):
+        # n IPs driving one DP: Flynn's MISD — the paper calls it NI.
+        assert flynn_class(class_by_serial(11).signature) is FlynnClass.MISD
+
+    def test_dataflow_has_no_flynn_category(self):
+        for name in ("DUP", "DMP-I", "DMP-IV"):
+            assert flynn_class(class_by_name(name).signature) is None
+
+    def test_variable_machines_have_no_fixed_category(self):
+        assert flynn_class(class_by_name("USP").signature) is None
+
+    def test_concrete_counts(self):
+        dual_core = make_signature(2, 2, ip_dp="2-2", ip_im="2-2", dp_dm="2-2")
+        assert flynn_class(dual_core) is FlynnClass.MIMD
+
+
+class TestSkillicorn:
+    def test_classic_classes_are_representable(self):
+        for name in ("DUP", "DMP-IV", "IUP", "IAP-II", "IMP-XVI"):
+            verdict = skillicorn_verdict(class_by_name(name).signature)
+            assert verdict.representable
+            assert verdict.reasons == ()
+
+    def test_ip_ip_classes_are_new(self):
+        verdict = skillicorn_verdict(class_by_name("ISP-I").signature)
+        assert not verdict.representable
+        assert any("IP-IP" in reason for reason in verdict.reasons)
+
+    def test_variable_classes_are_new(self):
+        verdict = skillicorn_verdict(class_by_name("USP").signature)
+        assert not verdict.representable
+        assert any("variable" in reason for reason in verdict.reasons)
+        # USP violates both limits at once.
+        assert len(verdict.reasons) == 2
+
+    def test_bool_conversion(self):
+        assert skillicorn_verdict(class_by_name("IUP").signature)
+        assert not skillicorn_verdict(class_by_name("ISP-IV").signature)
+
+    def test_ni_rows_13_14_are_also_new(self):
+        """Rows 13-14 carry the new IP-IP switch (the paper counts them
+        among its additions)."""
+        assert not skillicorn_verdict(class_by_serial(13).signature).representable
+        assert not skillicorn_verdict(class_by_serial(14).signature).representable
+        assert skillicorn_verdict(class_by_serial(11).signature).representable
+
+
+class TestExtensionReport:
+    def test_paper_claims_19_new_classes(self):
+        """'we ... introduced 19 new classes' (§II-C): rows 13-14,
+        31-46 (IP-IP) and 47 (variable)."""
+        report = extension_report()
+        assert len(report.skillicorn_new) == 19
+        serials = {int(entry.split(".")[0]) for entry in report.skillicorn_new}
+        assert serials == {13, 14, *range(31, 47), 47}
+
+    def test_flynn_unmappable_are_dataflow_and_usp(self):
+        report = extension_report()
+        serials = {int(entry.split(".")[0]) for entry in report.flynn_unmappable}
+        assert serials == {1, 2, 3, 4, 5, 47}
+
+    def test_mimd_fanout_quantifies_broadness(self):
+        """One Flynn label covers all 32 IMP/ISP classes — the
+        'broadness' Skillicorn cited as Flynn's limitation."""
+        report = extension_report()
+        assert report.mimd_fanout == 32
+
+    def test_summary_text(self):
+        text = extension_report().summary()
+        assert "47 extended classes" in text
+        assert "19" in text
+
+
+class TestResolution:
+    def test_partition_covers_all_classes(self):
+        rows = baseline_resolution()
+        total = sum(row.resolution_gain for row in rows.values())
+        assert total == 47
+
+    def test_simd_bucket(self):
+        rows = baseline_resolution()
+        assert set(rows["SIMD"].extended_classes) == {
+            "IAP-I", "IAP-II", "IAP-III", "IAP-IV",
+        }
+
+    def test_sisd_bucket(self):
+        rows = baseline_resolution()
+        assert rows["SISD"].extended_classes == ("IUP",)
+
+    def test_misd_bucket_is_the_ni_rows(self):
+        rows = baseline_resolution()
+        assert rows["MISD"].resolution_gain == 4
+        assert set(rows["MISD"].extended_classes) == {"NI"}

@@ -1,0 +1,157 @@
+"""Unit tests for the classifier across every branch of the taxonomy."""
+
+import pytest
+
+from repro.core import (
+    classify,
+    canonical_class,
+    make_signature,
+)
+from repro.core.errors import NotImplementableError
+
+
+def sig(ips, dps, **links):
+    return make_signature(ips, dps, **links)
+
+
+class TestDataFlowBranch:
+    def test_dup(self):
+        assert classify(sig(0, 1, dp_dm="1-1")).short_name == "DUP"
+
+    @pytest.mark.parametrize(
+        "dp_dm, dp_dp, expected",
+        [
+            ("n-n", None, "DMP-I"),
+            ("n-n", "nxn", "DMP-II"),
+            ("nxn", None, "DMP-III"),
+            ("nxn", "nxn", "DMP-IV"),
+        ],
+    )
+    def test_dmp_subtypes(self, dp_dm, dp_dp, expected):
+        assert classify(sig(0, "n", dp_dm=dp_dm, dp_dp=dp_dp)).short_name == expected
+
+    def test_direct_dp_dp_does_not_bump_subtype(self):
+        got = classify(sig(0, "n", dp_dm="n-n", dp_dp="n-n"))
+        assert got.short_name == "DMP-I"
+
+
+class TestInstructionFlowBranch:
+    def test_iup(self):
+        assert classify(sig(1, 1, ip_dp="1-1", ip_im="1-1", dp_dm="1-1")).short_name == "IUP"
+
+    @pytest.mark.parametrize(
+        "dp_dm, dp_dp, expected",
+        [
+            ("n-n", None, "IAP-I"),
+            ("n-n", "nxn", "IAP-II"),
+            ("nxn", None, "IAP-III"),
+            ("nxn", "nxn", "IAP-IV"),
+        ],
+    )
+    def test_iap_subtypes(self, dp_dm, dp_dp, expected):
+        got = classify(
+            sig(1, "n", ip_dp="1-n", ip_im="1-1", dp_dm=dp_dm, dp_dp=dp_dp)
+        )
+        assert got.short_name == expected
+
+    def test_imp_ordinal_encoding(self):
+        """All 16 IMP subtypes from the four switch bits."""
+        from repro.core import roman
+
+        for ordinal in range(1, 17):
+            bits = ordinal - 1
+            got = classify(
+                sig(
+                    "n", "n",
+                    ip_dp="nxn" if bits & 8 else "n-n",
+                    ip_im="nxn" if bits & 4 else "n-n",
+                    dp_dm="nxn" if bits & 2 else "n-n",
+                    dp_dp="nxn" if bits & 1 else None,
+                )
+            )
+            assert got.short_name == f"IMP-{roman(ordinal)}"
+
+    def test_isp_requires_ip_ip(self):
+        got = classify(
+            sig("n", "n", ip_ip="nxn", ip_dp="n-n", ip_im="n-n",
+                dp_dm="nxn", dp_dp="nxn")
+        )
+        assert got.short_name == "ISP-IV"
+
+    def test_direct_links_never_raise_subtype(self):
+        """PADDI-2's all-direct organisation is IMP-I (not II)."""
+        got = classify(
+            sig(48, 48, ip_dp="48-48", ip_im="48-48",
+                dp_dm="48-48", dp_dp="48-48")
+        )
+        assert got.short_name == "IMP-I"
+
+
+class TestUniversalBranch:
+    def test_usp(self):
+        got = classify(
+            sig("v", "v", ip_ip="vxv", ip_dp="vxv", ip_im="vxv",
+                dp_dm="vxv", dp_dp="vxv")
+        )
+        assert got.short_name == "USP"
+        assert got.flexibility == 8
+
+
+class TestNotImplementable:
+    def _ni_sig(self, ip_ip=None, ip_im="n-n"):
+        return sig("n", 1, ip_ip=ip_ip, ip_dp="n-1", ip_im=ip_im, dp_dm="1-1")
+
+    @pytest.mark.parametrize(
+        "ip_ip, ip_im, serial",
+        [
+            (None, "n-n", 11),
+            (None, "nxn", 12),
+            ("nxn", "n-n", 13),
+            ("nxn", "nxn", 14),
+        ],
+    )
+    def test_ni_serials(self, ip_ip, ip_im, serial):
+        result = classify(self._ni_sig(ip_ip, ip_im))
+        assert not result.implementable
+        assert result.taxonomy_class.serial == serial
+        assert result.short_name == "NI"
+        assert result.name is None
+
+    def test_allow_ni_false_raises(self):
+        with pytest.raises(NotImplementableError):
+            classify(self._ni_sig(), allow_ni=False)
+
+    def test_ni_explain_carries_warning(self):
+        text = classify(self._ni_sig()).explain()
+        assert "not implementable" in text
+
+
+class TestExplain:
+    def test_explain_structure(self):
+        result = classify(
+            sig(1, 64, ip_dp="1-64", ip_im="1-1", dp_dm="64-1", dp_dp="64x64")
+        )
+        text = result.explain()
+        assert "IAP-II" in text
+        assert "serial 8" in text
+        assert "flexibility 2" in text
+
+
+class TestCanonicalisation:
+    def test_canonical_class_matches_classify(self):
+        from repro.core import all_classes
+
+        for cls in all_classes():
+            assert canonical_class(cls.signature).serial == cls.serial
+
+    def test_classification_is_stable_under_count_rescaling(self):
+        """4, 16 or 64 processors classify identically (counts are
+        presentation, the symbol drives the class)."""
+        results = {
+            classify(
+                sig(1, n, ip_dp=f"1-{n}", ip_im="1-1",
+                    dp_dm=f"{n}-1", dp_dp=f"{n}x{n}")
+            ).short_name
+            for n in (2, 4, 16, 64, 1024)
+        }
+        assert results == {"IAP-II"}

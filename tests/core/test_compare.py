@@ -1,0 +1,62 @@
+"""Unit tests for §III-A name-based comparison."""
+
+import pytest
+
+from repro.core import compare_names, similarity
+from repro.core.compare import compare_classes
+from repro.core.taxonomy import class_by_serial
+
+
+class TestCompareNames:
+    def test_identical_classes_have_similarity_one(self):
+        assert similarity("IMP-I", "IMP-I") == pytest.approx(1.0)
+
+    def test_paper_example_iap_imp_same_numeral(self):
+        """§III-A: IAP-I and IMP-I share the IP-IP, IP-IM, DP-DM and
+        DP-DP connectivity their numeral encodes."""
+        report = compare_names("IAP-I", "IMP-I")
+        shared = {site.label for site in report.shared_link_sites}
+        assert {"IP-IP", "IP-IM", "DP-DM", "DP-DP"} <= shared
+
+    def test_machine_type_dominates_similarity(self):
+        same_mt = similarity("IAP-I", "IMP-I")
+        cross_mt = similarity("DMP-I", "IMP-I")
+        assert same_mt > cross_mt
+
+    def test_symmetry(self):
+        for a, b in [("IAP-II", "IMP-II"), ("DUP", "USP"), ("ISP-I", "IMP-I")]:
+            assert similarity(a, b) == pytest.approx(similarity(b, a))
+
+    def test_bounds(self):
+        from repro.core import implementable_classes
+
+        classes = implementable_classes()
+        for a in classes[:10]:
+            for b in classes[-10:]:
+                value = compare_classes(a, b).similarity
+                assert 0.0 <= value <= 1.0
+
+    def test_subtype_neighbours_are_closer_than_distant_subtypes(self):
+        assert similarity("IMP-I", "IMP-II") > similarity("IMP-I", "IMP-XVI")
+
+    def test_explain_text(self):
+        text = compare_names("IAP-II", "IMP-II").explain()
+        assert "IAP-II vs IMP-II" in text
+        assert "machine type: same" in text
+        assert "processing type: different" in text
+        assert "similarity:" in text
+
+    def test_accepts_class_objects(self):
+        a = class_by_serial(15)
+        b = class_by_serial(16)
+        report = compare_classes(a, b)
+        assert report.left.short == "IMP-I"
+        assert report.right.short == "IMP-II"
+
+    def test_ni_classes_rejected(self):
+        with pytest.raises(ValueError):
+            compare_classes(class_by_serial(11), class_by_serial(15))
+
+    def test_link_agreement_fraction(self):
+        report = compare_names("IMP-I", "IMP-XVI")  # all four subtype sites differ
+        assert report.link_agreement == pytest.approx(1 / 5)  # only IP-IP agrees

@@ -1,0 +1,128 @@
+"""Unit tests for component kinds, multiplicities and counts."""
+
+import pytest
+
+from repro.core import Granularity, Multiplicity, multiplicity_of_count
+from repro.core.components import ComponentCount, ComponentKind
+from repro.core.errors import SignatureError
+
+
+class TestComponentKind:
+    def test_processor_kinds(self):
+        assert ComponentKind.IP.is_processor
+        assert ComponentKind.DP.is_processor
+        assert not ComponentKind.IM.is_processor
+        assert not ComponentKind.DM.is_processor
+
+    def test_memory_kinds(self):
+        assert ComponentKind.IM.is_memory
+        assert ComponentKind.DM.is_memory
+        assert not ComponentKind.IP.is_memory
+
+    def test_str_uses_paper_symbols(self):
+        assert str(ComponentKind.IP) == "IP"
+        assert str(ComponentKind.DM) == "DM"
+
+
+class TestMultiplicity:
+    def test_total_order(self):
+        assert Multiplicity.ZERO < Multiplicity.ONE < Multiplicity.MANY < Multiplicity.VARIABLE
+
+    def test_comparison_operators(self):
+        assert Multiplicity.MANY >= Multiplicity.ONE
+        assert Multiplicity.ONE <= Multiplicity.MANY
+        assert Multiplicity.VARIABLE > Multiplicity.ZERO
+        assert not Multiplicity.ZERO > Multiplicity.ZERO
+
+    def test_comparison_with_non_multiplicity_fails(self):
+        with pytest.raises(TypeError):
+            Multiplicity.ONE < 3  # noqa: B015
+
+    def test_plural_symbols(self):
+        assert Multiplicity.MANY.is_plural
+        assert Multiplicity.VARIABLE.is_plural
+        assert not Multiplicity.ONE.is_plural
+        assert not Multiplicity.ZERO.is_plural
+
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("0", Multiplicity.ZERO),
+            ("1", Multiplicity.ONE),
+            ("n", Multiplicity.MANY),
+            ("N", Multiplicity.MANY),
+            ("m", Multiplicity.MANY),
+            ("v", Multiplicity.VARIABLE),
+            ("24xn", Multiplicity.MANY),
+            ("64", Multiplicity.MANY),
+            ("2", Multiplicity.MANY),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert Multiplicity.parse(text) is expected
+
+    @pytest.mark.parametrize("bad", ["", "x", "abc", "-1"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(SignatureError):
+            Multiplicity.parse(bad)
+
+
+class TestMultiplicityOfCount:
+    def test_mapping(self):
+        assert multiplicity_of_count(0) is Multiplicity.ZERO
+        assert multiplicity_of_count(1) is Multiplicity.ONE
+        assert multiplicity_of_count(2) is Multiplicity.MANY
+        assert multiplicity_of_count(1000) is Multiplicity.MANY
+
+    def test_negative_rejected(self):
+        with pytest.raises(SignatureError):
+            multiplicity_of_count(-1)
+
+
+class TestComponentCount:
+    def test_of_int_keeps_value(self):
+        count = ComponentCount.of(64)
+        assert count.multiplicity is Multiplicity.MANY
+        assert count.value == 64
+        assert str(count) == "64"
+
+    def test_of_symbol_has_no_value(self):
+        count = ComponentCount.of("n")
+        assert count.multiplicity is Multiplicity.MANY
+        assert count.value is None
+        assert str(count) == "n"
+
+    def test_of_numeric_string(self):
+        count = ComponentCount.of("8")
+        assert count.value == 8
+
+    def test_of_passthrough(self):
+        original = ComponentCount.of(4)
+        assert ComponentCount.of(original) is original
+        assert ComponentCount.of(Multiplicity.VARIABLE).multiplicity is Multiplicity.VARIABLE
+
+    def test_inconsistent_value_rejected(self):
+        with pytest.raises(SignatureError):
+            ComponentCount(Multiplicity.ONE, 5)
+        with pytest.raises(SignatureError):
+            ComponentCount(Multiplicity.MANY, 1)
+
+    def test_variable_accepts_any_value(self):
+        assert ComponentCount(Multiplicity.VARIABLE, 100).value == 100
+
+    def test_resolve(self):
+        assert ComponentCount.of("n").resolve(16) == 16
+        assert ComponentCount.of(64).resolve(16) == 64
+        assert ComponentCount.of(1).resolve(16) == 1
+        assert ComponentCount.of(0).resolve(16) == 0
+        assert ComponentCount.of("v").resolve(8) == 8
+
+    def test_of_rejects_garbage_type(self):
+        with pytest.raises(SignatureError):
+            ComponentCount.of(3.5)  # type: ignore[arg-type]
+
+
+class TestGranularity:
+    def test_symbols_match_table1(self):
+        assert str(Granularity.COARSE) == "IP/DP"
+        assert str(Granularity.FINE) == "LUTs"

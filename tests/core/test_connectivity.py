@@ -1,0 +1,103 @@
+"""Unit tests for link kinds, sites and the Table-cell codec."""
+
+import pytest
+
+from repro.core import LINK_SITES, Link, LinkKind, LinkSite
+from repro.core.components import ComponentKind
+from repro.core.errors import SignatureError
+
+
+class TestLinkKind:
+    def test_flexibility_order(self):
+        assert LinkKind.NONE < LinkKind.DIRECT < LinkKind.SWITCHED
+
+    def test_only_switched_earns_flexibility(self):
+        assert LinkKind.SWITCHED.is_switched
+        assert not LinkKind.DIRECT.is_switched
+        assert not LinkKind.NONE.is_switched
+
+    def test_existence(self):
+        assert LinkKind.DIRECT.exists
+        assert LinkKind.SWITCHED.exists
+        assert not LinkKind.NONE.exists
+
+    def test_comparisons(self):
+        assert LinkKind.SWITCHED >= LinkKind.DIRECT
+        assert LinkKind.NONE <= LinkKind.NONE
+        with pytest.raises(TypeError):
+            LinkKind.NONE < "x"  # noqa: B015
+
+
+class TestLinkSite:
+    def test_column_order_matches_table1(self):
+        assert [s.label for s in LINK_SITES] == [
+            "IP-IP", "IP-DP", "IP-IM", "DP-DM", "DP-DP",
+        ]
+
+    def test_endpoints(self):
+        assert LinkSite.IP_DP.left is ComponentKind.IP
+        assert LinkSite.IP_DP.right is ComponentKind.DP
+        assert LinkSite.DP_DM.right is ComponentKind.DM
+
+    def test_self_links(self):
+        assert LinkSite.IP_IP.is_self_link
+        assert LinkSite.DP_DP.is_self_link
+        assert not LinkSite.IP_DP.is_self_link
+
+    def test_ip_side_detection(self):
+        assert LinkSite.IP_IM.involves_ip
+        assert LinkSite.IP_DP.involves_ip
+        assert not LinkSite.DP_DP.involves_ip
+
+
+class TestLinkParse:
+    @pytest.mark.parametrize(
+        "cell, kind, rendered",
+        [
+            ("none", LinkKind.NONE, "none"),
+            ("", LinkKind.NONE, "none"),
+            (None, LinkKind.NONE, "none"),
+            ("1-1", LinkKind.DIRECT, "1-1"),
+            ("1-n", LinkKind.DIRECT, "1-n"),
+            ("64-1", LinkKind.DIRECT, "64-1"),
+            ("48-48", LinkKind.DIRECT, "48-48"),
+            ("nxn", LinkKind.SWITCHED, "nxn"),
+            ("64x64", LinkKind.SWITCHED, "64x64"),
+            ("5x10", LinkKind.SWITCHED, "5x10"),
+            ("nx14", LinkKind.SWITCHED, "nx14"),
+            ("vxv", LinkKind.SWITCHED, "vxv"),
+            ("24nx24n", LinkKind.SWITCHED, "24nx24n"),
+            ("1-24n", LinkKind.DIRECT, "1-24n"),
+        ],
+    )
+    def test_parse_and_render_roundtrip(self, cell, kind, rendered):
+        link = Link.parse(cell)
+        assert link.kind is kind
+        assert link.render() == rendered
+
+    def test_parse_is_idempotent_on_links(self):
+        link = Link.switched("n", "n")
+        assert Link.parse(link) is link
+
+    def test_parse_linkkind(self):
+        assert Link.parse(LinkKind.NONE).kind is LinkKind.NONE
+        assert Link.parse(LinkKind.SWITCHED).render() == "nxn"
+
+    @pytest.mark.parametrize("bad", ["x", "n--n", "a?b", "1+1", "nxnxn"])
+    def test_parse_rejects_malformed_cells(self, bad):
+        with pytest.raises(SignatureError):
+            Link.parse(bad)
+
+    def test_constructors(self):
+        assert Link.none().kind is LinkKind.NONE
+        assert Link.direct("1", "n").render() == "1-n"
+        assert Link.switched().render() == "nxn"
+
+    def test_with_endpoints(self):
+        link = Link.switched("n", "n").with_endpoints("64", "64")
+        assert link.render() == "64x64"
+        # NONE links have no endpoints to replace.
+        assert Link.none().with_endpoints("a", "b").kind is LinkKind.NONE
+
+    def test_str_is_render(self):
+        assert str(Link.direct("1", "1")) == "1-1"

@@ -1,0 +1,120 @@
+"""Edge-case tests for the error hierarchy and small shared types."""
+
+import pytest
+
+from repro.core.errors import (
+    CapabilityError,
+    ClassificationError,
+    ConfigurationError,
+    NamingError,
+    NotImplementableError,
+    ProgramError,
+    RegistryError,
+    ReproError,
+    RoutingError,
+    SignatureError,
+)
+from repro.interconnect.topology import Route, TrafficStats
+from repro.machine.base import Capability, ExecutionResult, check_capabilities
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SignatureError, ClassificationError, NamingError,
+            CapabilityError, ConfigurationError, RoutingError,
+            ProgramError, RegistryError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_ni_error_is_a_classification_error(self):
+        assert issubclass(NotImplementableError, ClassificationError)
+
+
+class TestRoute:
+    def test_endpoint_consistency_enforced(self):
+        with pytest.raises(RoutingError, match="endpoints"):
+            Route(source="a", destination="b", path=("a", "c"), cycles=1)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(RoutingError):
+            Route(source="a", destination="a", path=(), cycles=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(RoutingError):
+            Route(source="a", destination="a", path=("a",), cycles=-1)
+
+    def test_hops(self):
+        route = Route(source="a", destination="c", path=("a", "b", "c"), cycles=2)
+        assert route.hops == 2
+
+
+class TestTrafficStats:
+    def test_accumulation(self):
+        stats = TrafficStats()
+        stats.record(Route("a", "b", ("a", "b"), cycles=1))
+        stats.record(Route("a", "c", ("a", "b", "c"), cycles=2))
+        assert stats.transfers == 2
+        assert stats.total_hops == 3
+        assert stats.mean_hops == pytest.approx(1.5)
+        # the shared a-b link carried both transfers
+        assert stats.max_link_load == 2
+
+    def test_empty_stats(self):
+        stats = TrafficStats()
+        assert stats.mean_hops == 0.0
+        assert stats.max_link_load == 0
+
+    def test_link_keys_are_canonical(self):
+        stats = TrafficStats()
+        stats.record(Route("b", "a", ("b", "a"), cycles=1))
+        stats.record(Route("a", "b", ("a", "b"), cycles=1))
+        assert stats.per_link_load == {("a", "b"): 2}
+
+
+class TestExecutionResult:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionResult(cycles=-1, operations=0)
+        with pytest.raises(ValueError):
+            ExecutionResult(cycles=1, operations=-1)
+
+    def test_ops_per_cycle(self):
+        result = ExecutionResult(cycles=4, operations=10)
+        assert result.operations_per_cycle == 2.5
+        idle = ExecutionResult(cycles=0, operations=0)
+        assert idle.operations_per_cycle == 0.0
+
+    def test_merge_stats(self):
+        result = ExecutionResult(cycles=1, operations=1)
+        same = result.merge_stats(extra=42)
+        assert same is result
+        assert result.stats["extra"] == 42
+
+
+class TestCheckCapabilities:
+    def test_lists_every_missing_capability(self):
+        with pytest.raises(CapabilityError) as excinfo:
+            check_capabilities(
+                {Capability.INSTRUCTION_EXECUTION},
+                {
+                    Capability.INSTRUCTION_EXECUTION,
+                    Capability.LANE_SHUFFLE,
+                    Capability.GLOBAL_MEMORY,
+                },
+                machine="TEST",
+            )
+        message = str(excinfo.value)
+        assert "TEST" in message
+        assert "DP-DP switch" in message
+        assert "DP-DM switch" in message
+
+    def test_satisfied_is_silent(self):
+        check_capabilities(
+            set(Capability), {Capability.DATA_PARALLEL}, machine="X"
+        )

@@ -1,0 +1,109 @@
+"""Unit tests for the flexibility scoring system (§III-B rules)."""
+
+import pytest
+
+from repro.core import (
+    LinkSite,
+    MachineType,
+    class_by_name,
+    comparable,
+    flexibility,
+    make_signature,
+    score_signature,
+)
+
+
+class TestScoringRules:
+    def test_one_point_per_plural_population(self):
+        score = score_signature(class_by_name("IMP-I").signature)
+        assert score.multiplicity_points == 2
+        score = score_signature(class_by_name("IAP-I").signature)
+        assert score.multiplicity_points == 1
+        score = score_signature(class_by_name("IUP").signature)
+        assert score.multiplicity_points == 0
+
+    def test_one_point_per_switched_site(self):
+        score = score_signature(class_by_name("ISP-XVI").signature)
+        assert score.switch_points == 5
+        assert set(score.switched_sites) == set(LinkSite)
+
+    def test_universal_bonus_only_for_variable_machines(self):
+        assert score_signature(class_by_name("USP").signature).universal_bonus == 1
+        assert score_signature(class_by_name("ISP-XVI").signature).universal_bonus == 0
+
+    def test_concrete_counts_score_like_symbols(self):
+        """MorphoSys (64 DPs) scores exactly like the symbolic IAP-II."""
+        concrete = make_signature(1, 64, ip_dp="1-64", ip_im="1-1",
+                                  dp_dm="64-1", dp_dp="64x64")
+        symbolic = class_by_name("IAP-II").signature
+        assert flexibility(concrete) == flexibility(symbolic) == 2
+
+    def test_direct_links_earn_nothing(self):
+        """PADDI-2-style direct DP-DP connectivity adds no flexibility."""
+        direct = make_signature(48, 48, ip_dp="48-48", ip_im="48-48",
+                                dp_dm="48-48", dp_dp="48-48")
+        without = make_signature(4, 4, ip_dp="4-4", ip_im="4-4", dp_dm="4-4")
+        assert flexibility(direct) == flexibility(without) == 2
+
+    def test_int_conversion(self):
+        assert int(score_signature(class_by_name("IMP-XVI").signature)) == 6
+
+    def test_explain_mentions_every_component(self):
+        text = score_signature(class_by_name("DMP-IV").signature).explain()
+        assert "flexibility 3" in text
+        assert "DP-DM" in text and "DP-DP" in text
+
+    def test_explain_without_switches(self):
+        text = score_signature(class_by_name("IUP").signature).explain()
+        assert "(none)" in text
+
+    def test_usp_explain_mentions_bonus(self):
+        text = score_signature(class_by_name("USP").signature).explain()
+        assert "universal-flow bonus" in text
+
+
+class TestComparability:
+    def test_same_machine_type_comparable(self):
+        assert comparable(
+            class_by_name("IMP-I").signature, class_by_name("IAP-IV").signature
+        )
+        assert comparable(
+            class_by_name("DMP-I").signature, class_by_name("DMP-IV").signature
+        )
+
+    def test_data_vs_instruction_flow_incomparable(self):
+        assert not comparable(
+            class_by_name("DMP-IV").signature, class_by_name("IMP-I").signature
+        )
+
+    def test_universal_comparable_to_everything(self):
+        usp = class_by_name("USP").signature
+        assert comparable(usp, class_by_name("DMP-I").signature)
+        assert comparable(class_by_name("IMP-XVI").signature, usp)
+
+    def test_accepts_scores_directly(self):
+        a = score_signature(class_by_name("IMP-I").signature)
+        b = score_signature(class_by_name("ISP-I").signature)
+        assert comparable(a, b)
+
+    def test_machine_type_recorded(self):
+        assert (
+            score_signature(class_by_name("DMP-II").signature).machine_type
+            is MachineType.DATA_FLOW
+        )
+
+
+class TestMonotonicity:
+    def test_upgrading_any_site_never_decreases_flexibility(self):
+        from repro.core import all_classes
+
+        for cls in all_classes():
+            if not cls.implementable:
+                continue
+            base = flexibility(cls.signature)
+            for site in LinkSite:
+                try:
+                    upgraded = cls.signature.upgraded(site)
+                except Exception:
+                    continue  # upgrade may violate structural rules
+                assert flexibility(upgraded) >= base

@@ -1,0 +1,57 @@
+"""Unit tests for the Fig.-2 hierarchy tree."""
+
+from repro.core import build_hierarchy, iter_paths
+
+
+class TestHierarchy:
+    def test_root_has_three_machine_types(self):
+        root = build_hierarchy()
+        assert [child.label for child in root.children] == [
+            "Data Flow", "Instruction Flow", "Universal Flow",
+        ]
+
+    def test_processing_types_in_canonical_order(self):
+        root = build_hierarchy()
+        instruction = root.children[1]
+        assert [child.label for child in instruction.children] == [
+            "Uni Processor", "Array Processor", "Multi Processor",
+            "Spatial Processor",
+        ]
+
+    def test_leaf_count_covers_all_named_classes(self):
+        root = build_hierarchy()
+        total = sum(len(node.classes) for _, node in root.walk())
+        assert total == 43
+
+    def test_ni_hidden_by_default(self):
+        paths = list(iter_paths(build_hierarchy()))
+        assert not any("NI" in part for path in paths for part in path)
+
+    def test_ni_branch_when_requested(self):
+        root = build_hierarchy(include_ni=True)
+        instruction = root.children[1]
+        labels = [child.label for child in instruction.children]
+        assert "Not Implementable" in labels
+        ni_node = instruction.child("Not Implementable")
+        assert len(ni_node.classes) == 4
+
+    def test_child_lookup_creates_once(self):
+        root = build_hierarchy()
+        node = root.child("Data Flow")
+        assert node is root.child("Data Flow")
+
+    def test_iter_paths_reach_every_class(self):
+        paths = list(iter_paths(build_hierarchy()))
+        leaves = {path[-1] for path in paths}
+        assert "DUP" in leaves and "USP" in leaves and "ISP-XVI" in leaves
+
+    def test_walk_yields_depths(self):
+        root = build_hierarchy()
+        depths = {node.label: depth for depth, node in root.walk()}
+        assert depths["Computing Machines"] == 0
+        assert depths["Data Flow"] == 1
+        assert depths["Array Processor"] == 2
+
+    def test_leaf_count_property(self):
+        root = build_hierarchy()
+        assert root.leaf_count >= 7  # at least one leaf per PT branch

@@ -1,0 +1,151 @@
+"""Unit tests for the naming scheme: Roman numerals, subtype codec, names."""
+
+import pytest
+
+from repro.core import MachineType, ProcessingType, TaxonomicName, roman, unroman
+from repro.core.errors import NamingError
+from repro.core.naming import subtype_from_switch_bits, switch_bits_from_subtype
+
+
+class TestRoman:
+    @pytest.mark.parametrize(
+        "value, numeral",
+        [(1, "I"), (2, "II"), (4, "IV"), (5, "V"), (9, "IX"), (14, "XIV"),
+         (16, "XVI"), (40, "XL"), (90, "XC"), (1994, "MCMXCIV")],
+    )
+    def test_roundtrip(self, value, numeral):
+        assert roman(value) == numeral
+        assert unroman(numeral) == value
+
+    def test_full_roundtrip_range(self):
+        for value in range(1, 200):
+            assert unroman(roman(value)) == value
+
+    @pytest.mark.parametrize("bad", [0, -3, 4000])
+    def test_roman_range(self, bad):
+        with pytest.raises(NamingError):
+            roman(bad)
+
+    @pytest.mark.parametrize("bad", ["", "ABC", "IIII", "VV", "IL", "X IV"])
+    def test_unroman_rejects_non_canonical(self, bad):
+        with pytest.raises(NamingError):
+            unroman(bad)
+
+    def test_unroman_accepts_lowercase_and_padding(self):
+        assert unroman("xiv") == 14
+        assert unroman(" IV ") == 4
+
+
+class TestSubtypeCodec:
+    def test_two_site_codec_matches_table1(self):
+        # (dp_dm switched, dp_dp switched) -> subtype
+        assert subtype_from_switch_bits((False, False)) == 1
+        assert subtype_from_switch_bits((False, True)) == 2
+        assert subtype_from_switch_bits((True, False)) == 3
+        assert subtype_from_switch_bits((True, True)) == 4
+
+    def test_four_site_codec_spot_checks(self):
+        # IMP-XIV has IP-DP, IP-IM, DP-DP switched and DP-DM direct.
+        assert subtype_from_switch_bits((True, True, False, True)) == 14
+        assert switch_bits_from_subtype(14, 4) == (True, True, False, True)
+
+    def test_codec_roundtrip(self):
+        for width in (2, 4):
+            for subtype in range(1, (1 << width) + 1):
+                bits = switch_bits_from_subtype(subtype, width)
+                assert subtype_from_switch_bits(bits) == subtype
+
+    def test_out_of_range_subtype(self):
+        with pytest.raises(NamingError):
+            switch_bits_from_subtype(17, 4)
+        with pytest.raises(NamingError):
+            switch_bits_from_subtype(0, 2)
+
+
+class TestTaxonomicName:
+    def test_short_and_long_forms(self):
+        name = TaxonomicName(MachineType.INSTRUCTION_FLOW, ProcessingType.MULTI, 14)
+        assert name.short == "IMP-XIV"
+        assert name.long == "Instruction Flow Multi Processor XIV"
+        assert str(name) == "IMP-XIV"
+
+    def test_no_subtype_classes(self):
+        assert TaxonomicName(MachineType.DATA_FLOW, ProcessingType.UNI).short == "DUP"
+        assert TaxonomicName(MachineType.UNIVERSAL_FLOW, ProcessingType.SPATIAL).short == "USP"
+
+    def test_subtype_required_where_applicable(self):
+        with pytest.raises(NamingError):
+            TaxonomicName(MachineType.INSTRUCTION_FLOW, ProcessingType.MULTI)
+
+    def test_subtype_forbidden_where_not_applicable(self):
+        with pytest.raises(NamingError):
+            TaxonomicName(MachineType.INSTRUCTION_FLOW, ProcessingType.UNI, 2)
+
+    def test_subtype_range_enforced(self):
+        with pytest.raises(NamingError):
+            TaxonomicName(MachineType.DATA_FLOW, ProcessingType.MULTI, 5)
+        with pytest.raises(NamingError):
+            TaxonomicName(MachineType.INSTRUCTION_FLOW, ProcessingType.SPATIAL, 17)
+
+    def test_invalid_combination(self):
+        with pytest.raises(NamingError):
+            TaxonomicName(MachineType.DATA_FLOW, ProcessingType.ARRAY, 1)
+        with pytest.raises(NamingError):
+            TaxonomicName(MachineType.UNIVERSAL_FLOW, ProcessingType.UNI)
+
+    @pytest.mark.parametrize(
+        "text, short",
+        [
+            ("IMP-XIV", "IMP-XIV"),
+            ("imp-14", "IMP-XIV"),
+            ("Usp", "USP"),
+            ("iap-iv", "IAP-IV"),
+            ("ISP - XVI", "ISP-XVI"),
+            ("dmp-2", "DMP-II"),
+        ],
+    )
+    def test_parse(self, text, short):
+        assert TaxonomicName.parse(text).short == short
+
+    @pytest.mark.parametrize("bad", ["", "XYZ-IV", "IMP", "IMP-0", "IMP-XVII", "IMP-ABC"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(NamingError):
+            TaxonomicName.parse(bad)
+
+    def test_parse_format_roundtrip_over_all_names(self):
+        from repro.core import implementable_classes
+
+        for cls in implementable_classes():
+            assert TaxonomicName.parse(cls.name.short) == cls.name
+
+    def test_switch_bits_property(self):
+        assert TaxonomicName.parse("IMP-I").switch_bits == (False,) * 4
+        assert TaxonomicName.parse("IAP-IV").switch_bits == (True, True)
+        assert TaxonomicName.parse("USP").switch_bits == ()
+
+    def test_same_family(self):
+        a = TaxonomicName.parse("IMP-I")
+        assert a.same_family(TaxonomicName.parse("IMP-XVI"))
+        assert not a.same_family(TaxonomicName.parse("ISP-I"))
+
+    def test_same_subtype_pattern_across_families(self):
+        # §III-A: IAP-I and IMP-I share their switch pattern.
+        assert TaxonomicName.parse("IAP-I").same_subtype_pattern(
+            TaxonomicName.parse("IMP-I")
+        )
+        assert TaxonomicName.parse("IAP-II").same_subtype_pattern(
+            TaxonomicName.parse("IMP-II")
+        )
+        assert not TaxonomicName.parse("IAP-II").same_subtype_pattern(
+            TaxonomicName.parse("IMP-III")
+        )
+
+    def test_names_sort_in_table_order(self):
+        names = [
+            TaxonomicName.parse(n)
+            for n in ("ISP-I", "DUP", "IMP-II", "IAP-IV", "USP", "IUP")
+        ]
+        ordered = sorted(names)
+        assert [n.short for n in ordered] == [
+            "DUP", "IUP", "IAP-IV", "IMP-II", "ISP-I", "USP",
+        ]

@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for the taxonomy core.
+
+Strategies generate arbitrary *valid* signatures by construction, then
+check classification totality, flexibility monotonicity, naming codec
+round-trips and serialisation inverses.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LINK_SITES,
+    LinkKind,
+    LinkSite,
+    Multiplicity,
+    Signature,
+    TaxonomicName,
+    classify,
+    flexibility,
+    make_signature,
+    roman,
+    unroman,
+)
+from repro.core.naming import subtype_from_switch_bits, switch_bits_from_subtype
+from repro.reporting.export import signature_from_dict, signature_to_dict
+
+
+def _link_cell(kind: LinkKind, left: str, right: str) -> "str | None":
+    if kind is LinkKind.NONE:
+        return None
+    sep = "x" if kind is LinkKind.SWITCHED else "-"
+    return f"{left}{sep}{right}"
+
+
+@st.composite
+def signatures(draw) -> Signature:
+    """Arbitrary valid signatures covering every machine family."""
+    family = draw(
+        st.sampled_from(["dup", "dmp", "iup", "iap", "ni", "imp", "isp", "usp"])
+    )
+    two_kinds = st.sampled_from([LinkKind.DIRECT, LinkKind.SWITCHED])
+    opt_kind = st.sampled_from([LinkKind.NONE, LinkKind.DIRECT, LinkKind.SWITCHED])
+    if family == "dup":
+        return make_signature(0, 1, dp_dm="1-1")
+    if family == "dmp":
+        dp_dm = draw(two_kinds)
+        dp_dp = draw(opt_kind)
+        return make_signature(
+            0, "n",
+            dp_dm=_link_cell(dp_dm, "n", "n"),
+            dp_dp=_link_cell(dp_dp, "n", "n"),
+        )
+    if family == "iup":
+        return make_signature(1, 1, ip_dp="1-1", ip_im="1-1", dp_dm="1-1")
+    if family == "iap":
+        dp_dm = draw(two_kinds)
+        dp_dp = draw(opt_kind)
+        count = draw(st.sampled_from(["n", "2", "8", "64"]))
+        return make_signature(
+            1, count,
+            ip_dp=f"1-{count}",
+            ip_im="1-1",
+            dp_dm=_link_cell(dp_dm, count, count),
+            dp_dp=_link_cell(dp_dp, count, count),
+        )
+    if family == "ni":
+        ip_ip = draw(st.sampled_from([LinkKind.NONE, LinkKind.SWITCHED]))
+        ip_im = draw(two_kinds)
+        return make_signature(
+            "n", 1,
+            ip_ip=_link_cell(ip_ip, "n", "n"),
+            ip_dp="n-1",
+            ip_im=_link_cell(ip_im, "n", "n"),
+            dp_dm="1-1",
+        )
+    if family in ("imp", "isp"):
+        ip_ip = (
+            draw(st.sampled_from([LinkKind.DIRECT, LinkKind.SWITCHED]))
+            if family == "isp"
+            else LinkKind.NONE
+        )
+        ip_dp = draw(two_kinds)
+        ip_im = draw(two_kinds)
+        dp_dm = draw(two_kinds)
+        dp_dp = draw(opt_kind)
+        return make_signature(
+            "n", "n",
+            ip_ip=_link_cell(ip_ip, "n", "n"),
+            ip_dp=_link_cell(ip_dp, "n", "n"),
+            ip_im=_link_cell(ip_im, "n", "n"),
+            dp_dm=_link_cell(dp_dm, "n", "n"),
+            dp_dp=_link_cell(dp_dp, "n", "n"),
+        )
+    return make_signature(
+        "v", "v", ip_ip="vxv", ip_dp="vxv", ip_im="vxv", dp_dm="vxv", dp_dp="vxv"
+    )
+
+
+@given(signatures())
+def test_classification_is_total(sig):
+    """Every valid signature lands in exactly one Table-I class."""
+    result = classify(sig)
+    assert 1 <= result.taxonomy_class.serial <= 47
+
+
+@given(signatures())
+def test_flexibility_equals_manual_count(sig):
+    """The score always equals plural populations + x-switches + bonus."""
+    plural = sum(
+        1 for count in (sig.ips, sig.dps) if count.multiplicity.is_plural
+    )
+    switches = sum(1 for site in LINK_SITES if sig.link(site).is_switched)
+    bonus = 1 if sig.is_universal_flow else 0
+    assert flexibility(sig) == plural + switches + bonus
+
+
+@given(signatures(), st.sampled_from(list(LinkSite)))
+def test_upgrade_monotonicity(sig, site):
+    """Upgrading a link never lowers flexibility and never changes it by
+    more than one point."""
+    try:
+        upgraded = sig.upgraded(site)
+    except Exception:
+        return  # structurally impossible upgrade — fine
+    before, after = flexibility(sig), flexibility(upgraded)
+    assert before <= after <= before + 1
+
+
+@given(signatures())
+def test_classification_idempotent_on_canonical_signature(sig):
+    """Re-classifying a class's canonical signature returns the class."""
+    result = classify(sig)
+    again = classify(result.taxonomy_class.signature)
+    assert again.taxonomy_class.serial == result.taxonomy_class.serial
+
+
+@given(signatures())
+def test_signature_serialisation_roundtrip(sig):
+    """to_dict / from_dict preserves classification and flexibility."""
+    recovered = signature_from_dict(signature_to_dict(sig))
+    assert classify(recovered).short_name == classify(sig).short_name
+    assert flexibility(recovered) == flexibility(sig)
+
+
+@given(signatures())
+def test_flexibility_of_class_never_exceeds_signature(sig):
+    """A concrete machine scores exactly its canonical class's value
+    (link kinds and multiplicity symbols fully determine the score)."""
+    cls = classify(sig).taxonomy_class
+    if cls.implementable:
+        assert flexibility(sig) == flexibility(cls.signature)
+
+
+@given(st.integers(min_value=1, max_value=3999))
+def test_roman_roundtrip(value):
+    assert unroman(roman(value)) == value
+
+
+@given(st.integers(min_value=1, max_value=16))
+def test_subtype_codec_roundtrip(ordinal):
+    assert subtype_from_switch_bits(switch_bits_from_subtype(ordinal, 4)) == ordinal
+
+
+@given(signatures())
+def test_name_parse_roundtrip_from_classified(sig):
+    result = classify(sig)
+    if result.name is None:
+        return
+    assert TaxonomicName.parse(result.name.short) == result.name
+
+
+@given(signatures(), signatures())
+def test_similarity_symmetric_and_bounded(a, b):
+    from repro.core import compare_classes
+
+    ca = classify(a).taxonomy_class
+    cb = classify(b).taxonomy_class
+    if not (ca.implementable and cb.implementable):
+        return
+    forward = compare_classes(ca, cb).similarity
+    backward = compare_classes(cb, ca).similarity
+    assert 0.0 <= forward <= 1.0
+    assert forward == backward
+    if ca.serial == cb.serial:
+        assert forward == 1.0

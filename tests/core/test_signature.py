@@ -1,0 +1,164 @@
+"""Unit tests for signature construction and validation."""
+
+import pytest
+
+from repro.core import (
+    Granularity,
+    LinkKind,
+    LinkSite,
+    Multiplicity,
+    Signature,
+    make_signature,
+)
+from repro.core.errors import SignatureError
+
+
+def iup() -> Signature:
+    return make_signature(1, 1, ip_dp="1-1", ip_im="1-1", dp_dm="1-1")
+
+
+def imp_ii() -> Signature:
+    return make_signature(
+        "n", "n", ip_dp="n-n", ip_im="n-n", dp_dm="n-n", dp_dp="nxn"
+    )
+
+
+class TestValidation:
+    def test_valid_iup(self):
+        sig = iup()
+        assert sig.is_instruction_flow
+        assert not sig.is_data_flow
+        assert not sig.is_universal_flow
+
+    def test_dataflow_forbids_ip_links(self):
+        with pytest.raises(SignatureError, match="IP-DP"):
+            make_signature(0, "n", ip_dp="1-n", dp_dm="n-n")
+
+    def test_instruction_flow_requires_ip_dp(self):
+        with pytest.raises(SignatureError, match="IP-DP"):
+            make_signature(1, 1, ip_im="1-1", dp_dm="1-1")
+
+    def test_instruction_flow_requires_ip_im(self):
+        with pytest.raises(SignatureError, match="IP-IM"):
+            make_signature(1, 1, ip_dp="1-1", dp_dm="1-1")
+
+    def test_every_machine_needs_dp_dm(self):
+        with pytest.raises(SignatureError, match="DP-DM"):
+            make_signature(1, 1, ip_dp="1-1", ip_im="1-1")
+
+    def test_zero_dps_rejected(self):
+        with pytest.raises(SignatureError, match="data processor"):
+            make_signature(0, 0, dp_dm="1-1")
+
+    def test_single_ip_cannot_self_connect(self):
+        with pytest.raises(SignatureError, match="IP-IP"):
+            make_signature(1, "n", ip_ip="1x1", ip_dp="1-n", ip_im="1-1", dp_dm="n-n")
+
+    def test_single_dp_cannot_self_connect(self):
+        with pytest.raises(SignatureError, match="DP-DP"):
+            make_signature(1, 1, ip_dp="1-1", ip_im="1-1", dp_dm="1-1", dp_dp="1x1")
+
+    def test_variable_requires_fine_granularity(self):
+        with pytest.raises(SignatureError, match="fine"):
+            make_signature(
+                "v", "v",
+                ip_ip="vxv", ip_dp="vxv", ip_im="vxv", dp_dm="vxv", dp_dp="vxv",
+                granularity="coarse",
+            )
+
+    def test_fine_granularity_requires_variable(self):
+        with pytest.raises(SignatureError, match="variable"):
+            make_signature(1, 1, ip_dp="1-1", ip_im="1-1", dp_dm="1-1",
+                           granularity="LUTs")
+
+    def test_granularity_inferred_from_variable(self):
+        sig = make_signature(
+            "v", "v", ip_ip="vxv", ip_dp="vxv", ip_im="vxv", dp_dm="vxv", dp_dp="vxv"
+        )
+        assert sig.granularity is Granularity.FINE
+        assert sig.is_universal_flow
+
+    def test_unknown_granularity_string(self):
+        with pytest.raises(SignatureError, match="granularity"):
+            make_signature(1, 1, ip_dp="1-1", ip_im="1-1", dp_dm="1-1",
+                           granularity="medium")
+
+
+class TestAccessors:
+    def test_link_by_site(self):
+        sig = imp_ii()
+        assert sig.link(LinkSite.DP_DP).is_switched
+        assert sig.link(LinkSite.IP_DP).kind is LinkKind.DIRECT
+        assert sig.link(LinkSite.IP_IP).kind is LinkKind.NONE
+
+    def test_links_mapping_in_column_order(self):
+        sig = imp_ii()
+        assert [site.label for site in sig.links] == [
+            "IP-IP", "IP-DP", "IP-IM", "DP-DM", "DP-DP",
+        ]
+
+    def test_link_kinds_tuple(self):
+        assert iup().link_kinds() == (
+            LinkKind.NONE, LinkKind.DIRECT, LinkKind.DIRECT,
+            LinkKind.DIRECT, LinkKind.NONE,
+        )
+
+    def test_switched_sites(self):
+        assert imp_ii().switched_sites() == (LinkSite.DP_DP,)
+        assert iup().switched_sites() == ()
+
+    def test_iter_cells(self):
+        assert list(iup().iter_cells()) == [
+            "1", "1", "none", "1-1", "1-1", "1-1", "none",
+        ]
+
+    def test_describe_mentions_all_sites(self):
+        text = imp_ii().describe()
+        for label in ("IP-IP", "IP-DP", "IP-IM", "DP-DM", "DP-DP"):
+            assert label in text
+
+
+class TestTransforms:
+    def test_with_link_replaces_one_site(self):
+        upgraded = imp_ii().with_link(LinkSite.DP_DM, "nxn")
+        assert upgraded.link(LinkSite.DP_DM).is_switched
+        # original untouched (immutability)
+        assert not imp_ii().link(LinkSite.DP_DM).is_switched
+
+    def test_with_link_revalidates(self):
+        with pytest.raises(SignatureError):
+            iup().with_link(LinkSite.DP_DM, "none")
+
+    def test_upgrade_direct_to_switched(self):
+        sig = imp_ii().upgraded(LinkSite.DP_DM)
+        assert sig.link(LinkSite.DP_DM).is_switched
+        assert sig.link(LinkSite.DP_DM).render() == "nxn"
+
+    def test_upgrade_switched_is_noop(self):
+        sig = imp_ii()
+        assert sig.upgraded(LinkSite.DP_DP) == sig
+
+    def test_upgrade_none_to_direct(self):
+        sig = imp_ii().upgraded(LinkSite.IP_IP)
+        assert sig.link(LinkSite.IP_IP).kind is LinkKind.DIRECT
+        assert sig.link(LinkSite.IP_IP).render() == "n-n"
+
+    def test_signatures_are_hashable_and_equal_by_value(self):
+        assert imp_ii() == imp_ii()
+        assert hash(imp_ii()) == hash(imp_ii())
+        assert imp_ii() != iup()
+        assert len({imp_ii(), imp_ii(), iup()}) == 2
+
+
+class TestMakeSignature:
+    def test_concrete_counts_preserved(self):
+        sig = make_signature(1, 64, ip_dp="1-64", ip_im="1-1",
+                             dp_dm="64-1", dp_dp="64x64")
+        assert sig.dps.value == 64
+        assert sig.dps.multiplicity is Multiplicity.MANY
+
+    def test_template_symbols(self):
+        sig = make_signature("n", "m", ip_dp="nxm", ip_im="nxn",
+                             dp_dm="m-1", dp_dp="mxm")
+        assert sig.ips.multiplicity is Multiplicity.MANY
+        assert sig.dps.multiplicity is Multiplicity.MANY

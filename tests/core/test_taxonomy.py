@@ -1,0 +1,96 @@
+"""Unit tests for the class enumeration engine (beyond the golden rows)."""
+
+import pytest
+
+from repro.core import (
+    SECTION_HEADINGS,
+    all_classes,
+    class_by_name,
+    class_by_serial,
+    enumerate_classes,
+    implementable_classes,
+)
+from repro.core.errors import ClassificationError
+from repro.core.naming import TaxonomicName
+
+
+class TestEnumeration:
+    def test_enumeration_is_lazily_equal_to_cache(self):
+        assert tuple(enumerate_classes()) == all_classes()
+
+    def test_serials_are_contiguous(self):
+        assert [cls.serial for cls in all_classes()] == list(range(1, 48))
+
+    def test_signatures_are_unique(self):
+        signatures = [cls.signature for cls in all_classes()]
+        assert len(set(signatures)) == 47
+
+    def test_names_are_unique_among_implementable(self):
+        names = [cls.name.short for cls in implementable_classes()]
+        assert len(names) == len(set(names)) == 43
+
+    def test_subtype_numbers_track_switch_count(self):
+        """Within each family the numeral encodes the switch bits, so
+        flexibility differences inside a family equal popcount
+        differences of (subtype - 1)."""
+        from repro.core import flexibility
+
+        for family in ("DMP", "IAP", "IMP", "ISP"):
+            members = [
+                cls for cls in implementable_classes()
+                if cls.name.short.startswith(family + "-")
+            ]
+            for cls in members:
+                ordinal = cls.name.subtype
+                popcount = bin(ordinal - 1).count("1")
+                base = flexibility(members[0].signature)  # subtype I
+                assert flexibility(cls.signature) == base + popcount
+
+    def test_all_classes_cached(self):
+        assert all_classes() is all_classes()
+
+
+class TestLookups:
+    def test_by_serial(self):
+        assert class_by_serial(1).comment == "DUP"
+        assert class_by_serial(47).comment == "USP"
+        assert class_by_serial(28).comment == "IMP-XIV"
+
+    @pytest.mark.parametrize("bad", [0, -1, 48, 1000])
+    def test_by_serial_out_of_range(self, bad):
+        with pytest.raises(ClassificationError):
+            class_by_serial(bad)
+
+    def test_by_name_string_and_parsed(self):
+        assert class_by_name("ISP-XVI").serial == 46
+        parsed = TaxonomicName.parse("isp-16")
+        assert class_by_name(parsed).serial == 46
+
+    def test_by_name_unknown(self):
+        with pytest.raises(Exception):
+            class_by_name("QQQ-I")
+
+
+class TestSections:
+    def test_sections_cover_table(self):
+        assert SECTION_HEADINGS[1].startswith("Data Flow")
+        assert SECTION_HEADINGS[47].startswith("Universal Flow")
+
+    def test_section_of_each_class(self):
+        assert "Single Processor" in class_by_serial(1).section
+        assert "Multi Processors" in class_by_serial(3).section
+        assert "Array Processor" in class_by_serial(9).section
+        assert "Multi Processor" in class_by_serial(40).section
+        assert "Spatial Computing" in class_by_serial(47).section
+
+
+class TestRowRendering:
+    def test_row_cells_shape(self):
+        for cls in all_classes():
+            cells = cls.row_cells()
+            assert len(cells) == 10
+            assert cells[0] == f"{cls.serial}."
+
+    def test_str_contains_name_and_serial(self):
+        text = str(class_by_serial(15))
+        assert "15." in text and "IMP-I" in text

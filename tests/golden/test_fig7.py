@@ -1,0 +1,61 @@
+"""Golden test: the Fig.-7 flexibility comparison and its prose claims."""
+
+from repro.core.naming import MachineType
+from repro.registry import flexibility_ranking, most_flexible
+from repro.reporting.figures import fig7_series, render_fig7
+from tests.golden.paper_data import FIG7_MAX_FLEXIBILITY, FIG7_TOP, TABLE3, TABLE3_ERRATA
+
+
+def _expected_flex(name: str, paper_value: int) -> int:
+    if name in TABLE3_ERRATA:
+        return TABLE3_ERRATA[name]["consistent_flexibility"]
+    return paper_value
+
+
+def test_fig7_covers_all_25_architectures():
+    names, values = fig7_series()
+    assert len(names) == len(values) == 25
+    assert set(names) == {row[0] for row in TABLE3}
+
+
+def test_fig7_is_sorted_descending():
+    _, values = fig7_series()
+    assert values == sorted(values, reverse=True)
+
+
+def test_fpga_then_matrix_lead_the_ranking():
+    names, values = fig7_series()
+    assert tuple(names[:2]) == FIG7_TOP
+    assert values[0] == FIG7_MAX_FLEXIBILITY
+
+
+def test_fig7_values_match_table3():
+    names, values = fig7_series()
+    expected = {row[0]: _expected_flex(row[0], row[-1]) for row in TABLE3}
+    assert dict(zip(names, values)) == expected
+
+
+def test_most_flexible_overall_is_fpga():
+    assert most_flexible().name == "FPGA"
+
+
+def test_most_flexible_within_instruction_flow_is_matrix():
+    entry = most_flexible(within=MachineType.INSTRUCTION_FLOW)
+    assert entry.name == "MATRIX"
+    assert entry.flexibility == 7
+
+
+def test_most_flexible_dataflow_entries_are_redefine_and_colt():
+    ranked = [
+        e
+        for e in flexibility_ranking()
+        if e.machine_type is MachineType.DATA_FLOW
+    ]
+    assert {e.name for e in ranked} == {"REDEFINE", "Colt"}
+    assert all(e.flexibility == 3 for e in ranked)
+
+
+def test_render_fig7_contains_every_architecture():
+    text = render_fig7()
+    for row in TABLE3:
+        assert row[0] in text

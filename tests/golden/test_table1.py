@@ -1,0 +1,48 @@
+"""Golden test: the derived Table I must match the paper cell by cell."""
+
+import pytest
+
+from repro.core import all_classes
+from repro.reporting.tables import TABLE1_HEADER, table1_rows
+from tests.golden.paper_data import TABLE1
+
+
+def test_class_count_is_47():
+    assert len(all_classes()) == 47
+
+
+def test_row_count_matches_paper():
+    assert len(table1_rows()) == len(TABLE1) == 47
+
+
+@pytest.mark.parametrize("expected", TABLE1, ids=[str(r[0]) for r in TABLE1])
+def test_every_row_matches_paper(expected):
+    serial, gran, ips, dps, ip_ip, ip_dp, ip_im, dp_dm, dp_dp, comment = expected
+    cls = all_classes()[serial - 1]
+    assert cls.serial == serial
+    got = cls.row_cells()
+    assert got == (
+        f"{serial}.", gran, ips, dps, ip_ip, ip_dp, ip_im, dp_dm, dp_dp, comment
+    )
+
+
+def test_header_matches_paper_columns():
+    assert TABLE1_HEADER == (
+        "S.N", "Gran.", "IPs", "DPs", "IP-IP", "IP-DP", "IP-IM",
+        "DP-DM", "DP-DP", "Comments",
+    )
+
+
+def test_ni_rows_are_exactly_11_to_14():
+    ni = [cls.serial for cls in all_classes() if not cls.implementable]
+    assert ni == [11, 12, 13, 14]
+
+
+def test_paper_class_families_have_expected_sizes():
+    comments = [cls.comment for cls in all_classes()]
+    assert comments.count("NI") == 4
+    assert sum(1 for c in comments if c.startswith("DMP")) == 4
+    assert sum(1 for c in comments if c.startswith("IAP")) == 4
+    assert sum(1 for c in comments if c.startswith("IMP")) == 16
+    assert sum(1 for c in comments if c.startswith("ISP")) == 16
+    assert comments.count("DUP") == comments.count("IUP") == comments.count("USP") == 1

@@ -1,0 +1,49 @@
+"""Golden test: flexibility scores must match Table II for all 43 classes."""
+
+import pytest
+
+from repro.core import class_by_name, flexibility, score_signature
+from repro.reporting.tables import table2_rows
+from tests.golden.paper_data import TABLE2
+
+
+@pytest.mark.parametrize("name, expected", sorted(TABLE2.items()))
+def test_flexibility_matches_paper(name, expected):
+    cls = class_by_name(name)
+    assert flexibility(cls.signature) == expected
+
+
+def test_every_named_class_is_covered():
+    assert {name for name, _ in table2_rows()} == set(TABLE2)
+
+
+def test_table2_rows_match_paper_values():
+    got = {name: int(value) for name, value in table2_rows()}
+    assert got == TABLE2
+
+
+def test_group_increments_match_paper_headers():
+    """The (+0)/(+1)/(+2)/(+3) group annotations are the multiplicity
+    points (plus the universal bonus), and every class's score splits
+    into that group increment plus its switch count."""
+    group_bonus = {
+        "DUP": 0, "IUP": 0,
+        "DMP": 1, "IAP": 1,
+        "IMP": 2, "ISP": 2,
+        "USP": 3,
+    }
+    for name, expected in TABLE2.items():
+        code = name.split("-")[0]
+        cls = class_by_name(name)
+        score = score_signature(cls.signature)
+        assert score.multiplicity_points + score.universal_bonus == group_bonus[code]
+        assert score.total == expected
+
+
+def test_most_and_least_flexible_named_classes():
+    assert max(TABLE2.values()) == TABLE2["USP"] == 8
+    names_at_min = {name for name, value in TABLE2.items() if value == 0}
+    assert names_at_min == {"DUP", "IUP"}
+    # ISP-XVI is the most flexible instruction-flow class.
+    isp_values = {n: v for n, v in TABLE2.items() if n.startswith(("I", "D")) and n != "IUP"}
+    assert TABLE2["ISP-XVI"] == 7

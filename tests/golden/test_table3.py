@@ -1,0 +1,68 @@
+"""Golden test: the classified survey must match Table III row by row."""
+
+import pytest
+
+from repro.registry import KNOWN_ERRATA, all_architectures, architecture
+from repro.reporting.tables import table3_rows
+from tests.golden.paper_data import TABLE3, TABLE3_ERRATA
+
+
+def test_survey_size_and_order():
+    names = [rec.name for rec in all_architectures()]
+    assert names == [row[0] for row in TABLE3]
+    assert len(names) == 25
+
+
+@pytest.mark.parametrize("row", TABLE3, ids=[r[0] for r in TABLE3])
+def test_structural_cells_match_paper(row):
+    name, ips, dps, ip_ip, ip_dp, ip_im, dp_dm, dp_dp, _, _ = row
+    rec = architecture(name)
+    assert (rec.ips, rec.dps) == (ips, dps)
+    assert (rec.ip_ip, rec.ip_dp, rec.ip_im, rec.dp_dm, rec.dp_dp) == (
+        ip_ip, ip_dp, ip_im, dp_dm, dp_dp
+    )
+
+
+@pytest.mark.parametrize("row", TABLE3, ids=[r[0] for r in TABLE3])
+def test_derived_name_matches_paper(row):
+    name, *_rest, paper_name, _flex = row
+    rec = architecture(name)
+    assert rec.derived_name == paper_name
+
+
+@pytest.mark.parametrize("row", TABLE3, ids=[r[0] for r in TABLE3])
+def test_derived_flexibility_matches_paper_or_documented_erratum(row):
+    name = row[0]
+    paper_flex = row[-1]
+    rec = architecture(name)
+    if name in TABLE3_ERRATA:
+        erratum = TABLE3_ERRATA[name]
+        assert paper_flex == erratum["paper_flexibility"]
+        assert rec.derived_flexibility == erratum["consistent_flexibility"]
+        assert name in KNOWN_ERRATA
+    else:
+        assert rec.derived_flexibility == paper_flex
+
+
+def test_flexibility_consistent_with_table2_class_values():
+    """Every architecture's flexibility equals its class's Table-II value."""
+    from tests.golden.paper_data import TABLE2
+
+    for rec in all_architectures():
+        assert rec.derived_flexibility == TABLE2[rec.derived_name]
+
+
+def test_rendered_rows_use_verbatim_cells():
+    rows = table3_rows()
+    for rendered, golden in zip(rows, TABLE3):
+        assert rendered[0] == golden[0]
+        assert rendered[1:8] == tuple(golden[1:8])
+        assert rendered[8] == golden[8]
+
+
+def test_no_undocumented_errata():
+    from repro.registry import errata_report
+
+    report = errata_report()
+    assert all(line.startswith("known erratum") for line in report), report
+    assert len(report) == len(KNOWN_ERRATA) == 1

@@ -1,0 +1,48 @@
+"""Integration tests for the library self-audit."""
+
+import pytest
+
+from repro.audit import AuditCheck, AuditReport, run_audit
+
+
+class TestFullAudit:
+    def test_everything_passes(self):
+        report = run_audit()
+        assert report.passed, report.summary()
+
+    def test_all_eight_checks_run(self):
+        report = run_audit()
+        names = [check.name for check in report.checks]
+        assert names == [
+            "enumeration", "classification", "scoring", "naming",
+            "registry", "models", "morphability", "baselines",
+        ]
+
+    def test_summary_format(self):
+        text = run_audit().summary()
+        assert "[PASS] enumeration" in text
+        assert "all checks passed" in text
+
+
+class TestSelectiveAudit:
+    def test_subset(self):
+        report = run_audit(only={"scoring", "naming"})
+        assert len(report.checks) == 2
+        assert report.passed
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(ValueError, match="unknown audit"):
+            run_audit(only={"nonsense"})
+
+
+class TestReportMechanics:
+    def test_failures_listed(self):
+        report = AuditReport(
+            checks=[
+                AuditCheck("good", True, "ok"),
+                AuditCheck("bad", False, "broken"),
+            ]
+        )
+        assert not report.passed
+        assert [c.name for c in report.failures] == ["bad"]
+        assert "1 check(s) FAILED" in report.summary()

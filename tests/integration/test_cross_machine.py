@@ -1,0 +1,180 @@
+"""Integration tests: the same computation across all machine families.
+
+The strongest check of the machine substrate: a dot product (and other
+kernels) computed by the IUP, the IAP, the IMP, the DMP and the USP all
+agree with the pure-Python reference — five machine organisations, one
+answer.
+"""
+
+import pytest
+
+from repro.machine import (
+    ArrayProcessor,
+    ArraySubtype,
+    DataflowMachine,
+    DataflowSubtype,
+    Multiprocessor,
+    MultiprocessorSubtype,
+    SpatialMachine,
+    Uniprocessor,
+    UniversalMachine,
+    VliwBundle,
+    VliwProgram,
+    ins,
+)
+from repro.machine.kernels import (
+    dataflow_dot_product,
+    dot_product_reference,
+    mimd_ring_reduction,
+    reduction_reference,
+    scalar_dot_product,
+    simd_reduction_shuffle,
+)
+
+A = [3, 1, 4, 1, 5, 9, 2, 6]
+B = [2, 7, 1, 8, 2, 8, 1, 8]
+EXPECTED_DOT = dot_product_reference(A, B)
+
+
+class TestDotProductEverywhere:
+    def test_reference_value(self):
+        assert EXPECTED_DOT == 157
+
+    def test_iup(self):
+        iup = Uniprocessor(memory_size=2048)
+        iup.load_memory(0, A)
+        iup.load_memory(256, B)
+        result = iup.run(scalar_dot_product(8))
+        assert result.outputs["registers"][6] == EXPECTED_DOT
+
+    def test_dataflow(self):
+        graph = dataflow_dot_product(8)
+        inputs = {f"a{i}": A[i] for i in range(8)} | {f"b{i}": B[i] for i in range(8)}
+        for n_dps, subtype in [
+            (1, DataflowSubtype.DUP),
+            (4, DataflowSubtype.DMP_II),
+            (4, DataflowSubtype.DMP_IV),
+        ]:
+            result = DataflowMachine(n_dps, subtype).run(graph, inputs)
+            assert result.outputs["dot"] == EXPECTED_DOT
+
+    def test_iap_product_then_shuffle_reduce(self):
+        iap = ArrayProcessor(8, ArraySubtype.IAP_II)
+        # lane i holds a_i * b_i, then a shuffle tree reduces.
+        for lane, (a, b) in enumerate(zip(A, B)):
+            iap.lanes[lane].store(0, a * b)
+        result = iap.run(simd_reduction_shuffle(8))
+        assert result.outputs["registers"][0][3] == EXPECTED_DOT
+
+    def test_imp_ring_reduce(self):
+        imp = Multiprocessor(8, MultiprocessorSubtype.IMP_II)
+        for core, (a, b) in enumerate(zip(A, B)):
+            imp.cores[core].store(0, a * b)
+        result = imp.run(mimd_ring_reduction(8))
+        assert result.outputs["registers"][0][6] == EXPECTED_DOT
+
+    def test_usp_gate_level(self):
+        usp = UniversalMachine(20_000)
+        graph = dataflow_dot_product(8)
+        usp.configure_dataflow(graph, width=12)
+        inputs = {f"a{i}": A[i] for i in range(8)} | {f"b{i}": B[i] for i in range(8)}
+        assert usp.run_dataflow(inputs).outputs["dot"] == EXPECTED_DOT
+
+    def test_isp_fused_vliw(self):
+        isp = SpatialMachine(2, MultiprocessorSubtype.IMP_II, bank_size=64)
+        # Preload each member's bank with half of the products.
+        for index in range(4):
+            isp.cores[0].store(index, A[index] * B[index])
+            isp.cores[1].store(index, A[index + 4] * B[index + 4])
+        gid = isp.fuse([0, 1])
+        # Wide program: both members accumulate their bank in lockstep.
+        bundles = [
+            VliwBundle((ins("ldi", rd=6, imm=0), ins("ldi", rd=6, imm=0))),
+        ]
+        for index in range(4):
+            bundles.append(
+                VliwBundle((
+                    ins("ld", rd=3, rs1=0, imm=index),
+                    ins("ld", rd=3, rs1=0, imm=index),
+                ))
+            )
+            bundles.append(
+                VliwBundle((
+                    ins("add", rd=6, rs1=6, rs2=3),
+                    ins("add", rd=6, rs1=6, rs2=3),
+                ))
+            )
+        result = isp.run_fused(gid, VliwProgram(bundles))
+        regs = result.outputs["registers"]
+        assert regs[0][6] + regs[1][6] == EXPECTED_DOT
+
+
+class TestReductionAcrossParadigms:
+    VALUES = [11, -4, 9, 3, 7, 2, -1, 5]
+
+    def test_simd_vs_mimd_vs_reference(self):
+        expected = reduction_reference(self.VALUES)
+        iap = ArrayProcessor(8, ArraySubtype.IAP_II)
+        for lane, value in zip(iap.lanes, self.VALUES):
+            lane.store(0, value)
+        simd = iap.run(simd_reduction_shuffle(8)).outputs["registers"][0][3]
+
+        imp = Multiprocessor(8, MultiprocessorSubtype.IMP_II)
+        for core, value in zip(imp.cores, self.VALUES):
+            core.store(0, value)
+        mimd = imp.run(mimd_ring_reduction(8)).outputs["registers"][0][6]
+
+        assert simd == mimd == expected
+
+    def test_cycle_cost_ordering_is_plausible(self):
+        """SIMD tree reduction beats the serial MIMD ring in cycles."""
+        iap = ArrayProcessor(8, ArraySubtype.IAP_II)
+        for lane, value in zip(iap.lanes, self.VALUES):
+            lane.store(0, value)
+        simd_cycles = iap.run(simd_reduction_shuffle(8)).cycles
+
+        imp = Multiprocessor(8, MultiprocessorSubtype.IMP_II)
+        for core, value in zip(imp.cores, self.VALUES):
+            core.store(0, value)
+        mimd_cycles = imp.run(mimd_ring_reduction(8)).cycles
+        assert simd_cycles < mimd_cycles
+
+
+class TestFlexibilityIsOperational:
+    """Classes refuse exactly the programs their switches cannot carry."""
+
+    def test_subtype_capability_matrix(self):
+        from repro.core.errors import CapabilityError
+
+        shuffle = simd_reduction_shuffle(4)
+        outcomes = {}
+        for subtype in ArraySubtype:
+            iap = ArrayProcessor(4, subtype)
+            for lane in iap.lanes:
+                lane.store(0, 1)
+            try:
+                iap.run(shuffle)
+                outcomes[subtype.label] = "ran"
+            except CapabilityError:
+                outcomes[subtype.label] = "refused"
+        assert outcomes == {
+            "IAP-I": "refused",
+            "IAP-II": "ran",
+            "IAP-III": "refused",
+            "IAP-IV": "ran",
+        }
+
+    def test_refusals_match_classifier_capabilities(self):
+        """The DSE capability map agrees with the simulators."""
+        from repro.analysis import capabilities_of_class
+        from repro.machine import Capability
+
+        for subtype in ArraySubtype:
+            machine_caps = ArrayProcessor(4, subtype).capabilities()
+            class_caps = capabilities_of_class(subtype.label)
+            assert (Capability.LANE_SHUFFLE in machine_caps) == (
+                Capability.LANE_SHUFFLE in class_caps
+            )
+            assert (Capability.GLOBAL_MEMORY in machine_caps) == (
+                Capability.GLOBAL_MEMORY in class_caps
+            )

@@ -1,0 +1,23 @@
+"""Execute the doctests embedded in the public modules.
+
+Docstrings with examples are API promises; this test keeps them true.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.signature
+import repro.machine.program
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.core.signature, repro.machine.program],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,84 @@
+"""Integration tests: the full registry -> classifier -> reporting pipeline."""
+
+import json
+
+from repro.analysis import evaluate_classes, explore, Requirements
+from repro.core import classify, flexibility
+from repro.registry import all_architectures
+from repro.reporting.export import survey_to_json
+from repro.reporting.tables import render_table3, table3_rows
+
+
+class TestSurveyPipeline:
+    def test_registry_to_table_roundtrip(self):
+        """Every rendered Table-III row is consistent with a fresh
+        classification of the parsed record signature."""
+        for rec, row in zip(all_architectures(), table3_rows()):
+            fresh = classify(rec.signature)
+            assert row[8] == fresh.short_name
+            assert int(row[9]) == fresh.flexibility
+
+    def test_json_and_text_reports_agree(self):
+        payload = json.loads(survey_to_json())
+        text = render_table3()
+        for arch in payload["architectures"]:
+            assert arch["name"] in text
+            assert arch["derived_name"] in text
+
+    def test_flexibility_three_ways(self):
+        """Record-derived, signature-scored and class-canonical values
+        coincide for every architecture."""
+        for rec in all_architectures():
+            via_record = rec.derived_flexibility
+            via_signature = flexibility(rec.signature)
+            canonical = rec.classification.taxonomy_class
+            assert via_record == via_signature
+            if canonical.implementable:
+                assert via_signature == flexibility(canonical.signature)
+
+
+class TestModelsOverSurvey:
+    def test_every_surveyed_architecture_costs_out(self):
+        """Eq.1/Eq.2 evaluate cleanly for every record's signature."""
+        from repro.models import AreaModel, ConfigBitsModel
+
+        area = AreaModel()
+        config = ConfigBitsModel()
+        for rec in all_architectures():
+            assert area.total_ge(rec.signature, n=8) > 0
+            assert config.total(rec.signature, n=8) >= 0
+
+    def test_fpga_has_highest_config_overhead_in_survey(self):
+        from repro.models import ConfigBitsModel
+
+        config = ConfigBitsModel()
+        costs = {
+            rec.name: config.total(rec.signature, n=16)
+            for rec in all_architectures()
+        }
+        assert max(costs, key=costs.get) == "FPGA"
+
+
+class TestDesignLoop:
+    def test_dse_recommendation_is_classifiable(self):
+        """The DSE answer names a real class that classifies back onto
+        itself — the full loop a designer would run."""
+        from repro.core import class_by_name
+
+        recommendation = explore(Requirements(min_flexibility=4))
+        best = recommendation.best
+        assert best is not None
+        cls = class_by_name(best.name)
+        again = classify(cls.signature)
+        assert again.short_name == best.name
+        assert again.flexibility == best.flexibility
+
+    def test_evaluate_classes_consistent_with_direct_models(self):
+        from repro.core import class_by_name
+        from repro.models import AreaModel, ConfigBitsModel
+
+        points = {p.name: p for p in evaluate_classes(n=16)}
+        for name in ("IUP", "IMP-II", "ISP-XVI", "USP"):
+            cls = class_by_name(name)
+            assert points[name].area_ge == AreaModel().total_ge(cls.signature, n=16)
+            assert points[name].config_bits == ConfigBitsModel().total(cls.signature, n=16)

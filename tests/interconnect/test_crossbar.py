@@ -1,0 +1,114 @@
+"""Unit tests for full and limited crossbars."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, RoutingError
+from repro.interconnect import FullCrossbar, LimitedCrossbar
+
+
+class TestFullCrossbar:
+    def test_full_reachability(self):
+        assert FullCrossbar(8, 8).reachability_fraction() == 1.0
+
+    def test_route_two_hops_through_switch(self):
+        route = FullCrossbar(4, 4).route(1, 3)
+        assert route.path == ("in1", "xbar", "out3")
+        assert route.cycles == 1
+
+    def test_connect_and_transfer(self):
+        xbar = FullCrossbar(4, 4)
+        xbar.connect(2, 0)
+        assert xbar.configured_source(0) == 2
+        assert xbar.transfer(0, [10, 11, 12, 13]) == 12
+
+    def test_transfer_unconnected_raises(self):
+        xbar = FullCrossbar(4, 4)
+        with pytest.raises(ConfigurationError, match="not connected"):
+            xbar.transfer(1, [0, 0, 0, 0])
+
+    def test_transfer_wrong_input_count(self):
+        xbar = FullCrossbar(4, 4)
+        xbar.connect(0, 0)
+        with pytest.raises(ConfigurationError, match="expected 4"):
+            xbar.transfer(0, [1, 2])
+
+    def test_disconnect(self):
+        xbar = FullCrossbar(4, 4)
+        xbar.connect(1, 1)
+        xbar.disconnect(1)
+        assert xbar.configured_source(1) is None
+
+    def test_configure_batch_permutation(self):
+        xbar = FullCrossbar(4, 4)
+        xbar.configure({0: 3, 1: 2, 2: 1, 3: 0})
+        values = [100, 101, 102, 103]
+        assert [xbar.transfer(d, values) for d in range(4)] == [103, 102, 101, 100]
+
+    def test_configuration_words(self):
+        xbar = FullCrossbar(4, 4)
+        xbar.connect(2, 1)
+        words = xbar.configuration_words()
+        assert words == [0, 3, 0, 0]  # input k encodes as k+1; 0 = unconnected
+
+    def test_non_square(self):
+        xbar = FullCrossbar(8, 2)
+        xbar.connect(7, 1)
+        assert xbar.configured_source(1) == 7
+        with pytest.raises(RoutingError):
+            xbar.connect(0, 2)
+
+    def test_cost_accounting_positive(self):
+        xbar = FullCrossbar(16, 16)
+        assert xbar.area_ge() > 0
+        assert xbar.config_bits() == 16 * 5
+
+    def test_validate_permutation_always_ok(self):
+        FullCrossbar(4, 4).validate_permutation({0: 3, 3: 0})
+
+
+class TestLimitedCrossbar:
+    def test_window_reachability(self):
+        net = LimitedCrossbar(16, window=3)
+        assert net.can_route(5, 3)
+        assert net.can_route(8, 5)
+        assert not net.can_route(9, 5)
+        assert not net.can_route(0, 15)
+
+    def test_reachable_inputs_clipped_at_edges(self):
+        net = LimitedCrossbar(8, window=3)
+        assert list(net.reachable_inputs(0)) == [0, 1, 2, 3]
+        assert list(net.reachable_inputs(7)) == [4, 5, 6, 7]
+        assert list(net.reachable_inputs(4)) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_connect_outside_window_raises(self):
+        net = LimitedCrossbar(16, window=2)
+        with pytest.raises(RoutingError, match="window"):
+            net.connect(10, 2)
+
+    def test_connect_inside_window(self):
+        net = LimitedCrossbar(16, window=2)
+        net.connect(3, 2)
+        assert net.configured_source(2) == 3
+
+    def test_validate_permutation(self):
+        net = LimitedCrossbar(8, window=1)
+        net.validate_permutation({1: 0, 2: 3})
+        with pytest.raises(RoutingError):
+            net.validate_permutation({0: 7})
+
+    def test_route_raises_outside_window(self):
+        with pytest.raises(RoutingError):
+            LimitedCrossbar(16, window=3).route(0, 10)
+
+    def test_reachability_fraction_below_one(self):
+        assert LimitedCrossbar(16, window=3).reachability_fraction() < 1.0
+
+    def test_cheaper_than_full_crossbar(self):
+        full = FullCrossbar(32, 32)
+        limited = LimitedCrossbar(32, window=3)
+        assert limited.area_ge() < full.area_ge()
+        assert limited.config_bits() < full.config_bits()
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            LimitedCrossbar(8, window=0)

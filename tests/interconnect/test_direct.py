@@ -1,0 +1,75 @@
+"""Unit tests for direct (fixed-wiring) topologies."""
+
+import pytest
+
+from repro.core.connectivity import LinkKind
+from repro.core.errors import RoutingError
+from repro.interconnect import Broadcast, PointToPoint
+
+
+class TestPointToPoint:
+    def test_identity_routes_only(self):
+        net = PointToPoint(8)
+        assert net.can_route(3, 3)
+        assert not net.can_route(3, 4)
+
+    def test_route_shape(self):
+        route = PointToPoint(4).route(2, 2)
+        assert route.hops == 1
+        assert route.cycles == 1
+        assert route.path == ("in2", "out2")
+
+    def test_cross_route_raises(self):
+        with pytest.raises(RoutingError, match="point-to-point"):
+            PointToPoint(4).route(0, 1)
+
+    def test_out_of_range(self):
+        with pytest.raises(RoutingError):
+            PointToPoint(4).route(4, 4)
+        with pytest.raises(RoutingError):
+            PointToPoint(4).can_route(0, -1)
+
+    def test_reachability_fraction(self):
+        assert PointToPoint(8).reachability_fraction() == pytest.approx(1 / 8)
+
+    def test_zero_config_bits(self):
+        assert PointToPoint(16).config_bits() == 0
+
+    def test_kind(self):
+        assert PointToPoint(4).link_kind is LinkKind.DIRECT
+
+    def test_graph_is_perfect_matching(self):
+        graph = PointToPoint(6).as_graph()
+        assert graph.number_of_edges() == 6
+        assert all(graph.degree(node) == 1 for node in graph)
+
+    def test_route_all_statistics(self):
+        net = PointToPoint(4)
+        stats = net.route_all([(0, 0), (1, 1), (2, 2)])
+        assert stats.transfers == 3
+        assert stats.mean_hops == 1.0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            PointToPoint(0)
+        with pytest.raises(ValueError):
+            PointToPoint(4, width_bits=0)
+
+
+class TestBroadcast:
+    def test_reaches_every_destination(self):
+        net = Broadcast(8)
+        assert net.reachability_fraction() == 1.0
+        for dst in range(8):
+            assert net.route(0, dst).cycles == 1
+
+    def test_single_source(self):
+        with pytest.raises(RoutingError):
+            Broadcast(8).route(1, 0)
+
+    def test_graph_is_star(self):
+        graph = Broadcast(5).as_graph()
+        assert graph.degree("in0") == 5
+
+    def test_zero_config(self):
+        assert Broadcast(64).config_bits() == 0

@@ -1,0 +1,57 @@
+"""Unit tests for the PADDI-2-style hierarchical network."""
+
+import pytest
+
+from repro.core.errors import RoutingError
+from repro.interconnect import FullCrossbar, HierarchicalNetwork
+
+
+class TestStructure:
+    def test_paddi2_configuration(self):
+        """48 processors in clusters (PADDI-2's hierarchical network)."""
+        net = HierarchicalNetwork(48, cluster_size=4)
+        assert net.n_clusters == 12
+        assert net.cluster_of(0) == 0
+        assert net.cluster_of(47) == 11
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalNetwork(10, cluster_size=4)
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(ValueError):
+            HierarchicalNetwork(8, cluster_size=0)
+
+    def test_cluster_bounds(self):
+        with pytest.raises(RoutingError):
+            HierarchicalNetwork(8, cluster_size=4).cluster_of(8)
+
+
+class TestRouting:
+    def test_intra_cluster_is_one_cycle(self):
+        net = HierarchicalNetwork(16, cluster_size=4)
+        route = net.route(0, 3)
+        assert route.cycles == 1
+        assert route.path == ("p0", "xc0", "p3")
+
+    def test_inter_cluster_is_three_cycles(self):
+        net = HierarchicalNetwork(16, cluster_size=4)
+        route = net.route(0, 12)
+        assert route.cycles == 3
+        assert route.path == ("p0", "xc0", "x2", "xc3", "p12")
+
+    def test_full_reachability(self):
+        assert HierarchicalNetwork(16, cluster_size=4).reachability_fraction() == 1.0
+
+
+class TestCosts:
+    def test_cheaper_than_flat_crossbar(self):
+        flat = FullCrossbar(48, 48)
+        hier = HierarchicalNetwork(48, cluster_size=4)
+        assert hier.area_ge() < flat.area_ge()
+        assert hier.config_bits() < flat.config_bits()
+
+    def test_graph_two_levels(self):
+        graph = HierarchicalNetwork(8, cluster_size=4).as_graph()
+        assert graph.degree("x2") == 2       # two cluster switches
+        assert graph.degree("xc0") == 5      # 4 members + uplink

@@ -1,0 +1,115 @@
+"""Property-based tests for the interconnect substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect import (
+    FullCrossbar,
+    HierarchicalNetwork,
+    LimitedCrossbar,
+    Mesh2D,
+    SharedBus,
+    SlidingWindow,
+)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=32),
+    data=st.data(),
+)
+def test_crossbar_routes_any_permutation(n, data):
+    """A full crossbar realises every permutation (non-blocking)."""
+    perm = data.draw(st.permutations(range(n)))
+    xbar = FullCrossbar(n, n)
+    xbar.configure({dst: src for dst, src in enumerate(perm)})
+    values = list(range(100, 100 + n))
+    for dst in range(n):
+        assert xbar.transfer(dst, values) == values[perm[dst]]
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=6),
+    cols=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+@settings(max_examples=50)
+def test_mesh_delivers_random_traffic(rows, cols, data):
+    mesh = Mesh2D(rows, cols)
+    n = rows * cols
+    count = data.draw(st.integers(min_value=0, max_value=min(n, 8)))
+    packets = [
+        (
+            data.draw(st.integers(min_value=0, max_value=n - 1)),
+            data.draw(st.integers(min_value=0, max_value=n - 1)),
+        )
+        for _ in range(count)
+    ]
+    result = mesh.simulate(packets)
+    assert result.delivered == count
+    # Total hops equal the sum of Manhattan distances (XY is minimal).
+    expected_hops = sum(
+        abs(mesh.coords(s)[0] - mesh.coords(d)[0])
+        + abs(mesh.coords(s)[1] - mesh.coords(d)[1])
+        for s, d in packets
+    )
+    assert result.total_hops == expected_hops
+
+
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    hops=st.integers(min_value=1, max_value=8),
+    src=st.data(),
+)
+def test_window_relay_always_lands(n, hops, src):
+    net = SlidingWindow(n, hops=hops)
+    source = src.draw(st.integers(min_value=0, max_value=n - 1))
+    dest = src.draw(st.integers(min_value=0, max_value=n - 1))
+    nodes = net.relay_nodes(source, dest)
+    assert nodes[0] == source and nodes[-1] == dest
+    # every leg stays within the window
+    for a, b in zip(nodes, nodes[1:]):
+        assert abs(a - b) <= hops
+
+
+@given(
+    masters=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+def test_bus_arbitration_grants_everyone_exactly_once(masters, data):
+    bus = SharedBus(masters, masters)
+    count = data.draw(st.integers(min_value=0, max_value=16))
+    requests = [
+        (
+            data.draw(st.integers(min_value=0, max_value=masters - 1)),
+            data.draw(st.integers(min_value=0, max_value=masters - 1)),
+        )
+        for _ in range(count)
+    ]
+    schedule = bus.arbitrate(requests)
+    assert schedule.makespan == count
+    assert sorted(schedule.grants) == list(range(count))
+
+
+@given(
+    clusters=st.integers(min_value=1, max_value=8),
+    size=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+def test_hierarchical_latency_is_one_or_three(clusters, size, data):
+    net = HierarchicalNetwork(clusters * size, cluster_size=size)
+    total = clusters * size
+    a = data.draw(st.integers(min_value=0, max_value=total - 1))
+    b = data.draw(st.integers(min_value=0, max_value=total - 1))
+    route = net.route(a, b)
+    same = net.cluster_of(a) == net.cluster_of(b)
+    assert route.cycles == (1 if same else 3)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    window=st.integers(min_value=1, max_value=16),
+)
+def test_limited_reachability_monotone_in_window(n, window):
+    tight = LimitedCrossbar(n, window=window)
+    loose = LimitedCrossbar(n, window=window + 2)
+    assert tight.reachability_fraction() <= loose.reachability_fraction()

@@ -1,0 +1,97 @@
+"""Unit tests for the 2-D mesh NoC."""
+
+import pytest
+
+from repro.core.errors import RoutingError
+from repro.interconnect import Mesh2D
+
+
+class TestGeometry:
+    def test_coords_and_index_roundtrip(self):
+        mesh = Mesh2D(4, 6)
+        for index in range(24):
+            row, col = mesh.coords(index)
+            assert mesh.index(row, col) == index
+
+    def test_bounds(self):
+        mesh = Mesh2D(4, 4)
+        with pytest.raises(RoutingError):
+            mesh.coords(16)
+        with pytest.raises(RoutingError):
+            mesh.index(4, 0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 4)
+
+
+class TestXYRouting:
+    def test_path_goes_x_then_y(self):
+        mesh = Mesh2D(4, 4)
+        path = mesh.xy_path(mesh.index(0, 0), mesh.index(2, 3))
+        # First move along the row (x), then down the column (y).
+        assert path == [0, 1, 2, 3, 7, 11]
+
+    def test_hop_count_is_manhattan_distance(self):
+        mesh = Mesh2D(8, 8)
+        route = mesh.route(0, 63)
+        assert route.hops == 14  # 7 + 7
+
+    def test_self_route(self):
+        mesh = Mesh2D(3, 3)
+        assert mesh.route(4, 4).hops == 0
+
+    def test_deterministic(self):
+        mesh = Mesh2D(5, 5)
+        assert mesh.xy_path(2, 22) == mesh.xy_path(2, 22)
+
+
+class TestSimulation:
+    def test_all_packets_delivered(self):
+        mesh = Mesh2D(4, 4)
+        packets = [(i, 15 - i) for i in range(16)]
+        result = mesh.simulate(packets)
+        assert result.delivered == 16
+
+    def test_conflict_free_traffic_takes_max_distance(self):
+        mesh = Mesh2D(4, 4)
+        # Single packet: cycles == hops.
+        result = mesh.simulate([(0, 15)])
+        assert result.cycles == 6
+        assert result.total_hops == 6
+
+    def test_contention_stretches_makespan(self):
+        mesh = Mesh2D(1, 8)
+        # Every packet needs the same right-going chain of links.
+        congested = mesh.simulate([(0, 7), (0, 7), (0, 7), (0, 7)])
+        single = mesh.simulate([(0, 7)])
+        assert congested.cycles > single.cycles
+        assert congested.max_queue > 0
+
+    def test_empty_and_trivial_batches(self):
+        mesh = Mesh2D(2, 2)
+        assert mesh.simulate([]).delivered == 0
+        result = mesh.simulate([(1, 1)])
+        assert result.delivered == 1
+        assert result.cycles == 0
+
+    def test_mean_hops(self):
+        mesh = Mesh2D(2, 2)
+        result = mesh.simulate([(0, 3), (3, 0)])
+        assert result.mean_hops == pytest.approx(2.0)
+
+
+class TestCosts:
+    def test_area_linear_in_node_count(self):
+        small = Mesh2D(4, 4)
+        large = Mesh2D(8, 8)
+        assert large.area_ge() == pytest.approx(4 * small.area_ge())
+
+    def test_graph_structure(self):
+        graph = Mesh2D(3, 3).as_graph()
+        assert graph.number_of_nodes() == 9
+        assert graph.number_of_edges() == 12  # 2*3*(3-1)
+
+    def test_single_node_mesh(self):
+        mesh = Mesh2D(1, 1)
+        assert mesh.as_graph().number_of_nodes() == 1

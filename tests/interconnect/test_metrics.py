@@ -1,0 +1,83 @@
+"""Unit tests for graph-level interconnect metrics."""
+
+import networkx as nx
+import pytest
+
+from repro.interconnect import (
+    FullCrossbar,
+    Mesh2D,
+    PointToPoint,
+    SlidingWindow,
+    bisection_width,
+    diameter,
+    mean_distance,
+    profile,
+)
+
+
+class TestDiameter:
+    def test_mesh_diameter(self):
+        assert diameter(Mesh2D(4, 4).as_graph()) == 6
+
+    def test_crossbar_diameter_is_two(self):
+        assert diameter(FullCrossbar(8, 8).as_graph()) == 2
+
+    def test_disconnected_uses_component_max(self):
+        graph = PointToPoint(4).as_graph()  # 4 disjoint edges
+        assert diameter(graph) == 1
+
+    def test_single_node(self):
+        graph = nx.Graph()
+        graph.add_node("a")
+        assert diameter(graph) == 0
+
+
+class TestMeanDistance:
+    def test_star_mean_distance(self):
+        graph = nx.star_graph(4)
+        # 4 spokes at distance 1 from hub, 2 from each other.
+        assert mean_distance(graph) == pytest.approx((4 * 1 + 6 * 2) / 10)
+
+    def test_empty_graph(self):
+        assert mean_distance(nx.Graph()) == 0.0
+
+    def test_chain_longer_than_mesh(self):
+        chain = SlidingWindow(16, hops=1).as_graph()
+        mesh = Mesh2D(4, 4).as_graph()
+        assert mean_distance(chain) > mean_distance(mesh)
+
+
+class TestBisection:
+    def test_path_graph_bisection_is_one(self):
+        assert bisection_width(nx.path_graph(8)) == 1
+
+    def test_complete_graph_bisection(self):
+        assert bisection_width(nx.complete_graph(8)) == 16
+
+    def test_mesh_bisection(self):
+        # 4x4 mesh: cutting between columns 1 and 2 severs 4 edges.
+        assert bisection_width(Mesh2D(4, 4).as_graph()) == 4
+
+    def test_degenerate_graphs(self):
+        assert bisection_width(nx.Graph()) == 0
+        graph = nx.Graph()
+        graph.add_node("only")
+        assert bisection_width(graph) == 0
+
+
+class TestProfile:
+    def test_profile_fields(self):
+        record = profile("mesh", Mesh2D(4, 4))
+        assert record.name == "mesh"
+        assert record.n_ports == 16
+        assert record.diameter == 6
+        assert record.reachability == 1.0
+        assert len(record.row()) == 8
+
+    def test_profiles_expose_design_tradeoffs(self):
+        """The window fabric trades diameter for area against the
+        crossbar — both visible in the profiles."""
+        xbar = profile("xbar", FullCrossbar(16, 16))
+        window = profile("window", SlidingWindow(16, hops=3))
+        assert window.area_ge < xbar.area_ge
+        assert window.diameter > xbar.diameter

@@ -1,0 +1,115 @@
+"""Unit tests for the Omega multistage network."""
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.errors import RoutingError
+from repro.interconnect import FullCrossbar, OmegaNetwork, SharedBus
+
+
+class TestConstruction:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            OmegaNetwork(6)
+        with pytest.raises(ValueError):
+            OmegaNetwork(1)
+
+    def test_stage_count(self):
+        assert OmegaNetwork(8).stages == 3
+        assert OmegaNetwork(64).stages == 6
+
+    def test_element_count(self):
+        assert OmegaNetwork(8).element_count() == 12  # (8/2)*3
+
+
+class TestRouting:
+    def test_destination_tag_lands_correctly(self):
+        net = OmegaNetwork(16)
+        for source in range(16):
+            for destination in range(16):
+                # path_elements asserts arrival internally
+                elements = net.path_elements(source, destination)
+                assert len(elements) == 4
+
+    def test_route_latency_is_stage_count(self):
+        net = OmegaNetwork(8)
+        assert net.route(0, 7).cycles == 3
+        assert net.route(5, 5).cycles == 3  # even self-routes traverse
+
+    def test_full_single_route_reachability(self):
+        assert OmegaNetwork(8).reachability_fraction() == 1.0
+
+    def test_port_bounds(self):
+        with pytest.raises(RoutingError):
+            OmegaNetwork(4).route(4, 0)
+
+
+class TestBlocking:
+    def test_identity_and_shifts_are_conflict_free(self):
+        net = OmegaNetwork(8)
+        assert net.is_conflict_free({i: i for i in range(8)})
+        # Uniform cyclic shifts are classic Omega-admissible permutations.
+        for shift in range(8):
+            perm = {i: (i + shift) % 8 for i in range(8)}
+            assert net.is_conflict_free(perm), shift
+
+    def test_some_permutations_block(self):
+        net = OmegaNetwork(8)
+        blocked = [
+            perm
+            for perm in map(
+                lambda p: dict(enumerate(p)),
+                itertools.islice(itertools.permutations(range(8)), 500),
+            )
+            if not net.is_conflict_free(perm)
+        ]
+        assert blocked  # Omega is a blocking network
+
+    def test_blocking_fraction_matches_theory(self):
+        """Routable permutations on an n-port Omega number
+        2^(stages * n/2) settings, but only n! permutations exist; for
+        n=8 the routable fraction is 4096/40320 ~ 10.2%."""
+        net = OmegaNetwork(8)
+        rng = random.Random(42)
+        perms = [
+            dict(enumerate(rng.sample(range(8), 8))) for _ in range(2000)
+        ]
+        blocked = net.blocking_fraction(perms)
+        assert 0.85 <= blocked <= 0.94
+
+    def test_crossbar_never_blocks_the_same_batches(self):
+        """The non-blocking property the crossbar's n^2 area buys."""
+        net = OmegaNetwork(8)
+        xbar = FullCrossbar(8, 8)
+        rng = random.Random(7)
+        perm = dict(enumerate(rng.sample(range(8), 8)))
+        # The crossbar validates any permutation...
+        xbar.validate_permutation({d: s for s, d in perm.items()})
+        # ...whether or not the Omega network can realise it.
+        net.is_conflict_free(perm)  # must not raise either way
+
+    def test_empty_batch(self):
+        assert OmegaNetwork(4).blocking_fraction([]) == 0.0
+
+
+class TestCosts:
+    def test_between_bus_and_crossbar(self):
+        n = 32
+        omega = OmegaNetwork(n)
+        assert SharedBus(n, n).area_ge() < omega.area_ge() < FullCrossbar(n, n).area_ge()
+
+    def test_nlogn_scaling(self):
+        small = OmegaNetwork(16).area_ge()
+        large = OmegaNetwork(64).area_ge()
+        # (64/2*6) / (16/2*4) = 6x elements
+        assert large / small == pytest.approx(6.0)
+
+    def test_graph_connected_with_expected_size(self):
+        net = OmegaNetwork(8)
+        graph = net.as_graph()
+        # 8 inputs + 8 outputs + 12 elements
+        assert graph.number_of_nodes() == 28
+        assert nx.is_connected(graph)

@@ -1,0 +1,60 @@
+"""Property-based tests for the Omega network."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect import OmegaNetwork
+
+
+@given(
+    log_n=st.integers(min_value=1, max_value=5),
+    data=st.data(),
+)
+def test_destination_tag_routing_always_lands(log_n, data):
+    n = 1 << log_n
+    net = OmegaNetwork(n)
+    source = data.draw(st.integers(0, n - 1))
+    destination = data.draw(st.integers(0, n - 1))
+    elements = net.path_elements(source, destination)  # asserts arrival
+    assert len(elements) == log_n
+    route = net.route(source, destination)
+    assert route.cycles == log_n
+
+
+@given(
+    log_n=st.integers(min_value=1, max_value=4),
+    shift=st.integers(min_value=0, max_value=15),
+)
+def test_cyclic_shifts_always_admissible(log_n, shift):
+    """Uniform shifts are the textbook Omega-routable permutations."""
+    n = 1 << log_n
+    net = OmegaNetwork(n)
+    perm = {i: (i + shift) % n for i in range(n)}
+    assert net.is_conflict_free(perm)
+
+
+@given(log_n=st.integers(min_value=2, max_value=4), seed=st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_subsets_of_admissible_permutations_stay_admissible(log_n, seed):
+    """Removing transfers can never create a conflict."""
+    n = 1 << log_n
+    net = OmegaNetwork(n)
+    rng = random.Random(seed)
+    perm = dict(enumerate(rng.sample(range(n), n)))
+    if net.is_conflict_free(perm):
+        keep = rng.sample(sorted(perm), k=max(1, n // 2))
+        subset = {s: perm[s] for s in keep}
+        assert net.is_conflict_free(subset)
+
+
+@given(log_n=st.integers(min_value=1, max_value=5))
+def test_costs_scale_with_element_count(log_n):
+    n = 1 << log_n
+    net = OmegaNetwork(n)
+    elements = (n // 2) * log_n
+    assert net.element_count() == elements
+    # Each 2x2 element: 2 outputs x 2-bit select (the code space keeps
+    # an "unconnected" state), i.e. 4 bits per element.
+    assert net.config_bits() == elements * 4

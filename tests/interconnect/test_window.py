@@ -1,0 +1,69 @@
+"""Unit tests for the DRRA-style sliding-window interconnect."""
+
+import pytest
+
+from repro.core.errors import RoutingError
+from repro.interconnect import SlidingWindow
+
+
+class TestWindow:
+    def test_three_hop_window_matches_drra(self):
+        """DRRA: every element reaches 3 hops left and right."""
+        net = SlidingWindow(16, hops=3)
+        assert list(net.window_of(8)) == [5, 6, 7, 8, 9, 10, 11]
+        assert net.in_window(8, 11)
+        assert not net.in_window(8, 12)
+
+    def test_edges_clip(self):
+        net = SlidingWindow(16, hops=3)
+        assert list(net.window_of(0)) == [0, 1, 2, 3]
+        assert list(net.window_of(15)) == [12, 13, 14, 15]
+
+    def test_bounds(self):
+        net = SlidingWindow(8, hops=2)
+        with pytest.raises(RoutingError):
+            net.window_of(8)
+        with pytest.raises(RoutingError):
+            net.in_window(0, 9)
+
+    def test_invalid_hops(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(8, hops=0)
+
+
+class TestRelay:
+    def test_in_window_is_single_cycle(self):
+        net = SlidingWindow(16, hops=3)
+        assert net.route(4, 7).cycles == 1
+
+    def test_relay_node_sequence(self):
+        net = SlidingWindow(16, hops=3)
+        assert net.relay_nodes(0, 10) == [0, 3, 6, 9, 10]
+        assert net.relay_nodes(10, 0) == [10, 7, 4, 1, 0]
+
+    def test_relay_cycles_grow_with_distance(self):
+        net = SlidingWindow(32, hops=3)
+        assert net.route(0, 3).cycles == 1
+        assert net.route(0, 6).cycles == 2
+        assert net.route(0, 31).cycles == 11  # ceil(31/3)
+
+    def test_self_route(self):
+        net = SlidingWindow(8, hops=3)
+        assert net.route(5, 5).cycles == 1
+
+    def test_everything_reachable(self):
+        assert SlidingWindow(32, hops=3).reachability_fraction() == 1.0
+
+
+class TestCosts:
+    def test_cheaper_than_full_crossbar(self):
+        from repro.interconnect import FullCrossbar
+
+        window = SlidingWindow(64, hops=3)
+        xbar = FullCrossbar(64, 64)
+        assert window.area_ge() < xbar.area_ge()
+        assert window.config_bits() < xbar.config_bits()
+
+    def test_graph_degree_bounded_by_window(self):
+        graph = SlidingWindow(16, hops=3).as_graph()
+        assert max(dict(graph.degree()).values()) == 6  # 3 left + 3 right

@@ -1,0 +1,200 @@
+"""Unit tests for dataflow graphs and the DUP/DMP machines."""
+
+import pytest
+
+from repro.core.errors import CapabilityError, ProgramError
+from repro.machine import DataflowGraph, DataflowMachine, DataflowSubtype, DFOp
+
+
+def diamond() -> DataflowGraph:
+    """(a+b) * (a-b) — a diamond-shaped graph."""
+    g = DataflowGraph("diamond")
+    g.input("a")
+    g.input("b")
+    g.add("sum", "add", "a", "b")
+    g.add("diff", "sub", "a", "b")
+    g.add("prod", "mul", "sum", "diff")
+    g.output("y", "prod")
+    return g
+
+
+class TestGraphConstruction:
+    def test_arity_enforced(self):
+        g = DataflowGraph()
+        g.input("a")
+        with pytest.raises(ProgramError, match="takes 2"):
+            g.add("bad", "add", "a")
+
+    def test_const_needs_value(self):
+        g = DataflowGraph()
+        with pytest.raises(ProgramError, match="needs a value"):
+            g.add("c", DFOp.CONST)
+
+    def test_non_const_rejects_value(self):
+        g = DataflowGraph()
+        g.input("a")
+        with pytest.raises(ProgramError, match="literal"):
+            g.add("n", DFOp.NEG, "a", value=3)
+
+    def test_unknown_input_reference(self):
+        g = DataflowGraph()
+        with pytest.raises(ProgramError, match="unknown input"):
+            g.add("x", "neg", "ghost")
+
+    def test_duplicate_node_id(self):
+        g = DataflowGraph()
+        g.input("a")
+        with pytest.raises(ProgramError, match="duplicate"):
+            g.input("a")
+
+    def test_output_required_for_validation(self):
+        g = DataflowGraph()
+        g.input("a")
+        with pytest.raises(ProgramError, match="OUTPUT"):
+            g.validate()
+
+    def test_edges_and_counts(self):
+        g = diamond()
+        assert len(g) == 6
+        assert g.operator_count() == 4  # everything except the 2 inputs
+        assert ("a", "sum") in g.edges()
+
+
+class TestReferenceEvaluation:
+    def test_diamond(self):
+        assert diamond().evaluate({"a": 7, "b": 3}) == {"y": 40}
+
+    def test_all_operators(self):
+        g = DataflowGraph()
+        g.input("a")
+        g.input("b")
+        for op in ("add", "sub", "mul", "min", "max", "and", "or", "xor"):
+            g.add(op, op, "a", "b")
+            g.output(f"o_{op}", op)
+        g.add("neg", "neg", "a")
+        g.output("o_neg", "neg")
+        got = g.evaluate({"a": 12, "b": 5})
+        assert got == {
+            "o_add": 17, "o_sub": 7, "o_mul": 60, "o_min": 5, "o_max": 12,
+            "o_and": 4, "o_or": 13, "o_xor": 9, "o_neg": -12,
+        }
+
+    def test_div_semantics(self):
+        g = DataflowGraph()
+        g.input("a")
+        g.const("c", -2)
+        g.add("q", "div", "a", "c")
+        g.output("y", "q")
+        assert g.evaluate({"a": 7})["y"] == -3  # truncation toward zero
+
+    def test_div_by_zero(self):
+        g = DataflowGraph()
+        g.input("a")
+        g.const("z", 0)
+        g.add("q", "div", "a", "z")
+        g.output("y", "q")
+        with pytest.raises(ProgramError, match="division by zero"):
+            g.evaluate({"a": 1})
+
+    def test_unbound_inputs(self):
+        with pytest.raises(ProgramError, match="unbound"):
+            diamond().evaluate({"a": 1})
+
+
+class TestMachineExecution:
+    @pytest.mark.parametrize(
+        "n_dps, subtype",
+        [
+            (1, DataflowSubtype.DUP),
+            (2, DataflowSubtype.DMP_II),
+            (3, DataflowSubtype.DMP_III),
+            (4, DataflowSubtype.DMP_IV),
+        ],
+    )
+    def test_outputs_match_reference(self, n_dps, subtype):
+        machine = DataflowMachine(n_dps, subtype)
+        result = machine.run(diamond(), {"a": 9, "b": 4})
+        assert result.outputs == diamond().evaluate({"a": 9, "b": 4})
+        assert result.operations == diamond().operator_count()
+
+    def test_single_dp_forces_dup(self):
+        machine = DataflowMachine(1)
+        assert machine.subtype is DataflowSubtype.DUP
+
+    def test_dup_with_many_dps_rejected(self):
+        with pytest.raises(ValueError):
+            DataflowMachine(4, DataflowSubtype.DUP)
+
+    def test_parallelism_speeds_up_wide_graphs(self):
+        from repro.machine.kernels import dataflow_vector_add
+
+        g = dataflow_vector_add(16)
+        inputs = {f"a{i}": i for i in range(16)} | {f"b{i}": 1 for i in range(16)}
+        serial = DataflowMachine(1).run(g, inputs)
+        parallel = DataflowMachine(8, DataflowSubtype.DMP_IV).run(g, inputs)
+        assert parallel.cycles < serial.cycles
+        assert parallel.outputs == serial.outputs
+
+    def test_dmp1_refuses_cross_partition_graphs(self):
+        machine = DataflowMachine(2, DataflowSubtype.DMP_I)
+        with pytest.raises(CapabilityError, match="no inter-DP path"):
+            machine.run(diamond(), {"a": 1, "b": 2})
+
+    def test_dmp1_accepts_partitionable_placement(self):
+        from repro.machine.kernels import dataflow_vector_add
+
+        g = dataflow_vector_add(2)
+        placement = {
+            "a0": 0, "b0": 0, "s0": 0, "y0": 0,
+            "a1": 1, "b1": 1, "s1": 1, "y1": 1,
+        }
+        machine = DataflowMachine(2, DataflowSubtype.DMP_I, placement=placement)
+        result = machine.run(g, {"a0": 1, "b0": 2, "a1": 3, "b1": 4})
+        assert result.outputs == {"y0": 3, "y1": 7}
+
+    def test_communication_latency_ordering(self):
+        """DP-DP tokens (DMP-II) beat memory-mediated ones (DMP-III)."""
+        from repro.machine.kernels import dataflow_dot_product
+
+        g = dataflow_dot_product(8)
+        inputs = {f"a{i}": 1 for i in range(8)} | {f"b{i}": 2 for i in range(8)}
+        via_dp = DataflowMachine(4, DataflowSubtype.DMP_II).run(g, inputs)
+        via_dm = DataflowMachine(4, DataflowSubtype.DMP_III).run(g, inputs)
+        assert via_dp.cycles <= via_dm.cycles
+        assert via_dp.outputs == via_dm.outputs
+
+    def test_placement_validation(self):
+        machine = DataflowMachine(2, DataflowSubtype.DMP_IV, placement={"ghost": 0})
+        with pytest.raises(ProgramError, match="unknown nodes"):
+            machine.run(diamond(), {"a": 1, "b": 2})
+
+    def test_placement_must_cover_all_nodes(self):
+        machine = DataflowMachine(2, DataflowSubtype.DMP_IV, placement={"a": 0})
+        with pytest.raises(ProgramError, match="misses"):
+            machine.run(diamond(), {"a": 1, "b": 2})
+
+    def test_placement_range_check(self):
+        g = diamond()
+        full = {node: 5 for node in g.nodes}
+        machine = DataflowMachine(2, DataflowSubtype.DMP_IV, placement=full)
+        with pytest.raises(ProgramError, match="exceeds"):
+            machine.run(g, {"a": 1, "b": 2})
+
+    def test_unbound_inputs_rejected(self):
+        with pytest.raises(ProgramError, match="unbound"):
+            DataflowMachine(2, DataflowSubtype.DMP_IV).run(diamond(), {"a": 1})
+
+    def test_capabilities(self):
+        from repro.machine import Capability
+
+        dmp4 = DataflowMachine(4, DataflowSubtype.DMP_IV)
+        caps = dmp4.capabilities()
+        assert Capability.DATAFLOW_EXECUTION in caps
+        assert Capability.LANE_SHUFFLE in caps
+        assert Capability.GLOBAL_MEMORY in caps
+        dup = DataflowMachine(1)
+        assert Capability.DATA_PARALLEL not in dup.capabilities()
+
+    def test_invalid_machine_size(self):
+        with pytest.raises(ValueError):
+            DataflowMachine(0)

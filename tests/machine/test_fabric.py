@@ -1,0 +1,173 @@
+"""Unit tests for the gate-level LUT fabric."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.machine import CellConfig, LutFabric
+
+
+def cfg(sources, table, registered=False):
+    return CellConfig(tuple(sources), table, registered=registered)
+
+
+class TestCellConfig:
+    def test_truth_table_bounds(self):
+        with pytest.raises(ConfigurationError, match="truth table"):
+            CellConfig((("const", 0),), 4)  # 1 input -> 2 patterns -> max 0b11
+
+    def test_source_validation(self):
+        with pytest.raises(ConfigurationError):
+            CellConfig((("wire", 3),), 0)
+        with pytest.raises(ConfigurationError):
+            CellConfig((("const", 2),), 0)
+        with pytest.raises(ConfigurationError):
+            CellConfig((("cell", -1),), 0)
+        with pytest.raises(ConfigurationError):
+            CellConfig((), 0)
+
+
+class TestFabricConfiguration:
+    def test_arity_limit(self):
+        fabric = LutFabric(4, k=2)
+        with pytest.raises(ConfigurationError, match="exceed k"):
+            fabric.configure_cell(0, cfg([("const", 0)] * 3, 0))
+
+    def test_cell_index_bounds(self):
+        fabric = LutFabric(2)
+        with pytest.raises(ConfigurationError, match="outside"):
+            fabric.configure_cell(2, cfg([("const", 0)], 1))
+
+    def test_dangling_cell_reference(self):
+        fabric = LutFabric(2)
+        with pytest.raises(ConfigurationError, match="missing cell"):
+            fabric.configure_cell(0, cfg([("cell", 7)], 1))
+
+    def test_output_requires_configured_cell(self):
+        fabric = LutFabric(2)
+        with pytest.raises(ConfigurationError, match="unconfigured"):
+            fabric.name_output("y", 0)
+
+    def test_invalid_fabric_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LutFabric(0)
+        with pytest.raises(ConfigurationError):
+            LutFabric(8, k=7)
+
+    def test_utilization(self):
+        fabric = LutFabric(10)
+        fabric.configure_cell(0, cfg([("const", 1)], 0b10))
+        assert fabric.used_cells == 1
+        assert fabric.utilization == pytest.approx(0.1)
+
+    def test_clear(self):
+        fabric = LutFabric(4)
+        fabric.configure_cell(0, cfg([("const", 1)], 0b10))
+        fabric.name_output("y", 0)
+        fabric.clear()
+        assert fabric.used_cells == 0
+        assert fabric.output_names == ()
+
+
+class TestCombinational:
+    def test_inverter(self):
+        fabric = LutFabric(1)
+        # NOT(a): output 1 when input is 0.
+        fabric.configure_cell(0, cfg([("input", "a")], 0b01))
+        fabric.name_output("y", 0)
+        assert fabric.step({"a": 0})["y"] == 1
+        assert fabric.step({"a": 1})["y"] == 0
+
+    def test_two_level_logic(self):
+        fabric = LutFabric(3)
+        AND = 0b1000
+        OR = 0b1110
+        fabric.configure_cell(0, cfg([("input", "a"), ("input", "b")], AND))
+        fabric.configure_cell(1, cfg([("input", "c"), ("input", "d")], AND))
+        fabric.configure_cell(2, cfg([("cell", 0), ("cell", 1)], OR))
+        fabric.name_output("y", 2)
+        assert fabric.step({"a": 1, "b": 1, "c": 0, "d": 0})["y"] == 1
+        assert fabric.step({"a": 0, "b": 1, "c": 0, "d": 1})["y"] == 0
+
+    def test_combinational_loop_detected(self):
+        fabric = LutFabric(2)
+        fabric.configure_cell(0, cfg([("cell", 1)], 0b01))
+        fabric.configure_cell(1, cfg([("cell", 0)], 0b01))
+        with pytest.raises(ConfigurationError, match="loop"):
+            fabric.step()
+
+    def test_unbound_input(self):
+        fabric = LutFabric(1)
+        fabric.configure_cell(0, cfg([("input", "a")], 0b10))
+        fabric.name_output("y", 0)
+        with pytest.raises(ConfigurationError, match="unbound"):
+            fabric.step({})
+
+
+class TestSequential:
+    def test_registered_cell_delays_one_cycle(self):
+        fabric = LutFabric(1)
+        fabric.configure_cell(0, cfg([("input", "d")], 0b10, registered=True))
+        fabric.name_output("q", 0)
+        assert fabric.step({"d": 1})["q"] == 1
+        assert fabric.step({"d": 0})["q"] == 0
+
+    def test_toggle_flip_flop(self):
+        """A registered inverter fed by itself divides the clock."""
+        fabric = LutFabric(1)
+        fabric.configure_cell(0, cfg([("cell", 0)], 0b01, registered=True))
+        fabric.name_output("q", 0)
+        seen = [fabric.step()["q"] for _ in range(4)]
+        assert seen == [1, 0, 1, 0]
+
+    def test_register_breaks_comb_loop(self):
+        fabric = LutFabric(2)
+        fabric.configure_cell(0, cfg([("cell", 1)], 0b01))
+        fabric.configure_cell(1, cfg([("cell", 0)], 0b10, registered=True))
+        fabric.name_output("y", 0)
+        fabric.step()  # must not raise
+
+    def test_counter_from_register_and_xor(self):
+        """2-bit ripple counter built by hand."""
+        fabric = LutFabric(2)
+        NOT = 0b01
+        XOR = 0b0110
+        fabric.configure_cell(0, cfg([("cell", 0)], NOT, registered=True))  # bit0
+        fabric.configure_cell(1, cfg([("cell", 1), ("cell", 0)], XOR, registered=True))  # bit1 ^= bit0
+        fabric.name_output("b0", 0)
+        fabric.name_output("b1", 1)
+        values = []
+        for _ in range(5):
+            out = fabric.step()
+            values.append(out["b1"] * 2 + out["b0"])
+        assert values == [1, 2, 3, 0, 1]
+
+    def test_peek_and_run(self):
+        fabric = LutFabric(1)
+        fabric.configure_cell(0, cfg([("cell", 0)], 0b01, registered=True))
+        fabric.name_output("q", 0)
+        assert fabric.peek("q") == 0
+        fabric.run(3)
+        assert fabric.peek("q") == 1
+        with pytest.raises(ConfigurationError):
+            fabric.peek("missing")
+        with pytest.raises(ConfigurationError):
+            fabric.run(-1)
+
+
+class TestCostAccounting:
+    def test_config_bits_scale_with_cells(self):
+        fabric = LutFabric(100, k=4)
+        fabric.configure_cell(0, cfg([("const", 0)], 0))
+        one = fabric.config_bits()
+        fabric.configure_cell(1, cfg([("const", 0)], 0))
+        assert fabric.config_bits() == 2 * one / 1  # linear per cell
+
+    def test_full_bitstream_larger_than_used(self):
+        fabric = LutFabric(64, k=4)
+        fabric.configure_cell(0, cfg([("const", 0)], 0))
+        assert fabric.config_bits_full() == 64 * fabric.config_bits_per_cell()
+        assert fabric.config_bits() < fabric.config_bits_full()
+
+    def test_per_cell_bits_include_truth_table(self):
+        fabric = LutFabric(8, k=4)
+        assert fabric.config_bits_per_cell() >= 16  # 2^4 truth-table bits

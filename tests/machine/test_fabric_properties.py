@@ -1,0 +1,147 @@
+"""Property-based tests for the LUT fabric, netlist macros and soft CPU."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import LutFabric, NetlistBuilder
+from repro.machine.fabric import CellConfig
+from repro.machine.universal import (
+    SoftInstruction,
+    SoftOp,
+    SoftProgram,
+    UniversalMachine,
+)
+
+
+@given(
+    arity=st.integers(min_value=1, max_value=4),
+    table=st.data(),
+)
+def test_random_single_lut_matches_truth_table(arity, table):
+    """A configured cell computes exactly its truth table."""
+    patterns = 1 << arity
+    truth = table.draw(st.integers(min_value=0, max_value=(1 << patterns) - 1))
+    fabric = LutFabric(1, k=4)
+    sources = tuple(("input", f"i{k}") for k in range(arity))
+    fabric.configure_cell(0, CellConfig(sources, truth))
+    fabric.name_output("y", 0)
+    for pattern in range(patterns):
+        inputs = {f"i{k}": (pattern >> k) & 1 for k in range(arity)}
+        assert fabric.step(inputs)["y"] == (truth >> pattern) & 1
+
+
+@given(
+    a=st.integers(min_value=0, max_value=255),
+    b=st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=40, deadline=None)
+def test_gate_level_adder_exhaustive_fuzz(a, b):
+    fabric = LutFabric(200)
+    builder = NetlistBuilder(fabric)
+    total, carry = builder.adder(builder.input_bus("a", 8), builder.input_bus("b", 8))
+    for position, bit in enumerate(total):
+        fabric.name_output(f"s[{position}]", int(bit[1]))
+    fabric.name_output("carry", int(carry[1]))
+    inputs = {f"a[{i}]": (a >> i) & 1 for i in range(8)}
+    inputs |= {f"b[{i}]": (b >> i) & 1 for i in range(8)}
+    out = fabric.step(inputs)
+    value = sum(out[f"s[{i}]"] << i for i in range(8))
+    assert value == (a + b) & 0xFF
+    assert out["carry"] == (a + b) >> 8
+
+
+@given(
+    a=st.integers(min_value=0, max_value=63),
+    b=st.integers(min_value=0, max_value=63),
+)
+@settings(max_examples=30, deadline=None)
+def test_gate_level_multiplier_fuzz(a, b):
+    width = 6
+    fabric = LutFabric(2000)
+    builder = NetlistBuilder(fabric)
+    product = builder.multiplier(
+        builder.input_bus("a", width), builder.input_bus("b", width)
+    )
+    for position, bit in enumerate(product):
+        fabric.name_output(f"p[{position}]", int(bit[1]))
+    inputs = {f"a[{i}]": (a >> i) & 1 for i in range(width)}
+    inputs |= {f"b[{i}]": (b >> i) & 1 for i in range(width)}
+    out = fabric.step(inputs)
+    value = sum(out[f"p[{i}]"] << i for i in range(width))
+    assert value == (a * b) & ((1 << width) - 1)
+
+
+@given(
+    a=st.integers(min_value=0, max_value=255),
+    b=st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=30, deadline=None)
+def test_gate_level_comparators_fuzz(a, b):
+    fabric = LutFabric(300)
+    builder = NetlistBuilder(fabric)
+    bus_a = builder.input_bus("a", 8)
+    bus_b = builder.input_bus("b", 8)
+    lt = builder.less_than(bus_a, bus_b)
+    eq = builder.equals(bus_a, bus_b)
+    fabric.name_output("lt", int(lt[1]))
+    fabric.name_output("eq", int(eq[1]))
+    inputs = {f"a[{i}]": (a >> i) & 1 for i in range(8)}
+    inputs |= {f"b[{i}]": (b >> i) & 1 for i in range(8)}
+    out = fabric.step(inputs)
+    assert out["lt"] == int(a < b)
+    assert out["eq"] == int(a == b)
+
+
+@st.composite
+def soft_programs(draw) -> SoftProgram:
+    """Random, guaranteed-terminating soft programs.
+
+    Termination by construction: JNZ only ever targets *forward*
+    addresses, so the PC strictly advances; the final slot is HALT.
+    """
+    length = draw(st.integers(min_value=1, max_value=15))
+    instructions: list[SoftInstruction] = []
+    for index in range(length):
+        kind = draw(st.sampled_from(["ldi", "add", "jnz"]))
+        if kind == "ldi":
+            instructions.append(
+                SoftInstruction(SoftOp.LDI, draw(st.integers(0, 255)))
+            )
+        elif kind == "add":
+            instructions.append(
+                SoftInstruction(SoftOp.ADD, draw(st.integers(0, 255)))
+            )
+        else:
+            target = draw(st.integers(min_value=index + 1, max_value=length))
+            instructions.append(SoftInstruction(SoftOp.JNZ, target))
+    instructions.append(SoftInstruction(SoftOp.HALT))
+    return SoftProgram(instructions, name="fuzz")
+
+
+@given(soft_programs())
+@settings(max_examples=40, deadline=None)
+def test_soft_cpu_matches_reference_on_random_programs(program):
+    """The gate-level CPU is cycle- and value-exact against the
+    reference interpreter on arbitrary terminating programs."""
+    usp = UniversalMachine(600)
+    usp.configure_soft_processor(program)
+    result = usp.run_soft_processor(max_cycles=1000)
+    ref_acc, ref_cycles = program.reference_run(max_cycles=1000)
+    assert result.outputs["acc"] == ref_acc
+    assert result.cycles == ref_cycles
+
+
+@given(
+    values=st.lists(st.integers(min_value=-20, max_value=20), min_size=1, max_size=4),
+    x=st.integers(min_value=-3, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_usp_polynomial_random_coefficients(values, x):
+    from repro.machine.kernels import dataflow_polynomial
+
+    graph = dataflow_polynomial(values)
+    usp = UniversalMachine(30_000)
+    usp.configure_dataflow(graph, width=16)
+    got = usp.run_dataflow({"x": x}).outputs["y"]
+    ref = graph.evaluate({"x": x})["y"]
+    assert got == ((ref + (1 << 15)) % (1 << 16)) - (1 << 15)

@@ -1,0 +1,121 @@
+"""Unit tests for the kernel library references and builders."""
+
+import pytest
+
+from repro.core.errors import ProgramError
+from repro.machine.kernels import (
+    dataflow_dot_product,
+    dataflow_fir,
+    dataflow_polynomial,
+    dataflow_vector_add,
+    dot_product_reference,
+    fir_reference,
+    mimd_ring_reduction,
+    mimd_shared_memory_sum,
+    reduction_reference,
+    scalar_dot_product,
+    scalar_fir,
+    scalar_vector_add,
+    simd_gather_reverse,
+    simd_reduction_shuffle,
+    simd_vector_add,
+    vector_add_reference,
+)
+
+
+class TestReferences:
+    def test_vector_add(self):
+        assert vector_add_reference([1, 2], [3, 4]) == [4, 6]
+        with pytest.raises(ProgramError):
+            vector_add_reference([1], [1, 2])
+
+    def test_dot_product(self):
+        assert dot_product_reference([1, 2, 3], [4, 5, 6]) == 32
+        with pytest.raises(ProgramError):
+            dot_product_reference([1], [])
+
+    def test_reduction(self):
+        assert reduction_reference([5, -2, 7]) == 10
+        assert reduction_reference([]) == 0
+
+    def test_fir(self):
+        assert fir_reference([1, 0, 0], [2, 3]) == [2, 3, 0]
+        assert fir_reference([1, 1, 1], [1, 1, 1]) == [1, 2, 3]
+
+
+class TestDataflowBuilders:
+    def test_vector_add_shape(self):
+        g = dataflow_vector_add(4)
+        assert len(g.input_names) == 8
+        assert len(g.output_names) == 4
+
+    def test_dot_product_tree_depth(self):
+        g = dataflow_dot_product(8)
+        # 8 muls + 7 adds + 1 output + 16 inputs
+        assert len(g) == 8 + 7 + 1 + 16
+
+    def test_dot_product_non_power_of_two(self):
+        g = dataflow_dot_product(5)
+        inputs = {f"a{i}": i + 1 for i in range(5)} | {f"b{i}": 2 for i in range(5)}
+        assert g.evaluate(inputs)["dot"] == 2 * (1 + 2 + 3 + 4 + 5)
+
+    def test_fir_matches_reference(self):
+        taps = [1, -2, 3]
+        signal = [5, 1, 4, 2, 8]
+        g = dataflow_fir(len(signal), taps)
+        inputs = {f"x{i}": v for i, v in enumerate(signal)}
+        got = g.evaluate(inputs)
+        expected = fir_reference(signal, taps)
+        assert [got[f"y{i}"] for i in range(len(signal))] == expected
+
+    def test_polynomial_horner(self):
+        g = dataflow_polynomial([4, 0, 2])  # 2x^2 + 4
+        assert g.evaluate({"x": 3})["y"] == 22
+
+    def test_constant_polynomial(self):
+        g = dataflow_polynomial([7])
+        assert g.evaluate({"x": 100})["y"] == 7
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ProgramError):
+            dataflow_vector_add(0)
+        with pytest.raises(ProgramError):
+            dataflow_dot_product(-1)
+        with pytest.raises(ProgramError):
+            dataflow_fir(0, [1])
+        with pytest.raises(ProgramError):
+            dataflow_polynomial([])
+
+
+class TestProgramBuilders:
+    def test_scalar_kernels_assemble(self):
+        assert len(scalar_vector_add(8)) > 0
+        assert len(scalar_dot_product(8)) > 0
+        assert len(scalar_fir(8, 3)) > 0
+
+    def test_simd_kernels_assemble(self):
+        assert len(simd_vector_add(4)) > 0
+        assert len(simd_reduction_shuffle(8)) > 0
+        assert len(simd_gather_reverse(4, 1024)) > 0
+
+    def test_mimd_builders_return_per_core_programs(self):
+        programs = mimd_ring_reduction(4)
+        assert len(programs) == 4
+        programs = mimd_shared_memory_sum(4)
+        assert len(programs) == 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ProgramError):
+            scalar_vector_add(0)
+        with pytest.raises(ProgramError):
+            scalar_dot_product(-2)
+        with pytest.raises(ProgramError):
+            scalar_fir(4, 0)
+        with pytest.raises(ProgramError):
+            simd_vector_add(0)
+        with pytest.raises(ProgramError):
+            simd_gather_reverse(1, 64)
+        with pytest.raises(ProgramError):
+            mimd_ring_reduction(1)
+        with pytest.raises(ProgramError):
+            mimd_shared_memory_sum(0)

@@ -1,0 +1,241 @@
+"""Unit + cross-machine tests for the extended kernel library."""
+
+import pytest
+
+from repro.core.errors import ProgramError
+from repro.machine import (
+    ArrayProcessor,
+    ArraySubtype,
+    DataflowMachine,
+    DataflowSubtype,
+    Uniprocessor,
+)
+from repro.machine.kernels_extra import (
+    dataflow_matmul,
+    dataflow_prefix_sum,
+    dataflow_stencil3,
+    matmul_reference,
+    prefix_sum_reference,
+    scalar_matmul,
+    scalar_prefix_sum,
+    scalar_stencil3,
+    simd_matmul_rowwise,
+    simd_prefix_scan,
+    stencil3_reference,
+)
+
+A3 = [1, 2, 3, 4, 5, 6, 7, 8, 9]
+B3 = [9, 8, 7, 6, 5, 4, 3, 2, 1]
+
+
+class TestReferences:
+    def test_matmul_identity(self):
+        identity = [1, 0, 0, 0, 1, 0, 0, 0, 1]
+        assert matmul_reference(A3, identity, 3) == A3
+        assert matmul_reference(identity, B3, 3) == B3
+
+    def test_matmul_known_product(self):
+        assert matmul_reference(A3, B3, 3) == [
+            30, 24, 18, 84, 69, 54, 138, 114, 90,
+        ]
+
+    def test_matmul_shape_check(self):
+        with pytest.raises(ProgramError):
+            matmul_reference([1, 2], [1, 2], 3)
+
+    def test_prefix_sum(self):
+        assert prefix_sum_reference([3, 1, 4, 1, 5]) == [3, 4, 8, 9, 14]
+        assert prefix_sum_reference([]) == []
+
+    def test_stencil3(self):
+        assert stencil3_reference([1, 2, 3], (1, 10, 100)) == [
+            210, 321, 32,
+        ]
+
+
+class TestScalarKernels:
+    def test_matmul_on_iup(self):
+        iup = Uniprocessor(memory_size=2048)
+        iup.load_memory(0, A3)
+        iup.load_memory(256, B3)
+        iup.run(scalar_matmul(3), max_cycles=100_000)
+        assert iup.read_memory(512, 9) == matmul_reference(A3, B3, 3)
+
+    def test_prefix_sum_on_iup(self):
+        values = [5, -2, 7, 1, 1, -9, 4]
+        iup = Uniprocessor()
+        iup.load_memory(0, values)
+        iup.run(scalar_prefix_sum(len(values)))
+        assert iup.read_memory(256, len(values)) == prefix_sum_reference(values)
+
+    def test_stencil_on_iup(self):
+        values = [4, 8, 15, 16, 23, 42]
+        weights = (1, -2, 1)
+        iup = Uniprocessor()
+        iup.load_memory(0, values)
+        iup.run(scalar_stencil3(len(values), weights))
+        assert iup.read_memory(256, len(values)) == stencil3_reference(values, weights)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ProgramError):
+            scalar_matmul(0)
+        with pytest.raises(ProgramError):
+            scalar_prefix_sum(-1)
+        with pytest.raises(ProgramError):
+            scalar_stencil3(0, (1, 1, 1))
+
+
+class TestSimdKernels:
+    def test_rowwise_matmul_runs_on_iap1(self):
+        """All accesses lane-local: the least flexible array suffices."""
+        n = 3
+        iap = ArrayProcessor(n, ArraySubtype.IAP_I, bank_size=1024)
+        for i in range(n):
+            iap.lanes[i].write_block(0, A3[i * n:(i + 1) * n])  # own A row
+            iap.lanes[i].write_block(64, B3)                     # full B copy
+        iap.run(simd_matmul_rowwise(n), max_cycles=100_000)
+        expected = matmul_reference(A3, B3, n)
+        for i in range(n):
+            assert iap.lanes[i].read_block(640, n) == expected[i * n:(i + 1) * n]
+
+    @pytest.mark.parametrize("n_lanes", [2, 4, 8])
+    def test_prefix_scan_matches_reference(self, n_lanes):
+        values = [(i * 3 + 1) % 7 for i in range(n_lanes)]
+        iap = ArrayProcessor(n_lanes, ArraySubtype.IAP_II)
+        for lane, value in zip(iap.lanes, values):
+            lane.store(0, value)
+        iap.run(simd_prefix_scan(n_lanes))
+        got = [lane.load(1) for lane in iap.lanes]
+        assert got == prefix_sum_reference(values)
+
+    def test_prefix_scan_needs_shuffle(self):
+        from repro.core.errors import CapabilityError
+
+        iap = ArrayProcessor(4, ArraySubtype.IAP_I)
+        with pytest.raises(CapabilityError):
+            iap.run(simd_prefix_scan(4))
+
+    def test_scan_logarithmic_in_lanes(self):
+        """The SIMD scan's cycle count grows ~log2(lanes), not linearly."""
+        cycles = {}
+        for n_lanes in (4, 16):
+            iap = ArrayProcessor(n_lanes, ArraySubtype.IAP_II)
+            for lane in iap.lanes:
+                lane.store(0, 1)
+            cycles[n_lanes] = iap.run(simd_prefix_scan(n_lanes)).cycles
+        # 4x lanes adds a constant number of butterfly stages (2 here).
+        assert cycles[16] - cycles[4] <= 20
+        assert cycles[16] < 4 * cycles[4]
+
+    def test_invalid_scan_size(self):
+        with pytest.raises(ProgramError):
+            simd_prefix_scan(1)
+
+
+class TestDataflowKernels:
+    def test_matmul_graph(self):
+        graph = dataflow_matmul(2)
+        inputs = {
+            "a0_0": 1, "a0_1": 2, "a1_0": 3, "a1_1": 4,
+            "b0_0": 5, "b0_1": 6, "b1_0": 7, "b1_1": 8,
+        }
+        got = graph.evaluate(inputs)
+        assert [got["c0_0"], got["c0_1"], got["c1_0"], got["c1_1"]] == [
+            19, 22, 43, 50,
+        ]
+
+    def test_matmul_on_machine(self):
+        graph = dataflow_matmul(2)
+        inputs = {
+            "a0_0": 2, "a0_1": 0, "a1_0": 1, "a1_1": 3,
+            "b0_0": 4, "b0_1": 1, "b1_0": 2, "b1_1": 2,
+        }
+        result = DataflowMachine(4, DataflowSubtype.DMP_IV).run(graph, inputs)
+        assert result.outputs == graph.evaluate(inputs)
+
+    def test_stencil_graph_matches_reference(self):
+        values = [2, 4, 6, 8]
+        weights = (1, -1, 2)
+        graph = dataflow_stencil3(len(values), weights)
+        got = graph.evaluate({f"x{i}": v for i, v in enumerate(values)})
+        expected = stencil3_reference(values, weights)
+        assert [got[f"y{i}"] for i in range(len(values))] == expected
+
+    def test_prefix_graph_matches_reference(self):
+        values = [1, 2, 3, 4, 5]
+        graph = dataflow_prefix_sum(len(values))
+        got = graph.evaluate({f"x{i}": v for i, v in enumerate(values)})
+        assert [got[f"y{i}"] for i in range(len(values))] == prefix_sum_reference(values)
+
+    def test_scan_critical_path_is_serial(self):
+        """The naive scan graph gains nothing from more DPs — its
+        dependency chain is the whole point of the SIMD scan above."""
+        graph = dataflow_prefix_sum(8)
+        inputs = {f"x{i}": 1 for i in range(8)}
+        serial = DataflowMachine(1).run(graph, inputs)
+        parallel = DataflowMachine(8, DataflowSubtype.DMP_II).run(graph, inputs)
+        # Communication makes the wide machine no faster (chain-bound).
+        assert parallel.cycles >= serial.cycles - 1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ProgramError):
+            dataflow_matmul(0)
+        with pytest.raises(ProgramError):
+            dataflow_stencil3(0, (1, 1, 1))
+        with pytest.raises(ProgramError):
+            dataflow_prefix_sum(0)
+
+
+class TestCrossMachineAgreement:
+    def test_matmul_three_ways(self):
+        n = 3
+        expected = matmul_reference(A3, B3, n)
+
+        iup = Uniprocessor(memory_size=2048)
+        iup.load_memory(0, A3)
+        iup.load_memory(256, B3)
+        iup.run(scalar_matmul(n), max_cycles=100_000)
+        scalar = iup.read_memory(512, n * n)
+
+        iap = ArrayProcessor(n, ArraySubtype.IAP_I, bank_size=1024)
+        for i in range(n):
+            iap.lanes[i].write_block(0, A3[i * n:(i + 1) * n])
+            iap.lanes[i].write_block(64, B3)
+        iap.run(simd_matmul_rowwise(n), max_cycles=100_000)
+        simd = []
+        for i in range(n):
+            simd.extend(iap.lanes[i].read_block(640, n))
+
+        graph = dataflow_matmul(n)
+        inputs = {}
+        for i in range(n):
+            for j in range(n):
+                inputs[f"a{i}_{j}"] = A3[i * n + j]
+                inputs[f"b{i}_{j}"] = B3[i * n + j]
+        dataflow = DataflowMachine(6, DataflowSubtype.DMP_IV).run(graph, inputs)
+        df = [dataflow.outputs[f"c{i}_{j}"] for i in range(n) for j in range(n)]
+
+        assert scalar == simd == df == expected
+
+    def test_prefix_sum_three_ways(self):
+        values = [2, -1, 5, 0, 3, 3, -4, 7]
+        expected = prefix_sum_reference(values)
+
+        iup = Uniprocessor()
+        iup.load_memory(0, values)
+        iup.run(scalar_prefix_sum(len(values)))
+        scalar = iup.read_memory(256, len(values))
+
+        iap = ArrayProcessor(len(values), ArraySubtype.IAP_II)
+        for lane, value in zip(iap.lanes, values):
+            lane.store(0, value)
+        iap.run(simd_prefix_scan(len(values)))
+        simd = [lane.load(1) for lane in iap.lanes]
+
+        graph = dataflow_prefix_sum(len(values))
+        df_out = DataflowMachine(4, DataflowSubtype.DMP_IV).run(
+            graph, {f"x{i}": v for i, v in enumerate(values)}
+        ).outputs
+        dataflow = [df_out[f"y{i}"] for i in range(len(values))]
+
+        assert scalar == simd == dataflow == expected

@@ -1,0 +1,155 @@
+"""Property-based tests for the machine substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    ArrayProcessor,
+    ArraySubtype,
+    DataflowMachine,
+    DataflowSubtype,
+    Uniprocessor,
+)
+from repro.machine.dataflow import DataflowGraph
+from repro.machine.kernels import (
+    dataflow_dot_product,
+    dataflow_polynomial,
+    dot_product_reference,
+    scalar_dot_product,
+    simd_vector_add,
+    vector_add_reference,
+)
+
+
+@st.composite
+def random_dag(draw) -> tuple[DataflowGraph, dict[str, int]]:
+    """A random acyclic dataflow graph with bound inputs."""
+    n_inputs = draw(st.integers(min_value=1, max_value=4))
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    graph = DataflowGraph("random")
+    available = []
+    inputs = {}
+    for i in range(n_inputs):
+        name = f"in{i}"
+        graph.input(name)
+        inputs[name] = draw(st.integers(min_value=-100, max_value=100))
+        available.append(name)
+    ops = ["add", "sub", "mul", "min", "max", "and", "or", "xor"]
+    for i in range(n_ops):
+        op = draw(st.sampled_from(ops))
+        a = draw(st.sampled_from(available))
+        b = draw(st.sampled_from(available))
+        node = f"op{i}"
+        graph.add(node, op, a, b)
+        available.append(node)
+    graph.output("out", available[-1])
+    return graph, inputs
+
+
+@given(random_dag(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_dataflow_machine_matches_reference_on_random_graphs(dag, n_dps):
+    """Any DMP-IV execution agrees with functional evaluation."""
+    graph, inputs = dag
+    machine = DataflowMachine(n_dps, DataflowSubtype.DMP_IV if n_dps > 1 else DataflowSubtype.DUP)
+    result = machine.run(graph, inputs)
+    assert result.outputs == graph.evaluate(inputs)
+
+
+@given(random_dag())
+@settings(max_examples=30, deadline=None)
+def test_dataflow_subtypes_agree_on_results(dag):
+    """Sub-types change timing, never values."""
+    graph, inputs = dag
+    expected = graph.evaluate(inputs)
+    for subtype in (DataflowSubtype.DMP_II, DataflowSubtype.DMP_III, DataflowSubtype.DMP_IV):
+        assert DataflowMachine(3, subtype).run(graph, inputs).outputs == expected
+
+
+@given(random_dag())
+@settings(max_examples=30, deadline=None)
+def test_dup_fires_one_operator_per_cycle(dag):
+    """The serial machine retires exactly one operator per cycle."""
+    graph, inputs = dag
+    result = DataflowMachine(1).run(graph, inputs)
+    assert result.cycles == result.operations == graph.operator_count()
+
+
+@given(random_dag(), st.integers(min_value=2, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_dmp_cycle_bounds(dag, n_dps):
+    """Parallel execution respects the work lower bound and the
+    serial-plus-communication upper bound (each of the E cross edges
+    costs at most the subtype's transfer latency)."""
+    graph, inputs = dag
+    machine = DataflowMachine(n_dps, DataflowSubtype.DMP_IV)
+    result = machine.run(graph, inputs)
+    ops = graph.operator_count()
+    assert result.operations == ops
+    assert result.cycles >= -(-ops // n_dps)  # ceil(ops / n)
+    assert result.cycles <= ops + len(graph.edges())
+
+
+@given(
+    values=st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=24),
+)
+@settings(max_examples=40, deadline=None)
+def test_iup_dot_product_matches_reference(values):
+    a = values
+    b = [v * 2 + 1 for v in values]
+    iup = Uniprocessor(memory_size=2048)
+    iup.load_memory(0, a)
+    iup.load_memory(256, b)
+    result = iup.run(scalar_dot_product(len(values)))
+    assert result.outputs["registers"][6] == dot_product_reference(a, b)
+
+
+@given(
+    n_lanes=st.sampled_from([2, 4, 8]),
+    per_lane=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_simd_vector_add_matches_reference(n_lanes, per_lane, data):
+    length = n_lanes * per_lane
+    a = [data.draw(st.integers(min_value=-50, max_value=50)) for _ in range(length)]
+    b = [data.draw(st.integers(min_value=-50, max_value=50)) for _ in range(length)]
+    iap = ArrayProcessor(n_lanes, ArraySubtype.IAP_I)
+    iap.scatter(0, a)
+    iap.scatter(64, b)
+    iap.run(simd_vector_add(per_lane))
+    assert iap.gather(128, length) == vector_add_reference(a, b)
+
+
+@given(
+    coefficients=st.lists(st.integers(min_value=-5, max_value=5), min_size=1, max_size=4),
+    x=st.integers(min_value=-4, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_usp_polynomial_matches_reference_mod_width(coefficients, x):
+    """Gate-level Horner evaluation equals the reference mod 2^16."""
+    from repro.machine import UniversalMachine
+
+    graph = dataflow_polynomial(coefficients)
+    usp = UniversalMachine(30_000)
+    usp.configure_dataflow(graph, width=16)
+    got = usp.run_dataflow({"x": x}).outputs["y"]
+    ref = graph.evaluate({"x": x})["y"]
+    assert got == ((ref + (1 << 15)) % (1 << 16)) - (1 << 15)
+
+
+@given(st.integers(min_value=2, max_value=8))
+@settings(max_examples=10, deadline=None)
+def test_dot_product_machines_cross_agree(length):
+    """IUP and DMP compute the same dot product from the same data."""
+    a = list(range(1, length + 1))
+    b = list(range(length, 0, -1))
+    iup = Uniprocessor(memory_size=2048)
+    iup.load_memory(0, a)
+    iup.load_memory(256, b)
+    scalar = iup.run(scalar_dot_product(length)).outputs["registers"][6]
+    graph = dataflow_dot_product(length)
+    inputs = {f"a{i}": a[i] for i in range(length)}
+    inputs |= {f"b{i}": b[i] for i in range(length)}
+    dataflow = DataflowMachine(4, DataflowSubtype.DMP_IV).run(graph, inputs)
+    assert scalar == dataflow.outputs["dot"] == dot_product_reference(a, b)

@@ -1,0 +1,139 @@
+"""Unit tests for the morphability relation and executed demonstrations."""
+
+import pytest
+
+from repro.core import class_by_name, class_by_serial
+from repro.machine.morph import can_emulate, demonstrate_morphs
+
+
+def emulates(a: str, b: str) -> bool:
+    return can_emulate(class_by_name(a), class_by_name(b))
+
+
+class TestPaperArguments:
+    def test_imp1_acts_as_array_processor(self):
+        """'IMP-I can act as an array processor if all the processors
+        are executing the same program.'"""
+        assert emulates("IMP-I", "IAP-I")
+
+    def test_iap1_cannot_be_imp1(self):
+        """'IAP-I cannot be an IMP-I since IAP-I cannot execute n
+        different programs at the same time.'"""
+        assert not emulates("IAP-I", "IMP-I")
+
+    def test_iap1_acts_as_uniprocessor(self):
+        """'IAP-I can act as a uni-processor by turning off its extra
+        DPs.'"""
+        assert emulates("IAP-I", "IUP")
+
+    def test_iup_cannot_be_array(self):
+        """'IUP cannot act as an IAP-I simply because it doesn't have
+        enough DPs.'"""
+        assert not emulates("IUP", "IAP-I")
+
+    def test_usp_emulates_everything(self):
+        from repro.core import implementable_classes
+
+        usp = class_by_name("USP")
+        for cls in implementable_classes():
+            assert can_emulate(usp, cls)
+
+    def test_nothing_emulates_usp(self):
+        from repro.core import implementable_classes
+
+        usp = class_by_name("USP")
+        for cls in implementable_classes():
+            if cls.comment != "USP":
+                assert not can_emulate(cls, usp)
+
+    def test_paradigms_do_not_substitute(self):
+        """Data-flow and instruction-flow machines cannot replace each
+        other (their flexibility values are incomparable)."""
+        assert not emulates("DMP-IV", "IUP")
+        assert not emulates("IMP-XVI", "DMP-I")
+        assert not emulates("DUP", "IUP")
+
+
+class TestRelationStructure:
+    def test_reflexive(self):
+        for name in ("DUP", "IUP", "IAP-II", "IMP-XIV", "ISP-XVI", "USP"):
+            assert emulates(name, name)
+
+    def test_subtype_ladder_within_family(self):
+        assert emulates("IMP-XVI", "IMP-I")
+        assert emulates("IMP-IV", "IMP-II")
+        assert not emulates("IMP-I", "IMP-II")
+        assert emulates("IAP-IV", "IAP-I")
+        assert emulates("DMP-IV", "DMP-I")
+
+    def test_incomparable_subtypes(self):
+        # IMP-II (DP-DP switch) and IMP-III (DP-DM switch): neither
+        # dominates the other.
+        assert not emulates("IMP-II", "IMP-III")
+        assert not emulates("IMP-III", "IMP-II")
+
+    def test_spatial_supersets_multi(self):
+        """'Spatial computing system is super set of all the systems
+        discussed above in instruction flow paradigm.'"""
+        assert emulates("ISP-I", "IMP-I")
+        assert emulates("ISP-XVI", "IMP-XVI")
+        assert emulates("ISP-XVI", "IAP-IV")
+        assert emulates("ISP-XVI", "IUP")
+        assert not emulates("IMP-XVI", "ISP-I")
+
+    def test_missing_switch_blocks_emulation(self):
+        assert not emulates("IMP-I", "IAP-II")  # no DP-DP switch
+        assert emulates("IMP-II", "IAP-II")
+
+    def test_ni_classes_excluded(self):
+        ni = class_by_serial(11)
+        imp1 = class_by_name("IMP-I")
+        assert not can_emulate(ni, imp1)
+        assert not can_emulate(imp1, ni)
+
+    def test_antisymmetry(self):
+        """Distinct classes never emulate each other both ways."""
+        from repro.core import implementable_classes
+
+        classes = implementable_classes()
+        for a in classes:
+            for b in classes:
+                if a.serial != b.serial:
+                    assert not (can_emulate(a, b) and can_emulate(b, a)), (
+                        a.comment, b.comment,
+                    )
+
+    def test_transitivity(self):
+        from repro.core import implementable_classes
+
+        classes = implementable_classes()
+        rel = {
+            (a.serial, b.serial)
+            for a in classes
+            for b in classes
+            if can_emulate(a, b)
+        }
+        for a, b in rel:
+            for c, d in rel:
+                if b == c:
+                    assert (a, d) in rel
+
+
+class TestDemonstrations:
+    def test_all_executed_morphs_succeed(self):
+        demos = demonstrate_morphs()
+        assert len(demos) >= 6
+        failures = [d for d in demos if not d.succeeded]
+        assert not failures, failures
+
+    def test_demonstrations_cover_both_directions(self):
+        demos = demonstrate_morphs()
+        behaviours = [d.target_behaviour for d in demos]
+        assert any("must refuse" in b for b in behaviours)
+        assert any("must refuse" not in b for b in behaviours)
+
+    def test_usp_demonstrations_report_config_bits(self):
+        demos = demonstrate_morphs()
+        usp_demos = [d for d in demos if d.emulator == "USP"]
+        assert len(usp_demos) == 2
+        assert all("config bits" in d.evidence for d in usp_demos)

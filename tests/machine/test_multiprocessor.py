@@ -1,0 +1,169 @@
+"""Unit tests for the MIMD multiprocessor (IMP sub-types)."""
+
+import pytest
+
+from repro.core.errors import CapabilityError, ProgramError
+from repro.machine import Multiprocessor, MultiprocessorSubtype, assemble
+from repro.machine.kernels import mimd_ring_reduction, mimd_shared_memory_sum
+
+
+class TestConstruction:
+    def test_needs_multiple_cores(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            Multiprocessor(1)
+
+    def test_capabilities(self):
+        from repro.machine import Capability
+
+        imp1 = Multiprocessor(2, MultiprocessorSubtype.IMP_I)
+        assert Capability.MESSAGE_PASSING not in imp1.capabilities()
+        assert Capability.MULTIPLE_STREAMS in imp1.capabilities()
+        imp2 = Multiprocessor(2, MultiprocessorSubtype.IMP_II)
+        assert Capability.MESSAGE_PASSING in imp2.capabilities()
+        imp3 = Multiprocessor(2, MultiprocessorSubtype.IMP_III)
+        assert Capability.GLOBAL_MEMORY in imp3.capabilities()
+
+
+class TestMimdExecution:
+    def test_independent_programs(self):
+        imp = Multiprocessor(3, MultiprocessorSubtype.IMP_I)
+        programs = [
+            assemble(f"ldi r1, {10 * (core + 1)}\nhalt") for core in range(3)
+        ]
+        result = imp.run(programs)
+        assert [regs[1] for regs in result.outputs["registers"]] == [10, 20, 30]
+
+    def test_spmd_broadcast_of_single_program(self):
+        imp = Multiprocessor(4, MultiprocessorSubtype.IMP_I)
+        result = imp.run(assemble("ldi r2, 7\nhalt"))
+        assert all(regs[2] == 7 for regs in result.outputs["registers"])
+
+    def test_program_count_must_match(self):
+        imp = Multiprocessor(2)
+        with pytest.raises(ProgramError, match="expected 2"):
+            imp.run([assemble("halt")] * 3)
+
+    def test_cycle_interleaving(self):
+        """Cores progress together: total ops = sum of per-core lengths,
+        cycles = longest program."""
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_I)
+        programs = [
+            assemble("ldi r1, 1\nhalt"),
+            assemble("ldi r1, 1\nldi r2, 2\nldi r3, 3\nhalt"),
+        ]
+        result = imp.run(programs)
+        assert result.cycles == 4
+        assert result.operations == 6
+
+
+class TestMessagePassing:
+    def test_ring_reduction(self):
+        imp = Multiprocessor(4, MultiprocessorSubtype.IMP_II)
+        for core_id, core in enumerate(imp.cores):
+            core.store(0, core_id + 1)
+        result = imp.run(mimd_ring_reduction(4))
+        assert result.outputs["registers"][0][6] == 10
+
+    def test_send_recv_pairs(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_II)
+        sender = assemble("ldi r1, 1\nldi r2, 99\nsend r1, r2\nhalt")
+        receiver = assemble("ldi r1, 0\nrecv r3, r1\nhalt")
+        result = imp.run([sender, receiver])
+        assert result.outputs["registers"][1][3] == 99
+
+    def test_fifo_preserves_order(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_II)
+        sender = assemble("""
+            ldi r1, 1
+            ldi r2, 10
+            send r1, r2
+            ldi r2, 20
+            send r1, r2
+            halt
+        """)
+        receiver = assemble("""
+            ldi r1, 0
+            recv r3, r1
+            recv r4, r1
+            halt
+        """)
+        result = imp.run([sender, receiver])
+        regs = result.outputs["registers"][1]
+        assert (regs[3], regs[4]) == (10, 20)
+
+    def test_refused_without_dp_switch(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_I)
+        with pytest.raises(CapabilityError, match="missing"):
+            imp.run(mimd_ring_reduction(2))
+
+    def test_deadlock_detected(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_II)
+        # Both cores RECV first: classic deadlock.
+        program = assemble("ldi r1, 0\nrecv r2, r1\nhalt")
+        other = assemble("ldi r1, 1\nrecv r2, r1\nhalt")
+        with pytest.raises(ProgramError, match="deadlock"):
+            imp.run([other, program])
+
+    def test_send_bounds_checked(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_II)
+        with pytest.raises(ProgramError, match="SEND to core"):
+            imp.run([assemble("ldi r1, 7\nsend r1, r2\nhalt"), assemble("halt")])
+
+
+class TestSharedMemory:
+    def test_shared_sum(self):
+        imp = Multiprocessor(4, MultiprocessorSubtype.IMP_III)
+        for core_id, core in enumerate(imp.cores):
+            core.store(0, (core_id + 1) * 11)
+        imp.run(mimd_shared_memory_sum(4))
+        assert imp.cores[0].load(1) == 11 + 22 + 33 + 44
+
+    def test_gld_refused_without_dm_switch(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_II)
+        with pytest.raises(CapabilityError):
+            imp.run(assemble("gld r1, r0, 0\nhalt"))
+
+    def test_global_store_visible_to_other_core(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_IV, bank_size=64)
+        writer = assemble("""
+            ldi r1, 64      ; bank 1, offset 0
+            ldi r2, 123
+            gst r1, r2, 0
+            barrier
+            halt
+        """)
+        reader = assemble("""
+            barrier
+            ld r3, r0, 0
+            halt
+        """)
+        result = imp.run([writer, reader])
+        assert result.outputs["registers"][1][3] == 123
+
+    def test_global_address_bounds(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_III, bank_size=64)
+        with pytest.raises(ProgramError, match="bank"):
+            imp.run(assemble("ldi r1, 999\ngld r2, r1, 0\nhalt"))
+
+
+class TestBarrier:
+    def test_barrier_synchronises(self):
+        imp = Multiprocessor(3, MultiprocessorSubtype.IMP_I)
+        # Core 2 is slow; all must leave the barrier after it arrives.
+        fast = assemble("barrier\nldi r1, 1\nhalt")
+        slow = assemble("nop\nnop\nnop\nnop\nbarrier\nldi r1, 1\nhalt")
+        result = imp.run([fast, fast, slow])
+        assert all(regs[1] == 1 for regs in result.outputs["registers"])
+
+    def test_double_barrier(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_I)
+        program = assemble("barrier\nbarrier\nhalt")
+        result = imp.run(program)
+        assert result.cycles < 20  # terminates promptly
+
+    def test_halted_cores_do_not_block_barrier(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_I)
+        early_exit = assemble("halt")
+        waiter = assemble("barrier\nhalt")
+        result = imp.run([early_exit, waiter])
+        assert result.cycles < 20

@@ -1,0 +1,207 @@
+"""Unit tests for the netlist builder macros (gate-level arithmetic)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.machine import LutFabric, NetlistBuilder
+from repro.machine.netlist import Bus
+
+
+def make(n_cells=2000):
+    fabric = LutFabric(n_cells)
+    return fabric, NetlistBuilder(fabric)
+
+
+def read_bus(fabric, builder, bus, inputs):
+    """Expose a bus and read it as an unsigned integer after one settle."""
+    for position, bit in enumerate(bus):
+        kind, ref = bit
+        if kind == "cell":
+            fabric.name_output(f"probe[{position}]", int(ref))
+        else:
+            # materialise consts/inputs through a buffer cell
+            buffered = builder.buf(bit)
+            fabric.name_output(f"probe[{position}]", int(buffered[1]))
+    out = fabric.step(inputs)
+    value = 0
+    for position in range(bus.width):
+        value |= out[f"probe[{position}]"] << position
+    return value
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_gates(self, a, b):
+        fabric, builder = make(16)
+        gates = {
+            "and": builder.and_(("input", "a"), ("input", "b")),
+            "or": builder.or_(("input", "a"), ("input", "b")),
+            "xor": builder.xor_(("input", "a"), ("input", "b")),
+            "not": builder.not_(("input", "a")),
+        }
+        for name, src in gates.items():
+            fabric.name_output(name, int(src[1]))
+        out = fabric.step({"a": a, "b": b})
+        assert out["and"] == (a & b)
+        assert out["or"] == (a | b)
+        assert out["xor"] == (a ^ b)
+        assert out["not"] == (1 - a)
+
+    def test_mux(self):
+        fabric, builder = make(8)
+        y = builder.mux(("input", "s"), ("const", 0), ("const", 1))
+        fabric.name_output("y", int(y[1]))
+        assert fabric.step({"s": 0})["y"] == 0
+        assert fabric.step({"s": 1})["y"] == 1
+
+    def test_lut_arbitrary_function(self):
+        fabric, builder = make(8)
+        majority = builder.lut(
+            [("input", "a"), ("input", "b"), ("input", "c")],
+            lambda a, b, c: a + b + c >= 2,
+        )
+        fabric.name_output("m", int(majority[1]))
+        assert fabric.step({"a": 1, "b": 1, "c": 0})["m"] == 1
+        assert fabric.step({"a": 1, "b": 0, "c": 0})["m"] == 0
+
+    def test_allocation_exhaustion(self):
+        fabric, builder = make(2)
+        builder.and_(("const", 0), ("const", 1))
+        builder.and_(("const", 0), ("const", 1))
+        with pytest.raises(ConfigurationError, match="exhausted"):
+            builder.and_(("const", 0), ("const", 1))
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("a, b", [(0, 0), (3, 5), (100, 27), (255, 1), (170, 85)])
+    def test_adder(self, a, b):
+        fabric, builder = make()
+        bus_a = builder.input_bus("a", 8)
+        bus_b = builder.input_bus("b", 8)
+        total, carry = builder.adder(bus_a, bus_b)
+        inputs = {f"a[{i}]": (a >> i) & 1 for i in range(8)}
+        inputs |= {f"b[{i}]": (b >> i) & 1 for i in range(8)}
+        assert read_bus(fabric, builder, total, inputs) == (a + b) & 0xFF
+
+    @pytest.mark.parametrize("a, b", [(10, 3), (3, 10), (0, 0), (255, 255)])
+    def test_subtractor(self, a, b):
+        fabric, builder = make()
+        diff = builder.subtractor(builder.input_bus("a", 8), builder.input_bus("b", 8))
+        inputs = {f"a[{i}]": (a >> i) & 1 for i in range(8)}
+        inputs |= {f"b[{i}]": (b >> i) & 1 for i in range(8)}
+        assert read_bus(fabric, builder, diff, inputs) == (a - b) & 0xFF
+
+    @pytest.mark.parametrize("a, b", [(0, 7), (3, 5), (15, 15), (12, 0)])
+    def test_multiplier(self, a, b):
+        fabric, builder = make()
+        prod = builder.multiplier(builder.input_bus("a", 4), builder.input_bus("b", 4))
+        inputs = {f"a[{i}]": (a >> i) & 1 for i in range(4)}
+        inputs |= {f"b[{i}]": (b >> i) & 1 for i in range(4)}
+        assert read_bus(fabric, builder, prod, inputs) == (a * b) & 0xF
+
+    def test_negate(self):
+        fabric, builder = make()
+        neg = builder.negate(builder.input_bus("a", 8))
+        inputs = {f"a[{i}]": (42 >> i) & 1 for i in range(8)}
+        assert read_bus(fabric, builder, neg, inputs) == (-42) & 0xFF
+
+    @pytest.mark.parametrize("a, b", [(3, 7), (7, 3), (5, 5)])
+    def test_comparators(self, a, b):
+        fabric, builder = make()
+        bus_a = builder.input_bus("a", 4)
+        bus_b = builder.input_bus("b", 4)
+        lt = builder.less_than(bus_a, bus_b)
+        eq = builder.equals(bus_a, bus_b)
+        fabric.name_output("lt", int(lt[1]))
+        fabric.name_output("eq", int(eq[1]))
+        inputs = {f"a[{i}]": (a >> i) & 1 for i in range(4)}
+        inputs |= {f"b[{i}]": (b >> i) & 1 for i in range(4)}
+        out = fabric.step(inputs)
+        assert out["lt"] == int(a < b)
+        assert out["eq"] == int(a == b)
+
+    def test_min_max(self):
+        fabric, builder = make()
+        bus_a = builder.input_bus("a", 4)
+        bus_b = builder.input_bus("b", 4)
+        lo = builder.min_(bus_a, bus_b)
+        hi = builder.max_(bus_a, bus_b)
+        inputs = {f"a[{i}]": (9 >> i) & 1 for i in range(4)}
+        inputs |= {f"b[{i}]": (4 >> i) & 1 for i in range(4)}
+        for position, bit in enumerate(lo):
+            fabric.name_output(f"lo[{position}]", int(bit[1]))
+        for position, bit in enumerate(hi):
+            fabric.name_output(f"hi[{position}]", int(bit[1]))
+        out = fabric.step(inputs)
+        lo_val = sum(out[f"lo[{i}]"] << i for i in range(4))
+        hi_val = sum(out[f"hi[{i}]"] << i for i in range(4))
+        assert (lo_val, hi_val) == (4, 9)
+
+    def test_width_mismatch_rejected(self):
+        _, builder = make()
+        with pytest.raises(ConfigurationError, match="width"):
+            builder.adder(builder.input_bus("a", 4), builder.input_bus("b", 8))
+
+    def test_shift_left_const(self):
+        fabric, builder = make()
+        shifted = builder.shift_left_const(builder.input_bus("a", 8), 3)
+        inputs = {f"a[{i}]": (0b1011 >> i) & 1 for i in range(8)}
+        assert read_bus(fabric, builder, shifted, inputs) == (0b1011 << 3) & 0xFF
+
+    def test_negative_shift_rejected(self):
+        _, builder = make()
+        with pytest.raises(ConfigurationError):
+            builder.shift_left_const(builder.input_bus("a", 4), -1)
+
+
+class TestRomAndRegisters:
+    def test_rom_contents(self):
+        fabric, builder = make()
+        addr = builder.input_bus("addr", 3)
+        words = [5, 9, 0, 255, 17]
+        data = builder.rom(addr, words, 8)
+        for address, expected in enumerate(words):
+            fabric2, builder2 = make()
+            addr2 = builder2.input_bus("addr", 3)
+            data2 = builder2.rom(addr2, words, 8)
+            inputs = {f"addr[{i}]": (address >> i) & 1 for i in range(3)}
+            assert read_bus(fabric2, builder2, data2, inputs) == expected
+
+    def test_rom_capacity(self):
+        _, builder = make()
+        addr = builder.input_bus("addr", 2)
+        with pytest.raises(ConfigurationError, match="capacity"):
+            builder.rom(addr, list(range(5)), 8)
+
+    def test_rom_address_width_vs_lut_arity(self):
+        fabric = LutFabric(64, k=2)
+        builder = NetlistBuilder(fabric)
+        addr = builder.input_bus("addr", 3)
+        with pytest.raises(ConfigurationError, match="arity"):
+            builder.rom(addr, [0], 4)
+
+    def test_placeholder_register_feedback(self):
+        """A counter: reg <- reg + 1, built via the two-phase API."""
+        fabric, builder = make()
+        reg = builder.register_placeholder(4)
+        one = builder.const_bus(1, 4)
+        incremented, _ = builder.adder(reg, one)
+        builder.drive_register(reg, incremented)
+        for position, bit in enumerate(reg):
+            fabric.name_output(f"q[{position}]", int(bit[1]))
+        seen = []
+        for _ in range(5):
+            out = fabric.step()
+            seen.append(sum(out[f"q[{i}]"] << i for i in range(4)))
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_drive_register_width_check(self):
+        _, builder = make()
+        reg = builder.register_placeholder(4)
+        with pytest.raises(ConfigurationError):
+            builder.drive_register(reg, builder.const_bus(0, 8))
+
+    def test_bus_validation(self):
+        with pytest.raises(ConfigurationError):
+            Bus(())

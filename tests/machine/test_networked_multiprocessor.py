@@ -1,0 +1,154 @@
+"""Tests for the multiprocessor with a concrete DP-DP network.
+
+This is where the taxonomy's 'x' cell meets its implementation: the
+same IMP-II program runs on a crossbar, a 3-hop sliding window, a mesh
+and a hierarchical network — identical results, topology-dependent
+timing.
+"""
+
+import pytest
+
+from repro.core.errors import ProgramError
+from repro.interconnect import (
+    FullCrossbar,
+    HierarchicalNetwork,
+    Mesh2D,
+    SlidingWindow,
+)
+from repro.machine import Multiprocessor, MultiprocessorSubtype, assemble
+from repro.machine.kernels import mimd_ring_reduction
+
+
+def _ring_result(machine):
+    for core_id, core in enumerate(machine.cores):
+        core.store(0, core_id + 1)
+    return machine.run(mimd_ring_reduction(machine.n_cores))
+
+
+class TestNetworkedMessaging:
+    def test_results_identical_across_topologies(self):
+        n = 8
+        expected = sum(range(1, n + 1))
+        machines = [
+            Multiprocessor(n, MultiprocessorSubtype.IMP_II),
+            Multiprocessor(
+                n, MultiprocessorSubtype.IMP_II, network=FullCrossbar(n, n)
+            ),
+            Multiprocessor(
+                n, MultiprocessorSubtype.IMP_II,
+                network=SlidingWindow(n, hops=1),
+            ),
+            Multiprocessor(
+                n, MultiprocessorSubtype.IMP_II, network=Mesh2D(2, 4)
+            ),
+            Multiprocessor(
+                n, MultiprocessorSubtype.IMP_II,
+                network=HierarchicalNetwork(n, cluster_size=4),
+            ),
+        ]
+        for machine in machines:
+            result = _ring_result(machine)
+            assert result.outputs["registers"][0][6] == expected
+
+    def test_topology_shapes_latency(self):
+        """A ring reduction's neighbours are 1 apart, so the window is
+        as fast as the crossbar — but a far-hop pattern is not."""
+        n = 8
+        crossbar = Multiprocessor(
+            n, MultiprocessorSubtype.IMP_II, network=FullCrossbar(n, n)
+        )
+        window = Multiprocessor(
+            n, MultiprocessorSubtype.IMP_II, network=SlidingWindow(n, hops=1)
+        )
+        xbar_cycles = _ring_result(crossbar).cycles
+        window_cycles = _ring_result(window).cycles
+        # Neighbour traffic: within one hop except the wrap-around link
+        # (core n-1 -> core 0 relays across the whole array).
+        assert window_cycles >= xbar_cycles
+
+    def test_far_messages_cost_window_relays(self):
+        n = 8
+        sender = assemble("ldi r1, 7\nldi r2, 42\nsend r1, r2\nhalt")
+        receiver = assemble("ldi r1, 0\nrecv r3, r1\nhalt")
+        idle = assemble("halt")
+        programs = [sender] + [idle] * 6 + [receiver]
+
+        fast = Multiprocessor(
+            n, MultiprocessorSubtype.IMP_II, network=FullCrossbar(n, n)
+        )
+        slow = Multiprocessor(
+            n, MultiprocessorSubtype.IMP_II, network=SlidingWindow(n, hops=1)
+        )
+        fast_result = fast.run(programs)
+        slow_result = slow.run(programs)
+        assert fast_result.outputs["registers"][7][3] == 42
+        assert slow_result.outputs["registers"][7][3] == 42
+        # 0 -> 7 is one crossbar cycle but seven window relays.
+        assert slow_result.cycles > fast_result.cycles
+
+    def test_message_latency_accessor(self):
+        n = 8
+        machine = Multiprocessor(
+            n, MultiprocessorSubtype.IMP_II, network=SlidingWindow(n, hops=3)
+        )
+        assert machine.message_latency(0, 3) == 1
+        assert machine.message_latency(0, 7) == 3  # ceil(7/3) relays
+        default = Multiprocessor(n, MultiprocessorSubtype.IMP_II)
+        assert default.message_latency(0, 7) == 1
+
+    def test_in_flight_messages_do_not_deadlock(self):
+        """A receiver stalled on an in-flight message is not a deadlock."""
+        n = 8
+        sender = assemble("ldi r1, 7\nldi r2, 5\nsend r1, r2\nhalt")
+        receiver = assemble("ldi r1, 0\nrecv r3, r1\nhalt")
+        idle = assemble("halt")
+        machine = Multiprocessor(
+            n, MultiprocessorSubtype.IMP_II, network=SlidingWindow(n, hops=1)
+        )
+        result = machine.run([sender] + [idle] * 6 + [receiver])
+        assert result.outputs["registers"][7][3] == 5
+
+    def test_fifo_order_preserved_with_latency(self):
+        machine = Multiprocessor(
+            2, MultiprocessorSubtype.IMP_II, network=FullCrossbar(2, 2)
+        )
+        sender = assemble("""
+            ldi r1, 1
+            ldi r2, 10
+            send r1, r2
+            ldi r2, 20
+            send r1, r2
+            halt
+        """)
+        receiver = assemble("""
+            ldi r1, 0
+            recv r3, r1
+            recv r4, r1
+            halt
+        """)
+        result = machine.run([sender, receiver])
+        regs = result.outputs["registers"][1]
+        assert (regs[3], regs[4]) == (10, 20)
+
+
+class TestNetworkValidation:
+    def test_port_count_must_match(self):
+        with pytest.raises(ValueError, match="ports"):
+            Multiprocessor(
+                4, MultiprocessorSubtype.IMP_II, network=FullCrossbar(8, 8)
+            )
+
+    def test_network_requires_dp_switch(self):
+        with pytest.raises(ValueError, match="DP-DP switch"):
+            Multiprocessor(
+                4, MultiprocessorSubtype.IMP_I, network=FullCrossbar(4, 4)
+            )
+
+    def test_true_deadlock_still_detected(self):
+        machine = Multiprocessor(
+            2, MultiprocessorSubtype.IMP_II, network=FullCrossbar(2, 2)
+        )
+        a = assemble("ldi r1, 1\nrecv r2, r1\nhalt")
+        b = assemble("ldi r1, 0\nrecv r2, r1\nhalt")
+        with pytest.raises(ProgramError, match="deadlock"):
+            machine.run([a, b])

@@ -1,0 +1,137 @@
+"""Unit tests for the ISA, instruction validation and the assembler."""
+
+import pytest
+
+from repro.core.errors import ProgramError
+from repro.machine import Capability, Instruction, Opcode, Program, assemble, ins
+from repro.machine.program import required_capabilities
+
+
+class TestInstruction:
+    def test_register_bounds(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.ADD, rd=16)
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.ADD, rs1=-1)
+
+    def test_render_shapes(self):
+        assert ins("add", rd=1, rs1=2, rs2=3).render() == "add r1, r2, r3"
+        assert ins("ldi", rd=5, imm=-7).render() == "ldi r5, -7"
+        assert ins("ld", rd=1, rs1=2, imm=64).render() == "ld r1, r2, 64"
+        assert ins("halt").render() == "halt"
+        assert ins("barrier").render() == "barrier"
+
+    def test_branch_detection(self):
+        assert ins("beq", rs1=0, rs2=1, imm=0).is_branch
+        assert ins("jmp", imm=0).is_branch
+        assert not ins("add").is_branch
+
+    def test_ins_accepts_opcode_and_string(self):
+        assert ins(Opcode.NOP).op is Opcode.NOP
+        assert ins("nop").op is Opcode.NOP
+
+
+class TestProgram:
+    def test_empty_rejected(self):
+        with pytest.raises(ProgramError):
+            Program([])
+
+    def test_branch_targets_validated(self):
+        with pytest.raises(ProgramError, match="branches to"):
+            Program([ins("jmp", imm=5), ins("halt")])
+
+    def test_valid_backward_branch(self):
+        program = Program([ins("nop"), ins("jmp", imm=0)])
+        assert len(program) == 2
+
+    def test_iteration_and_indexing(self):
+        program = Program([ins("nop"), ins("halt")])
+        assert program[1].op is Opcode.HALT
+        assert [i.op for i in program] == [Opcode.NOP, Opcode.HALT]
+
+    def test_render_includes_labels(self):
+        program = assemble("""
+        start:
+            nop
+            jmp start
+        """)
+        text = program.render()
+        assert "start:" in text
+        assert "jmp 0" in text
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        program = assemble("""
+            ldi r1, 10       ; a comment
+        loop:
+            addi r1, r1, -1  # another comment
+            bne r1, r0, loop
+            halt
+        """)
+        assert len(program) == 4
+        assert program[2].imm == 1  # label resolved to instruction index
+
+    def test_hex_immediates(self):
+        program = assemble("ldi r1, 0x10\nhalt")
+        assert program[0].imm == 16
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ProgramError, match="unknown mnemonic"):
+            assemble("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(ProgramError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_non_register_operand(self):
+        with pytest.raises(ProgramError, match="not a register"):
+            assemble("add r1, r2, 7")
+
+    def test_bad_immediate(self):
+        with pytest.raises(ProgramError, match="cannot parse"):
+            assemble("ldi r1, banana")
+
+    def test_duplicate_label(self):
+        with pytest.raises(ProgramError, match="duplicate label"):
+            assemble("x:\nnop\nx:\nhalt")
+
+    def test_empty_source(self):
+        with pytest.raises(ProgramError, match="no instructions"):
+            assemble("; only a comment\n")
+
+    def test_all_opcodes_roundtrip_through_assembler(self):
+        """Every opcode's rendered form re-assembles to itself."""
+        samples = [
+            ins("nop"), ins("halt"), ins("ldi", rd=1, imm=3),
+            ins("mov", rd=1, rs1=2), ins("ld", rd=1, rs1=2, imm=0),
+            ins("st", rs1=1, rs2=2, imm=4), ins("add", rd=1, rs1=2, rs2=3),
+            ins("sub", rd=1, rs1=2, rs2=3), ins("mul", rd=1, rs1=2, rs2=3),
+            ins("div", rd=1, rs1=2, rs2=3), ins("and", rd=1, rs1=2, rs2=3),
+            ins("or", rd=1, rs1=2, rs2=3), ins("xor", rd=1, rs1=2, rs2=3),
+            ins("shl", rd=1, rs1=2, imm=3), ins("shr", rd=1, rs1=2, imm=1),
+            ins("addi", rd=1, rs1=1, imm=-1), ins("slt", rd=1, rs1=2, rs2=3),
+            ins("beq", rs1=1, rs2=2, imm=0), ins("bne", rs1=1, rs2=2, imm=0),
+            ins("blt", rs1=1, rs2=2, imm=0), ins("jmp", imm=0),
+            ins("laneid", rd=3), ins("shuf", rd=1, rs1=2, rs2=3),
+            ins("gld", rd=1, rs1=2, imm=0), ins("gst", rs1=1, rs2=2, imm=0),
+            ins("send", rs1=1, rs2=2), ins("recv", rd=1, rs1=2),
+            ins("barrier"),
+        ]
+        source = "\n".join(i.render() for i in samples)
+        program = assemble(source)
+        assert list(program) == samples
+
+
+class TestRequiredCapabilities:
+    def test_scalar_program_needs_only_execution(self):
+        program = assemble("ldi r1, 1\nhalt")
+        assert required_capabilities(program) == {Capability.INSTRUCTION_EXECUTION}
+
+    def test_extension_detection(self):
+        program = assemble("shuf r1, r2, r3\ngld r1, r2, 0\nsend r1, r2\nbarrier\nhalt")
+        caps = required_capabilities(program)
+        assert Capability.LANE_SHUFFLE in caps
+        assert Capability.GLOBAL_MEMORY in caps
+        assert Capability.MESSAGE_PASSING in caps
+        assert Capability.MULTIPLE_STREAMS in caps

@@ -1,0 +1,142 @@
+"""Unit tests for the scalar core and the default extension port."""
+
+import pytest
+
+from repro.core.errors import CapabilityError, ProgramError
+from repro.machine import assemble, ins
+from repro.machine.scalar import ExtensionPort, ScalarCore
+
+
+@pytest.fixture
+def core():
+    return ScalarCore(core_id=0, memory_size=64)
+
+
+@pytest.fixture
+def port():
+    return ExtensionPort()
+
+
+class TestMemory:
+    def test_load_store(self, core):
+        core.store(5, 42)
+        assert core.load(5) == 42
+
+    def test_bounds(self, core):
+        with pytest.raises(ProgramError, match="address"):
+            core.load(64)
+        with pytest.raises(ProgramError):
+            core.store(-1, 0)
+
+    def test_block_helpers(self, core):
+        core.write_block(10, [1, 2, 3])
+        assert core.read_block(10, 3) == [1, 2, 3]
+
+
+class TestExecute:
+    def test_arithmetic(self, core, port):
+        core.registers[1] = 7
+        core.registers[2] = 5
+        core.execute(ins("add", rd=3, rs1=1, rs2=2), port)
+        assert core.registers[3] == 12
+        core.execute(ins("sub", rd=3, rs1=1, rs2=2), port)
+        assert core.registers[3] == 2
+        core.execute(ins("mul", rd=3, rs1=1, rs2=2), port)
+        assert core.registers[3] == 35
+
+    def test_division_truncates_toward_zero(self, core, port):
+        core.registers[1] = -7
+        core.registers[2] = 2
+        core.execute(ins("div", rd=3, rs1=1, rs2=2), port)
+        assert core.registers[3] == -3
+
+    def test_division_by_zero(self, core, port):
+        with pytest.raises(ProgramError, match="division by zero"):
+            core.execute(ins("div", rd=1, rs1=1, rs2=2), port)
+
+    def test_shifts_and_logic(self, core, port):
+        core.registers[1] = 0b1010
+        core.execute(ins("shl", rd=2, rs1=1, imm=2), port)
+        assert core.registers[2] == 0b101000
+        core.execute(ins("shr", rd=2, rs1=2, imm=3), port)
+        assert core.registers[2] == 0b101
+        core.registers[3] = 0b1100
+        core.execute(ins("xor", rd=4, rs1=1, rs2=3), port)
+        assert core.registers[4] == 0b0110
+
+    def test_branches_update_pc(self, core, port):
+        core.registers[1] = 1
+        core.registers[2] = 1
+        core.execute(ins("beq", rs1=1, rs2=2, imm=10), port)
+        assert core.pc == 10
+        core.pc = 0
+        core.execute(ins("bne", rs1=1, rs2=2, imm=10), port)
+        assert core.pc == 1  # not taken
+
+    def test_blt(self, core, port):
+        core.registers[1] = -5
+        core.execute(ins("blt", rs1=1, rs2=0, imm=7), port)
+        assert core.pc == 7
+
+    def test_halt_is_sticky(self, core, port):
+        outcome = core.execute(ins("halt"), port)
+        assert outcome.halted
+        outcome = core.execute(ins("nop"), port)
+        assert not outcome.executed
+
+    def test_laneid_defaults_to_argument(self, core, port):
+        core.execute(ins("laneid", rd=4), port, lane_id=9)
+        assert core.registers[4] == 9
+
+    def test_memory_ops_through_registers(self, core, port):
+        core.registers[1] = 5
+        core.registers[2] = 99
+        core.execute(ins("st", rs1=1, rs2=2, imm=3), port)
+        assert core.load(8) == 99
+        core.execute(ins("ld", rd=4, rs1=1, imm=3), port)
+        assert core.registers[4] == 99
+
+
+class TestDefaultPortRefusals:
+    @pytest.mark.parametrize(
+        "instruction",
+        [
+            ins("shuf", rd=1, rs1=2, rs2=3),
+            ins("gld", rd=1, rs1=2),
+            ins("gst", rs1=1, rs2=2),
+            ins("send", rs1=1, rs2=2),
+            ins("recv", rd=1, rs1=2),
+            ins("barrier"),
+        ],
+    )
+    def test_extensions_refused(self, core, port, instruction):
+        with pytest.raises(CapabilityError):
+            core.execute(instruction, port)
+
+
+class TestRunToHalt:
+    def test_counts_cycles_and_instructions(self, port):
+        core = ScalarCore(memory_size=16)
+        program = assemble("ldi r1, 3\nhalt")
+        cycles, executed = core.run_to_halt(program, port)
+        assert (cycles, executed) == (2, 2)
+
+    def test_pc_overrun_detected(self, port):
+        core = ScalarCore(memory_size=16)
+        program = assemble("nop\nnop")  # no halt
+        with pytest.raises(ProgramError, match="ran past"):
+            core.run_to_halt(program, port)
+
+    def test_infinite_loop_guard(self, port):
+        core = ScalarCore(memory_size=16)
+        program = assemble("loop:\njmp loop")
+        with pytest.raises(ProgramError, match="exceeded"):
+            core.run_to_halt(program, port, max_cycles=100)
+
+    def test_register_file_size_enforced(self):
+        with pytest.raises(ProgramError):
+            ScalarCore(registers=[0] * 8, memory_size=16)
+
+    def test_memory_size_positive(self):
+        with pytest.raises(ValueError):
+            ScalarCore(memory_size=0)

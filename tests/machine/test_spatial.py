@@ -1,0 +1,185 @@
+"""Unit tests for the ISP spatial machine (IP fusion / VLIW issue)."""
+
+import pytest
+
+from repro.core.errors import ProgramError
+from repro.machine import (
+    Capability,
+    MultiprocessorSubtype,
+    SpatialMachine,
+    VliwBundle,
+    VliwProgram,
+    assemble,
+    ins,
+)
+
+
+@pytest.fixture
+def isp():
+    return SpatialMachine(4, MultiprocessorSubtype.IMP_II)
+
+
+class TestFusion:
+    def test_fuse_returns_group_id(self, isp):
+        assert isp.fuse([0, 1]) == 0
+        assert isp.fuse([2, 3]) == 1
+        assert isp.groups == [(0, 1), (2, 3)]
+
+    def test_cannot_fuse_twice(self, isp):
+        isp.fuse([0, 1])
+        with pytest.raises(ProgramError, match="already fused"):
+            isp.fuse([1, 2])
+
+    def test_fusion_needs_two_members(self, isp):
+        with pytest.raises(ProgramError, match="at least two"):
+            isp.fuse([0])
+
+    def test_duplicates_rejected(self, isp):
+        with pytest.raises(ProgramError, match="duplicate"):
+            isp.fuse([0, 0])
+
+    def test_out_of_range(self, isp):
+        with pytest.raises(ProgramError, match="out of range"):
+            isp.fuse([0, 9])
+
+    def test_defuse(self, isp):
+        isp.fuse([0, 1])
+        isp.defuse()
+        assert isp.groups == []
+        assert isp.fuse([0, 1]) == 0
+
+    def test_capabilities_include_composition(self, isp):
+        assert Capability.IP_COMPOSITION in isp.capabilities()
+
+    def test_label_is_isp(self, isp):
+        assert isp.label == "ISP-II"
+
+
+class TestVliwProgram:
+    def test_bundle_width_consistency(self):
+        with pytest.raises(ProgramError, match="inconsistent"):
+            VliwProgram([
+                VliwBundle((ins("nop"), ins("nop"))),
+                VliwBundle((ins("nop"),)),
+            ])
+
+    def test_branches_banned_in_data_slots(self):
+        with pytest.raises(ProgramError, match="control slot"):
+            VliwBundle((ins("jmp", imm=0),))
+
+    def test_control_entries_validated(self):
+        bundles = [VliwBundle((ins("nop"),))]
+        with pytest.raises(ProgramError, match="out of range"):
+            VliwProgram(bundles, control={5: ins("jmp", imm=0)})
+        with pytest.raises(ProgramError, match="branch"):
+            VliwProgram(bundles, control={0: ins("nop")})
+        with pytest.raises(ProgramError, match="targets"):
+            VliwProgram(bundles, control={0: ins("jmp", imm=9)})
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            VliwProgram([])
+
+
+class TestFusedExecution:
+    def test_parallel_slots(self, isp):
+        gid = isp.fuse([0, 1])
+        program = VliwProgram([
+            VliwBundle((ins("ldi", rd=1, imm=5), ins("ldi", rd=1, imm=9))),
+            VliwBundle((ins("addi", rd=1, rs1=1, imm=1), ins("addi", rd=1, rs1=1, imm=2))),
+        ])
+        result = isp.run_fused(gid, program)
+        regs = result.outputs["registers"]
+        assert (regs[0][1], regs[1][1]) == (6, 11)
+        assert result.cycles == 2
+        assert result.operations == 4
+        assert result.stats["issue_width"] == 2
+
+    def test_idle_slots_allowed(self, isp):
+        gid = isp.fuse([0, 1, 2])
+        program = VliwProgram([
+            VliwBundle((ins("ldi", rd=1, imm=5), None, ins("ldi", rd=1, imm=7))),
+        ])
+        result = isp.run_fused(gid, program)
+        assert result.operations == 2
+
+    def test_control_loop(self, isp):
+        gid = isp.fuse([0, 1])
+        program = VliwProgram(
+            [
+                VliwBundle((ins("ldi", rd=2, imm=3), ins("ldi", rd=2, imm=0))),
+                VliwBundle((
+                    ins("addi", rd=2, rs1=2, imm=-1),
+                    ins("addi", rd=2, rs1=2, imm=10),
+                )),
+            ],
+            control={1: ins("bne", rs1=2, rs2=0, imm=1)},
+        )
+        result = isp.run_fused(gid, program)
+        regs = result.outputs["registers"]
+        assert regs[0][2] == 0       # counter drained on the lead core
+        assert regs[1][2] == 30      # member 1 iterated 3 times
+
+    def test_width_mismatch(self, isp):
+        gid = isp.fuse([0, 1, 2])
+        program = VliwProgram([VliwBundle((ins("nop"), ins("nop")))])
+        with pytest.raises(ProgramError, match="width"):
+            isp.run_fused(gid, program)
+
+    def test_unknown_group(self, isp):
+        with pytest.raises(ProgramError, match="no fused group"):
+            isp.run_fused(3, VliwProgram([VliwBundle((ins("nop"),))]))
+
+    def test_unfused_cores_still_run_mimd(self, isp):
+        """Fusing 0-1 leaves 2-3 as an ordinary multiprocessor."""
+        isp.fuse([0, 1])
+        result = isp.run([
+            assemble("halt"),
+            assemble("halt"),
+            assemble("ldi r1, 40\nhalt"),
+            assemble("ldi r1, 41\nhalt"),
+        ])
+        regs = result.outputs["registers"]
+        assert (regs[2][1], regs[3][1]) == (40, 41)
+
+    def test_morph_story_wide_then_narrow(self):
+        """One ISP morphs: VLIW pair for a kernel, then independent cores
+        — the paper's 'size and dimensions can be changed' claim."""
+        isp = SpatialMachine(2, MultiprocessorSubtype.IMP_II)
+        gid = isp.fuse([0, 1])
+        wide = VliwProgram([
+            VliwBundle((ins("ldi", rd=1, imm=2), ins("ldi", rd=1, imm=3))),
+            VliwBundle((ins("mul", rd=1, rs1=1, rs2=1), ins("mul", rd=1, rs1=1, rs2=1))),
+        ])
+        isp.run_fused(gid, wide)
+        isp.defuse()
+        result = isp.run(assemble("addi r1, r1, 100\nhalt"))
+        regs = result.outputs["registers"]
+        assert (regs[0][1], regs[1][1]) == (104, 109)
+
+    def test_blocking_ops_banned_in_bundles(self, isp):
+        gid = isp.fuse([0, 1])
+        program = VliwProgram([
+            VliwBundle((ins("recv", rd=1, rs1=0), ins("nop"))),
+        ])
+        with pytest.raises(ProgramError, match="blocking"):
+            isp.run_fused(gid, program)
+
+
+class TestBundleValidation:
+    def test_halt_banned_in_data_slots(self):
+        with pytest.raises(ProgramError, match="HALT"):
+            VliwBundle((ins("halt"),))
+
+
+class TestResetPreservesNetwork:
+    def test_multiprocessor_reset_keeps_network(self):
+        from repro.interconnect import FullCrossbar
+        from repro.machine import Multiprocessor
+
+        machine = Multiprocessor(
+            4, MultiprocessorSubtype.IMP_II, network=FullCrossbar(4, 4)
+        )
+        network = machine.network
+        machine.reset()
+        assert machine.network is network

@@ -1,0 +1,179 @@
+"""Tests for streaming dataflow execution and the IMP task pool."""
+
+import pytest
+
+from repro.core.errors import CapabilityError, ProgramError
+from repro.machine import (
+    DataflowMachine,
+    DataflowSubtype,
+    Multiprocessor,
+    MultiprocessorSubtype,
+    assemble,
+)
+from repro.machine.kernels import dataflow_dot_product, dataflow_polynomial
+
+
+class TestStreamingDataflow:
+    def setup_method(self):
+        self.graph = dataflow_dot_product(4)
+        self.waves = [
+            {f"a{i}": w + i for i in range(4)} | {f"b{i}": 2 for i in range(4)}
+            for w in range(6)
+        ]
+
+    def test_per_wave_outputs_match_references(self):
+        machine = DataflowMachine(4, DataflowSubtype.DMP_IV)
+        result = machine.run_stream(self.graph, self.waves)
+        got = [wave["dot"] for wave in result.outputs["waves"]]
+        expected = [self.graph.evaluate(w)["dot"] for w in self.waves]
+        assert got == expected
+
+    def test_pipelining_beats_serial_execution(self):
+        """Overlapping waves on idle DPs is faster than running them
+        back to back — the PipeRench/Colt streaming story."""
+        machine = DataflowMachine(4, DataflowSubtype.DMP_IV)
+        single = machine.run(self.graph, self.waves[0]).cycles
+        pipelined = machine.run_stream(self.graph, self.waves).cycles
+        assert pipelined < single * len(self.waves)
+
+    def test_throughput_stat(self):
+        machine = DataflowMachine(4, DataflowSubtype.DMP_IV)
+        result = machine.run_stream(self.graph, self.waves)
+        assert result.stats["waves"] == 6
+        assert result.stats["throughput_waves_per_cycle"] == pytest.approx(
+            6 / result.cycles
+        )
+
+    def test_single_wave_stream_equals_plain_run(self):
+        machine = DataflowMachine(2, DataflowSubtype.DMP_II)
+        plain = machine.run(self.graph, self.waves[0])
+        stream = machine.run_stream(self.graph, [self.waves[0]])
+        assert stream.outputs["waves"][0] == plain.outputs
+
+    def test_wider_machines_stream_faster(self):
+        narrow = DataflowMachine(2, DataflowSubtype.DMP_IV)
+        wide = DataflowMachine(8, DataflowSubtype.DMP_IV)
+        assert (
+            wide.run_stream(self.graph, self.waves).cycles
+            <= narrow.run_stream(self.graph, self.waves).cycles
+        )
+
+    def test_streaming_works_with_constants(self):
+        graph = dataflow_polynomial([1, 2])  # 2x + 1
+        machine = DataflowMachine(2, DataflowSubtype.DMP_II)
+        result = machine.run_stream(graph, [{"x": 1}, {"x": 5}, {"x": -3}])
+        assert [w["y"] for w in result.outputs["waves"]] == [3, 11, -5]
+
+    def test_empty_stream_rejected(self):
+        machine = DataflowMachine(2, DataflowSubtype.DMP_II)
+        with pytest.raises(ProgramError, match="at least one"):
+            machine.run_stream(self.graph, [])
+
+    def test_incomplete_wave_rejected(self):
+        machine = DataflowMachine(2, DataflowSubtype.DMP_II)
+        with pytest.raises(ProgramError, match="wave 1 misses"):
+            machine.run_stream(self.graph, [self.waves[0], {"a0": 1}])
+
+
+class TestTaskPool:
+    def _tasks(self, count):
+        return [
+            assemble(f"ldi r1, {k}\naddi r1, r1, 100\nhalt", name=f"task{k}")
+            for k in range(count)
+        ]
+
+    def test_pool_needs_im_switch(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_I)
+        with pytest.raises(CapabilityError, match="IP-IM switch"):
+            imp.run_task_pool(self._tasks(4))
+        # IMP-IV has rich DP-side switches but still a direct IP-IM.
+        imp4 = Multiprocessor(2, MultiprocessorSubtype.IMP_IV)
+        with pytest.raises(CapabilityError):
+            imp4.run_task_pool(self._tasks(4))
+
+    def test_pool_drains_more_tasks_than_cores(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_V)
+        result = imp.run_task_pool(self._tasks(7))
+        assert result.stats["tasks"] == 7
+        completed = {task for task, _, _ in result.stats["schedule"]}
+        assert completed == set(range(7))
+
+    def test_schedule_is_greedy_and_balanced(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_V)
+        result = imp.run_task_pool(self._tasks(6))
+        per_core = {}
+        for task, core, _cycle in result.stats["schedule"]:
+            per_core.setdefault(core, []).append(task)
+        # Equal-length tasks split evenly across the two cores.
+        assert sorted(len(v) for v in per_core.values()) == [3, 3]
+
+    def test_pool_faster_than_sequential_on_one_core(self):
+        """The parallel pool's makespan beats any single core."""
+        tasks = self._tasks(8)
+        imp = Multiprocessor(4, MultiprocessorSubtype.IMP_V)
+        pooled = imp.run_task_pool(tasks)
+        single_core_cycles = sum(len(t) for t in tasks)
+        assert pooled.cycles < single_core_cycles
+
+    def test_fewer_tasks_than_cores(self):
+        imp = Multiprocessor(4, MultiprocessorSubtype.IMP_V)
+        result = imp.run_task_pool(self._tasks(2))
+        assert len(result.stats["schedule"]) == 2
+
+    def test_variable_length_tasks_rebalance(self):
+        """A core that finishes a short task immediately takes another."""
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_V)
+        short = assemble("halt", name="short")
+        long = assemble("\n".join(["nop"] * 10) + "\nhalt", name="long")
+        result = imp.run_task_pool([long, short, short, short])
+        per_core: dict[int, int] = {}
+        for _task, core, _cycle in result.stats["schedule"]:
+            per_core[core] = per_core.get(core, 0) + 1
+        # The core stuck on the long task runs 1; the other runs 3.
+        assert sorted(per_core.values()) == [1, 3]
+
+    def test_blocking_tasks_rejected(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_VI)
+        blocking = assemble("barrier\nhalt")
+        with pytest.raises(ProgramError, match="non-blocking"):
+            imp.run_task_pool([blocking])
+
+    def test_empty_pool_rejected(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_V)
+        with pytest.raises(ProgramError, match="empty"):
+            imp.run_task_pool([])
+
+    def test_results_left_in_registers(self):
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_V)
+        result = imp.run_task_pool(self._tasks(2))
+        values = {regs[1] for regs in result.outputs["registers"]}
+        assert values == {100, 101}
+
+
+class TestFullSubtypeLadder:
+    def test_sixteen_subtypes_exist(self):
+        assert len(MultiprocessorSubtype) == 16
+
+    def test_flags_match_table1_ordinals(self):
+        from repro.core import class_by_name
+
+        for subtype in MultiprocessorSubtype:
+            cls = class_by_name(subtype.label)
+            sig = cls.signature
+            from repro.core import LinkSite
+
+            assert subtype.ip_dp_switched == sig.link(LinkSite.IP_DP).is_switched
+            assert subtype.im_switched == sig.link(LinkSite.IP_IM).is_switched
+            assert subtype.dm_switched == sig.link(LinkSite.DP_DM).is_switched
+            assert subtype.dp_switched == sig.link(LinkSite.DP_DP).is_switched
+
+    def test_rich_subtypes_combine_features(self):
+        """IMP-VIII (IP-IM + DP-DM + DP-DP) runs a pool of tasks that
+        use shared memory."""
+        imp = Multiprocessor(2, MultiprocessorSubtype.IMP_VIII, bank_size=64)
+        tasks = [
+            assemble(f"ldi r1, {64 + k}\nldi r2, {k * 5}\ngst r1, r2, 0\nhalt")
+            for k in range(4)
+        ]
+        imp.run_task_pool(tasks)
+        assert imp.cores[1].read_block(0, 4) == [0, 5, 10, 15]

@@ -1,0 +1,86 @@
+"""Unit tests for the IUP machine."""
+
+import pytest
+
+from repro.core.errors import CapabilityError, ProgramError
+from repro.machine import Capability, Uniprocessor, assemble
+from repro.machine.kernels import (
+    dot_product_reference,
+    fir_reference,
+    scalar_dot_product,
+    scalar_fir,
+    scalar_vector_add,
+    vector_add_reference,
+)
+
+
+@pytest.fixture
+def iup():
+    return Uniprocessor(memory_size=2048)
+
+
+class TestKernels:
+    def test_vector_add(self, iup):
+        a = [1, -2, 3, -4, 5]
+        b = [10, 20, 30, 40, 50]
+        iup.load_memory(0, a)
+        iup.load_memory(256, b)
+        iup.run(scalar_vector_add(5))
+        assert iup.read_memory(512, 5) == vector_add_reference(a, b)
+
+    def test_dot_product(self, iup):
+        a = [2, 4, 6]
+        b = [1, 3, 5]
+        iup.load_memory(0, a)
+        iup.load_memory(256, b)
+        result = iup.run(scalar_dot_product(3))
+        assert result.outputs["registers"][6] == dot_product_reference(a, b)
+
+    def test_fir(self, iup):
+        signal = [1, 2, 3, 4, 5, 6]
+        taps = [2, -1]
+        iup.load_memory(0, signal)
+        iup.load_memory(256, taps)
+        iup.run(scalar_fir(6, 2))
+        assert iup.read_memory(512, 6) == fir_reference(signal, taps)
+
+
+class TestBehaviour:
+    def test_one_instruction_per_cycle(self, iup):
+        result = iup.run(assemble("ldi r1, 1\nldi r2, 2\nhalt"))
+        assert result.cycles == 3
+        assert result.operations == 3
+        assert result.operations_per_cycle == 1.0
+
+    def test_refuses_simd_programs(self, iup):
+        with pytest.raises(CapabilityError, match="missing"):
+            iup.run(assemble("shuf r1, r2, r3\nhalt"))
+
+    def test_refuses_message_programs(self, iup):
+        with pytest.raises(CapabilityError):
+            iup.run(assemble("send r1, r2\nhalt"))
+
+    def test_refuses_global_memory_programs(self, iup):
+        with pytest.raises(CapabilityError):
+            iup.run(assemble("gld r1, r2, 0\nhalt"))
+
+    def test_laneid_is_zero_on_scalar_machine(self, iup):
+        result = iup.run(assemble("laneid r5\nhalt"))
+        assert result.outputs["registers"][5] == 0
+
+    def test_capabilities(self, iup):
+        assert iup.capabilities() == {Capability.INSTRUCTION_EXECUTION}
+
+    def test_reset_clears_state(self, iup):
+        iup.run(assemble("ldi r1, 42\nhalt"))
+        iup.reset()
+        assert iup.core.registers[1] == 0
+        assert not iup.core.halted
+
+    def test_runaway_program_guard(self, iup):
+        with pytest.raises(ProgramError, match="exceeded"):
+            iup.run(assemble("loop:\njmp loop"), max_cycles=50)
+
+    def test_stats_identify_machine(self, iup):
+        result = iup.run(assemble("halt"))
+        assert result.stats["machine"] == "IUP"

@@ -1,0 +1,223 @@
+"""Unit tests for the USP universal machine (both personalities)."""
+
+import pytest
+
+from repro.core.errors import CapabilityError, ConfigurationError, ProgramError
+from repro.machine import (
+    DataflowGraph,
+    SoftInstruction,
+    SoftOp,
+    SoftProgram,
+    UniversalMachine,
+)
+from repro.machine.kernels import dataflow_dot_product, dataflow_polynomial
+
+
+class TestDataflowPersonality:
+    def test_simple_graph(self):
+        usp = UniversalMachine(2000)
+        g = DataflowGraph()
+        g.input("a")
+        g.input("b")
+        g.add("s", "add", "a", "b")
+        g.output("y", "s")
+        usp.configure_dataflow(g, width=8)
+        result = usp.run_dataflow({"a": 20, "b": 22})
+        assert result.outputs["y"] == 42
+        assert usp.personality == "dataflow"
+
+    def test_matches_reference_modulo_width(self):
+        usp = UniversalMachine(8000)
+        g = dataflow_dot_product(4)
+        usp.configure_dataflow(g, width=12)
+        inputs = {"a0": 3, "a1": -1, "a2": 4, "a3": 1, "b0": 2, "b1": 7, "b2": 1, "b3": 8}
+        got = usp.run_dataflow(inputs).outputs["dot"]
+        ref = g.evaluate(inputs)["dot"]
+        assert got == ((ref + (1 << 11)) % (1 << 12)) - (1 << 11)
+
+    def test_horner_polynomial(self):
+        usp = UniversalMachine(8000)
+        g = dataflow_polynomial([1, 2, 3])  # 3x^2 + 2x + 1
+        usp.configure_dataflow(g, width=12)
+        assert usp.run_dataflow({"x": 5}).outputs["y"] == 86
+
+    def test_negative_values_two_complement(self):
+        usp = UniversalMachine(2000)
+        g = DataflowGraph()
+        g.input("a")
+        g.add("n", "neg", "a")
+        g.output("y", "n")
+        usp.configure_dataflow(g, width=8)
+        assert usp.run_dataflow({"a": 5}).outputs["y"] == -5
+
+    def test_min_max_synthesis(self):
+        usp = UniversalMachine(4000)
+        g = DataflowGraph()
+        g.input("a")
+        g.input("b")
+        g.add("lo", "min", "a", "b")
+        g.add("hi", "max", "a", "b")
+        g.output("ylo", "lo")
+        g.output("yhi", "hi")
+        usp.configure_dataflow(g, width=8)
+        out = usp.run_dataflow({"a": 9, "b": 4}).outputs
+        assert (out["ylo"], out["yhi"]) == (4, 9)
+
+    def test_div_not_synthesisable(self):
+        usp = UniversalMachine(2000)
+        g = DataflowGraph()
+        g.input("a")
+        g.const("c", 2)
+        g.add("q", "div", "a", "c")
+        g.output("y", "q")
+        with pytest.raises(ConfigurationError, match="not synthesisable"):
+            usp.configure_dataflow(g)
+
+    def test_width_bounds(self):
+        usp = UniversalMachine(2000)
+        g = DataflowGraph()
+        g.input("a")
+        g.output("y", "a")
+        with pytest.raises(ConfigurationError, match="width"):
+            usp.configure_dataflow(g, width=1)
+
+    def test_run_without_configuration(self):
+        with pytest.raises(CapabilityError, match="not configured"):
+            UniversalMachine(100).run_dataflow({})
+
+    def test_unbound_inputs(self):
+        usp = UniversalMachine(2000)
+        g = DataflowGraph()
+        g.input("a")
+        g.output("y", "a")
+        usp.configure_dataflow(g, width=4)
+        with pytest.raises(ProgramError, match="unbound"):
+            usp.run_dataflow({})
+
+    def test_config_bits_reported(self):
+        usp = UniversalMachine(4000)
+        g = dataflow_dot_product(2)
+        cells = usp.configure_dataflow(g, width=8)
+        assert cells > 0
+        assert usp.config_bits_used() > cells * 16  # > truth-table bits alone
+
+
+class TestSoftProcessorPersonality:
+    def test_straightline_program(self):
+        usp = UniversalMachine(1000)
+        program = SoftProgram([
+            SoftInstruction(SoftOp.LDI, 7),
+            SoftInstruction(SoftOp.ADD, 30),
+            SoftInstruction(SoftOp.HALT),
+        ])
+        usp.configure_soft_processor(program)
+        result = usp.run_soft_processor()
+        assert result.outputs["acc"] == 37
+        assert usp.personality == "soft-processor"
+
+    def test_loop_matches_reference_cycles(self):
+        usp = UniversalMachine(1000)
+        program = SoftProgram([
+            SoftInstruction(SoftOp.LDI, 10),
+            SoftInstruction(SoftOp.ADD, 255),  # acc -= 1 mod 256
+            SoftInstruction(SoftOp.JNZ, 1),
+            SoftInstruction(SoftOp.HALT),
+        ])
+        usp.configure_soft_processor(program)
+        result = usp.run_soft_processor()
+        ref_acc, ref_cycles = program.reference_run()
+        assert result.outputs["acc"] == ref_acc == 0
+        assert result.cycles == ref_cycles
+
+    def test_jnz_not_taken_when_zero(self):
+        usp = UniversalMachine(1000)
+        program = SoftProgram([
+            SoftInstruction(SoftOp.LDI, 0),
+            SoftInstruction(SoftOp.JNZ, 0),   # never taken
+            SoftInstruction(SoftOp.ADD, 5),
+            SoftInstruction(SoftOp.HALT),
+        ])
+        usp.configure_soft_processor(program)
+        assert usp.run_soft_processor().outputs["acc"] == 5
+
+    def test_accumulator_wraps_mod_256(self):
+        usp = UniversalMachine(1000)
+        program = SoftProgram([
+            SoftInstruction(SoftOp.LDI, 200),
+            SoftInstruction(SoftOp.ADD, 100),
+            SoftInstruction(SoftOp.HALT),
+        ])
+        usp.configure_soft_processor(program)
+        assert usp.run_soft_processor().outputs["acc"] == 44
+
+    def test_program_validation(self):
+        with pytest.raises(ProgramError):
+            SoftProgram([])
+        with pytest.raises(ProgramError):
+            SoftProgram([SoftInstruction(SoftOp.LDI, 0)] * 17)
+        with pytest.raises(ProgramError):
+            SoftInstruction(SoftOp.LDI, 300)
+        with pytest.raises(ProgramError):
+            SoftInstruction(SoftOp.JNZ, 20)
+
+    def test_run_without_configuration(self):
+        with pytest.raises(CapabilityError):
+            UniversalMachine(100).run_soft_processor()
+
+    def test_runaway_guard(self):
+        usp = UniversalMachine(1000)
+        # Infinite loop: acc stays 1, JNZ to itself... use LDI 1; JNZ 1.
+        program = SoftProgram([
+            SoftInstruction(SoftOp.LDI, 1),
+            SoftInstruction(SoftOp.JNZ, 1),
+            SoftInstruction(SoftOp.HALT),
+        ])
+        usp.configure_soft_processor(program)
+        with pytest.raises(ProgramError, match="max_cycles"):
+            usp.run_soft_processor(max_cycles=50)
+
+
+class TestReconfiguration:
+    def test_same_fabric_morphs_between_paradigms(self):
+        """The USP story: one fabric, both machine types."""
+        usp = UniversalMachine(8000)
+        g = dataflow_dot_product(2)
+        usp.configure_dataflow(g, width=8)
+        df = usp.run_dataflow({"a0": 2, "a1": 3, "b0": 4, "b1": 5})
+        assert df.outputs["dot"] == 23
+        program = SoftProgram([
+            SoftInstruction(SoftOp.LDI, 23),
+            SoftInstruction(SoftOp.HALT),
+        ])
+        usp.configure_soft_processor(program)
+        cpu = usp.run_soft_processor()
+        assert cpu.outputs["acc"] == 23
+        # and back again
+        usp.configure_dataflow(g, width=8)
+        assert usp.run_dataflow({"a0": 1, "a1": 1, "b0": 1, "b1": 1}).outputs["dot"] == 2
+
+    def test_dataflow_run_refused_in_cpu_mode(self):
+        usp = UniversalMachine(2000)
+        usp.configure_soft_processor(
+            SoftProgram([SoftInstruction(SoftOp.HALT)])
+        )
+        with pytest.raises(CapabilityError):
+            usp.run_dataflow({})
+
+    def test_capabilities_are_universal(self):
+        from repro.machine import Capability
+
+        assert UniversalMachine(16).capabilities() == set(Capability)
+
+    def test_soft_cpu_overhead_dwarfs_hard_cpu(self):
+        """The flexibility/overhead trade, measured: the soft CPU costs
+        orders of magnitude more configuration than a hard IUP's Eq.-2
+        estimate."""
+        from repro.core import class_by_name
+        from repro.models.configbits import ConfigBitsModel
+
+        usp = UniversalMachine(1000)
+        usp.configure_soft_processor(SoftProgram([SoftInstruction(SoftOp.HALT)]))
+        soft_bits = usp.config_bits_used()
+        hard_bits = ConfigBitsModel().total(class_by_name("IUP").signature, n=1)
+        assert soft_bits > 10 * hard_bits

@@ -1,0 +1,120 @@
+"""Unit tests for the Eq.-1 area estimator."""
+
+import pytest
+
+from repro.core import LinkSite, class_by_name
+from repro.models.area import AreaBreakdown, AreaModel, ComponentAreas, estimate_area
+from repro.models.switches import LimitedCrossbarModel
+from repro.models.technology import NODE_28NM, NODE_65NM
+
+
+class TestEquationStructure:
+    def test_dataflow_ignores_ip_and_im_terms(self):
+        """Eq. 1: 'In a data flow machine, the first part involving IP
+        and IM will be ignored.'"""
+        model = AreaModel()
+        breakdown = model.breakdown(class_by_name("DMP-IV").signature, n=8)
+        assert breakdown.ip_logic_ge == 0
+        assert breakdown.im_bits == 0
+        assert breakdown.dp_logic_ge > 0
+        assert breakdown.dm_bits > 0
+
+    def test_instruction_flow_pays_all_terms(self):
+        breakdown = AreaModel().breakdown(class_by_name("IMP-I").signature, n=8)
+        assert breakdown.ip_logic_ge > 0
+        assert breakdown.dp_logic_ge > 0
+        assert breakdown.im_bits > 0
+        assert breakdown.dm_bits > 0
+
+    def test_switch_terms_tracked_per_site(self):
+        breakdown = AreaModel().breakdown(class_by_name("IMP-XVI").signature, n=8)
+        switched = set(breakdown.switch_ge)
+        assert {LinkSite.IP_DP, LinkSite.IP_IM, LinkSite.DP_DM, LinkSite.DP_DP} <= switched
+
+    def test_n_scales_processor_terms(self):
+        model = AreaModel()
+        sig = class_by_name("IMP-I").signature
+        small = model.breakdown(sig, n=4)
+        large = model.breakdown(sig, n=8)
+        assert large.ip_logic_ge == pytest.approx(2 * small.ip_logic_ge)
+        assert large.dm_bits == pytest.approx(2 * small.dm_bits)
+
+
+class TestPaperClaims:
+    def test_area_grows_with_flexibility_within_family(self):
+        """'The area of an architecture increases by increased
+        flexibility, because the switch of type x takes more area than a
+        switch of type -'."""
+        model = AreaModel()
+        imp_areas = [
+            model.total_ge(class_by_name(f"IMP-{numeral}").signature, n=16)
+            for numeral in ("I", "II", "IV", "VIII", "XVI")
+        ]
+        assert imp_areas == sorted(imp_areas)
+        assert imp_areas[0] < imp_areas[-1]
+
+    def test_crossbar_growth_is_superlinear_direct_is_linear(self):
+        model = AreaModel()
+        flexible = class_by_name("IMP-XVI").signature
+        rigid = class_by_name("IMP-I").signature
+        ratio_flexible = model.total_ge(flexible, n=64) / model.total_ge(flexible, n=16)
+        ratio_rigid = model.total_ge(rigid, n=64) / model.total_ge(rigid, n=16)
+        assert ratio_flexible > ratio_rigid
+        assert ratio_rigid == pytest.approx(4.0, rel=0.05)  # linear in n
+
+    def test_isp_costs_more_than_same_subtype_imp(self):
+        model = AreaModel()
+        assert model.total_ge(
+            class_by_name("ISP-I").signature, n=16
+        ) > model.total_ge(class_by_name("IMP-I").signature, n=16)
+
+
+class TestConfiguration:
+    def test_custom_component_areas(self):
+        huge = AreaModel(areas=ComponentAreas(ip_ge=1e6, dp_ge=1e6))
+        default = AreaModel()
+        sig = class_by_name("IMP-I").signature
+        assert huge.total_ge(sig, n=4) > default.total_ge(sig, n=4)
+
+    def test_component_areas_validated(self):
+        with pytest.raises(ValueError):
+            ComponentAreas(ip_ge=-1)
+        with pytest.raises(ValueError):
+            ComponentAreas(dm_bits=-5)
+
+    def test_per_site_switch_override(self):
+        sig = class_by_name("IAP-II").signature
+        full = AreaModel()
+        limited = AreaModel(
+            switch_models={LinkSite.DP_DP: LimitedCrossbarModel(window=3)}
+        )
+        assert limited.total_ge(sig, n=64) < full.total_ge(sig, n=64)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            AreaModel().breakdown(class_by_name("IUP").signature, n=0)
+
+
+class TestAbsoluteArea:
+    def test_technology_node_conversion(self):
+        sig = class_by_name("IMP-I").signature
+        at_65 = AreaModel().total_um2(sig, n=8, node=NODE_65NM)
+        at_28 = AreaModel().total_um2(sig, n=8, node=NODE_28NM)
+        assert at_28 < at_65
+
+    def test_estimate_area_shortcut(self):
+        sig = class_by_name("IUP").signature
+        assert estimate_area(sig) == AreaModel().total_ge(sig, n=16)
+        assert estimate_area(sig, node=NODE_65NM) > 0
+
+    def test_breakdown_explain(self):
+        text = AreaModel().breakdown(class_by_name("IMP-II").signature, n=8).explain()
+        assert "IP logic" in text and "DP-DP switch" in text and "total logic" in text
+
+
+class TestUniversalFlow:
+    def test_usp_uses_lut_cell_model(self):
+        sig = class_by_name("USP").signature
+        breakdown = AreaModel().breakdown(sig, n=4)
+        assert breakdown.ip_logic_ge > 0  # soft IPs occupy cells
+        assert breakdown.switch_ge  # the vxv fabric is all switches

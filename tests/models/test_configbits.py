@@ -1,0 +1,101 @@
+"""Unit tests for the Eq.-2 configuration-bit estimator."""
+
+import pytest
+
+from repro.core import LinkSite, class_by_name
+from repro.models.configbits import (
+    ComponentConfigWords,
+    ConfigBitsModel,
+    estimate_config_bits,
+)
+from repro.models.switches import LimitedCrossbarModel
+
+
+class TestEquationStructure:
+    def test_dataflow_skips_ip_terms(self):
+        breakdown = ConfigBitsModel().breakdown(class_by_name("DMP-II").signature, n=8)
+        assert breakdown.ip_bits == 0
+        assert breakdown.im_bits == 0
+        assert breakdown.dp_bits > 0
+
+    def test_direct_links_cost_nothing(self):
+        breakdown = ConfigBitsModel().breakdown(class_by_name("IMP-I").signature, n=8)
+        assert breakdown.switch_bits == {}
+
+    def test_switched_links_cost_bits(self):
+        breakdown = ConfigBitsModel().breakdown(class_by_name("IMP-II").signature, n=8)
+        assert set(breakdown.switch_bits) == {LinkSite.DP_DP}
+        assert breakdown.switch_bits[LinkSite.DP_DP] > 0
+
+    def test_total_is_sum_of_terms(self):
+        breakdown = ConfigBitsModel().breakdown(class_by_name("ISP-XVI").signature, n=8)
+        assert breakdown.total == (
+            breakdown.ip_bits + breakdown.dp_bits + breakdown.im_bits
+            + breakdown.dm_bits + sum(breakdown.switch_bits.values())
+        )
+
+
+class TestPaperClaims:
+    def test_config_overhead_grows_with_flexibility(self):
+        """§III-B: flexibility and configuration overhead trade off —
+        more x switches, more bits."""
+        model = ConfigBitsModel()
+        ladder = ["IMP-I", "IMP-II", "IMP-IV", "IMP-VIII", "IMP-XVI"]
+        values = [
+            model.total(class_by_name(name).signature, n=16) for name in ladder
+        ]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_usp_has_largest_overhead(self):
+        """An FPGA is most flexible at the cost of enormous
+        reconfiguration overhead."""
+        model = ConfigBitsModel()
+        usp = model.total(class_by_name("USP").signature, n=16)
+        for name in ("IUP", "IAP-IV", "IMP-XVI", "ISP-XVI", "DMP-IV"):
+            assert usp > model.total(class_by_name(name).signature, n=16)
+
+    def test_limited_crossbar_needs_fewer_bits(self):
+        """'a full cross bar switch will require more bits than a
+        limited crossbar'."""
+        sig = class_by_name("IAP-II").signature
+        full = ConfigBitsModel()
+        limited = ConfigBitsModel(
+            switch_models={LinkSite.DP_DP: LimitedCrossbarModel(window=3)}
+        )
+        assert limited.total(sig, n=64) < full.total(sig, n=64)
+
+    def test_hardwired_machines_pay_zero_component_words(self):
+        """An ASIC-style machine (nothing reconfigurable) has CB only
+        from switches; IMP-I then configures with zero bits."""
+        asic = ConfigBitsModel(reconfigurable_components=False)
+        assert asic.total(class_by_name("IMP-I").signature, n=8) == 0
+        assert asic.total(class_by_name("IMP-II").signature, n=8) > 0
+
+
+class TestConfiguration:
+    def test_custom_words(self):
+        fat = ConfigBitsModel(words=ComponentConfigWords(dp_cw=1024))
+        thin = ConfigBitsModel()
+        sig = class_by_name("IAP-I").signature
+        assert fat.total(sig, n=8) > thin.total(sig, n=8)
+
+    def test_lut_cell_cw(self):
+        words = ComponentConfigWords(lut_inputs=4, lut_routing_cw=24)
+        assert words.lut_cell_cw == 16 + 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComponentConfigWords(ip_cw=-1)
+        with pytest.raises(ValueError):
+            ComponentConfigWords(lut_inputs=0)
+        with pytest.raises(ValueError):
+            ConfigBitsModel().breakdown(class_by_name("IUP").signature, n=-4)
+
+    def test_estimate_shortcut(self):
+        sig = class_by_name("IMP-II").signature
+        assert estimate_config_bits(sig) == ConfigBitsModel().total(sig, n=16)
+
+    def test_explain(self):
+        text = ConfigBitsModel().breakdown(class_by_name("IMP-II").signature, n=8).explain()
+        assert "DP-DP switch" in text and "total" in text

@@ -1,0 +1,109 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.core import class_by_name
+from repro.models.energy import EnergyBreakdown, EnergyModel, EnergyParameters
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyParameters(dp_op_pj=-1)
+        with pytest.raises(ValueError):
+            EnergyParameters(wire_traversal_pj=3.0, switch_traversal_pj=1.0)
+
+    def test_defaults_order_wire_below_switch(self):
+        params = EnergyParameters()
+        assert params.wire_traversal_pj < params.switch_traversal_pj
+
+
+class TestEstimate:
+    def test_breakdown_totals(self, model):
+        breakdown = model.estimate(
+            class_by_name("IUP").signature, operations=100, n=1
+        )
+        assert breakdown.total_pj == pytest.approx(
+            breakdown.compute_pj
+            + breakdown.instruction_pj
+            + breakdown.memory_pj
+            + breakdown.interconnect_pj
+            + breakdown.leakage_pj
+        )
+        assert breakdown.dynamic_pj == breakdown.total_pj - breakdown.leakage_pj
+
+    def test_dataflow_pays_no_instruction_energy(self, model):
+        breakdown = model.estimate(
+            class_by_name("DMP-I").signature, operations=100, n=8
+        )
+        assert breakdown.instruction_pj == 0.0
+        assert breakdown.compute_pj > 0
+
+    def test_instruction_flow_pays_issue_energy(self, model):
+        breakdown = model.estimate(
+            class_by_name("IMP-I").signature, operations=100, n=8
+        )
+        assert breakdown.instruction_pj > 0
+
+    def test_switched_paths_cost_more(self, model):
+        rigid = model.estimate(class_by_name("IAP-I").signature, operations=1000, n=8)
+        flexible = model.estimate(class_by_name("IAP-III").signature, operations=1000, n=8)
+        assert flexible.interconnect_pj > rigid.interconnect_pj
+
+    def test_leakage_scales_with_area_and_cycles(self, model):
+        sig = class_by_name("IMP-I").signature
+        short = model.estimate(sig, operations=100, cycles=10, n=8)
+        long = model.estimate(sig, operations=100, cycles=1000, n=8)
+        assert long.leakage_pj == pytest.approx(100 * short.leakage_pj)
+
+    def test_memory_accesses_default_to_operations(self, model):
+        sig = class_by_name("IUP").signature
+        default = model.estimate(sig, operations=50, n=1)
+        explicit = model.estimate(sig, operations=50, memory_accesses=50, n=1)
+        assert default.memory_pj == explicit.memory_pj
+        fewer = model.estimate(sig, operations=50, memory_accesses=10, n=1)
+        assert fewer.memory_pj < default.memory_pj
+
+    def test_validation(self, model):
+        sig = class_by_name("IUP").signature
+        with pytest.raises(ValueError):
+            model.estimate(sig, operations=-1)
+        with pytest.raises(ValueError):
+            model.estimate(sig, operations=1, memory_accesses=-1)
+        with pytest.raises(ValueError):
+            model.estimate(sig, operations=1, cycles=0)
+
+    def test_explain(self, model):
+        text = model.estimate(
+            class_by_name("IAP-II").signature, operations=10, n=4
+        ).explain()
+        assert "compute" in text and "total" in text
+
+
+class TestPaperShapedClaims:
+    def test_flexibility_costs_energy_within_family(self, model):
+        """Per-op energy rises along the IMP switch ladder (switched
+        traversals + leakage of the bigger fabric)."""
+        ladder = ["IMP-I", "IMP-II", "IMP-IV", "IMP-VIII", "IMP-XVI"]
+        values = [
+            model.energy_per_op(class_by_name(name).signature, n=16)
+            for name in ladder
+        ]
+        assert values == sorted(values)
+
+    def test_usp_is_least_energy_efficient(self, model):
+        """The FPGA's flexibility costs energy as well as bits."""
+        usp = model.energy_per_op(class_by_name("USP").signature, n=16)
+        for name in ("IUP", "IAP-IV", "IMP-XVI", "DMP-IV"):
+            assert usp > model.energy_per_op(class_by_name(name).signature, n=16)
+
+    def test_dataflow_beats_instruction_flow_per_op(self, model):
+        """No instruction fetch per operation: the data-flow advantage."""
+        dmp = model.energy_per_op(class_by_name("DMP-I").signature, n=16)
+        imp = model.energy_per_op(class_by_name("IMP-I").signature, n=16)
+        assert dmp < imp

@@ -1,0 +1,97 @@
+"""Property-based tests for the Eq.-1/Eq.-2 estimators."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import LinkSite, all_classes, flexibility
+from repro.models.area import AreaModel
+from repro.models.configbits import ConfigBitsModel
+from repro.models.switches import FullCrossbarModel, LimitedCrossbarModel
+
+_IMPLEMENTABLE = [cls for cls in all_classes() if cls.implementable]
+
+
+@given(
+    cls=st.sampled_from(_IMPLEMENTABLE),
+    n_small=st.integers(min_value=2, max_value=32),
+    factor=st.integers(min_value=2, max_value=8),
+)
+def test_area_monotone_in_n(cls, n_small, factor):
+    model = AreaModel()
+    small = model.total_ge(cls.signature, n=n_small)
+    large = model.total_ge(cls.signature, n=n_small * factor)
+    assert large >= small
+    # Strictly increasing whenever n actually enters the formula
+    # (single-processor classes like DUP/IUP are n-independent).
+    if cls.signature.ips.multiplicity.is_plural or cls.signature.dps.multiplicity.is_plural:
+        assert large > small
+
+
+@given(
+    cls=st.sampled_from(_IMPLEMENTABLE),
+    n_small=st.integers(min_value=2, max_value=32),
+    factor=st.integers(min_value=2, max_value=8),
+)
+def test_config_bits_monotone_in_n(cls, n_small, factor):
+    model = ConfigBitsModel()
+    assert model.total(cls.signature, n=n_small * factor) >= model.total(
+        cls.signature, n=n_small
+    )
+
+
+@given(
+    cls=st.sampled_from(_IMPLEMENTABLE),
+    site=st.sampled_from(list(LinkSite)),
+    n=st.integers(min_value=2, max_value=64),
+)
+def test_upgrading_links_never_reduces_cost(cls, site, n):
+    """Structural version of the area/flexibility trade: an upgraded
+    signature costs at least as much area and configuration."""
+    try:
+        upgraded = cls.signature.upgraded(site)
+    except Exception:
+        return
+    area = AreaModel()
+    config = ConfigBitsModel()
+    assert area.total_ge(upgraded, n=n) >= area.total_ge(cls.signature, n=n)
+    assert config.total(upgraded, n=n) >= config.total(cls.signature, n=n)
+
+
+@given(
+    inputs=st.integers(min_value=1, max_value=512),
+    outputs=st.integers(min_value=1, max_value=512),
+    window=st.integers(min_value=1, max_value=64),
+)
+def test_limited_crossbar_never_exceeds_full(inputs, outputs, window):
+    full = FullCrossbarModel()
+    limited = LimitedCrossbarModel(window=window)
+    assert limited.area_ge(inputs, outputs) <= full.area_ge(inputs, outputs)
+    assert limited.config_bits(inputs, outputs) <= full.config_bits(inputs, outputs)
+
+
+@given(
+    ports=st.integers(min_value=1, max_value=256),
+    width=st.integers(min_value=1, max_value=128),
+)
+def test_crossbar_costs_scale_sensibly(ports, width):
+    model = FullCrossbarModel(width_bits=width)
+    area = model.area_ge(ports, ports)
+    bits = model.config_bits(ports, ports)
+    assert area >= 0 and bits >= 0
+    if ports > 1:
+        assert area > 0 and bits > 0
+
+
+@given(cls=st.sampled_from(_IMPLEMENTABLE), n=st.integers(min_value=2, max_value=64))
+def test_flexibility_cost_correlation_within_coarse_families(cls, n):
+    """Within instruction flow, any class strictly more flexible than
+    IMP-I (same family, superset switches) costs at least as many
+    configuration bits."""
+    from repro.core import class_by_name
+
+    if cls.name is None or not cls.name.short.startswith("IMP"):
+        return
+    base = class_by_name("IMP-I")
+    model = ConfigBitsModel()
+    if flexibility(cls.signature) > flexibility(base.signature):
+        assert model.total(cls.signature, n=n) >= model.total(base.signature, n=n)

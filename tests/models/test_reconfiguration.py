@@ -1,0 +1,74 @@
+"""Unit tests for the reconfiguration-overhead model."""
+
+import pytest
+
+from repro.core import class_by_name
+from repro.models.reconfiguration import (
+    ReconfigurationModel,
+    ReconfigurationPort,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ReconfigurationModel()
+
+
+class TestPort:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReconfigurationPort(bandwidth_bits_per_cycle=0)
+        with pytest.raises(ValueError):
+            ReconfigurationPort(write_energy_pj_per_bit=-1)
+
+
+class TestCost:
+    def test_cycles_are_ceil_of_bits_over_bandwidth(self, model):
+        cost = model.cost(class_by_name("IUP").signature, n=1)
+        expected = -(-cost.config_bits // 32)
+        assert cost.cycles == expected
+
+    def test_energy_proportional_to_bits(self, model):
+        a = model.cost(class_by_name("IAP-II").signature, n=16)
+        b = model.cost(class_by_name("IMP-XVI").signature, n=16)
+        assert a.energy_pj == pytest.approx(a.config_bits * 1.2)
+        assert b.energy_pj > a.energy_pj
+
+    def test_wider_port_reloads_faster(self):
+        narrow = ReconfigurationModel(port=ReconfigurationPort(bandwidth_bits_per_cycle=8))
+        wide = ReconfigurationModel(port=ReconfigurationPort(bandwidth_bits_per_cycle=128))
+        sig = class_by_name("IMP-XVI").signature
+        assert wide.cost(sig, n=16).cycles < narrow.cost(sig, n=16).cycles
+
+    def test_usp_reload_dwarfs_coarse_classes(self, model):
+        """The paper's FPGA story in cycles: reloading the fine-grained
+        fabric takes orders of magnitude longer."""
+        usp = model.cost(class_by_name("USP").signature, n=16)
+        isp = model.cost(class_by_name("ISP-XVI").signature, n=16)
+        assert usp.cycles > 100 * isp.cycles
+
+
+class TestBreakEven:
+    def test_amortisation_threshold(self, model):
+        cost = model.cost(class_by_name("IAP-IV").signature, n=16)
+        assert cost.amortisation_ops() == cost.cycles
+        assert cost.amortisation_ops(useful_op_cycles=2.0) == cost.cycles / 2
+
+    def test_amortisation_validation(self, model):
+        cost = model.cost(class_by_name("IUP").signature, n=1)
+        with pytest.raises(ValueError):
+            cost.amortisation_ops(useful_op_cycles=0)
+
+    def test_break_even_table_orders_like_flexibility(self, model):
+        """More flexible classes demand longer-lived configurations —
+        the quantitative form of 'flexibility is inversely proportional
+        to configuration overhead'."""
+        signatures = {
+            name: class_by_name(name).signature
+            for name in ("IUP", "IAP-I", "IAP-IV", "IMP-XVI", "USP")
+        }
+        table = model.break_even_table(signatures, n=16)
+        assert (
+            table["IUP"] < table["IAP-I"] < table["IAP-IV"]
+            < table["IMP-XVI"] < table["USP"]
+        )

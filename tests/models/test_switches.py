@@ -1,0 +1,114 @@
+"""Unit tests for the switch cost models."""
+
+import pytest
+
+from repro.core.connectivity import LinkKind
+from repro.models.switches import (
+    DirectLinkModel,
+    FullCrossbarModel,
+    LimitedCrossbarModel,
+    SharedBusModel,
+    default_switch_model,
+)
+
+
+class TestDirectLink:
+    def test_zero_config_bits(self):
+        model = DirectLinkModel()
+        assert model.config_bits(16, 16) == 0
+
+    def test_area_linear_in_ports(self):
+        model = DirectLinkModel()
+        assert model.area_ge(32, 32) == pytest.approx(2 * model.area_ge(16, 16))
+
+    def test_kind(self):
+        assert DirectLinkModel().kind is LinkKind.DIRECT
+
+    def test_negative_ports_rejected(self):
+        with pytest.raises(ValueError):
+            DirectLinkModel().area_ge(-1, 4)
+
+
+class TestFullCrossbar:
+    def test_area_quadratic_in_ports(self):
+        model = FullCrossbarModel()
+        small = model.area_ge(8, 8)
+        large = model.area_ge(16, 16)
+        # (16 outputs * 15 mux cells) / (8 outputs * 7 mux cells)
+        assert large / small == pytest.approx((16 * 15) / (8 * 7))
+
+    def test_config_bits_formula(self):
+        model = FullCrossbarModel()
+        # 16 outputs, each selecting among 16 inputs + "unconnected".
+        assert model.config_bits(16, 16) == 16 * 5
+        assert model.config_bits(8, 4) == 4 * 4  # ceil(log2(9)) = 4
+
+    def test_degenerate_ports(self):
+        model = FullCrossbarModel()
+        assert model.area_ge(0, 8) == 0
+        assert model.config_bits(8, 0) == 0
+
+    def test_wider_datapath_costs_more_area_not_bits(self):
+        narrow = FullCrossbarModel(width_bits=16)
+        wide = FullCrossbarModel(width_bits=64)
+        assert wide.area_ge(8, 8) == pytest.approx(4 * narrow.area_ge(8, 8))
+        assert wide.config_bits(8, 8) == narrow.config_bits(8, 8)
+
+    def test_more_than_direct(self):
+        xbar = FullCrossbarModel()
+        direct = DirectLinkModel()
+        assert xbar.area_ge(16, 16) > direct.area_ge(16, 16)
+        assert xbar.config_bits(16, 16) > direct.config_bits(16, 16)
+
+
+class TestLimitedCrossbar:
+    def test_cheaper_than_full(self):
+        """The paper: a full crossbar needs more bits than a limited one."""
+        full = FullCrossbarModel()
+        limited = LimitedCrossbarModel(window=7)
+        assert limited.config_bits(64, 64) < full.config_bits(64, 64)
+        assert limited.area_ge(64, 64) < full.area_ge(64, 64)
+
+    def test_degenerates_to_full_when_window_covers_inputs(self):
+        full = FullCrossbarModel()
+        limited = LimitedCrossbarModel(window=64)
+        assert limited.config_bits(16, 16) == full.config_bits(16, 16)
+        assert limited.area_ge(16, 16) == full.area_ge(16, 16)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            LimitedCrossbarModel(window=0)
+
+    def test_config_bits_grow_with_window(self):
+        narrow = LimitedCrossbarModel(window=3)
+        wide = LimitedCrossbarModel(window=15)
+        assert narrow.config_bits(64, 64) < wide.config_bits(64, 64)
+
+
+class TestSharedBus:
+    def test_kind_is_switched(self):
+        assert SharedBusModel().kind is LinkKind.SWITCHED
+
+    def test_config_bits_logarithmic(self):
+        model = SharedBusModel()
+        assert model.config_bits(16, 16) == 5  # ceil(log2(17))
+        assert model.config_bits(64, 64) == 7
+
+    def test_area_linear(self):
+        model = SharedBusModel()
+        assert model.area_ge(32, 32) < FullCrossbarModel().area_ge(32, 32)
+
+
+class TestDefaults:
+    def test_default_model_selection(self):
+        assert default_switch_model(LinkKind.NONE) is None
+        assert isinstance(default_switch_model(LinkKind.DIRECT), DirectLinkModel)
+        assert isinstance(default_switch_model(LinkKind.SWITCHED), FullCrossbarModel)
+
+    def test_width_passthrough(self):
+        model = default_switch_model(LinkKind.SWITCHED, width_bits=64)
+        assert model.width_bits == 64
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            DirectLinkModel(width_bits=0)

@@ -1,0 +1,48 @@
+"""Unit tests for technology nodes."""
+
+import pytest
+
+from repro.models.technology import NODE_28NM, NODE_45NM, NODE_65NM, NODE_90NM, NODES, TechnologyNode
+
+
+class TestNodes:
+    def test_builtin_nodes_registered(self):
+        assert set(NODES) == {"90nm", "65nm", "45nm", "28nm"}
+
+    def test_density_improves_with_scaling(self):
+        assert NODE_90NM.ge_area_um2 > NODE_65NM.ge_area_um2 > NODE_45NM.ge_area_um2 > NODE_28NM.ge_area_um2
+
+    def test_sram_denser_than_logic(self):
+        for node in NODES.values():
+            assert node.sram_bit_um2 < node.ge_area_um2
+
+    def test_logic_and_memory_area(self):
+        assert NODE_65NM.logic_area(1000) == pytest.approx(1000 * NODE_65NM.ge_area_um2)
+        assert NODE_65NM.memory_area(8192) == pytest.approx(8192 * NODE_65NM.sram_bit_um2)
+
+    def test_negative_amounts_rejected(self):
+        with pytest.raises(ValueError):
+            NODE_65NM.logic_area(-1)
+        with pytest.raises(ValueError):
+            NODE_65NM.memory_area(-1)
+
+
+class TestScaling:
+    def test_quadratic_area_scaling(self):
+        scaled = NODE_90NM.scaled(45.0)
+        assert scaled.ge_area_um2 == pytest.approx(NODE_90NM.ge_area_um2 / 4)
+        assert scaled.feature_nm == 45.0
+
+    def test_upscaling_also_works(self):
+        scaled = NODE_45NM.scaled(90.0)
+        assert scaled.ge_area_um2 == pytest.approx(NODE_45NM.ge_area_um2 * 4)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            NODE_65NM.scaled(0)
+
+    def test_validation_on_construction(self):
+        with pytest.raises(ValueError):
+            TechnologyNode("bad", -1, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            TechnologyNode("bad", 65, 0, 0.5)

@@ -1,0 +1,101 @@
+"""Tests for the user-extensible registry."""
+
+import pytest
+
+from repro.core.errors import RegistryError, SignatureError
+from repro.registry.custom import CustomRegistry
+
+
+@pytest.fixture
+def registry():
+    return CustomRegistry()
+
+
+def register_mycgra(registry):
+    return registry.register(
+        "MyCGRA",
+        1, 32,
+        ip_dp="1-32", ip_im="1-1", dp_dm="32x32", dp_dp="32x32",
+        notes="hypothetical design under evaluation",
+    )
+
+
+class TestRegistration:
+    def test_register_classifies_immediately(self, registry):
+        entry = register_mycgra(registry)
+        assert entry.taxonomic_name == "IAP-IV"
+        assert entry.flexibility == 3
+        assert "MyCGRA" in registry
+        assert len(registry) == 1
+
+    def test_published_names_are_protected(self, registry):
+        with pytest.raises(RegistryError, match="published"):
+            registry.register("MorphoSys", 1, 64, ip_dp="1-64", ip_im="1-1",
+                              dp_dm="64-1", dp_dp="64x64")
+        with pytest.raises(RegistryError, match="published"):
+            registry.register("morphosys", 1, 64, ip_dp="1-64", ip_im="1-1",
+                              dp_dm="64-1", dp_dp="64x64")
+
+    def test_duplicate_custom_names_rejected(self, registry):
+        register_mycgra(registry)
+        with pytest.raises(RegistryError, match="already registered"):
+            register_mycgra(registry)
+
+    def test_empty_name_rejected(self, registry):
+        with pytest.raises(RegistryError, match="empty"):
+            registry.register("  ", 1, 1, ip_dp="1-1", ip_im="1-1", dp_dm="1-1")
+
+    def test_invalid_structure_rejected(self, registry):
+        with pytest.raises(SignatureError):
+            registry.register("Broken", 0, 4, ip_dp="1-4", dp_dm="4-4")
+        assert len(registry) == 0
+
+    def test_remove(self, registry):
+        register_mycgra(registry)
+        registry.remove("MyCGRA")
+        assert "MyCGRA" not in registry
+        with pytest.raises(RegistryError):
+            registry.remove("MyCGRA")
+
+    def test_get_unknown(self, registry):
+        with pytest.raises(RegistryError):
+            registry.get("Ghost")
+
+
+class TestSurveyComparison:
+    def test_published_classmates(self, registry):
+        register_mycgra(registry)
+        mates = {rec.name for rec in registry.published_classmates("MyCGRA")}
+        # The survey's IAP-IV population.
+        assert mates == {"Montium", "GARP", "PipeRench", "EGRA", "ELM"}
+
+    def test_nearest_published(self, registry):
+        register_mycgra(registry)
+        nearest = registry.nearest_published("MyCGRA", top=2)
+        assert all(score == pytest.approx(1.0) for _, score in nearest)
+        assert {name for name, _ in nearest} <= {
+            "Montium", "GARP", "PipeRench", "EGRA", "ELM",
+        }
+
+    def test_ni_entries_cannot_compare(self, registry):
+        registry.register(
+            "WeirdMISD", "n", 1,
+            ip_dp="n-1", ip_im="n-n", dp_dm="1-1",
+        )
+        with pytest.raises(RegistryError, match="Not Implementable"):
+            registry.nearest_published("WeirdMISD")
+
+    def test_combined_ranking_interleaves(self, registry):
+        registry.register(
+            "SuperSpatial", "n", "n",
+            ip_ip="nxn", ip_dp="nxn", ip_im="nxn", dp_dm="nxn", dp_dp="nxn",
+        )
+        ranking = registry.combined_ranking()
+        assert len(ranking) == 26
+        names = [name for name, _, _ in ranking]
+        # flexibility 7 puts the custom entry beside MATRIX, under FPGA.
+        assert names[0] == "FPGA"
+        assert set(names[1:3]) == {"MATRIX", "SuperSpatial"}
+        flags = {name: is_custom for name, _, is_custom in ranking}
+        assert flags["SuperSpatial"] is True
+        assert flags["MATRIX"] is False

@@ -1,0 +1,83 @@
+"""Unit tests for architecture records and the registry lookups."""
+
+import pytest
+
+from repro.core.errors import RegistryError
+from repro.registry import (
+    ArchitectureFamily,
+    all_architectures,
+    architecture,
+    architecture_names,
+    architectures_by_family,
+)
+
+
+class TestLookups:
+    def test_case_insensitive_lookup(self):
+        assert architecture("morphosys").name == "MorphoSys"
+        assert architecture("FPGA").name == "FPGA"
+        assert architecture("  DRRA ").name == "DRRA"
+
+    def test_unknown_name_lists_candidates(self):
+        with pytest.raises(RegistryError, match="known:"):
+            architecture("TRANSPUTER")
+
+    def test_names_are_unique(self):
+        names = architecture_names()
+        assert len(names) == len(set(names)) == 25
+
+
+class TestFamilies:
+    def test_every_record_has_a_family(self):
+        for rec in all_architectures():
+            assert isinstance(rec.family, ArchitectureFamily)
+
+    def test_family_partition(self):
+        total = sum(
+            len(architectures_by_family(f)) for f in ArchitectureFamily
+        )
+        assert total == 25
+
+    def test_cgra_family_is_the_largest(self):
+        cgras = architectures_by_family(ArchitectureFamily.CGRA)
+        assert len(cgras) > 10  # the survey is CGRA-centred
+
+    def test_dataflow_family(self):
+        names = {r.name for r in architectures_by_family(ArchitectureFamily.DATAFLOW)}
+        assert names == {"REDEFINE", "Colt"}
+
+    def test_fpga_family(self):
+        names = {r.name for r in architectures_by_family(ArchitectureFamily.FPGA)}
+        assert names == {"FPGA"}
+
+
+class TestRecordDerivation:
+    def test_signature_parses_lazily_and_caches(self):
+        rec = architecture("GARP")
+        assert rec.signature is rec.signature
+
+    def test_classification_consistent_with_signature(self):
+        for rec in all_architectures():
+            assert rec.classification.signature == rec.signature
+
+    def test_table_row_shape(self):
+        for rec in all_architectures():
+            row = rec.table_row()
+            assert len(row) == 10
+            assert row[0] == rec.name
+
+    def test_metadata_completeness(self):
+        for rec in all_architectures():
+            assert rec.year >= 1990
+            assert rec.reference
+            assert len(rec.description) > 40  # a real description, not a stub
+
+    def test_str_form(self):
+        text = str(architecture("MATRIX"))
+        assert "MATRIX" in text and "ISP-XVI" in text and "7" in text
+
+    def test_fpga_uses_fine_granularity(self):
+        from repro.core import Granularity
+
+        assert architecture("FPGA").signature.granularity is Granularity.FINE
+        assert architecture("MATRIX").signature.granularity is Granularity.COARSE

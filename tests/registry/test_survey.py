@@ -1,0 +1,81 @@
+"""Unit tests for the survey query API."""
+
+import pytest
+
+from repro.core.naming import MachineType
+from repro.registry import (
+    errata_report,
+    flexibility_ranking,
+    group_by_class,
+    most_flexible,
+    survey_table,
+)
+
+
+class TestSurveyTable:
+    def test_order_matches_registry(self):
+        from repro.registry import architecture_names
+
+        assert tuple(e.name for e in survey_table()) == architecture_names()
+
+    def test_entry_accessors(self):
+        entry = next(e for e in survey_table() if e.name == "DRRA")
+        assert entry.taxonomic_name == "ISP-IV"
+        assert entry.flexibility == 5
+        assert entry.machine_type is MachineType.INSTRUCTION_FLOW
+
+    def test_agreement_flags(self):
+        disagreeing = [e.name for e in survey_table() if not e.agrees_with_paper]
+        assert disagreeing == ["PACT XPP"]  # the documented erratum
+
+
+class TestRanking:
+    def test_descending(self):
+        values = [e.flexibility for e in flexibility_ranking()]
+        assert values == sorted(values, reverse=True)
+
+    def test_ties_keep_table_order(self):
+        ranked = flexibility_ranking()
+        twos = [e.name for e in ranked if e.flexibility == 2]
+        from repro.registry import architecture_names
+
+        order = {name: i for i, name in enumerate(architecture_names())}
+        assert twos == sorted(twos, key=lambda n: order[n])
+
+
+class TestGrouping:
+    def test_groups_cover_everything(self):
+        groups = group_by_class()
+        assert sum(len(v) for v in groups.values()) == 25
+
+    def test_iap_ii_is_the_crowd(self):
+        groups = group_by_class()
+        assert {e.name for e in groups["IAP-II"]} == {
+            "IMAGINE", "MorphoSys", "REMARC", "RICA", "PADDI", "Chimaera", "ADRES",
+        }
+
+    def test_imp_i_group(self):
+        groups = group_by_class()
+        assert {e.name for e in groups["IMP-I"]} == {
+            "PADDI-2", "Cortex-A9 (Quad)", "Core2Duo",
+        }
+
+
+class TestMostFlexible:
+    def test_overall(self):
+        assert most_flexible().name == "FPGA"
+
+    def test_within_type(self):
+        assert most_flexible(within=MachineType.INSTRUCTION_FLOW).name == "MATRIX"
+        assert most_flexible(within=MachineType.DATA_FLOW).flexibility == 3
+
+    def test_within_universal(self):
+        assert most_flexible(within=MachineType.UNIVERSAL_FLOW).name == "FPGA"
+
+
+class TestErrata:
+    def test_single_known_erratum(self):
+        report = errata_report()
+        assert len(report) == 1
+        assert "PACT XPP" in report[0]
+        assert report[0].startswith("known erratum")

@@ -1,0 +1,66 @@
+"""Tests for the artifact bundle writer."""
+
+import csv
+import json
+
+import pytest
+
+from repro.reporting.bundle import generate_report
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    outdir = tmp_path_factory.mktemp("artifacts")
+    files = generate_report(outdir)
+    return outdir, files
+
+
+class TestBundle:
+    def test_writes_all_artifacts(self, bundle):
+        outdir, files = bundle
+        names = {path.name for path in files}
+        assert len(files) == 21
+        assert {"table1.txt", "table2.txt", "table3.txt"} <= names
+        assert {f"fig{i}_" in "".join(names) or True for i in range(1, 8)}
+        for i in range(1, 8):
+            assert any(name.startswith(f"fig{i}_") for name in names), i
+        assert {"taxonomy.json", "survey.json", "audit.txt"} <= names
+        assert {"fig1_series.csv", "fig7_series.csv", "survey_costs.txt"} <= names
+
+    def test_files_are_nonempty(self, bundle):
+        _, files = bundle
+        for path in files:
+            assert path.stat().st_size > 0, path.name
+
+    def test_csv_tables_parse(self, bundle):
+        outdir, _ = bundle
+        with open(outdir / "table1.csv") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 48  # header + 47
+        with open(outdir / "table3.csv") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 26
+
+    def test_json_exports_parse(self, bundle):
+        outdir, _ = bundle
+        taxonomy = json.loads((outdir / "taxonomy.json").read_text())
+        assert len(taxonomy["classes"]) == 47
+        survey = json.loads((outdir / "survey.json").read_text())
+        assert len(survey["architectures"]) == 25
+
+    def test_audit_passed_in_bundle(self, bundle):
+        outdir, _ = bundle
+        assert "all checks passed" in (outdir / "audit.txt").read_text()
+
+    def test_regeneration_is_idempotent(self, bundle, tmp_path):
+        outdir, _ = bundle
+        again = generate_report(tmp_path)
+        for path in again:
+            original = outdir / path.name
+            assert path.read_text() == original.read_text(), path.name
+
+    def test_creates_missing_directories(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        files = generate_report(nested)
+        assert nested.exists()
+        assert files

@@ -1,0 +1,107 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        code, out = run_cli(capsys, "table1")
+        assert code == 0
+        assert "DUP" in out and "USP" in out
+
+    def test_table2_markdown(self, capsys):
+        _, out = run_cli(capsys, "table2", "--markdown")
+        assert "| ST" in out
+
+    def test_table3(self, capsys):
+        _, out = run_cli(capsys, "table3")
+        assert "MorphoSys" in out
+
+
+class TestFigures:
+    @pytest.mark.parametrize("number", ["1", "2", "3", "4", "5", "6", "7"])
+    def test_every_figure_renders(self, capsys, number):
+        code, out = run_cli(capsys, "fig", number)
+        assert code == 0
+        assert out.strip()
+
+    def test_invalid_figure(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig", "9"])
+
+
+class TestClassify:
+    def test_classify_morphosys_shape(self, capsys):
+        _, out = run_cli(
+            capsys, "classify",
+            "--ips", "1", "--dps", "64",
+            "--ip-dp", "1-64", "--ip-im", "1-1",
+            "--dp-dm", "64-1", "--dp-dp", "64x64",
+        )
+        assert "IAP-II" in out
+        assert "flexibility 2" in out
+
+    def test_classify_dataflow(self, capsys):
+        _, out = run_cli(
+            capsys, "classify",
+            "--ips", "0", "--dps", "16",
+            "--dp-dm", "16x6", "--dp-dp", "16x16",
+        )
+        assert "DMP-IV" in out
+
+
+class TestExplain:
+    def test_explain_architecture(self, capsys):
+        _, out = run_cli(capsys, "explain", "GARP")
+        assert "GARP" in out
+        assert "IAP-IV" in out
+        assert "MIPS" in out  # from the survey description
+
+    def test_explain_unknown(self, capsys):
+        from repro.core.errors import RegistryError
+
+        with pytest.raises(RegistryError):
+            main(["explain", "UNOBTAINIUM"])
+
+
+class TestDse:
+    def test_dse_recommendation(self, capsys):
+        _, out = run_cli(capsys, "dse", "--min-flexibility", "5")
+        assert "recommended:" in out
+
+    def test_dse_objectives(self, capsys):
+        for objective in ("config", "area", "flex-per-area"):
+            _, out = run_cli(capsys, "dse", "--objective", objective)
+            assert "feasible classes" in out
+
+
+class TestErrata:
+    def test_errata_lists_pact_xpp(self, capsys):
+        _, out = run_cli(capsys, "errata")
+        assert "PACT XPP" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestAuditCommand:
+    def test_audit_passes_and_exits_zero(self, capsys):
+        code, out = run_cli(capsys, "audit")
+        assert code == 0
+        assert "all checks passed" in out
+
+    def test_baselines_report(self, capsys):
+        _, out = run_cli(capsys, "baselines")
+        assert "19 are new versus Skillicorn" in out
+        assert "MIMD" in out

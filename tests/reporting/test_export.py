@@ -1,0 +1,79 @@
+"""Unit tests for JSON/CSV export and signature serialisation."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core import all_classes, classify, make_signature
+from repro.reporting.export import (
+    rows_to_csv,
+    signature_from_dict,
+    signature_to_dict,
+    survey_to_json,
+    taxonomy_to_json,
+)
+
+
+class TestSignatureSerialisation:
+    def test_roundtrip_preserves_classification(self):
+        sig = make_signature(1, 64, ip_dp="1-64", ip_im="1-1",
+                             dp_dm="64-1", dp_dp="64x64")
+        recovered = signature_from_dict(signature_to_dict(sig))
+        assert classify(recovered).short_name == "IAP-II"
+
+    def test_roundtrip_over_all_canonical_signatures(self):
+        for cls in all_classes():
+            payload = signature_to_dict(cls.signature)
+            recovered = signature_from_dict(payload)
+            assert classify(recovered).taxonomy_class.serial == cls.serial
+
+    def test_dict_fields(self):
+        payload = signature_to_dict(all_classes()[46].signature)  # USP
+        assert payload["granularity"] == "LUTs"
+        assert payload["ips"] == "v"
+        assert payload["ip_ip"] == "vxv"
+
+    def test_missing_links_default_to_none(self):
+        sig = signature_from_dict({"ips": "0", "dps": "1", "dp_dm": "1-1"})
+        assert classify(sig).short_name == "DUP"
+
+
+class TestJsonExports:
+    def test_taxonomy_json(self):
+        payload = json.loads(taxonomy_to_json())
+        assert len(payload["classes"]) == 47
+        ni_rows = [c for c in payload["classes"] if not c["implementable"]]
+        assert len(ni_rows) == 4
+        assert all("flexibility" not in c for c in ni_rows)
+        usp = payload["classes"][46]
+        assert usp["name"] == "USP" and usp["flexibility"] == 8
+
+    def test_survey_json(self):
+        payload = json.loads(survey_to_json())
+        assert len(payload["architectures"]) == 25
+        xpp = next(a for a in payload["architectures"] if a["name"] == "PACT XPP")
+        assert xpp["agrees_with_paper"] is False
+        assert xpp["derived_flexibility"] == 3
+        fpga = next(a for a in payload["architectures"] if a["name"] == "FPGA")
+        assert fpga["derived_name"] == "USP"
+
+    def test_compact_mode(self):
+        compact = taxonomy_to_json(indent=None)
+        assert "\n" not in compact
+
+
+class TestCsv:
+    def test_rows_to_csv_roundtrip(self):
+        text = rows_to_csv(("a", "b"), [(1, "x"), (2, "y,z")])
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed == [["a", "b"], ["1", "x"], ["2", "y,z"]]
+
+    def test_table3_csv(self):
+        from repro.reporting.tables import TABLE3_HEADER, table3_rows
+
+        text = rows_to_csv(TABLE3_HEADER, table3_rows())
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert len(parsed) == 26
+        assert parsed[0][0] == "Architecture"

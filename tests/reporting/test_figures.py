@@ -1,0 +1,106 @@
+"""Unit tests for the figure renderers."""
+
+import pytest
+
+from repro.reporting.figures import (
+    bar_chart,
+    fig1_series,
+    fig7_series,
+    multi_series_chart,
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_structure,
+)
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        text = bar_chart(["a", "b"], [2.0, 4.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_alignment_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "empty" in bar_chart([], [])
+
+    def test_zero_values(self):
+        text = bar_chart(["z"], [0.0])
+        assert "0" in text
+
+
+class TestMultiSeries:
+    def test_renders_all_series_symbols(self):
+        text = multi_series_chart(
+            [2000, 2001, 2002],
+            {"one": [1, 2, 3], "two": [3, 2, 1]},
+        )
+        assert "* = one" in text
+        assert "o = two" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            multi_series_chart([1, 2], {"s": [1.0]})
+
+    def test_empty(self):
+        assert "empty" in multi_series_chart([], {})
+
+
+class TestFig1:
+    def test_series_shape(self):
+        years, series = fig1_series()
+        assert years[0] == 1995 and years[-1] == 2010
+        assert len(series) == 5
+        assert all(len(v) == len(years) for v in series.values())
+
+    def test_render_title(self):
+        assert "Research Trends" in render_fig1()
+
+
+class TestFig2:
+    def test_tree_structure(self):
+        text = render_fig2()
+        assert text.splitlines()[0] == "Computing Machines"
+        assert "Universal Flow" in text
+        assert "DMP-I" in text
+
+    def test_ni_branch_optional(self):
+        assert "Not Implementable" not in render_fig2()
+        assert "Not Implementable" in render_fig2(include_ni=True)
+
+
+class TestStructureDiagrams:
+    def test_structure_shows_switch_kinds(self):
+        text = render_structure("IMP-II")
+        assert "xbar" in text  # the DP-DP crossbar
+        assert "wire" in text  # the direct DP-DM path
+
+    def test_dataflow_structure_has_no_ip(self):
+        text = render_structure("DMP-I")
+        assert "[IP" not in text
+
+    def test_fig3_through_6(self):
+        assert "DMP-IV" in render_fig3()
+        assert "IAP-III" in render_fig4()
+        assert "ISP-XVI" in render_fig5()
+        assert "USP" in render_fig6()
+
+
+class TestFig7:
+    def test_series_sorted(self):
+        names, values = fig7_series()
+        assert names[0] == "FPGA"
+        assert values == sorted(values, reverse=True)
+
+    def test_render_has_bars(self):
+        text = render_fig7()
+        assert "#" in text
+        assert "FPGA" in text

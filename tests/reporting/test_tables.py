@@ -1,0 +1,84 @@
+"""Unit tests for the table renderers."""
+
+import pytest
+
+from repro.reporting.tables import (
+    TABLE1_HEADER,
+    format_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+
+
+class TestFormatTable:
+    def test_plain_layout_alignment(self):
+        text = format_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("---")
+
+    def test_markdown_layout(self):
+        text = format_table(("a", "b"), [("1", "2")], markdown=True)
+        lines = text.splitlines()
+        assert lines[0].startswith("| a")
+        assert lines[1].startswith("|--")
+        assert lines[2].startswith("| 1")
+
+    def test_cell_count_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_empty_rows_ok(self):
+        text = format_table(("x",), [])
+        assert "x" in text
+
+
+class TestTable1:
+    def test_row_structure(self):
+        rows = table1_rows()
+        assert len(rows) == 47
+        assert all(len(row) == len(TABLE1_HEADER) for row in rows)
+
+    def test_sections_option(self):
+        rows = table1_rows(include_sections=True)
+        assert len(rows) == 47 + 6
+        assert any("Data Flow Machines" in row[0] for row in rows)
+
+    def test_render_contains_landmark_rows(self):
+        text = render_table1()
+        assert "DUP" in text and "ISP-XVI" in text and "LUTs" in text
+
+    def test_markdown_render(self):
+        assert render_table1(markdown=True).startswith("| S.N")
+
+
+class TestTable2:
+    def test_rows_cover_43_classes(self):
+        assert len(table2_rows()) == 43
+
+    def test_render_groups(self):
+        text = render_table2()
+        assert "Data Flow --> Multi Processor (+1)" in text
+        assert "Universal Flow --> Fine Grained (+3)" in text
+        assert "IMP-XVI" in text
+
+    def test_render_pads_partial_rows(self):
+        text = render_table2()
+        assert "-" in text  # the lone DUP row pads with dashes
+
+
+class TestTable3:
+    def test_rows(self):
+        rows = table3_rows()
+        assert len(rows) == 25
+        assert rows[0][0] == "ARM7TDMI"
+        assert rows[-1][0] == "FPGA"
+
+    def test_render(self):
+        text = render_table3()
+        assert "MorphoSys" in text and "IAP-II" in text
+        assert "Flexibility" in text
