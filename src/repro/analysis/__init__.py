@@ -12,6 +12,17 @@ from repro.analysis.dse import (
 )
 from repro.analysis.morphability import MorphabilityOrder, build_morphability_order
 from repro.analysis.pareto import DesignPoint, evaluate_classes, pareto_frontier
+from repro.analysis.resilience import (
+    DEFAULT_FAULT_RATES,
+    ResiliencePoint,
+    can_remap,
+    degradation_curve,
+    expected_throughput,
+    flexibility_rank_correlation,
+    render_resilience_table,
+    resilience_csv_rows,
+    resilience_sweep,
+)
 from repro.analysis.survey_costs import (
     SurveyCostPoint,
     evaluate_survey,
@@ -34,6 +45,15 @@ __all__ = [
     "DesignPoint",
     "evaluate_classes",
     "pareto_frontier",
+    "DEFAULT_FAULT_RATES",
+    "ResiliencePoint",
+    "can_remap",
+    "degradation_curve",
+    "expected_throughput",
+    "flexibility_rank_correlation",
+    "render_resilience_table",
+    "resilience_csv_rows",
+    "resilience_sweep",
     "SurveyCostPoint",
     "evaluate_survey",
     "survey_cost_table",

@@ -19,6 +19,7 @@ import sys
 
 from repro.analysis.dse import Objective, Requirements, explore
 from repro.core.classify import classify
+from repro.core.errors import FaultError, ReproError
 from repro.core.signature import make_signature
 from repro.registry.architectures import architecture
 from repro.registry.survey import errata_report
@@ -99,14 +100,125 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("outdir")
 
+    faults_parser = sub.add_parser(
+        "faults",
+        help="fault-injection demo + survey-wide resilience sweep",
+    )
+    faults_parser.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (default 0)"
+    )
+    faults_parser.add_argument(
+        "--rate", type=float, default=0.05,
+        help="per-resource fault rate for the machine demo (default 0.05)",
+    )
+    faults_parser.add_argument(
+        "--rates", default=None,
+        help="comma-separated sweep rates (default 0.01,0.02,0.05,0.1,0.2)",
+    )
+    faults_parser.add_argument(
+        "--n", type=int, default=16, help="design size for the sweep"
+    )
+    faults_parser.add_argument(
+        "--spares", type=int, default=0, help="spare PEs granted to remap"
+    )
+    faults_parser.add_argument(
+        "--policy", default="remap",
+        help="demo policy: fail-fast | retry[:N[:B]] | remap[:S] | degrade",
+    )
+    faults_parser.add_argument(
+        "--out", default="artifacts/resilience.csv",
+        help="CSV destination ('-' to skip writing)",
+    )
+
     sub.add_parser("errata", help="paper-vs-derived discrepancies")
     sub.add_parser("audit", help="run the library self-consistency audit")
     sub.add_parser("baselines", help="compare against Flynn and Skillicorn 1988")
     return parser
 
 
-def main(argv: "list[str] | None" = None) -> int:
-    args = build_parser().parse_args(argv)
+def _run_faults(args: argparse.Namespace) -> int:
+    """The ``faults`` subcommand: demo two classes, then sweep the survey.
+
+    Everything below is a pure function of (seed, rate, n, spares,
+    policy): running the same command twice produces byte-identical
+    output — determinism is the point of seeded fault plans.
+    """
+    from repro.analysis.resilience import (
+        DEFAULT_FAULT_RATES,
+        render_resilience_table,
+        resilience_csv_rows,
+        resilience_sweep,
+    )
+    from repro.faults import FaultPlan, FaultPolicy
+    from repro.machine.array_processor import ArrayProcessor, ArraySubtype
+    from repro.machine.kernels import simd_vector_add
+    from repro.models.area import redundancy_overhead
+
+    policy = FaultPolicy.parse(args.policy)
+    n_lanes = max(args.n, 2)
+    plan = FaultPlan.random(args.seed, args.rate, n_pes=n_lanes)
+    print(plan.describe())
+    print()
+
+    # The taxonomy's flexibility argument, executed: the same plan and
+    # policy against the all-direct IAP-I and the all-switched IAP-IV.
+    program = simd_vector_add(8)
+    for subtype in (ArraySubtype.IAP_I, ArraySubtype.IAP_IV):
+        machine = ArrayProcessor(n_lanes, subtype)
+        machine.scatter(0, list(range(n_lanes * 8)))
+        machine.scatter(64, list(range(n_lanes * 8)))
+        try:
+            result = machine.run(program, faults=plan, policy=policy)
+        except ReproError as error:
+            print(f"{subtype.label:8s} {policy.describe():12s} FAULT: {error}")
+            continue
+        print(
+            f"{subtype.label:8s} {policy.describe():12s} "
+            f"cycles={result.cycles} operations={result.operations} "
+            f"remaps={result.stats.get('remap_events', 0)} "
+            f"achieved={result.stats.get('achieved_parallelism', 0.0):.2f}/"
+            f"{result.stats.get('nominal_parallelism', 0.0):.0f}"
+        )
+    print()
+
+    if policy.spares or args.spares:
+        spares = policy.spares or args.spares
+        from repro.core.signature import make_signature
+
+        iap_iv = make_signature(
+            1, "n", ip_dp="1-n", ip_im="1-1", dp_dm="nxn", dp_dp="nxn"
+        )
+        print(redundancy_overhead(iap_iv, n=args.n, spares=spares).describe())
+        print()
+
+    if args.rates:
+        try:
+            rates = tuple(float(token) for token in args.rates.split(","))
+        except ValueError:
+            raise FaultError(
+                f"--rates must be a comma-separated list of numbers, "
+                f"got {args.rates!r}"
+            ) from None
+    else:
+        rates = DEFAULT_FAULT_RATES
+    points = resilience_sweep(rates, n=args.n, spares=args.spares)
+    print(render_resilience_table(points))
+
+    if args.out != "-":
+        import csv
+        import os
+
+        directory = os.path.dirname(args.out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.out, "w", newline="") as handle:
+            csv.writer(handle).writerows(resilience_csv_rows(points))
+        print()
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "table1":
         print(render_table1(markdown=args.markdown))
     elif args.command == "table2":
@@ -161,6 +273,8 @@ def main(argv: "list[str] | None" = None) -> int:
         audit = run_audit()
         print(audit.summary())
         return 0 if audit.passed else 1
+    elif args.command == "faults":
+        return _run_faults(args)
     elif args.command == "baselines":
         from repro.core import baseline_resolution, extension_report
 
@@ -170,6 +284,23 @@ def main(argv: "list[str] | None" = None) -> int:
             members = ", ".join(row.extended_classes)
             print(f"{label:12s} ({row.resolution_gain:2d}): {members}")
     return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Parse and dispatch; library errors become a one-line diagnostic.
+
+    Any :class:`ReproError` — bad signature, unknown architecture,
+    untolerated fault, … — prints ``error: <message>`` on stderr and
+    returns exit code 2 (argparse's own usage-error convention), so
+    shell pipelines can distinguish "the machine broke" from "the tool
+    crashed". Non-library exceptions still traceback: those are bugs.
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

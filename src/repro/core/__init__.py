@@ -29,6 +29,7 @@ from repro.core.errors import (
     CapabilityError,
     ClassificationError,
     ConfigurationError,
+    FaultError,
     NamingError,
     NotImplementableError,
     ProgramError,
@@ -123,6 +124,7 @@ __all__ = [
     "NamingError",
     "CapabilityError",
     "ConfigurationError",
+    "FaultError",
     "RoutingError",
     "ProgramError",
     "RegistryError",

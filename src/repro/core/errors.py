@@ -57,6 +57,22 @@ class RoutingError(ReproError):
     """An interconnect cannot realise a requested route."""
 
 
+class FaultError(ReproError):
+    """A hardware fault could not be tolerated by the machine's structure.
+
+    The taxonomy's flexibility argument (§III-B) has an operational
+    consequence under failure: a switched (``x``) site can route *around*
+    a dead processing element, port or wire by selecting a different
+    path, while a direct (``-``) link is a single hard wire — when it
+    (or either of its endpoints) dies, nothing can be reselected and the
+    connection is simply gone. Machines therefore raise this error when
+    a fault lands on a resource that their class has no structural means
+    of replacing: direct-linked lanes under a ``remap`` policy, severed
+    point-to-point wiring, a partitioned mesh, or a ``fail-fast`` policy
+    observing any fault at all.
+    """
+
+
 class ProgramError(ReproError):
     """A machine program is malformed (bad opcode, operand, or graph)."""
 

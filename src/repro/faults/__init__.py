@@ -1,0 +1,33 @@
+"""Fault injection and graceful degradation for simulated fabrics.
+
+The taxonomy's flexibility argument (§III-B) claims that classes with
+switched (``x``) links adapt where direct-linked (``-``) classes cannot.
+This package makes that claim operational: seeded
+:class:`~repro.faults.plan.FaultPlan` schedules kill processing
+elements, ports and links mid-run; machines respond according to a
+:class:`~repro.faults.policy.FaultPolicy` (fail-fast, retry, remap onto
+survivors or spares, degrade); and
+:mod:`repro.analysis.resilience` sweeps fault rates across the Table-III
+survey to measure how gracefully each class's throughput degrades.
+"""
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSeverity,
+)
+from repro.faults.policy import FaultPolicy, PolicyKind
+from repro.faults.runtime import FaultRuntime
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSeverity",
+    "FaultPolicy",
+    "PolicyKind",
+    "FaultRuntime",
+]

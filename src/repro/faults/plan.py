@@ -1,0 +1,222 @@
+"""Fault models: what fails, when, and for how long.
+
+A :class:`FaultPlan` is a deterministic, fully materialised schedule of
+hardware failures — permanent and transient — against the abstract
+resources every machine in this library is built from: processing
+elements (DPs/IPs/lanes/cores/cells), crossbar ports and topology links.
+Plans are either constructed explicitly (tests, targeted experiments) or
+drawn from a seeded generator (:meth:`FaultPlan.random`), so any fault
+experiment is reproducible from ``(seed, rate)`` alone.
+
+The :class:`FaultInjector` turns a plan into a cycle-driven stream: a
+machine asks it each cycle which events have come due. Injectors carry
+the mutable cursor so one immutable plan can drive many runs.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.core.errors import FaultError
+
+__all__ = ["FaultKind", "FaultSeverity", "FaultEvent", "FaultPlan", "FaultInjector"]
+
+
+class FaultKind(enum.Enum):
+    """Which resource class a fault strikes."""
+
+    PE = "pe"        #: a processing element (DP lane, core, LUT cell)
+    PORT = "port"    #: a switch/crossbar port
+    LINK = "link"    #: a topology wire between two nodes
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class FaultSeverity(enum.Enum):
+    """Whether the resource comes back."""
+
+    PERMANENT = "permanent"
+    TRANSIENT = "transient"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class FaultEvent:
+    """One failure: at ``cycle``, resource ``target`` of ``kind`` dies.
+
+    Transient events recover ``duration`` cycles after they strike
+    (an SEU-style upset); permanent events never do (hard silicon
+    failure). ``target`` is an abstract resource index — the consuming
+    layer maps it onto its own population (machines fold it modulo the
+    unit count, interconnects onto port/link indices).
+    """
+
+    cycle: int
+    kind: FaultKind = FaultKind.PE
+    target: int = 0
+    severity: FaultSeverity = FaultSeverity.PERMANENT
+    duration: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cycle < 1:
+            raise FaultError("fault events strike at cycle >= 1")
+        if self.target < 0:
+            raise FaultError("fault target index must be non-negative")
+        if self.severity is FaultSeverity.TRANSIENT and self.duration < 1:
+            raise FaultError("transient faults need a positive duration")
+        if self.severity is FaultSeverity.PERMANENT and self.duration != 0:
+            raise FaultError("permanent faults have no recovery duration")
+
+    @property
+    def is_permanent(self) -> bool:
+        return self.severity is FaultSeverity.PERMANENT
+
+    def describe(self) -> str:
+        life = (
+            "permanently"
+            if self.is_permanent
+            else f"for {self.duration} cycle{'s' if self.duration != 1 else ''}"
+        )
+        return f"cycle {self.cycle}: {self.kind.value} {self.target} fails {life}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, cycle-sorted failure schedule.
+
+    ``seed``/``rate`` record the provenance of generated plans (None for
+    hand-built ones) so results can cite their fault regime.
+    """
+
+    #: sentinel cycle for draining a whole plan at once (single-settle
+    #: machines like the USP's combinational personality absorb every
+    #: event before their one evaluation cycle).
+    DRAIN_CYCLE = 1 << 62
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: "int | None" = None
+    rate: "float | None" = None
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: (e.cycle, e.target)))
+        object.__setattr__(self, "events", ordered)
+        if self.rate is not None and not 0.0 <= self.rate <= 1.0:
+            raise FaultError(f"fault rate must lie in [0, 1], got {self.rate}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def permanent_count(self) -> int:
+        return sum(1 for event in self.events if event.is_permanent)
+
+    def of_kind(self, kind: FaultKind) -> tuple[FaultEvent, ...]:
+        return tuple(event for event in self.events if event.kind is kind)
+
+    def truncated(self, count: int) -> "FaultPlan":
+        """The plan's first ``count`` events (a strictly weaker regime).
+
+        Prefix plans are how fault-count monotonicity is stated: run the
+        same workload under ``plan.truncated(k)`` for growing ``k`` and
+        the cycle count must never decrease.
+        """
+        if count < 0:
+            raise FaultError("truncation count must be non-negative")
+        return FaultPlan(self.events[:count], seed=self.seed, rate=self.rate)
+
+    def injector(self) -> "FaultInjector":
+        return FaultInjector(self)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        rate: float,
+        *,
+        n_pes: int,
+        n_links: int = 0,
+        horizon: int = 64,
+        transient_fraction: float = 0.25,
+        max_transient_duration: int = 4,
+    ) -> "FaultPlan":
+        """Draw a plan: each PE (and optionally link) fails i.i.d. at ``rate``.
+
+        Fully determined by the arguments — the same ``(seed, rate, ...)``
+        always yields the same plan, which is what makes
+        ``repro-taxonomy faults --seed S --rate R`` reproducible.
+        """
+        if n_pes < 1:
+            raise FaultError("a fault plan needs at least one PE to target")
+        if not 0.0 <= rate <= 1.0:
+            raise FaultError(f"fault rate must lie in [0, 1], got {rate}")
+        if horizon < 1:
+            raise FaultError("horizon must be positive")
+        if not 0.0 <= transient_fraction <= 1.0:
+            raise FaultError("transient fraction must lie in [0, 1]")
+        rng = random.Random(seed)
+        events: list[FaultEvent] = []
+        targets = [(FaultKind.PE, index) for index in range(n_pes)]
+        targets += [(FaultKind.LINK, index) for index in range(n_links)]
+        for kind, index in targets:
+            if rng.random() >= rate:
+                continue
+            cycle = rng.randint(1, horizon)
+            if rng.random() < transient_fraction:
+                events.append(
+                    FaultEvent(
+                        cycle=cycle,
+                        kind=kind,
+                        target=index,
+                        severity=FaultSeverity.TRANSIENT,
+                        duration=rng.randint(1, max_transient_duration),
+                    )
+                )
+            else:
+                events.append(FaultEvent(cycle=cycle, kind=kind, target=index))
+        return cls(tuple(events), seed=seed, rate=rate)
+
+    def describe(self) -> str:
+        origin = (
+            f"seed={self.seed}, rate={self.rate}" if self.seed is not None else "hand-built"
+        )
+        lines = [f"FaultPlan({origin}): {len(self.events)} events"]
+        lines += [f"  {event.describe()}" for event in self.events]
+        return "\n".join(lines)
+
+
+@dataclass
+class FaultInjector:
+    """Mutable cursor over a plan: deals out events as cycles advance."""
+
+    plan: FaultPlan
+    _cursor: int = field(default=0, repr=False)
+
+    def due(self, cycle: int) -> list[FaultEvent]:
+        """All not-yet-delivered events with ``event.cycle <= cycle``."""
+        delivered: list[FaultEvent] = []
+        while (
+            self._cursor < len(self.plan.events)
+            and self.plan.events[self._cursor].cycle <= cycle
+        ):
+            delivered.append(self.plan.events[self._cursor])
+            self._cursor += 1
+        return delivered
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self.plan.events)
+
+    @property
+    def delivered(self) -> int:
+        return self._cursor
+
+    def reset(self) -> None:
+        self._cursor = 0

@@ -1,0 +1,121 @@
+"""Graceful-degradation policies: what a machine does when hardware dies.
+
+A :class:`FaultPolicy` is the operational answer a machine gives to a
+:class:`~repro.faults.plan.FaultEvent`. Which answers are *available*
+depends on the taxonomy class — that is the point of the subsystem:
+
+* ``fail-fast`` — any fault aborts the run with
+  :class:`~repro.core.errors.FaultError`. Always available; the baseline
+  every other policy is measured against.
+* ``retry(n, backoff)`` — transient faults are retried up to ``n`` times,
+  each attempt stalling ``backoff`` cycles. Rides out upsets on any
+  class, but cannot revive permanently dead silicon.
+* ``remap(spares)`` — work on a dead unit moves to a spare PE (free) or
+  is time-multiplexed onto survivors (slower). Requires a switched path
+  to the dead unit's state: a direct-linked class (IAP-I and friends)
+  has no way to reach the stranded bank and must raise instead.
+* ``degrade`` — the dead unit is simply dropped: the machine keeps
+  running at reduced width and its results shrink accordingly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import FaultError
+
+__all__ = ["PolicyKind", "FaultPolicy"]
+
+
+class PolicyKind(enum.Enum):
+    """The four degradation strategies."""
+
+    FAIL_FAST = "fail-fast"
+    RETRY = "retry"
+    REMAP = "remap"
+    DEGRADE = "degrade"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPolicy:
+    """One configured degradation strategy.
+
+    Use the named constructors; the raw constructor validates parameter
+    applicability (retry counts only make sense for ``retry``, spares
+    only for ``remap``).
+    """
+
+    kind: PolicyKind
+    max_retries: int = 0
+    backoff: int = 1
+    spares: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is PolicyKind.RETRY:
+            if self.max_retries < 1:
+                raise FaultError("retry policy needs max_retries >= 1")
+            if self.backoff < 1:
+                raise FaultError("retry backoff must be at least one cycle")
+        elif self.max_retries != 0:
+            raise FaultError(f"{self.kind.value} policy takes no retry budget")
+        if self.spares < 0:
+            raise FaultError("spare count must be non-negative")
+        if self.spares and self.kind is not PolicyKind.REMAP:
+            raise FaultError(f"{self.kind.value} policy cannot use spare PEs")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def fail_fast(cls) -> "FaultPolicy":
+        return cls(PolicyKind.FAIL_FAST)
+
+    @classmethod
+    def retry(cls, max_retries: int = 3, *, backoff: int = 1) -> "FaultPolicy":
+        return cls(PolicyKind.RETRY, max_retries=max_retries, backoff=backoff)
+
+    @classmethod
+    def remap(cls, *, spares: int = 0) -> "FaultPolicy":
+        return cls(PolicyKind.REMAP, spares=spares)
+
+    @classmethod
+    def degrade(cls) -> "FaultPolicy":
+        return cls(PolicyKind.DEGRADE)
+
+    @classmethod
+    def parse(cls, token: str) -> "FaultPolicy":
+        """Parse a CLI-style policy token.
+
+        ``fail-fast`` | ``retry`` | ``retry:N`` | ``retry:N:B`` |
+        ``remap`` | ``remap:S`` | ``degrade``.
+        """
+        parts = token.strip().lower().split(":")
+        name, args = parts[0], parts[1:]
+        try:
+            numbers = [int(a) for a in args]
+        except ValueError as exc:
+            raise FaultError(f"bad policy arguments in {token!r}") from exc
+        if name in ("fail-fast", "failfast") and not numbers:
+            return cls.fail_fast()
+        if name == "retry" and len(numbers) <= 2:
+            retries = numbers[0] if numbers else 3
+            backoff = numbers[1] if len(numbers) == 2 else 1
+            return cls.retry(retries, backoff=backoff)
+        if name == "remap" and len(numbers) <= 1:
+            return cls.remap(spares=numbers[0] if numbers else 0)
+        if name == "degrade" and not numbers:
+            return cls.degrade()
+        raise FaultError(
+            f"unknown fault policy {token!r} (expected fail-fast, retry[:N[:B]], "
+            "remap[:S] or degrade)"
+        )
+
+    def describe(self) -> str:
+        if self.kind is PolicyKind.RETRY:
+            return f"retry(max={self.max_retries}, backoff={self.backoff})"
+        if self.kind is PolicyKind.REMAP:
+            return f"remap(spares={self.spares})"
+        return self.kind.value

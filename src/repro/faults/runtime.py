@@ -1,0 +1,238 @@
+"""The machine-side fault engine shared by every executable machine.
+
+:class:`FaultRuntime` owns the bookkeeping that is identical across the
+array processor, the multiprocessor and the spatial machine: which units
+(lanes/cores) are dead or momentarily stunned, how many retries and
+remap events the policy has spent, and what each fault costs in cycles.
+The machines keep their own execution semantics and ask the runtime two
+questions per issue slot: *what does this slot cost?* and *which faults
+just landed, and may I continue?*
+
+Cost model
+----------
+* ``retry``      — each transient attempt stalls ``backoff`` cycles;
+  permanent faults are unrecoverable and raise.
+* ``remap``      — a spare PE absorbs a death for free; without spares the
+  dead unit's work is time-multiplexed onto the survivors, so an issue
+  slot that nominally costs one cycle costs ``ceil(n / survivors)``.
+  Transient faults replay the lost work: ``duration`` stall cycles.
+* ``degrade``    — nothing stalls; dead and stunned units simply stop
+  retiring operations, shrinking achieved parallelism.
+* ``fail-fast``  — the first fault raises :class:`FaultError`.
+
+These penalties are all non-negative and the multiplex factor is
+monotone in the dead-unit count, which yields the subsystem's testable
+guarantee: cycles are non-decreasing in the number of injected faults,
+and under ``remap`` retired operations match the fault-free run exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import FaultError
+from repro.faults.plan import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.faults.policy import FaultPolicy, PolicyKind
+
+__all__ = ["FaultRuntime"]
+
+
+@dataclass
+class FaultRuntime:
+    """Health tracker + policy arbiter for one machine run."""
+
+    n_units: int
+    injector: FaultInjector
+    policy: FaultPolicy
+    can_remap: bool
+    machine: str
+    unit_noun: str = "unit"
+    #: optional sink for PORT/LINK events — machines with an attached
+    #: interconnect route them into its fault state instead of treating
+    #: them as unit deaths.
+    fabric_handler: "Callable[[FaultEvent], None] | None" = None
+
+    dead: set[int] = field(default_factory=set)
+    fabric_faults: int = 0
+    stunned: dict[int, int] = field(default_factory=dict)
+    faults_seen: int = 0
+    retries: int = 0
+    remap_events: int = 0
+    degraded_units: int = 0
+    spares_used: int = 0
+    stall_cycles: int = 0
+
+    @classmethod
+    def create(
+        cls,
+        faults: "FaultPlan | FaultInjector | None",
+        policy: "FaultPolicy | None",
+        *,
+        n_units: int,
+        can_remap: bool,
+        machine: str,
+        unit_noun: str = "unit",
+        fabric_handler: "Callable[[FaultEvent], None] | None" = None,
+    ) -> "FaultRuntime | None":
+        """Normalise the machine-facing ``faults=``/``policy=`` arguments.
+
+        Returns None when no faults were requested (the fault-free fast
+        path). A plan without a policy defaults to ``fail-fast`` — the
+        honest baseline.
+        """
+        if faults is None:
+            if policy is not None and policy.kind is not PolicyKind.FAIL_FAST:
+                # A policy without faults is inert but harmless.
+                return None
+            return None
+        injector = faults.injector() if isinstance(faults, FaultPlan) else faults
+        return cls(
+            n_units=n_units,
+            injector=injector,
+            policy=policy or FaultPolicy.fail_fast(),
+            can_remap=can_remap,
+            machine=machine,
+            unit_noun=unit_noun,
+            fabric_handler=fabric_handler,
+        )
+
+    # -- per-cycle protocol ------------------------------------------------
+
+    def issue_cost(self) -> int:
+        """Cycles one nominal issue slot costs under the current health.
+
+        Only ``remap`` without spares slows the clock: survivors host the
+        dead units' work time-multiplexed.
+        """
+        if self.policy.kind is not PolicyKind.REMAP or not self.dead:
+            return 1
+        survivors = self.n_units - len(self.dead)
+        return -(-self.n_units // survivors)  # ceil
+
+    def absorb(self, cycle: int) -> int:
+        """Apply every fault due at ``cycle``; return stall-cycle penalty.
+
+        Raises :class:`FaultError` when the policy (or the machine's
+        structure) cannot tolerate an event.
+        """
+        penalty = 0
+        for event in self.injector.due(cycle):
+            penalty += self._apply(event, cycle + penalty)
+        self.stall_cycles += penalty
+        return penalty
+
+    def _apply(self, event: FaultEvent, cycle: int) -> int:
+        unit = event.target % self.n_units
+        self.faults_seen += 1
+        kind = self.policy.kind
+        if kind is PolicyKind.FAIL_FAST:
+            raise FaultError(
+                f"{self.machine}: fail-fast abort — {event.describe()} "
+                f"({self.unit_noun} {unit})"
+            )
+        if event.kind is not FaultKind.PE and self.fabric_handler is not None:
+            # The interconnect absorbs its own faults: switched fabrics
+            # reroute, and routes that become unrealisable raise
+            # FaultError from the topology itself.
+            self.fabric_handler(event)
+            self.fabric_faults += 1
+            return 0
+        if not event.is_permanent:
+            return self._apply_transient(event, unit, cycle)
+        return self._apply_permanent(event, unit)
+
+    def _apply_transient(self, event: FaultEvent, unit: int, cycle: int) -> int:
+        kind = self.policy.kind
+        if kind is PolicyKind.RETRY:
+            attempts = -(-event.duration // self.policy.backoff)  # ceil
+            if attempts > self.policy.max_retries:
+                raise FaultError(
+                    f"{self.machine}: transient fault on {self.unit_noun} "
+                    f"{unit} needs {attempts} retries, over the budget of "
+                    f"{self.policy.max_retries}"
+                )
+            self.retries += attempts
+            return attempts * self.policy.backoff
+        if kind is PolicyKind.REMAP:
+            # The interrupted work replays once the unit recovers.
+            return event.duration
+        # degrade: the unit misses its issue slots until it recovers.
+        until = cycle + event.duration
+        self.stunned[unit] = max(self.stunned.get(unit, 0), until)
+        return 0
+
+    def _apply_permanent(self, event: FaultEvent, unit: int) -> int:
+        kind = self.policy.kind
+        if kind is PolicyKind.RETRY:
+            raise FaultError(
+                f"{self.machine}: {self.unit_noun} {unit} failed permanently "
+                "at cycle "
+                f"{event.cycle}; retrying cannot revive dead silicon — use a "
+                "remap or degrade policy"
+            )
+        if unit in self.dead:
+            return 0  # already accounted
+        if kind is PolicyKind.REMAP:
+            if self.spares_used < self.policy.spares:
+                # A cold spare steps in: full width preserved, no slowdown.
+                self.spares_used += 1
+                self.remap_events += 1
+                return 0
+            if not self.can_remap:
+                raise FaultError(
+                    f"{self.machine}: cannot remap {self.unit_noun} {unit} — "
+                    "its state sits behind direct ('-') links, and direct "
+                    "links cannot route around failures (only switched 'x' "
+                    "sites can)"
+                )
+            self.dead.add(unit)
+            self.remap_events += 1
+        else:  # degrade
+            self.dead.add(unit)
+            self.degraded_units += 1
+        if len(self.dead) >= self.n_units:
+            raise FaultError(
+                f"{self.machine}: every {self.unit_noun} has failed; nothing "
+                "left to degrade onto"
+            )
+        return 0
+
+    # -- queries -----------------------------------------------------------
+
+    def executing_units(self, cycle: int) -> list[int]:
+        """Units whose work is executed (and retired) this cycle.
+
+        Under ``degrade`` dead units are gone and stunned units miss
+        their slots; under every other policy all units' work happens —
+        remapped work still executes, it just costs extra cycles.
+        """
+        if self.policy.kind is not PolicyKind.DEGRADE:
+            return list(range(self.n_units))
+        return [u for u in range(self.n_units) if self.is_active(u, cycle)]
+
+    def is_active(self, unit: int, cycle: int) -> bool:
+        """Whether a unit retires work this cycle (degrade semantics)."""
+        if unit in self.dead:
+            return False
+        until = self.stunned.get(unit)
+        if until is not None:
+            if cycle < until:
+                return False
+            del self.stunned[unit]
+        return True
+
+    def stats(self) -> dict:
+        """Fault accounting merged into ``ExecutionResult.stats``."""
+        return {
+            "fault_policy": self.policy.describe(),
+            "faults_injected": len(self.injector.plan),
+            "faults_seen": self.faults_seen,
+            "retries": self.retries,
+            "remap_events": self.remap_events,
+            "degraded_units": self.degraded_units,
+            "spares_used": self.spares_used,
+            "fault_stall_cycles": self.stall_cycles,
+            "fabric_faults": self.fabric_faults,
+            "dead_units": sorted(self.dead),
+        }

@@ -17,7 +17,7 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.core.connectivity import LinkKind
-from repro.core.errors import ConfigurationError, RoutingError
+from repro.core.errors import ConfigurationError, FaultError, RoutingError
 from repro.interconnect.topology import Interconnect, Route
 from repro.models.switches import FullCrossbarModel, LimitedCrossbarModel
 
@@ -40,8 +40,21 @@ class FullCrossbar(Interconnect):
     # -- configuration ----------------------------------------------------
 
     def connect(self, source: int, destination: int) -> None:
-        """Program output ``destination`` to listen to input ``source``."""
+        """Program output ``destination`` to listen to input ``source``.
+
+        An output already listening to a *different* input must be
+        :meth:`disconnect`-ed first — silently overwriting a live select
+        is how real configuration bugs hide. Dead ports (fault state)
+        cannot be programmed at all.
+        """
         self._check_ports(source, destination)
+        self._check_port_health(source, destination)
+        current = self._selects[destination]
+        if current is not None and current != source:
+            raise ConfigurationError(
+                f"output {destination} is already configured to listen to "
+                f"input {current}; disconnect it before reprogramming"
+            )
         self._selects[destination] = source
 
     def disconnect(self, destination: int) -> None:
@@ -80,10 +93,13 @@ class FullCrossbar(Interconnect):
 
     def can_route(self, source: int, destination: int) -> bool:
         self._check_ports(source, destination)
-        return True
+        return not (self.input_failed(source) or self.output_failed(destination))
 
     def route(self, source: int, destination: int) -> Route:
         self._check_ports(source, destination)
+        # A crossbar routes around dead resources by *selecting different
+        # ports*; a route that names a dead port is itself unrealisable.
+        self._check_port_health(source, destination)
         return Route(
             source=self.input_label(source),
             destination=self.output_label(destination),
@@ -104,6 +120,11 @@ class FullCrossbar(Interconnect):
         source = self.configured_source(destination)
         if source is None:
             raise ConfigurationError(f"output {destination} is not connected")
+        if self.input_failed(source) or self.output_failed(destination):
+            raise FaultError(
+                f"transfer to output {destination} crosses a failed port; "
+                "reprogram the crossbar around the dead resource"
+            )
         return inputs[source]
 
     # -- metrics ---------------------------------------------------------------
@@ -152,15 +173,30 @@ class LimitedCrossbar(Interconnect):
 
     def can_route(self, source: int, destination: int) -> bool:
         self._check_ports(source, destination)
+        if self.input_failed(source) or self.output_failed(destination):
+            return False
         return source in self.reachable_inputs(destination)
 
     def connect(self, source: int, destination: int) -> None:
-        if not self.can_route(source, destination):
+        self._check_ports(source, destination)
+        if source not in self.reachable_inputs(destination):
             raise RoutingError(
                 f"input {source} is outside output {destination}'s "
                 f"±{self.window} window"
             )
+        self._check_port_health(source, destination)
+        current = self._selects[destination]
+        if current is not None and current != source:
+            raise ConfigurationError(
+                f"output {destination} is already configured to listen to "
+                f"input {current}; disconnect it before reprogramming"
+            )
         self._selects[destination] = source
+
+    def disconnect(self, destination: int) -> None:
+        if not 0 <= destination < self.n_outputs:
+            raise RoutingError(f"destination port {destination} out of range")
+        self._selects[destination] = None
 
     def configured_source(self, destination: int) -> int | None:
         if not 0 <= destination < self.n_outputs:
@@ -177,11 +213,13 @@ class LimitedCrossbar(Interconnect):
                 )
 
     def route(self, source: int, destination: int) -> Route:
-        if not self.can_route(source, destination):
+        self._check_ports(source, destination)
+        if source not in self.reachable_inputs(destination):
             raise RoutingError(
                 f"input {source} is outside output {destination}'s "
                 f"±{self.window} window"
             )
+        self._check_port_health(source, destination)
         return Route(
             source=self.input_label(source),
             destination=self.output_label(destination),

@@ -16,7 +16,7 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.core.connectivity import LinkKind
-from repro.core.errors import RoutingError
+from repro.core.errors import FaultError, RoutingError
 from repro.interconnect.topology import Interconnect, Route
 from repro.models.switches import DirectLinkModel
 
@@ -34,15 +34,30 @@ class PointToPoint(Interconnect):
     def link_kind(self) -> LinkKind:
         return LinkKind.DIRECT
 
+    def _wire_dead(self, k: int) -> bool:
+        return (
+            self.input_failed(k)
+            or self.output_failed(k)
+            or self.link_failed(self.input_label(k), self.output_label(k))
+        )
+
     def can_route(self, source: int, destination: int) -> bool:
         self._check_ports(source, destination)
-        return source == destination
+        return source == destination and not self._wire_dead(source)
 
     def route(self, source: int, destination: int) -> Route:
-        if not self.can_route(source, destination):
+        self._check_ports(source, destination)
+        if source != destination:
             raise RoutingError(
                 f"point-to-point wiring connects port {source} only to "
                 f"port {source}, not {destination}"
+            )
+        if self._wire_dead(source):
+            # The taxonomy's '-' cell under failure: there is exactly one
+            # wire between these endpoints and no switch to pick another.
+            raise FaultError(
+                f"direct link {source} has failed and a point-to-point "
+                "connection cannot route around a dead wire"
             )
         return Route(
             source=self.input_label(source),
@@ -75,12 +90,24 @@ class Broadcast(Interconnect):
     def link_kind(self) -> LinkKind:
         return LinkKind.DIRECT
 
+    def _branch_dead(self, destination: int) -> bool:
+        return (
+            self.input_failed(0)
+            or self.output_failed(destination)
+            or self.link_failed(self.input_label(0), self.output_label(destination))
+        )
+
     def can_route(self, source: int, destination: int) -> bool:
         self._check_ports(source, destination)
-        return True
+        return not self._branch_dead(destination)
 
     def route(self, source: int, destination: int) -> Route:
         self._check_ports(source, destination)
+        if self._branch_dead(destination):
+            raise FaultError(
+                f"broadcast branch to output {destination} has failed; a "
+                "fixed fan-out tree cannot route around a dead wire"
+            )
         return Route(
             source=self.input_label(source),
             destination=self.output_label(destination),

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import networkx as nx
 
 from repro.core.connectivity import LinkKind
-from repro.core.errors import RoutingError
+from repro.core.errors import FaultError, RoutingError
 from repro.interconnect.topology import Interconnect, Route
 from repro.models.switches import LimitedCrossbarModel
 
@@ -63,6 +63,48 @@ class Mesh2D(Interconnect):
         row, col = self.coords(index)
         return f"n{row}_{col}"
 
+    # -- fault state -------------------------------------------------------
+
+    def fail_node(self, index: int) -> None:
+        """Kill a router/PE tile: every wire through it goes with it."""
+        self.coords(index)  # range check
+        self.fail_input_port(index)
+        self.fail_output_port(index)
+
+    def fail_link_between(self, a: int, b: int) -> None:
+        """Cut the mesh wire between two adjacent node indices."""
+        (ar, ac), (br, bc) = self.coords(a), self.coords(b)
+        if abs(ar - br) + abs(ac - bc) != 1:
+            raise RoutingError(
+                f"nodes {a} and {b} are not mesh neighbours; no wire to cut"
+            )
+        self.fail_link(self.node_label(a), self.node_label(b))
+
+    def node_failed(self, index: int) -> bool:
+        return self.input_failed(index) or self.output_failed(index)
+
+    def _path_healthy(self, path: "list[int]") -> bool:
+        if any(self.node_failed(node) for node in path):
+            return False
+        return not any(
+            self.link_failed(self.node_label(a), self.node_label(b))
+            for a, b in zip(path, path[1:])
+        )
+
+    def _detour_labels(self, source: int, destination: int) -> "tuple[str, ...] | None":
+        """Adaptive reroute around dead wires/tiles, or None if partitioned."""
+        graph = self.surviving_graph()
+        for node in range(self.rows * self.cols):
+            if self.node_failed(node) and node not in (source, destination):
+                label = self.node_label(node)
+                if graph.has_node(label):
+                    graph.remove_node(label)
+        src, dst = self.node_label(source), self.node_label(destination)
+        try:
+            return tuple(nx.shortest_path(graph, src, dst))
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
     # -- routing ------------------------------------------------------------
 
     @property
@@ -71,7 +113,11 @@ class Mesh2D(Interconnect):
 
     def can_route(self, source: int, destination: int) -> bool:
         self._check_ports(source, destination)
-        return True
+        if self.node_failed(source) or self.node_failed(destination):
+            return False
+        if self.fault_count == 0 or self._path_healthy(self.xy_path(source, destination)):
+            return True
+        return self._detour_labels(source, destination) is not None
 
     def xy_path(self, source: int, destination: int) -> list[int]:
         """Node indices along the X-first-then-Y route, endpoints included."""
@@ -89,9 +135,30 @@ class Mesh2D(Interconnect):
         return path
 
     def route(self, source: int, destination: int) -> Route:
+        """XY route, falling back to an adaptive detour around faults.
+
+        This is the packet-switched fabric earning its ``x`` cell: a dead
+        wire or tile costs extra hops, not the connection — unless the
+        fault set has partitioned the mesh or killed an endpoint, which
+        raises :class:`FaultError`.
+        """
         self._check_ports(source, destination)
+        if self.node_failed(source) or self.node_failed(destination):
+            raise FaultError(
+                f"mesh endpoint node {source if self.node_failed(source) else destination} "
+                "has failed; no route can originate or terminate at a dead tile"
+            )
         path = self.xy_path(source, destination)
-        labels = tuple(self.node_label(i) for i in path)
+        if self.fault_count == 0 or self._path_healthy(path):
+            labels = tuple(self.node_label(i) for i in path)
+        else:
+            detour = self._detour_labels(source, destination)
+            if detour is None:
+                raise FaultError(
+                    f"mesh is partitioned: no surviving path from node "
+                    f"{source} to node {destination}"
+                )
+            labels = detour
         return Route(
             source=labels[0],
             destination=labels[-1],

@@ -20,7 +20,7 @@ import math
 import networkx as nx
 
 from repro.core.connectivity import LinkKind
-from repro.core.errors import RoutingError
+from repro.core.errors import FaultError, RoutingError
 from repro.interconnect.topology import Interconnect, Route
 from repro.models.switches import FullCrossbarModel
 
@@ -37,6 +37,7 @@ class OmegaNetwork(Interconnect):
         self.stages = int(math.log2(n_ports))
         # Each 2x2 element is a tiny crossbar.
         self._element = FullCrossbarModel(width_bits=width_bits)
+        self._failed_elements: set[tuple[int, int]] = set()
 
     @property
     def link_kind(self) -> LinkKind:
@@ -58,11 +59,45 @@ class OmegaNetwork(Interconnect):
             raise RoutingError(f"line {line} out of range")
         return line // 2
 
+    # -- fault state -------------------------------------------------------
+
+    def fail_element(self, stage: int, element: int) -> None:
+        """Kill one 2x2 switch element.
+
+        The destination-tag algorithm gives every (source, destination)
+        pair a *unique* path, so — unlike the mesh — a multistage network
+        cannot detour: every pair whose path crosses the dead element is
+        lost. Blocking networks degrade by shedding reachability.
+        """
+        if not 0 <= stage < self.stages:
+            raise RoutingError(f"stage {stage} out of range")
+        if not 0 <= element < self.n_inputs // 2:
+            raise RoutingError(f"element {element} out of range")
+        self._failed_elements.add((stage, element))
+
+    def element_failed(self, stage: int, element: int) -> bool:
+        return (stage, element) in self._failed_elements
+
+    def repair_all(self) -> None:
+        super().repair_all()
+        self._failed_elements.clear()
+
+    @property
+    def fault_count(self) -> int:
+        return super().fault_count + len(self._failed_elements)
+
     # -- routing --------------------------------------------------------------
 
     def can_route(self, source: int, destination: int) -> bool:
         self._check_ports(source, destination)
-        return True
+        if self.input_failed(source) or self.output_failed(destination):
+            return False
+        if not self._failed_elements:
+            return True
+        return not any(
+            step in self._failed_elements
+            for step in self.path_elements(source, destination)
+        )
 
     def path_elements(self, source: int, destination: int) -> list[tuple[int, int]]:
         """(stage, element) pairs traversed by the destination-tag route."""
@@ -81,7 +116,15 @@ class OmegaNetwork(Interconnect):
         return elements
 
     def route(self, source: int, destination: int) -> Route:
+        self._check_port_health(source, destination)
         elements = self.path_elements(source, destination)
+        for stage, element in elements:
+            if (stage, element) in self._failed_elements:
+                raise FaultError(
+                    f"omega route {source}->{destination} crosses failed "
+                    f"element e{stage}_{element}; destination-tag routing "
+                    "has no alternative path"
+                )
         labels = [self.input_label(source)]
         labels += [f"e{stage}_{element}" for stage, element in elements]
         labels.append(self.output_label(destination))

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 
 from repro.core.connectivity import LinkKind
-from repro.core.errors import RoutingError
+from repro.core.errors import FaultError, RoutingError
 
 __all__ = ["Route", "TrafficStats", "Interconnect"]
 
@@ -98,6 +98,10 @@ class Interconnect(ABC):
         self.n_inputs = n_inputs
         self.n_outputs = n_outputs
         self.width_bits = width_bits
+        #: fault state — ports and wires taken out by an injector.
+        self._failed_inputs: set[int] = set()
+        self._failed_outputs: set[int] = set()
+        self._failed_links: set[frozenset[str]] = set()
 
     # -- naming ----------------------------------------------------------
 
@@ -117,6 +121,79 @@ class Interconnect(ABC):
         if not 0 <= destination < self.n_outputs:
             raise RoutingError(
                 f"destination port {destination} out of range 0..{self.n_outputs - 1}"
+            )
+
+    # -- fault state -------------------------------------------------------
+
+    def fail_input_port(self, index: int) -> None:
+        """Mark an input port permanently dead."""
+        if not 0 <= index < self.n_inputs:
+            raise RoutingError(
+                f"input port {index} out of range 0..{self.n_inputs - 1}"
+            )
+        self._failed_inputs.add(index)
+
+    def fail_output_port(self, index: int) -> None:
+        """Mark an output port permanently dead."""
+        if not 0 <= index < self.n_outputs:
+            raise RoutingError(
+                f"output port {index} out of range 0..{self.n_outputs - 1}"
+            )
+        self._failed_outputs.add(index)
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Cut one wire of the connectivity graph (by node labels).
+
+        Whether the topology survives the cut depends on its link kind:
+        switched structures may reroute, a direct wire is simply gone.
+        """
+        if not self.as_graph().has_edge(a, b):
+            raise RoutingError(f"no link {a!r} <-> {b!r} in this topology")
+        self._failed_links.add(frozenset((a, b)))
+
+    def repair_all(self) -> None:
+        """Clear every injected fault (maintenance replaced the parts)."""
+        self._failed_inputs.clear()
+        self._failed_outputs.clear()
+        self._failed_links.clear()
+
+    def input_failed(self, index: int) -> bool:
+        return index in self._failed_inputs
+
+    def output_failed(self, index: int) -> bool:
+        return index in self._failed_outputs
+
+    def link_failed(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._failed_links
+
+    @property
+    def fault_count(self) -> int:
+        return (
+            len(self._failed_inputs)
+            + len(self._failed_outputs)
+            + len(self._failed_links)
+        )
+
+    def surviving_graph(self) -> nx.Graph:
+        """The connectivity graph with every failed wire removed."""
+        graph = self.as_graph()
+        for link in self._failed_links:
+            pair = tuple(link)
+            # Self-loop wires store as a 1-element frozenset.
+            a, b = (pair[0], pair[0]) if len(pair) == 1 else pair
+            if graph.has_edge(a, b):
+                graph.remove_edge(a, b)
+        return graph
+
+    def _check_port_health(self, source: int, destination: int) -> None:
+        """Raise :class:`FaultError` when either endpoint port is dead."""
+        if source in self._failed_inputs:
+            raise FaultError(
+                f"{type(self).__name__}: input port {source} has failed"
+            )
+        if destination in self._failed_outputs:
+            raise FaultError(
+                f"{type(self).__name__}: output port {destination} has failed"
             )
 
     # -- interface ---------------------------------------------------------

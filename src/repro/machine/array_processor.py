@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 
 from repro.core.errors import CapabilityError, ProgramError
+from repro.faults import FaultInjector, FaultPlan, FaultPolicy, FaultRuntime
 from repro.machine.base import Capability, ExecutionResult, check_capabilities
 from repro.machine.program import Instruction, Opcode, Program, required_capabilities
 from repro.machine.scalar import ExtensionPort, ScalarCore
@@ -162,17 +163,39 @@ class ArrayProcessor:
             return regs[instruction.rs1] < regs[instruction.rs2]
         return True  # JMP
 
-    def run(self, program: Program, *, max_cycles: int = 1_000_000) -> ExecutionResult:
+    def run(
+        self,
+        program: Program,
+        *,
+        max_cycles: int = 1_000_000,
+        faults: "FaultPlan | FaultInjector | None" = None,
+        policy: "FaultPolicy | None" = None,
+    ) -> ExecutionResult:
         """Broadcast-execute to HALT.
 
         Every cycle all lanes execute the same instruction; lane-variant
         behaviour comes from LANEID and per-lane data. Divergent branch
         conditions are a program error on a single-PC machine.
+
+        ``faults`` injects a seeded :class:`FaultPlan` and ``policy``
+        decides how the array responds. Remapping is only possible when
+        the sub-type has a switched DP-DM or DP-DP site — a lane's work
+        can be rehosted only if its state is reachable through an ``x``
+        cell; IAP-I's all-direct wiring cannot remap (spare lanes still
+        can step in, being full replicas).
         """
         check_capabilities(
             self.capabilities(),
             required_capabilities(program),
             machine=self.subtype.label,
+        )
+        runtime = FaultRuntime.create(
+            faults,
+            policy,
+            n_units=self.n_lanes,
+            can_remap=self.subtype.dm_switched or self.subtype.dp_switched,
+            machine=self.subtype.label,
+            unit_noun="lane",
         )
         pc = 0
         cycles = 0
@@ -182,15 +205,27 @@ class ArrayProcessor:
                 raise ProgramError(
                     f"array PC {pc} ran past the end of {program.name!r}"
                 )
-            cycles += 1
+            if runtime is None:
+                cycles += 1
+            else:
+                cycles += runtime.issue_cost()
+                cycles += runtime.absorb(cycles)
             if cycles > max_cycles:
                 raise ProgramError(
                     f"{self.subtype.label}: exceeded {max_cycles} cycles"
                 )
+            if runtime is None:
+                live = range(self.n_lanes)
+            else:
+                live = runtime.executing_units(cycles)
+                if not live:
+                    # Every surviving lane is momentarily stunned; the
+                    # array idles this cycle and retries the same pc.
+                    continue
             instruction = program[pc]
             if instruction.is_branch:
                 decisions = {
-                    self._branch_decision(instruction, lane) for lane in self.lanes
+                    self._branch_decision(instruction, self.lanes[i]) for i in live
                 }
                 if len(decisions) > 1:
                     raise ProgramError(
@@ -199,30 +234,38 @@ class ArrayProcessor:
                     )
                 taken = decisions.pop()
                 pc = instruction.imm if taken else pc + 1
-                operations += self.n_lanes
+                operations += len(live)
                 continue
             if instruction.op is Opcode.HALT:
-                operations += self.n_lanes
+                operations += len(live)
                 break
             if instruction.op is Opcode.SHUF:
                 # Snapshot pre-instruction registers so the exchange is
                 # simultaneous (hardware semantics), then execute per lane.
                 self._port.snapshot = [list(lane.registers) for lane in self.lanes]
-            for lane_id, lane in enumerate(self.lanes):
+            for lane_id in live:
+                lane = self.lanes[lane_id]
                 lane.pc = pc
                 outcome = lane.execute(instruction, self._port, lane_id=lane_id)
                 assert outcome.executed
                 operations += 1
             pc += 1
+        stats = {
+            "machine": self.subtype.label,
+            "n_lanes": self.n_lanes,
+            "program": program.name,
+        }
+        if runtime is not None:
+            stats.update(runtime.stats())
+            stats["nominal_parallelism"] = float(self.n_lanes)
+            stats["achieved_parallelism"] = (
+                operations / cycles if cycles else 0.0
+            )
         return ExecutionResult(
             cycles=cycles,
             operations=operations,
             outputs={
                 "registers": [list(lane.registers) for lane in self.lanes],
             },
-            stats={
-                "machine": self.subtype.label,
-                "n_lanes": self.n_lanes,
-                "program": program.name,
-            },
+            stats=stats,
         )

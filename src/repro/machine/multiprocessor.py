@@ -22,6 +22,14 @@ import enum
 from collections import deque
 
 from repro.core.errors import CapabilityError, ProgramError
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultPolicy,
+    FaultRuntime,
+)
 from repro.machine.base import Capability, ExecutionResult, check_capabilities
 from repro.machine.program import Program, required_capabilities
 from repro.machine.scalar import ExtensionPort, ScalarCore
@@ -208,10 +216,31 @@ class Multiprocessor:
         self._cycle = 0
 
     def message_latency(self, source: int, destination: int) -> int:
-        """Cycles a message spends on the DP-DP network."""
+        """Cycles a message spends on the DP-DP network.
+
+        When the network carries fault state this is where it bites: a
+        mesh detour lengthens the route (more cycles), while a dead port
+        or a partition makes :meth:`route` raise :class:`FaultError`.
+        """
         if self.network is None:
             return 1
         return max(self.network.route(source, destination).cycles, 1)
+
+    def _fabric_fault(self, event: "FaultEvent") -> None:
+        """Fold a PORT/LINK fault event into the attached network.
+
+        PORT events kill an output port; LINK events cut a deterministic
+        edge of the topology graph (``target`` indexes the sorted edge
+        list). Transient fabric events are applied permanently — wire
+        repair is below this model's abstraction level.
+        """
+        net = self.network
+        if event.kind is FaultKind.PORT:
+            net.fail_output_port(event.target % net.n_outputs)
+            return
+        edges = sorted(tuple(sorted(edge)) for edge in net.as_graph().edges())
+        a, b = edges[event.target % len(edges)]
+        net.fail_link(a, b)
 
     # -- capability view --------------------------------------------------
 
@@ -253,6 +282,8 @@ class Multiprocessor:
         programs: "list[Program] | Program",
         *,
         max_cycles: int = 1_000_000,
+        faults: "FaultPlan | FaultInjector | None" = None,
+        policy: "FaultPolicy | None" = None,
     ) -> ExecutionResult:
         """Run one program per core (or broadcast a single program SPMD).
 
@@ -260,6 +291,15 @@ class Multiprocessor:
         instruction; stalls (empty RECV FIFO, waiting barrier) retry next
         cycle. Deadlock (all live cores stalled with no message in
         flight) raises ProgramError with the stuck-core set.
+
+        With ``faults``/``policy`` the machine degrades per the policy.
+        Remap needs *both* IP-side reach (a switched IP-IM so a survivor
+        can fetch the dead core's program) and DP-side reach (a switched
+        DP-DM so it can touch the dead core's bank) — that is why richer
+        IMP sub-types tolerate faults that kill an IMP-I. PORT/LINK
+        events land on the attached DP-DP network when one is present;
+        a mesh reroutes, a dead port raises FaultError on the next SEND
+        that needs it.
         """
         if isinstance(programs, Program):
             programs = [programs] * self.n_cores
@@ -273,6 +313,15 @@ class Multiprocessor:
                 required_capabilities(program),
                 machine=self.subtype.label,
             )
+        runtime = FaultRuntime.create(
+            faults,
+            policy,
+            n_units=self.n_cores,
+            can_remap=self.subtype.im_switched and self.subtype.dm_switched,
+            machine=self.subtype.label,
+            unit_noun="core",
+            fabric_handler=self._fabric_fault if self.network is not None else None,
+        )
         # Each run starts its programs from scratch; registers and memory
         # persist (kernels preload data between runs) but control state
         # must not leak from a previous run or a fused-group execution.
@@ -282,15 +331,30 @@ class Multiprocessor:
         cycles = 0
         operations = 0
         while any(not core.halted for core in self.cores):
-            cycles += 1
+            if runtime is None:
+                cycles += 1
+            else:
+                cycles += runtime.issue_cost()
+                cycles += runtime.absorb(cycles)
             self._cycle = cycles
             if cycles > max_cycles:
                 raise ProgramError(
                     f"{self.subtype.label}: exceeded {max_cycles} cycles"
                 )
+            executing = (
+                None if runtime is None else set(runtime.executing_units(cycles))
+            )
             progressed = False
             for core, program in zip(self.cores, programs):
                 if core.halted:
+                    continue
+                if executing is not None and core.core_id not in executing:
+                    # Degrade policy: a dead core halts for good; a
+                    # stunned one just misses this round. Either way the
+                    # machine as a whole is still making progress.
+                    if core.core_id in runtime.dead:
+                        core.halted = True
+                    progressed = True
                     continue
                 if core.pc >= len(program):
                     raise ProgramError(
@@ -313,16 +377,23 @@ class Multiprocessor:
                     f"deadlock: cores {stuck} are all stalled "
                     "(blocking RECV with empty FIFOs or barrier mismatch)"
                 )
+        stats = {
+            "machine": self.subtype.label,
+            "n_cores": self.n_cores,
+        }
+        if runtime is not None:
+            stats.update(runtime.stats())
+            stats["nominal_parallelism"] = float(self.n_cores)
+            stats["achieved_parallelism"] = (
+                operations / cycles if cycles else 0.0
+            )
         return ExecutionResult(
             cycles=cycles,
             operations=operations,
             outputs={
                 "registers": [list(core.registers) for core in self.cores],
             },
-            stats={
-                "machine": self.subtype.label,
-                "n_cores": self.n_cores,
-            },
+            stats=stats,
         )
 
     def run_task_pool(

@@ -23,6 +23,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.core.errors import CapabilityError, ConfigurationError, ProgramError
+from repro.faults import FaultInjector, FaultPlan, FaultPolicy, FaultRuntime
 from repro.machine.base import Capability, ExecutionResult
 from repro.machine.dataflow import DataflowGraph, DFOp
 from repro.machine.fabric import LutFabric
@@ -219,16 +220,37 @@ class UniversalMachine:
         self._soft_program = None
         return builder.cells_used
 
-    def run_dataflow(self, inputs: "dict[str, int] | None" = None) -> ExecutionResult:
+    def run_dataflow(
+        self,
+        inputs: "dict[str, int] | None" = None,
+        *,
+        faults: "FaultPlan | FaultInjector | None" = None,
+        policy: "FaultPolicy | None" = None,
+    ) -> ExecutionResult:
         """Evaluate the configured dataflow netlist on bound inputs.
 
         Combinational settle takes one fabric cycle; outputs are read as
         width-bit two's-complement integers.
+
+        The USP is the taxonomy's most fault-flexible class: every cell
+        sits behind switched fine-granularity interconnect, so a dead
+        LUT cell is always remappable — the netlist re-places onto spare
+        cells. Each permanent cell fault costs one extra reconfiguration
+        cycle; transients cost their stall as usual. ``fail-fast`` still
+        aborts, and ``retry`` still refuses permanent faults.
         """
         if self._personality != "dataflow" or self._dataflow is None:
             raise CapabilityError(
                 "fabric is not configured as a dataflow machine"
             )
+        runtime = FaultRuntime.create(
+            faults,
+            policy,
+            n_units=max(self.fabric.used_cells, 1),
+            can_remap=True,  # fine-granularity 'x' everywhere (§II-C-1)
+            machine="USP(dataflow)",
+            unit_noun="cell",
+        )
         graph = self._dataflow
         width = self._width
         bound = dict(inputs or {})
@@ -241,6 +263,13 @@ class UniversalMachine:
             encoded = value & mask
             for position in range(width):
                 bit_inputs[f"{name}[{position}]"] = (encoded >> position) & 1
+        cycles = 1
+        if runtime is not None:
+            # The evaluation is combinational, so the whole plan lands
+            # before the settle: drain every event, then charge one
+            # reconfiguration cycle per dead cell routed around.
+            cycles += runtime.absorb(FaultPlan.DRAIN_CYCLE)
+            cycles += runtime.remap_events + runtime.degraded_units
         raw = self.fabric.step(bit_inputs)
         outputs: dict[str, int] = {}
         for name in graph.output_names:
@@ -250,16 +279,19 @@ class UniversalMachine:
             if value & (1 << (width - 1)):  # sign-extend
                 value -= 1 << width
             outputs[name] = value
+        stats = {
+            "machine": "USP(dataflow)",
+            "cells": self.fabric.used_cells,
+            "config_bits": self.config_bits_used(),
+            "width": width,
+        }
+        if runtime is not None:
+            stats.update(runtime.stats())
         return ExecutionResult(
-            cycles=1,
+            cycles=cycles,
             operations=graph.operator_count(),
             outputs=outputs,
-            stats={
-                "machine": "USP(dataflow)",
-                "cells": self.fabric.used_cells,
-                "config_bits": self.config_bits_used(),
-                "width": width,
-            },
+            stats=stats,
         )
 
     # -- instruction-flow personality ---------------------------------------

@@ -27,7 +27,14 @@ from repro.core.signature import Signature
 from repro.models.switches import SwitchModel, default_switch_model
 from repro.models.technology import NODE_65NM, TechnologyNode
 
-__all__ = ["ComponentAreas", "AreaBreakdown", "AreaModel", "estimate_area"]
+__all__ = [
+    "ComponentAreas",
+    "AreaBreakdown",
+    "AreaModel",
+    "estimate_area",
+    "RedundancyCost",
+    "redundancy_overhead",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -203,6 +210,63 @@ class AreaModel:
 #: Soft-processor footprints on a fine-grained fabric, in LUT cells.
 _CELLS_PER_SOFT_IP = 600
 _CELLS_PER_SOFT_DP = 400
+
+
+@dataclass(frozen=True, slots=True)
+class RedundancyCost:
+    """What spare-PE redundancy costs a design, priced by Eq. 1.
+
+    A ``remap(spares=s)`` fault policy only works if the silicon carries
+    ``s`` extra PEs (and their memories and switch ports) — fault
+    tolerance is bought in area. ``overhead_ge`` is the Eq.-1 delta
+    between the ``n + spares`` and the plain ``n`` design.
+    """
+
+    n: int
+    spares: int
+    base_ge: float
+    redundant_ge: float
+
+    @property
+    def overhead_ge(self) -> float:
+        return self.redundant_ge - self.base_ge
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.overhead_ge / self.base_ge if self.base_ge else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.spares} spare PE{'s' if self.spares != 1 else ''} on an "
+            f"n={self.n} design: {self.base_ge:,.0f} -> "
+            f"{self.redundant_ge:,.0f} GE "
+            f"(+{self.overhead_fraction * 100:.1f}%)"
+        )
+
+
+def redundancy_overhead(
+    signature: Signature,
+    *,
+    n: int = 16,
+    spares: int = 1,
+    model: "AreaModel | None" = None,
+) -> RedundancyCost:
+    """Price ``spares`` extra PEs for a signature via Eq. 1.
+
+    Note the asymmetry the model exposes: on direct-wired signatures the
+    overhead is near-linear, while every switched site grows with its
+    port count (quadratically for a full crossbar), so the architectures
+    whose structure can exploit spares are also the ones that pay the
+    most to carry them — flexibility priced in gate equivalents again.
+    """
+    if spares < 0:
+        raise ValueError("spares must be non-negative")
+    active = model if model is not None else AreaModel()
+    base = active.total_ge(signature, n=n)
+    redundant = active.total_ge(signature, n=n + spares)
+    return RedundancyCost(
+        n=n, spares=spares, base_ge=base, redundant_ge=redundant
+    )
 
 
 def estimate_area(

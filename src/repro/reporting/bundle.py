@@ -89,6 +89,18 @@ def generate_report(outdir: "str | Path") -> list[Path]:
 
     write("survey_costs.txt", survey_cost_table())
 
+    # The resilience sweep (fault-rate degradation per architecture).
+    from repro.analysis.resilience import (
+        render_resilience_table,
+        resilience_csv_rows,
+        resilience_sweep,
+    )
+
+    resilience_points = resilience_sweep()
+    write("resilience.txt", render_resilience_table(resilience_points))
+    rows = resilience_csv_rows(resilience_points)
+    write("resilience.csv", rows_to_csv(rows[0], rows[1:]))
+
     # Machine-readable exports.
     write("taxonomy.json", taxonomy_to_json())
     write("survey.json", survey_to_json())

@@ -1,0 +1,266 @@
+"""Fault policies threaded through the executable machines.
+
+The behavioural contract under test is the taxonomy's flexibility
+argument made operational: remapping requires switched sites, retry
+only helps transients, degrade sheds work, fail-fast aborts — and the
+accounting (operations, cycles, stats) stays honest throughout.
+"""
+
+import pytest
+
+from repro.core.errors import FaultError
+from repro.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultPolicy,
+    FaultSeverity,
+)
+from repro.machine import (
+    ArrayProcessor,
+    ArraySubtype,
+    Multiprocessor,
+    MultiprocessorSubtype,
+    UniversalMachine,
+)
+from repro.machine.dataflow import DataflowGraph
+from repro.machine.kernels import simd_vector_add, vector_add_reference
+from repro.machine.program import Instruction, Opcode, Program
+
+
+def _count_program(limit: int = 6) -> Program:
+    return Program(
+        [
+            Instruction(Opcode.LDI, rd=1, imm=0),
+            Instruction(Opcode.LDI, rd=2, imm=limit),
+            Instruction(Opcode.ADDI, rd=1, rs1=1, imm=1),
+            Instruction(Opcode.BNE, rs1=1, rs2=2, imm=2),
+            Instruction(Opcode.HALT),
+        ],
+        name="count",
+    )
+
+
+def _transient(cycle: int, target: int, duration: int = 2) -> FaultEvent:
+    return FaultEvent(
+        cycle=cycle,
+        target=target,
+        severity=FaultSeverity.TRANSIENT,
+        duration=duration,
+    )
+
+
+class TestArrayProcessorFaults:
+    def test_fault_free_path_unchanged(self):
+        baseline = ArrayProcessor(4).run(_count_program())
+        explicit = ArrayProcessor(4).run(_count_program(), faults=None)
+        assert explicit.cycles == baseline.cycles
+        assert explicit.operations == baseline.operations
+        assert "faults_seen" not in explicit.stats
+
+    def test_fail_fast_is_the_default_policy(self):
+        plan = FaultPlan((FaultEvent(cycle=2, target=0),))
+        with pytest.raises(FaultError, match="fail-fast abort"):
+            ArrayProcessor(4).run(_count_program(), faults=plan)
+
+    def test_remap_preserves_operations_and_results(self):
+        n_lanes, per_lane = 4, 4
+        a = list(range(n_lanes * per_lane))
+        b = [3 * v for v in a]
+        baseline = ArrayProcessor(n_lanes, ArraySubtype.IAP_IV)
+        baseline.scatter(0, a)
+        baseline.scatter(64, b)
+        clean = baseline.run(simd_vector_add(per_lane))
+
+        plan = FaultPlan((FaultEvent(cycle=3, target=1),))
+        faulty = ArrayProcessor(n_lanes, ArraySubtype.IAP_IV)
+        faulty.scatter(0, a)
+        faulty.scatter(64, b)
+        result = faulty.run(
+            simd_vector_add(per_lane), faults=plan, policy=FaultPolicy.remap()
+        )
+        assert result.operations == clean.operations
+        assert result.cycles > clean.cycles  # time-multiplexing costs time
+        assert result.stats["remap_events"] == 1
+        assert result.stats["dead_units"] == [1]
+        assert faulty.gather(128, len(a)) == vector_add_reference(a, b)
+
+    def test_remap_needs_a_switched_site(self):
+        plan = FaultPlan((FaultEvent(cycle=2, target=0),))
+        with pytest.raises(FaultError, match="direct"):
+            ArrayProcessor(4, ArraySubtype.IAP_I).run(
+                _count_program(), faults=plan, policy=FaultPolicy.remap()
+            )
+
+    def test_spares_absorb_deaths_even_on_iap_i(self):
+        plan = FaultPlan((FaultEvent(cycle=2, target=0),))
+        result = ArrayProcessor(4, ArraySubtype.IAP_I).run(
+            _count_program(), faults=plan, policy=FaultPolicy.remap(spares=1)
+        )
+        assert result.stats["spares_used"] == 1
+        assert result.stats["dead_units"] == []
+
+    def test_degrade_sheds_operations(self):
+        clean = ArrayProcessor(4).run(_count_program())
+        plan = FaultPlan((FaultEvent(cycle=2, target=3),))
+        result = ArrayProcessor(4).run(
+            _count_program(), faults=plan, policy=FaultPolicy.degrade()
+        )
+        assert result.operations < clean.operations
+        assert result.stats["degraded_units"] == 1
+        assert result.stats["achieved_parallelism"] < 4.0
+
+    def test_degrading_every_lane_raises(self):
+        plan = FaultPlan(
+            tuple(FaultEvent(cycle=2, target=lane) for lane in range(4))
+        )
+        with pytest.raises(FaultError, match="every lane has failed"):
+            ArrayProcessor(4).run(
+                _count_program(), faults=plan, policy=FaultPolicy.degrade()
+            )
+
+    def test_retry_covers_transients_within_budget(self):
+        plan = FaultPlan((_transient(2, 1, duration=2),))
+        clean = ArrayProcessor(4).run(_count_program())
+        result = ArrayProcessor(4).run(
+            _count_program(), faults=plan, policy=FaultPolicy.retry(3)
+        )
+        assert result.operations == clean.operations
+        assert result.stats["retries"] == 2
+        assert result.cycles == clean.cycles + 2
+
+    def test_retry_budget_exhaustion_raises(self):
+        plan = FaultPlan((_transient(2, 1, duration=5),))
+        with pytest.raises(FaultError, match="over the budget"):
+            ArrayProcessor(4).run(
+                _count_program(), faults=plan, policy=FaultPolicy.retry(1)
+            )
+
+    def test_retry_cannot_revive_permanent_faults(self):
+        plan = FaultPlan((FaultEvent(cycle=2, target=1),))
+        with pytest.raises(FaultError, match="dead silicon"):
+            ArrayProcessor(4).run(
+                _count_program(), faults=plan, policy=FaultPolicy.retry(10)
+            )
+
+    def test_stats_record_nominal_vs_achieved(self):
+        plan = FaultPlan((FaultEvent(cycle=2, target=0),))
+        result = ArrayProcessor(4).run(
+            _count_program(), faults=plan, policy=FaultPolicy.degrade()
+        )
+        assert result.stats["nominal_parallelism"] == 4.0
+        assert 0 < result.stats["achieved_parallelism"] < 4.0
+        assert result.stats["fault_policy"] == "degrade"
+
+
+class TestMultiprocessorFaults:
+    def test_remap_needs_ip_im_and_dp_dm_switches(self):
+        plan = FaultPlan((FaultEvent(cycle=2, target=1),))
+        # IMP-I: every site direct — a dead core's program and memory
+        # are both unreachable.
+        with pytest.raises(FaultError, match="cannot remap"):
+            Multiprocessor(4, MultiprocessorSubtype.IMP_I).run(
+                _count_program(), faults=plan, policy=FaultPolicy.remap()
+            )
+        # IMP-XVI: everything switched — survivors absorb the work.
+        result = Multiprocessor(4, MultiprocessorSubtype.IMP_XVI).run(
+            _count_program(), faults=plan, policy=FaultPolicy.remap()
+        )
+        clean = Multiprocessor(4, MultiprocessorSubtype.IMP_XVI).run(
+            _count_program()
+        )
+        assert result.operations == clean.operations
+        assert result.cycles > clean.cycles
+
+    def test_degrade_halts_dead_cores(self):
+        plan = FaultPlan((FaultEvent(cycle=2, target=2),))
+        clean = Multiprocessor(4).run(_count_program())
+        result = Multiprocessor(4).run(
+            _count_program(), faults=plan, policy=FaultPolicy.degrade()
+        )
+        assert result.operations < clean.operations
+        assert result.stats["degraded_units"] == 1
+
+    def test_port_fault_lands_on_the_network(self):
+        from repro.interconnect import FullCrossbar
+
+        network = FullCrossbar(4, 4)
+        machine = Multiprocessor(
+            4, MultiprocessorSubtype.IMP_XVI, network=network
+        )
+        plan = FaultPlan(
+            (FaultEvent(cycle=1, kind=FaultKind.PORT, target=2),)
+        )
+        result = machine.run(
+            _count_program(), faults=plan, policy=FaultPolicy.degrade()
+        )
+        assert result.stats["fabric_faults"] == 1
+        assert network.output_failed(2)
+
+    def test_dead_network_port_kills_the_send_that_needs_it(self):
+        from repro.interconnect import FullCrossbar
+
+        network = FullCrossbar(2, 2)
+        machine = Multiprocessor(
+            2, MultiprocessorSubtype.IMP_XVI, network=network
+        )
+        ping = Program(
+            [
+                Instruction(Opcode.LDI, rd=1, imm=1),  # destination core
+                Instruction(Opcode.LDI, rd=2, imm=9),  # payload
+                Instruction(Opcode.SEND, rs1=1, rs2=2),
+                Instruction(Opcode.HALT),
+            ],
+            name="ping",
+        )
+        pong = Program(
+            [
+                Instruction(Opcode.LDI, rd=1, imm=0),  # source core
+                Instruction(Opcode.RECV, rd=2, rs1=1),
+                Instruction(Opcode.HALT),
+            ],
+            name="pong",
+        )
+        plan = FaultPlan(
+            (FaultEvent(cycle=1, kind=FaultKind.PORT, target=1),)
+        )
+        with pytest.raises(FaultError):
+            machine.run([ping, pong], faults=plan, policy=FaultPolicy.degrade())
+
+
+class TestUniversalMachineFaults:
+    def _configured(self):
+        graph = DataflowGraph()
+        graph.input("a")
+        graph.input("b")
+        graph.add("s", "add", "a", "b")
+        graph.output("y", "s")
+        usp = UniversalMachine(2048)
+        usp.configure_dataflow(graph, width=8)
+        return usp
+
+    def test_remap_keeps_results_and_charges_reconfiguration(self):
+        usp = self._configured()
+        clean = usp.run_dataflow({"a": 20, "b": 22})
+        plan = FaultPlan((FaultEvent(cycle=1, target=5),))
+        result = usp.run_dataflow(
+            {"a": 20, "b": 22}, faults=plan, policy=FaultPolicy.remap()
+        )
+        assert result.outputs == clean.outputs
+        assert result.cycles == clean.cycles + 1  # one re-place cycle
+        assert result.stats["remap_events"] == 1
+
+    def test_usp_always_remaps_even_under_degrade(self):
+        usp = self._configured()
+        plan = FaultPlan((FaultEvent(cycle=1, target=3),))
+        result = usp.run_dataflow(
+            {"a": 1, "b": 2}, faults=plan, policy=FaultPolicy.degrade()
+        )
+        # Fine-granularity fabric: the netlist re-places, values survive.
+        assert result.outputs["y"] == 3
+
+    def test_fail_fast_still_aborts(self):
+        usp = self._configured()
+        plan = FaultPlan((FaultEvent(cycle=1, target=0),))
+        with pytest.raises(FaultError):
+            usp.run_dataflow({"a": 1, "b": 2}, faults=plan)

@@ -1,0 +1,124 @@
+"""Unit tests for fault plans, events and injectors."""
+
+import pytest
+
+from repro.core.errors import FaultError
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSeverity,
+)
+
+
+class TestFaultEvent:
+    def test_permanent_default(self):
+        event = FaultEvent(cycle=3, target=1)
+        assert event.is_permanent
+        assert event.kind is FaultKind.PE
+        assert "permanently" in event.describe()
+
+    def test_transient_needs_duration(self):
+        with pytest.raises(FaultError):
+            FaultEvent(cycle=1, severity=FaultSeverity.TRANSIENT)
+
+    def test_permanent_rejects_duration(self):
+        with pytest.raises(FaultError):
+            FaultEvent(cycle=1, duration=2)
+
+    def test_cycle_must_be_positive(self):
+        with pytest.raises(FaultError):
+            FaultEvent(cycle=0)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(cycle=1, target=-1)
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_cycle(self):
+        plan = FaultPlan(
+            (FaultEvent(cycle=9, target=0), FaultEvent(cycle=2, target=1))
+        )
+        assert [event.cycle for event in plan] == [2, 9]
+
+    def test_truncated_prefix(self):
+        plan = FaultPlan(
+            tuple(FaultEvent(cycle=c, target=0) for c in (1, 2, 3))
+        )
+        assert len(plan.truncated(2)) == 2
+        assert len(plan.truncated(0)) == 0
+        assert len(plan.truncated(99)) == 3
+
+    def test_truncated_rejects_negative(self):
+        with pytest.raises(FaultError):
+            FaultPlan().truncated(-1)
+
+    def test_of_kind_filters(self):
+        plan = FaultPlan((
+            FaultEvent(cycle=1, kind=FaultKind.PE, target=0),
+            FaultEvent(cycle=2, kind=FaultKind.LINK, target=0),
+        ))
+        assert len(plan.of_kind(FaultKind.LINK)) == 1
+        assert plan.permanent_count == 2
+
+    def test_rate_validated(self):
+        with pytest.raises(FaultError):
+            FaultPlan(rate=1.5)
+
+
+class TestRandomPlans:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(42, 0.2, n_pes=16, n_links=8)
+        b = FaultPlan.random(42, 0.2, n_pes=16, n_links=8)
+        assert a.events == b.events
+        assert a.seed == 42 and a.rate == 0.2
+
+    def test_different_seed_different_plan(self):
+        plans = {
+            FaultPlan.random(seed, 0.5, n_pes=32).events for seed in range(6)
+        }
+        assert len(plans) > 1
+
+    def test_rate_zero_is_empty(self):
+        assert len(FaultPlan.random(0, 0.0, n_pes=64)) == 0
+
+    def test_rate_one_hits_every_target(self):
+        plan = FaultPlan.random(0, 1.0, n_pes=8, n_links=4)
+        assert len(plan) == 12
+
+    def test_events_within_horizon(self):
+        plan = FaultPlan.random(3, 1.0, n_pes=20, horizon=10)
+        assert all(1 <= event.cycle <= 10 for event in plan)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(FaultError):
+            FaultPlan.random(0, 0.5, n_pes=0)
+        with pytest.raises(FaultError):
+            FaultPlan.random(0, 2.0, n_pes=4)
+        with pytest.raises(FaultError):
+            FaultPlan.random(0, 0.5, n_pes=4, horizon=0)
+
+
+class TestFaultInjector:
+    def test_deals_events_in_cycle_order(self):
+        plan = FaultPlan((
+            FaultEvent(cycle=2, target=0),
+            FaultEvent(cycle=2, target=1),
+            FaultEvent(cycle=5, target=2),
+        ))
+        injector = plan.injector()
+        assert injector.due(1) == []
+        assert [event.target for event in injector.due(2)] == [0, 1]
+        assert injector.delivered == 2
+        assert not injector.exhausted
+        assert [event.target for event in injector.due(10)] == [2]
+        assert injector.exhausted
+
+    def test_reset_replays(self):
+        plan = FaultPlan((FaultEvent(cycle=1, target=0),))
+        injector = FaultInjector(plan)
+        assert injector.due(1)
+        injector.reset()
+        assert injector.due(1)

@@ -1,0 +1,69 @@
+"""Unit tests for fault policies and their CLI token parser."""
+
+import pytest
+
+from repro.core.errors import FaultError
+from repro.faults import FaultPolicy, PolicyKind
+
+
+class TestConstructors:
+    def test_fail_fast(self):
+        policy = FaultPolicy.fail_fast()
+        assert policy.kind is PolicyKind.FAIL_FAST
+
+    def test_retry_defaults(self):
+        policy = FaultPolicy.retry()
+        assert policy.kind is PolicyKind.RETRY
+        assert policy.max_retries == 3
+        assert policy.backoff == 1
+
+    def test_remap_with_spares(self):
+        policy = FaultPolicy.remap(spares=2)
+        assert policy.kind is PolicyKind.REMAP
+        assert policy.spares == 2
+
+    def test_degrade(self):
+        assert FaultPolicy.degrade().kind is PolicyKind.DEGRADE
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            FaultPolicy.retry(max_retries=-1)
+        with pytest.raises(FaultError):
+            FaultPolicy.retry(backoff=0)
+        with pytest.raises(FaultError):
+            FaultPolicy.remap(spares=-1)
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "token, kind",
+        [
+            ("fail-fast", PolicyKind.FAIL_FAST),
+            ("failfast", PolicyKind.FAIL_FAST),
+            ("retry", PolicyKind.RETRY),
+            ("remap", PolicyKind.REMAP),
+            ("degrade", PolicyKind.DEGRADE),
+        ],
+    )
+    def test_plain_tokens(self, token, kind):
+        assert FaultPolicy.parse(token).kind is kind
+
+    def test_retry_with_budget_and_backoff(self):
+        policy = FaultPolicy.parse("retry:5:2")
+        assert policy.max_retries == 5
+        assert policy.backoff == 2
+
+    def test_remap_with_spares(self):
+        assert FaultPolicy.parse("remap:3").spares == 3
+
+    def test_unknown_token(self):
+        with pytest.raises(FaultError):
+            FaultPolicy.parse("explode")
+
+    def test_bad_argument(self):
+        with pytest.raises(FaultError):
+            FaultPolicy.parse("retry:many")
+
+    def test_describe_round_trips_the_shape(self):
+        assert FaultPolicy.parse("remap:2").describe() == "remap(spares=2)"
+        assert "retry" in FaultPolicy.parse("retry:4:2").describe()

@@ -1,0 +1,218 @@
+"""Interconnect fault state and error paths.
+
+Covers the satellite checklist explicitly: RoutingError on out-of-range
+fault injection, ConfigurationError on double-configured crossbar
+outputs, LimitedCrossbar window-edge behaviour — plus the structural
+contrast the tentpole is built on: switched fabrics reroute, direct
+wires and unique-path networks raise :class:`FaultError`.
+"""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, FaultError, RoutingError
+from repro.interconnect import (
+    Broadcast,
+    FullCrossbar,
+    LimitedCrossbar,
+    Mesh2D,
+    OmegaNetwork,
+    PointToPoint,
+)
+
+
+class TestFaultInjectionValidation:
+    """Satellite (c): out-of-range injections are rejected loudly."""
+
+    @pytest.mark.parametrize("bad", [-1, 4, 99])
+    def test_fail_input_port_out_of_range(self, bad):
+        with pytest.raises(RoutingError, match="out of range"):
+            FullCrossbar(4, 4).fail_input_port(bad)
+
+    @pytest.mark.parametrize("bad", [-1, 4, 99])
+    def test_fail_output_port_out_of_range(self, bad):
+        with pytest.raises(RoutingError, match="out of range"):
+            FullCrossbar(4, 4).fail_output_port(bad)
+
+    def test_fail_link_requires_an_existing_wire(self):
+        with pytest.raises(RoutingError, match="no link"):
+            PointToPoint(4).fail_link("in0", "out3")
+
+    def test_mesh_link_cut_requires_adjacency(self):
+        mesh = Mesh2D(3, 3)
+        with pytest.raises(RoutingError, match="not mesh neighbours"):
+            mesh.fail_link_between(0, 8)
+
+    def test_omega_element_coordinates_validated(self):
+        omega = OmegaNetwork(8)
+        with pytest.raises(RoutingError, match="stage"):
+            omega.fail_element(3, 0)
+        with pytest.raises(RoutingError, match="element"):
+            omega.fail_element(0, 4)
+
+
+class TestCrossbarConfigurationErrors:
+    """Satellite (c): configuration state is guarded, not overwritten."""
+
+    def test_double_configured_output_raises(self):
+        xbar = FullCrossbar(4, 4)
+        xbar.connect(0, 2)
+        with pytest.raises(ConfigurationError, match="disconnect it"):
+            xbar.connect(1, 2)
+
+    def test_reprogramming_same_source_is_idempotent(self):
+        xbar = FullCrossbar(4, 4)
+        xbar.connect(0, 2)
+        xbar.connect(0, 2)  # no-op, not an error
+        assert xbar.configured_source(2) == 0
+
+    def test_disconnect_then_reprogram(self):
+        xbar = FullCrossbar(4, 4)
+        xbar.connect(0, 2)
+        xbar.disconnect(2)
+        xbar.connect(1, 2)
+        assert xbar.configured_source(2) == 1
+
+    def test_limited_crossbar_double_configure_raises(self):
+        xbar = LimitedCrossbar(8, window=2)
+        xbar.connect(3, 4)
+        with pytest.raises(ConfigurationError, match="already configured"):
+            xbar.connect(5, 4)
+
+    def test_dead_port_cannot_be_programmed(self):
+        xbar = FullCrossbar(4, 4)
+        xbar.fail_output_port(1)
+        with pytest.raises(FaultError, match="output port 1 has failed"):
+            xbar.connect(0, 1)
+
+    def test_transfer_across_dead_port_raises(self):
+        xbar = FullCrossbar(2, 2)
+        xbar.connect(0, 1)
+        xbar.fail_input_port(0)
+        with pytest.raises(FaultError, match="failed port"):
+            xbar.transfer(1, [7, 8])
+
+
+class TestLimitedCrossbarWindowEdges:
+    """Satellite (c): the sliding window at outputs 0 and n-1."""
+
+    def test_edge_windows_are_clipped_not_wrapped(self):
+        xbar = LimitedCrossbar(8, window=2)
+        assert list(xbar.reachable_inputs(0)) == [0, 1, 2]
+        assert list(xbar.reachable_inputs(7)) == [5, 6, 7]
+
+    def test_edge_output_routes_inside_window(self):
+        xbar = LimitedCrossbar(8, window=2)
+        assert xbar.can_route(2, 0)
+        assert xbar.route(5, 7).cycles == 1
+
+    def test_edge_output_rejects_outside_window(self):
+        xbar = LimitedCrossbar(8, window=2)
+        with pytest.raises(RoutingError, match="window"):
+            xbar.route(3, 0)
+        with pytest.raises(RoutingError, match="window"):
+            xbar.connect(4, 7)
+
+    def test_dead_edge_output_beats_window_check(self):
+        xbar = LimitedCrossbar(8, window=2)
+        xbar.fail_output_port(0)
+        assert not xbar.can_route(1, 0)
+        with pytest.raises(FaultError):
+            xbar.route(1, 0)
+
+
+class TestDirectLinksCannotReroute:
+    def test_point_to_point_dead_wire(self):
+        p2p = PointToPoint(4)
+        p2p.fail_link("in2", "out2")
+        assert not p2p.can_route(2, 2)
+        with pytest.raises(FaultError, match="cannot route around"):
+            p2p.route(2, 2)
+        # Other wires are untouched.
+        assert p2p.can_route(1, 1)
+
+    def test_broadcast_dead_branch(self):
+        tree = Broadcast(4)
+        tree.fail_link(tree.input_label(0), tree.output_label(2))
+        assert not tree.can_route(0, 2)
+        with pytest.raises(FaultError, match="fan-out tree"):
+            tree.route(0, 2)
+        assert tree.can_route(0, 3)
+
+    def test_broadcast_dead_root_kills_everything(self):
+        tree = Broadcast(4)
+        tree.fail_input_port(0)
+        assert not any(tree.can_route(0, d) for d in range(4))
+
+
+class TestSwitchedFabricsReroute:
+    def test_mesh_detours_around_a_cut_wire(self):
+        mesh = Mesh2D(3, 3)
+        direct = mesh.route(0, 2)
+        mesh.fail_link_between(0, 1)
+        detour = mesh.route(0, 2)
+        assert detour.cycles > direct.cycles
+        assert mesh.can_route(0, 2)
+
+    def test_mesh_detours_around_a_dead_tile(self):
+        mesh = Mesh2D(3, 3)
+        mesh.fail_node(4)  # the centre
+        route = mesh.route(3, 5)  # XY path ran straight through it
+        assert "n1_1" not in route.path
+
+    def test_mesh_dead_endpoint_raises(self):
+        mesh = Mesh2D(3, 3)
+        mesh.fail_node(8)
+        with pytest.raises(FaultError):
+            mesh.route(0, 8)
+
+    def test_mesh_partition_raises(self):
+        mesh = Mesh2D(1, 3)  # a line: cutting the middle splits it
+        mesh.fail_node(1)
+        with pytest.raises(FaultError):
+            mesh.route(0, 2)
+
+    def test_omega_has_no_alternative_path(self):
+        omega = OmegaNetwork(8)
+        stage, element = omega.path_elements(0, 7)[1]
+        omega.fail_element(stage, element)
+        assert not omega.can_route(0, 7)
+        with pytest.raises(FaultError, match="no alternative path"):
+            omega.route(0, 7)
+
+    def test_omega_unaffected_pairs_still_route(self):
+        omega = OmegaNetwork(8)
+        omega.fail_element(0, 0)
+        survivors = [
+            (s, d)
+            for s in range(8)
+            for d in range(8)
+            if omega.can_route(s, d)
+        ]
+        assert survivors  # degraded, not dead
+        assert len(survivors) < 64
+
+
+class TestFaultBookkeeping:
+    def test_fault_count_and_repair_all(self):
+        mesh = Mesh2D(2, 2)
+        mesh.fail_node(0)
+        mesh.fail_link_between(2, 3)
+        assert mesh.fault_count == 3  # in-port + out-port + link
+        mesh.repair_all()
+        assert mesh.fault_count == 0
+        assert mesh.can_route(0, 3)
+
+    def test_omega_repair_clears_elements(self):
+        omega = OmegaNetwork(4)
+        omega.fail_element(0, 0)
+        omega.fail_input_port(1)
+        assert omega.fault_count == 2
+        omega.repair_all()
+        assert omega.fault_count == 0
+        assert omega.can_route(0, 3)
+
+    def test_surviving_graph_drops_cut_links(self):
+        p2p = PointToPoint(3)
+        full_edges = p2p.as_graph().number_of_edges()
+        p2p.fail_link("in1", "out1")
+        assert p2p.surviving_graph().number_of_edges() == full_edges - 1

@@ -3,6 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faults import FaultEvent, FaultPlan, FaultPolicy
 from repro.machine import (
     ArrayProcessor,
     ArraySubtype,
@@ -136,6 +137,85 @@ def test_usp_polynomial_matches_reference_mod_width(coefficients, x):
     got = usp.run_dataflow({"x": x}).outputs["y"]
     ref = graph.evaluate({"x": x})["y"]
     assert got == ((ref + (1 << 15)) % (1 << 16)) - (1 << 15)
+
+
+@st.composite
+def survivable_fault_plan(draw, n_lanes: int) -> FaultPlan:
+    """A seeded plan of permanent PE faults that leaves >= 1 lane alive.
+
+    Lanes are drawn without replacement so the plan can never kill the
+    whole array, which would (correctly) raise instead of degrading.
+    """
+    n_faults = draw(st.integers(min_value=0, max_value=n_lanes - 1))
+    lanes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_lanes - 1),
+            min_size=n_faults,
+            max_size=n_faults,
+            unique=True,
+        )
+    )
+    events = tuple(
+        FaultEvent(
+            cycle=draw(st.integers(min_value=1, max_value=40)), target=lane
+        )
+        for lane in lanes
+    )
+    return FaultPlan(events)
+
+
+def _faulted_run(n_lanes, per_lane, a, b, faults, policy):
+    machine = ArrayProcessor(n_lanes, ArraySubtype.IAP_IV)
+    machine.scatter(0, a)
+    machine.scatter(64, b)
+    result = machine.run(simd_vector_add(per_lane), faults=faults, policy=policy)
+    return machine, result
+
+
+@given(
+    n_lanes=st.sampled_from([2, 4, 8]),
+    per_lane=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_remap_preserves_work_under_any_survivable_plan(n_lanes, per_lane, data):
+    """Issue acceptance property: with a remap policy, any seeded fault
+    plan that leaves a survivor retires exactly the fault-free operation
+    count and produces the fault-free results."""
+    length = n_lanes * per_lane
+    a = [data.draw(st.integers(min_value=-50, max_value=50)) for _ in range(length)]
+    b = [data.draw(st.integers(min_value=-50, max_value=50)) for _ in range(length)]
+    plan = data.draw(survivable_fault_plan(n_lanes))
+    clean_machine, clean = _faulted_run(
+        n_lanes, per_lane, a, b, None, None
+    )
+    machine, result = _faulted_run(
+        n_lanes, per_lane, a, b, plan, FaultPolicy.remap()
+    )
+    assert result.operations == clean.operations
+    assert machine.gather(128, length) == vector_add_reference(a, b)
+
+
+@given(
+    n_lanes=st.sampled_from([2, 4, 8]),
+    per_lane=st.integers(min_value=1, max_value=4),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_cycles_monotone_in_injected_fault_count(n_lanes, per_lane, data):
+    """Issue acceptance property: cycles are non-decreasing as the fault
+    plan grows one event at a time (truncated prefixes of the same plan)."""
+    length = n_lanes * per_lane
+    a = list(range(length))
+    b = list(range(length, 0, -1))
+    plan = data.draw(survivable_fault_plan(n_lanes))
+    cycles = []
+    for k in range(len(plan) + 1):
+        _, result = _faulted_run(
+            n_lanes, per_lane, a, b, plan.truncated(k), FaultPolicy.remap()
+        )
+        cycles.append(result.cycles)
+    assert all(x <= y for x, y in zip(cycles, cycles[1:]))
 
 
 @given(st.integers(min_value=2, max_value=8))

@@ -19,8 +19,9 @@ class TestBundle:
     def test_writes_all_artifacts(self, bundle):
         outdir, files = bundle
         names = {path.name for path in files}
-        assert len(files) == 21
+        assert len(files) == 23
         assert {"table1.txt", "table2.txt", "table3.txt"} <= names
+        assert {"resilience.txt", "resilience.csv"} <= names
         assert {f"fig{i}_" in "".join(names) or True for i in range(1, 8)}
         for i in range(1, 8):
             assert any(name.startswith(f"fig{i}_") for name in names), i

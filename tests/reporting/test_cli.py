@@ -65,11 +65,77 @@ class TestExplain:
         assert "IAP-IV" in out
         assert "MIPS" in out  # from the survey description
 
-    def test_explain_unknown(self, capsys):
-        from repro.core.errors import RegistryError
+    def test_explain_unknown_exits_2_with_diagnostic(self, capsys):
+        code = main(["explain", "UNOBTAINIUM"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert "UNOBTAINIUM" in captured.err
+        assert captured.err.count("\n") == 1  # one-line diagnostic
 
-        with pytest.raises(RegistryError):
-            main(["explain", "UNOBTAINIUM"])
+
+class TestErrorContract:
+    """Any ReproError surfaces as exit code 2 + a stderr one-liner."""
+
+    def test_bad_signature_exits_2(self, capsys):
+        code = main(
+            ["classify", "--ips", "0", "--dps", "4", "--ip-dp", "1-4"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert "IP-DP" in captured.err
+        assert captured.out == ""
+
+    def test_untolerated_fault_is_reported_not_raised(self, capsys):
+        # fail-fast on a plan with events: the FaultError is caught by
+        # main() for the IAP demo loop (reported inline), never escapes.
+        code = main(
+            ["faults", "--seed", "7", "--rate", "0.3",
+             "--policy", "fail-fast", "--out", "-"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0  # the demo reports per-machine faults and continues
+        assert "fail-fast abort" in captured.out
+
+
+class TestFaultsCommand:
+    def test_deterministic_across_runs(self, capsys):
+        code = main(["faults", "--seed", "0", "--rate", "0.05", "--out", "-"])
+        first = capsys.readouterr().out
+        assert code == 0
+        main(["faults", "--seed", "0", "--rate", "0.05", "--out", "-"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_remap_demo_contrasts_direct_and_switched(self, capsys):
+        _, out = run_cli(
+            capsys, "faults", "--seed", "7", "--rate", "0.3", "--out", "-"
+        )
+        # The all-direct array cannot remap; the all-switched one can.
+        assert "IAP-I    remap(spares=0) FAULT" in out
+        assert "IAP-IV   remap(spares=0) cycles=" in out
+
+    def test_sweep_table_and_correlation(self, capsys):
+        _, out = run_cli(capsys, "faults", "--out", "-")
+        assert "FPGA" in out
+        assert "Spearman rank correlation" in out
+
+    def test_csv_written(self, tmp_path, capsys):
+        out_path = tmp_path / "resilience.csv"
+        code, _ = run_cli(capsys, "faults", "--out", str(out_path))
+        assert code == 0
+        lines = out_path.read_text().splitlines()
+        assert lines[0].startswith("rank,architecture,class,flexibility")
+        assert len(lines) == 26  # header + 25 surveyed architectures
+
+    def test_spares_report_costed_by_eq1(self, capsys):
+        _, out = run_cli(
+            capsys, "faults", "--spares", "2", "--policy", "remap:2",
+            "--out", "-",
+        )
+        assert "spare PEs" in out
+        assert "GE" in out
 
 
 class TestDse:
