@@ -9,7 +9,6 @@ single MIMD label swallows all 32 IMP/ISP classes.
 """
 
 from repro.core import (
-    FlynnClass,
     all_classes,
     baseline_resolution,
     extension_report,

@@ -8,7 +8,6 @@ hierarchical network: identical results, topology-dependent makespans,
 and the area/latency trade quantified in one table.
 """
 
-import pytest
 
 from repro.interconnect import (
     FullCrossbar,

@@ -6,7 +6,6 @@ flexibility trade-off holds on both axes, and computes the break-even
 workload sizes at which reconfiguring a flexible fabric amortises.
 """
 
-import pytest
 
 from repro.core import class_by_name, flexibility, roman
 from repro.models import (

@@ -13,7 +13,6 @@ parameter sets and verifies the claims hold across all of them:
 """
 
 import numpy as np
-import pytest
 
 from repro.core import class_by_name, flexibility, roman
 from repro.models.area import AreaModel, ComponentAreas

@@ -8,7 +8,6 @@ cross-topology cost ordering (direct < window < bus < crossbar) holds
 for the executable interconnects too.
 """
 
-import pytest
 
 from repro.core import class_by_name, implementable_classes, roman
 from repro.interconnect import FullCrossbar, PointToPoint, SharedBus, SlidingWindow

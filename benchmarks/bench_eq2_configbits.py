@@ -7,9 +7,8 @@ bits than limited ones, and the LUT fabric's *measured* bitstream cost
 is consistent with the estimator's USP figure in shape.
 """
 
-import pytest
 
-from repro.core import LinkSite, class_by_name, flexibility, implementable_classes
+from repro.core import flexibility, implementable_classes
 from repro.models.configbits import ConfigBitsModel
 from repro.models.switches import FullCrossbarModel, LimitedCrossbarModel
 

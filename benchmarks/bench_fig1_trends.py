@@ -6,7 +6,6 @@ the paper's narrative shape — publication counts for multicore and
 reconfigurable computing surge in the window's last five years.
 """
 
-import pytest
 
 from repro.bibliometrics import PublicationCorpus, compute_trends
 from repro.reporting.figures import render_fig1

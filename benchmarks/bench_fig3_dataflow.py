@@ -7,7 +7,6 @@ flexibility ladder (a DP-DP switch shortens the critical path versus a
 memory-mediated exchange; DMP-I cannot run the graph at all).
 """
 
-import pytest
 
 from repro.core.errors import CapabilityError
 from repro.machine import DataflowMachine, DataflowSubtype

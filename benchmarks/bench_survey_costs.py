@@ -8,7 +8,6 @@ microcontrollers at the cost minimum, and same-class-same-size records
 coincide exactly.
 """
 
-import pytest
 
 from repro.analysis.survey_costs import evaluate_survey, survey_cost_table
 

@@ -6,7 +6,7 @@ against the published table before timing.
 """
 
 from repro.core.taxonomy import all_classes, enumerate_classes
-from repro.reporting.tables import render_table1, table1_rows
+from repro.reporting.tables import render_table1
 from tests.golden.paper_data import TABLE1
 
 

@@ -1,0 +1,117 @@
+"""Benchmark-regression gate: compare a pytest-benchmark run to a baseline.
+
+Usage (what the CI ``bench`` job runs)::
+
+    python benchmarks/compare_benchmarks.py \
+        benchmarks/baseline.json bench-current.json --max-regression 0.25
+
+Both files are ``--benchmark-json`` outputs. Tests are matched by their
+``fullname``; a test whose current median exceeds the baseline median by
+more than ``--max-regression`` fails the gate (exit 1). Tests present
+only on one side are reported but never fail — new benchmarks enter the
+baseline on the next ``--update``.
+
+``--update`` rewrites the baseline file from the current run instead of
+comparing (commit the result to move the bar deliberately).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+
+def load_medians(path: Path) -> "dict[str, float]":
+    """fullname -> median seconds, from a --benchmark-json file."""
+    data = json.loads(path.read_text())
+    medians: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        medians[bench["fullname"]] = bench["stats"]["median"]
+    return medians
+
+
+def compare(
+    baseline: "dict[str, float]",
+    current: "dict[str, float]",
+    *,
+    max_regression: float,
+) -> "tuple[list[str], bool]":
+    """Render a comparison table; True when the gate passes."""
+    lines = []
+    failed = False
+    width = max((len(name) for name in {*baseline, *current}), default=4)
+    header = f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  {'ratio':>7}  verdict"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted({*baseline, *current}):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            lines.append(
+                f"{name.ljust(width)}  {'—':>12}  {cur:>12.6f}  {'—':>7}  NEW (not gated)"
+            )
+            continue
+        if cur is None:
+            lines.append(
+                f"{name.ljust(width)}  {base:>12.6f}  {'—':>12}  {'—':>7}  MISSING (not gated)"
+            )
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        regressed = ratio > 1.0 + max_regression
+        verdict = f"FAIL (> +{max_regression:.0%})" if regressed else "ok"
+        failed = failed or regressed
+        lines.append(
+            f"{name.ljust(width)}  {base:>12.6f}  {cur:>12.6f}  {ratio:>6.2f}x  {verdict}"
+        )
+    return lines, not failed
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when benchmark medians regress beyond a threshold"
+    )
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument("current", type=Path, help="fresh --benchmark-json output")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed median slowdown as a fraction (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baseline with the current run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated from {args.current}")
+        return 0
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.current)
+    lines, passed = compare(
+        baseline, current, max_regression=args.max_regression
+    )
+    print("\n".join(lines))
+    print()
+    if passed:
+        print(f"benchmark gate PASSED ({len(current)} benchmarks)")
+        return 0
+    print(
+        f"benchmark gate FAILED: median regression beyond "
+        f"+{args.max_regression:.0%} of baseline",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

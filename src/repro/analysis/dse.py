@@ -15,7 +15,7 @@ classes ranked by the designer's chosen objective.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.pareto import DesignPoint, evaluate_classes
 from repro.core.naming import MachineType
@@ -145,10 +145,20 @@ def explore(
     objective: Objective = Objective.CONFIG_BITS,
     area_model: "AreaModel | None" = None,
     config_model: "ConfigBitsModel | None" = None,
+    jobs: int = 1,
+    executor: str = "process",
 ) -> Recommendation:
-    """Rank every implementable class against the requirements."""
+    """Rank every implementable class against the requirements.
+
+    ``jobs`` parallelises the class evaluation through the sweep engine
+    (see :mod:`repro.perf`); the recommendation is independent of it.
+    """
     points = evaluate_classes(
-        n=requirements.n, area_model=area_model, config_model=config_model
+        n=requirements.n,
+        area_model=area_model,
+        config_model=config_model,
+        jobs=jobs,
+        executor=executor,
     )
     feasible = [p for p in points if requirements.admits(p)]
     infeasible = [p for p in points if not requirements.admits(p)]

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-from repro.core.taxonomy import TaxonomyClass, class_by_name, implementable_classes
+from repro.core.taxonomy import class_by_name, implementable_classes
 from repro.machine.morph import can_emulate
 
 __all__ = ["MorphabilityOrder", "build_morphability_order"]

@@ -10,6 +10,7 @@ configuration bits) — the chart a designer would consult.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.core.flexibility import flexibility
@@ -17,6 +18,7 @@ from repro.core.naming import MachineType
 from repro.core.taxonomy import TaxonomyClass, implementable_classes
 from repro.models.area import AreaModel
 from repro.models.configbits import ConfigBitsModel
+from repro.perf import ModelCache, evaluate_models, sweep
 
 __all__ = ["DesignPoint", "evaluate_classes", "pareto_frontier"]
 
@@ -60,34 +62,49 @@ class DesignPoint:
         )
 
 
+def _design_point(
+    cls: TaxonomyClass, *, n: int, cache: "ModelCache | None"
+) -> DesignPoint:
+    """Price one taxonomy class — the sweep's per-point worker."""
+    assert cls.name is not None
+    estimates = evaluate_models(cls.signature, n=n, cache=cache)
+    return DesignPoint(
+        name=cls.name.short,
+        serial=cls.serial,
+        machine_type=cls.name.machine_type,
+        flexibility=flexibility(cls.signature),
+        area_ge=estimates.area_ge,
+        config_bits=estimates.config_bits,
+        n=n,
+    )
+
+
 def evaluate_classes(
     *,
     n: int = 16,
     area_model: "AreaModel | None" = None,
     config_model: "ConfigBitsModel | None" = None,
     classes: "tuple[TaxonomyClass, ...] | None" = None,
+    jobs: int = 1,
+    executor: str = "process",
 ) -> list[DesignPoint]:
-    """Evaluate Eq. 1 and Eq. 2 for every (given) implementable class."""
-    area = area_model if area_model is not None else AreaModel()
-    config = config_model if config_model is not None else ConfigBitsModel()
+    """Evaluate Eq. 1 and Eq. 2 for every (given) implementable class.
+
+    ``jobs``/``executor`` fan the per-class model evaluation out through
+    :func:`repro.perf.sweep`; results are identical (and identically
+    ordered) for any job count. Custom models get a private cache so the
+    shared one never mixes parameter sets.
+    """
+    cache = (
+        None
+        if area_model is None and config_model is None
+        else ModelCache(area_model=area_model, config_model=config_model)
+    )
     chosen = classes if classes is not None else implementable_classes()
-    points = []
-    for cls in chosen:
-        if not cls.implementable:
-            continue
-        assert cls.name is not None
-        points.append(
-            DesignPoint(
-                name=cls.name.short,
-                serial=cls.serial,
-                machine_type=cls.name.machine_type,
-                flexibility=flexibility(cls.signature),
-                area_ge=area.total_ge(cls.signature, n=n),
-                config_bits=config.total(cls.signature, n=n),
-                n=n,
-            )
-        )
-    return points
+    implementable = [cls for cls in chosen if cls.implementable]
+    worker = functools.partial(_design_point, n=n, cache=cache)
+    chosen_executor = "serial" if jobs == 1 else executor
+    return list(sweep(worker, implementable, executor=chosen_executor, jobs=jobs))
 
 
 def pareto_frontier(points: "list[DesignPoint]") -> list[DesignPoint]:

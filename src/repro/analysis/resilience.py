@@ -36,12 +36,14 @@ with the paper's Table-II flexibility scores. Both are tested.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.core.components import Multiplicity
 from repro.core.errors import FaultError
 from repro.core.connectivity import LINK_SITES, LinkKind
 from repro.core.signature import Signature
+from repro.perf import sweep
 from repro.registry.survey import SurveyEntry, survey_table
 
 __all__ = [
@@ -151,33 +153,45 @@ class ResiliencePoint:
             ) from None
 
 
+def _resilience_point(
+    entry: SurveyEntry, *, rates: "tuple[float, ...]", n: int, spares: int
+) -> ResiliencePoint:
+    """One architecture's degradation curve — the sweep's point worker."""
+    signature = entry.record.signature
+    return ResiliencePoint(
+        name=entry.name,
+        taxonomic_name=entry.taxonomic_name,
+        flexibility=entry.flexibility,
+        switched_sites=len(signature.switched_sites()),
+        remap_capable=can_remap(signature),
+        rates=rates,
+        throughput=degradation_curve(signature, rates, n=n, spares=spares),
+    )
+
+
 def resilience_sweep(
     rates: "tuple[float, ...]" = DEFAULT_FAULT_RATES,
     *,
     n: int = 16,
     spares: int = 0,
     entries: "tuple[SurveyEntry, ...] | None" = None,
+    jobs: int = 1,
+    executor: str = "process",
 ) -> list[ResiliencePoint]:
-    """Degradation curves for the whole survey, best-sustained first."""
+    """Degradation curves for the whole survey, best-sustained first.
+
+    ``jobs``/``executor`` run the per-architecture evaluation through
+    :func:`repro.perf.sweep`; because the engine preserves input order
+    and the final sort is total, any job count yields the same list.
+    """
     if not rates:
         raise ValueError("at least one fault rate is required")
     rows = entries if entries is not None else survey_table()
-    points = []
-    for entry in rows:
-        signature = entry.record.signature
-        points.append(
-            ResiliencePoint(
-                name=entry.name,
-                taxonomic_name=entry.taxonomic_name,
-                flexibility=entry.flexibility,
-                switched_sites=len(signature.switched_sites()),
-                remap_capable=can_remap(signature),
-                rates=tuple(rates),
-                throughput=degradation_curve(
-                    signature, tuple(rates), n=n, spares=spares
-                ),
-            )
-        )
+    worker = functools.partial(
+        _resilience_point, rates=tuple(rates), n=n, spares=spares
+    )
+    chosen_executor = "serial" if jobs == 1 else executor
+    points = list(sweep(worker, rows, executor=chosen_executor, jobs=jobs))
     points.sort(key=lambda p: (-p.mean_throughput, p.name))
     return points
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.compare import compare_classes, similarity
-from repro.core.taxonomy import TaxonomyClass, class_by_name
+from repro.core.taxonomy import TaxonomyClass
 from repro.registry.survey import SurveyEntry, survey_table
 
 __all__ = ["SimilarityMatrix", "survey_similarity", "nearest_neighbours"]

@@ -11,12 +11,14 @@ vs taxonomy flexibility.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import functools
+from dataclasses import dataclass
 
 from repro.models.area import AreaModel
 from repro.models.configbits import ConfigBitsModel
 from repro.models.energy import EnergyModel
 from repro.models.reconfiguration import ReconfigurationModel
+from repro.perf import ModelCache, evaluate_models, sweep
 from repro.registry.architectures import all_architectures
 from repro.registry.record import ArchitectureRecord
 
@@ -56,6 +58,24 @@ def _effective_n(record: ArchitectureRecord, default_n: int) -> int:
     return max(resolved, 1)
 
 
+def _cost_point(
+    record: ArchitectureRecord, *, default_n: int, cache: "ModelCache | None"
+) -> SurveyCostPoint:
+    """Price one surveyed architecture — the sweep's per-point worker."""
+    n = _effective_n(record, default_n)
+    estimates = evaluate_models(record.signature, n=n, cache=cache)
+    return SurveyCostPoint(
+        name=record.name,
+        taxonomic_name=record.derived_name,
+        flexibility=record.derived_flexibility,
+        n_effective=n,
+        area_ge=estimates.area_ge,
+        config_bits=estimates.config_bits,
+        energy_per_op_pj=estimates.energy_per_op_pj,
+        reconfig_cycles=estimates.reconfig_cycles,
+    )
+
+
 def evaluate_survey(
     *,
     default_n: int = 16,
@@ -63,40 +83,37 @@ def evaluate_survey(
     config_model: "ConfigBitsModel | None" = None,
     energy_model: "EnergyModel | None" = None,
     reconfig_model: "ReconfigurationModel | None" = None,
+    jobs: int = 1,
+    executor: str = "process",
 ) -> list[SurveyCostPoint]:
-    """Estimate every surveyed architecture's costs at its own size."""
-    area = area_model if area_model is not None else AreaModel()
-    config = config_model if config_model is not None else ConfigBitsModel()
-    energy = energy_model if energy_model is not None else EnergyModel(area_model=area)
-    reconfig = (
-        reconfig_model
-        if reconfig_model is not None
-        else ReconfigurationModel(config_model=config)
-    )
-    points = []
-    for record in all_architectures():
-        n = _effective_n(record, default_n)
-        signature = record.signature
-        points.append(
-            SurveyCostPoint(
-                name=record.name,
-                taxonomic_name=record.derived_name,
-                flexibility=record.derived_flexibility,
-                n_effective=n,
-                area_ge=area.total_ge(signature, n=n),
-                config_bits=config.total(signature, n=n),
-                energy_per_op_pj=energy.energy_per_op(signature, n=n),
-                reconfig_cycles=reconfig.cost(signature, n=n).cycles,
-            )
+    """Estimate every surveyed architecture's costs at its own size.
+
+    Evaluations go through the :mod:`repro.perf` model cache — two
+    architectures sharing a signature and size are priced once — and
+    ``jobs``/``executor`` fan the records out through the sweep engine
+    with order-preserving results.
+    """
+    custom = (area_model, config_model, energy_model, reconfig_model)
+    cache = (
+        None
+        if all(model is None for model in custom)
+        else ModelCache(
+            area_model=area_model,
+            config_model=config_model,
+            energy_model=energy_model,
+            reconfig_model=reconfig_model,
         )
-    return points
+    )
+    worker = functools.partial(_cost_point, default_n=default_n, cache=cache)
+    chosen_executor = "serial" if jobs == 1 else executor
+    return list(sweep(worker, all_architectures(), executor=chosen_executor, jobs=jobs))
 
 
-def survey_cost_table(*, default_n: int = 16) -> str:
+def survey_cost_table(*, default_n: int = 16, jobs: int = 1) -> str:
     """Rendered cost table over the whole survey."""
     from repro.reporting.tables import format_table
 
-    points = evaluate_survey(default_n=default_n)
+    points = evaluate_survey(default_n=default_n, jobs=jobs)
     header = (
         "architecture", "class", "flex", "n", "area (GE)",
         "config bits", "pJ/op", "reload cycles",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bibliometrics.corpus import PublicationCorpus, Topic
+from repro.bibliometrics.corpus import PublicationCorpus
 
 __all__ = ["TopicTrend", "TrendReport", "compute_trends"]
 

@@ -94,6 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["config", "area", "flex-per-area"],
         default="config",
     )
+    _add_jobs_argument(dse_parser)
+
+    costs_parser = sub.add_parser(
+        "costs", help="cost out the 25 surveyed architectures (Eq. 1/2 + energy)"
+    )
+    costs_parser.add_argument(
+        "--n", type=int, default=16,
+        help="design size for template (n/m/v) architectures (default 16)",
+    )
+    _add_jobs_argument(costs_parser)
 
     report_parser = sub.add_parser(
         "report", help="write every artifact (tables, figures, JSON) to a directory"
@@ -129,11 +139,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="artifacts/resilience.csv",
         help="CSV destination ('-' to skip writing)",
     )
+    _add_jobs_argument(faults_parser)
 
     sub.add_parser("errata", help="paper-vs-derived discrepancies")
     sub.add_parser("audit", help="run the library self-consistency audit")
     sub.add_parser("baselines", help="compare against Flynn and Skillicorn 1988")
     return parser
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--jobs`` flag: sweep parallelism, artifact-invariant.
+
+    Results are byte-identical for every value — the sweep engine
+    preserves input ordering — so ``--jobs`` trades wall-clock only.
+    ``0`` means one worker per core.
+    """
+    parser.add_argument(
+        "--jobs", type=_jobs_count, default=1, metavar="N",
+        help="worker processes for the sweep (default 1 = serial, 0 = all cores)",
+    )
+
+
+def _jobs_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def _run_faults(args: argparse.Namespace) -> int:
@@ -201,7 +232,7 @@ def _run_faults(args: argparse.Namespace) -> int:
             ) from None
     else:
         rates = DEFAULT_FAULT_RATES
-    points = resilience_sweep(rates, n=args.n, spares=args.spares)
+    points = resilience_sweep(rates, n=args.n, spares=args.spares, jobs=args.jobs)
     print(render_resilience_table(points))
 
     if args.out != "-":
@@ -256,7 +287,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             max_config_bits=args.max_config_bits,
             n=args.n,
         )
-        print(explore(requirements, objective=objective).explain())
+        print(explore(requirements, objective=objective, jobs=args.jobs).explain())
+    elif args.command == "costs":
+        from repro.analysis.survey_costs import survey_cost_table
+
+        print(survey_cost_table(default_n=args.n, jobs=args.jobs))
     elif args.command == "report":
         from repro.reporting.bundle import generate_report
 

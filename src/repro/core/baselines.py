@@ -21,9 +21,9 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core.components import Multiplicity
-from repro.core.connectivity import LinkKind, LinkSite
+from repro.core.connectivity import LinkSite
 from repro.core.signature import Signature
-from repro.core.taxonomy import TaxonomyClass, all_classes
+from repro.core.taxonomy import all_classes
 
 __all__ = [
     "FlynnClass",

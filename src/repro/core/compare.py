@@ -17,7 +17,6 @@ from dataclasses import dataclass
 
 from repro.core.connectivity import LINK_SITES, LinkSite
 from repro.core.naming import TaxonomicName
-from repro.core.signature import Signature
 from repro.core.taxonomy import TaxonomyClass, class_by_name
 
 __all__ = ["NameComparison", "compare_names", "compare_classes", "similarity"]

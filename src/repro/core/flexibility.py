@@ -21,8 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.components import Multiplicity
-from repro.core.connectivity import LINK_SITES, LinkSite
+from repro.core.connectivity import LinkSite
 from repro.core.naming import MachineType
 from repro.core.signature import Signature
 

@@ -18,7 +18,7 @@ from functools import lru_cache
 from typing import Iterator
 
 from repro.core.components import ComponentCount, Granularity, Multiplicity
-from repro.core.connectivity import LINK_SITES, Link, LinkKind, LinkSite
+from repro.core.connectivity import Link, LinkKind
 from repro.core.errors import ClassificationError
 from repro.core.naming import (
     MachineType,

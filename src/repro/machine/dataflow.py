@@ -17,7 +17,7 @@ flexibility ladder of Fig. 3.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import CapabilityError, ProgramError
 from repro.machine.base import Capability, ExecutionResult

@@ -8,7 +8,6 @@ starts, demonstrating the flexibility floor of the IUP class.
 
 from __future__ import annotations
 
-from repro.core.errors import CapabilityError
 from repro.machine.base import Capability, ExecutionResult, check_capabilities
 from repro.machine.program import Program, required_capabilities
 from repro.machine.scalar import ExtensionPort, ScalarCore

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.components import Multiplicity
-from repro.core.connectivity import LINK_SITES, LinkSite
+from repro.core.connectivity import LINK_SITES
 from repro.core.naming import MachineType, ProcessingType
 from repro.core.taxonomy import TaxonomyClass
 
@@ -104,13 +104,12 @@ def demonstrate_morphs() -> list[MorphDemonstration]:
     machine of another class (or shows the converse refusal), returning
     the observed evidence. Used by tests and the morph ablation bench.
     """
-    from repro.core.errors import CapabilityError, ProgramError, ReproError
+    from repro.core.errors import CapabilityError, ReproError
     from repro.machine.array_processor import ArrayProcessor, ArraySubtype
     from repro.machine.dataflow import DataflowMachine
     from repro.machine.instruction import Uniprocessor
     from repro.machine.kernels import (
         dataflow_dot_product,
-        scalar_vector_add,
         simd_reduction_shuffle,
         simd_vector_add,
         vector_add_reference,

@@ -13,7 +13,7 @@ synthesised datapaths match the reference integer semantics modulo
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import ConfigurationError
 from repro.machine.fabric import CellConfig, LutFabric, Source

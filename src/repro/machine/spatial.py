@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.errors import CapabilityError, ProgramError
+from repro.core.errors import ProgramError
 from repro.machine.base import Capability, ExecutionResult, check_capabilities
 from repro.machine.multiprocessor import Multiprocessor, MultiprocessorSubtype
 from repro.machine.program import Instruction, Program, required_capabilities

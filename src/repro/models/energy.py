@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.connectivity import LINK_SITES, LinkKind, LinkSite
+from repro.core.connectivity import LinkKind, LinkSite
 from repro.core.signature import Signature
 from repro.models.area import AreaModel
 

@@ -1,0 +1,47 @@
+"""Performance substrate: parallel sweeps and model-evaluation caching.
+
+Every analysis in this package is a *sweep* — the same pure function
+evaluated over a grid of points (25 survey records, 47 taxonomy classes,
+fault-rate ladders, design sizes). :mod:`repro.perf` gives those sweeps
+a shared engine:
+
+* :func:`sweep` — map a function over points with a serial, thread or
+  process executor, deterministic result ordering and per-point timing;
+* :class:`ModelCache` / :func:`evaluate_models` — an LRU-memoised cache
+  over the Eq.-1 area, Eq.-2 configuration-bit, energy and
+  reconfiguration models, keyed on ``(class_id, n, technology)``.
+
+The analysis sweeps (:func:`repro.analysis.resilience.resilience_sweep`,
+:func:`repro.analysis.survey_costs.evaluate_survey`,
+:func:`repro.analysis.pareto.evaluate_classes`) and their CLI
+subcommands (``--jobs N``) are built on this engine; see
+``docs/performance.md``.
+"""
+
+from repro.perf.cache import (
+    DEFAULT_CACHE,
+    CacheStats,
+    ModelCache,
+    ModelEstimates,
+    evaluate_models,
+)
+from repro.perf.engine import (
+    EXECUTORS,
+    PointResult,
+    SweepResult,
+    resolve_jobs,
+    sweep,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "PointResult",
+    "SweepResult",
+    "resolve_jobs",
+    "sweep",
+    "DEFAULT_CACHE",
+    "CacheStats",
+    "ModelCache",
+    "ModelEstimates",
+    "evaluate_models",
+]

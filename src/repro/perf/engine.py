@@ -1,0 +1,183 @@
+"""The parallel sweep engine.
+
+A *sweep* evaluates one pure function over a grid of points. The engine
+owns the three concerns every sweep in this package shares:
+
+* **executor choice** — ``serial`` (plain loop, zero overhead),
+  ``thread`` (useful when the point function releases the GIL, e.g.
+  NumPy kernels) or ``process`` (true parallelism for pure-Python point
+  functions — the common case here);
+* **deterministic ordering** — results come back in input order no
+  matter which worker finished first, so parallel artifacts are
+  byte-identical to serial ones;
+* **per-point timing** — each point's evaluation time is captured in
+  the worker itself (excluding scheduling and serialisation), so the
+  benchmark suite can separate compute from orchestration overhead.
+
+Point functions used with the ``process`` executor must be picklable:
+module-level functions, or :func:`functools.partial` over one.
+Exceptions raised by a point function propagate to the caller — for the
+``process`` executor they cross the pipe and re-raise in the parent,
+always for the lowest-indexed failing point, so failures are as
+deterministic as results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+__all__ = ["EXECUTORS", "PointResult", "SweepResult", "resolve_jobs", "sweep"]
+
+#: Recognised executor names.
+EXECUTORS: tuple[str, ...] = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True, slots=True)
+class PointResult:
+    """One evaluated sweep point."""
+
+    index: int
+    point: Any
+    value: Any
+    elapsed_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """A completed sweep: values in input order plus timing telemetry."""
+
+    values: tuple[Any, ...]
+    timings: tuple[float, ...]
+    executor: str
+    jobs: int
+    chunksize: int
+    wall_s: float
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    @property
+    def point_s(self) -> float:
+        """Total in-worker compute time across all points."""
+        return sum(self.timings)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Compute-to-wall ratio per worker: 1.0 means perfect scaling.
+
+        Serial sweeps report the bare compute/wall ratio (< 1.0 measures
+        engine overhead); parallel sweeps divide by the worker count.
+        """
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.point_s / (self.wall_s * max(self.jobs, 1))
+
+
+def resolve_jobs(jobs: "int | None") -> int:
+    """Normalise a ``--jobs`` value: ``None``/0 means all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    return jobs
+
+
+def _timed_point(fn: Callable[[Any], Any], index: int, point: Any) -> PointResult:
+    start = time.perf_counter()
+    value = fn(point)
+    return PointResult(
+        index=index, point=point, value=value, elapsed_s=time.perf_counter() - start
+    )
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any], chunk: "list[tuple[int, Any]]"
+) -> list[PointResult]:
+    """Worker entry point: evaluate one chunk of (index, point) pairs."""
+    return [_timed_point(fn, index, point) for index, point in chunk]
+
+
+def _chunked(
+    items: "list[tuple[int, Any]]", chunksize: int
+) -> "list[list[tuple[int, Any]]]":
+    return [items[i : i + chunksize] for i in range(0, len(items), chunksize)]
+
+
+def sweep(
+    fn: Callable[[Any], Any],
+    points: "Iterable[Any]",
+    *,
+    executor: str = "serial",
+    jobs: "int | None" = None,
+    chunksize: int = 1,
+) -> SweepResult:
+    """Evaluate ``fn`` over ``points``; results come back in input order.
+
+    ``executor='serial'`` (or a resolved worker count of 1) runs a plain
+    loop in the calling process — no pools, no pickling, bitwise the
+    behaviour the parallel paths must reproduce. ``chunksize`` batches
+    points per task to amortise scheduling and serialisation overhead
+    when points are cheap.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}: expected one of {', '.join(EXECUTORS)}"
+        )
+    if chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    indexed: list[tuple[int, Any]] = list(enumerate(points))
+    n_jobs = 1 if executor == "serial" else min(resolve_jobs(jobs), max(len(indexed), 1))
+
+    start = time.perf_counter()
+    if not indexed:
+        return SweepResult((), (), executor, n_jobs, chunksize, 0.0)
+    if executor == "serial" or n_jobs == 1:
+        results = _run_chunk(fn, indexed)
+        wall = time.perf_counter() - start
+        return SweepResult(
+            values=tuple(r.value for r in results),
+            timings=tuple(r.elapsed_s for r in results),
+            executor=executor,
+            jobs=1,
+            chunksize=chunksize,
+            wall_s=wall,
+        )
+
+    pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+    chunks = _chunked(indexed, chunksize)
+    results: list[PointResult] = []
+    with pool_cls(max_workers=n_jobs) as pool:
+        futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+        wait(futures, return_when=FIRST_EXCEPTION)
+        error: BaseException | None = None
+        for future in futures:
+            if error is not None:
+                future.cancel()
+                continue
+            exc = future.exception() if not future.cancelled() else None
+            if exc is not None:
+                error = exc
+            elif not future.cancelled():
+                results.extend(future.result())
+        if error is not None:
+            raise error
+    results.sort(key=lambda r: r.index)
+    wall = time.perf_counter() - start
+    return SweepResult(
+        values=tuple(r.value for r in results),
+        timings=tuple(r.elapsed_s for r in results),
+        executor=executor,
+        jobs=n_jobs,
+        chunksize=chunksize,
+        wall_s=wall,
+    )

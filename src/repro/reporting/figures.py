@@ -12,7 +12,6 @@ without plotting dependencies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.bibliometrics.trends import TrendReport, compute_trends
 from repro.core.connectivity import LINK_SITES

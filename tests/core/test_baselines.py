@@ -1,6 +1,5 @@
 """Unit tests for the Flynn and Skillicorn baseline taxonomies."""
 
-import pytest
 
 from repro.core import (
     FlynnClass,

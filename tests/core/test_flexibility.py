@@ -1,6 +1,5 @@
 """Unit tests for the flexibility scoring system (§III-B rules)."""
 
-import pytest
 
 from repro.core import (
     LinkSite,

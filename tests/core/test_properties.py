@@ -5,14 +5,13 @@ check classification totality, flexibility monotonicity, naming codec
 round-trips and serialisation inverses.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import (
     LINK_SITES,
     LinkKind,
     LinkSite,
-    Multiplicity,
     Signature,
     TaxonomicName,
     classify,

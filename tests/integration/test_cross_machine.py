@@ -6,7 +6,6 @@ agree with the pure-Python reference — five machine organisations, one
 answer.
 """
 
-import pytest
 
 from repro.machine import (
     ArrayProcessor,

@@ -1,0 +1,161 @@
+"""The NumPy lane-dispatch path must be bit-identical to the interpreter.
+
+Vectorization is a dispatch optimisation, not a semantics change: for
+every kernel and every failure mode the two paths must agree on results,
+cycle counts, lane state and error text.
+"""
+
+import pytest
+
+from repro.core.errors import ProgramError
+from repro.machine.array_processor import (
+    ArrayProcessor,
+    ArraySubtype,
+    vectorizable,
+)
+from repro.machine.kernels import (
+    simd_gather_reverse,
+    simd_reduction_shuffle,
+    simd_vector_add,
+)
+from repro.machine.program import Opcode, Program, ins
+
+
+def _pair(n_lanes=16, subtype=ArraySubtype.IAP_IV, **kwargs):
+    return (
+        ArrayProcessor(n_lanes, subtype, **kwargs),
+        ArrayProcessor(n_lanes, subtype, **kwargs),
+    )
+
+
+def _assert_same_run(interpreted, vectorized, program, **kwargs):
+    result_i = interpreted.run(program, vectorize=False, **kwargs)
+    result_v = vectorized.run(program, vectorize=True, **kwargs)
+    assert result_i.cycles == result_v.cycles
+    assert result_i.operations == result_v.operations
+    assert result_i.outputs == result_v.outputs
+    assert result_i.stats == result_v.stats
+    for lane_i, lane_v in zip(interpreted.lanes, vectorized.lanes):
+        assert lane_i.registers == lane_v.registers
+        assert lane_i.memory == lane_v.memory
+        assert lane_i.pc == lane_v.pc
+        assert lane_i.halted == lane_v.halted
+
+
+def test_vector_add_matches_interpreter():
+    interpreted, vectorized = _pair()
+    for machine in (interpreted, vectorized):
+        machine.scatter(0, list(range(16 * 8)))
+        machine.scatter(64, list(range(0, 2 * 16 * 8, 2)))
+    _assert_same_run(interpreted, vectorized, simd_vector_add(8))
+
+
+def test_shuffle_reduction_matches_interpreter():
+    interpreted, vectorized = _pair()
+    for machine in (interpreted, vectorized):
+        machine.scatter(0, [3 * i + 1 for i in range(16)])
+    _assert_same_run(interpreted, vectorized, simd_reduction_shuffle(16))
+
+
+def test_arbitrary_precision_is_preserved():
+    """Chained MULs overflow int64 fast; both paths must stay exact."""
+    program = Program(
+        [
+            ins(Opcode.LDI, rd=1, imm=2**30 + 7),
+            ins(Opcode.MUL, rd=1, rs1=1, rs2=1),
+            ins(Opcode.MUL, rd=1, rs1=1, rs2=1),
+            ins(Opcode.SHR, rd=2, rs1=1, imm=100),
+            ins(Opcode.HALT),
+        ],
+        "bigint",
+    )
+    interpreted, vectorized = _pair(8, ArraySubtype.IAP_I)
+    _assert_same_run(interpreted, vectorized, program)
+    value = vectorized.lanes[0].registers[1]
+    assert value == (2**30 + 7) ** 4  # > 2**120: far past any fixed width
+
+
+@pytest.mark.parametrize(
+    "program",
+    [
+        Program(
+            [
+                ins(Opcode.LANEID, rd=1),
+                ins(Opcode.LDI, rd=2, imm=0),
+                ins(Opcode.BEQ, rs1=1, rs2=2, imm=4),
+                ins(Opcode.NOP),
+                ins(Opcode.HALT),
+            ],
+            "divergent",
+        ),
+        Program(
+            [
+                ins(Opcode.LDI, rd=1, imm=5),
+                ins(Opcode.LANEID, rd=2),
+                ins(Opcode.DIV, rd=3, rs1=1, rs2=2),
+                ins(Opcode.HALT),
+            ],
+            "divzero",
+        ),
+        Program(
+            [
+                ins(Opcode.LDI, rd=1, imm=4000),
+                ins(Opcode.LD, rd=2, rs1=1, imm=0),
+                ins(Opcode.HALT),
+            ],
+            "out-of-bounds",
+        ),
+    ],
+)
+def test_program_errors_match_interpreter(program):
+    interpreted, vectorized = _pair(8, ArraySubtype.IAP_I)
+    with pytest.raises(ProgramError) as error_i:
+        interpreted.run(program, vectorize=False)
+    with pytest.raises(ProgramError) as error_v:
+        vectorized.run(program, vectorize=True)
+    assert str(error_i.value) == str(error_v.value)
+
+
+def test_vectorizable_predicate():
+    assert vectorizable(simd_vector_add(4))
+    assert vectorizable(simd_reduction_shuffle(8))
+    assert not vectorizable(simd_gather_reverse(8, 1024))  # GLD is port-mediated
+
+
+def test_forcing_vectorization_of_port_ops_is_an_error():
+    machine = ArrayProcessor(8, ArraySubtype.IAP_IV)
+    with pytest.raises(ValueError, match="non-vectorizable"):
+        machine.run(simd_gather_reverse(8, 1024), vectorize=True)
+
+
+def test_forcing_vectorization_with_faults_is_an_error():
+    from repro.faults import FaultPlan
+
+    machine = ArrayProcessor(8, ArraySubtype.IAP_IV)
+    plan = FaultPlan.random(0, 0.1, n_pes=8)
+    with pytest.raises(ValueError, match="faults"):
+        machine.run(simd_vector_add(2), vectorize=True, faults=plan)
+
+
+def test_auto_dispatch_falls_back_below_width_threshold():
+    """Narrow arrays take the interpreter; results stay identical."""
+    interpreted, auto = _pair(4)
+    for machine in (interpreted, auto):
+        machine.scatter(0, list(range(4 * 4)))
+        machine.scatter(64, list(range(4 * 4)))
+    result_i = interpreted.run(simd_vector_add(4), vectorize=False)
+    result_a = auto.run(simd_vector_add(4))
+    assert result_i.outputs == result_a.outputs
+
+
+def test_auto_dispatch_handles_faulty_runs():
+    from repro.faults import FaultPlan, FaultPolicy
+
+    machine = ArrayProcessor(16, ArraySubtype.IAP_IV)
+    machine.scatter(0, list(range(16 * 4)))
+    machine.scatter(64, list(range(16 * 4)))
+    plan = FaultPlan.random(1, 0.05, n_pes=16)
+    result = machine.run(
+        simd_vector_add(4), faults=plan, policy=FaultPolicy.parse("remap")
+    )
+    assert result.operations > 0

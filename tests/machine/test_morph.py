@@ -1,6 +1,5 @@
 """Unit tests for the morphability relation and executed demonstrations."""
 
-import pytest
 
 from repro.core import class_by_name, class_by_serial
 from repro.machine.morph import can_emulate, demonstrate_morphs

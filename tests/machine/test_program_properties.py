@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.machine import Opcode, Program, Uniprocessor, assemble, ins
+from repro.machine import Program, Uniprocessor, assemble, ins
 
 #: Non-branch, non-extension opcodes safe for random straight-line code.
 _STRAIGHT_OPS = (

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import LinkSite, class_by_name
-from repro.models.area import AreaBreakdown, AreaModel, ComponentAreas, estimate_area
+from repro.models.area import AreaModel, ComponentAreas, estimate_area
 from repro.models.switches import LimitedCrossbarModel
 from repro.models.technology import NODE_28NM, NODE_65NM
 

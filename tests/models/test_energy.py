@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import class_by_name
-from repro.models.energy import EnergyBreakdown, EnergyModel, EnergyParameters
+from repro.models.energy import EnergyModel, EnergyParameters
 
 
 @pytest.fixture(scope="module")

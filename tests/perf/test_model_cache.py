@@ -1,0 +1,120 @@
+"""The model cache's contracts: correctness, keying, invalidation, LRU."""
+
+import pytest
+
+from repro.core.taxonomy import implementable_classes
+from repro.models.area import AreaModel, ComponentAreas
+from repro.models.configbits import ConfigBitsModel
+from repro.models.energy import EnergyModel
+from repro.models.reconfiguration import ReconfigurationModel
+from repro.models.technology import NODE_28NM, NODE_65NM, TechnologyNode
+from repro.perf import ModelCache, evaluate_models
+
+
+@pytest.fixture()
+def signature():
+    # The all-switched single-IP array class: every model term is active.
+    for cls in implementable_classes():
+        if cls.name is not None and cls.name.short == "IAP-IV":
+            return cls.signature
+    raise AssertionError("IAP-IV not found")
+
+
+def test_cached_values_match_direct_model_evaluation(signature):
+    cache = ModelCache()
+    estimates = cache.evaluate(signature, n=16)
+    area = AreaModel()
+    config = ConfigBitsModel()
+    assert estimates.area_ge == area.total_ge(signature, n=16)
+    assert estimates.area_um2 == area.total_um2(signature, n=16, node=NODE_65NM)
+    assert estimates.config_bits == config.total(signature, n=16)
+    assert estimates.energy_per_op_pj == EnergyModel(area_model=area).energy_per_op(
+        signature, n=16
+    )
+    assert estimates.reconfig_cycles == ReconfigurationModel(
+        config_model=config
+    ).cost(signature, n=16).cycles
+
+
+def test_repeat_lookup_hits(signature):
+    cache = ModelCache()
+    first = cache.evaluate(signature, n=16)
+    second = cache.evaluate(signature, n=16)
+    assert first is second
+    stats = cache.stats
+    assert (stats.hits, stats.misses) == (1, 1)
+    assert stats.hit_rate == 0.5
+
+
+def test_different_n_misses(signature):
+    cache = ModelCache()
+    cache.evaluate(signature, n=16)
+    cache.evaluate(signature, n=32)
+    assert cache.stats.misses == 2
+
+
+def test_technology_parameter_change_invalidates(signature):
+    """Retuning a node's numbers must miss even under the same name."""
+    cache = ModelCache()
+    baseline = cache.evaluate(signature, n=16, technology=NODE_65NM)
+    retuned = TechnologyNode("65nm", 65.0, 2.5, 0.6)
+    fresh = cache.evaluate(signature, n=16, technology=retuned)
+    assert cache.stats.misses == 2
+    assert fresh.area_um2 != baseline.area_um2
+    # The GE figure is node-independent; only silicon conversion moved.
+    assert fresh.area_ge == baseline.area_ge
+
+
+def test_distinct_nodes_get_distinct_entries(signature):
+    cache = ModelCache()
+    at_65 = cache.evaluate(signature, n=16, technology=NODE_65NM)
+    at_28 = cache.evaluate(signature, n=16, technology=NODE_28NM)
+    assert at_28.area_um2 < at_65.area_um2
+    assert cache.stats.misses == 2
+
+
+def test_clear_resets_entries_and_counters(signature):
+    cache = ModelCache()
+    cache.evaluate(signature, n=16)
+    cache.evaluate(signature, n=16)
+    cache.clear()
+    stats = cache.stats
+    assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+    cache.evaluate(signature, n=16)
+    assert cache.stats.misses == 1
+
+
+def test_lru_eviction(signature):
+    cache = ModelCache(maxsize=2)
+    cache.evaluate(signature, n=8)
+    cache.evaluate(signature, n=16)
+    cache.evaluate(signature, n=8)    # refresh n=8: n=16 is now oldest
+    cache.evaluate(signature, n=32)   # evicts n=16
+    cache.evaluate(signature, n=8)    # still cached
+    stats = cache.stats
+    assert stats.evictions == 1
+    assert stats.size == 2
+    cache.evaluate(signature, n=16)   # was evicted: a miss again
+    assert cache.stats.misses == 4
+
+
+def test_custom_models_flow_through(signature):
+    doubled = AreaModel(areas=ComponentAreas(dp_ge=16_000.0))
+    cache = ModelCache(area_model=doubled)
+    estimates = cache.evaluate(signature, n=16)
+    assert estimates.area_ge == doubled.total_ge(signature, n=16)
+    assert estimates.area_ge > AreaModel().total_ge(signature, n=16)
+
+
+def test_module_level_entry_point_uses_shared_cache(signature):
+    private = ModelCache()
+    via_private = evaluate_models(signature, n=16, cache=private)
+    direct = private.evaluate(signature, n=16)
+    assert via_private is direct
+    shared = evaluate_models(signature, n=16)
+    assert shared.area_ge == via_private.area_ge
+
+
+def test_bad_maxsize_rejected():
+    with pytest.raises(ValueError, match="maxsize"):
+        ModelCache(maxsize=0)

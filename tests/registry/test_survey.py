@@ -1,6 +1,5 @@
 """Unit tests for the survey query API."""
 
-import pytest
 
 from repro.core.naming import MachineType
 from repro.registry import (

@@ -4,7 +4,6 @@ import csv
 import io
 import json
 
-import pytest
 
 from repro.core import all_classes, classify, make_signature
 from repro.reporting.export import (
