@@ -11,6 +11,12 @@ more than ``--max-regression`` fails the gate (exit 1). Tests present
 only on one side are reported but never fail — new benchmarks enter the
 baseline on the next ``--update``.
 
+Sub-microsecond benchmarks sit at the timer-resolution floor, where a
+25% "regression" is scheduler noise, not a slowdown. A regression
+therefore only fails the gate when the absolute slowdown also exceeds
+``--min-delta`` (default 10µs); smaller excursions are reported as
+noise.
+
 ``--update`` rewrites the baseline file from the current run instead of
 comparing (commit the result to move the bar deliberately).
 """
@@ -38,6 +44,7 @@ def compare(
     current: "dict[str, float]",
     *,
     max_regression: float,
+    min_delta: float,
 ) -> "tuple[list[str], bool]":
     """Render a comparison table; True when the gate passes."""
     lines = []
@@ -60,8 +67,14 @@ def compare(
             )
             continue
         ratio = cur / base if base > 0 else float("inf")
-        regressed = ratio > 1.0 + max_regression
-        verdict = f"FAIL (> +{max_regression:.0%})" if regressed else "ok"
+        over_ratio = ratio > 1.0 + max_regression
+        regressed = over_ratio and (cur - base) > min_delta
+        if regressed:
+            verdict = f"FAIL (> +{max_regression:.0%})"
+        elif over_ratio:
+            verdict = "noise (under min delta)"
+        else:
+            verdict = "ok"
         failed = failed or regressed
         lines.append(
             f"{name.ljust(width)}  {base:>12.6f}  {cur:>12.6f}  {ratio:>6.2f}x  {verdict}"
@@ -82,6 +95,13 @@ def main(argv: "list[str] | None" = None) -> int:
         help="allowed median slowdown as a fraction (default 0.25 = 25%%)",
     )
     parser.add_argument(
+        "--min-delta",
+        type=float,
+        default=10e-6,
+        help="absolute slowdown in seconds a regression must also exceed "
+        "to fail the gate (default 10e-6 = 10µs)",
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="overwrite the baseline with the current run instead of comparing",
@@ -98,7 +118,10 @@ def main(argv: "list[str] | None" = None) -> int:
     baseline = load_medians(args.baseline)
     current = load_medians(args.current)
     lines, passed = compare(
-        baseline, current, max_regression=args.max_regression
+        baseline,
+        current,
+        max_regression=args.max_regression,
+        min_delta=args.min_delta,
     )
     print("\n".join(lines))
     print()

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.analysis.pareto import DesignPoint, evaluate_classes
 from repro.core.naming import MachineType
+from repro.obs import trace as _trace
 from repro.core.taxonomy import class_by_name
 from repro.machine.base import Capability
 from repro.models.area import AreaModel
@@ -50,6 +51,7 @@ class Requirements:
     n: int = 16
 
     def admits(self, point: DesignPoint) -> bool:
+        """Whether ``point`` satisfies every stated requirement."""
         if point.flexibility < self.min_flexibility:
             return False
         if self.max_area_ge is not None and point.area_ge > self.max_area_ge:
@@ -112,9 +114,11 @@ class Recommendation:
 
     @property
     def best(self) -> DesignPoint | None:
+        """The top-ranked feasible design point, or ``None`` when nothing qualifies."""
         return self.feasible[0] if self.feasible else None
 
     def explain(self) -> str:
+        """Human-readable breakdown, one line per contributing term."""
         lines = [
             f"objective: {self.objective.value}",
             f"feasible classes: {len(self.feasible)} / "
@@ -153,16 +157,20 @@ def explore(
     ``jobs`` parallelises the class evaluation through the sweep engine
     (see :mod:`repro.perf`); the recommendation is independent of it.
     """
-    points = evaluate_classes(
-        n=requirements.n,
-        area_model=area_model,
-        config_model=config_model,
-        jobs=jobs,
-        executor=executor,
-    )
-    feasible = [p for p in points if requirements.admits(p)]
-    infeasible = [p for p in points if not requirements.admits(p)]
-    feasible.sort(key=_objective_key(objective))
+    with _trace.span(
+        "analysis.dse", objective=objective.name, n=requirements.n, jobs=jobs
+    ) as dse_span:
+        points = evaluate_classes(
+            n=requirements.n,
+            area_model=area_model,
+            config_model=config_model,
+            jobs=jobs,
+            executor=executor,
+        )
+        feasible = [p for p in points if requirements.admits(p)]
+        infeasible = [p for p in points if not requirements.admits(p)]
+        feasible.sort(key=_objective_key(objective))
+        dse_span.set_attributes(feasible=len(feasible), infeasible=len(infeasible))
     return Recommendation(
         requirements=requirements,
         objective=objective,

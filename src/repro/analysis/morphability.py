@@ -26,6 +26,7 @@ class MorphabilityOrder:
     graph: nx.DiGraph  # edge a -> b means "a can emulate b" (a != b)
 
     def can_morph(self, emulator: str, target: str) -> bool:
+        """Whether an architecture of class ``source`` can morph into ``target``."""
         a = class_by_name(emulator).name.short  # type: ignore[union-attr]
         b = class_by_name(target).name.short  # type: ignore[union-attr]
         if a == b:

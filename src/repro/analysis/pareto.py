@@ -18,6 +18,7 @@ from repro.core.naming import MachineType
 from repro.core.taxonomy import TaxonomyClass, implementable_classes
 from repro.models.area import AreaModel
 from repro.models.configbits import ConfigBitsModel
+from repro.obs import trace as _trace
 from repro.perf import ModelCache, evaluate_models, sweep
 
 __all__ = ["DesignPoint", "evaluate_classes", "pareto_frontier"]
@@ -54,6 +55,7 @@ class DesignPoint:
         return no_worse and better
 
     def row(self) -> tuple[str, ...]:
+        """The record as a tuple of formatted table cells."""
         return (
             self.name,
             str(self.flexibility),
@@ -104,7 +106,8 @@ def evaluate_classes(
     implementable = [cls for cls in chosen if cls.implementable]
     worker = functools.partial(_design_point, n=n, cache=cache)
     chosen_executor = "serial" if jobs == 1 else executor
-    return list(sweep(worker, implementable, executor=chosen_executor, jobs=jobs))
+    with _trace.span("analysis.evaluate_classes", classes=len(implementable), n=n, jobs=jobs):
+        return list(sweep(worker, implementable, executor=chosen_executor, jobs=jobs))
 
 
 def pareto_frontier(points: "list[DesignPoint]") -> list[DesignPoint]:

@@ -43,6 +43,7 @@ from repro.core.components import Multiplicity
 from repro.core.errors import FaultError
 from repro.core.connectivity import LINK_SITES, LinkKind
 from repro.core.signature import Signature
+from repro.obs import trace as _trace
 from repro.perf import sweep
 from repro.registry.survey import SurveyEntry, survey_table
 
@@ -142,9 +143,11 @@ class ResiliencePoint:
 
     @property
     def mean_throughput(self) -> float:
+        """Mean normalised throughput across the swept fault rates."""
         return sum(self.throughput) / len(self.throughput)
 
     def at(self, rate: float) -> float:
+        """The normalised throughput recorded at fault rate ``rate``."""
         try:
             return self.throughput[self.rates.index(rate)]
         except ValueError:
@@ -191,7 +194,15 @@ def resilience_sweep(
         _resilience_point, rates=tuple(rates), n=n, spares=spares
     )
     chosen_executor = "serial" if jobs == 1 else executor
-    points = list(sweep(worker, rows, executor=chosen_executor, jobs=jobs))
+    with _trace.span(
+        "analysis.resilience_sweep",
+        architectures=len(rows),
+        rates=len(rates),
+        n=n,
+        spares=spares,
+        jobs=jobs,
+    ):
+        points = list(sweep(worker, rows, executor=chosen_executor, jobs=jobs))
     points.sort(key=lambda p: (-p.mean_throughput, p.name))
     return points
 

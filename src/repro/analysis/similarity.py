@@ -32,6 +32,7 @@ class SimilarityMatrix:
             raise ValueError("matrix shape must match labels")
 
     def value(self, a: str, b: str) -> float:
+        """The pairwise similarity score between architectures ``a`` and ``b``."""
         ia = self.labels.index(a)
         ib = self.labels.index(b)
         return float(self.values[ia, ib])
@@ -49,6 +50,7 @@ class SimilarityMatrix:
         return pairs[:top]
 
     def row(self, label: str) -> dict[str, float]:
+        """One architecture's similarity scores against every other, in matrix order."""
         index = self.labels.index(label)
         return {
             other: float(self.values[index, j])

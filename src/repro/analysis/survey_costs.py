@@ -18,6 +18,7 @@ from repro.models.area import AreaModel
 from repro.models.configbits import ConfigBitsModel
 from repro.models.energy import EnergyModel
 from repro.models.reconfiguration import ReconfigurationModel
+from repro.obs import trace as _trace
 from repro.perf import ModelCache, evaluate_models, sweep
 from repro.registry.architectures import all_architectures
 from repro.registry.record import ArchitectureRecord
@@ -39,6 +40,7 @@ class SurveyCostPoint:
     reconfig_cycles: int
 
     def row(self) -> tuple[str, ...]:
+        """The record as a tuple of formatted table cells."""
         return (
             self.name,
             self.taxonomic_name,
@@ -106,7 +108,11 @@ def evaluate_survey(
     )
     worker = functools.partial(_cost_point, default_n=default_n, cache=cache)
     chosen_executor = "serial" if jobs == 1 else executor
-    return list(sweep(worker, all_architectures(), executor=chosen_executor, jobs=jobs))
+    records = all_architectures()
+    with _trace.span(
+        "analysis.survey_costs", architectures=len(records), default_n=default_n, jobs=jobs
+    ):
+        return list(sweep(worker, records, executor=chosen_executor, jobs=jobs))
 
 
 def survey_cost_table(*, default_n: int = 16, jobs: int = 1) -> str:

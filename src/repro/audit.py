@@ -47,13 +47,16 @@ class AuditReport:
 
     @property
     def passed(self) -> bool:
+        """True when every check passed."""
         return all(check.passed for check in self.checks)
 
     @property
     def failures(self) -> list[AuditCheck]:
+        """The checks that failed."""
         return [check for check in self.checks if not check.passed]
 
     def summary(self) -> str:
+        """Human-readable report, one line per check."""
         lines = []
         for check in self.checks:
             mark = "PASS" if check.passed else "FAIL"

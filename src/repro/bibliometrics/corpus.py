@@ -43,6 +43,7 @@ class Topic:
     width: float
 
     def expected_count(self, year: int) -> float:
+        """Expected publications for this topic in ``year`` (logistic growth model)."""
         return self.base_rate + self.scale / (
             1.0 + math.exp(-(year - self.midpoint) / self.width)
         )
@@ -127,6 +128,7 @@ class PublicationCorpus:
 
     @property
     def years(self) -> range:
+        """Every simulated year, first through last inclusive."""
         return range(self.start_year, self.end_year + 1)
 
     def generate(self) -> list[Publication]:

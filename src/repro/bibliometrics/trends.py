@@ -29,6 +29,7 @@ class TopicTrend:
 
     @property
     def total(self) -> int:
+        """Total matched publications over the whole period."""
         return sum(self.counts)
 
     def window_mean(self, first: int, last: int) -> float:
@@ -79,12 +80,14 @@ class TrendReport:
     trends: tuple[TopicTrend, ...]
 
     def by_topic(self, topic: str) -> TopicTrend:
+        """The trend for ``topic``; raises ``KeyError`` for unknown topics."""
         for trend in self.trends:
             if trend.topic == topic:
                 return trend
         raise KeyError(f"no trend for topic {topic!r}")
 
     def growth_ranking(self, *, recent_years: int = 5) -> list[tuple[str, float]]:
+        """Topics ordered by recent growth factor, fastest-growing first."""
         ranked = [
             (trend.topic, trend.recent_growth_factor(recent_years=recent_years))
             for trend in self.trends

@@ -10,6 +10,9 @@
         --ip-im 1-1 --dp-dm 64-1 --dp-dp 64x64
     repro-taxonomy explain MorphoSys # survey entry + derivation
     repro-taxonomy dse --min-flexibility 4
+    repro-taxonomy dse --trace trace.json   # span tree of the run
+    repro-taxonomy costs --profile          # cProfile top-N to artifacts/
+    repro-taxonomy metrics                  # counters after a calibration run
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ _FIGURES = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro-taxonomy`` argparse tree (also drives ``docs/cli.md``)."""
     parser = argparse.ArgumentParser(
         prog="repro-taxonomy",
         description=(
@@ -95,6 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
         default="config",
     )
     _add_jobs_argument(dse_parser)
+    _add_trace_argument(dse_parser)
+    _add_profile_argument(dse_parser)
 
     costs_parser = sub.add_parser(
         "costs", help="cost out the 25 surveyed architectures (Eq. 1/2 + energy)"
@@ -104,11 +110,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="design size for template (n/m/v) architectures (default 16)",
     )
     _add_jobs_argument(costs_parser)
+    _add_trace_argument(costs_parser)
+    _add_profile_argument(costs_parser)
 
     report_parser = sub.add_parser(
         "report", help="write every artifact (tables, figures, JSON) to a directory"
     )
     report_parser.add_argument("outdir")
+    _add_trace_argument(report_parser)
 
     faults_parser = sub.add_parser(
         "faults",
@@ -140,6 +149,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="CSV destination ('-' to skip writing)",
     )
     _add_jobs_argument(faults_parser)
+    _add_trace_argument(faults_parser)
+    _add_profile_argument(faults_parser)
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="run a calibration workload, then print the process metrics registry",
+    )
+    metrics_parser.add_argument(
+        "--n", type=int, default=16,
+        help="design size for the calibration sweeps (default 16)",
+    )
+    metrics_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the registry snapshot as JSON instead of a table",
+    )
 
     sub.add_parser("errata", help="paper-vs-derived discrepancies")
     sub.add_parser("audit", help="run the library self-consistency audit")
@@ -161,10 +185,69 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def _jobs_count(text: str) -> int:
+    """Parse a ``--jobs`` value: any non-negative integer."""
     value = int(text)
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace FILE`` flag: record the run as a span tree.
+
+    The tracer is enabled for the duration of the command and the
+    collected spans are written to ``FILE`` as schema-versioned JSON
+    (see :func:`repro.obs.validate_trace`). The note confirming the
+    write goes to stderr so stdout artifacts stay byte-identical.
+    """
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a span tree of this run and write it to FILE as JSON",
+    )
+
+
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--profile`` flag: cProfile the command into artifacts/."""
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile this command and write a top-N table to "
+        "artifacts/profile_<command>.txt",
+    )
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    """The ``metrics`` subcommand: exercise the hot paths, dump counters.
+
+    Metrics are process-local, so a fresh CLI process must generate some
+    work before its registry says anything useful. The calibration
+    workload touches each instrumented subsystem: the survey cost sweep
+    twice (the second pass is all ModelCache hits), a short resilience
+    sweep, and one machine run.
+    """
+    from repro.analysis.resilience import resilience_sweep
+    from repro.analysis.survey_costs import evaluate_survey
+    from repro.machine.array_processor import ArrayProcessor, ArraySubtype
+    from repro.machine.kernels import simd_vector_add
+    from repro.obs import REGISTRY
+
+    evaluate_survey(default_n=args.n)
+    evaluate_survey(default_n=args.n)  # repeat pass: pure cache hits
+    resilience_sweep((0.01, 0.05, 0.2), n=args.n)
+    lanes = max(args.n, 2)
+    machine = ArrayProcessor(lanes, ArraySubtype.IAP_IV)
+    machine.scatter(0, list(range(lanes * 8)))
+    machine.scatter(64, list(range(lanes * 8)))
+    machine.run(simd_vector_add(8))
+
+    if args.json:
+        import json
+
+        print(json.dumps(REGISTRY.snapshot(), indent=2))
+    else:
+        print(f"process metrics after the calibration workload (n={args.n}):")
+        print()
+        print(REGISTRY.render())
+    return 0
 
 
 def _run_faults(args: argparse.Namespace) -> int:
@@ -310,6 +393,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0 if audit.passed else 1
     elif args.command == "faults":
         return _run_faults(args)
+    elif args.command == "metrics":
+        return _run_metrics(args)
     elif args.command == "baselines":
         from repro.core import baseline_resolution, extension_report
 
@@ -321,6 +406,20 @@ def _dispatch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dispatch_observed(args: argparse.Namespace) -> int:
+    """Dispatch under the optional ``--profile`` wrapper."""
+    if not getattr(args, "profile", False):
+        return _dispatch(args)
+    from repro.obs import Profiler
+
+    with Profiler(args.command, top=20, memory=True) as profiler:
+        status = _dispatch(args)
+    assert profiler.report is not None
+    path = profiler.report.write("artifacts")
+    print(f"wrote profile to {path}", file=sys.stderr)
+    return status
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """Parse and dispatch; library errors become a one-line diagnostic.
 
@@ -329,13 +428,29 @@ def main(argv: "list[str] | None" = None) -> int:
     returns exit code 2 (argparse's own usage-error convention), so
     shell pipelines can distinguish "the machine broke" from "the tool
     crashed". Non-library exceptions still traceback: those are bugs.
+
+    ``--trace FILE`` (on ``dse``, ``costs``, ``faults`` and ``report``)
+    records the whole command as a span tree; the JSON lands in FILE
+    even when the command fails, so a trace of a crashing run is still
+    inspectable.
     """
     args = build_parser().parse_args(argv)
+    trace_file = getattr(args, "trace", None)
+    if trace_file is not None:
+        from repro.obs import trace as obs_trace
+
+        obs_trace.reset()
+        obs_trace.enable()
     try:
-        return _dispatch(args)
+        return _dispatch_observed(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if trace_file is not None:
+            obs_trace.disable()
+            path = obs_trace.tracer().write_json(trace_file)
+            print(f"wrote trace to {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

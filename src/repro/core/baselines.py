@@ -150,6 +150,7 @@ class ExtensionReport:
     mimd_fanout: int
 
     def summary(self) -> str:
+        """Human-readable comparison against the baseline taxonomies."""
         return (
             f"{self.total_classes} extended classes; "
             f"{len(self.flynn_unmappable)} have no Flynn category; "

@@ -41,18 +41,22 @@ class Classification:
 
     @property
     def name(self) -> TaxonomicName | None:
+        """Full taxonomic name of the matched class."""
         return self.taxonomy_class.name
 
     @property
     def short_name(self) -> str:
+        """Short serial form of the matched class (e.g. ``'IAP-IV'``)."""
         return self.taxonomy_class.comment
 
     @property
     def flexibility(self) -> int:
+        """Table II flexibility score of the matched class."""
         return self.score.total
 
     @property
     def implementable(self) -> bool:
+        """Whether the matched class is implementable in hardware."""
         return self.taxonomy_class.implementable
 
     def explain(self) -> str:

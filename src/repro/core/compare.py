@@ -40,6 +40,7 @@ class NameComparison:
 
     @property
     def link_agreement(self) -> float:
+        """Fraction of the compared link sites on which both names agree."""
         total = len(self.shared_link_sites) + len(self.differing_link_sites)
         if total == 0:
             return 1.0
@@ -55,6 +56,7 @@ class NameComparison:
         )
 
     def explain(self) -> str:
+        """Human-readable breakdown, one line per contributing term."""
         lines = [f"{self.left.short} vs {self.right.short}:"]
         lines.append(
             f"  machine type: {'same' if self.same_machine_type else 'different'} "

@@ -44,6 +44,7 @@ class LinkKind(enum.Enum):
 
     @property
     def rank(self) -> int:
+        """Ordering key: absent < direct < switched."""
         return _LINK_RANK[self]
 
     def __lt__(self, other: "LinkKind") -> bool:
@@ -68,10 +69,12 @@ class LinkKind(enum.Enum):
 
     @property
     def is_switched(self) -> bool:
+        """True for the switched ``x`` kind."""
         return self is LinkKind.SWITCHED
 
     @property
     def exists(self) -> bool:
+        """True for any present (non-absent) kind."""
         return self is not LinkKind.NONE
 
 
@@ -97,6 +100,7 @@ class LinkSite(enum.Enum):
 
     @property
     def involves_ip(self) -> bool:
+        """Whether this link site involves the instruction processors."""
         return ComponentKind.IP in (self.left, self.right) or ComponentKind.IM in (
             self.left,
             self.right,
@@ -142,14 +146,17 @@ class Link:
 
     @classmethod
     def none(cls) -> "Link":
+        """The absent link."""
         return cls(LinkKind.NONE)
 
     @classmethod
     def direct(cls, left: "str | Multiplicity" = "1", right: "str | Multiplicity" = "1") -> "Link":
+        """A direct ``-`` link with the given end multiplicities."""
         return cls(LinkKind.DIRECT, str(left), str(right))
 
     @classmethod
     def switched(cls, left: "str | Multiplicity" = "n", right: "str | Multiplicity" = "n") -> "Link":
+        """A switched ``x`` link with the given end multiplicities."""
         return cls(LinkKind.SWITCHED, str(left), str(right))
 
     @classmethod
@@ -198,8 +205,10 @@ class Link:
 
     @property
     def is_switched(self) -> bool:
+        """True when this link is switched."""
         return self.kind.is_switched
 
     @property
     def exists(self) -> bool:
+        """True when this link is present."""
         return self.kind.exists

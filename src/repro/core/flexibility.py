@@ -49,6 +49,7 @@ class FlexibilityScore:
 
     @property
     def total(self) -> int:
+        """The summed flexibility score (the Table II number)."""
         return self.multiplicity_points + self.switch_points + self.universal_bonus
 
     def __int__(self) -> int:

@@ -38,6 +38,7 @@ class HierarchyNode:
 
     @property
     def leaf_count(self) -> int:
+        """Number of leaf classes under this node."""
         if not self.children:
             return max(1, len(self.classes))
         return sum(child.leaf_count for child in self.children)

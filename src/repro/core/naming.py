@@ -184,6 +184,7 @@ class TaxonomicName:
     subtype: int | None = None
 
     def sort_key(self) -> tuple[int, int, int]:
+        """Ordering key: machine type, then processing type, then sub-type."""
         return (
             _MACHINE_SORT[self.machine_type],
             _PROCESSING_SORT[self.processing_type],

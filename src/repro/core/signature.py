@@ -110,18 +110,22 @@ class Signature:
 
     @property
     def is_data_flow(self) -> bool:
+        """True when the signature describes a data-flow (DF) machine."""
         return self.ips.multiplicity is Multiplicity.ZERO
 
     @property
     def is_instruction_flow(self) -> bool:
+        """True when the signature describes an instruction-flow (IF) machine."""
         return self.ips.multiplicity in (Multiplicity.ONE, Multiplicity.MANY)
 
     @property
     def is_universal_flow(self) -> bool:
+        """True when the signature describes a universal-flow (UF) machine."""
         return Multiplicity.VARIABLE in (self.ips.multiplicity, self.dps.multiplicity)
 
     @property
     def has_variable_components(self) -> bool:
+        """Whether any population is symbolic (``n``/``m``) rather than fixed."""
         return self.is_universal_flow
 
     # -- transformation ------------------------------------------------

@@ -63,6 +63,7 @@ class TaxonomyClass:
 
     @property
     def implementable(self) -> bool:
+        """Whether this class is implementable in hardware."""
         return self.name is not None
 
     @property

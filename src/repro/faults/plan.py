@@ -74,9 +74,11 @@ class FaultEvent:
 
     @property
     def is_permanent(self) -> bool:
+        """True for permanent (non-recovering) faults."""
         return self.severity is FaultSeverity.PERMANENT
 
     def describe(self) -> str:
+        """One-line human-readable description."""
         life = (
             "permanently"
             if self.is_permanent
@@ -116,9 +118,11 @@ class FaultPlan:
 
     @property
     def permanent_count(self) -> int:
+        """Number of permanent events in the plan."""
         return sum(1 for event in self.events if event.is_permanent)
 
     def of_kind(self, kind: FaultKind) -> tuple[FaultEvent, ...]:
+        """The plan's events of one fault kind, in cycle order."""
         return tuple(event for event in self.events if event.kind is kind)
 
     def truncated(self, count: int) -> "FaultPlan":
@@ -133,6 +137,7 @@ class FaultPlan:
         return FaultPlan(self.events[:count], seed=self.seed, rate=self.rate)
 
     def injector(self) -> "FaultInjector":
+        """A fresh FaultInjector that deals this plan's events in cycle order."""
         return FaultInjector(self)
 
     @classmethod
@@ -184,6 +189,7 @@ class FaultPlan:
         return cls(tuple(events), seed=seed, rate=rate)
 
     def describe(self) -> str:
+        """Multi-line human-readable listing of the plan's events."""
         origin = (
             f"seed={self.seed}, rate={self.rate}" if self.seed is not None else "hand-built"
         )
@@ -212,11 +218,14 @@ class FaultInjector:
 
     @property
     def exhausted(self) -> bool:
+        """True once every event has been delivered."""
         return self._cursor >= len(self.plan.events)
 
     @property
     def delivered(self) -> int:
+        """Number of events delivered so far."""
         return self._cursor
 
     def reset(self) -> None:
+        """Rewind delivery so the plan can be replayed from cycle zero."""
         self._cursor = 0

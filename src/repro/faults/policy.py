@@ -71,18 +71,22 @@ class FaultPolicy:
 
     @classmethod
     def fail_fast(cls) -> "FaultPolicy":
+        """Policy that aborts the run on the first fault."""
         return cls(PolicyKind.FAIL_FAST)
 
     @classmethod
     def retry(cls, max_retries: int = 3, *, backoff: int = 1) -> "FaultPolicy":
+        """Policy that stalls and retries transient faults, up to a bounded count."""
         return cls(PolicyKind.RETRY, max_retries=max_retries, backoff=backoff)
 
     @classmethod
     def remap(cls, *, spares: int = 0) -> "FaultPolicy":
+        """Policy that remaps work from failed units onto surviving or spare ones."""
         return cls(PolicyKind.REMAP, spares=spares)
 
     @classmethod
     def degrade(cls) -> "FaultPolicy":
+        """Policy that drops failed units and continues at reduced width."""
         return cls(PolicyKind.DEGRADE)
 
     @classmethod
@@ -114,6 +118,7 @@ class FaultPolicy:
         )
 
     def describe(self) -> str:
+        """One-line human-readable description."""
         if self.kind is PolicyKind.RETRY:
             return f"retry(max={self.max_retries}, backoff={self.backoff})"
         if self.kind is PolicyKind.REMAP:

@@ -34,6 +34,7 @@ from typing import Callable
 from repro.core.errors import FaultError
 from repro.faults.plan import FaultEvent, FaultInjector, FaultKind, FaultPlan
 from repro.faults.policy import FaultPolicy, PolicyKind
+from repro.obs import trace as _trace
 
 __all__ = ["FaultRuntime"]
 
@@ -127,6 +128,7 @@ class FaultRuntime:
         self.faults_seen += 1
         kind = self.policy.kind
         if kind is PolicyKind.FAIL_FAST:
+            self._decision(event, unit, "abort")
             raise FaultError(
                 f"{self.machine}: fail-fast abort — {event.describe()} "
                 f"({self.unit_noun} {unit})"
@@ -135,6 +137,7 @@ class FaultRuntime:
             # The interconnect absorbs its own faults: switched fabrics
             # reroute, and routes that become unrealisable raise
             # FaultError from the topology itself.
+            self._decision(event, unit, "fabric")
             self.fabric_handler(event)
             self.fabric_faults += 1
             return 0
@@ -147,24 +150,29 @@ class FaultRuntime:
         if kind is PolicyKind.RETRY:
             attempts = -(-event.duration // self.policy.backoff)  # ceil
             if attempts > self.policy.max_retries:
+                self._decision(event, unit, "abort", attempts=attempts)
                 raise FaultError(
                     f"{self.machine}: transient fault on {self.unit_noun} "
                     f"{unit} needs {attempts} retries, over the budget of "
                     f"{self.policy.max_retries}"
                 )
             self.retries += attempts
+            self._decision(event, unit, "retry", attempts=attempts)
             return attempts * self.policy.backoff
         if kind is PolicyKind.REMAP:
             # The interrupted work replays once the unit recovers.
+            self._decision(event, unit, "replay", stall_cycles=event.duration)
             return event.duration
         # degrade: the unit misses its issue slots until it recovers.
         until = cycle + event.duration
         self.stunned[unit] = max(self.stunned.get(unit, 0), until)
+        self._decision(event, unit, "stun", until_cycle=until)
         return 0
 
     def _apply_permanent(self, event: FaultEvent, unit: int) -> int:
         kind = self.policy.kind
         if kind is PolicyKind.RETRY:
+            self._decision(event, unit, "abort")
             raise FaultError(
                 f"{self.machine}: {self.unit_noun} {unit} failed permanently "
                 "at cycle "
@@ -178,8 +186,10 @@ class FaultRuntime:
                 # A cold spare steps in: full width preserved, no slowdown.
                 self.spares_used += 1
                 self.remap_events += 1
+                self._decision(event, unit, "spare", spares_used=self.spares_used)
                 return 0
             if not self.can_remap:
+                self._decision(event, unit, "abort")
                 raise FaultError(
                     f"{self.machine}: cannot remap {self.unit_noun} {unit} — "
                     "its state sits behind direct ('-') links, and direct "
@@ -188,15 +198,32 @@ class FaultRuntime:
                 )
             self.dead.add(unit)
             self.remap_events += 1
+            self._decision(event, unit, "remap", dead_units=len(self.dead))
         else:  # degrade
             self.dead.add(unit)
             self.degraded_units += 1
+            self._decision(event, unit, "degrade", dead_units=len(self.dead))
         if len(self.dead) >= self.n_units:
             raise FaultError(
                 f"{self.machine}: every {self.unit_noun} has failed; nothing "
                 "left to degrade onto"
             )
         return 0
+
+    def _decision(self, event: FaultEvent, unit: int, action: str, **detail: int) -> None:
+        """Publish one policy decision as a span event (no-op untraced)."""
+        if not _trace.GLOBAL_TRACER.enabled:
+            return
+        _trace.add_event(
+            "fault.policy",
+            machine=self.machine,
+            policy=self.policy.describe(),
+            action=action,
+            kind=event.kind.value,
+            unit=unit,
+            cycle=event.cycle,
+            **detail,
+        )
 
     # -- queries -----------------------------------------------------------
 

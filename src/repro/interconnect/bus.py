@@ -33,6 +33,7 @@ class BusSchedule:
 
     @property
     def mean_wait(self) -> float:
+        """Mean cycles a granted request waited for the bus."""
         if not self.grants:
             return 0.0
         return sum(self.grants) / len(self.grants)
@@ -48,13 +49,16 @@ class SharedBus(Interconnect):
 
     @property
     def link_kind(self) -> LinkKind:
+        """The taxonomy cell this interconnect realises (direct ``-`` or switched ``x``)."""
         return LinkKind.SWITCHED
 
     def can_route(self, source: int, destination: int) -> bool:
+        """Whether ``source`` can currently reach ``destination`` through live hardware."""
         self._check_ports(source, destination)
         return True
 
     def route(self, source: int, destination: int) -> Route:
+        """Carry one transfer ``source`` -> ``destination``, raising if no live path exists."""
         self._check_ports(source, destination)
         return Route(
             source=self.input_label(source),
@@ -97,6 +101,7 @@ class SharedBus(Interconnect):
         return BusSchedule(grants=tuple(grants), makespan=cycle)
 
     def as_graph(self) -> nx.Graph:
+        """The surviving connectivity as a directed graph."""
         graph = nx.Graph()
         for m in range(self.n_inputs):
             graph.add_edge(self.input_label(m), "bus")
@@ -105,7 +110,9 @@ class SharedBus(Interconnect):
         return graph
 
     def area_ge(self) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         return self._model.area_ge(self.n_inputs, self.n_outputs)
 
     def config_bits(self) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         return self._model.config_bits(self.n_inputs, self.n_outputs)

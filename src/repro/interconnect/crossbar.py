@@ -35,6 +35,7 @@ class FullCrossbar(Interconnect):
 
     @property
     def link_kind(self) -> LinkKind:
+        """The taxonomy cell this interconnect realises (direct ``-`` or switched ``x``)."""
         return LinkKind.SWITCHED
 
     # -- configuration ----------------------------------------------------
@@ -58,6 +59,7 @@ class FullCrossbar(Interconnect):
         self._selects[destination] = source
 
     def disconnect(self, destination: int) -> None:
+        """Tear down the route feeding output ``destination``."""
         if not 0 <= destination < self.n_outputs:
             raise RoutingError(f"destination port {destination} out of range")
         self._selects[destination] = None
@@ -68,6 +70,7 @@ class FullCrossbar(Interconnect):
             self.connect(source, destination)
 
     def configured_source(self, destination: int) -> int | None:
+        """The input programmed to feed output ``destination``, or ``None``."""
         if not 0 <= destination < self.n_outputs:
             raise RoutingError(f"destination port {destination} out of range")
         return self._selects[destination]
@@ -92,10 +95,12 @@ class FullCrossbar(Interconnect):
     # -- routing ------------------------------------------------------------
 
     def can_route(self, source: int, destination: int) -> bool:
+        """Whether ``source`` can currently reach ``destination`` through live hardware."""
         self._check_ports(source, destination)
         return not (self.input_failed(source) or self.output_failed(destination))
 
     def route(self, source: int, destination: int) -> Route:
+        """Carry one transfer ``source`` -> ``destination``, raising if no live path exists."""
         self._check_ports(source, destination)
         # A crossbar routes around dead resources by *selecting different
         # ports*; a route that names a dead port is itself unrealisable.
@@ -130,6 +135,7 @@ class FullCrossbar(Interconnect):
     # -- metrics ---------------------------------------------------------------
 
     def as_graph(self) -> nx.Graph:
+        """The surviving connectivity as a directed graph."""
         graph = nx.Graph()
         for s in range(self.n_inputs):
             graph.add_edge(self.input_label(s), "xbar")
@@ -138,9 +144,11 @@ class FullCrossbar(Interconnect):
         return graph
 
     def area_ge(self) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         return self._model.area_ge(self.n_inputs, self.n_outputs)
 
     def config_bits(self) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         return self._model.config_bits(self.n_inputs, self.n_outputs)
 
 
@@ -164,20 +172,24 @@ class LimitedCrossbar(Interconnect):
 
     @property
     def link_kind(self) -> LinkKind:
+        """The taxonomy cell this interconnect realises (direct ``-`` or switched ``x``)."""
         return LinkKind.SWITCHED
 
     def reachable_inputs(self, destination: int) -> range:
+        """The inputs that fall inside output ``destination``'s window."""
         lo = max(0, destination - self.window)
         hi = min(self.n_inputs - 1, destination + self.window)
         return range(lo, hi + 1)
 
     def can_route(self, source: int, destination: int) -> bool:
+        """Whether ``source`` can currently reach ``destination`` through live hardware."""
         self._check_ports(source, destination)
         if self.input_failed(source) or self.output_failed(destination):
             return False
         return source in self.reachable_inputs(destination)
 
     def connect(self, source: int, destination: int) -> None:
+        """Route ``source`` to ``destination`` (``source`` must lie in the window)."""
         self._check_ports(source, destination)
         if source not in self.reachable_inputs(destination):
             raise RoutingError(
@@ -194,11 +206,13 @@ class LimitedCrossbar(Interconnect):
         self._selects[destination] = source
 
     def disconnect(self, destination: int) -> None:
+        """Tear down the route feeding output ``destination``."""
         if not 0 <= destination < self.n_outputs:
             raise RoutingError(f"destination port {destination} out of range")
         self._selects[destination] = None
 
     def configured_source(self, destination: int) -> int | None:
+        """The input programmed to feed output ``destination``, or ``None``."""
         if not 0 <= destination < self.n_outputs:
             raise RoutingError(f"destination port {destination} out of range")
         return self._selects[destination]
@@ -213,6 +227,7 @@ class LimitedCrossbar(Interconnect):
                 )
 
     def route(self, source: int, destination: int) -> Route:
+        """Carry one transfer ``source`` -> ``destination``, raising if no live path exists."""
         self._check_ports(source, destination)
         if source not in self.reachable_inputs(destination):
             raise RoutingError(
@@ -232,6 +247,7 @@ class LimitedCrossbar(Interconnect):
         )
 
     def as_graph(self) -> nx.Graph:
+        """The surviving connectivity as a directed graph."""
         graph = nx.Graph()
         for d in range(self.n_outputs):
             hub = f"win{d}"
@@ -241,7 +257,9 @@ class LimitedCrossbar(Interconnect):
         return graph
 
     def area_ge(self) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         return self._model.area_ge(self.n_inputs, self.n_outputs)
 
     def config_bits(self) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         return self._model.config_bits(self.n_inputs, self.n_outputs)

@@ -32,6 +32,7 @@ class PointToPoint(Interconnect):
 
     @property
     def link_kind(self) -> LinkKind:
+        """The taxonomy cell this interconnect realises (direct ``-`` or switched ``x``)."""
         return LinkKind.DIRECT
 
     def _wire_dead(self, k: int) -> bool:
@@ -42,10 +43,12 @@ class PointToPoint(Interconnect):
         )
 
     def can_route(self, source: int, destination: int) -> bool:
+        """Whether ``source`` can currently reach ``destination`` through live hardware."""
         self._check_ports(source, destination)
         return source == destination and not self._wire_dead(source)
 
     def route(self, source: int, destination: int) -> Route:
+        """Carry one transfer ``source`` -> ``destination``, raising if no live path exists."""
         self._check_ports(source, destination)
         if source != destination:
             raise RoutingError(
@@ -67,15 +70,18 @@ class PointToPoint(Interconnect):
         )
 
     def as_graph(self) -> nx.Graph:
+        """The surviving connectivity as a directed graph."""
         graph = nx.Graph()
         for k in range(self.n_inputs):
             graph.add_edge(self.input_label(k), self.output_label(k))
         return graph
 
     def area_ge(self) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         return self._model.area_ge(self.n_inputs, self.n_outputs)
 
     def config_bits(self) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         return 0
 
 
@@ -88,6 +94,7 @@ class Broadcast(Interconnect):
 
     @property
     def link_kind(self) -> LinkKind:
+        """The taxonomy cell this interconnect realises (direct ``-`` or switched ``x``)."""
         return LinkKind.DIRECT
 
     def _branch_dead(self, destination: int) -> bool:
@@ -98,10 +105,12 @@ class Broadcast(Interconnect):
         )
 
     def can_route(self, source: int, destination: int) -> bool:
+        """Whether ``source`` can currently reach ``destination`` through live hardware."""
         self._check_ports(source, destination)
         return not self._branch_dead(destination)
 
     def route(self, source: int, destination: int) -> Route:
+        """Carry one transfer ``source`` -> ``destination``, raising if no live path exists."""
         self._check_ports(source, destination)
         if self._branch_dead(destination):
             raise FaultError(
@@ -116,13 +125,16 @@ class Broadcast(Interconnect):
         )
 
     def as_graph(self) -> nx.Graph:
+        """The surviving connectivity as a directed graph."""
         graph = nx.Graph()
         for k in range(self.n_outputs):
             graph.add_edge(self.input_label(0), self.output_label(k))
         return graph
 
     def area_ge(self) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         return self._model.area_ge(self.n_inputs, self.n_outputs)
 
     def config_bits(self) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         return 0

@@ -37,18 +37,22 @@ class HierarchicalNetwork(Interconnect):
 
     @property
     def link_kind(self) -> LinkKind:
+        """The taxonomy cell this interconnect realises (direct ``-`` or switched ``x``)."""
         return LinkKind.SWITCHED
 
     def cluster_of(self, node: int) -> int:
+        """The index of the cluster that owns port ``node``."""
         if not 0 <= node < self.n_inputs:
             raise RoutingError(f"node {node} out of range")
         return node // self.cluster_size
 
     def can_route(self, source: int, destination: int) -> bool:
+        """Whether ``source`` can currently reach ``destination`` through live hardware."""
         self._check_ports(source, destination)
         return True
 
     def route(self, source: int, destination: int) -> Route:
+        """Carry one transfer ``source`` -> ``destination``, raising if no live path exists."""
         self._check_ports(source, destination)
         src_cluster = self.cluster_of(source)
         dst_cluster = self.cluster_of(destination)
@@ -69,6 +73,7 @@ class HierarchicalNetwork(Interconnect):
         return Route(source=src_label, destination=dst_label, path=path, cycles=cycles)
 
     def as_graph(self) -> nx.Graph:
+        """The surviving connectivity as a directed graph."""
         graph = nx.Graph()
         for node in range(self.n_inputs):
             graph.add_edge(f"p{node}", f"xc{self.cluster_of(node)}")
@@ -77,6 +82,7 @@ class HierarchicalNetwork(Interconnect):
         return graph
 
     def area_ge(self) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         # Intra-cluster crossbars see cluster_size + 1 ports (the extra
         # one is the uplink); the level-2 crossbar joins the clusters.
         ports = self.cluster_size + 1
@@ -85,6 +91,7 @@ class HierarchicalNetwork(Interconnect):
         return intra + inter
 
     def config_bits(self) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         ports = self.cluster_size + 1
         intra = self.n_clusters * self._model.config_bits(ports, ports)
         inter = self._model.config_bits(self.n_clusters, self.n_clusters)

@@ -31,6 +31,7 @@ class MeshSimulationResult:
 
     @property
     def mean_hops(self) -> float:
+        """Mean hop count over the simulation's routed transfers."""
         return self.total_hops / self.delivered if self.delivered else 0.0
 
 
@@ -50,16 +51,19 @@ class Mesh2D(Interconnect):
     # -- coordinates -----------------------------------------------------
 
     def coords(self, index: int) -> tuple[int, int]:
+        """Grid coordinates ``(row, col)`` of node ``index``."""
         if not 0 <= index < self.rows * self.cols:
             raise RoutingError(f"node index {index} out of range")
         return divmod(index, self.cols)
 
     def index(self, row: int, col: int) -> int:
+        """Node index at grid coordinates ``(row, col)``."""
         if not (0 <= row < self.rows and 0 <= col < self.cols):
             raise RoutingError(f"coordinates ({row}, {col}) out of range")
         return row * self.cols + col
 
     def node_label(self, index: int) -> str:
+        """Graph label for node ``index``."""
         row, col = self.coords(index)
         return f"n{row}_{col}"
 
@@ -81,6 +85,7 @@ class Mesh2D(Interconnect):
         self.fail_link(self.node_label(a), self.node_label(b))
 
     def node_failed(self, index: int) -> bool:
+        """Whether node ``index`` has failed (either port side)."""
         return self.input_failed(index) or self.output_failed(index)
 
     def _path_healthy(self, path: "list[int]") -> bool:
@@ -109,9 +114,11 @@ class Mesh2D(Interconnect):
 
     @property
     def link_kind(self) -> LinkKind:
+        """The taxonomy cell this interconnect realises (direct ``-`` or switched ``x``)."""
         return LinkKind.SWITCHED
 
     def can_route(self, source: int, destination: int) -> bool:
+        """Whether ``source`` can currently reach ``destination`` through live hardware."""
         self._check_ports(source, destination)
         if self.node_failed(source) or self.node_failed(destination):
             return False
@@ -218,6 +225,7 @@ class Mesh2D(Interconnect):
     # -- metrics ---------------------------------------------------------------
 
     def as_graph(self) -> nx.Graph:
+        """The surviving connectivity as a directed graph."""
         graph = nx.Graph()
         for r in range(self.rows):
             for c in range(self.cols):
@@ -231,11 +239,13 @@ class Mesh2D(Interconnect):
         return graph
 
     def area_ge(self) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         # One router per node, each a 5-port switch.
         per_router = self._router_model.area_ge(5, 5)
         return self.rows * self.cols * per_router
 
     def config_bits(self) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         # Dynamic (packet) routing needs no static route configuration,
         # but each router carries a small mode/address word.
         per_router = self._router_model.config_bits(5, 1)

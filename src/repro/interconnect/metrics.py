@@ -91,6 +91,7 @@ class InterconnectProfile:
     reachability: float
 
     def row(self) -> tuple[str, ...]:
+        """The record as a tuple of formatted table cells."""
         return (
             self.name,
             str(self.n_ports),

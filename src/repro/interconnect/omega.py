@@ -41,6 +41,7 @@ class OmegaNetwork(Interconnect):
 
     @property
     def link_kind(self) -> LinkKind:
+        """The taxonomy cell this interconnect realises (direct ``-`` or switched ``x``)."""
         return LinkKind.SWITCHED
 
     # -- structure ---------------------------------------------------------
@@ -76,19 +77,23 @@ class OmegaNetwork(Interconnect):
         self._failed_elements.add((stage, element))
 
     def element_failed(self, stage: int, element: int) -> bool:
+        """Whether the 2x2 element at ``(stage, element)`` has failed."""
         return (stage, element) in self._failed_elements
 
     def repair_all(self) -> None:
+        """Clear every injected element fault."""
         super().repair_all()
         self._failed_elements.clear()
 
     @property
     def fault_count(self) -> int:
+        """Number of currently failed switching elements."""
         return super().fault_count + len(self._failed_elements)
 
     # -- routing --------------------------------------------------------------
 
     def can_route(self, source: int, destination: int) -> bool:
+        """Whether ``source`` can currently reach ``destination`` through live hardware."""
         self._check_ports(source, destination)
         if self.input_failed(source) or self.output_failed(destination):
             return False
@@ -116,6 +121,7 @@ class OmegaNetwork(Interconnect):
         return elements
 
     def route(self, source: int, destination: int) -> Route:
+        """Carry one transfer ``source`` -> ``destination``, raising if no live path exists."""
         self._check_port_health(source, destination)
         elements = self.path_elements(source, destination)
         for stage, element in elements:
@@ -177,6 +183,7 @@ class OmegaNetwork(Interconnect):
     # -- metrics -----------------------------------------------------------------
 
     def as_graph(self) -> nx.Graph:
+        """The surviving connectivity as a directed graph."""
         graph = nx.Graph()
         bits = self.stages
         # Input wiring: line `s` shuffles into stage 0.
@@ -202,10 +209,13 @@ class OmegaNetwork(Interconnect):
         return graph
 
     def element_count(self) -> int:
+        """Total number of 2x2 switching elements in the network."""
         return (self.n_inputs // 2) * self.stages
 
     def area_ge(self) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         return self.element_count() * self._element.area_ge(2, 2)
 
     def config_bits(self) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         return self.element_count() * self._element.config_bits(2, 2)

@@ -51,6 +51,7 @@ class Route:
 
     @property
     def hops(self) -> int:
+        """Number of links the route traverses."""
         return len(self.path) - 1
 
 
@@ -65,6 +66,7 @@ class TrafficStats:
     per_link_load: dict[tuple[str, str], int] = field(default_factory=dict)
 
     def record(self, route: Route) -> None:
+        """Account one routed transfer into the running statistics."""
         self.transfers += 1
         self.total_hops += route.hops
         self.total_cycles += route.cycles
@@ -74,10 +76,12 @@ class TrafficStats:
 
     @property
     def mean_hops(self) -> float:
+        """Mean hop count over the recorded transfers."""
         return self.total_hops / self.transfers if self.transfers else 0.0
 
     @property
     def max_link_load(self) -> int:
+        """The heaviest per-link load recorded."""
         return max(self.per_link_load.values(), default=0)
 
 
@@ -107,10 +111,12 @@ class Interconnect(ABC):
 
     @staticmethod
     def input_label(index: int) -> str:
+        """Graph label for input port ``index``."""
         return f"in{index}"
 
     @staticmethod
     def output_label(index: int) -> str:
+        """Graph label for output port ``index``."""
         return f"out{index}"
 
     def _check_ports(self, source: int, destination: int) -> None:
@@ -158,16 +164,20 @@ class Interconnect(ABC):
         self._failed_links.clear()
 
     def input_failed(self, index: int) -> bool:
+        """Whether input port ``index`` has failed."""
         return index in self._failed_inputs
 
     def output_failed(self, index: int) -> bool:
+        """Whether output port ``index`` has failed."""
         return index in self._failed_outputs
 
     def link_failed(self, a: str, b: str) -> bool:
+        """Whether internal link ``index`` has failed."""
         return frozenset((a, b)) in self._failed_links
 
     @property
     def fault_count(self) -> int:
+        """Number of injected faults currently in force."""
         return (
             len(self._failed_inputs)
             + len(self._failed_outputs)
@@ -249,6 +259,7 @@ class Interconnect(ABC):
         return reachable / total
 
     def describe(self) -> str:
+        """One-line human-readable description."""
         return (
             f"{type(self).__name__}({self.n_inputs}x{self.n_outputs}, "
             f"{self.width_bits}-bit): kind={self.link_kind.value}, "

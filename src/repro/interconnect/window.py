@@ -36,6 +36,7 @@ class SlidingWindow(Interconnect):
 
     @property
     def link_kind(self) -> LinkKind:
+        """The taxonomy cell this interconnect realises (direct ``-`` or switched ``x``)."""
         return LinkKind.SWITCHED
 
     def window_of(self, node: int) -> range:
@@ -52,6 +53,7 @@ class SlidingWindow(Interconnect):
         return abs(source - destination) <= self.hops
 
     def can_route(self, source: int, destination: int) -> bool:
+        """Whether ``source`` can currently reach ``destination`` through live hardware."""
         self._check_ports(source, destination)
         return True  # always reachable via relays
 
@@ -69,6 +71,7 @@ class SlidingWindow(Interconnect):
         return path
 
     def route(self, source: int, destination: int) -> Route:
+        """Carry one transfer ``source`` -> ``destination``, raising if no live path exists."""
         nodes = self.relay_nodes(source, destination)
         labels = tuple(f"w{n}" for n in nodes)
         return Route(
@@ -79,6 +82,7 @@ class SlidingWindow(Interconnect):
         )
 
     def as_graph(self) -> nx.Graph:
+        """The surviving connectivity as a directed graph."""
         graph = nx.Graph()
         graph.add_nodes_from(f"w{n}" for n in range(self.n_inputs))
         for node in range(self.n_inputs):
@@ -88,7 +92,9 @@ class SlidingWindow(Interconnect):
         return graph
 
     def area_ge(self) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         return self._model.area_ge(self.n_inputs, self.n_outputs)
 
     def config_bits(self) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         return self._model.config_bits(self.n_inputs, self.n_outputs)

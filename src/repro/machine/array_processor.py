@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.errors import CapabilityError, ProgramError
 from repro.faults import FaultInjector, FaultPlan, FaultPolicy, FaultRuntime
-from repro.machine.base import Capability, ExecutionResult, check_capabilities
+from repro.machine.base import Capability, ExecutionResult, check_capabilities, traced_run
 from repro.machine.program import Instruction, Opcode, Program, required_capabilities
 from repro.machine.scalar import ExtensionPort, ScalarCore
 
@@ -133,6 +133,7 @@ class ArrayProcessor:
     # -- capability view ------------------------------------------------
 
     def capabilities(self) -> set[Capability]:
+        """The capability set this machine grants; programs needing more are refused."""
         caps = {Capability.INSTRUCTION_EXECUTION, Capability.DATA_PARALLEL}
         if self.subtype.dp_switched:
             caps.add(Capability.LANE_SHUFFLE)
@@ -174,6 +175,7 @@ class ArrayProcessor:
         return out
 
     def reset(self) -> None:
+        """Restore run state to the post-construction configuration."""
         self.lanes = [
             ScalarCore(core_id=i, memory_size=self.bank_size)
             for i in range(self.n_lanes)
@@ -191,6 +193,7 @@ class ArrayProcessor:
             return regs[instruction.rs1] < regs[instruction.rs2]
         return True  # JMP
 
+    @traced_run("machine.run")
     def run(
         self,
         program: Program,

@@ -12,12 +12,21 @@ only when its class provides every capability the program needs.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.errors import CapabilityError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
-__all__ = ["Capability", "ExecutionResult", "check_capabilities"]
+__all__ = ["Capability", "ExecutionResult", "check_capabilities", "machine_label", "traced_run"]
+
+# Always-on run accounting, shared by every machine class; per-run cost
+# is three integer adds, so even benchmark-loop run() calls are safe.
+_MACHINE_RUNS = _metrics.REGISTRY.counter("machine.runs", help="machine run() invocations")
+_MACHINE_CYCLES = _metrics.REGISTRY.counter("machine.cycles", help="cycles retired across runs")
+_MACHINE_OPS = _metrics.REGISTRY.counter("machine.operations", help="operations retired in runs")
 
 
 class Capability(enum.Enum):
@@ -55,8 +64,60 @@ class ExecutionResult:
         return self.operations / self.cycles if self.cycles else 0.0
 
     def merge_stats(self, **extra: Any) -> "ExecutionResult":
+        """Fold extra key/value pairs into ``stats`` and return ``self``."""
         self.stats.update(extra)
         return self
+
+
+def machine_label(machine: Any) -> str:
+    """Best human-readable identity for a machine instance.
+
+    Prefers the sub-type label (``IAP-IV``), then a machine-level
+    ``label`` attribute (the spatial machine), then the class name.
+    """
+    subtype = getattr(machine, "subtype", None)
+    label = getattr(subtype, "label", None)
+    if label is not None:
+        return label
+    label = getattr(machine, "label", None)
+    if label is not None:
+        return label
+    return type(machine).__name__
+
+
+def traced_run(span_name: str) -> "Callable[[Callable[..., Any]], Callable[..., Any]]":
+    """Instrument a machine execution method with a span plus run counters.
+
+    Wraps a bound method whose first argument is the machine. The span
+    (named ``span_name``, e.g. ``machine.run``) carries the machine
+    label and — when the method returns an :class:`ExecutionResult` —
+    its retired cycle and operation counts. With tracing disabled the
+    wrapper's cost is one flag check and the counter increments.
+    """
+
+    def decorate(fn: "Callable[..., Any]") -> "Callable[..., Any]":
+        @functools.wraps(fn)
+        def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+            _MACHINE_RUNS.inc()
+            if not _trace.GLOBAL_TRACER.enabled:
+                result = fn(self, *args, **kwargs)
+                if isinstance(result, ExecutionResult):
+                    _MACHINE_CYCLES.inc(result.cycles)
+                    _MACHINE_OPS.inc(result.operations)
+                return result
+            with _trace.span(span_name, machine=machine_label(self)) as run_span:
+                result = fn(self, *args, **kwargs)
+                if isinstance(result, ExecutionResult):
+                    _MACHINE_CYCLES.inc(result.cycles)
+                    _MACHINE_OPS.inc(result.operations)
+                    run_span.set_attributes(
+                        cycles=result.cycles, operations=result.operations
+                    )
+                return result
+
+        return wrapper
+
+    return decorate
 
 
 def check_capabilities(

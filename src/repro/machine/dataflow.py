@@ -20,7 +20,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.core.errors import CapabilityError, ProgramError
-from repro.machine.base import Capability, ExecutionResult
+from repro.machine.base import Capability, ExecutionResult, traced_run
 
 __all__ = ["DFOp", "DFNode", "DataflowGraph", "DataflowMachine", "DataflowSubtype"]
 
@@ -148,12 +148,15 @@ class DataflowGraph:
         return node_id
 
     def input(self, node_id: str) -> str:
+        """Add an INPUT node named ``node_id``."""
         return self.add(node_id, DFOp.INPUT)
 
     def const(self, node_id: str, value: int) -> str:
+        """Add a CONST node named ``node_id`` holding ``value``."""
         return self.add(node_id, DFOp.CONST, value=value)
 
     def output(self, node_id: str, source: str) -> str:
+        """Add an OUTPUT node named ``node_id`` fed by ``source``."""
         return self.add(node_id, DFOp.OUTPUT, source)
 
     # -- structure -----------------------------------------------------------
@@ -163,9 +166,11 @@ class DataflowGraph:
 
     @property
     def nodes(self) -> dict[str, DFNode]:
+        """Every node keyed by id, in insertion order."""
         return dict(self._nodes)
 
     def node(self, node_id: str) -> DFNode:
+        """Look up one node by id."""
         try:
             return self._nodes[node_id]
         except KeyError as exc:
@@ -173,10 +178,12 @@ class DataflowGraph:
 
     @property
     def input_names(self) -> tuple[str, ...]:
+        """Ids of the INPUT nodes, in insertion order."""
         return tuple(n.node_id for n in self._nodes.values() if n.op is DFOp.INPUT)
 
     @property
     def output_names(self) -> tuple[str, ...]:
+        """Ids of the OUTPUT nodes, in insertion order."""
         return tuple(n.node_id for n in self._nodes.values() if n.op is DFOp.OUTPUT)
 
     def topological_order(self) -> list[str]:
@@ -186,6 +193,7 @@ class DataflowGraph:
         return self._order
 
     def edges(self) -> list[tuple[str, str]]:
+        """Every producer-to-consumer edge in the graph."""
         return [
             (upstream, node.node_id)
             for node in self._nodes.values()
@@ -197,6 +205,7 @@ class DataflowGraph:
         return sum(1 for n in self._nodes.values() if n.op is not DFOp.INPUT)
 
     def validate(self) -> None:
+        """Check the graph is well-formed, raising if it is not."""
         if not self.output_names:
             raise ProgramError(f"graph {self.name!r} has no OUTPUT node")
 
@@ -295,6 +304,7 @@ class DataflowMachine:
     # -- capability view -----------------------------------------------------
 
     def capabilities(self) -> set[Capability]:
+        """The capability set this machine grants; programs needing more are refused."""
         caps = {Capability.DATAFLOW_EXECUTION}
         if self.n_dps > 1:
             caps.add(Capability.DATA_PARALLEL)
@@ -360,6 +370,7 @@ class DataflowMachine:
 
     # -- execution ------------------------------------------------------------
 
+    @traced_run("machine.run")
     def run(
         self,
         graph: DataflowGraph,
@@ -472,6 +483,7 @@ class DataflowMachine:
 
     # -- streaming ------------------------------------------------------------
 
+    @traced_run("machine.run_stream")
     def run_stream(
         self,
         graph: DataflowGraph,

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.errors import ConfigurationError
+from repro.machine.base import traced_run
 
 __all__ = ["Source", "CellConfig", "LutFabric"]
 
@@ -87,6 +88,7 @@ class LutFabric:
     # -- configuration -----------------------------------------------------
 
     def configure_cell(self, index: int, config: CellConfig) -> None:
+        """Program cell ``index`` with ``config``, validating sources and arity."""
         if not 0 <= index < self.n_cells:
             raise ConfigurationError(
                 f"cell index {index} outside fabric of {self.n_cells} cells"
@@ -113,6 +115,7 @@ class LutFabric:
         self._outputs[name] = cell
 
     def clear(self) -> None:
+        """Wipe the whole fabric configuration."""
         self._configs.clear()
         self._outputs.clear()
         self._state = [0] * self.n_cells
@@ -121,18 +124,22 @@ class LutFabric:
 
     @property
     def used_cells(self) -> int:
+        """Number of cells currently configured."""
         return len(self._configs)
 
     @property
     def utilization(self) -> float:
+        """Fraction of the fabric's cells currently configured."""
         return self.used_cells / self.n_cells
 
     @property
     def input_names(self) -> set[str]:
+        """The external input names the configuration references."""
         return set(self._input_names)
 
     @property
     def output_names(self) -> tuple[str, ...]:
+        """The declared output names."""
         return tuple(self._outputs)
 
     # -- cost accounting ------------------------------------------------------
@@ -241,6 +248,7 @@ class LutFabric:
         except KeyError as exc:
             raise ConfigurationError(f"unknown output {name!r}") from exc
 
+    @traced_run("fabric.run")
     def run(
         self,
         cycles: int,

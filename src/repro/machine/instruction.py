@@ -8,7 +8,7 @@ starts, demonstrating the flexibility floor of the IUP class.
 
 from __future__ import annotations
 
-from repro.machine.base import Capability, ExecutionResult, check_capabilities
+from repro.machine.base import Capability, ExecutionResult, check_capabilities, traced_run
 from repro.machine.program import Program, required_capabilities
 from repro.machine.scalar import ExtensionPort, ScalarCore
 
@@ -24,9 +24,11 @@ class Uniprocessor:
         self._port = ExtensionPort()  # refuses every extension
 
     def capabilities(self) -> set[Capability]:
+        """The capability set this machine grants; programs needing more are refused."""
         return {Capability.INSTRUCTION_EXECUTION}
 
     def reset(self) -> None:
+        """Restore run state to the post-construction configuration."""
         self.core = ScalarCore(core_id=0, memory_size=self.memory_size)
 
     def load_memory(self, base: int, values: "list[int]") -> None:
@@ -34,8 +36,10 @@ class Uniprocessor:
         self.core.write_block(base, values)
 
     def read_memory(self, base: int, count: int) -> list[int]:
+        """Read ``count`` words of data memory starting at ``base``."""
         return self.core.read_block(base, count)
 
+    @traced_run("machine.run")
     def run(self, program: Program, *, max_cycles: int = 1_000_000) -> ExecutionResult:
         """Execute to HALT; one instruction per cycle."""
         check_capabilities(

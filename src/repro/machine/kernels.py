@@ -44,18 +44,21 @@ __all__ = [
 
 
 def vector_add_reference(a: "list[int]", b: "list[int]") -> list[int]:
+    """Pure-Python oracle for the vector-add kernel."""
     if len(a) != len(b):
         raise ProgramError("vector length mismatch")
     return [x + y for x, y in zip(a, b)]
 
 
 def dot_product_reference(a: "list[int]", b: "list[int]") -> int:
+    """Pure-Python oracle for the dot-product kernel."""
     if len(a) != len(b):
         raise ProgramError("vector length mismatch")
     return sum(x * y for x, y in zip(a, b))
 
 
 def reduction_reference(values: "list[int]") -> int:
+    """Pure-Python oracle for the reduction kernel."""
     return sum(values)
 
 

@@ -114,6 +114,7 @@ def scalar_matmul(n: int, *, a_base: int = 0, b_base: int = 256, out_base: int =
 
 
 def scalar_prefix_sum(length: int, *, in_base: int = 0, out_base: int = 256) -> Program:
+    """Assemble a scalar prefix-sum program over ``length`` input words."""
     if length <= 0:
         raise ProgramError("length must be positive")
     return assemble(

@@ -30,7 +30,7 @@ from repro.faults import (
     FaultPolicy,
     FaultRuntime,
 )
-from repro.machine.base import Capability, ExecutionResult, check_capabilities
+from repro.machine.base import Capability, ExecutionResult, check_capabilities, traced_run
 from repro.machine.program import Program, required_capabilities
 from repro.machine.scalar import ExtensionPort, ScalarCore
 
@@ -245,6 +245,7 @@ class Multiprocessor:
     # -- capability view --------------------------------------------------
 
     def capabilities(self) -> set[Capability]:
+        """The capability set this machine grants; programs needing more are refused."""
         caps = {
             Capability.INSTRUCTION_EXECUTION,
             Capability.MULTIPLE_STREAMS,
@@ -259,6 +260,7 @@ class Multiprocessor:
     # -- memory -----------------------------------------------------------
 
     def split_global_address(self, address: int) -> tuple[int, int]:
+        """Split a global address into ``(core index, local address)``."""
         bank, offset = divmod(address, self.bank_size)
         if not 0 <= bank < self.n_cores:
             raise ProgramError(
@@ -268,6 +270,7 @@ class Multiprocessor:
         return bank, offset
 
     def reset(self) -> None:
+        """Restore run state to the post-construction configuration."""
         self.__init__(
             self.n_cores,
             self.subtype,
@@ -277,6 +280,7 @@ class Multiprocessor:
 
     # -- execution -----------------------------------------------------------
 
+    @traced_run("machine.run")
     def run(
         self,
         programs: "list[Program] | Program",
@@ -396,6 +400,7 @@ class Multiprocessor:
             stats=stats,
         )
 
+    @traced_run("machine.run_task_pool")
     def run_task_pool(
         self,
         programs: "list[Program]",

@@ -34,6 +34,7 @@ class Bus:
 
     @property
     def width(self) -> int:
+        """Number of bit lanes on the bus."""
         return len(self.bits)
 
     def __getitem__(self, index: int) -> Source:
@@ -76,6 +77,7 @@ class NetlistBuilder:
     # -- allocation ------------------------------------------------------
 
     def alloc(self) -> int:
+        """Claim the next free cell index, raising once the fabric is exhausted."""
         if self._next_cell >= self.fabric.n_cells:
             raise ConfigurationError(
                 f"fabric exhausted: all {self.fabric.n_cells} cells in use "
@@ -87,6 +89,7 @@ class NetlistBuilder:
 
     @property
     def cells_used(self) -> int:
+        """Number of cells allocated so far."""
         return self._next_cell
 
     def _cell(self, sources: "list[Source]", table: int, *, registered: bool = False) -> Source:
@@ -100,10 +103,12 @@ class NetlistBuilder:
 
     @staticmethod
     def const(bit: int) -> Source:
+        """A constant-bit source (``0`` or ``1``)."""
         return ("const", 1 if bit else 0)
 
     @staticmethod
     def input_bit(name: str) -> Source:
+        """A source reading the external input bit ``name``."""
         return ("input", name)
 
     def input_bus(self, name: str, width: int) -> Bus:
@@ -111,24 +116,31 @@ class NetlistBuilder:
         return Bus(tuple(("input", f"{name}[{i}]") for i in range(width)))
 
     def buf(self, a: Source, *, registered: bool = False) -> Source:
+        """A buffer cell: output follows ``a`` (optionally registered)."""
         return self._cell([a], _TABLE_BUF, registered=registered)
 
     def not_(self, a: Source) -> Source:
+        """A NOT cell over ``a``."""
         return self._cell([a], _TABLE_NOT)
 
     def and_(self, a: Source, b: Source) -> Source:
+        """An AND cell over ``a`` and ``b``."""
         return self._cell([a, b], _TABLE_AND)
 
     def and3(self, a: Source, b: Source, c: Source) -> Source:
+        """A three-input AND cell."""
         return self._cell([a, b, c], _TABLE_AND3)
 
     def or_(self, a: Source, b: Source) -> Source:
+        """An OR cell over ``a`` and ``b``."""
         return self._cell([a, b], _TABLE_OR)
 
     def or3(self, a: Source, b: Source, c: Source) -> Source:
+        """A three-input OR cell."""
         return self._cell([a, b, c], _TABLE_OR3)
 
     def xor_(self, a: Source, b: Source) -> Source:
+        """An XOR cell over ``a`` and ``b``."""
         return self._cell([a, b], _TABLE_XOR)
 
     def mux(self, select: Source, when0: Source, when1: Source) -> Source:
@@ -142,9 +154,11 @@ class NetlistBuilder:
     # -- word-level macros ---------------------------------------------------
 
     def const_bus(self, value: int, width: int) -> Bus:
+        """A bus of constant bits encoding ``value``."""
         return Bus(tuple(self.const((value >> i) & 1) for i in range(width)))
 
     def mux_bus(self, select: Source, when0: Bus, when1: Bus) -> Bus:
+        """A two-way bus multiplexer steered by ``select``."""
         self._check_widths(when0, when1)
         return Bus(
             tuple(self.mux(select, a, b) for a, b in zip(when0, when1))
@@ -211,6 +225,7 @@ class NetlistBuilder:
         return total
 
     def bitwise(self, op: str, a: Bus, b: Bus) -> Bus:
+        """Apply a two-input cell lane-by-lane across two buses."""
         self._check_widths(a, b)
         gate = {"and": self.and_, "or": self.or_, "xor": self.xor_}[op]
         return Bus(tuple(gate(x, y) for x, y in zip(a, b)))
@@ -270,10 +285,12 @@ class NetlistBuilder:
         return self.not_(carry)
 
     def min_(self, a: Bus, b: Bus) -> Bus:
+        """A bus carrying the smaller of ``a`` and ``b``."""
         lt = self.less_than(a, b)
         return self.mux_bus(lt, b, a)
 
     def max_(self, a: Bus, b: Bus) -> Bus:
+        """A bus carrying the larger of ``a`` and ``b``."""
         lt = self.less_than(a, b)
         return self.mux_bus(lt, a, b)
 

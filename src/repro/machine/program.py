@@ -145,9 +145,11 @@ class Instruction:
 
     @property
     def is_branch(self) -> bool:
+        """True for control-transfer opcodes."""
         return self.op in _BRANCH_OPS
 
     def render(self) -> str:
+        """The instruction as one line of assembly-style text."""
         uses_rd, uses_rs1, uses_rs2, uses_imm = _OPERAND_SHAPE[self.op]
         parts = [self.op.value]
         operands: list[str] = []
@@ -206,6 +208,7 @@ class Program:
         return self.instructions[index]
 
     def render(self) -> str:
+        """The whole program as assembly-style text."""
         reverse_labels: dict[int, list[str]] = {}
         for label, target in self.labels.items():
             reverse_labels.setdefault(target, []).append(label)

@@ -29,17 +29,21 @@ class ExtensionPort:
     """
 
     def shuffle(self, core: "ScalarCore", rs1: int, rs2: int) -> int:
+        """Hook for SHUF; the base port refuses (needs a DP-DP switch)."""
         raise CapabilityError(
             "SHUF requires inter-lane connectivity (a DP-DP switch)"
         )
 
     def global_load(self, core: "ScalarCore", address: int) -> int:
+        """Hook for GLD; the base port refuses (needs a DP-DM switch)."""
         raise CapabilityError("GLD requires a DP-DM switch (global memory)")
 
     def global_store(self, core: "ScalarCore", address: int, value: int) -> None:
+        """Hook for GST; the base port refuses (needs a DP-DM switch)."""
         raise CapabilityError("GST requires a DP-DM switch (global memory)")
 
     def send(self, core: "ScalarCore", destination: int, value: int) -> None:
+        """Hook for SEND; the base port refuses (needs inter-core connectivity)."""
         raise CapabilityError("SEND requires inter-core connectivity")
 
     def receive(self, core: "ScalarCore", source: int) -> "int | None":
@@ -81,10 +85,12 @@ class ScalarCore:
     # -- memory ---------------------------------------------------------
 
     def load(self, address: int) -> int:
+        """Read one word of local data memory."""
         self._check_address(address)
         return self.memory[address]
 
     def store(self, address: int, value: int) -> None:
+        """Write one word of local data memory."""
         self._check_address(address)
         self.memory[address] = value
 
@@ -101,6 +107,7 @@ class ScalarCore:
             self.store(base + offset, value)
 
     def read_block(self, base: int, count: int) -> list[int]:
+        """Read ``count`` consecutive words of local data memory."""
         return [self.load(base + offset) for offset in range(count)]
 
     # -- execution ----------------------------------------------------------

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.errors import ProgramError
-from repro.machine.base import Capability, ExecutionResult, check_capabilities
+from repro.machine.base import Capability, ExecutionResult, check_capabilities, traced_run
 from repro.machine.multiprocessor import Multiprocessor, MultiprocessorSubtype
 from repro.machine.program import Instruction, Program, required_capabilities
 
@@ -54,6 +54,7 @@ class VliwBundle:
 
     @property
     def width(self) -> int:
+        """Number of operation slots in the bundle."""
         return len(self.slots)
 
 
@@ -89,6 +90,7 @@ class VliwProgram:
 
     @property
     def width(self) -> int:
+        """The widest bundle in the program."""
         return self.bundles[0].width
 
     def __len__(self) -> int:
@@ -110,11 +112,13 @@ class SpatialMachine(Multiprocessor):
 
     @property
     def label(self) -> str:
+        """Display label for this machine instance."""
         # ISP shares the sub-type numbering with IMP; the IP-IP switch is
         # what this class adds.
         return self.subtype.label.replace("IMP", "ISP")
 
     def capabilities(self) -> set[Capability]:
+        """The capability set this machine grants; programs needing more are refused."""
         caps = super().capabilities()
         caps.add(Capability.IP_COMPOSITION)
         return caps
@@ -146,10 +150,12 @@ class SpatialMachine(Multiprocessor):
 
     @property
     def groups(self) -> list[tuple[int, ...]]:
+        """The currently fused issue groups, in creation order."""
         return list(self._groups)
 
     # -- execution -----------------------------------------------------------
 
+    @traced_run("machine.run_fused")
     def run_fused(
         self,
         group: int,

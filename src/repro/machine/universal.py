@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 from repro.core.errors import CapabilityError, ConfigurationError, ProgramError
 from repro.faults import FaultInjector, FaultPlan, FaultPolicy, FaultRuntime
-from repro.machine.base import Capability, ExecutionResult
+from repro.machine.base import Capability, ExecutionResult, traced_run
 from repro.machine.dataflow import DataflowGraph, DFOp
 from repro.machine.fabric import LutFabric
 from repro.machine.netlist import Bus, NetlistBuilder
@@ -63,6 +63,7 @@ class SoftInstruction:
             raise ProgramError("soft JNZ target must fit in 4 bits (16-entry ROM)")
 
     def encode(self) -> int:
+        """The instruction packed into its ROM word (op high bits, operand low)."""
         return (self.op.value << 8) | self.operand
 
 
@@ -85,6 +86,7 @@ class SoftProgram:
                 raise ProgramError("JNZ target outside ROM")
 
     def words(self) -> list[int]:
+        """The program encoded as ROM words."""
         return [instruction.encode() for instruction in self.instructions]
 
     def reference_run(self, *, max_cycles: int = 10_000) -> tuple[int, int]:
@@ -135,6 +137,7 @@ class UniversalMachine:
         self._soft_program: SoftProgram | None = None
 
     def capabilities(self) -> set[Capability]:
+        """The capability set this machine grants; programs needing more are refused."""
         return {
             Capability.DATAFLOW_EXECUTION,
             Capability.INSTRUCTION_EXECUTION,
@@ -220,6 +223,7 @@ class UniversalMachine:
         self._soft_program = None
         return builder.cells_used
 
+    @traced_run("machine.run_dataflow")
     def run_dataflow(
         self,
         inputs: "dict[str, int] | None" = None,
@@ -366,6 +370,7 @@ class UniversalMachine:
         self._dataflow = None
         return builder.cells_used
 
+    @traced_run("machine.run_soft_processor")
     def run_soft_processor(self, *, max_cycles: int = 10_000) -> ExecutionResult:
         """Clock the soft CPU until its HALT flag rises; returns the acc."""
         if self._personality != "soft-processor" or self._soft_program is None:

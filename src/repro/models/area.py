@@ -79,10 +79,12 @@ class AreaBreakdown:
 
     @property
     def total_logic_ge(self) -> float:
+        """Summed logic area, in gate equivalents."""
         return self.ip_logic_ge + self.dp_logic_ge + sum(self.switch_ge.values())
 
     @property
     def total_memory_bits(self) -> float:
+        """Summed memory capacity, in bits."""
         return self.im_bits + self.dm_bits
 
     def total_um2(self, node: TechnologyNode) -> float:
@@ -92,6 +94,7 @@ class AreaBreakdown:
         )
 
     def explain(self) -> str:
+        """Human-readable breakdown, one line per contributing term."""
         lines = [
             f"IP logic: {self.ip_logic_ge:,.0f} GE",
             f"DP logic: {self.dp_logic_ge:,.0f} GE",
@@ -229,13 +232,16 @@ class RedundancyCost:
 
     @property
     def overhead_ge(self) -> float:
+        """Extra area the spare resources cost, in gate equivalents."""
         return self.redundant_ge - self.base_ge
 
     @property
     def overhead_fraction(self) -> float:
+        """Spare-area overhead as a fraction of the base area."""
         return self.overhead_ge / self.base_ge if self.base_ge else 0.0
 
     def describe(self) -> str:
+        """One-line human-readable description."""
         return (
             f"{self.spares} spare PE{'s' if self.spares != 1 else ''} on an "
             f"n={self.n} design: {self.base_ge:,.0f} -> "

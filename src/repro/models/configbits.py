@@ -71,6 +71,7 @@ class ConfigBitsBreakdown:
 
     @property
     def total(self) -> int:
+        """Summed configuration bits (the Eq. 2 number)."""
         return (
             self.ip_bits
             + self.dp_bits
@@ -81,9 +82,11 @@ class ConfigBitsBreakdown:
 
     @property
     def switch_total(self) -> int:
+        """Configuration bits spent on the switched links alone."""
         return sum(self.switch_bits.values())
 
     def explain(self) -> str:
+        """Human-readable breakdown, one line per contributing term."""
         lines = [
             f"IP words: {self.ip_bits:,} bits",
             f"DP words: {self.dp_bits:,} bits",
@@ -170,6 +173,7 @@ class ConfigBitsModel:
         )
 
     def total(self, signature: Signature, *, n: int = 16) -> int:
+        """Total Eq. 2 configuration bits for ``signature`` at size ``n``."""
         return self.breakdown(signature, n=n).total
 
 

@@ -70,6 +70,7 @@ class EnergyBreakdown:
 
     @property
     def total_pj(self) -> float:
+        """Total energy per operation, in picojoules."""
         return (
             self.compute_pj
             + self.instruction_pj
@@ -80,9 +81,11 @@ class EnergyBreakdown:
 
     @property
     def dynamic_pj(self) -> float:
+        """The dynamic (switching) component, in picojoules."""
         return self.total_pj - self.leakage_pj
 
     def explain(self) -> str:
+        """Human-readable breakdown, one line per contributing term."""
         lines = [
             f"compute:      {self.compute_pj:,.1f} pJ",
             f"instruction:  {self.instruction_pj:,.1f} pJ",

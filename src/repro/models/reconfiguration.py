@@ -61,6 +61,7 @@ class ReconfigurationModel:
     config_model: ConfigBitsModel = field(default_factory=ConfigBitsModel)
 
     def cost(self, signature: Signature, *, n: int = 16) -> ReconfigurationCost:
+        """Price a full reconfiguration of ``signature``: bits, cycles and energy."""
         bits = self.config_model.total(signature, n=n)
         cycles = -(-bits // self.port.bandwidth_bits_per_cycle)  # ceil
         return ReconfigurationCost(

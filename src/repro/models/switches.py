@@ -73,13 +73,16 @@ class SwitchModel:
     # -- interface ------------------------------------------------------
 
     def area_ge(self, inputs: int, outputs: int) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         raise NotImplementedError
 
     def config_bits(self, inputs: int, outputs: int) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         raise NotImplementedError
 
     @property
     def kind(self) -> LinkKind:
+        """The link kind this model prices."""
         raise NotImplementedError
 
     # -- shared validation ----------------------------------------------
@@ -99,13 +102,16 @@ class DirectLinkModel(SwitchModel):
 
     @property
     def kind(self) -> LinkKind:
+        """The link kind this model prices."""
         return LinkKind.DIRECT
 
     def area_ge(self, inputs: int, outputs: int) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         self._check_ports(inputs, outputs)
         return max(inputs, outputs) * self.width_bits * _DIRECT_GE_PER_BIT
 
     def config_bits(self, inputs: int, outputs: int) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         self._check_ports(inputs, outputs)
         return 0
 
@@ -122,9 +128,11 @@ class SharedBusModel(SwitchModel):
 
     @property
     def kind(self) -> LinkKind:
+        """The link kind this model prices."""
         return LinkKind.SWITCHED
 
     def area_ge(self, inputs: int, outputs: int) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         self._check_ports(inputs, outputs)
         ports = inputs + outputs
         drivers = ports * self.width_bits * _BUS_DRIVER_GE_PER_BIT
@@ -132,6 +140,7 @@ class SharedBusModel(SwitchModel):
         return drivers + arbiter
 
     def config_bits(self, inputs: int, outputs: int) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         self._check_ports(inputs, outputs)
         return _ceil_log2(inputs + 1)
 
@@ -142,9 +151,11 @@ class FullCrossbarModel(SwitchModel):
 
     @property
     def kind(self) -> LinkKind:
+        """The link kind this model prices."""
         return LinkKind.SWITCHED
 
     def area_ge(self, inputs: int, outputs: int) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         self._check_ports(inputs, outputs)
         if inputs == 0 or outputs == 0:
             return 0.0
@@ -155,6 +166,7 @@ class FullCrossbarModel(SwitchModel):
         return outputs * mux_cells * self.width_bits * _MUX2_GE_PER_BIT
 
     def config_bits(self, inputs: int, outputs: int) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         self._check_ports(inputs, outputs)
         if inputs == 0 or outputs == 0:
             return 0
@@ -181,12 +193,14 @@ class LimitedCrossbarModel(SwitchModel):
 
     @property
     def kind(self) -> LinkKind:
+        """The link kind this model prices."""
         return LinkKind.SWITCHED
 
     def _effective_window(self, inputs: int) -> int:
         return min(self.window, inputs)
 
     def area_ge(self, inputs: int, outputs: int) -> float:
+        """Area cost in gate equivalents (the Eq. 1 term)."""
         self._check_ports(inputs, outputs)
         if inputs == 0 or outputs == 0:
             return 0.0
@@ -195,6 +209,7 @@ class LimitedCrossbarModel(SwitchModel):
         return outputs * mux_cells * self.width_bits * _MUX2_GE_PER_BIT
 
     def config_bits(self, inputs: int, outputs: int) -> int:
+        """Configuration bits consumed (the Eq. 2 term)."""
         self._check_ports(inputs, outputs)
         if inputs == 0 or outputs == 0:
             return 0

@@ -1,0 +1,158 @@
+"""Profiling hooks: cProfile and tracemalloc wrappers for any sweep.
+
+Tracing tells you *which* span is slow; profiling tells you *why* — the
+Python functions and allocation sites inside it. :class:`Profiler` is a
+context manager that drives :mod:`cProfile` (always) and
+:mod:`tracemalloc` (opt-in, it costs real memory and time) around any
+region, then renders deterministic top-N tables and writes them under
+``artifacts/``:
+
+    >>> from repro.obs.profile import Profiler
+    >>> with Profiler("demo", top=5) as prof:
+    ...     _ = sorted(range(1000))
+    >>> report = prof.report
+    >>> report.label
+    'demo'
+    >>> "ncalls" in report.render()
+    True
+
+The CLI exposes this as ``--profile`` on the sweep subcommands
+(``dse``, ``costs``, ``faults``): the whole command runs under the
+profiler and the table lands in ``artifacts/profile_<command>.txt``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["ProfileReport", "Profiler", "profile_call"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileReport:
+    """The rendered outcome of one profiled region."""
+
+    label: str
+    wall_s: float
+    top: int
+    stats_text: str
+    memory_text: "str | None" = None
+
+    def render(self) -> str:
+        """The full human-readable report (CPU table, then memory)."""
+        lines = [
+            f"profile: {self.label}",
+            f"wall time: {self.wall_s:.4f} s",
+            "",
+            f"top {self.top} functions by cumulative time:",
+            self.stats_text.rstrip(),
+        ]
+        if self.memory_text is not None:
+            lines += ["", f"top {self.top} allocation sites:", self.memory_text.rstrip()]
+        return "\n".join(lines) + "\n"
+
+    def write(self, directory: "str | os.PathLike[str]" = "artifacts") -> str:
+        """Write the report to ``<directory>/profile_<label>.txt``."""
+        os.makedirs(directory, exist_ok=True)
+        safe = "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in self.label)
+        path = os.path.join(os.fspath(directory), f"profile_{safe}.txt")
+        with open(path, "w") as handle:
+            handle.write(self.render())
+        return path
+
+
+class Profiler:
+    """Context manager: profile a region, expose a :class:`ProfileReport`.
+
+    ``memory=True`` additionally snapshots allocations via tracemalloc.
+    If tracemalloc was already tracing (say, an outer profiler), this
+    profiler leaves it running on exit rather than stopping the outer
+    session's collection.
+    """
+
+    def __init__(self, label: str = "run", *, top: int = 20, memory: bool = False):
+        if top < 1:
+            raise ValueError(f"top must be >= 1, got {top}")
+        self.label = label
+        self.top = top
+        self.memory = memory
+        self.report: "ProfileReport | None" = None
+        self._profile = cProfile.Profile()
+        self._started_tracemalloc = False
+        self._start_s = 0.0
+
+    def __enter__(self) -> "Profiler":
+        if self.memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        self._start_s = time.perf_counter()
+        self._profile.enable()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self._profile.disable()
+        wall_s = time.perf_counter() - self._start_s
+        memory_text: "str | None" = None
+        if self.memory:
+            snapshot = tracemalloc.take_snapshot()
+            if self._started_tracemalloc:
+                tracemalloc.stop()
+            memory_text = self._render_memory(snapshot)
+        self.report = ProfileReport(
+            label=self.label,
+            wall_s=wall_s,
+            top=self.top,
+            stats_text=self._render_stats(),
+            memory_text=memory_text,
+        )
+
+    def _render_stats(self) -> str:
+        out = io.StringIO()
+        stats = pstats.Stats(self._profile, stream=out)
+        stats.sort_stats(pstats.SortKey.CUMULATIVE)
+        stats.print_stats(self.top)
+        return out.getvalue()
+
+    def _render_memory(self, snapshot: "tracemalloc.Snapshot") -> str:
+        entries = snapshot.statistics("lineno")[: self.top]
+        if not entries:
+            return "(no allocations recorded)"
+        lines = []
+        for stat in entries:
+            frame = stat.traceback[0]
+            lines.append(
+                f"{stat.size / 1024:10.1f} KiB  {stat.count:8d} blocks  "
+                f"{frame.filename}:{frame.lineno}"
+            )
+        return "\n".join(lines)
+
+
+def profile_call(
+    fn: "Callable[..., Any]",
+    *args: Any,
+    label: "str | None" = None,
+    top: int = 20,
+    memory: bool = False,
+    **kwargs: Any,
+) -> tuple[Any, ProfileReport]:
+    """Run ``fn(*args, **kwargs)`` under a :class:`Profiler`.
+
+    Returns ``(result, report)`` — the attachment point for profiling
+    any sweep without restructuring it::
+
+        result, report = profile_call(resilience_sweep, rates, n=64)
+        print(report.render())
+        report.write("artifacts")
+    """
+    chosen = label if label is not None else getattr(fn, "__name__", "call")
+    with Profiler(chosen, top=top, memory=memory) as prof:
+        result = fn(*args, **kwargs)
+    assert prof.report is not None
+    return result, prof.report

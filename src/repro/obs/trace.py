@@ -1,0 +1,389 @@
+"""Hierarchical span tracing — *where the wall-clock goes*, as a tree.
+
+A **span** is one named, timed region of work: a machine ``run()``, a
+sweep, one sweep point, an artifact render. Spans nest — entering a span
+inside another makes it a child — so a traced CLI invocation yields a
+tree whose leaves are the units of compute the analyses actually paid
+for. Each span carries
+
+* monotonic start/stop timestamps (:func:`time.perf_counter`, never the
+  wall clock, so durations are immune to clock steps);
+* free-form **attributes** (``machine="IAP-IV"``, ``points=25``);
+* point-in-time **events** (a fault landing, a policy decision), each
+  with its own offset from the span start.
+
+The global tracer is **disabled by default** and every instrumentation
+site in this package is guarded so the disabled cost is one attribute
+check — the ``bench_obs_overhead`` benchmark holds that to < 5% of the
+sweep engine's median. Enable it around a region of interest:
+
+    >>> from repro.obs import trace
+    >>> trace.reset()
+    >>> trace.enable()
+    >>> with trace.span("outer", label="demo"):
+    ...     with trace.span("inner"):
+    ...         trace.add_event("milestone", step=1)
+    >>> trace.disable()
+    >>> root = trace.tracer().roots[0]
+    >>> root.name, root.children[0].name
+    ('outer', 'inner')
+    >>> root.children[0].events[0].name
+    'milestone'
+
+Exporters: :meth:`Tracer.to_dict` (the JSON schema, checked by
+:func:`validate_trace`), :meth:`Tracer.write_json` and
+:meth:`Tracer.render_text` (a flat indented listing for terminals).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "SpanEvent",
+    "Span",
+    "Tracer",
+    "tracer",
+    "span",
+    "add_event",
+    "current_span",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "validate_trace",
+]
+
+#: Version stamped into every exported trace payload.
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEvent:
+    """A point-in-time annotation inside a span (no duration)."""
+
+    name: str
+    t_s: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The event as a JSON-ready mapping."""
+        return {"name": self.name, "t_s": self.t_s, "attributes": dict(self.attributes)}
+
+
+class Span:
+    """One named, timed region of work in the trace tree."""
+
+    __slots__ = ("name", "start_s", "end_s", "attributes", "events", "children")
+
+    def __init__(self, name: str, start_s: float, attributes: "dict[str, Any] | None" = None):
+        if not name:
+            raise ValueError("span name must be non-empty")
+        self.name = name
+        self.start_s = start_s
+        self.end_s: "float | None" = None
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.events: list[SpanEvent] = []
+        self.children: list[Span] = []
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds; 0.0 while the span is still open."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute on this span."""
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes: Any) -> None:
+        """Attach several attributes at once."""
+        self.attributes.update(attributes)
+
+    def add_event(self, name: str, **attributes: Any) -> SpanEvent:
+        """Record a point-in-time event at the current monotonic offset."""
+        event = SpanEvent(
+            name=name, t_s=time.perf_counter() - self.start_s, attributes=attributes
+        )
+        self.events.append(event)
+        return event
+
+    def walk(self) -> "Iterator[Span]":
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict[str, Any]:
+        """The span subtree as a JSON-ready mapping (the export schema)."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "events": [event.to_dict() for event in self.events],
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, duration_s={self.duration_s:.6f})"
+
+
+class _NoopSpan:
+    """The do-nothing span handed out while tracing is disabled.
+
+    It supports the same surface as :class:`Span` plus the context
+    protocol, so instrumentation sites never need to branch on state.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Discard the attribute (tracing is off)."""
+
+    def set_attributes(self, **attributes: Any) -> None:
+        """Discard the attributes (tracing is off)."""
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        """Discard the event (tracing is off)."""
+
+
+#: Shared no-op instance: ``span()`` while disabled allocates nothing.
+NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager binding one live :class:`Span` to a tracer stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, owner: "Tracer", name: str, attributes: dict[str, Any]):
+        self._tracer = owner
+        self._span = Span(name, time.perf_counter(), attributes)
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self._span.end_s = time.perf_counter()
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", getattr(exc_type, "__name__", str(exc_type)))
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """A span collector: an enable flag, a per-thread stack, root spans.
+
+    Every thread gets its own span stack (nesting is a per-thread
+    notion) while finished root spans from all threads accumulate in
+    :attr:`roots` under a lock, in completion order.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.roots: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- span lifecycle --------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> Any:
+        """Open a span context; a shared no-op when tracing is disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return _ActiveSpan(self, name, attributes)
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        """Record an event on the innermost open span, if any."""
+        if not self.enabled:
+            return
+        current = self.current_span()
+        if current is not None:
+            current.add_event(name, **attributes)
+
+    def current_span(self) -> "Span | None":
+        """The innermost open span on this thread, or None."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push(self, item: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(item)
+
+    def _pop(self, item: Span) -> None:
+        stack = self._local.stack
+        stack.pop()
+        if stack:
+            stack[-1].children.append(item)
+        else:
+            with self._lock:
+                self.roots.append(item)
+
+    # -- state -----------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start recording spans."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording; collected spans remain available for export."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every collected span and this thread's open stack."""
+        with self._lock:
+            self.roots.clear()
+        self._local.stack = []
+
+    # -- export ----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The whole trace as the versioned JSON export payload."""
+        with self._lock:
+            spans = [root.to_dict() for root in self.roots]
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "generated_by": "repro.obs",
+            "spans": spans,
+        }
+
+    def write_json(self, path: "str | os.PathLike[str]") -> str:
+        """Write the trace to ``path`` as indented JSON; returns the path."""
+        payload = self.to_dict()
+        directory = os.path.dirname(os.fspath(path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+            handle.write("\n")
+        return os.fspath(path)
+
+    def render_text(self) -> str:
+        """Flat indented listing: one line per span, events inlined."""
+        out = io.StringIO()
+        with self._lock:
+            roots = list(self.roots)
+        for root in roots:
+            self._render_span(out, root, depth=0)
+        text = out.getvalue().rstrip("\n")
+        return text if text else "(no spans recorded)"
+
+    def _render_span(self, out: io.StringIO, item: Span, *, depth: int) -> None:
+        indent = "  " * depth
+        attrs = " ".join(f"{key}={value}" for key, value in sorted(item.attributes.items()))
+        suffix = f"  [{attrs}]" if attrs else ""
+        out.write(f"{indent}{item.name}  {item.duration_s * 1e3:.3f} ms{suffix}\n")
+        for event in item.events:
+            out.write(f"{indent}  @ {event.t_s * 1e3:.3f} ms  {event.name}\n")
+        for child in item.children:
+            self._render_span(out, child, depth=depth + 1)
+
+
+#: The process-wide tracer every instrumentation site reports to.
+GLOBAL_TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-wide :class:`Tracer` instance."""
+    return GLOBAL_TRACER
+
+
+def span(name: str, **attributes: Any) -> Any:
+    """Open a span on the global tracer (no-op while disabled)."""
+    if not GLOBAL_TRACER.enabled:
+        return NOOP_SPAN
+    return _ActiveSpan(GLOBAL_TRACER, name, attributes)
+
+
+def add_event(name: str, **attributes: Any) -> None:
+    """Record an event on the global tracer's innermost open span."""
+    if GLOBAL_TRACER.enabled:
+        GLOBAL_TRACER.add_event(name, **attributes)
+
+
+def current_span() -> "Span | None":
+    """The global tracer's innermost open span on this thread."""
+    return GLOBAL_TRACER.current_span()
+
+
+def enable() -> None:
+    """Enable the global tracer."""
+    GLOBAL_TRACER.enable()
+
+
+def disable() -> None:
+    """Disable the global tracer (already-collected spans survive)."""
+    GLOBAL_TRACER.disable()
+
+
+def enabled() -> bool:
+    """Whether the global tracer is currently recording."""
+    return GLOBAL_TRACER.enabled
+
+
+def reset() -> None:
+    """Clear the global tracer's collected spans."""
+    GLOBAL_TRACER.reset()
+
+
+def validate_trace(payload: Any) -> None:
+    """Check an exported trace against the schema; raise ValueError if bad.
+
+    The schema is deliberately small: a versioned envelope holding a
+    list of span trees whose every node has a name, non-negative
+    duration, attribute mapping, event list and child list. Tests (and
+    downstream consumers) call this instead of hand-rolling asserts.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"trace payload must be a dict, got {type(payload).__name__}")
+    if payload.get("schema") != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema {payload.get('schema')!r}; "
+            f"expected {TRACE_SCHEMA_VERSION}"
+        )
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError("trace payload must carry a 'spans' list")
+    for item in spans:
+        _validate_span(item, path="spans")
+
+
+def _validate_span(item: Any, *, path: str) -> None:
+    if not isinstance(item, dict):
+        raise ValueError(f"{path}: span must be a dict, got {type(item).__name__}")
+    name = item.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{path}: span name must be a non-empty string")
+    duration = item.get("duration_s")
+    if not isinstance(duration, (int, float)) or duration < 0:
+        raise ValueError(f"{path}.{name}: duration_s must be a non-negative number")
+    if not isinstance(item.get("attributes"), dict):
+        raise ValueError(f"{path}.{name}: attributes must be a mapping")
+    events = item.get("events")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}.{name}: events must be a list")
+    for event in events:
+        if not isinstance(event, dict) or not event.get("name"):
+            raise ValueError(f"{path}.{name}: malformed event {event!r}")
+    children = item.get("children")
+    if not isinstance(children, list):
+        raise ValueError(f"{path}.{name}: children must be a list")
+    for child in children:
+        _validate_span(child, path=f"{path}.{name}")

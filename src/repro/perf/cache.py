@@ -33,6 +33,7 @@ from threading import Lock
 
 from repro.core.signature import Signature
 from repro.models.area import AreaModel
+from repro.obs import metrics as _metrics
 from repro.models.configbits import ConfigBitsModel
 from repro.models.energy import EnergyModel
 from repro.models.reconfiguration import ReconfigurationModel
@@ -73,11 +74,22 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits plus misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 before any lookup)."""
         return self.hits / self.lookups if self.lookups else 0.0
+
+
+# Process-wide counters shared by every ModelCache instance; the CLI's
+# ``repro-taxonomy metrics`` subcommand reads them back.
+_CACHE_HITS = _metrics.REGISTRY.counter("model_cache.hits", help="ModelCache lookup hits")
+_CACHE_MISSES = _metrics.REGISTRY.counter("model_cache.misses", help="ModelCache lookup misses")
+_CACHE_EVICTIONS = _metrics.REGISTRY.counter(
+    "model_cache.evictions", help="ModelCache LRU evictions"
+)
 
 
 def _technology_key(node: TechnologyNode) -> tuple:
@@ -145,9 +157,11 @@ class ModelCache:
             cached = self._entries.get(key)
             if cached is not None:
                 self._hits += 1
+                _CACHE_HITS.inc()
                 self._entries.move_to_end(key)
                 return cached
             self._misses += 1
+            _CACHE_MISSES.inc()
         estimates = ModelEstimates(
             class_id=key_id,
             n=n,
@@ -164,6 +178,7 @@ class ModelCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                _CACHE_EVICTIONS.inc()
         return estimates
 
     # -- maintenance -----------------------------------------------------
@@ -179,6 +194,7 @@ class ModelCache:
 
     @property
     def stats(self) -> CacheStats:
+        """A snapshot of the cache's hit/miss/eviction counters and size."""
         with self._lock:
             return CacheStats(
                 hits=self._hits,

@@ -30,10 +30,26 @@ from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, ThreadPoolE
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
 __all__ = ["EXECUTORS", "PointResult", "SweepResult", "resolve_jobs", "sweep"]
 
 #: Recognised executor names.
 EXECUTORS: tuple[str, ...] = ("serial", "thread", "process")
+
+# Always-on aggregate metrics — one increment/observation per sweep()
+# call (never per point), so the disabled-instrumentation overhead stays
+# inside the bench_obs_overhead budget.
+_SWEEP_RUNS = _metrics.REGISTRY.counter("sweep.runs", help="sweep() invocations")
+_SWEEP_POINTS = _metrics.REGISTRY.counter("sweep.points", help="points evaluated across all sweeps")
+_SWEEP_WALL = _metrics.REGISTRY.histogram("sweep.wall_s", help="whole-sweep wall time (s)")
+_SWEEP_COMPUTE = _metrics.REGISTRY.histogram(
+    "sweep.point_s", help="summed in-worker compute time per sweep (s)"
+)
+_QUEUE_WAIT = _metrics.REGISTRY.histogram(
+    "sweep.queue_wait_s", help="submit-to-start executor queue wait per chunk (s)"
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,6 +123,18 @@ def _run_chunk(
     return [_timed_point(fn, index, point) for index, point in chunk]
 
 
+def _run_chunk_stamped(
+    fn: Callable[[Any], Any], chunk: "list[tuple[int, Any]]"
+) -> tuple[float, list[PointResult]]:
+    """Pool worker entry point: chunk results plus the worker start time.
+
+    The start stamp uses :func:`time.monotonic` (CLOCK_MONOTONIC — one
+    system-wide epoch on the platforms we support), so the parent can
+    subtract its submit stamp to get the executor queue wait.
+    """
+    return (time.monotonic(), _run_chunk(fn, chunk))
+
+
 def _chunked(
     items: "list[tuple[int, Any]]", chunksize: int
 ) -> "list[list[tuple[int, Any]]]":
@@ -138,29 +166,82 @@ def sweep(
     indexed: list[tuple[int, Any]] = list(enumerate(points))
     n_jobs = 1 if executor == "serial" else min(resolve_jobs(jobs), max(len(indexed), 1))
 
-    start = time.perf_counter()
     if not indexed:
         return SweepResult((), (), executor, n_jobs, chunksize, 0.0)
-    if executor == "serial" or n_jobs == 1:
-        results = _run_chunk(fn, indexed)
-        wall = time.perf_counter() - start
-        return SweepResult(
-            values=tuple(r.value for r in results),
-            timings=tuple(r.elapsed_s for r in results),
-            executor=executor,
-            jobs=1,
-            chunksize=chunksize,
-            wall_s=wall,
-        )
+    with _trace.span(
+        "perf.sweep", executor=executor, jobs=n_jobs, points=len(indexed), chunksize=chunksize
+    ) as sweep_span:
+        if executor == "serial" or n_jobs == 1:
+            result = _sweep_serial(fn, indexed, executor=executor, chunksize=chunksize)
+        else:
+            result = _sweep_pooled(
+                fn,
+                indexed,
+                executor=executor,
+                n_jobs=n_jobs,
+                chunksize=chunksize,
+                sweep_span=sweep_span,
+            )
+        sweep_span.set_attributes(wall_s=result.wall_s, point_s=result.point_s)
+    _SWEEP_RUNS.inc()
+    _SWEEP_POINTS.inc(len(result))
+    _SWEEP_WALL.observe(result.wall_s)
+    _SWEEP_COMPUTE.observe(result.point_s)
+    return result
 
+
+def _sweep_serial(
+    fn: Callable[[Any], Any],
+    indexed: "list[tuple[int, Any]]",
+    *,
+    executor: str,
+    chunksize: int,
+) -> SweepResult:
+    """The in-process path: a plain loop, per-point spans when traced."""
+    start = time.perf_counter()
+    if _trace.GLOBAL_TRACER.enabled:
+        results = []
+        for index, point in indexed:
+            with _trace.span("perf.point", index=index) as point_span:
+                outcome = _timed_point(fn, index, point)
+                point_span.set_attribute("elapsed_s", outcome.elapsed_s)
+            results.append(outcome)
+    else:
+        results = _run_chunk(fn, indexed)
+    wall = time.perf_counter() - start
+    return SweepResult(
+        values=tuple(r.value for r in results),
+        timings=tuple(r.elapsed_s for r in results),
+        executor=executor,
+        jobs=1,
+        chunksize=chunksize,
+        wall_s=wall,
+    )
+
+
+def _sweep_pooled(
+    fn: Callable[[Any], Any],
+    indexed: "list[tuple[int, Any]]",
+    *,
+    executor: str,
+    n_jobs: int,
+    chunksize: int,
+    sweep_span: Any,
+) -> SweepResult:
+    """The pool path: chunked dispatch, queue-wait accounting per chunk."""
+    start = time.perf_counter()
     pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
     chunks = _chunked(indexed, chunksize)
     results: list[PointResult] = []
     with pool_cls(max_workers=n_jobs) as pool:
-        futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+        submitted: list[float] = []
+        futures = []
+        for chunk in chunks:
+            submitted.append(time.monotonic())
+            futures.append(pool.submit(_run_chunk_stamped, fn, chunk))
         wait(futures, return_when=FIRST_EXCEPTION)
         error: BaseException | None = None
-        for future in futures:
+        for chunk_index, future in enumerate(futures):
             if error is not None:
                 future.cancel()
                 continue
@@ -168,7 +249,16 @@ def sweep(
             if exc is not None:
                 error = exc
             elif not future.cancelled():
-                results.extend(future.result())
+                started, chunk_results = future.result()
+                queue_wait = max(0.0, started - submitted[chunk_index])
+                _QUEUE_WAIT.observe(queue_wait)
+                sweep_span.add_event(
+                    "chunk",
+                    index=chunk_index,
+                    points=len(chunk_results),
+                    queue_wait_s=queue_wait,
+                )
+                results.extend(chunk_results)
         if error is not None:
             raise error
     results.sort(key=lambda r: r.index)

@@ -31,10 +31,12 @@ class CustomEntry:
 
     @property
     def taxonomic_name(self) -> str:
+        """Short taxonomic name derived from the entry's signature."""
         return self.classification.short_name
 
     @property
     def flexibility(self) -> int:
+        """Flexibility score derived from the entry's signature."""
         return self.classification.flexibility
 
 
@@ -91,12 +93,14 @@ class CustomRegistry:
         return entry
 
     def remove(self, name: str) -> None:
+        """Drop the entry registered under ``name``."""
         try:
             del self.entries[name]
         except KeyError as exc:
             raise RegistryError(f"no custom architecture named {name!r}") from exc
 
     def get(self, name: str) -> CustomEntry:
+        """Look up the entry registered under ``name``."""
         try:
             return self.entries[name]
         except KeyError as exc:

@@ -79,18 +79,22 @@ class ArchitectureRecord:
 
     @property
     def derived_name(self) -> str:
+        """Short taxonomic name the classifier derives for this record."""
         return self.classification.short_name
 
     @property
     def derived_flexibility(self) -> int:
+        """Flexibility score derived from the record's signature."""
         return self.classification.flexibility
 
     @property
     def matches_paper_name(self) -> bool:
+        """Whether the derived name agrees with the paper's published name."""
         return self.derived_name == self.paper_name
 
     @property
     def matches_paper_flexibility(self) -> bool:
+        """Whether the derived score agrees with the paper's published score."""
         return self.derived_flexibility == self.paper_flexibility
 
     def table_row(self) -> tuple[str, ...]:

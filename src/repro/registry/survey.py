@@ -32,22 +32,27 @@ class SurveyEntry:
 
     @property
     def name(self) -> str:
+        """The architecture's published name."""
         return self.record.name
 
     @property
     def taxonomic_name(self) -> str:
+        """The derived short taxonomic name."""
         return self.record.derived_name
 
     @property
     def flexibility(self) -> int:
+        """The derived flexibility score."""
         return self.record.derived_flexibility
 
     @property
     def machine_type(self) -> MachineType:
+        """The machine type (DF, IF or UF) of the derived name."""
         return self.record.classification.score.machine_type
 
     @property
     def agrees_with_paper(self) -> bool:
+        """Whether the derivation matches the paper's published classification."""
         return (
             self.record.matches_paper_name
             and self.record.matches_paper_flexibility

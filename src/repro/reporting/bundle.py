@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.obs import trace as _trace
 from repro.reporting.export import rows_to_csv, survey_to_json, taxonomy_to_json
 from repro.reporting.figures import (
     render_fig1,
@@ -39,11 +40,20 @@ def generate_report(outdir: "str | Path") -> list[Path]:
     base = Path(outdir)
     base.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
+    with _trace.span("report.generate", outdir=str(base)) as report_span:
+        _write_artifacts(base, written)
+        report_span.set_attribute("files", len(written))
+    return written
+
+
+def _write_artifacts(base: Path, written: "list[Path]") -> None:
+    """Render and write every artifact file, one child span per file."""
 
     def write(name: str, content: str) -> None:
-        path = base / name
-        path.write_text(content, encoding="utf-8")
-        written.append(path)
+        with _trace.span("report.artifact", file=name):
+            path = base / name
+            path.write_text(content, encoding="utf-8")
+            written.append(path)
 
     # Tables in three formats.
     write("table1.txt", render_table1())
@@ -109,5 +119,3 @@ def generate_report(outdir: "str | Path") -> list[Path]:
     from repro.audit import run_audit
 
     write("audit.txt", run_audit().summary())
-
-    return written

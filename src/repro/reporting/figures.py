@@ -103,6 +103,7 @@ def fig1_series(report: "TrendReport | None" = None) -> tuple[list[int], dict[st
 
 
 def render_fig1(report: "TrendReport | None" = None) -> str:
+    """Render Fig. 1: publication trends over the synthetic corpus."""
     years, series = fig1_series(report)
     chart = multi_series_chart(years, series)
     return "Research Trends in Parallel Computing (synthetic corpus)\n" + chart
@@ -223,6 +224,7 @@ def fig7_series() -> tuple[list[str], list[int]]:
 
 
 def render_fig7() -> str:
+    """Render Fig. 7: flexibility of the surveyed architectures."""
     names, values = fig7_series()
     chart = bar_chart(names, [float(v) for v in values])
     return (

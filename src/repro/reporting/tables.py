@@ -85,6 +85,7 @@ def table1_rows(*, include_sections: bool = False) -> list[tuple[str, ...]]:
 
 
 def render_table1(*, markdown: bool = False) -> str:
+    """Render Table I: the full class enumeration."""
     return format_table(TABLE1_HEADER, table1_rows(), markdown=markdown)
 
 
@@ -138,4 +139,5 @@ def table3_rows() -> list[tuple[str, ...]]:
 
 
 def render_table3(*, markdown: bool = False) -> str:
+    """Render Table III: the surveyed architectures and their classifications."""
     return format_table(TABLE3_HEADER, table3_rows(), markdown=markdown)

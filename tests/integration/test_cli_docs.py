@@ -1,0 +1,38 @@
+"""docs/cli.md must match the live argparse tree.
+
+The reference is generated, never hand-edited; this test (and the CI
+lint job's ``gen_cli_docs.py --check``) makes drift a failure.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "gen_cli_docs.py"
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location("gen_cli_docs", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("gen_cli_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_cli_md_is_up_to_date():
+    generator = _load_generator()
+    expected = generator.generate()
+    actual = (REPO_ROOT / "docs" / "cli.md").read_text(encoding="utf-8")
+    assert actual == expected, (
+        "docs/cli.md is stale — regenerate with: python scripts/gen_cli_docs.py"
+    )
+
+
+def test_generated_reference_covers_every_subcommand():
+    generator = _load_generator()
+    text = generator.generate()
+    for command in ("classify", "dse", "costs", "faults", "metrics", "report"):
+        assert f"## `repro-taxonomy {command}`" in text
+    assert "--trace" in text and "--profile" in text
+    assert "DO NOT EDIT BY HAND" in text

@@ -1,0 +1,36 @@
+"""Execute the doctests embedded in the Markdown guides under docs/.
+
+CI also runs ``pytest --doctest-glob="*.md" docs/`` directly; this test
+puts the same check inside the default suite so a stale guide snippet
+fails `pytest tests/` too, not just the extra CI step.
+"""
+
+import doctest
+from pathlib import Path
+
+import pytest
+
+DOCS_DIR = Path(__file__).resolve().parents[2] / "docs"
+GUIDES = sorted(DOCS_DIR.glob("*.md"))
+
+
+def test_docs_directory_has_guides():
+    assert GUIDES, f"no markdown guides found under {DOCS_DIR}"
+    names = {path.name for path in GUIDES}
+    assert {"index.md", "cli.md", "observability.md"} <= names
+
+
+@pytest.mark.parametrize("guide", GUIDES, ids=lambda p: p.name)
+def test_guide_snippets_execute(guide):
+    from repro.obs import trace
+
+    trace.reset()
+    trace.disable()
+    try:
+        results = doctest.testfile(
+            str(guide), module_relative=False, verbose=False, encoding="utf-8"
+        )
+    finally:
+        trace.reset()
+        trace.disable()
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {guide.name}"

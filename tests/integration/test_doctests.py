@@ -10,11 +10,21 @@ import pytest
 import repro
 import repro.core.signature
 import repro.machine.program
+import repro.obs.metrics
+import repro.obs.profile
+import repro.obs.trace
 
 
 @pytest.mark.parametrize(
     "module",
-    [repro, repro.core.signature, repro.machine.program],
+    [
+        repro,
+        repro.core.signature,
+        repro.machine.program,
+        repro.obs.metrics,
+        repro.obs.profile,
+        repro.obs.trace,
+    ],
     ids=lambda m: m.__name__,
 )
 def test_module_doctests(module):

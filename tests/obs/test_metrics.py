@@ -1,0 +1,150 @@
+"""Unit tests for the process-local metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DURATION_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from repro.obs import metrics as metrics_module
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter("c").inc(-1)
+
+    def test_snapshot(self):
+        counter = Counter("c", help="things")
+        counter.inc(2)
+        assert counter.snapshot() == {"type": "counter", "help": "things", "value": 2}
+
+
+class TestGauge:
+    def test_set_and_shift(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value == 7
+
+    def test_snapshot(self):
+        gauge = Gauge("g", help="depth")
+        gauge.set(1.5)
+        assert gauge.snapshot() == {"type": "gauge", "help": "depth", "value": 1.5}
+
+
+class TestHistogram:
+    def test_requires_boundaries(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", ())
+
+    def test_requires_strictly_increasing_boundaries(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", (1.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", (2.0, 1.0))
+
+    def test_bucketing_including_exact_boundaries(self):
+        hist = Histogram("h", (1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            hist.observe(value)
+        # <= 1.0 | (1.0, 10.0] | > 10.0
+        assert hist.bucket_counts == (2, 2, 1)
+        assert hist.count == 5
+        assert hist.total == pytest.approx(27.5)
+        assert hist.mean == pytest.approx(5.5)
+
+    def test_mean_is_zero_before_observations(self):
+        assert Histogram("h", (1.0,)).mean == 0.0
+
+    def test_snapshot(self):
+        hist = Histogram("h", (1.0,), help="waits")
+        hist.observe(0.5)
+        snap = hist.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["boundaries"] == [1.0]
+        assert snap["buckets"] == [1, 0]
+        assert snap["count"] == 1
+
+    def test_default_duration_buckets_are_increasing(self):
+        assert list(DURATION_BUCKETS_S) == sorted(DURATION_BUCKETS_S)
+        assert len(set(DURATION_BUCKETS_S)) == len(DURATION_BUCKETS_S)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_type_conflicts_raise(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="not histogram"):
+            reg.histogram("x")
+        reg.histogram("h")
+        with pytest.raises(ValueError, match="not counter"):
+            reg.counter("h")
+
+    def test_histogram_boundary_conflicts_raise(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", boundaries=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already registered with boundaries"):
+            reg.histogram("h", boundaries=(1.0, 3.0))
+        # Same boundaries (even as ints) are fine.
+        assert reg.histogram("h", boundaries=(1, 2)).boundaries == (1.0, 2.0)
+
+    def test_container_protocol(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert "a" in reg and "missing" not in reg
+        assert list(reg) == ["a", "b"]  # sorted
+        assert len(reg) == 2
+        assert reg.get("a").name == "a"
+        with pytest.raises(KeyError):
+            reg.get("missing")
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.histogram("a", boundaries=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "z"]
+        assert snap["z"]["value"] == 1
+
+    def test_render_empty(self):
+        assert MetricsRegistry().render() == "(no metrics recorded)"
+
+    def test_render_aligns_and_annotates(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", help="cache hits").inc(3)
+        reg.gauge("load").set(0.25)
+        reg.histogram("wait", boundaries=(1.0,)).observe(2.0)
+        text = reg.render()
+        lines = text.splitlines()
+        assert any("hits" in line and "# cache hits" in line for line in lines)
+        assert any("load" in line and "value=0.25" in line for line in lines)
+        assert any("wait" in line and "buckets=[0, 1]" in line for line in lines)
+
+    def test_reset_forgets_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_global_registry_accessor(self):
+        assert registry() is metrics_module.REGISTRY

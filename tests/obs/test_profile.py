@@ -1,0 +1,84 @@
+"""Unit tests for the cProfile / tracemalloc wrappers."""
+
+import tracemalloc
+
+import pytest
+
+from repro.obs.profile import ProfileReport, Profiler, profile_call
+
+
+def _busy_work():
+    return sum(i * i for i in range(2000))
+
+
+class TestProfiler:
+    def test_rejects_nonpositive_top(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            Profiler("x", top=0)
+
+    def test_report_captures_cpu_stats(self):
+        with Profiler("cpu-only", top=7) as prof:
+            _busy_work()
+        report = prof.report
+        assert report is not None
+        assert report.label == "cpu-only"
+        assert report.top == 7
+        assert report.wall_s > 0
+        assert report.memory_text is None
+        rendered = report.render()
+        assert "profile: cpu-only" in rendered
+        assert "top 7 functions by cumulative time" in rendered
+        assert "ncalls" in rendered
+
+    def test_memory_mode_adds_allocation_sites(self):
+        assert not tracemalloc.is_tracing()
+        with Profiler("with-mem", memory=True) as prof:
+            data = [bytes(1024) for _ in range(64)]
+        assert data
+        assert not tracemalloc.is_tracing()  # profiler stopped its own session
+        report = prof.report
+        assert report.memory_text is not None
+        assert "allocation sites" in report.render()
+
+    def test_leaves_an_outer_tracemalloc_session_running(self):
+        tracemalloc.start()
+        try:
+            with Profiler("nested", memory=True):
+                pass
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_report_is_none_until_exit(self):
+        prof = Profiler("pending")
+        assert prof.report is None
+
+
+class TestProfileReport:
+    def test_write_sanitizes_the_label(self, tmp_path):
+        report = ProfileReport(
+            label="weird label/:x", wall_s=0.1, top=3, stats_text="stats"
+        )
+        path = report.write(tmp_path)
+        assert path.endswith("profile_weird_label__x.txt")
+        assert "profile: weird label/:x" in (tmp_path / "profile_weird_label__x.txt").read_text()
+
+    def test_write_creates_the_directory(self, tmp_path):
+        target = tmp_path / "artifacts"
+        ProfileReport(label="a", wall_s=0.0, top=1, stats_text="s").write(target)
+        assert (target / "profile_a.txt").exists()
+
+
+class TestProfileCall:
+    def test_returns_result_and_report(self):
+        result, report = profile_call(sorted, [3, 1, 2], label="tiny")
+        assert result == [1, 2, 3]
+        assert report.label == "tiny"
+
+    def test_label_defaults_to_function_name(self):
+        _, report = profile_call(_busy_work)
+        assert report.label == "_busy_work"
+
+    def test_kwargs_are_forwarded(self):
+        result, _ = profile_call(sorted, [1, 2, 3], reverse=True)
+        assert result == [3, 2, 1]

@@ -1,0 +1,269 @@
+"""Unit tests for the hierarchical span tracer."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import (
+    NOOP_SPAN,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    validate_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    trace.reset()
+    trace.disable()
+    yield
+    trace.reset()
+    trace.disable()
+
+
+class TestSpan:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Span("", 0.0)
+
+    def test_duration_zero_while_open(self):
+        span = Span("open", 1.0)
+        assert span.duration_s == 0.0
+        span.end_s = 3.5
+        assert span.duration_s == 2.5
+
+    def test_attributes_and_events(self):
+        span = Span("s", 0.0, {"a": 1})
+        span.set_attribute("b", 2)
+        span.set_attributes(c=3, d=4)
+        event = span.add_event("hit", unit=7)
+        assert span.attributes == {"a": 1, "b": 2, "c": 3, "d": 4}
+        assert event.name == "hit" and event.attributes == {"unit": 7}
+        assert span.events == [event]
+
+    def test_walk_is_depth_first(self):
+        root = Span("root", 0.0)
+        left, right = Span("left", 0.0), Span("right", 0.0)
+        leaf = Span("leaf", 0.0)
+        left.children.append(leaf)
+        root.children += [left, right]
+        assert [s.name for s in root.walk()] == ["root", "left", "leaf", "right"]
+
+    def test_repr_names_the_span(self):
+        assert "Span('x'" in repr(Span("x", 0.0))
+
+
+class TestTracerLifecycle:
+    def test_disabled_span_is_the_shared_noop(self):
+        tracer = Tracer()
+        assert tracer.span("anything") is NOOP_SPAN
+        assert trace.span("anything") is NOOP_SPAN
+
+    def test_noop_span_swallows_everything(self):
+        with NOOP_SPAN as span:
+            span.set_attribute("k", 1)
+            span.set_attributes(a=2)
+            span.add_event("e", b=3)
+
+    def test_nesting_builds_a_tree(self):
+        trace.enable()
+        with trace.span("outer", jobs=2):
+            with trace.span("inner"):
+                trace.add_event("tick", n=1)
+        roots = trace.tracer().roots
+        assert [r.name for r in roots] == ["outer"]
+        assert roots[0].attributes == {"jobs": 2}
+        (inner,) = roots[0].children
+        assert inner.name == "inner"
+        assert inner.events[0].name == "tick"
+        assert inner.events[0].attributes == {"n": 1}
+
+    def test_exception_marks_the_span_and_propagates(self):
+        trace.enable()
+        with pytest.raises(RuntimeError):
+            with trace.span("bad"):
+                raise RuntimeError("boom")
+        (root,) = trace.tracer().roots
+        assert root.attributes["error"] == "RuntimeError"
+        assert root.end_s is not None
+
+    def test_current_span_tracks_the_stack(self):
+        trace.enable()
+        assert trace.current_span() is None
+        with trace.span("outer") as outer:
+            assert trace.current_span() is outer
+            with trace.span("inner") as inner:
+                assert trace.current_span() is inner
+            assert trace.current_span() is outer
+        assert trace.current_span() is None
+
+    def test_add_event_without_open_span_is_a_noop(self):
+        trace.enable()
+        trace.add_event("orphan")
+        assert trace.tracer().roots == []
+
+    def test_add_event_while_disabled_is_a_noop(self):
+        tracer = Tracer()
+        tracer.add_event("ignored")
+        assert tracer.roots == []
+
+    def test_enable_disable_enabled(self):
+        assert not trace.enabled()
+        trace.enable()
+        assert trace.enabled()
+        trace.disable()
+        assert not trace.enabled()
+
+    def test_reset_clears_roots(self):
+        trace.enable()
+        with trace.span("s"):
+            pass
+        assert trace.tracer().roots
+        trace.reset()
+        assert trace.tracer().roots == []
+
+    def test_each_thread_gets_its_own_stack(self):
+        tracer = Tracer()
+        tracer.enable()
+        seen = []
+
+        def worker(tag):
+            with tracer.span(tag):
+                seen.append(tracer.current_span().name)
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)]
+        with tracer.span("main-root"):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        # Worker spans never nested under the main thread's open span.
+        assert sorted(r.name for r in tracer.roots) == [
+            "main-root", "t0", "t1", "t2", "t3",
+        ]
+        assert tracer.roots[-1].name == "main-root"  # completion order
+        assert sorted(seen) == ["t0", "t1", "t2", "t3"]
+
+
+class TestExport:
+    def test_to_dict_is_versioned_and_valid(self):
+        trace.enable()
+        with trace.span("root", points=3):
+            with trace.span("child"):
+                trace.add_event("mark")
+        payload = trace.tracer().to_dict()
+        assert payload["schema"] == TRACE_SCHEMA_VERSION
+        assert payload["generated_by"] == "repro.obs"
+        validate_trace(payload)
+        root = payload["spans"][0]
+        assert root["name"] == "root"
+        assert root["attributes"] == {"points": 3}
+        assert root["children"][0]["events"][0]["name"] == "mark"
+        assert root["duration_s"] >= 0
+
+    def test_write_json_creates_parent_directories(self, tmp_path):
+        trace.enable()
+        with trace.span("persisted"):
+            pass
+        target = tmp_path / "nested" / "dir" / "trace.json"
+        written = trace.tracer().write_json(target)
+        assert written == str(target)
+        payload = json.loads(target.read_text())
+        validate_trace(payload)
+        assert payload["spans"][0]["name"] == "persisted"
+
+    def test_render_text_empty(self):
+        assert trace.tracer().render_text() == "(no spans recorded)"
+
+    def test_render_text_shows_tree_attrs_and_events(self):
+        trace.enable()
+        with trace.span("outer", jobs=1):
+            with trace.span("inner"):
+                trace.add_event("tick")
+        text = trace.tracer().render_text()
+        lines = text.splitlines()
+        assert lines[0].startswith("outer") and "[jobs=1]" in lines[0]
+        assert lines[1].startswith("  inner")
+        assert "@" in lines[2] and "tick" in lines[2]
+
+
+class TestValidateTrace:
+    def _valid(self):
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "generated_by": "repro.obs",
+            "spans": [
+                {
+                    "name": "s",
+                    "start_s": 0.0,
+                    "duration_s": 0.1,
+                    "attributes": {},
+                    "events": [],
+                    "children": [],
+                }
+            ],
+        }
+
+    def test_accepts_a_valid_payload(self):
+        validate_trace(self._valid())
+
+    def test_rejects_non_dict_payload(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            validate_trace([1, 2])
+
+    def test_rejects_wrong_schema_version(self):
+        payload = self._valid()
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            validate_trace(payload)
+
+    def test_rejects_missing_spans_list(self):
+        payload = self._valid()
+        payload["spans"] = "nope"
+        with pytest.raises(ValueError, match="'spans' list"):
+            validate_trace(payload)
+
+    def test_rejects_non_dict_span(self):
+        payload = self._valid()
+        payload["spans"] = [42]
+        with pytest.raises(ValueError, match="span must be a dict"):
+            validate_trace(payload)
+
+    def test_rejects_empty_span_name(self):
+        payload = self._valid()
+        payload["spans"][0]["name"] = ""
+        with pytest.raises(ValueError, match="non-empty string"):
+            validate_trace(payload)
+
+    def test_rejects_negative_duration(self):
+        payload = self._valid()
+        payload["spans"][0]["duration_s"] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_trace(payload)
+
+    def test_rejects_bad_attributes(self):
+        payload = self._valid()
+        payload["spans"][0]["attributes"] = []
+        with pytest.raises(ValueError, match="attributes"):
+            validate_trace(payload)
+
+    def test_rejects_bad_events(self):
+        payload = self._valid()
+        payload["spans"][0]["events"] = {}
+        with pytest.raises(ValueError, match="events must be a list"):
+            validate_trace(payload)
+        payload["spans"][0]["events"] = [{"no_name": True}]
+        with pytest.raises(ValueError, match="malformed event"):
+            validate_trace(payload)
+
+    def test_rejects_bad_children_recursively(self):
+        payload = self._valid()
+        payload["spans"][0]["children"] = "nope"
+        with pytest.raises(ValueError, match="children must be a list"):
+            validate_trace(payload)
+        payload["spans"][0]["children"] = [{"name": "", "duration_s": 0.0}]
+        with pytest.raises(ValueError, match="spans.s"):
+            validate_trace(payload)
