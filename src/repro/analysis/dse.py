@@ -151,11 +151,18 @@ def explore(
     config_model: "ConfigBitsModel | None" = None,
     jobs: int = 1,
     executor: str = "process",
+    on_error: str = "raise",
+    timeout_s: "float | None" = None,
+    resume: bool = False,
+    checkpoint_dir: "str | None" = None,
 ) -> Recommendation:
     """Rank every implementable class against the requirements.
 
     ``jobs`` parallelises the class evaluation through the sweep engine
     (see :mod:`repro.perf`); the recommendation is independent of it.
+    ``on_error``/``timeout_s``/``resume`` forward to
+    :func:`repro.analysis.pareto.evaluate_classes`, so a long DSE run
+    can skip bad points and restart from its checkpoint journal.
     """
     with _trace.span(
         "analysis.dse", objective=objective.name, n=requirements.n, jobs=jobs
@@ -166,6 +173,10 @@ def explore(
             config_model=config_model,
             jobs=jobs,
             executor=executor,
+            on_error=on_error,
+            timeout_s=timeout_s,
+            resume=resume,
+            checkpoint_dir=checkpoint_dir,
         )
         feasible = [p for p in points if requirements.admits(p)]
         infeasible = [p for p in points if not requirements.admits(p)]

@@ -19,7 +19,7 @@ from repro.core.taxonomy import TaxonomyClass, implementable_classes
 from repro.models.area import AreaModel
 from repro.models.configbits import ConfigBitsModel
 from repro.obs import trace as _trace
-from repro.perf import ModelCache, evaluate_models, sweep
+from repro.perf import ModelCache, SweepCheckpoint, evaluate_models, sweep
 
 __all__ = ["DesignPoint", "evaluate_classes", "pareto_frontier"]
 
@@ -89,13 +89,20 @@ def evaluate_classes(
     classes: "tuple[TaxonomyClass, ...] | None" = None,
     jobs: int = 1,
     executor: str = "process",
+    on_error: str = "raise",
+    timeout_s: "float | None" = None,
+    resume: bool = False,
+    checkpoint_dir: "str | None" = None,
 ) -> list[DesignPoint]:
     """Evaluate Eq. 1 and Eq. 2 for every (given) implementable class.
 
     ``jobs``/``executor`` fan the per-class model evaluation out through
     :func:`repro.perf.sweep`; results are identical (and identically
     ordered) for any job count. Custom models get a private cache so the
-    shared one never mixes parameter sets.
+    shared one never mixes parameter sets. ``on_error``/``timeout_s``
+    set the engine's failure policy (failed classes are dropped from the
+    result), and ``resume=True`` journals completed classes so an
+    interrupted evaluation restarts where it stopped.
     """
     cache = (
         None
@@ -105,9 +112,30 @@ def evaluate_classes(
     chosen = classes if classes is not None else implementable_classes()
     implementable = [cls for cls in chosen if cls.implementable]
     worker = functools.partial(_design_point, n=n, cache=cache)
+    checkpoint = None
+    if resume:
+        spec = {
+            "n": n,
+            "classes": [cls.serial for cls in implementable],
+            "models": [repr(area_model), repr(config_model)],
+        }
+        checkpoint = SweepCheckpoint.open("classes", spec, directory=checkpoint_dir)
     chosen_executor = "serial" if jobs == 1 else executor
-    with _trace.span("analysis.evaluate_classes", classes=len(implementable), n=n, jobs=jobs):
-        return list(sweep(worker, implementable, executor=chosen_executor, jobs=jobs))
+    try:
+        with _trace.span("analysis.evaluate_classes", classes=len(implementable), n=n, jobs=jobs):
+            result = sweep(
+                worker,
+                implementable,
+                executor=chosen_executor,
+                jobs=jobs,
+                on_error=on_error,
+                timeout_s=timeout_s,
+                checkpoint=checkpoint,
+            )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    return [point for point in result if point is not None]
 
 
 def pareto_frontier(points: "list[DesignPoint]") -> list[DesignPoint]:

@@ -44,7 +44,7 @@ from repro.core.errors import FaultError
 from repro.core.connectivity import LINK_SITES, LinkKind
 from repro.core.signature import Signature
 from repro.obs import trace as _trace
-from repro.perf import sweep
+from repro.perf import SweepCheckpoint, sweep
 from repro.registry.survey import SurveyEntry, survey_table
 
 __all__ = [
@@ -180,12 +180,20 @@ def resilience_sweep(
     entries: "tuple[SurveyEntry, ...] | None" = None,
     jobs: int = 1,
     executor: str = "process",
+    on_error: str = "raise",
+    timeout_s: "float | None" = None,
+    resume: bool = False,
+    checkpoint_dir: "str | None" = None,
 ) -> list[ResiliencePoint]:
     """Degradation curves for the whole survey, best-sustained first.
 
     ``jobs``/``executor`` run the per-architecture evaluation through
     :func:`repro.perf.sweep`; because the engine preserves input order
     and the final sort is total, any job count yields the same list.
+    ``on_error``/``timeout_s`` set the engine's per-point failure policy
+    (points skipped under ``"skip"``/``"retry"`` are dropped from the
+    result), and ``resume=True`` journals completed architectures so an
+    interrupted sweep picks up where it left off, bit-identically.
     """
     if not rates:
         raise ValueError("at least one fault rate is required")
@@ -193,16 +201,38 @@ def resilience_sweep(
     worker = functools.partial(
         _resilience_point, rates=tuple(rates), n=n, spares=spares
     )
+    checkpoint = None
+    if resume:
+        spec = {
+            "rates": [float(rate) for rate in rates],
+            "n": n,
+            "spares": spares,
+            "entries": [entry.name for entry in rows],
+        }
+        checkpoint = SweepCheckpoint.open("resilience", spec, directory=checkpoint_dir)
     chosen_executor = "serial" if jobs == 1 else executor
-    with _trace.span(
-        "analysis.resilience_sweep",
-        architectures=len(rows),
-        rates=len(rates),
-        n=n,
-        spares=spares,
-        jobs=jobs,
-    ):
-        points = list(sweep(worker, rows, executor=chosen_executor, jobs=jobs))
+    try:
+        with _trace.span(
+            "analysis.resilience_sweep",
+            architectures=len(rows),
+            rates=len(rates),
+            n=n,
+            spares=spares,
+            jobs=jobs,
+        ):
+            result = sweep(
+                worker,
+                rows,
+                executor=chosen_executor,
+                jobs=jobs,
+                on_error=on_error,
+                timeout_s=timeout_s,
+                checkpoint=checkpoint,
+            )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    points = [point for point in result if point is not None]
     points.sort(key=lambda p: (-p.mean_throughput, p.name))
     return points
 

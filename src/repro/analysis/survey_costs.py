@@ -19,7 +19,7 @@ from repro.models.configbits import ConfigBitsModel
 from repro.models.energy import EnergyModel
 from repro.models.reconfiguration import ReconfigurationModel
 from repro.obs import trace as _trace
-from repro.perf import ModelCache, evaluate_models, sweep
+from repro.perf import ModelCache, SweepCheckpoint, evaluate_models, sweep
 from repro.registry.architectures import all_architectures
 from repro.registry.record import ArchitectureRecord
 
@@ -87,13 +87,19 @@ def evaluate_survey(
     reconfig_model: "ReconfigurationModel | None" = None,
     jobs: int = 1,
     executor: str = "process",
+    on_error: str = "raise",
+    timeout_s: "float | None" = None,
+    resume: bool = False,
+    checkpoint_dir: "str | None" = None,
 ) -> list[SurveyCostPoint]:
     """Estimate every surveyed architecture's costs at its own size.
 
     Evaluations go through the :mod:`repro.perf` model cache — two
     architectures sharing a signature and size are priced once — and
     ``jobs``/``executor`` fan the records out through the sweep engine
-    with order-preserving results.
+    with order-preserving results. ``on_error``/``timeout_s`` set the
+    engine's failure policy (failed points are dropped from the result),
+    and ``resume=True`` journals completed records for restartability.
     """
     custom = (area_model, config_model, energy_model, reconfig_model)
     cache = (
@@ -109,17 +115,51 @@ def evaluate_survey(
     worker = functools.partial(_cost_point, default_n=default_n, cache=cache)
     chosen_executor = "serial" if jobs == 1 else executor
     records = all_architectures()
-    with _trace.span(
-        "analysis.survey_costs", architectures=len(records), default_n=default_n, jobs=jobs
-    ):
-        return list(sweep(worker, records, executor=chosen_executor, jobs=jobs))
+    checkpoint = None
+    if resume:
+        spec = {
+            "default_n": default_n,
+            "records": [record.name for record in records],
+            "models": [repr(model) for model in custom],
+        }
+        checkpoint = SweepCheckpoint.open("costs", spec, directory=checkpoint_dir)
+    try:
+        with _trace.span(
+            "analysis.survey_costs", architectures=len(records), default_n=default_n, jobs=jobs
+        ):
+            result = sweep(
+                worker,
+                records,
+                executor=chosen_executor,
+                jobs=jobs,
+                on_error=on_error,
+                timeout_s=timeout_s,
+                checkpoint=checkpoint,
+            )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    return [point for point in result if point is not None]
 
 
-def survey_cost_table(*, default_n: int = 16, jobs: int = 1) -> str:
+def survey_cost_table(
+    *,
+    default_n: int = 16,
+    jobs: int = 1,
+    on_error: str = "raise",
+    timeout_s: "float | None" = None,
+    resume: bool = False,
+) -> str:
     """Rendered cost table over the whole survey."""
     from repro.reporting.tables import format_table
 
-    points = evaluate_survey(default_n=default_n, jobs=jobs)
+    points = evaluate_survey(
+        default_n=default_n,
+        jobs=jobs,
+        on_error=on_error,
+        timeout_s=timeout_s,
+        resume=resume,
+    )
     header = (
         "architecture", "class", "flex", "n", "area (GE)",
         "config bits", "pJ/op", "reload cycles",

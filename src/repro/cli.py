@@ -99,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="config",
     )
     _add_jobs_argument(dse_parser)
+    _add_resilience_arguments(dse_parser)
     _add_trace_argument(dse_parser)
     _add_profile_argument(dse_parser)
 
@@ -110,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="design size for template (n/m/v) architectures (default 16)",
     )
     _add_jobs_argument(costs_parser)
+    _add_resilience_arguments(costs_parser)
     _add_trace_argument(costs_parser)
     _add_profile_argument(costs_parser)
 
@@ -149,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="CSV destination ('-' to skip writing)",
     )
     _add_jobs_argument(faults_parser)
+    _add_resilience_arguments(faults_parser)
     _add_trace_argument(faults_parser)
     _add_profile_argument(faults_parser)
 
@@ -181,6 +184,33 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=_jobs_count, default=1, metavar="N",
         help="worker processes for the sweep (default 1 = serial, 0 = all cores)",
+    )
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared sweep-resilience flags: ``--on-error``, ``--timeout``,
+    ``--resume``.
+
+    ``--on-error raise`` (the default) keeps the historical fail-fast
+    behaviour and byte-identical artifacts; ``skip`` drops failing
+    points from the output, ``retry`` re-attempts them on a seeded
+    deterministic backoff schedule first. ``--timeout`` bounds each
+    point attempt. ``--resume`` journals completed points under
+    ``artifacts/checkpoints/`` (override with ``$REPRO_CHECKPOINT_DIR``)
+    and skips them bit-identically on a re-run after an interrupt.
+    """
+    parser.add_argument(
+        "--on-error", choices=["raise", "skip", "retry"], default="raise",
+        dest="on_error",
+        help="per-point failure policy: raise (default), skip, or retry with backoff",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-point deadline in seconds (over-budget points time out)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="journal completed sweep points and skip them on re-run",
     )
 
 
@@ -315,18 +345,22 @@ def _run_faults(args: argparse.Namespace) -> int:
             ) from None
     else:
         rates = DEFAULT_FAULT_RATES
-    points = resilience_sweep(rates, n=args.n, spares=args.spares, jobs=args.jobs)
+    points = resilience_sweep(
+        rates,
+        n=args.n,
+        spares=args.spares,
+        jobs=args.jobs,
+        on_error=args.on_error,
+        timeout_s=args.timeout,
+        resume=args.resume,
+    )
     print(render_resilience_table(points))
 
     if args.out != "-":
-        import csv
-        import os
+        from repro.reporting.export import write_csv
 
-        directory = os.path.dirname(args.out)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(args.out, "w", newline="") as handle:
-            csv.writer(handle).writerows(resilience_csv_rows(points))
+        rows = resilience_csv_rows(points)
+        write_csv(args.out, rows[0], rows[1:])
         print()
         print(f"wrote {args.out}")
     return 0
@@ -370,11 +404,27 @@ def _dispatch(args: argparse.Namespace) -> int:
             max_config_bits=args.max_config_bits,
             n=args.n,
         )
-        print(explore(requirements, objective=objective, jobs=args.jobs).explain())
+        recommendation = explore(
+            requirements,
+            objective=objective,
+            jobs=args.jobs,
+            on_error=args.on_error,
+            timeout_s=args.timeout,
+            resume=args.resume,
+        )
+        print(recommendation.explain())
     elif args.command == "costs":
         from repro.analysis.survey_costs import survey_cost_table
 
-        print(survey_cost_table(default_n=args.n, jobs=args.jobs))
+        print(
+            survey_cost_table(
+                default_n=args.n,
+                jobs=args.jobs,
+                on_error=args.on_error,
+                timeout_s=args.timeout,
+                resume=args.resume,
+            )
+        )
     elif args.command == "report":
         from repro.reporting.bundle import generate_report
 
@@ -427,7 +477,10 @@ def main(argv: "list[str] | None" = None) -> int:
     untolerated fault, … — prints ``error: <message>`` on stderr and
     returns exit code 2 (argparse's own usage-error convention), so
     shell pipelines can distinguish "the machine broke" from "the tool
-    crashed". Non-library exceptions still traceback: those are bugs.
+    crashed". Ctrl-C prints one ``interrupted`` line and returns 130
+    (the shell's SIGINT convention) after an orderly pool shutdown —
+    sweep progress journalled under ``--resume`` survives the
+    interrupt. Non-library exceptions still traceback: those are bugs.
 
     ``--trace FILE`` (on ``dse``, ``costs``, ``faults`` and ``report``)
     records the whole command as a span tree; the JSON lands in FILE
@@ -446,6 +499,12 @@ def main(argv: "list[str] | None" = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print(
+            "interrupted — completed sweep points are kept when --resume is used",
+            file=sys.stderr,
+        )
+        return 130
     finally:
         if trace_file is not None:
             obs_trace.disable()

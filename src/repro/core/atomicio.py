@@ -1,0 +1,68 @@
+"""Crash-safe artifact writes: tmp file + ``os.replace`` + fsync.
+
+Every file this package leaves on disk for a human (CSV/TXT/JSON
+artifacts, checkpoint journal headers) goes through these helpers so a
+crash — or a SIGKILL mid-write — can never leave a truncated artifact
+behind. The recipe is the standard one:
+
+1. write the full content to a temporary file *in the destination
+   directory* (so the rename below cannot cross filesystems);
+2. flush and ``fsync`` the temporary file;
+3. ``os.replace`` it over the destination — atomic on POSIX;
+4. ``fsync`` the directory so the rename itself is durable.
+
+Readers therefore observe either the old content or the new content,
+never a partial write.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: "str | os.PathLike", data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the final path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as tmp:
+            tmp.write(data)
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(target.parent)
+    return target
+
+
+def atomic_write_text(
+    path: "str | os.PathLike", text: str, *, encoding: str = "utf-8"
+) -> Path:
+    """Write ``text`` to ``path`` atomically; returns the final path."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make a completed rename durable; best-effort off POSIX."""
+    try:
+        handle = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX or exotic filesystem
+        return
+    try:
+        os.fsync(handle)
+    except OSError:  # pragma: no cover - directories not fsyncable here
+        pass
+    finally:
+        os.close(handle)

@@ -34,9 +34,27 @@ from typing import Callable
 from repro.core.errors import FaultError
 from repro.faults.plan import FaultEvent, FaultInjector, FaultKind, FaultPlan
 from repro.faults.policy import FaultPolicy, PolicyKind
+from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 
 __all__ = ["FaultRuntime"]
+
+# Process-wide fault accounting — incremented only on the fault paths,
+# so fault-free runs (the overhead-benchmarked common case) never touch
+# these. ``repro-taxonomy metrics`` surfaces them next to the sweep
+# engine's resilience counters.
+_FAULTS_SEEN = _metrics.REGISTRY.counter(
+    "faults.seen", help="fault events absorbed by policy runtimes"
+)
+_FAULT_RETRIES = _metrics.REGISTRY.counter(
+    "faults.retries", help="transient-fault retry attempts spent"
+)
+_FAULT_REMAPS = _metrics.REGISTRY.counter(
+    "faults.remap_events", help="permanent faults absorbed by remapping"
+)
+_FAULT_ABORTS = _metrics.REGISTRY.counter(
+    "faults.aborts", help="fault events the active policy could not tolerate"
+)
 
 
 @dataclass
@@ -126,9 +144,11 @@ class FaultRuntime:
     def _apply(self, event: FaultEvent, cycle: int) -> int:
         unit = event.target % self.n_units
         self.faults_seen += 1
+        _FAULTS_SEEN.inc()
         kind = self.policy.kind
         if kind is PolicyKind.FAIL_FAST:
             self._decision(event, unit, "abort")
+            _FAULT_ABORTS.inc()
             raise FaultError(
                 f"{self.machine}: fail-fast abort — {event.describe()} "
                 f"({self.unit_noun} {unit})"
@@ -151,12 +171,14 @@ class FaultRuntime:
             attempts = -(-event.duration // self.policy.backoff)  # ceil
             if attempts > self.policy.max_retries:
                 self._decision(event, unit, "abort", attempts=attempts)
+                _FAULT_ABORTS.inc()
                 raise FaultError(
                     f"{self.machine}: transient fault on {self.unit_noun} "
                     f"{unit} needs {attempts} retries, over the budget of "
                     f"{self.policy.max_retries}"
                 )
             self.retries += attempts
+            _FAULT_RETRIES.inc(attempts)
             self._decision(event, unit, "retry", attempts=attempts)
             return attempts * self.policy.backoff
         if kind is PolicyKind.REMAP:
@@ -173,6 +195,7 @@ class FaultRuntime:
         kind = self.policy.kind
         if kind is PolicyKind.RETRY:
             self._decision(event, unit, "abort")
+            _FAULT_ABORTS.inc()
             raise FaultError(
                 f"{self.machine}: {self.unit_noun} {unit} failed permanently "
                 "at cycle "
@@ -186,10 +209,12 @@ class FaultRuntime:
                 # A cold spare steps in: full width preserved, no slowdown.
                 self.spares_used += 1
                 self.remap_events += 1
+                _FAULT_REMAPS.inc()
                 self._decision(event, unit, "spare", spares_used=self.spares_used)
                 return 0
             if not self.can_remap:
                 self._decision(event, unit, "abort")
+                _FAULT_ABORTS.inc()
                 raise FaultError(
                     f"{self.machine}: cannot remap {self.unit_noun} {unit} — "
                     "its state sits behind direct ('-') links, and direct "
@@ -198,6 +223,7 @@ class FaultRuntime:
                 )
             self.dead.add(unit)
             self.remap_events += 1
+            _FAULT_REMAPS.inc()
             self._decision(event, unit, "remap", dead_units=len(self.dead))
         else:  # degrade
             self.dead.add(unit)

@@ -1,4 +1,4 @@
-"""Performance substrate: parallel sweeps and model-evaluation caching.
+"""Performance substrate: parallel sweeps, caching and resilient execution.
 
 Every analysis in this package is a *sweep* — the same pure function
 evaluated over a grid of points (25 survey records, 47 taxonomy classes,
@@ -6,7 +6,11 @@ fault-rate ladders, design sizes). :mod:`repro.perf` gives those sweeps
 a shared engine:
 
 * :func:`sweep` — map a function over points with a serial, thread or
-  process executor, deterministic result ordering and per-point timing;
+  process executor, deterministic result ordering, per-point timing,
+  failure policies (``on_error``/:class:`RetryPolicy`/``timeout_s``),
+  worker-crash isolation and checkpoint/resume;
+* :class:`SweepCheckpoint` — the append-only journal behind the CLI's
+  ``--resume`` flag, keyed by a content hash of the sweep spec;
 * :class:`ModelCache` / :func:`evaluate_models` — an LRU-memoised cache
   over the Eq.-1 area, Eq.-2 configuration-bit, energy and
   reconfiguration models, keyed on ``(class_id, n, technology)``.
@@ -14,8 +18,9 @@ a shared engine:
 The analysis sweeps (:func:`repro.analysis.resilience.resilience_sweep`,
 :func:`repro.analysis.survey_costs.evaluate_survey`,
 :func:`repro.analysis.pareto.evaluate_classes`) and their CLI
-subcommands (``--jobs N``) are built on this engine; see
-``docs/performance.md``.
+subcommands (``--jobs N``, ``--on-error``, ``--timeout``, ``--resume``)
+are built on this engine; see ``docs/performance.md`` and
+``docs/robustness.md``.
 """
 
 from repro.perf.cache import (
@@ -27,18 +32,36 @@ from repro.perf.cache import (
 )
 from repro.perf.engine import (
     EXECUTORS,
+    ON_ERROR_POLICIES,
+    POINT_STATUSES,
     PointResult,
+    PointTimeout,
+    RetryPolicy,
     SweepResult,
     resolve_jobs,
     sweep,
 )
+from repro.perf.journal import (
+    JournalEntry,
+    SweepCheckpoint,
+    checkpoint_directory,
+    spec_digest,
+)
 
 __all__ = [
     "EXECUTORS",
+    "ON_ERROR_POLICIES",
+    "POINT_STATUSES",
     "PointResult",
+    "PointTimeout",
+    "RetryPolicy",
     "SweepResult",
     "resolve_jobs",
     "sweep",
+    "JournalEntry",
+    "SweepCheckpoint",
+    "checkpoint_directory",
+    "spec_digest",
     "DEFAULT_CACHE",
     "CacheStats",
     "ModelCache",

@@ -1,0 +1,238 @@
+"""Checkpoint journals: crash-safe sweep progress for ``--resume``.
+
+A :class:`SweepCheckpoint` is an append-only JSONL file under
+``artifacts/checkpoints/`` (overridable via the
+``REPRO_CHECKPOINT_DIR`` environment variable), keyed by a SHA-256
+content hash of the *sweep spec* — the sweep's name plus every
+parameter that shapes its point grid. Two runs over the same spec share
+a journal; changing any parameter changes the digest, the filename and
+therefore the journal, so a resume can never mix incompatible runs.
+
+File layout::
+
+    {"format": "repro-sweep-journal/1", "name": ..., "spec_sha256": ...}
+    {"index": 0, "status": "ok", "attempts": 1, "elapsed_s": ..., "value": "<b64 pickle>"}
+    {"index": 3, "status": "failed", "attempts": 3, "error": "ValueError(...)", ...}
+
+Durability contract:
+
+* the header is written atomically (tmp + ``os.replace`` + fsync, via
+  :mod:`repro.core.atomicio`), so a journal either exists whole or not
+  at all;
+* each record append is flushed and fsync'd before the engine moves on,
+  so a completed point survives any later crash;
+* a crash *mid-append* leaves at most one truncated trailing line,
+  which the loader detects and drops — the journal is self-healing.
+
+Only ``status == "ok"`` records count as done: failed, timed-out and
+crashed points are journalled for post-mortems but re-run on resume.
+Values round-trip through pickle (base64-wrapped inside the JSON), so
+restored points are bit-identical to freshly computed ones — the
+property the byte-identical ``--resume`` artifact tests pin down. Treat
+journals like any local pickle: data you wrote, not data you downloaded.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.core.atomicio import atomic_write_text
+
+__all__ = [
+    "CHECKPOINT_DIR_ENV",
+    "DEFAULT_CHECKPOINT_DIR",
+    "JOURNAL_FORMAT",
+    "JournalEntry",
+    "SweepCheckpoint",
+    "checkpoint_directory",
+    "spec_digest",
+]
+
+#: Schema tag written into (and required of) every journal header.
+JOURNAL_FORMAT = "repro-sweep-journal/1"
+
+#: Environment variable overriding where journals live.
+CHECKPOINT_DIR_ENV = "REPRO_CHECKPOINT_DIR"
+
+#: Where journals land when the environment does not say otherwise.
+DEFAULT_CHECKPOINT_DIR = "artifacts/checkpoints"
+
+
+def checkpoint_directory() -> Path:
+    """The journal directory: ``$REPRO_CHECKPOINT_DIR`` or the default."""
+    return Path(os.environ.get(CHECKPOINT_DIR_ENV) or DEFAULT_CHECKPOINT_DIR)
+
+
+def spec_digest(name: str, spec: Any) -> str:
+    """SHA-256 over the canonical JSON encoding of ``(name, spec)``."""
+    canonical = json.dumps(
+        {"name": name, "spec": spec}, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class JournalEntry:
+    """One journalled point outcome, decoded."""
+
+    index: int
+    status: str
+    attempts: int
+    elapsed_s: float
+    error: "str | None"
+    value: Any
+
+
+class SweepCheckpoint:
+    """An open journal: load prior progress, append new outcomes.
+
+    Use :meth:`open` (or the context-manager form) rather than the
+    constructor; it derives the path from the spec digest, validates any
+    existing file's header and leaves an append handle ready.
+    """
+
+    def __init__(self, path: "str | os.PathLike", name: str, spec: Any):
+        self.path = Path(path)
+        self.name = name
+        self.digest = spec_digest(name, spec)
+        self._entries: dict[int, JournalEntry] = {}
+        self._handle: Any = None
+
+    @classmethod
+    def open(
+        cls, name: str, spec: Any, *, directory: "str | os.PathLike | None" = None
+    ) -> "SweepCheckpoint":
+        """Open (or create) the journal for ``(name, spec)``."""
+        base = Path(directory) if directory is not None else checkpoint_directory()
+        digest = spec_digest(name, spec)
+        checkpoint = cls(base / f"{name}-{digest[:16]}.jsonl", name, spec)
+        checkpoint._ensure_file()
+        checkpoint._handle = open(checkpoint.path, "a", encoding="utf-8")
+        return checkpoint
+
+    def _ensure_file(self) -> None:
+        """Validate an existing journal or atomically start a fresh one."""
+        if self.path.exists():
+            entries = self._read_entries()
+            if entries is not None:
+                self._entries = entries
+                return
+        header = json.dumps(
+            {"format": JOURNAL_FORMAT, "name": self.name, "spec_sha256": self.digest},
+            sort_keys=True,
+        )
+        atomic_write_text(self.path, header + "\n")
+        self._entries = {}
+
+    def _read_entries(self) -> "dict[int, JournalEntry] | None":
+        """Parse the journal; ``None`` means the header is unusable."""
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            return None
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(header, dict):
+            return None
+        if header.get("format") != JOURNAL_FORMAT or header.get("spec_sha256") != self.digest:
+            return None
+        entries: dict[int, JournalEntry] = {}
+        for line in lines[1:]:
+            entry = _decode_record(line)
+            if entry is None:
+                break  # a crash mid-append truncates at most the tail
+            entries[entry.index] = entry
+        return entries
+
+    def load(self) -> dict[int, JournalEntry]:
+        """Completed (``status == "ok"``) entries, keyed by point index."""
+        return {
+            index: entry
+            for index, entry in self._entries.items()
+            if entry.status == "ok"
+        }
+
+    @property
+    def completed(self) -> int:
+        """How many points this journal already holds values for."""
+        return len(self.load())
+
+    def record(self, outcome: Any) -> None:
+        """Append one freshly computed outcome, flushed and fsync'd.
+
+        Restored (``"skipped"``) outcomes are not re-journalled — they
+        are already on disk from the run that computed them.
+        """
+        if self._handle is None:
+            raise ValueError(f"checkpoint {self.path} is not open")
+        if outcome.status == "skipped":
+            return
+        payload = None
+        if outcome.status == "ok":
+            payload = base64.b64encode(pickle.dumps(outcome.value)).decode("ascii")
+        record = {
+            "index": outcome.index,
+            "status": outcome.status,
+            "attempts": outcome.attempts,
+            "elapsed_s": outcome.elapsed_s,
+            "error": outcome.error,
+            "value": payload,
+        }
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._entries[outcome.index] = JournalEntry(
+            index=outcome.index,
+            status=outcome.status,
+            attempts=outcome.attempts,
+            elapsed_s=outcome.elapsed_s,
+            error=outcome.error,
+            value=outcome.value if outcome.status == "ok" else None,
+        )
+
+    def close(self) -> None:
+        """Release the append handle (safe to call twice)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _decode_record(line: str) -> "JournalEntry | None":
+    """One JSONL record back into a :class:`JournalEntry`; None if bad."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict) or not isinstance(record.get("index"), int):
+        return None
+    status = record.get("status")
+    if status not in ("ok", "failed", "timed_out", "crashed"):
+        return None
+    value = None
+    if status == "ok":
+        try:
+            value = pickle.loads(base64.b64decode(record["value"]))
+        except Exception:
+            return None  # stale pickle (code drift) — recompute instead
+    return JournalEntry(
+        index=record["index"],
+        status=status,
+        attempts=int(record.get("attempts", 1)),
+        elapsed_s=float(record.get("elapsed_s", 0.0)),
+        error=record.get("error"),
+        value=value,
+    )

@@ -11,7 +11,12 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.obs import trace as _trace
-from repro.reporting.export import rows_to_csv, survey_to_json, taxonomy_to_json
+from repro.reporting.export import (
+    rows_to_csv,
+    survey_to_json,
+    taxonomy_to_json,
+    write_artifact,
+)
 from repro.reporting.figures import (
     render_fig1,
     render_fig2,
@@ -51,9 +56,9 @@ def _write_artifacts(base: Path, written: "list[Path]") -> None:
 
     def write(name: str, content: str) -> None:
         with _trace.span("report.artifact", file=name):
-            path = base / name
-            path.write_text(content, encoding="utf-8")
-            written.append(path)
+            # Atomic (tmp + os.replace): a crash mid-report never leaves
+            # a truncated artifact for a reviewer to diff against.
+            written.append(write_artifact(base / name, content))
 
     # Tables in three formats.
     write("table1.txt", render_table1())

@@ -3,6 +3,12 @@
 JSON for programmatic consumers, CSV for spreadsheets. Serialised
 signatures round-trip through :func:`signature_from_dict`, which the
 property tests exercise.
+
+Artifact files all leave through :func:`write_artifact` /
+:func:`write_csv`, which delegate to :mod:`repro.core.atomicio` — a
+crash (or SIGKILL) mid-write can therefore never leave a truncated
+CSV/TXT/JSON on disk; readers see the old artifact or the new one,
+never half of either.
 """
 
 from __future__ import annotations
@@ -10,8 +16,11 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
+from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from repro.core.atomicio import atomic_write_text
 from repro.core.classify import classify
 from repro.core.signature import Signature, make_signature
 from repro.core.taxonomy import all_classes
@@ -23,6 +32,8 @@ __all__ = [
     "taxonomy_to_json",
     "survey_to_json",
     "rows_to_csv",
+    "write_artifact",
+    "write_csv",
 ]
 
 
@@ -101,3 +112,17 @@ def rows_to_csv(header: "Sequence[str]", rows: "Iterable[Sequence[Any]]") -> str
     for row in rows:
         writer.writerow(list(row))
     return buffer.getvalue()
+
+
+def write_artifact(path: "str | os.PathLike", content: str) -> Path:
+    """Write one text artifact crash-safely (tmp + ``os.replace`` + fsync)."""
+    return atomic_write_text(path, content)
+
+
+def write_csv(
+    path: "str | os.PathLike",
+    header: "Sequence[str]",
+    rows: "Iterable[Sequence[Any]]",
+) -> Path:
+    """Render and write one CSV artifact crash-safely."""
+    return write_artifact(path, rows_to_csv(header, rows))

@@ -1,0 +1,89 @@
+"""Interrupt-and-resume must be invisible in the analysis outputs.
+
+Each test interrupts a checkpointed analysis sweep partway (a
+``KeyboardInterrupt`` from the point worker, exactly what Ctrl-C
+delivers), then re-runs it with ``resume=True`` and asserts the result
+equals an uninterrupted run — the engine restores journalled points
+bit-identically, so downstream artifacts cannot tell the difference.
+"""
+
+import pytest
+
+from repro.analysis import pareto, resilience
+from repro.analysis.resilience import resilience_sweep
+from repro.analysis.survey_costs import survey_cost_table
+
+
+def _interrupt_after(monkeypatch, module, name, calls_before_interrupt):
+    """Replace ``module.name`` with a bomb that interrupts after N calls."""
+    real = getattr(module, name)
+    state = {"calls": 0}
+
+    def bomb(*args, **kwargs):
+        state["calls"] += 1
+        if state["calls"] > calls_before_interrupt:
+            raise KeyboardInterrupt
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(module, name, bomb)
+    return real
+
+
+def test_dse_classes_resume_is_identical(tmp_path, monkeypatch):
+    clean = pareto.evaluate_classes(n=8)
+    real = _interrupt_after(monkeypatch, pareto, "_design_point", 5)
+    with pytest.raises(KeyboardInterrupt):
+        pareto.evaluate_classes(n=8, resume=True, checkpoint_dir=tmp_path)
+    monkeypatch.setattr(pareto, "_design_point", real)
+    resumed = pareto.evaluate_classes(n=8, resume=True, checkpoint_dir=tmp_path)
+    assert resumed == clean
+
+
+def test_resilience_resume_is_identical(tmp_path, monkeypatch):
+    rates = (0.01, 0.1)
+    clean = resilience_sweep(rates, n=8)
+    real = _interrupt_after(monkeypatch, resilience, "_resilience_point", 7)
+    with pytest.raises(KeyboardInterrupt):
+        resilience_sweep(rates, n=8, resume=True, checkpoint_dir=tmp_path)
+    monkeypatch.setattr(resilience, "_resilience_point", real)
+    resumed = resilience_sweep(rates, n=8, resume=True, checkpoint_dir=tmp_path)
+    assert resumed == clean
+
+
+def test_survey_costs_resume_is_identical(tmp_path, monkeypatch):
+    from repro.analysis import survey_costs
+
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+    clean = survey_cost_table(default_n=8)
+    real = _interrupt_after(monkeypatch, survey_costs, "_cost_point", 4)
+    with pytest.raises(KeyboardInterrupt):
+        survey_cost_table(default_n=8, resume=True)
+    monkeypatch.setattr(survey_costs, "_cost_point", real)
+    resumed = survey_cost_table(default_n=8, resume=True)
+    assert resumed == clean
+
+
+def test_skip_policy_drops_the_failing_architecture(monkeypatch):
+    real = resilience._resilience_point
+
+    def flaky(entry, **kwargs):
+        if entry.name == "MorphoSys":
+            raise RuntimeError("model blew up")
+        return real(entry, **kwargs)
+
+    monkeypatch.setattr(resilience, "_resilience_point", flaky)
+    points = resilience_sweep((0.05,), n=8, on_error="skip")
+    names = {point.name for point in points}
+    assert "MorphoSys" not in names
+    from repro.registry.survey import survey_table
+
+    assert len(names) == len(survey_table()) - 1
+
+
+def test_raise_policy_still_propagates(monkeypatch):
+    def broken(entry, **kwargs):
+        raise RuntimeError("model blew up")
+
+    monkeypatch.setattr(resilience, "_resilience_point", broken)
+    with pytest.raises(RuntimeError, match="model blew up"):
+        resilience_sweep((0.05,), n=8)

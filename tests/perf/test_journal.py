@@ -1,0 +1,163 @@
+"""The checkpoint journal's durability and self-healing contracts."""
+
+import json
+
+import pytest
+
+from repro.core.atomicio import atomic_write_bytes, atomic_write_text
+from repro.perf import JournalEntry, PointResult, SweepCheckpoint, checkpoint_directory, spec_digest
+from repro.perf.journal import CHECKPOINT_DIR_ENV, DEFAULT_CHECKPOINT_DIR, JOURNAL_FORMAT
+
+
+def _ok(index, value):
+    return PointResult(index=index, point=index, value=value, elapsed_s=0.25)
+
+
+def _failed(index):
+    return PointResult(
+        index=index,
+        point=index,
+        value=None,
+        elapsed_s=0.1,
+        status="failed",
+        attempts=3,
+        error="ValueError('boom')",
+    )
+
+
+class TestSpecDigest:
+    def test_digest_is_stable_and_spec_sensitive(self):
+        assert spec_digest("s", {"n": 16}) == spec_digest("s", {"n": 16})
+        assert spec_digest("s", {"n": 16}) != spec_digest("s", {"n": 17})
+        assert spec_digest("s", {"n": 16}) != spec_digest("t", {"n": 16})
+
+    def test_digest_ignores_key_order(self):
+        assert spec_digest("s", {"a": 1, "b": 2}) == spec_digest("s", {"b": 2, "a": 1})
+
+
+class TestCheckpointDirectory:
+    def test_default_directory(self, monkeypatch):
+        monkeypatch.delenv(CHECKPOINT_DIR_ENV, raising=False)
+        assert str(checkpoint_directory()) == DEFAULT_CHECKPOINT_DIR
+
+    def test_environment_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CHECKPOINT_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert checkpoint_directory() == tmp_path / "elsewhere"
+
+
+class TestSweepCheckpoint:
+    def test_round_trip_restores_only_ok_entries(self, tmp_path):
+        spec = {"n": 4}
+        with SweepCheckpoint.open("unit", spec, directory=tmp_path) as checkpoint:
+            checkpoint.record(_ok(0, {"area": 12.5}))
+            checkpoint.record(_failed(1))
+            checkpoint.record(_ok(2, (1, 2.5, "three")))
+        reopened = SweepCheckpoint.open("unit", spec, directory=tmp_path)
+        done = reopened.load()
+        reopened.close()
+        assert set(done) == {0, 2}
+        assert done[0].value == {"area": 12.5}
+        assert done[2].value == (1, 2.5, "three")
+        assert isinstance(done[0], JournalEntry)
+        assert reopened.completed == 2
+
+    def test_skipped_outcomes_are_not_rejournalled(self, tmp_path):
+        with SweepCheckpoint.open("unit", {}, directory=tmp_path) as checkpoint:
+            checkpoint.record(_ok(0, 1))
+            restored = PointResult(
+                index=0, point=0, value=1, elapsed_s=0.0, status="skipped"
+            )
+            checkpoint.record(restored)
+            lines = checkpoint.path.read_text().splitlines()
+        assert len(lines) == 2  # header + the one real record
+
+    def test_record_on_a_closed_checkpoint_raises(self, tmp_path):
+        checkpoint = SweepCheckpoint.open("unit", {}, directory=tmp_path)
+        checkpoint.close()
+        checkpoint.close()  # idempotent
+        with pytest.raises(ValueError, match="not open"):
+            checkpoint.record(_ok(0, 1))
+
+    def test_truncated_tail_is_dropped(self, tmp_path):
+        spec = {"n": 4}
+        with SweepCheckpoint.open("unit", spec, directory=tmp_path) as checkpoint:
+            checkpoint.record(_ok(0, "zero"))
+            checkpoint.record(_ok(1, "one"))
+            path = checkpoint.path
+        # Simulate a crash mid-append: half a JSON record at the tail.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"index": 2, "status": "o')
+        reopened = SweepCheckpoint.open("unit", spec, directory=tmp_path)
+        done = reopened.load()
+        reopened.close()
+        assert set(done) == {0, 1}
+
+    def test_header_mismatch_starts_a_fresh_journal(self, tmp_path):
+        with SweepCheckpoint.open("unit", {"n": 1}, directory=tmp_path) as checkpoint:
+            checkpoint.record(_ok(0, 1))
+            path = checkpoint.path
+        # Corrupt the header wholesale; reopening must not trust the file.
+        content = path.read_text().splitlines()
+        content[0] = json.dumps({"format": "something-else/9"})
+        path.write_text("\n".join(content) + "\n")
+        reopened = SweepCheckpoint.open("unit", {"n": 1}, directory=tmp_path)
+        try:
+            assert reopened.load() == {}
+            header = json.loads(reopened.path.read_text().splitlines()[0])
+            assert header["format"] == JOURNAL_FORMAT
+        finally:
+            reopened.close()
+
+    def test_stale_pickle_truncates_from_there(self, tmp_path):
+        spec = {"n": 1}
+        with SweepCheckpoint.open("unit", spec, directory=tmp_path) as checkpoint:
+            checkpoint.record(_ok(0, 1))
+            path = checkpoint.path
+        record = {
+            "index": 1,
+            "status": "ok",
+            "attempts": 1,
+            "elapsed_s": 0.1,
+            "error": None,
+            "value": "bm90LXBpY2tsZQ==",  # valid base64, not a pickle
+        }
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+        reopened = SweepCheckpoint.open("unit", spec, directory=tmp_path)
+        done = reopened.load()
+        reopened.close()
+        assert set(done) == {0}
+
+    def test_unknown_status_is_rejected(self, tmp_path):
+        from repro.perf.journal import _decode_record
+
+        assert _decode_record(json.dumps({"index": 0, "status": "maybe"})) is None
+        assert _decode_record(json.dumps({"index": "zero", "status": "ok"})) is None
+        assert _decode_record(json.dumps([1, 2, 3])) is None
+        assert _decode_record("not json") is None
+
+
+class TestAtomicWrites:
+    def test_atomic_write_text_replaces_content(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "first")
+        atomic_write_text(target, "second")
+        assert target.read_text() == "second"
+        # No stray temp files left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.txt"]
+
+    def test_atomic_write_bytes_creates_parents_file(self, tmp_path):
+        target = tmp_path / "nested" / "artifact.bin"
+        target.parent.mkdir()
+        written = atomic_write_bytes(target, b"\x00\x01")
+        assert written == target
+        assert target.read_bytes() == b"\x00\x01"
+
+    def test_export_write_csv_is_atomic_and_crlf(self, tmp_path):
+        from repro.reporting.export import rows_to_csv, write_csv
+
+        target = tmp_path / "table.csv"
+        write_csv(target, ("a", "b"), [(1, 2), (3, 4)])
+        data = target.read_bytes()
+        assert data == rows_to_csv(("a", "b"), [(1, 2), (3, 4)]).encode()
+        assert b"\r\n" in data
