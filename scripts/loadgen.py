@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Closed-loop load generator for the ``repro.serve`` HTTP service.
+
+Spawns N worker threads, each issuing requests back-to-back (closed
+loop: a worker sends its next request only after the previous response
+lands) until the shared request budget is spent. Reports the status
+mix, latency percentiles (p50/p90/p99) and error taxonomy as both a
+human-readable table and an optional JSON artifact — the file the CI
+serve-smoke step uploads.
+
+Usage::
+
+    python scripts/loadgen.py http://127.0.0.1:8080 --requests 200
+    python scripts/loadgen.py $URL --threads 8 --out artifacts/load.json
+    python scripts/loadgen.py $URL --fail-on-5xx   # exit 1 on any 5xx
+
+Stdlib only (``urllib``, ``threading``) — the same zero-dependency
+stance as the server it exercises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+#: The request mix: mostly cheap classify lookups, some cost queries, a
+#: survey read — roughly the shape of a taxonomy-browsing client.
+DEFAULT_PATHS = (
+    "/v1/classify?ips=1&dps=n&ip-dp=1-n&ip-im=1-1&dp-dm=nxn&dp-dp=nxn",
+    "/v1/classify?ips=n&dps=n&ip-ip=nxn&ip-dp=n-n&ip-im=nxn&dp-dm=n-n",
+    "/v1/costs?class=IAP-IV&n=16",
+    "/v1/costs?serial=21&n=64&technology=28nm",
+    "/v1/survey?name=MorphoSys",
+)
+
+
+def percentile(samples: "list[float]", q: float) -> float:
+    """The q-th percentile (0..100) of ``samples`` by nearest-rank.
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.0
+    >>> percentile([5.0], 99)
+    5.0
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def one_request(base_url: str, path: str, timeout_s: float) -> "tuple[int, float]":
+    """Issue one GET; returns (status, elapsed seconds). 0 = transport error."""
+    started = time.monotonic()
+    try:
+        with urllib.request.urlopen(base_url + path, timeout=timeout_s) as response:
+            response.read()
+            status = response.status
+    except urllib.error.HTTPError as error:
+        error.read()
+        status = error.code
+    except (urllib.error.URLError, OSError, TimeoutError):
+        status = 0
+    return status, time.monotonic() - started
+
+
+def run_load(
+    base_url: str,
+    *,
+    requests: int,
+    threads: int,
+    timeout_s: float,
+    paths: "tuple[str, ...]" = DEFAULT_PATHS,
+) -> dict:
+    """Drive the closed loop and return the summary dict."""
+    budget = itertools.count()
+    lock = threading.Lock()
+    latencies: "list[float]" = []
+    statuses: "dict[int, int]" = {}
+
+    def worker() -> None:
+        while True:
+            ordinal = next(budget)
+            if ordinal >= requests:
+                return
+            status, elapsed = one_request(
+                base_url, paths[ordinal % len(paths)], timeout_s
+            )
+            with lock:
+                latencies.append(elapsed)
+                statuses[status] = statuses.get(status, 0) + 1
+
+    started = time.monotonic()
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    elapsed = time.monotonic() - started
+
+    total = sum(statuses.values())
+    server_errors = sum(count for code, count in statuses.items() if code >= 500)
+    transport_errors = statuses.get(0, 0)
+    return {
+        "base_url": base_url,
+        "requests": total,
+        "threads": threads,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_rps": round(total / elapsed, 2) if elapsed > 0 else 0.0,
+        "status_mix": {str(code): statuses[code] for code in sorted(statuses)},
+        "server_errors": server_errors,
+        "transport_errors": transport_errors,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 50) * 1000, 3),
+            "p90": round(percentile(latencies, 90) * 1000, 3),
+            "p99": round(percentile(latencies, 99) * 1000, 3),
+            "max": round(max(latencies, default=0.0) * 1000, 3),
+        },
+    }
+
+
+def render(summary: dict) -> str:
+    """The human-readable report printed after a run."""
+    lines = [
+        f"{summary['requests']} requests via {summary['threads']} threads "
+        f"in {summary['elapsed_s']}s ({summary['throughput_rps']} req/s)",
+        "status mix: "
+        + ", ".join(
+            f"{code}={count}" for code, count in summary["status_mix"].items()
+        ),
+        "latency ms: "
+        + ", ".join(
+            f"{name}={value}" for name, value in summary["latency_ms"].items()
+        ),
+    ]
+    if summary["server_errors"]:
+        lines.append(f"!! {summary['server_errors']} server (5xx) errors")
+    if summary["transport_errors"]:
+        lines.append(f"!! {summary['transport_errors']} transport errors")
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Parse arguments, run the load, print and optionally persist it."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("url", help="base URL, e.g. http://127.0.0.1:8080")
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--timeout", type=float, default=10.0, metavar="S")
+    parser.add_argument(
+        "--out", default=None, metavar="FILE", help="write the JSON summary here"
+    )
+    parser.add_argument(
+        "--fail-on-5xx", action="store_true",
+        help="exit 1 when any request returned a 5xx or transport error",
+    )
+    args = parser.parse_args(argv)
+    summary = run_load(
+        args.url.rstrip("/"),
+        requests=args.requests,
+        threads=args.threads,
+        timeout_s=args.timeout,
+    )
+    print(render(summary))
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    if args.fail_on_5xx and (summary["server_errors"] or summary["transport_errors"]):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

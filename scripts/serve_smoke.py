@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the serve stack: boot, load, drain — in one go.
+
+This is the CI serve-smoke step. It:
+
+1. boots ``python -m repro.serve --port 0`` as a subprocess and parses
+   the ``listening on <url>`` line for the ephemeral address;
+2. drives ``scripts/loadgen.py`` against it (default 200 requests) and
+   writes the latency summary artifact;
+3. sends SIGTERM and asserts the drain completes with exit code 0;
+4. fails (exit 1) on any 5xx, transport error, or unclean shutdown.
+
+Usage::
+
+    python scripts/serve_smoke.py
+    python scripts/serve_smoke.py --requests 500 --out artifacts/load.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from loadgen import render, run_load  # noqa: E402
+
+
+def boot_server(extra_args: "list[str]", timeout_s: float) -> "tuple[subprocess.Popen, str]":
+    """Start the server subprocess; returns (process, base URL)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    deadline = time.monotonic() + timeout_s
+    assert proc.stdout is not None
+    line = proc.stdout.readline().strip()
+    if not line.startswith("listening on ") or time.monotonic() > deadline:
+        proc.kill()
+        raise RuntimeError(f"server did not announce itself (got {line!r})")
+    return proc, line.removeprefix("listening on ")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Boot, load, drain; exit nonzero on any robustness violation."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument(
+        "--out", default="artifacts/serve_smoke.json", metavar="FILE"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="server worker threads"
+    )
+    args = parser.parse_args(argv)
+
+    proc, url = boot_server(["--workers", str(args.workers)], timeout_s=30.0)
+    print(f"server up at {url}")
+    failures: "list[str]" = []
+    try:
+        summary = run_load(
+            url, requests=args.requests, threads=args.threads, timeout_s=30.0
+        )
+        print(render(summary))
+        if summary["server_errors"]:
+            failures.append(f"{summary['server_errors']} 5xx responses")
+        if summary["transport_errors"]:
+            failures.append(f"{summary['transport_errors']} transport errors")
+        if args.out:
+            import json
+
+            path = Path(args.out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {path}")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            status = proc.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            status = None
+    if status != 0:
+        failures.append(f"server exited {status}, wanted a clean drain (0)")
+    else:
+        print("server drained cleanly (exit 0)")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

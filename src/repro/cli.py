@@ -13,6 +13,7 @@
     repro-taxonomy dse --trace trace.json   # span tree of the run
     repro-taxonomy costs --profile          # cProfile top-N to artifacts/
     repro-taxonomy metrics                  # counters after a calibration run
+    repro-taxonomy serve --port 0           # hardened HTTP query service
 """
 
 from __future__ import annotations
@@ -167,6 +168,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the registry snapshot as JSON instead of a table",
     )
+    metrics_parser.add_argument(
+        "--prometheus", action="store_true",
+        help="emit the registry in Prometheus text exposition format "
+        "(the same formatter the serve /v1/metrics endpoint uses)",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the hardened HTTP query service (classify/costs/survey/metrics)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port; 0 picks an ephemeral port (default 8080)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads executing taxonomy work (default 4)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="requests allowed to wait for a worker before 503s (default 16)",
+    )
+    serve_parser.add_argument(
+        "--deadline", type=float, default=2.0, metavar="S",
+        help="per-request deadline in seconds (default 2.0)",
+    )
+    serve_parser.add_argument(
+        "--rate", type=float, default=0.0,
+        help="token-bucket rate limit in requests/s (default 0 = off)",
+    )
+    serve_parser.add_argument(
+        "--burst", type=int, default=None,
+        help="token-bucket burst capacity (default max(1, rate))",
+    )
+    serve_parser.add_argument(
+        "--drain-deadline", type=float, default=5.0, metavar="S",
+        help="seconds granted to in-flight requests on SIGTERM/SIGINT (default 5)",
+    )
+    serve_parser.add_argument(
+        "--breaker-failures", type=int, default=5,
+        help="consecutive failures that open the circuit breaker (default 5)",
+    )
+    serve_parser.add_argument(
+        "--breaker-recovery", type=float, default=1.0, metavar="S",
+        help="base breaker recovery interval in seconds (default 1.0)",
+    )
+    serve_parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="inject a seeded chaos FaultPlan into sweep-backed handlers",
+    )
+    serve_parser.add_argument(
+        "--fault-rate", type=float, default=0.1,
+        help="per-resource fault rate for --fault-seed (default 0.1)",
+    )
+    serve_parser.add_argument(
+        "--log-requests", action="store_true",
+        help="emit one access-log line per request to stderr",
+    )
 
     sub.add_parser("errata", help="paper-vs-derived discrepancies")
     sub.add_parser("audit", help="run the library self-consistency audit")
@@ -269,7 +331,11 @@ def _run_metrics(args: argparse.Namespace) -> int:
     machine.scatter(64, list(range(lanes * 8)))
     machine.run(simd_vector_add(8))
 
-    if args.json:
+    if args.prometheus:
+        from repro.obs import render_prometheus
+
+        print(render_prometheus(REGISTRY), end="")
+    elif args.json:
         import json
 
         print(json.dumps(REGISTRY.snapshot(), indent=2))
@@ -278,6 +344,43 @@ def _run_metrics(args: argparse.Namespace) -> int:
         print()
         print(REGISTRY.render())
     return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: run the hardened HTTP query service.
+
+    Blocks until SIGTERM/SIGINT, then drains in-flight requests within
+    ``--drain-deadline`` seconds and exits 0 on a clean drain (1 if the
+    deadline expired with work still in flight). ``--fault-seed`` arms a
+    deterministic chaos plan against the sweep-backed handlers so the
+    circuit breaker and ``/v1/readyz`` behaviour can be demonstrated
+    without real failures.
+    """
+    from repro.faults import FaultPlan
+    from repro.serve import BreakerPolicy, ServerConfig, run_server
+
+    fault_plan = None
+    if args.fault_seed is not None:
+        fault_plan = FaultPlan.random(
+            args.fault_seed, args.fault_rate, n_pes=64, horizon=64
+        )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        deadline_s=args.deadline,
+        rate=args.rate,
+        burst=args.burst,
+        drain_s=args.drain_deadline,
+        breaker=BreakerPolicy(
+            failure_threshold=args.breaker_failures,
+            recovery_s=args.breaker_recovery,
+        ),
+        fault_plan=fault_plan,
+        log_requests=args.log_requests,
+    )
+    return run_server(config)
 
 
 def _run_faults(args: argparse.Namespace) -> int:
@@ -445,6 +548,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_faults(args)
     elif args.command == "metrics":
         return _run_metrics(args)
+    elif args.command == "serve":
+        return _run_serve(args)
     elif args.command == "baselines":
         from repro.core import baseline_resolution, extension_report
 

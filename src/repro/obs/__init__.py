@@ -21,12 +21,14 @@ See ``docs/observability.md`` for the guided tour.
 
 from repro.obs.metrics import (
     DURATION_BUCKETS_S,
+    PROMETHEUS_PREFIX,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     REGISTRY,
     registry,
+    render_prometheus,
 )
 from repro.obs.profile import ProfileReport, Profiler, profile_call
 from repro.obs.trace import (
@@ -48,12 +50,14 @@ from repro.obs.trace import (
 __all__ = [
     # metrics
     "DURATION_BUCKETS_S",
+    "PROMETHEUS_PREFIX",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
     "registry",
+    "render_prometheus",
     # profiling
     "ProfileReport",
     "Profiler",

@@ -34,12 +34,14 @@ from typing import Any, Iterator
 
 __all__ = [
     "DURATION_BUCKETS_S",
+    "PROMETHEUS_PREFIX",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
     "registry",
+    "render_prometheus",
 ]
 
 #: Default histogram boundaries for wall-clock durations, in seconds —
@@ -281,10 +283,86 @@ class MetricsRegistry:
             lines.append(line)
         return "\n".join(lines)
 
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        This is the single source of truth for the format: both the
+        ``/v1/metrics`` endpoint of :mod:`repro.serve` and the
+        ``repro-taxonomy metrics --prometheus`` subcommand call it, and
+        a golden-file test pins the exposition down byte-for-byte.
+        """
+        return render_prometheus(self)
+
     def reset(self) -> None:
         """Forget every metric (primarily for tests)."""
         with self._lock:
             self._metrics.clear()
+
+
+#: Prefix applied to every metric name in the Prometheus exposition.
+PROMETHEUS_PREFIX = "repro_"
+
+
+def _prometheus_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus grammar."""
+    sanitised = "".join(
+        ch if ch.isascii() and (ch.isalnum() or ch == "_") else "_" for ch in name
+    )
+    return PROMETHEUS_PREFIX + sanitised
+
+
+def _prometheus_value(value: "int | float") -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _prometheus_help(text: str) -> str:
+    """Escape a HELP string per the exposition format rules."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_prometheus(registry: "MetricsRegistry | None" = None) -> str:
+    """Render a registry (default: the process-wide one) as Prometheus text.
+
+    Counters gain the conventional ``_total`` suffix, histograms expand
+    into cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``,
+    and metrics are emitted in sorted name order so the exposition is
+    deterministic for a given registry state.
+
+        >>> demo = MetricsRegistry()
+        >>> demo.counter("demo.hits", help="cache hits").inc(3)
+        >>> print(render_prometheus(demo))
+        # HELP repro_demo_hits_total cache hits
+        # TYPE repro_demo_hits_total counter
+        repro_demo_hits_total 3
+        <BLANKLINE>
+    """
+    source = registry if registry is not None else REGISTRY
+    lines: list[str] = []
+    for name, state in source.snapshot().items():
+        kind = state["type"]
+        base = _prometheus_name(name)
+        if kind == "counter":
+            base += "_total"
+        help_text = _prometheus_help(state["help"])
+        if help_text:
+            lines.append(f"# HELP {base} {help_text}")
+        lines.append(f"# TYPE {base} {kind}")
+        if kind == "histogram":
+            cumulative = 0
+            for boundary, count in zip(state["boundaries"], state["buckets"]):
+                cumulative += count
+                lines.append(
+                    f'{base}_bucket{{le="{_prometheus_value(float(boundary))}"}} {cumulative}'
+                )
+            lines.append(f'{base}_bucket{{le="+Inf"}} {state["count"]}')
+            lines.append(f"{base}_sum {_prometheus_value(state['total'])}")
+            lines.append(f"{base}_count {state['count']}")
+        else:
+            lines.append(f"{base} {_prometheus_value(state['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 #: The process-wide registry all built-in instrumentation reports to.

@@ -43,6 +43,7 @@ from repro.perf.engine import (
 )
 from repro.perf.journal import (
     JournalEntry,
+    JournalLock,
     SweepCheckpoint,
     checkpoint_directory,
     spec_digest,
@@ -59,6 +60,7 @@ __all__ = [
     "resolve_jobs",
     "sweep",
     "JournalEntry",
+    "JournalLock",
     "SweepCheckpoint",
     "checkpoint_directory",
     "spec_digest",

@@ -30,6 +30,14 @@ Values round-trip through pickle (base64-wrapped inside the JSON), so
 restored points are bit-identical to freshly computed ones — the
 property the byte-identical ``--resume`` artifact tests pin down. Treat
 journals like any local pickle: data you wrote, not data you downloaded.
+
+Single-writer discipline: opening a journal takes an advisory
+``flock`` on a ``.lock`` sidecar, so two concurrent ``--resume`` runs
+over the same spec fail fast with :class:`~repro.core.errors.CheckpointError`
+instead of interleaving appends. The lock dies with its holder (the
+kernel releases ``flock`` on process exit), which is the stale-lock
+story: a sidecar left behind by a crashed run does not block the next
+one — it is detected, reported in the lock file, and reclaimed.
 """
 
 from __future__ import annotations
@@ -39,17 +47,25 @@ import hashlib
 import json
 import os
 import pickle
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+try:  # pragma: no cover - import guard exercised only off-POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - Windows: advisory locking disabled
+    fcntl = None  # type: ignore[assignment]
+
 from repro.core.atomicio import atomic_write_text
+from repro.core.errors import CheckpointError
 
 __all__ = [
     "CHECKPOINT_DIR_ENV",
     "DEFAULT_CHECKPOINT_DIR",
     "JOURNAL_FORMAT",
     "JournalEntry",
+    "JournalLock",
     "SweepCheckpoint",
     "checkpoint_directory",
     "spec_digest",
@@ -78,6 +94,94 @@ def spec_digest(name: str, spec: Any) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+class JournalLock:
+    """Advisory single-writer lock on a journal's ``.lock`` sidecar.
+
+    ``flock(LOCK_EX | LOCK_NB)`` semantics: acquisition fails
+    immediately when another *live* process holds the lock, and the
+    kernel releases it automatically when the holder exits — so a
+    crashed run can never wedge future resumes. The sidecar records the
+    holder's pid and start time; on contention that metadata is quoted
+    in the :class:`CheckpointError`, and on reclaim of a stale sidecar
+    (file present, lock free — the previous holder died) the stale
+    holder's pid is remembered on :attr:`reclaimed_from`.
+    """
+
+    def __init__(self, journal_path: "str | os.PathLike"):
+        self.path = Path(str(journal_path) + ".lock")
+        self._handle: Any = None
+        #: pid recorded in a stale sidecar this acquisition reclaimed.
+        self.reclaimed_from: "int | None" = None
+
+    @property
+    def held(self) -> bool:
+        """True while this process holds the lock."""
+        return self._handle is not None
+
+    def acquire(self) -> "JournalLock":
+        """Take the lock or raise :class:`CheckpointError` naming the holder."""
+        if fcntl is None:  # pragma: no cover - Windows: locking unavailable
+            return self
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        stale = self._read_holder()
+        handle = open(self.path, "a+", encoding="utf-8")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            holder = self._read_holder()
+            detail = (
+                f" (held by pid {holder['pid']} since {holder['started']})"
+                if holder
+                else ""
+            )
+            raise CheckpointError(
+                f"checkpoint journal {self.path.stem!r} is locked by another "
+                f"--resume run{detail}; wait for it to finish or remove "
+                f"{self.path} if that process is truly gone"
+            ) from None
+        if stale:
+            self.reclaimed_from = stale.get("pid")
+        handle.seek(0)
+        handle.truncate()
+        handle.write(
+            json.dumps(
+                {"pid": os.getpid(), "started": time.strftime("%Y-%m-%dT%H:%M:%S")},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        handle.flush()
+        self._handle = handle
+        return self
+
+    def _read_holder(self) -> "dict[str, Any] | None":
+        """The sidecar's recorded holder metadata, if parseable."""
+        try:
+            record = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def release(self) -> None:
+        """Drop the lock, leaving an empty sidecar (safe to call twice).
+
+        The sidecar is truncated rather than unlinked: removing the
+        path while others may be opening it would let two new runs lock
+        *different* inodes under the same name. An empty sidecar with a
+        free lock is simply a journal nobody is writing.
+        """
+        if self._handle is None:
+            return
+        self._handle.seek(0)
+        self._handle.truncate()
+        self._handle.flush()
+        if fcntl is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+        self._handle.close()
+        self._handle = None
+
+
 @dataclass(frozen=True, slots=True)
 class JournalEntry:
     """One journalled point outcome, decoded."""
@@ -104,17 +208,30 @@ class SweepCheckpoint:
         self.digest = spec_digest(name, spec)
         self._entries: dict[int, JournalEntry] = {}
         self._handle: Any = None
+        self._lock: "JournalLock | None" = None
 
     @classmethod
     def open(
         cls, name: str, spec: Any, *, directory: "str | os.PathLike | None" = None
     ) -> "SweepCheckpoint":
-        """Open (or create) the journal for ``(name, spec)``."""
+        """Open (or create) the journal for ``(name, spec)``.
+
+        Takes the journal's advisory :class:`JournalLock` first, so a
+        second concurrent run over the same spec fails fast with
+        :class:`~repro.core.errors.CheckpointError` rather than
+        interleaving appends into the same file.
+        """
         base = Path(directory) if directory is not None else checkpoint_directory()
         digest = spec_digest(name, spec)
         checkpoint = cls(base / f"{name}-{digest[:16]}.jsonl", name, spec)
-        checkpoint._ensure_file()
-        checkpoint._handle = open(checkpoint.path, "a", encoding="utf-8")
+        lock = JournalLock(checkpoint.path).acquire()
+        try:
+            checkpoint._ensure_file()
+            checkpoint._handle = open(checkpoint.path, "a", encoding="utf-8")
+        except BaseException:
+            lock.release()
+            raise
+        checkpoint._lock = lock
         return checkpoint
 
     def _ensure_file(self) -> None:
@@ -199,10 +316,13 @@ class SweepCheckpoint:
         )
 
     def close(self) -> None:
-        """Release the append handle (safe to call twice)."""
+        """Release the append handle and the advisory lock (idempotent)."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
 
     def __enter__(self) -> "SweepCheckpoint":
         return self

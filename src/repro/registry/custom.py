@@ -9,6 +9,7 @@ the workflow the paper's conclusion prescribes for designers.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 from repro.core.classify import Classification, classify
@@ -18,6 +19,10 @@ from repro.registry.architectures import all_architectures
 from repro.registry.record import ArchitectureRecord
 
 __all__ = ["CustomEntry", "CustomRegistry"]
+
+#: Accepted architecture names: identifier-like, allowing the word
+#: separators real machine names use ("Xilinx Virtex-4", "TTA-like").
+_NAME_PATTERN = re.compile(r"[A-Za-z][A-Za-z0-9]*(?:[ ._/+-][A-Za-z0-9]+)*$")
 
 
 @dataclass(frozen=True)
@@ -53,6 +58,33 @@ class CustomRegistry:
     def _published_names(self) -> set[str]:
         return {rec.name.lower() for rec in all_architectures()}
 
+    def _validate_name(self, name: object) -> str:
+        """The cleaned name, or a :class:`RegistryError` naming field 'name'."""
+        if not isinstance(name, str):
+            raise RegistryError(
+                f"field 'name' must be a string, got {type(name).__name__}"
+            )
+        key = name.strip()
+        if not key:
+            raise RegistryError("field 'name' must not be empty")
+        if not _NAME_PATTERN.fullmatch(key):
+            raise RegistryError(
+                f"field 'name' must be an identifier-like architecture name "
+                f"(letters, digits, single ' . _ / + -' separators, starting "
+                f"with a letter); got {key!r}"
+            )
+        if key.lower() in self._published_names():
+            raise RegistryError(
+                f"field 'name': {key!r} is a published survey architecture; "
+                "pick another name"
+            )
+        if key.lower() in {existing.lower() for existing in self.entries}:
+            raise RegistryError(
+                f"field 'name': {key!r} is already registered "
+                "(names are case-insensitive)"
+            )
+        return key
+
     def register(
         self,
         name: str,
@@ -67,16 +99,16 @@ class CustomRegistry:
         granularity: str | None = None,
         notes: str = "",
     ) -> CustomEntry:
-        """Validate, classify and store a new architecture."""
-        key = name.strip()
-        if not key:
-            raise RegistryError("architecture name must not be empty")
-        if key.lower() in self._published_names():
-            raise RegistryError(
-                f"{key!r} is a published survey architecture; pick another name"
-            )
-        if key.lower() in {existing.lower() for existing in self.entries}:
-            raise RegistryError(f"{key!r} is already registered")
+        """Validate, classify and store a new architecture.
+
+        Name validation is strict and front-loaded so a bad ``name``
+        raises a :class:`RegistryError` naming the field, never a
+        downstream signature or lookup surprise: names must be
+        identifier-like (letters/digits with single ``space . _ / + -``
+        separators), non-empty, and unique case-insensitively across
+        both the published survey and prior custom entries.
+        """
+        key = self._validate_name(name)
         signature = make_signature(
             ips, dps,
             ip_ip=ip_ip, ip_dp=ip_dp, ip_im=ip_im,

@@ -1,0 +1,67 @@
+"""``repro.serve`` — the hardened taxonomy query service.
+
+A dependency-free HTTP service (stdlib ``http.server``) exposing the
+paper's pipeline as JSON endpoints, built for overload rather than for
+the happy path: bounded worker pool behind an explicit admission queue,
+token-bucket rate limiting, per-request deadlines that cancel queued
+work, a deterministic circuit breaker around sweep-backed queries, and
+a graceful SIGTERM/SIGINT drain. See ``docs/serving.md`` for the guide
+and capacity-tuning table, and ``scripts/loadgen.py`` for the
+closed-loop load generator that exercises all of it.
+"""
+
+from repro.serve.breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from repro.serve.errors import (
+    BadRequestError,
+    BreakerOpenError,
+    DeadlineExceededError,
+    DrainingError,
+    InternalError,
+    MethodNotAllowedError,
+    NotFoundError,
+    OverloadedError,
+    RateLimitedError,
+    ServeError,
+    as_serve_error,
+)
+from repro.serve.lifecycle import DrainController, install_signal_handlers
+from repro.serve.limits import Deadline, Job, TokenBucket, WorkerPool
+from repro.serve.router import Request, Response, Router, TaxonomyService
+from repro.serve.server import ServerConfig, ServiceApp, TaxonomyHTTPServer, run_server
+
+__all__ = [
+    # breaker
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    # errors
+    "ServeError",
+    "BadRequestError",
+    "NotFoundError",
+    "MethodNotAllowedError",
+    "RateLimitedError",
+    "OverloadedError",
+    "BreakerOpenError",
+    "DrainingError",
+    "DeadlineExceededError",
+    "InternalError",
+    "as_serve_error",
+    # lifecycle
+    "DrainController",
+    "install_signal_handlers",
+    # limits
+    "Deadline",
+    "Job",
+    "TokenBucket",
+    "WorkerPool",
+    # routing
+    "Request",
+    "Response",
+    "Router",
+    "TaxonomyService",
+    # server
+    "ServerConfig",
+    "ServiceApp",
+    "TaxonomyHTTPServer",
+    "run_server",
+]

@@ -1,0 +1,52 @@
+"""``python -m repro.serve`` — boot the taxonomy query service.
+
+A minimal arg surface for scripts and tests (the full-featured entry is
+``repro-taxonomy serve``; both share :func:`repro.serve.run_server`).
+The listening URL is printed on stdout before the first accept so
+callers binding port 0 can discover the ephemeral port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.faults import FaultPlan
+from repro.serve.breaker import BreakerPolicy
+from repro.serve.server import ServerConfig, run_server
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Parse the minimal flag set and serve until signalled."""
+    parser = argparse.ArgumentParser(prog="python -m repro.serve")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=16)
+    parser.add_argument("--deadline", type=float, default=2.0)
+    parser.add_argument("--rate", type=float, default=0.0)
+    parser.add_argument("--drain-deadline", type=float, default=5.0)
+    parser.add_argument("--fault-seed", type=int, default=None)
+    parser.add_argument("--fault-rate", type=float, default=0.1)
+    args = parser.parse_args(argv)
+    fault_plan = None
+    if args.fault_seed is not None:
+        fault_plan = FaultPlan.random(
+            args.fault_seed, args.fault_rate, n_pes=64, horizon=64
+        )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        deadline_s=args.deadline,
+        rate=args.rate,
+        drain_s=args.drain_deadline,
+        breaker=BreakerPolicy(),
+        fault_plan=fault_plan,
+    )
+    return run_server(config)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

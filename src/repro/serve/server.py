@@ -1,0 +1,345 @@
+"""The hardened HTTP front end: stdlib transport over the service core.
+
+Layering (transport at the edge, everything testable without sockets)::
+
+    ThreadingHTTPServer + BaseHTTPRequestHandler     (this module)
+        -> ServiceApp.dispatch        admission pipeline (this module)
+            -> DrainController        reject new work mid-drain (503)
+            -> TokenBucket            rate limiting (429 + Retry-After)
+            -> WorkerPool             bounded concurrency + queue (503),
+                                      per-request deadlines (504)
+                -> Router.handle      endpoint handlers (repro.serve.router)
+                    -> CircuitBreaker around sweep-backed queries (503)
+
+Connection threads (one per request, HTTP/1.0, ``Connection: close``)
+never execute taxonomy work themselves: they enqueue a job on the
+bounded pool and wait under the request deadline, so the number of
+concurrently *executing* requests is capped at ``workers`` and the
+number *buffered* at ``queue_depth`` — everything beyond that is shed
+immediately with a structured 503 and a ``Retry-After`` hint, keeping
+the p99 of accepted requests inside the configured deadline no matter
+the offered load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import urlsplit
+
+from repro.faults import FaultPlan
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.perf import ModelCache
+from repro.serve.breaker import BreakerPolicy, CircuitBreaker
+from repro.serve.errors import BadRequestError, MethodNotAllowedError, as_serve_error
+from repro.serve.lifecycle import DrainController, install_signal_handlers
+from repro.serve.limits import Deadline, TokenBucket, WorkerPool
+from repro.serve.router import Request, Response
+from repro.serve.validation import (
+    MAX_BODY_BYTES,
+    parse_json_body,
+    parse_query,
+    stable_json,
+)
+
+__all__ = ["ServerConfig", "ServiceApp", "TaxonomyHTTPServer", "run_server"]
+
+
+_REQUESTS = _metrics.REGISTRY.counter("serve.requests", help="HTTP requests received")
+_REJECTED = _metrics.REGISTRY.counter(
+    "serve.rejected", help="requests shed with 429/503 (rate, queue, breaker, drain)"
+)
+_TIMEOUTS = _metrics.REGISTRY.counter(
+    "serve.timeouts", help="requests that exceeded their deadline (504)"
+)
+_ERRORS = _metrics.REGISTRY.counter("serve.errors", help="internal errors returned (500)")
+_REQUEST_S = _metrics.REGISTRY.histogram(
+    "serve.request_s", help="request handling latency, admission to response (s)"
+)
+
+#: Endpoints served inline — no admission control, usable mid-drain.
+_CONTROL_PATHS = ("/", "/v1/healthz", "/v1/metrics", "/v1/readyz")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything that shapes the service's behaviour under load."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    #: Worker threads executing taxonomy work (bounded concurrency).
+    workers: int = 4
+    #: Requests allowed to wait for a worker before 503s start.
+    queue_depth: int = 16
+    #: Per-request deadline in seconds (``None`` disables, not advised).
+    deadline_s: "float | None" = 2.0
+    #: Token-bucket rate in requests/s (0 disables rate limiting).
+    rate: float = 0.0
+    #: Token-bucket burst capacity (defaults to ``max(1, rate)``).
+    burst: "int | None" = None
+    #: Seconds granted to in-flight requests after SIGTERM/SIGINT.
+    drain_s: float = 5.0
+    #: Circuit-breaker tuning for sweep-backed queries.
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    #: Optional seeded chaos plan injected into the protected handler path.
+    fault_plan: "FaultPlan | None" = None
+    #: Emit one access-log line per request to stderr.
+    log_requests: bool = False
+
+    def __post_init__(self) -> None:
+        if self.drain_s < 0:
+            raise ValueError(f"drain_s must be >= 0, got {self.drain_s}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+
+
+class ServiceApp:
+    """The transport-free admission pipeline around the endpoint router."""
+
+    def __init__(
+        self,
+        config: "ServerConfig | None" = None,
+        *,
+        cache: "ModelCache | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        from repro.serve.router import TaxonomyService
+
+        self.config = config if config is not None else ServerConfig()
+        self._clock = clock
+        self.drain = DrainController()
+        self.limiter = TokenBucket(self.config.rate, self.config.burst, clock=clock)
+        self.pool = WorkerPool(self.config.workers, self.config.queue_depth)
+        self.service = TaxonomyService(
+            cache=cache,
+            breaker=CircuitBreaker(self.config.breaker, clock=clock),
+            fault_plan=self.config.fault_plan,
+            clock=clock,
+        )
+        self.router = self.service.router
+
+    # -- control endpoints (inline, drain-exempt) ------------------------
+
+    def _handle_control(self, request: Request) -> Response:
+        if request.method.upper() != "GET":
+            raise MethodNotAllowedError(
+                f"{request.method} not allowed on {request.path}", allowed=("GET",)
+            )
+        if request.path == "/v1/healthz":
+            return Response(payload={"status": "ok"})
+        if request.path == "/v1/readyz":
+            return self._handle_readyz()
+        if request.path == "/v1/metrics":
+            return Response(text=_metrics.REGISTRY.render_prometheus())
+        return Response(
+            payload={
+                "service": "repro-taxonomy",
+                "endpoints": sorted(set(self.router.paths()) | set(_CONTROL_PATHS)),
+            }
+        )
+
+    def _handle_readyz(self) -> Response:
+        breaker = self.service.breaker.snapshot()
+        draining = self.drain.draining
+        ready = not draining and breaker["state"] != "open"
+        status = "ready" if ready else ("draining" if draining else "not_ready")
+        payload = {
+            "status": status,
+            "breaker": breaker,
+            "inflight": self.drain.inflight,
+            "queued": self.pool.queued,
+        }
+        return Response(status=200 if ready else 503, payload=payload)
+
+    # -- the admission pipeline ------------------------------------------
+
+    def dispatch(self, method: str, target: str, body: bytes = b"") -> Response:
+        """One request through the full pipeline, always returning a Response."""
+        _REQUESTS.inc()
+        started = self._clock()
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        try:
+            with _trace.span("serve.request", method=method, path=path):
+                params = parse_query(split.query)
+                if body:
+                    fields = parse_json_body(body)
+                    overlap = sorted(set(params) & set(fields))
+                    if overlap:
+                        raise BadRequestError(
+                            f"parameter(s) {', '.join(map(repr, overlap))} given in "
+                            "both the query string and the body"
+                        )
+                    params.update(fields)
+                deadline = (
+                    Deadline(self.config.deadline_s, clock=self._clock)
+                    if self.config.deadline_s is not None
+                    else None
+                )
+                request = Request(method.upper(), path, params, deadline)
+                if path in _CONTROL_PATHS:
+                    response = self._handle_control(request)
+                else:
+                    with self.drain.admit():
+                        self.limiter.admit()
+                        response = self.pool.run(
+                            lambda: self.router.handle(request), deadline=deadline
+                        )
+        except BaseException as error:  # noqa: BLE001 - becomes a structured body
+            serve_error = as_serve_error(error)
+            headers: list[tuple[str, str]] = []
+            if serve_error.retry_after_s is not None:
+                headers.append(
+                    ("Retry-After", str(max(1, round(serve_error.retry_after_s))))
+                )
+            if isinstance(serve_error, MethodNotAllowedError) and serve_error.allowed:
+                headers.append(("Allow", ", ".join(serve_error.allowed)))
+            if serve_error.status in (429, 503):
+                _REJECTED.inc()
+            elif serve_error.status == 504:
+                _TIMEOUTS.inc()
+            elif serve_error.status >= 500:
+                _ERRORS.inc()
+            response = Response(
+                status=serve_error.status,
+                payload=serve_error.payload(),
+                headers=tuple(headers),
+            )
+        finally:
+            _REQUEST_S.observe(max(self._clock() - started, 0.0))
+        return response
+
+    def shutdown(self, *, drain_s: "float | None" = None) -> bool:
+        """Drain in-flight requests and stop the pool; True when clean."""
+        budget = self.config.drain_s if drain_s is None else drain_s
+        self.drain.begin_drain()
+        drained = self.drain.wait_drained(budget)
+        pool_clean = self.pool.shutdown(drain_s=budget)
+        return drained and pool_clean
+
+
+class TaxonomyHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to a :class:`ServiceApp`."""
+
+    daemon_threads = True
+    # Drain is bounded by DrainController; never block close indefinitely.
+    block_on_close = False
+
+    def __init__(self, config: ServerConfig, app: "ServiceApp | None" = None):
+        self.app = app if app is not None else ServiceApp(config)
+        self.config = config
+        super().__init__((config.host, config.port), _RequestHandler)
+        # Stop accepting the moment a drain begins: shutdown() unwinds
+        # serve_forever from a helper thread (it would deadlock inline).
+        self.app.drain.on_drain = lambda: threading.Thread(
+            target=self.shutdown, name="serve-shutdown", daemon=True
+        ).start()
+
+    @property
+    def url(self) -> str:
+        """The server's base URL with the actually-bound port."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Thin HTTP adapter: parse, dispatch, encode; no business logic."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        """Serve a GET request."""
+        self._respond(b"")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        """Serve a POST request (JSON body)."""
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._write(
+                Response(
+                    status=400,
+                    payload=BadRequestError(
+                        "Content-Length must be a non-negative integer "
+                        f"no larger than {MAX_BODY_BYTES}"
+                    ).payload(),
+                )
+            )
+            return
+        self._respond(self.rfile.read(length) if length else b"")
+
+    def _respond(self, body: bytes) -> None:
+        response = self.server.app.dispatch(self.command, self.path, body)
+        self._write(response)
+
+    def _write(self, response: Response) -> None:
+        encoded = (
+            response.text.encode("utf-8")
+            if response.text is not None
+            else stable_json(response.payload)
+        )
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(encoded)))
+            self.send_header("Connection", "close")
+            for name, value in response.headers:
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(encoded)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # the client hung up first; nothing useful to do
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Access-log to stderr only when configured; never to stdout."""
+        if self.server.config.log_requests:  # pragma: no cover - log plumbing
+            super().log_message(format, *args)
+
+
+def run_server(
+    config: "ServerConfig | None" = None,
+    *,
+    ready: "Callable[[TaxonomyHTTPServer], None] | None" = None,
+) -> int:
+    """Serve until SIGTERM/SIGINT, then drain; the CLI's blocking entry.
+
+    Returns 0 when the drain finished inside ``config.drain_s`` (every
+    accepted request answered), 1 when stragglers had to be abandoned.
+    ``ready`` (if given) is called with the bound server before the
+    first accept — used by tests and the smoke script to learn the
+    ephemeral port.
+    """
+    import sys
+
+    config = config if config is not None else ServerConfig()
+    server = TaxonomyHTTPServer(config)
+    app = server.app
+    install_signal_handlers(app.drain)
+    print(f"listening on {server.url}", flush=True)
+    if ready is not None:
+        ready(server)
+    try:
+        server.serve_forever(poll_interval=0.05)
+    finally:
+        server.server_close()
+    # serve_forever only returns once a drain has begun and the
+    # listener stopped accepting; give in-flight requests their budget.
+    drained = app.drain.wait_drained(config.drain_s)
+    pool_clean = app.pool.shutdown(drain_s=config.drain_s)
+    leftover = app.drain.inflight
+    if drained and pool_clean:
+        print("drained cleanly, exiting", file=sys.stderr)
+        return 0
+    print(
+        f"drain deadline of {config.drain_s:g}s exceeded "
+        f"({leftover} request(s) abandoned)",
+        file=sys.stderr,
+    )
+    return 1

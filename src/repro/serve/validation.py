@@ -1,0 +1,167 @@
+"""Strict request validation: every parameter typed, bounded and named.
+
+Handlers never touch raw query strings or JSON bodies; they go through
+these helpers, which enforce three properties the error-taxonomy
+contract depends on:
+
+* a bad value raises :class:`~repro.serve.errors.BadRequestError`
+  *naming the offending field* — clients can fix what they sent;
+* unknown parameters are rejected (a typo'd ``&dps=`` must not silently
+  classify a different machine);
+* bounds are explicit, so a hostile ``n=10**9`` cannot buy unbounded
+  compute with one request.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+from urllib.parse import parse_qsl
+
+from repro.serve.errors import BadRequestError
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_DESIGN_N",
+    "parse_query",
+    "parse_json_body",
+    "require_known",
+    "string_field",
+    "int_field",
+    "bool_field",
+    "choice_field",
+    "stable_json",
+]
+
+#: Request bodies above this size are rejected before parsing.
+MAX_BODY_BYTES = 64 * 1024
+
+#: Upper bound for the ``n`` design-size parameter — large enough for
+#: any surveyed architecture, small enough that one request stays cheap.
+MAX_DESIGN_N = 4096
+
+
+def parse_query(raw: str) -> dict[str, str]:
+    """Decode a query string into a flat dict; repeats are rejected."""
+    params: dict[str, str] = {}
+    for key, value in parse_qsl(raw, keep_blank_values=True):
+        if key in params:
+            raise BadRequestError(f"parameter {key!r} given more than once")
+        params[key] = value
+    return params
+
+
+def parse_json_body(body: bytes) -> dict[str, str]:
+    """Decode a JSON object body into string-valued parameters."""
+    if len(body) > MAX_BODY_BYTES:
+        raise BadRequestError(
+            f"request body exceeds {MAX_BODY_BYTES} bytes"
+        )
+    try:
+        decoded = json.loads(body.decode("utf-8")) if body else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise BadRequestError(f"request body is not valid JSON: {error}") from None
+    if not isinstance(decoded, dict):
+        raise BadRequestError("request body must be a JSON object")
+    params: dict[str, str] = {}
+    for key, value in decoded.items():
+        if not isinstance(key, str):
+            raise BadRequestError("request body keys must be strings")
+        if isinstance(value, bool) or not isinstance(value, (str, int, float)):
+            raise BadRequestError(
+                f"field {key!r} must be a string or number, got {type(value).__name__}"
+            )
+        params[key] = str(value)
+    return params
+
+
+def require_known(params: Mapping[str, str], allowed: "tuple[str, ...]") -> None:
+    """Reject any parameter outside the endpoint's declared set."""
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise BadRequestError(
+            f"unknown parameter(s) {', '.join(repr(name) for name in unknown)}; "
+            f"expected one of: {', '.join(sorted(allowed))}"
+        )
+
+
+def string_field(
+    params: Mapping[str, str],
+    name: str,
+    *,
+    default: "str | None" = None,
+    required: bool = False,
+) -> "str | None":
+    """A plain string parameter; ``required`` fields must be non-empty."""
+    value = params.get(name)
+    if value is None or value == "":
+        if required:
+            raise BadRequestError(f"missing required parameter {name!r}")
+        return default
+    return value
+
+
+def int_field(
+    params: Mapping[str, str],
+    name: str,
+    *,
+    default: "int | None" = None,
+    minimum: "int | None" = None,
+    maximum: "int | None" = None,
+) -> "int | None":
+    """An integer parameter with inclusive bounds."""
+    raw = params.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise BadRequestError(f"parameter {name!r} must be an integer, got {raw!r}") from None
+    if minimum is not None and value < minimum:
+        raise BadRequestError(f"parameter {name!r} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise BadRequestError(f"parameter {name!r} must be <= {maximum}, got {value}")
+    return value
+
+
+def bool_field(params: Mapping[str, str], name: str, *, default: bool = False) -> bool:
+    """A boolean parameter: true/false, 1/0, yes/no (case-insensitive)."""
+    raw = params.get(name)
+    if raw is None or raw == "":
+        return default
+    token = raw.strip().lower()
+    if token in ("1", "true", "yes", "on"):
+        return True
+    if token in ("0", "false", "no", "off"):
+        return False
+    raise BadRequestError(f"parameter {name!r} must be a boolean, got {raw!r}")
+
+
+def choice_field(
+    params: Mapping[str, str],
+    name: str,
+    choices: "tuple[str, ...]",
+    *,
+    default: "str | None" = None,
+) -> "str | None":
+    """A parameter restricted to an explicit value set."""
+    raw = params.get(name)
+    if raw is None or raw == "":
+        return default
+    if raw not in choices:
+        raise BadRequestError(
+            f"parameter {name!r} must be one of {', '.join(choices)}; got {raw!r}"
+        )
+    return raw
+
+
+def stable_json(payload: Any) -> bytes:
+    """Byte-stable JSON: sorted keys, compact separators, trailing newline.
+
+    Every 2xx and error body goes through this one encoder, which is
+    what makes responses reproducible byte-for-byte across runs — the
+    service-side analogue of the CLI's byte-identical artifacts.
+    """
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False) + "\n"
+    ).encode("utf-8")

@@ -148,3 +148,65 @@ class TestMetricsRegistry:
 
     def test_global_registry_accessor(self):
         assert registry() is metrics_module.REGISTRY
+
+
+class TestPrometheusRendering:
+    """The shared text-exposition formatter behind /v1/metrics and the CLI."""
+
+    @staticmethod
+    def _populated():
+        from repro.obs.metrics import render_prometheus
+
+        reg = MetricsRegistry()
+        reg.counter("serve.requests", help="HTTP requests received").inc(7)
+        reg.gauge(
+            "serve.breaker_state", help="breaker state; escaped \\ and\nnewline"
+        ).set(2)
+        hist = reg.histogram(
+            "serve.request_s", boundaries=(0.1, 1.0), help="latency (s)"
+        )
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        return reg, render_prometheus
+
+    def test_matches_the_golden_file(self):
+        from pathlib import Path
+
+        reg, render_prometheus = self._populated()
+        golden = Path(__file__).parent.parent / "golden" / "prometheus.txt"
+        assert render_prometheus(reg) == golden.read_text()
+
+    def test_registry_method_delegates_to_the_module_formatter(self):
+        reg, render_prometheus = self._populated()
+        assert reg.render_prometheus() == render_prometheus(reg)
+
+    def test_empty_registry_renders_empty(self):
+        from repro.obs.metrics import render_prometheus
+
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_counter_names_gain_the_total_suffix(self):
+        from repro.obs.metrics import render_prometheus
+
+        reg = MetricsRegistry()
+        reg.counter("cache.hits").inc()
+        text = render_prometheus(reg)
+        assert "repro_cache_hits_total 1" in text
+        assert "repro_cache_hits " not in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg, render_prometheus = self._populated()
+        text = render_prometheus(reg)
+        lines = [line for line in text.splitlines() if "_bucket" in line]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert lines[-1].endswith('{le="+Inf"} 3')
+
+    def test_cli_and_serve_share_the_formatter(self):
+        # The /v1/metrics endpoint and `repro-taxonomy metrics
+        # --prometheus` both call repro.obs.render_prometheus on the
+        # global registry — one formatter, byte-identical exposition.
+        import repro.obs as obs
+        from repro.obs.metrics import render_prometheus as module_formatter
+
+        assert obs.render_prometheus is module_formatter

@@ -161,3 +161,66 @@ class TestAtomicWrites:
         data = target.read_bytes()
         assert data == rows_to_csv(("a", "b"), [(1, 2), (3, 4)]).encode()
         assert b"\r\n" in data
+
+
+class TestJournalLock:
+    def test_concurrent_open_fails_fast_with_the_holder(self, tmp_path):
+        from repro.core.errors import CheckpointError
+
+        spec = {"n": 1}
+        first = SweepCheckpoint.open("unit", spec, directory=tmp_path)
+        try:
+            with pytest.raises(CheckpointError, match="locked by another") as info:
+                SweepCheckpoint.open("unit", spec, directory=tmp_path)
+            # The error names the live holder so the operator can find it.
+            import os
+
+            assert f"pid {os.getpid()}" in str(info.value)
+        finally:
+            first.close()
+
+    def test_reopen_after_close_succeeds(self, tmp_path):
+        spec = {"n": 1}
+        with SweepCheckpoint.open("unit", spec, directory=tmp_path) as checkpoint:
+            checkpoint.record(_ok(0, 1))
+        with SweepCheckpoint.open("unit", spec, directory=tmp_path) as reopened:
+            assert set(reopened.load()) == {0}
+
+    def test_different_specs_do_not_contend(self, tmp_path):
+        first = SweepCheckpoint.open("unit", {"n": 1}, directory=tmp_path)
+        second = SweepCheckpoint.open("unit", {"n": 2}, directory=tmp_path)
+        first.close()
+        second.close()
+
+    def test_stale_sidecar_is_reclaimed(self, tmp_path):
+        from repro.perf import JournalLock
+
+        journal = tmp_path / "unit-cafe.jsonl"
+        sidecar = tmp_path / "unit-cafe.jsonl.lock"
+        # A crashed run leaves its metadata behind; the kernel released
+        # the flock with the dead process, so the next run reclaims it.
+        sidecar.write_text('{"pid": 99999999, "started": "2026-01-01T00:00:00"}\n')
+        lock = JournalLock(journal).acquire()
+        try:
+            assert lock.held
+            assert lock.reclaimed_from == 99999999
+        finally:
+            lock.release()
+        assert not lock.held
+
+    def test_release_truncates_but_keeps_the_sidecar(self, tmp_path):
+        from repro.perf import JournalLock
+
+        lock = JournalLock(tmp_path / "unit-beef.jsonl").acquire()
+        assert lock.path.read_text().strip()  # holder metadata recorded
+        lock.release()
+        assert lock.path.exists()
+        assert lock.path.read_text() == ""  # empty sidecar = nobody writing
+        lock.release()  # idempotent
+
+    def test_close_releases_the_lock_even_unused(self, tmp_path):
+        spec = {"n": 3}
+        checkpoint = SweepCheckpoint.open("unit", spec, directory=tmp_path)
+        checkpoint.close()
+        checkpoint.close()  # idempotent
+        SweepCheckpoint.open("unit", spec, directory=tmp_path).close()

@@ -99,3 +99,54 @@ class TestSurveyComparison:
         flags = {name: is_custom for name, _, is_custom in ranking}
         assert flags["SuperSpatial"] is True
         assert flags["MATRIX"] is False
+
+
+class TestNameValidation:
+    """The strict front-loaded name rules: every rejection names field 'name'."""
+
+    def test_non_string_name_rejected(self, registry):
+        with pytest.raises(RegistryError, match="field 'name' must be a string"):
+            registry.register(42, 1, 1, ip_dp="1-1", ip_im="1-1", dp_dm="1-1")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", "9lives", "-lead", "has  double", "trail-", "we!rd", "a/+b!"],
+    )
+    def test_non_identifier_names_rejected(self, registry, bad):
+        with pytest.raises(RegistryError, match="field 'name'"):
+            registry.register(bad, 1, 1, ip_dp="1-1", ip_im="1-1", dp_dm="1-1")
+        assert len(registry) == 0
+
+    @pytest.mark.parametrize(
+        "good",
+        ["Xilinx Virtex-4", "TTA-like", "chip_2", "a/b", "C+1", "v1.2"],
+    )
+    def test_real_machine_name_shapes_accepted(self, registry, good):
+        registry.register(good, 1, 1, ip_dp="1-1", ip_im="1-1", dp_dm="1-1")
+        assert good in registry
+
+    def test_duplicates_are_case_insensitive(self, registry):
+        register_mycgra(registry)
+        with pytest.raises(RegistryError, match="case-insensitive"):
+            registry.register(
+                "MYCGRA", 1, 32,
+                ip_dp="1-32", ip_im="1-1", dp_dm="32x32", dp_dp="32x32",
+            )
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register(
+                "mycgra", 1, 32,
+                ip_dp="1-32", ip_im="1-1", dp_dm="32x32", dp_dp="32x32",
+            )
+        assert len(registry) == 1
+
+    def test_rejection_messages_name_the_field(self, registry):
+        for name in (None, "", "!!", "MorphoSys"):
+            with pytest.raises(RegistryError, match="field 'name'"):
+                registry.register(name, 1, 1, ip_dp="1-1", ip_im="1-1", dp_dm="1-1")
+
+    def test_surrounding_whitespace_is_stripped(self, registry):
+        entry = registry.register(
+            " Padded ", 1, 1, ip_dp="1-1", ip_im="1-1", dp_dm="1-1",
+        )
+        assert entry.name == "Padded"
+        assert "Padded" in registry

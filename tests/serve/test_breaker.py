@@ -1,0 +1,163 @@
+"""Unit tests for the deterministic circuit breaker."""
+
+import pytest
+
+from repro.serve.breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from repro.serve.errors import BreakerOpenError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def failing():
+    raise RuntimeError("dependency down")
+
+
+def make(policy=None, clock=None):
+    return CircuitBreaker(
+        policy or BreakerPolicy(failure_threshold=3, recovery_s=10.0, jitter=0.0),
+        clock=clock or FakeClock(),
+    )
+
+
+class TestPolicy:
+    def test_schedule_is_deterministic_per_seed(self):
+        policy = BreakerPolicy(seed=42)
+        assert policy.recovery_schedule(5) == BreakerPolicy(seed=42).recovery_schedule(5)
+        assert policy.recovery_schedule(5) != BreakerPolicy(seed=43).recovery_schedule(5)
+
+    def test_delays_grow_geometrically_within_jitter(self):
+        policy = BreakerPolicy(recovery_s=1.0, factor=2.0, jitter=0.25, seed=7)
+        for k, delay in enumerate(policy.recovery_schedule(5), start=1):
+            base = 1.0 * 2.0 ** (k - 1)
+            assert base <= delay <= base * 1.25
+
+    def test_delays_cap_at_max_recovery(self):
+        policy = BreakerPolicy(recovery_s=1.0, factor=10.0, max_recovery_s=5.0, jitter=0.0)
+        assert policy.recovery_delay_s(4) == 5.0
+
+    def test_open_count_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            BreakerPolicy().recovery_delay_s(0)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"failure_threshold": 0}, "failure_threshold"),
+            ({"recovery_s": 0.0}, "recovery_s"),
+            ({"factor": 0.5}, "factor"),
+            ({"jitter": 1.5}, "jitter"),
+            ({"recovery_s": 10.0, "max_recovery_s": 5.0}, "max_recovery_s"),
+            ({"probe_limit": 0}, "probe_limit"),
+            ({"success_threshold": 0}, "success_threshold"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            BreakerPolicy(**kwargs)
+
+
+class TestStateMachine:
+    def test_closed_passes_calls_through(self):
+        breaker = make()
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make()
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                breaker.call(failing)
+        breaker.call(lambda: "ok")  # streak broken
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                breaker.call(failing)
+        assert breaker.state is BreakerState.CLOSED  # never reached 3 in a row
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = make()
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(failing)
+        assert breaker.state is BreakerState.OPEN
+        with pytest.raises(BreakerOpenError, match="open") as info:
+            breaker.call(lambda: "never runs")
+        assert info.value.retry_after_s == pytest.approx(10.0)
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = make(clock=clock)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(failing)
+        clock.advance(10.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.call(lambda: "probe ok") == "probe ok"
+        assert breaker.state is BreakerState.CLOSED
+        snap = breaker.snapshot()
+        assert snap["open_count"] == 0 and snap["consecutive_failures"] == 0
+
+    def test_half_open_probe_failure_reopens_longer(self):
+        clock = FakeClock()
+        breaker = make(clock=clock)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(failing)
+        clock.advance(10.0)
+        with pytest.raises(RuntimeError):
+            breaker.call(failing)  # the probe fails
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.snapshot()["open_count"] == 2
+        clock.advance(10.0)  # first interval is not enough the second time
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(10.0)  # 20s = recovery_s * factor**1 with zero jitter
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_limits_concurrent_probes(self):
+        clock = FakeClock()
+        breaker = make(clock=clock)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(failing)
+        clock.advance(10.0)
+        admission = breaker._admit()  # holds the only probe slot
+        with pytest.raises(BreakerOpenError, match="probing"):
+            breaker.call(lambda: "rejected")
+        with admission:
+            pass  # probe completes successfully
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_snapshot_shape_while_open(self):
+        breaker = make()
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(failing)
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["name"] == "sweep"
+        assert snap["retry_after_s"] == pytest.approx(10.0)
+
+    def test_identical_policies_trace_identical_timelines(self):
+        def timeline(seed):
+            clock = FakeClock()
+            policy = BreakerPolicy(failure_threshold=1, recovery_s=1.0, seed=seed)
+            breaker = CircuitBreaker(policy, clock=clock)
+            states = []
+            for _ in range(4):
+                try:
+                    breaker.call(failing)
+                except (RuntimeError, BreakerOpenError):
+                    pass
+                states.append(breaker.state.value)
+                clock.advance(policy.recovery_delay_s(1) / 2)
+            return tuple(states)
+
+        assert timeline(5) == timeline(5)

@@ -1,0 +1,213 @@
+"""Unit tests for the admission-control primitives (deadlines, bucket, pool)."""
+
+import itertools
+import threading
+
+import pytest
+
+from repro.serve.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    RateLimitedError,
+)
+from repro.serve.limits import Deadline, Job, TokenBucket, WorkerPool
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_counts_down_on_the_injected_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining_s() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert deadline.remaining_s() == pytest.approx(0.5)
+        assert not deadline.expired
+        clock.advance(0.5)
+        assert deadline.expired
+
+    def test_none_budget_never_expires(self):
+        deadline = Deadline(None, clock=FakeClock())
+        assert deadline.remaining_s() is None
+        assert not deadline.expired
+        deadline.check("anything")  # no raise
+
+    def test_check_raises_naming_the_phase(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceededError, match="while parsing"):
+            deadline.check("parsing")
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError, match="positive"):
+            Deadline(0.0)
+        with pytest.raises(ValueError, match="positive"):
+            Deadline(-1.0)
+
+
+class TestTokenBucket:
+    def test_rate_zero_disables_limiting(self):
+        bucket = TokenBucket(0.0, clock=FakeClock())
+        assert all(bucket.try_acquire() is None for _ in range(100))
+
+    def test_burst_then_shed_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.5)  # 1 token / 2 per s
+        clock.advance(0.5)
+        assert bucket.try_acquire() is None
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=1, clock=clock)
+        clock.advance(100.0)  # a long idle period buys at most `burst`
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is not None
+
+    def test_admit_raises_with_retry_hint(self):
+        bucket = TokenBucket(rate=1.0, burst=1, clock=FakeClock())
+        bucket.admit()
+        with pytest.raises(RateLimitedError, match="rate limit") as info:
+            bucket.admit()
+        assert info.value.retry_after_s == pytest.approx(1.0)
+        assert info.value.status == 429
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            TokenBucket(-1.0)
+        with pytest.raises(ValueError, match=">= 1"):
+            TokenBucket(5.0, burst=0)
+
+
+class TestJob:
+    def test_cancel_before_execute_skips(self):
+        job = Job(lambda: "value")
+        assert job.cancel()
+        assert not job.execute()
+        assert job.cancelled and not job.done
+
+    def test_execute_wins_the_race(self):
+        job = Job(lambda: "value")
+        assert job.execute()
+        assert not job.cancel()
+        assert job.result == "value"
+
+    def test_expired_deadline_skips_without_running(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(2.0)
+        ran = []
+        job = Job(lambda: ran.append(1), deadline)
+        assert not job.execute()
+        assert job.cancelled and not ran
+
+    def test_errors_are_transported_not_raised(self):
+        job = Job(lambda: 1 / 0)
+        assert job.execute()
+        assert job.done
+        assert isinstance(job.error, ZeroDivisionError)
+
+
+class TestWorkerPool:
+    def test_runs_work_and_returns_the_result(self):
+        pool = WorkerPool(workers=2, queue_depth=4)
+        try:
+            assert pool.run(lambda: 21 * 2) == 42
+        finally:
+            assert pool.shutdown()
+
+    def test_handler_exceptions_propagate_to_the_caller(self):
+        pool = WorkerPool(workers=1, queue_depth=1)
+        try:
+            with pytest.raises(ZeroDivisionError):
+                pool.run(lambda: 1 / 0)
+        finally:
+            pool.shutdown()
+
+    def test_queue_overflow_sheds_immediately(self):
+        pool = WorkerPool(workers=1, queue_depth=1)
+        release = threading.Event()
+        try:
+            blocker = pool.submit(release.wait)  # occupies the worker
+            pool.submit(lambda: None)  # fills the queue (depth 1)
+            with pytest.raises(OverloadedError, match="admission queue full"):
+                pool.submit(lambda: None)
+        finally:
+            release.set()
+            blocker.wait(5.0)
+            assert pool.shutdown()
+
+    def test_idle_workers_extend_the_admission_bound(self):
+        # With nobody executing, `workers` submissions are admitted even
+        # at queue_depth=0 — they will be picked up immediately.
+        pool = WorkerPool(workers=2, queue_depth=0)
+        try:
+            assert pool.run(lambda: "ok") == "ok"
+        finally:
+            pool.shutdown()
+
+    def test_expired_deadline_cancels_queued_job(self):
+        ticks = itertools.count()
+        pool = WorkerPool(workers=1, queue_depth=2)
+        release = threading.Event()
+        try:
+            blocker = pool.submit(release.wait)
+            expired = Deadline(1.0, clock=lambda: float(next(ticks)))
+            ran = []
+            with pytest.raises(DeadlineExceededError, match="while queued"):
+                pool.run(lambda: ran.append(1), deadline=expired)
+            assert not ran
+        finally:
+            release.set()
+            blocker.wait(5.0)
+            assert pool.shutdown()
+            assert not ran  # the cancelled job never executed
+
+    def test_slow_execution_times_out_as_executing(self):
+        pool = WorkerPool(workers=1, queue_depth=1)
+        release = threading.Event()
+        try:
+            with pytest.raises(DeadlineExceededError, match="while executing"):
+                pool.run(release.wait, deadline=Deadline(0.05))
+        finally:
+            release.set()
+            assert pool.shutdown()
+
+    def test_submit_after_shutdown_is_refused(self):
+        pool = WorkerPool(workers=1, queue_depth=1)
+        assert pool.shutdown()
+        with pytest.raises(OverloadedError, match="shut down"):
+            pool.submit(lambda: None)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(workers=0)
+        with pytest.raises(ValueError, match="queue_depth"):
+            WorkerPool(queue_depth=-1)
+
+    def test_queued_property_counts_waiting_jobs(self):
+        pool = WorkerPool(workers=1, queue_depth=4)
+        release = threading.Event()
+        try:
+            blocker = pool.submit(release.wait)
+            pool.submit(lambda: None)
+            assert pool.queued >= 1
+        finally:
+            release.set()
+            blocker.wait(5.0)
+            pool.shutdown()

@@ -1,0 +1,109 @@
+"""Unit tests for request validation and the byte-stable encoder."""
+
+import pytest
+
+from repro.serve.errors import BadRequestError
+from repro.serve.validation import (
+    MAX_BODY_BYTES,
+    bool_field,
+    choice_field,
+    int_field,
+    parse_json_body,
+    parse_query,
+    require_known,
+    stable_json,
+    string_field,
+)
+
+
+class TestParseQuery:
+    def test_decodes_flat_parameters(self):
+        assert parse_query("a=1&b=two") == {"a": "1", "b": "two"}
+
+    def test_keeps_blank_values(self):
+        assert parse_query("a=") == {"a": ""}
+
+    def test_rejects_repeated_parameters(self):
+        with pytest.raises(BadRequestError, match="'a' given more than once"):
+            parse_query("a=1&a=2")
+
+
+class TestParseJsonBody:
+    def test_decodes_and_stringifies_scalars(self):
+        assert parse_json_body(b'{"ips": 1, "dps": "n", "x": 2.5}') == {
+            "ips": "1",
+            "dps": "n",
+            "x": "2.5",
+        }
+
+    def test_empty_body_is_empty_params(self):
+        assert parse_json_body(b"") == {}
+
+    def test_rejects_non_object(self):
+        with pytest.raises(BadRequestError, match="JSON object"):
+            parse_json_body(b"[1, 2]")
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(BadRequestError, match="not valid JSON"):
+            parse_json_body(b"{nope")
+
+    def test_rejects_booleans_and_structures(self):
+        with pytest.raises(BadRequestError, match="'flag' must be a string or number"):
+            parse_json_body(b'{"flag": true}')
+        with pytest.raises(BadRequestError, match="'list'"):
+            parse_json_body(b'{"list": []}')
+
+    def test_rejects_oversized_bodies(self):
+        with pytest.raises(BadRequestError, match="exceeds"):
+            parse_json_body(b" " * (MAX_BODY_BYTES + 1))
+
+
+class TestFields:
+    def test_require_known_names_the_strangers(self):
+        with pytest.raises(BadRequestError, match="'zps'") as info:
+            require_known({"zps": "1"}, ("ips", "dps"))
+        assert "expected one of" in str(info.value)
+
+    def test_string_field_required(self):
+        with pytest.raises(BadRequestError, match="missing required parameter 'ips'"):
+            string_field({}, "ips", required=True)
+        assert string_field({}, "ips", default="x") == "x"
+        assert string_field({"ips": "n"}, "ips") == "n"
+
+    def test_int_field_bounds_and_type(self):
+        assert int_field({"n": "4"}, "n") == 4
+        assert int_field({}, "n", default=16) == 16
+        with pytest.raises(BadRequestError, match="'n' must be an integer"):
+            int_field({"n": "four"}, "n")
+        with pytest.raises(BadRequestError, match="'n' must be >= 1"):
+            int_field({"n": "0"}, "n", minimum=1)
+        with pytest.raises(BadRequestError, match="'n' must be <= 10"):
+            int_field({"n": "11"}, "n", maximum=10)
+
+    def test_bool_field_tokens(self):
+        for token in ("1", "true", "YES", "on"):
+            assert bool_field({"c": token}, "c") is True
+        for token in ("0", "false", "No", "off"):
+            assert bool_field({"c": token}, "c") is False
+        assert bool_field({}, "c") is False
+        with pytest.raises(BadRequestError, match="'c' must be a boolean"):
+            bool_field({"c": "maybe"}, "c")
+
+    def test_choice_field(self):
+        assert choice_field({"t": "65nm"}, "t", ("65nm", "28nm")) == "65nm"
+        assert choice_field({}, "t", ("65nm",), default="65nm") == "65nm"
+        with pytest.raises(BadRequestError, match="'t' must be one of"):
+            choice_field({"t": "3nm"}, "t", ("65nm", "28nm"))
+
+
+class TestStableJson:
+    def test_sorted_compact_newline_terminated(self):
+        assert stable_json({"b": 1, "a": [1, 2]}) == b'{"a":[1,2],"b":1}\n'
+
+    def test_identical_payloads_identical_bytes(self):
+        payload = {"z": 1, "a": {"nested": True}}
+        assert stable_json(payload) == stable_json(dict(reversed(payload.items())))
+
+    def test_nan_is_rejected_not_emitted(self):
+        with pytest.raises(ValueError):
+            stable_json({"x": float("nan")})
