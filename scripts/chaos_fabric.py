@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Chaos-verify the distributed sweep fabric end to end.
+
+This is the CI ``chaos`` job. It proves the fabric's two headline
+robustness claims with real processes and real SIGKILLs:
+
+1. **Worker loss is invisible in the output.** A 2-worker distributed
+   ``repro-taxonomy costs`` run, with one worker SIGKILLed mid-sweep,
+   must exit 0 with stdout *byte-identical* to the uninterrupted
+   single-host run — the lost worker's leased points are detected,
+   re-queued and finished elsewhere, never dropped.
+2. **Coordinator loss resumes bit-exactly.** A distributed run with
+   ``--resume`` is SIGKILLed mid-sweep; re-running the same command
+   restores the journalled points from the per-shard checkpoints and
+   the final stdout is again byte-identical to the baseline.
+
+Workers run with ``--throttle`` so the sweep is slow enough to kill
+things mid-flight; the throttle shapes scheduling only, never values,
+so byte-identity still holds.
+
+Usage::
+
+    python scripts/chaos_fabric.py
+    python scripts/chaos_fabric.py --throttle 0.3 --kill-after 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _env(checkpoint_dir: "str | None" = None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    if checkpoint_dir is not None:
+        env["REPRO_CHECKPOINT_DIR"] = checkpoint_dir
+    return env
+
+
+def start_worker(throttle_s: float) -> "tuple[subprocess.Popen, str]":
+    """Boot one throttled sweep-worker; returns (process, HOST:PORT)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "sweep-worker",
+            "--listen", "127.0.0.1:0", "--throttle", str(throttle_s),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        cwd=REPO_ROOT,
+        env=_env(),
+    )
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    match = re.match(r"worker listening on (\S+)", line)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"worker did not announce itself (got {line!r})")
+    return proc, match.group(1)
+
+
+def stop(proc: subprocess.Popen) -> None:
+    """Terminate a leftover process, escalating to SIGKILL."""
+    if proc.poll() is not None:
+        return
+    proc.terminate()
+    try:
+        proc.wait(timeout=5.0)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+
+
+def run_costs(
+    workers: "str | None",
+    *,
+    resume: bool = False,
+    checkpoint_dir: "str | None" = None,
+    kill_after_s: "float | None" = None,
+) -> "tuple[int | None, str]":
+    """Run ``repro-taxonomy costs``; optionally SIGKILL it mid-sweep.
+
+    Returns (exit status, stdout). Status is ``None`` when the run was
+    killed (its partial stdout is discarded by the caller).
+    """
+    command = [sys.executable, "-m", "repro.cli", "costs"]
+    if workers:
+        command += ["--workers", workers]
+    if resume:
+        command += ["--resume"]
+    proc = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO_ROOT,
+        env=_env(checkpoint_dir),
+    )
+    if kill_after_s is not None:
+        time.sleep(kill_after_s)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        return None, ""
+    out, err = proc.communicate(timeout=300)
+    if proc.returncode != 0:
+        print(err, file=sys.stderr)
+    return proc.returncode, out
+
+
+def chaos_worker_loss(baseline: str, throttle_s: float, kill_after_s: float) -> "list[str]":
+    """Scenario 1: SIGKILL one of two workers mid-sweep."""
+    failures: "list[str]" = []
+    victim, victim_addr = start_worker(throttle_s)
+    survivor, survivor_addr = start_worker(throttle_s)
+    killer_done = False
+    try:
+        import threading
+
+        def kill_victim() -> None:
+            time.sleep(kill_after_s)
+            victim.send_signal(signal.SIGKILL)
+
+        timer = threading.Thread(target=kill_victim, daemon=True)
+        timer.start()
+        status, out = run_costs(f"{victim_addr},{survivor_addr}")
+        timer.join()
+        killer_done = victim.poll() is not None
+        if status != 0:
+            failures.append(f"worker-loss run exited {status}, wanted 0")
+        elif out != baseline:
+            failures.append("worker-loss stdout differs from the single-host baseline")
+        if not killer_done:
+            failures.append("victim worker was never killed — scenario did not run")
+    finally:
+        stop(victim)
+        stop(survivor)
+    return failures
+
+
+def chaos_coordinator_loss(
+    baseline: str, throttle_s: float, kill_after_s: float
+) -> "list[str]":
+    """Scenario 2: SIGKILL the coordinator, then resume from the journal."""
+    failures: "list[str]" = []
+    worker_a, addr_a = start_worker(throttle_s)
+    worker_b, addr_b = start_worker(throttle_s)
+    endpoints = f"{addr_a},{addr_b}"
+    with tempfile.TemporaryDirectory(prefix="chaos-fabric-") as checkpoints:
+        try:
+            run_costs(
+                endpoints,
+                resume=True,
+                checkpoint_dir=checkpoints,
+                kill_after_s=kill_after_s,
+            )
+            shards = sorted(Path(checkpoints).glob("costs.s*of*-*.jsonl"))
+            # A shard holding progress has outcome records after its header.
+            journalled = [
+                s for s in shards if len(s.read_text().splitlines()) > 1
+            ]
+            if not journalled:
+                failures.append(
+                    "no journalled shard after the interrupt — the kill landed "
+                    "before any point completed (raise --kill-after)"
+                )
+            status, out = run_costs(
+                endpoints, resume=True, checkpoint_dir=checkpoints
+            )
+            if status != 0:
+                failures.append(f"resumed run exited {status}, wanted 0")
+            elif out != baseline:
+                failures.append("resumed stdout differs from the single-host baseline")
+        finally:
+            stop(worker_a)
+            stop(worker_b)
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Run both chaos scenarios; exit nonzero on any violated invariant."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--throttle", type=float, default=0.2, metavar="S",
+        help="per-point worker delay, sizing the kill window (default 0.2)",
+    )
+    parser.add_argument(
+        "--kill-after", type=float, default=1.2, metavar="S",
+        help="seconds into the sweep to deliver SIGKILL (default 1.2)",
+    )
+    args = parser.parse_args(argv)
+
+    status, baseline = run_costs(None)
+    if status != 0 or not baseline:
+        print("FAIL: could not produce the single-host baseline", file=sys.stderr)
+        return 1
+    print(f"baseline: single-host costs table ({len(baseline)} bytes)")
+
+    failures = chaos_worker_loss(baseline, args.throttle, args.kill_after)
+    print("scenario 1 (worker SIGKILL mid-sweep): " + ("FAIL" if failures else "ok"))
+
+    resume_failures = chaos_coordinator_loss(baseline, args.throttle, args.kill_after)
+    print(
+        "scenario 2 (coordinator SIGKILL + --resume): "
+        + ("FAIL" if resume_failures else "ok")
+    )
+    failures += resume_failures
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("chaos fabric passed: both kill scenarios byte-identical to baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,9 +4,10 @@
 Spawns N worker threads, each issuing requests back-to-back (closed
 loop: a worker sends its next request only after the previous response
 lands) until the shared request budget is spent. Reports the status
-mix, latency percentiles (p50/p90/p99) and error taxonomy as both a
-human-readable table and an optional JSON artifact — the file the CI
-serve-smoke step uploads.
+mix, latency percentiles (p50/p90/p95/p99, overall and per status
+code) and error taxonomy as both a human-readable table and an
+optional JSON artifact — the file the CI serve-smoke step uploads and
+asserts its p99 bound against.
 
 Usage::
 
@@ -56,6 +57,23 @@ def percentile(samples: "list[float]", q: float) -> float:
     return ordered[rank]
 
 
+def latency_summary(samples: "list[float]") -> dict:
+    """p50/p90/p95/p99/max of ``samples`` (seconds), reported in ms.
+
+    >>> latency_summary([0.001] * 4)["p99"]
+    1.0
+    >>> latency_summary([])["max"]
+    0.0
+    """
+    return {
+        "p50": round(percentile(samples, 50) * 1000, 3),
+        "p90": round(percentile(samples, 90) * 1000, 3),
+        "p95": round(percentile(samples, 95) * 1000, 3),
+        "p99": round(percentile(samples, 99) * 1000, 3),
+        "max": round(max(samples, default=0.0) * 1000, 3),
+    }
+
+
 def one_request(base_url: str, path: str, timeout_s: float) -> "tuple[int, float]":
     """Issue one GET; returns (status, elapsed seconds). 0 = transport error."""
     started = time.monotonic()
@@ -83,7 +101,7 @@ def run_load(
     budget = itertools.count()
     lock = threading.Lock()
     latencies: "list[float]" = []
-    statuses: "dict[int, int]" = {}
+    by_status: "dict[int, list[float]]" = {}
 
     def worker() -> None:
         while True:
@@ -95,7 +113,7 @@ def run_load(
             )
             with lock:
                 latencies.append(elapsed)
-                statuses[status] = statuses.get(status, 0) + 1
+                by_status.setdefault(status, []).append(elapsed)
 
     started = time.monotonic()
     pool = [threading.Thread(target=worker) for _ in range(threads)]
@@ -105,23 +123,29 @@ def run_load(
         thread.join()
     elapsed = time.monotonic() - started
 
-    total = sum(statuses.values())
-    server_errors = sum(count for code, count in statuses.items() if code >= 500)
-    transport_errors = statuses.get(0, 0)
+    total = sum(len(samples) for samples in by_status.values())
+    server_errors = sum(
+        len(samples) for code, samples in by_status.items() if code >= 500
+    )
+    transport_errors = len(by_status.get(0, []))
     return {
         "base_url": base_url,
         "requests": total,
         "threads": threads,
         "elapsed_s": round(elapsed, 4),
         "throughput_rps": round(total / elapsed, 2) if elapsed > 0 else 0.0,
-        "status_mix": {str(code): statuses[code] for code in sorted(statuses)},
+        "status_mix": {
+            str(code): len(by_status[code]) for code in sorted(by_status)
+        },
         "server_errors": server_errors,
         "transport_errors": transport_errors,
-        "latency_ms": {
-            "p50": round(percentile(latencies, 50) * 1000, 3),
-            "p90": round(percentile(latencies, 90) * 1000, 3),
-            "p99": round(percentile(latencies, 99) * 1000, 3),
-            "max": round(max(latencies, default=0.0) * 1000, 3),
+        "latency_ms": latency_summary(latencies),
+        "by_status": {
+            str(code): {
+                "count": len(by_status[code]),
+                "latency_ms": latency_summary(by_status[code]),
+            }
+            for code in sorted(by_status)
         },
     }
 
@@ -140,6 +164,11 @@ def render(summary: dict) -> str:
             f"{name}={value}" for name, value in summary["latency_ms"].items()
         ),
     ]
+    for code, stats in summary["by_status"].items():
+        lines.append(
+            f"  {code}: {stats['count']} requests, "
+            f"p50={stats['latency_ms']['p50']}ms p99={stats['latency_ms']['p99']}ms"
+        )
     if summary["server_errors"]:
         lines.append(f"!! {summary['server_errors']} server (5xx) errors")
     if summary["transport_errors"]:

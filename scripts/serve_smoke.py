@@ -8,7 +8,8 @@ This is the CI serve-smoke step. It:
 2. drives ``scripts/loadgen.py`` against it (default 200 requests) and
    writes the latency summary artifact;
 3. sends SIGTERM and asserts the drain completes with exit code 0;
-4. fails (exit 1) on any 5xx, transport error, or unclean shutdown.
+4. fails (exit 1) on any 5xx, transport error, unclean shutdown, or a
+   p99 latency above ``--max-p99-ms`` (0 disables the bound).
 
 Usage::
 
@@ -60,6 +61,11 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=4, help="server worker threads"
     )
+    parser.add_argument(
+        "--max-p99-ms", type=float, default=0.0, metavar="MS",
+        help="fail when overall p99 latency exceeds MS (0 disables; CI "
+        "sets a generous bound to catch pathological regressions only)",
+    )
     args = parser.parse_args(argv)
 
     proc, url = boot_server(["--workers", str(args.workers)], timeout_s=30.0)
@@ -74,6 +80,11 @@ def main(argv: "list[str] | None" = None) -> int:
             failures.append(f"{summary['server_errors']} 5xx responses")
         if summary["transport_errors"]:
             failures.append(f"{summary['transport_errors']} transport errors")
+        p99_ms = summary["latency_ms"]["p99"]
+        if args.max_p99_ms and p99_ms > args.max_p99_ms:
+            failures.append(
+                f"p99 latency {p99_ms}ms exceeds the {args.max_p99_ms}ms bound"
+            )
         if args.out:
             import json
 

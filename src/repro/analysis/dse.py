@@ -155,6 +155,7 @@ def explore(
     timeout_s: "float | None" = None,
     resume: bool = False,
     checkpoint_dir: "str | None" = None,
+    workers: "str | None" = None,
 ) -> Recommendation:
     """Rank every implementable class against the requirements.
 
@@ -163,6 +164,8 @@ def explore(
     ``on_error``/``timeout_s``/``resume`` forward to
     :func:`repro.analysis.pareto.evaluate_classes`, so a long DSE run
     can skip bad points and restart from its checkpoint journal.
+    ``workers`` routes the evaluation over the distributed sweep fabric
+    — the recommendation is byte-identical either way.
     """
     with _trace.span(
         "analysis.dse", objective=objective.name, n=requirements.n, jobs=jobs
@@ -177,6 +180,7 @@ def explore(
             timeout_s=timeout_s,
             resume=resume,
             checkpoint_dir=checkpoint_dir,
+            workers=workers,
         )
         feasible = [p for p in points if requirements.admits(p)]
         infeasible = [p for p in points if not requirements.admits(p)]

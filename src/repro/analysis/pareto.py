@@ -19,7 +19,14 @@ from repro.core.taxonomy import TaxonomyClass, implementable_classes
 from repro.models.area import AreaModel
 from repro.models.configbits import ConfigBitsModel
 from repro.obs import trace as _trace
-from repro.perf import ModelCache, SweepCheckpoint, evaluate_models, sweep
+from repro.perf import (
+    ModelCache,
+    ShardedCheckpoint,
+    SweepCheckpoint,
+    evaluate_models,
+    fabric_sweep,
+    sweep,
+)
 
 __all__ = ["DesignPoint", "evaluate_classes", "pareto_frontier"]
 
@@ -93,6 +100,7 @@ def evaluate_classes(
     timeout_s: "float | None" = None,
     resume: bool = False,
     checkpoint_dir: "str | None" = None,
+    workers: "str | None" = None,
 ) -> list[DesignPoint]:
     """Evaluate Eq. 1 and Eq. 2 for every (given) implementable class.
 
@@ -103,6 +111,10 @@ def evaluate_classes(
     set the engine's failure policy (failed classes are dropped from the
     result), and ``resume=True`` journals completed classes so an
     interrupted evaluation restarts where it stopped.
+
+    ``workers`` (``"HOST:PORT,HOST:PORT"``) routes the sweep through the
+    distributed fabric (:func:`repro.perf.fabric_sweep`); the journal
+    then shards by point index so any worker mix resumes bit-exactly.
     """
     cache = (
         None
@@ -119,19 +131,32 @@ def evaluate_classes(
             "classes": [cls.serial for cls in implementable],
             "models": [repr(area_model), repr(config_model)],
         }
-        checkpoint = SweepCheckpoint.open("classes", spec, directory=checkpoint_dir)
+        opener = ShardedCheckpoint if workers else SweepCheckpoint
+        checkpoint = opener.open("classes", spec, directory=checkpoint_dir)
     chosen_executor = "serial" if jobs == 1 else executor
     try:
         with _trace.span("analysis.evaluate_classes", classes=len(implementable), n=n, jobs=jobs):
-            result = sweep(
-                worker,
-                implementable,
-                executor=chosen_executor,
-                jobs=jobs,
-                on_error=on_error,
-                timeout_s=timeout_s,
-                checkpoint=checkpoint,
-            )
+            if workers:
+                result = fabric_sweep(
+                    worker,
+                    implementable,
+                    workers=workers,
+                    on_error=on_error,
+                    timeout_s=timeout_s,
+                    checkpoint=checkpoint,
+                    fallback_executor=chosen_executor,
+                    fallback_jobs=jobs,
+                )
+            else:
+                result = sweep(
+                    worker,
+                    implementable,
+                    executor=chosen_executor,
+                    jobs=jobs,
+                    on_error=on_error,
+                    timeout_s=timeout_s,
+                    checkpoint=checkpoint,
+                )
     finally:
         if checkpoint is not None:
             checkpoint.close()

@@ -44,7 +44,7 @@ from repro.core.errors import FaultError
 from repro.core.connectivity import LINK_SITES, LinkKind
 from repro.core.signature import Signature
 from repro.obs import trace as _trace
-from repro.perf import SweepCheckpoint, sweep
+from repro.perf import ShardedCheckpoint, SweepCheckpoint, fabric_sweep, sweep
 from repro.registry.survey import SurveyEntry, survey_table
 
 __all__ = [
@@ -184,6 +184,7 @@ def resilience_sweep(
     timeout_s: "float | None" = None,
     resume: bool = False,
     checkpoint_dir: "str | None" = None,
+    workers: "str | None" = None,
 ) -> list[ResiliencePoint]:
     """Degradation curves for the whole survey, best-sustained first.
 
@@ -194,6 +195,10 @@ def resilience_sweep(
     (points skipped under ``"skip"``/``"retry"`` are dropped from the
     result), and ``resume=True`` journals completed architectures so an
     interrupted sweep picks up where it left off, bit-identically.
+
+    ``workers`` (``"HOST:PORT,HOST:PORT"``) fans the architectures out
+    over the distributed fabric instead of a local pool — same results,
+    same order, and with ``resume=True`` an index-sharded journal.
     """
     if not rates:
         raise ValueError("at least one fault rate is required")
@@ -209,7 +214,8 @@ def resilience_sweep(
             "spares": spares,
             "entries": [entry.name for entry in rows],
         }
-        checkpoint = SweepCheckpoint.open("resilience", spec, directory=checkpoint_dir)
+        opener = ShardedCheckpoint if workers else SweepCheckpoint
+        checkpoint = opener.open("resilience", spec, directory=checkpoint_dir)
     chosen_executor = "serial" if jobs == 1 else executor
     try:
         with _trace.span(
@@ -220,15 +226,27 @@ def resilience_sweep(
             spares=spares,
             jobs=jobs,
         ):
-            result = sweep(
-                worker,
-                rows,
-                executor=chosen_executor,
-                jobs=jobs,
-                on_error=on_error,
-                timeout_s=timeout_s,
-                checkpoint=checkpoint,
-            )
+            if workers:
+                result = fabric_sweep(
+                    worker,
+                    rows,
+                    workers=workers,
+                    on_error=on_error,
+                    timeout_s=timeout_s,
+                    checkpoint=checkpoint,
+                    fallback_executor=chosen_executor,
+                    fallback_jobs=jobs,
+                )
+            else:
+                result = sweep(
+                    worker,
+                    rows,
+                    executor=chosen_executor,
+                    jobs=jobs,
+                    on_error=on_error,
+                    timeout_s=timeout_s,
+                    checkpoint=checkpoint,
+                )
     finally:
         if checkpoint is not None:
             checkpoint.close()

@@ -19,7 +19,14 @@ from repro.models.configbits import ConfigBitsModel
 from repro.models.energy import EnergyModel
 from repro.models.reconfiguration import ReconfigurationModel
 from repro.obs import trace as _trace
-from repro.perf import ModelCache, SweepCheckpoint, evaluate_models, sweep
+from repro.perf import (
+    ModelCache,
+    ShardedCheckpoint,
+    SweepCheckpoint,
+    evaluate_models,
+    fabric_sweep,
+    sweep,
+)
 from repro.registry.architectures import all_architectures
 from repro.registry.record import ArchitectureRecord
 
@@ -91,6 +98,7 @@ def evaluate_survey(
     timeout_s: "float | None" = None,
     resume: bool = False,
     checkpoint_dir: "str | None" = None,
+    workers: "str | None" = None,
 ) -> list[SurveyCostPoint]:
     """Estimate every surveyed architecture's costs at its own size.
 
@@ -100,6 +108,11 @@ def evaluate_survey(
     with order-preserving results. ``on_error``/``timeout_s`` set the
     engine's failure policy (failed points are dropped from the result),
     and ``resume=True`` journals completed records for restartability.
+
+    ``workers`` (``"HOST:PORT,HOST:PORT"``) routes the sweep through the
+    distributed fabric instead of a local pool; with ``resume=True`` the
+    journal becomes an index-sharded :class:`ShardedCheckpoint` whose
+    merge is byte-identical to the single-host journal.
     """
     custom = (area_model, config_model, energy_model, reconfig_model)
     cache = (
@@ -122,20 +135,33 @@ def evaluate_survey(
             "records": [record.name for record in records],
             "models": [repr(model) for model in custom],
         }
-        checkpoint = SweepCheckpoint.open("costs", spec, directory=checkpoint_dir)
+        opener = ShardedCheckpoint if workers else SweepCheckpoint
+        checkpoint = opener.open("costs", spec, directory=checkpoint_dir)
     try:
         with _trace.span(
             "analysis.survey_costs", architectures=len(records), default_n=default_n, jobs=jobs
         ):
-            result = sweep(
-                worker,
-                records,
-                executor=chosen_executor,
-                jobs=jobs,
-                on_error=on_error,
-                timeout_s=timeout_s,
-                checkpoint=checkpoint,
-            )
+            if workers:
+                result = fabric_sweep(
+                    worker,
+                    records,
+                    workers=workers,
+                    on_error=on_error,
+                    timeout_s=timeout_s,
+                    checkpoint=checkpoint,
+                    fallback_executor=chosen_executor,
+                    fallback_jobs=jobs,
+                )
+            else:
+                result = sweep(
+                    worker,
+                    records,
+                    executor=chosen_executor,
+                    jobs=jobs,
+                    on_error=on_error,
+                    timeout_s=timeout_s,
+                    checkpoint=checkpoint,
+                )
     finally:
         if checkpoint is not None:
             checkpoint.close()
@@ -149,6 +175,7 @@ def survey_cost_table(
     on_error: str = "raise",
     timeout_s: "float | None" = None,
     resume: bool = False,
+    workers: "str | None" = None,
 ) -> str:
     """Rendered cost table over the whole survey."""
     from repro.reporting.tables import format_table
@@ -159,6 +186,7 @@ def survey_cost_table(
         on_error=on_error,
         timeout_s=timeout_s,
         resume=resume,
+        workers=workers,
     )
     header = (
         "architecture", "class", "flex", "n", "area (GE)",

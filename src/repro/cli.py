@@ -101,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(dse_parser)
     _add_resilience_arguments(dse_parser)
+    _add_fabric_argument(dse_parser)
     _add_trace_argument(dse_parser)
     _add_profile_argument(dse_parser)
 
@@ -113,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(costs_parser)
     _add_resilience_arguments(costs_parser)
+    _add_fabric_argument(costs_parser)
     _add_trace_argument(costs_parser)
     _add_profile_argument(costs_parser)
 
@@ -153,8 +155,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(faults_parser)
     _add_resilience_arguments(faults_parser)
+    _add_fabric_argument(faults_parser)
     _add_trace_argument(faults_parser)
     _add_profile_argument(faults_parser)
+
+    worker_parser = sub.add_parser(
+        "sweep-worker",
+        help="serve sweep points to distributed coordinators (see --workers)",
+    )
+    worker_parser.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="bind address; port 0 picks an ephemeral port "
+        "(default 127.0.0.1:0; the bound address is printed on stdout)",
+    )
+    worker_parser.add_argument(
+        "--max-sessions", type=int, default=None, metavar="N",
+        help="exit after serving N coordinator sessions (default: serve until killed)",
+    )
+    worker_parser.add_argument(
+        "--throttle", type=float, default=0.0, metavar="S",
+        help="sleep S seconds before each point evaluation — a chaos/tuning "
+        "aid for rehearsing failure detection against fast sweeps (default 0)",
+    )
+    worker_parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="S",
+        help="override the coordinator-commanded heartbeat interval; setting "
+        "it above the coordinator's lease TTL rehearses lease expiry",
+    )
 
     metrics_parser = sub.add_parser(
         "metrics",
@@ -229,6 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-requests", action="store_true",
         help="emit one access-log line per request to stderr",
     )
+    serve_parser.add_argument(
+        "--fabric-workers", default=None, metavar="HOST:PORT,...",
+        help="route the sweep-backed survey endpoint over the distributed "
+        "sweep fabric (comma-separated sweep-worker endpoints)",
+    )
 
     sub.add_parser("errata", help="paper-vs-derived discrepancies")
     sub.add_parser("audit", help="run the library self-consistency audit")
@@ -273,6 +305,22 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--resume", action="store_true",
         help="journal completed sweep points and skip them on re-run",
+    )
+
+
+def _add_fabric_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--workers`` flag: run the sweep on the distributed fabric.
+
+    The endpoints name running ``sweep-worker`` processes (coordinator
+    dials workers). Results stay byte-identical to a local run; if no
+    worker answers within the join deadline the sweep silently runs
+    locally instead. With ``--resume`` the checkpoint journal shards by
+    point index (``.s0of8`` … files) and merges deterministically.
+    """
+    parser.add_argument(
+        "--workers", default=None, metavar="HOST:PORT,...",
+        help="distribute the sweep over these sweep-worker endpoints "
+        "(default: run locally)",
     )
 
 
@@ -379,8 +427,42 @@ def _run_serve(args: argparse.Namespace) -> int:
         ),
         fault_plan=fault_plan,
         log_requests=args.log_requests,
+        fabric_workers=args.fabric_workers,
     )
     return run_server(config)
+
+
+def _run_sweep_worker(args: argparse.Namespace) -> int:
+    """The ``sweep-worker`` subcommand: one node of the sweep fabric.
+
+    Binds the listen address (printing the resolved ``HOST:PORT`` so
+    scripts can use ``--listen HOST:0``), marks the process via
+    ``$REPRO_SWEEP_WORKER`` so sweep functions can detect worker
+    context, and serves coordinator sessions until killed (or after
+    ``--max-sessions``). The worker is stateless: all journalling
+    happens coordinator-side, so killing a worker loses nothing.
+    """
+    import os
+
+    from repro.perf.fabric import WORKER_ENV, FabricWorker, parse_endpoints
+
+    ((host, port),) = parse_endpoints(args.listen)
+    os.environ[WORKER_ENV] = "1"
+    worker = FabricWorker(
+        host,
+        port,
+        throttle_s=args.throttle,
+        heartbeat_override_s=args.heartbeat,
+        max_sessions=args.max_sessions,
+    )
+    bound_host, bound_port = worker.address
+    print(f"worker listening on {bound_host}:{bound_port}", flush=True)
+    try:
+        sessions = worker.serve_forever()
+    finally:
+        worker.close()
+    print(f"served {sessions} sweep session(s)", file=sys.stderr)
+    return 0
 
 
 def _run_faults(args: argparse.Namespace) -> int:
@@ -456,6 +538,7 @@ def _run_faults(args: argparse.Namespace) -> int:
         on_error=args.on_error,
         timeout_s=args.timeout,
         resume=args.resume,
+        workers=args.workers,
     )
     print(render_resilience_table(points))
 
@@ -514,6 +597,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             on_error=args.on_error,
             timeout_s=args.timeout,
             resume=args.resume,
+            workers=args.workers,
         )
         print(recommendation.explain())
     elif args.command == "costs":
@@ -526,6 +610,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 on_error=args.on_error,
                 timeout_s=args.timeout,
                 resume=args.resume,
+                workers=args.workers,
             )
         )
     elif args.command == "report":
@@ -550,6 +635,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_metrics(args)
     elif args.command == "serve":
         return _run_serve(args)
+    elif args.command == "sweep-worker":
+        return _run_sweep_worker(args)
     elif args.command == "baselines":
         from repro.core import baseline_resolution, extension_report
 

@@ -9,8 +9,14 @@ a shared engine:
   process executor, deterministic result ordering, per-point timing,
   failure policies (``on_error``/:class:`RetryPolicy`/``timeout_s``),
   worker-crash isolation and checkpoint/resume;
+* :func:`fabric_sweep` / :class:`FabricWorker` — the distributed
+  fabric: the same sweep sharded over TCP workers with lease-based
+  failure detection, work-stealing and chaos-verified resume (the
+  CLI's ``sweep-worker`` / ``--workers`` flags);
 * :class:`SweepCheckpoint` — the append-only journal behind the CLI's
-  ``--resume`` flag, keyed by a content hash of the sweep spec;
+  ``--resume`` flag, keyed by a content hash of the sweep spec — and
+  :class:`ShardedCheckpoint`, its fabric-side sibling that fans the
+  journal out over index-sharded files with a deterministic merge;
 * :class:`ModelCache` / :func:`evaluate_models` — an LRU-memoised cache
   over the Eq.-1 area, Eq.-2 configuration-bit, energy and
   reconfiguration models, keyed on ``(class_id, n, technology)``.
@@ -41,11 +47,21 @@ from repro.perf.engine import (
     resolve_jobs,
     sweep,
 )
+from repro.perf.fabric import (
+    FABRIC_PROTOCOL,
+    WORKER_ENV,
+    FabricWorker,
+    fabric_sweep,
+    parse_endpoints,
+)
 from repro.perf.journal import (
+    DEFAULT_SHARDS,
     JournalEntry,
     JournalLock,
+    ShardedCheckpoint,
     SweepCheckpoint,
     checkpoint_directory,
+    merge_journal_loads,
     spec_digest,
 )
 
@@ -59,10 +75,18 @@ __all__ = [
     "SweepResult",
     "resolve_jobs",
     "sweep",
+    "FABRIC_PROTOCOL",
+    "WORKER_ENV",
+    "FabricWorker",
+    "fabric_sweep",
+    "parse_endpoints",
+    "DEFAULT_SHARDS",
     "JournalEntry",
     "JournalLock",
+    "ShardedCheckpoint",
     "SweepCheckpoint",
     "checkpoint_directory",
+    "merge_journal_loads",
     "spec_digest",
     "DEFAULT_CACHE",
     "CacheStats",

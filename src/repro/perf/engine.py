@@ -394,6 +394,38 @@ def _record(checkpoint: Any, outcomes: "Iterable[PointResult]") -> None:
         checkpoint.record(outcome)
 
 
+def _restore_from_checkpoint(
+    checkpoint: Any, indexed: "list[tuple[int, Any]]"
+) -> "tuple[list[PointResult], list[tuple[int, Any]]]":
+    """Split ``indexed`` into journalled points and points still to run.
+
+    Journalled points come back as ``status='skipped'``
+    :class:`PointResult` values restored bit-identically from the
+    checkpoint; the remainder keeps its original (index, point) pairs.
+    Shared by the local engine and the distributed fabric so resume
+    semantics cannot drift between them.
+    """
+    if checkpoint is None or not indexed:
+        return [], indexed
+    done = checkpoint.load()
+    if not done:
+        return [], indexed
+    restored = [
+        PointResult(
+            index=index,
+            point=point,
+            value=done[index].value,
+            elapsed_s=done[index].elapsed_s,
+            status="skipped",
+            attempts=done[index].attempts,
+        )
+        for index, point in indexed
+        if index in done
+    ]
+    remaining = [(index, point) for index, point in indexed if index not in done]
+    return restored, remaining
+
+
 # -- the public entry point ------------------------------------------------
 
 
@@ -446,24 +478,7 @@ def sweep(
         timeout_s=timeout_s,
     )
 
-    indexed: list[tuple[int, Any]] = list(enumerate(points))
-    restored: list[PointResult] = []
-    if checkpoint is not None and indexed:
-        done = checkpoint.load()
-        if done:
-            restored = [
-                PointResult(
-                    index=index,
-                    point=point,
-                    value=done[index].value,
-                    elapsed_s=done[index].elapsed_s,
-                    status="skipped",
-                    attempts=done[index].attempts,
-                )
-                for index, point in indexed
-                if index in done
-            ]
-            indexed = [(index, point) for index, point in indexed if index not in done]
+    restored, indexed = _restore_from_checkpoint(checkpoint, list(enumerate(points)))
     n_jobs = 1 if executor == "serial" else min(resolve_jobs(jobs), max(len(indexed), 1))
 
     if not indexed and not restored:

@@ -1,0 +1,1023 @@
+"""The distributed sweep fabric: one sweep, many hosts, zero lost points.
+
+:func:`fabric_sweep` is the multi-host sibling of
+:func:`repro.perf.engine.sweep`: the same pure-function-over-points
+contract, the same :class:`~repro.perf.engine.PointResult` outcome
+taxonomy, the same deterministic input-order results — but the points
+are evaluated by *worker processes on other hosts*, connected over
+plain TCP (stdlib only, like everything else in this package).
+
+Topology
+--------
+
+Workers are servers; the coordinator dials them::
+
+    repro-taxonomy sweep-worker --listen 0.0.0.0:7070     # on each host
+    repro-taxonomy costs --workers hostA:7070,hostB:7070  # coordinator
+
+The coordinator shards the point grid into *leases* (``lease_size``
+points each), hands leases to workers as they ask for work, and tracks
+every lease against its worker's heartbeat. The design is
+robustness-first, because at fleet scale worker death is the normal
+case, not the exception:
+
+* **failure detection** — a dead socket (the worker was SIGKILLed, its
+  host rebooted) or a missed heartbeat (``lease_ttl_s`` without a sign
+  of life — the worker is wedged or partitioned) expires the worker:
+  every point it held is re-queued and evaluated elsewhere;
+* **work-stealing** — an idle worker with nothing left in the queue
+  duplicates the oldest outstanding lease of a straggler; the first
+  result for a point wins and later duplicates are discarded, which is
+  sound because point functions are pure;
+* **bounded crash retry** — a point whose holder died is re-queued at
+  most ``max_point_crashes`` times; past that it is treated as a
+  *poison point* (the same identification PR 4's single-host engine
+  performs) and finished through the engine's last-resort path instead
+  of wedging the fleet;
+* **graceful degradation** — if no worker joins within
+  ``join_deadline_s``, or every worker is lost mid-sweep, the
+  coordinator finishes the remaining points locally: a lost fleet
+  costs wall-clock, never a lost sweep;
+* **checkpointing** — pass a
+  :class:`~repro.perf.journal.ShardedCheckpoint` and every completed
+  point is fsync-journalled into its index's home shard as results
+  arrive; a killed coordinator resumes bit-identically, exactly like
+  the single-host ``--resume``.
+
+Results are byte-identical to a single-host run: outcomes are keyed by
+point index, values are whatever the pure point function returns, and
+the fabric's scheduling (which worker, in what order, stolen or not)
+leaves no trace in the output.
+
+Trust model: the worker executes a function object shipped by whoever
+connects to it — the same trust level as unpickling a checkpoint
+journal. Bind workers to loopback or a network you trust.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.core.errors import FabricError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.perf import engine as _engine
+from repro.perf.engine import PointResult, RetryPolicy, SweepResult
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_JOIN_DEADLINE_S",
+    "DEFAULT_LEASE_SIZE",
+    "DEFAULT_MAX_POINT_CRASHES",
+    "FABRIC_PROTOCOL",
+    "WORKER_ENV",
+    "FabricWorker",
+    "fabric_sweep",
+    "parse_endpoints",
+]
+
+#: Protocol tag exchanged in the handshake; mismatches refuse the link.
+FABRIC_PROTOCOL = "repro-sweep-fabric/1"
+
+#: Environment variable set to ``"1"`` inside ``sweep-worker`` processes,
+#: so point functions can tell whether they run on a worker or locally.
+WORKER_ENV = "REPRO_SWEEP_WORKER"
+
+#: Points per lease. Small leases keep re-queue cost and steal
+#: granularity low; raise it only when points are very cheap.
+DEFAULT_LEASE_SIZE = 1
+
+#: Seconds a worker may go silent before its leases expire (multiples
+#: of the heartbeat interval; see :func:`fabric_sweep`).
+DEFAULT_LEASE_TTL_BEATS = 4
+
+#: Default worker heartbeat interval in seconds.
+DEFAULT_HEARTBEAT_S = 0.5
+
+#: How long the coordinator waits for workers before degrading to
+#: local execution.
+DEFAULT_JOIN_DEADLINE_S = 2.0
+
+#: Times a point may crash (lose) its worker before it is treated as
+#: poison and finished through the last-resort path.
+DEFAULT_MAX_POINT_CRASHES = 2
+
+_FABRIC_SWEEPS = _metrics.REGISTRY.counter(
+    "fabric.sweeps", help="fabric_sweep() invocations (including local fallbacks)"
+)
+_WORKERS_JOINED = _metrics.REGISTRY.counter(
+    "fabric.workers_joined", help="workers that completed the join handshake"
+)
+_WORKERS_LOST = _metrics.REGISTRY.counter(
+    "fabric.workers_lost", help="workers lost mid-sweep (dead socket or expired lease)"
+)
+_LEASES_EXPIRED = _metrics.REGISTRY.counter(
+    "fabric.leases_expired", help="leases expired by missed heartbeats"
+)
+_POINTS_STOLEN = _metrics.REGISTRY.counter(
+    "fabric.points_stolen", help="straggler points duplicated onto idle workers"
+)
+_POINTS_REQUEUED = _metrics.REGISTRY.counter(
+    "fabric.points_requeued", help="points re-queued after their worker was lost"
+)
+_POINTS_RESPAWNED = _metrics.REGISTRY.counter(
+    "fabric.poison_points", help="points that exhausted their crash budget"
+)
+_LOCAL_FALLBACKS = _metrics.REGISTRY.counter(
+    "fabric.local_fallbacks", help="sweeps (or sweep tails) finished locally for lack of workers"
+)
+
+
+# -- wire helpers ----------------------------------------------------------
+
+
+def parse_endpoints(value: "str | Iterable[Any]") -> "tuple[tuple[str, int], ...]":
+    """Normalise worker endpoints into ``(host, port)`` pairs.
+
+    Accepts the CLI's comma-separated string or any iterable of
+    ``"host:port"`` strings / ``(host, port)`` pairs.
+
+        >>> parse_endpoints("127.0.0.1:7070, hostB:7071")
+        (('127.0.0.1', 7070), ('hostB', 7071))
+        >>> parse_endpoints([("hostA", 9000)])
+        (('hostA', 9000),)
+    """
+    if isinstance(value, str):
+        tokens: "list[Any]" = [t.strip() for t in value.split(",") if t.strip()]
+    else:
+        tokens = list(value)
+    endpoints: list[tuple[str, int]] = []
+    for token in tokens:
+        if isinstance(token, str):
+            host, _, port_text = token.rpartition(":")
+            if not host or not port_text.isdigit():
+                raise FabricError(
+                    f"worker endpoint must look like HOST:PORT, got {token!r}"
+                )
+            endpoints.append((host, int(port_text)))
+        else:
+            host, port = token
+            endpoints.append((str(host), int(port)))
+    if not endpoints:
+        raise FabricError("at least one worker endpoint is required")
+    return tuple(endpoints)
+
+
+def _pack(obj: Any) -> str:
+    """Pickle ``obj`` and wrap it for transport inside a JSON frame."""
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def _unpack(text: str) -> Any:
+    """Inverse of :func:`_pack`."""
+    return pickle.loads(base64.b64decode(text))
+
+
+def _send(wfile: Any, wlock: threading.Lock, message: "dict[str, Any]") -> None:
+    """Write one newline-delimited JSON frame (thread-safe per link)."""
+    line = json.dumps(message, sort_keys=True)
+    with wlock:
+        wfile.write(line + "\n")
+        wfile.flush()
+
+
+def _recv(rfile: Any) -> "dict[str, Any] | None":
+    """Read one frame; ``None`` on a closed connection."""
+    line = rfile.readline()
+    if not line:
+        return None
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise FabricError(f"malformed fabric frame: {line[:80]!r}") from error
+    if not isinstance(frame, dict) or "type" not in frame:
+        raise FabricError(f"fabric frame without a type: {line[:80]!r}")
+    return frame
+
+
+# -- coordinator -----------------------------------------------------------
+
+
+@dataclass
+class _Link:
+    """One connected worker, as the coordinator sees it."""
+
+    id: int
+    endpoint: str
+    sock: socket.socket
+    rfile: Any
+    wfile: Any
+    host: str = "?"
+    pid: int = 0
+    wlock: threading.Lock = field(default_factory=threading.Lock)
+    last_seen: float = field(default_factory=time.monotonic)
+    lost: bool = False
+
+    @property
+    def label(self) -> str:
+        """``host:pid`` identity for spans and diagnostics."""
+        return f"{self.host}:{self.pid}"
+
+
+@dataclass
+class _Lease:
+    """One batch of points out with a worker."""
+
+    id: int
+    worker: int
+    pairs: "list[tuple[int, Any]]"
+    issued: float
+    stolen: bool = False
+
+
+class _Coordinator:
+    """Shard, lease, watch, steal, merge — the fabric's control loop.
+
+    One instance drives one sweep. Reader threads (one per worker link)
+    handle the message traffic; the caller's thread runs :meth:`run`,
+    which polices heartbeats, finishes poison points, and degrades to
+    local execution when the fleet is gone. All shared state is guarded
+    by one lock — the fabric's scale ceiling is network round-trips,
+    not this lock.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        pairs: "list[tuple[int, Any]]",
+        links: "list[_Link]",
+        *,
+        spec: Any,
+        checkpoint: Any,
+        lease_size: int,
+        heartbeat_s: float,
+        lease_ttl_s: float,
+        max_point_crashes: int,
+        span: Any,
+    ):
+        self._fn = fn
+        self._spec = spec
+        self._checkpoint = checkpoint
+        self._lease_size = lease_size
+        self._heartbeat_s = heartbeat_s
+        self._lease_ttl_s = lease_ttl_s
+        self._max_point_crashes = max_point_crashes
+        self._span = span
+        self._total = len(pairs)
+        self._lock = threading.Lock()
+        self._pending: "deque[tuple[int, Any]]" = deque(pairs)
+        self._leases: dict[int, _Lease] = {}
+        self._covered: dict[int, int] = {}
+        self._results: dict[int, PointResult] = {}
+        self._crashes: dict[int, int] = {}
+        self._poison: "list[tuple[int, Any]]" = []
+        self._poisoned: set[int] = set()
+        self._links: dict[int, _Link] = {link.id: link for link in links}
+        self._lease_seq = 0
+        self._complete = threading.Event()
+        self._tick_s = max(0.01, min(0.05, heartbeat_s / 4.0))
+
+    # -- lifecycle -------------------------------------------------------
+
+    def run(self) -> "list[PointResult]":
+        """Drive the sweep to completion; returns fresh outcomes."""
+        readers = [
+            threading.Thread(
+                target=self._read_loop,
+                args=(link,),
+                name=f"fabric-worker-{link.id}",
+                daemon=True,
+            )
+            for link in self._links.values()
+        ]
+        for reader in readers:
+            reader.start()
+        try:
+            if self._total == 0:
+                self._complete.set()
+            while not self._complete.is_set():
+                self._complete.wait(self._tick_s)
+                self._expire_stale_links()
+                self._finish_poison_points()
+                with self._lock:
+                    alive = any(not link.lost for link in self._links.values())
+                    done = len(self._results) >= self._total
+                if done:
+                    self._complete.set()
+                elif not alive and not self._poison:
+                    self._finish_locally()
+        finally:
+            self._complete.set()
+            self._shutdown_links()
+        for reader in readers:
+            reader.join(timeout=2.0)
+        with self._lock:
+            return sorted(self._results.values(), key=lambda r: r.index)
+
+    def _shutdown_links(self) -> None:
+        """Best-effort ``done`` + close on every link that is still up."""
+        for link in list(self._links.values()):
+            if link.lost:
+                continue
+            try:
+                _send(link.wfile, link.wlock, {"type": "done"})
+            except OSError:
+                pass
+            self._sever(link)
+
+    @staticmethod
+    def _sever(link: _Link) -> None:
+        """Tear a link's socket down, unblocking its reader thread."""
+        try:
+            link.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            link.sock.close()
+        except OSError:
+            pass
+
+    # -- per-link reader -------------------------------------------------
+
+    def _read_loop(self, link: _Link) -> None:
+        """Handle one worker's traffic until it finishes or is lost."""
+        reason = "connection closed"
+        try:
+            while not self._complete.is_set():
+                frame = _recv(link.rfile)
+                if frame is None:
+                    break
+                link.last_seen = time.monotonic()
+                kind = frame["type"]
+                if kind == "heartbeat":
+                    continue
+                if kind == "ready":
+                    self._offer_work(link)
+                elif kind == "result":
+                    self._accept_result(link, frame)
+                else:
+                    reason = f"unexpected {kind!r} frame"
+                    break
+        except (OSError, ValueError, FabricError) as error:
+            reason = repr(error)
+        finally:
+            self._lose_worker(link, reason)
+
+    def _offer_work(self, link: _Link) -> None:
+        """Answer a ``ready``: a lease, a stolen lease, a wait, or done."""
+        with self._lock:
+            if len(self._results) >= self._total:
+                reply: "dict[str, Any]" = {"type": "done"}
+            else:
+                chunk = self._next_chunk(link)
+                if chunk is None:
+                    reply = {"type": "wait", "delay_s": round(self._tick_s * 2, 4)}
+                else:
+                    reply = {
+                        "type": "lease",
+                        "id": chunk.id,
+                        "points": _pack(chunk.pairs),
+                    }
+        try:
+            _send(link.wfile, link.wlock, reply)
+        except OSError:
+            self._lose_worker(link, "send failed")
+
+    def _next_chunk(self, link: _Link) -> "_Lease | None":
+        """Pop a fresh lease, or steal from a straggler (lock held)."""
+        pairs: "list[tuple[int, Any]]" = []
+        while self._pending and len(pairs) < self._lease_size:
+            index, point = self._pending.popleft()
+            if index not in self._results:
+                pairs.append((index, point))
+        stolen = False
+        if not pairs:
+            victim = self._steal_candidate(link)
+            if victim is None:
+                return None
+            pairs = [
+                (index, point)
+                for index, point in victim.pairs
+                if index not in self._results and self._covered.get(index, 0) < 2
+            ]
+            if not pairs:
+                return None
+            stolen = True
+            _POINTS_STOLEN.inc(len(pairs))
+            self._span.add_event(
+                "steal",
+                points=len(pairs),
+                from_worker=victim.worker,
+                to_worker=link.id,
+            )
+        self._lease_seq += 1
+        lease = _Lease(
+            id=self._lease_seq,
+            worker=link.id,
+            pairs=pairs,
+            issued=time.monotonic(),
+            stolen=stolen,
+        )
+        self._leases[lease.id] = lease
+        for index, _ in pairs:
+            self._covered[index] = self._covered.get(index, 0) + 1
+        return lease
+
+    def _steal_candidate(self, thief: _Link) -> "_Lease | None":
+        """The oldest outstanding lease held by a *different* worker."""
+        candidates = [
+            lease
+            for lease in self._leases.values()
+            if lease.worker != thief.id
+            and any(
+                index not in self._results and self._covered.get(index, 0) < 2
+                for index, _ in lease.pairs
+            )
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda lease: lease.issued)
+
+    def _accept_result(self, link: _Link, frame: "dict[str, Any]") -> None:
+        """Record a lease's outcomes; duplicates (stolen races) are dropped."""
+        outcomes: "list[PointResult]" = _unpack(frame["outcomes"])
+        with self._lock:
+            lease = self._leases.pop(int(frame["id"]), None)
+            if lease is not None:
+                for index, _ in lease.pairs:
+                    self._covered[index] = max(0, self._covered.get(index, 0) - 1)
+            for outcome in outcomes:
+                self._settle(outcome)
+
+    def _settle(self, outcome: PointResult) -> None:
+        """First result for an index wins; journal it (lock held)."""
+        if outcome.index in self._results:
+            return
+        self._results[outcome.index] = outcome
+        if self._checkpoint is not None:
+            self._checkpoint.record(outcome)
+        if len(self._results) >= self._total:
+            self._complete.set()
+
+    # -- failure handling ------------------------------------------------
+
+    def _lose_worker(self, link: _Link, reason: str) -> None:
+        """Expire a worker: re-queue its points, bound their crash budget."""
+        with self._lock:
+            if link.lost:
+                return
+            link.lost = True
+            orphaned = [
+                lease for lease in self._leases.values() if lease.worker == link.id
+            ]
+            for lease in orphaned:
+                del self._leases[lease.id]
+            requeued = 0
+            for lease in orphaned:
+                for index, point in lease.pairs:
+                    self._covered[index] = max(0, self._covered.get(index, 0) - 1)
+                    if index in self._results or index in self._poisoned:
+                        continue
+                    self._crashes[index] = self._crashes.get(index, 0) + 1
+                    if self._crashes[index] > self._max_point_crashes:
+                        self._poisoned.add(index)
+                        self._poison.append((index, point))
+                        _POINTS_RESPAWNED.inc()
+                    elif self._covered.get(index, 0) == 0:
+                        self._pending.appendleft((index, point))
+                        requeued += 1
+        if self._complete.is_set():
+            return  # orderly shutdown, not a failure
+        _WORKERS_LOST.inc()
+        if requeued:
+            _POINTS_REQUEUED.inc(requeued)
+        self._span.add_event(
+            "worker_lost",
+            worker=link.id,
+            identity=link.label,
+            reason=reason,
+            requeued=requeued,
+        )
+        self._sever(link)
+
+    def _expire_stale_links(self) -> None:
+        """Drop workers whose heartbeats stopped (wedged or partitioned)."""
+        now = time.monotonic()
+        for link in list(self._links.values()):
+            if link.lost or now - link.last_seen <= self._lease_ttl_s:
+                continue
+            with self._lock:
+                expired = sum(
+                    1 for lease in self._leases.values() if lease.worker == link.id
+                )
+            _LEASES_EXPIRED.inc(max(expired, 1))
+            self._span.add_event(
+                "lease_expired",
+                worker=link.id,
+                identity=link.label,
+                silent_s=round(now - link.last_seen, 3),
+                leases=expired,
+            )
+            self._sever(link)  # the reader thread observes EOF and re-queues
+
+    def _finish_poison_points(self) -> None:
+        """Run crash-budget-exhausted points through the last-resort path."""
+        with self._lock:
+            pairs, self._poison = self._poison, []
+        if not pairs:
+            return
+        outcomes = _engine._sweep_last_resort(
+            self._fn, sorted(pairs), self._spec, self._span, None
+        )
+        with self._lock:
+            for outcome in outcomes:
+                self._settle(outcome)
+
+    def _finish_locally(self) -> None:
+        """Every worker is gone: finish the remaining points in-process."""
+        with self._lock:
+            remaining = sorted(
+                {
+                    index: point
+                    for index, point in self._pending
+                    if index not in self._results
+                }.items()
+            )
+            self._pending.clear()
+        _LOCAL_FALLBACKS.inc()
+        self._span.add_event("fallback_local", points=len(remaining))
+        outcomes = _engine._sweep_serial(
+            self._fn, remaining, spec=self._spec, checkpoint=None
+        )
+        with self._lock:
+            for outcome in outcomes:
+                self._settle(outcome)
+            if len(self._results) >= self._total:
+                self._complete.set()
+
+
+# -- joining ---------------------------------------------------------------
+
+
+def _dial(
+    endpoint: "tuple[str, int]",
+    link_id: int,
+    *,
+    fn_blob: str,
+    spec_blob: str,
+    heartbeat_s: float,
+    connect_timeout_s: float,
+    give_up: threading.Event,
+) -> "_Link | None":
+    """Connect to one worker and complete the handshake (with retries)."""
+    host, port = endpoint
+    while not give_up.is_set():
+        try:
+            sock = socket.create_connection((host, port), timeout=connect_timeout_s)
+        except OSError:
+            if give_up.wait(0.05):
+                return None
+            continue
+        try:
+            sock.settimeout(connect_timeout_s)
+            rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+            wfile = sock.makefile("w", encoding="utf-8", newline="\n")
+            hello = _recv(rfile)
+            if (
+                hello is None
+                or hello.get("type") != "hello"
+                or hello.get("protocol") != FABRIC_PROTOCOL
+            ):
+                raise FabricError(
+                    f"worker {host}:{port} spoke an unexpected protocol: {hello!r}"
+                )
+            link = _Link(
+                id=link_id,
+                endpoint=f"{host}:{port}",
+                sock=sock,
+                rfile=rfile,
+                wfile=wfile,
+                host=str(hello.get("host", "?")),
+                pid=int(hello.get("pid", 0)),
+            )
+            _send(
+                wfile,
+                link.wlock,
+                {
+                    "type": "job",
+                    "protocol": FABRIC_PROTOCOL,
+                    "fn": fn_blob,
+                    "spec": spec_blob,
+                    "heartbeat_s": heartbeat_s,
+                },
+            )
+            sock.settimeout(None)
+            return link
+        except (OSError, FabricError):
+            try:
+                sock.close()
+            except OSError:
+                pass
+            if give_up.wait(0.05):
+                return None
+    return None
+
+
+def _join(
+    endpoints: "tuple[tuple[str, int], ...]",
+    *,
+    fn: Callable[[Any], Any],
+    spec: Any,
+    heartbeat_s: float,
+    join_deadline_s: float,
+    connect_timeout_s: float,
+    span: Any,
+) -> "list[_Link]":
+    """Dial every endpoint in parallel; return whoever joined in time.
+
+    Endpoints are retried until the join deadline. Once at least one
+    worker has joined, stragglers get a short grace period rather than
+    the full deadline — a half-up fleet should start sweeping, not wait.
+    """
+    fn_blob, spec_blob = _pack(fn), _pack(spec)
+    give_up = threading.Event()
+    joined: "list[_Link]" = []
+    joined_lock = threading.Lock()
+
+    def attempt(endpoint: "tuple[str, int]", link_id: int) -> None:
+        link = _dial(
+            endpoint,
+            link_id,
+            fn_blob=fn_blob,
+            spec_blob=spec_blob,
+            heartbeat_s=heartbeat_s,
+            connect_timeout_s=connect_timeout_s,
+            give_up=give_up,
+        )
+        if link is not None:
+            with joined_lock:
+                joined.append(link)
+
+    dialers = [
+        threading.Thread(target=attempt, args=(endpoint, index), daemon=True)
+        for index, endpoint in enumerate(endpoints)
+    ]
+    for dialer in dialers:
+        dialer.start()
+    deadline = time.monotonic() + join_deadline_s
+    first_join: "float | None" = None
+    grace_s = min(0.25, join_deadline_s / 4.0)
+    while time.monotonic() < deadline:
+        with joined_lock:
+            count = len(joined)
+        if count == len(endpoints):
+            break
+        if count and first_join is None:
+            first_join = time.monotonic()
+        if first_join is not None and time.monotonic() - first_join > grace_s:
+            break
+        time.sleep(0.02)
+    give_up.set()
+    for dialer in dialers:
+        dialer.join(timeout=max(connect_timeout_s, 0.1) + 0.5)
+    with joined_lock:
+        links = sorted(joined, key=lambda link: link.id)
+    _WORKERS_JOINED.inc(len(links))
+    for link in links:
+        span.add_event("worker_joined", worker=link.id, endpoint=link.endpoint, identity=link.label)
+    return links
+
+
+# -- the public sweep entry point ------------------------------------------
+
+
+def fabric_sweep(
+    fn: Callable[[Any], Any],
+    points: "Iterable[Any]",
+    *,
+    workers: "str | Iterable[Any]",
+    lease_size: int = DEFAULT_LEASE_SIZE,
+    on_error: str = "raise",
+    retry: "RetryPolicy | None" = None,
+    timeout_s: "float | None" = None,
+    checkpoint: Any = None,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    lease_ttl_s: "float | None" = None,
+    join_deadline_s: float = DEFAULT_JOIN_DEADLINE_S,
+    connect_timeout_s: float = 1.0,
+    max_point_crashes: int = DEFAULT_MAX_POINT_CRASHES,
+    fallback_executor: str = "process",
+    fallback_jobs: "int | None" = None,
+) -> SweepResult:
+    """Evaluate ``fn`` over ``points`` on a fleet of TCP-connected workers.
+
+    The distributed counterpart of :func:`repro.perf.sweep`, returning
+    the same :class:`~repro.perf.engine.SweepResult` (``executor`` is
+    ``"fabric"``, ``jobs`` is the number of workers that joined) with
+    values in input order, byte-identical to a single-host run of the
+    same sweep. ``on_error``/``retry``/``timeout_s`` are the engine's
+    failure policies, enforced *on the workers*; under ``"raise"`` the
+    coordinator raises :class:`~repro.core.errors.FabricError` for the
+    lowest-indexed failing point once the sweep settles.
+
+    ``checkpoint`` should be a
+    :class:`~repro.perf.journal.ShardedCheckpoint` (any object with the
+    checkpoint interface works): completed points are journalled as
+    they arrive, and a resumed call restores them without recomputing.
+
+    If no worker joins within ``join_deadline_s`` the sweep runs
+    locally through :func:`repro.perf.sweep` with ``fallback_executor``
+    / ``fallback_jobs`` — callers never need a fleet to make progress.
+    """
+    endpoints = parse_endpoints(workers)
+    if lease_size < 1:
+        raise ValueError(f"lease_size must be >= 1, got {lease_size}")
+    if on_error not in _engine.ON_ERROR_POLICIES:
+        raise ValueError(
+            f"unknown on_error {on_error!r}: expected one of "
+            f"{', '.join(_engine.ON_ERROR_POLICIES)}"
+        )
+    if retry is not None and on_error != "retry":
+        raise ValueError("a retry policy requires on_error='retry'")
+    if timeout_s is not None and timeout_s <= 0.0:
+        raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+    if heartbeat_s <= 0.0:
+        raise ValueError(f"heartbeat_s must be positive, got {heartbeat_s}")
+    if max_point_crashes < 0:
+        raise ValueError(f"max_point_crashes must be >= 0, got {max_point_crashes}")
+    ttl_s = (
+        lease_ttl_s if lease_ttl_s is not None else heartbeat_s * DEFAULT_LEASE_TTL_BEATS
+    )
+    if ttl_s <= heartbeat_s:
+        raise ValueError(
+            f"lease_ttl_s ({ttl_s:g}) must exceed heartbeat_s ({heartbeat_s:g})"
+        )
+    spec = _engine._EvalSpec(
+        on_error=on_error,
+        retry=(retry or RetryPolicy()) if on_error == "retry" else None,
+        timeout_s=timeout_s,
+    )
+    indexed: "list[tuple[int, Any]]" = list(enumerate(points))
+    _FABRIC_SWEEPS.inc()
+    start = time.perf_counter()
+    with _trace.span(
+        "perf.fabric",
+        endpoints=len(endpoints),
+        points=len(indexed),
+        lease_size=lease_size,
+        on_error=on_error,
+    ) as span:
+        links = _join(
+            endpoints,
+            fn=fn,
+            spec=spec,
+            heartbeat_s=heartbeat_s,
+            join_deadline_s=join_deadline_s,
+            connect_timeout_s=connect_timeout_s,
+            span=span,
+        )
+        if not links:
+            _LOCAL_FALLBACKS.inc()
+            span.add_event("fallback_local", points=len(indexed), reason="no workers joined")
+            return _engine.sweep(
+                fn,
+                [point for _, point in indexed],
+                executor=fallback_executor,
+                jobs=fallback_jobs,
+                on_error=on_error,
+                retry=retry,
+                timeout_s=timeout_s,
+                checkpoint=checkpoint,
+            )
+        restored, remaining = _engine._restore_from_checkpoint(checkpoint, indexed)
+        if restored:
+            span.add_event("resume", restored=len(restored), remaining=len(remaining))
+        coordinator = _Coordinator(
+            fn,
+            remaining,
+            links,
+            spec=spec,
+            checkpoint=checkpoint,
+            lease_size=lease_size,
+            heartbeat_s=heartbeat_s,
+            lease_ttl_s=ttl_s,
+            max_point_crashes=max_point_crashes,
+            span=span,
+        )
+        fresh = coordinator.run()
+        outcomes = sorted(restored + fresh, key=lambda r: r.index)
+        if on_error == "raise":
+            first_bad = next((o for o in outcomes if not o.ok), None)
+            if first_bad is not None:
+                raise FabricError(
+                    f"point {first_bad.index} {first_bad.status} on the fabric: "
+                    f"{first_bad.error}"
+                )
+        wall = time.perf_counter() - start
+        result = SweepResult(
+            values=tuple(r.value for r in outcomes),
+            timings=tuple(r.elapsed_s for r in outcomes),
+            executor="fabric",
+            jobs=len(links),
+            chunksize=lease_size,
+            wall_s=wall,
+            outcomes=tuple(outcomes),
+            resumed=len(restored),
+            respawns=0,
+        )
+        span.set_attributes(
+            workers=len(links),
+            wall_s=result.wall_s,
+            point_s=result.point_s,
+            resumed=result.resumed,
+        )
+    _engine._SWEEP_RUNS.inc()
+    _engine._SWEEP_POINTS.inc(len(result))
+    _engine._SWEEP_WALL.observe(result.wall_s)
+    _engine._SWEEP_COMPUTE.observe(result.point_s)
+    _engine._observe_outcomes(fresh, restored, 0)
+    return result
+
+
+# -- the worker ------------------------------------------------------------
+
+
+class FabricWorker:
+    """One sweep worker: listen, handshake, evaluate leases, heartbeat.
+
+    Sessions are sequential — one coordinator at a time; further
+    coordinators queue in the listen backlog. Inside a session the
+    worker asks for work (``ready``), evaluates each leased point under
+    the sweep's shipped policy (retries, deadlines), ships results
+    back, and heartbeats from a side thread the whole time. A vanished
+    coordinator (dead socket mid-session) returns the worker to
+    listening — workers outlive the sweeps they serve.
+
+    ``throttle_s`` sleeps before every point evaluation: an operational
+    chaos aid for exercising work-stealing, failure detection and the
+    chaos CI job against sweeps that would otherwise finish in
+    milliseconds. ``heartbeat_override_s`` replaces the
+    coordinator-commanded heartbeat interval — set it above the
+    coordinator's lease TTL to rehearse the missed-heartbeat expiry
+    path without freezing a process.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        throttle_s: float = 0.0,
+        heartbeat_override_s: "float | None" = None,
+        max_sessions: "int | None" = None,
+    ):
+        if throttle_s < 0.0:
+            raise ValueError(f"throttle_s must be >= 0, got {throttle_s}")
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        self._throttle_s = throttle_s
+        self._heartbeat_override_s = heartbeat_override_s
+        self._max_sessions = max_sessions
+        self._closed = threading.Event()
+        self._listener = socket.create_server((host, port), backlog=8)
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The actually-bound ``(host, port)`` (port 0 resolves here)."""
+        host, port = self._listener.getsockname()[:2]
+        return host, port
+
+    def serve_forever(self) -> int:
+        """Accept coordinator sessions until closed; returns sessions served."""
+        sessions = 0
+        while not self._closed.is_set() and (
+            self._max_sessions is None or sessions < self._max_sessions
+        ):
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break  # listener closed under us
+            sessions += 1
+            self._serve_session(conn)
+        return sessions
+
+    def close(self) -> None:
+        """Stop accepting sessions (unblocks :meth:`serve_forever`)."""
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    # -- one coordinator session -----------------------------------------
+
+    def _serve_session(self, conn: socket.socket) -> None:
+        """Run one coordinator's sweep until done (or the socket dies)."""
+        rfile = conn.makefile("r", encoding="utf-8", newline="\n")
+        wfile = conn.makefile("w", encoding="utf-8", newline="\n")
+        wlock = threading.Lock()
+        stop = threading.Event()
+        beat: "threading.Thread | None" = None
+        try:
+            _send(
+                wfile,
+                wlock,
+                {
+                    "type": "hello",
+                    "protocol": FABRIC_PROTOCOL,
+                    "host": socket.gethostname(),
+                    "pid": os.getpid(),
+                },
+            )
+            job = _recv(rfile)
+            if job is None or job.get("type") != "job" or job.get("protocol") != FABRIC_PROTOCOL:
+                return
+            fn = _unpack(job["fn"])
+            spec = _unpack(job["spec"])
+            interval = (
+                self._heartbeat_override_s
+                if self._heartbeat_override_s is not None
+                else float(job["heartbeat_s"])
+            )
+            worker_spec = _engine._EvalSpec(
+                # Workers never raise: under "raise" the coordinator owns
+                # the deterministic lowest-index raise, so failures ship
+                # back as structured outcomes instead.
+                on_error="skip" if spec.on_error == "raise" else spec.on_error,
+                retry=spec.retry,
+                timeout_s=spec.timeout_s,
+            )
+            beat = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(wfile, wlock, stop, interval),
+                name="fabric-heartbeat",
+                daemon=True,
+            )
+            beat.start()
+            self._work_loop(rfile, wfile, wlock, fn, worker_spec)
+        except (OSError, ValueError, EOFError, FabricError):
+            pass  # the coordinator vanished; go back to listening
+        finally:
+            stop.set()
+            if beat is not None:
+                beat.join(timeout=1.0)
+            for stream in (rfile, wfile):
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def _work_loop(
+        self,
+        rfile: Any,
+        wfile: Any,
+        wlock: threading.Lock,
+        fn: Callable[[Any], Any],
+        spec: Any,
+    ) -> None:
+        """ready → lease → evaluate → result, until the coordinator says done."""
+        while True:
+            _send(wfile, wlock, {"type": "ready"})
+            frame = _recv(rfile)
+            if frame is None or frame["type"] == "done":
+                return
+            if frame["type"] == "wait":
+                time.sleep(float(frame["delay_s"]))
+                continue
+            if frame["type"] != "lease":
+                raise FabricError(f"unexpected {frame['type']!r} frame from coordinator")
+            pairs = _unpack(frame["points"])
+            outcomes = []
+            for index, point in pairs:
+                if self._throttle_s:
+                    time.sleep(self._throttle_s)
+                outcomes.append(_engine._eval_point(fn, index, point, spec))
+            _send(
+                wfile,
+                wlock,
+                {"type": "result", "id": frame["id"], "outcomes": _pack(outcomes)},
+            )
+
+    @staticmethod
+    def _heartbeat_loop(
+        wfile: Any, wlock: threading.Lock, stop: threading.Event, interval: float
+    ) -> None:
+        """Prove liveness every ``interval`` seconds until the session ends."""
+        while not stop.wait(interval):
+            try:
+                _send(wfile, wlock, {"type": "heartbeat"})
+            except OSError:
+                return

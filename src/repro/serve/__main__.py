@@ -28,6 +28,7 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--drain-deadline", type=float, default=5.0)
     parser.add_argument("--fault-seed", type=int, default=None)
     parser.add_argument("--fault-rate", type=float, default=0.1)
+    parser.add_argument("--fabric-workers", default=None, metavar="HOST:PORT,...")
     args = parser.parse_args(argv)
     fault_plan = None
     if args.fault_seed is not None:
@@ -44,6 +45,7 @@ def main(argv: "list[str] | None" = None) -> int:
         drain_s=args.drain_deadline,
         breaker=BreakerPolicy(),
         fault_plan=fault_plan,
+        fabric_workers=args.fabric_workers,
     )
     return run_server(config)
 

@@ -154,8 +154,15 @@ class TaxonomyService:
         breaker: "CircuitBreaker | None" = None,
         fault_plan: "FaultPlan | None" = None,
         clock: Callable[[], float] = time.monotonic,
+        fabric_workers: "str | None" = None,
     ):
         self.cache = cache if cache is not None else ModelCache()
+        #: Optional ``HOST:PORT,...`` sweep-worker endpoints; when set,
+        #: the sweep-backed survey costing runs on the distributed
+        #: fabric (still behind the circuit breaker — a sick fabric
+        #: opens the breaker exactly like a sick local sweep, and an
+        #: absent fabric degrades to a local sweep inside the call).
+        self.fabric_workers = fabric_workers
         self.breaker = (
             breaker if breaker is not None else CircuitBreaker(BreakerPolicy(), clock=clock)
         )
@@ -300,7 +307,9 @@ class TaxonomyService:
         if include_costs:
             from repro.analysis.survey_costs import evaluate_survey
 
-            points = self._protected(lambda: evaluate_survey(default_n=n))
+            points = self._protected(
+                lambda: evaluate_survey(default_n=n, workers=self.fabric_workers)
+            )
             costs_by_name = {point.name: point for point in points}
         architectures = []
         for entry in entries:

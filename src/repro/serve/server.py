@@ -89,6 +89,9 @@ class ServerConfig:
     fault_plan: "FaultPlan | None" = None
     #: Emit one access-log line per request to stderr.
     log_requests: bool = False
+    #: Optional ``HOST:PORT,...`` sweep-worker endpoints: sweep-backed
+    #: queries run on the distributed fabric (behind the breaker).
+    fabric_workers: "str | None" = None
 
     def __post_init__(self) -> None:
         if self.drain_s < 0:
@@ -119,6 +122,7 @@ class ServiceApp:
             breaker=CircuitBreaker(self.config.breaker, clock=clock),
             fault_plan=self.config.fault_plan,
             clock=clock,
+            fabric_workers=self.config.fabric_workers,
         )
         self.router = self.service.router
 

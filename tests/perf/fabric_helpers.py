@@ -1,0 +1,43 @@
+"""Module-level point functions for the fabric tests.
+
+The fabric ships functions to workers by pickling them *by reference*,
+so anything a worker subprocess evaluates must live in an importable
+module — lambdas and test-local closures cannot cross the wire. The
+subprocess tests add this directory to the worker's ``PYTHONPATH``.
+"""
+
+import os
+import signal
+import time
+
+from repro.perf.fabric import WORKER_ENV
+
+
+def square(x):
+    """The canonical pure point function."""
+    return x * x
+
+
+def flaky(x):
+    """Fails deterministically on one point."""
+    if x == 3:
+        raise ValueError("boom at 3")
+    return x * x
+
+
+def slow_square(x, delay_s=0.2):
+    """A throttled point, giving kill scenarios a window to land in."""
+    time.sleep(delay_s)
+    return x * x
+
+
+def worker_assassin(x):
+    """SIGKILLs whatever *worker* evaluates point 5.
+
+    Guarded by the ``sweep-worker`` environment marker so the same
+    function is perfectly well behaved when the coordinator's poison
+    drain or local fallback evaluates it in-process.
+    """
+    if x == 5 and os.environ.get(WORKER_ENV) == "1":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * x

@@ -1,0 +1,313 @@
+"""The distributed sweep fabric, driven with in-process workers.
+
+Workers here are :class:`FabricWorker` instances served from threads in
+the test process — real sockets, real wire protocol, no subprocesses —
+which keeps every contract (parity with the local engine, failure
+policies, stealing, lease expiry, local fallback, checkpoint resume)
+fast enough for the tier-1 suite. Process-level chaos (SIGKILL) lives
+in ``test_fabric_chaos.py`` and ``scripts/chaos_fabric.py``.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.core.errors import FabricError
+from repro.perf import (
+    PointResult,
+    RetryPolicy,
+    ShardedCheckpoint,
+    fabric_sweep,
+    parse_endpoints,
+    sweep,
+)
+from repro.perf.fabric import (
+    _LOCAL_FALLBACKS,
+    _POINTS_STOLEN,
+    _WORKERS_LOST,
+    FabricWorker,
+    _recv,
+)
+
+
+def square(x):
+    return x * x
+
+
+def flaky(x):
+    if x == 3:
+        raise ValueError("boom at 3")
+    return x * x
+
+
+def sluggish(x):
+    import time
+
+    time.sleep(0.25)
+    return x * x
+
+
+@pytest.fixture
+def fleet():
+    """Two in-thread workers; yields the ``HOST:PORT,HOST:PORT`` string."""
+    workers = [FabricWorker(), FabricWorker()]
+    threads = [
+        threading.Thread(target=worker.serve_forever, daemon=True)
+        for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    yield ",".join(f"{w.address[0]}:{w.address[1]}" for w in workers)
+    for worker in workers:
+        worker.close()
+
+
+class TestParseEndpoints:
+    def test_comma_separated_string(self):
+        assert parse_endpoints("a:1,b:2, c:3") == (("a", 1), ("b", 2), ("c", 3))
+
+    def test_iterables_and_pairs(self):
+        assert parse_endpoints([("h", 9), "i:10"]) == (("h", 9), ("i", 10))
+
+    @pytest.mark.parametrize("bad", ["", "hostonly", "host:", ":7070", "h:x"])
+    def test_malformed_endpoints_raise(self, bad):
+        with pytest.raises(FabricError):
+            parse_endpoints(bad)
+
+
+class TestFabricSweepParity:
+    def test_values_match_local_sweep_exactly(self, fleet):
+        local = sweep(square, range(25))
+        distributed = fabric_sweep(square, range(25), workers=fleet, heartbeat_s=0.1)
+        assert pickle.dumps(tuple(local.values)) == pickle.dumps(
+            tuple(distributed.values)
+        )
+        assert distributed.executor == "fabric"
+        assert distributed.jobs == 2
+        assert distributed.resumed == 0
+        assert [o.index for o in distributed.outcomes] == list(range(25))
+        assert all(o.status == "ok" for o in distributed.outcomes)
+
+    def test_empty_grid(self, fleet):
+        result = fabric_sweep(square, [], workers=fleet, heartbeat_s=0.1)
+        assert list(result.values) == []
+
+    def test_lease_size_batches_points(self, fleet):
+        result = fabric_sweep(
+            square, range(10), workers=fleet, lease_size=4, heartbeat_s=0.1
+        )
+        assert list(result.values) == [x * x for x in range(10)]
+        assert result.chunksize == 4
+
+
+class TestFailurePolicies:
+    def test_raise_reports_the_lowest_failing_index(self, fleet):
+        with pytest.raises(FabricError, match="point 3"):
+            fabric_sweep(flaky, range(8), workers=fleet, heartbeat_s=0.1)
+
+    def test_skip_keeps_going_with_structured_outcomes(self, fleet):
+        result = fabric_sweep(
+            flaky, range(8), workers=fleet, on_error="skip", heartbeat_s=0.1
+        )
+        assert result.values[3] is None
+        assert result.outcomes[3].status == "failed"
+        assert "boom at 3" in result.outcomes[3].error
+        assert [result.values[i] for i in (0, 1, 2, 4, 5, 6, 7)] == [
+            x * x for x in (0, 1, 2, 4, 5, 6, 7)
+        ]
+
+    def test_retry_policy_travels_to_the_worker(self, fleet):
+        result = fabric_sweep(
+            flaky,
+            range(5),
+            workers=fleet,
+            on_error="retry",
+            retry=RetryPolicy(max_retries=2, backoff_s=0.0),
+            heartbeat_s=0.1,
+        )
+        assert result.outcomes[3].status == "failed"
+        assert result.outcomes[3].attempts == 3  # retried on the worker
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lease_size": 0},
+            {"on_error": "explode"},
+            {"retry": RetryPolicy()},
+            {"timeout_s": 0.0},
+            {"heartbeat_s": 0.0},
+            {"max_point_crashes": -1},
+            {"lease_ttl_s": 0.01},
+        ],
+    )
+    def test_invalid_arguments_are_rejected(self, fleet, kwargs):
+        with pytest.raises(ValueError):
+            fabric_sweep(square, range(3), workers=fleet, **kwargs)
+
+
+class TestDegradation:
+    def test_no_workers_falls_back_to_local_sweep(self):
+        before = _LOCAL_FALLBACKS.value
+        result = fabric_sweep(
+            square,
+            range(6),
+            workers="127.0.0.1:1",  # nothing listens there
+            join_deadline_s=0.2,
+            connect_timeout_s=0.1,
+        )
+        assert list(result.values) == [x * x for x in range(6)]
+        assert result.executor != "fabric"  # the plain engine served it
+        assert _LOCAL_FALLBACKS.value == before + 1
+
+    def test_heartbeat_expiry_loses_the_worker_but_not_the_sweep(self):
+        # The worker never heartbeats (override far above the TTL) and
+        # evaluates slowly, so the coordinator must expire its lease and
+        # finish the points elsewhere — here, locally.
+        worker = FabricWorker(throttle_s=0.0, heartbeat_override_s=60.0)
+        thread = threading.Thread(target=worker.serve_forever, daemon=True)
+        thread.start()
+        lost_before = _WORKERS_LOST.value
+        try:
+            result = fabric_sweep(
+                sluggish,
+                range(3),
+                workers=[worker.address],
+                heartbeat_s=0.02,
+                lease_ttl_s=0.1,
+            )
+        finally:
+            worker.close()
+        assert list(result.values) == [0, 1, 4]
+        assert all(o.status == "ok" for o in result.outcomes)
+        assert _WORKERS_LOST.value == lost_before + 1
+
+
+class TestWorkStealing:
+    def test_idle_worker_steals_from_the_straggler(self):
+        # Worker A is throttled to a crawl; worker B finishes the queue
+        # and must start duplicating A's outstanding leases.
+        slow = FabricWorker(throttle_s=0.4)
+        fast = FabricWorker()
+        for worker in (slow, fast):
+            threading.Thread(target=worker.serve_forever, daemon=True).start()
+        stolen_before = _POINTS_STOLEN.value
+        try:
+            result = fabric_sweep(
+                square,
+                range(8),
+                workers=[slow.address, fast.address],
+                heartbeat_s=0.1,
+            )
+        finally:
+            slow.close()
+            fast.close()
+        assert list(result.values) == [x * x for x in range(8)]
+        assert _POINTS_STOLEN.value > stolen_before
+
+
+class TestCheckpointResume:
+    def test_sharded_journal_resumes_bit_identically(self, tmp_path):
+        spec = {"grid": list(range(12))}
+        workers = [FabricWorker(), FabricWorker()]
+        for worker in workers:
+            threading.Thread(target=worker.serve_forever, daemon=True).start()
+        endpoints = [w.address for w in workers]
+        try:
+            with ShardedCheckpoint.open("fab", spec, directory=tmp_path) as first:
+                uninterrupted = fabric_sweep(
+                    square,
+                    range(12),
+                    workers=endpoints,
+                    heartbeat_s=0.1,
+                    checkpoint=first,
+                )
+            with ShardedCheckpoint.open("fab", spec, directory=tmp_path) as again:
+                resumed = fabric_sweep(
+                    square,
+                    range(12),
+                    workers=endpoints,
+                    heartbeat_s=0.1,
+                    checkpoint=again,
+                )
+        finally:
+            for worker in workers:
+                worker.close()
+        assert resumed.resumed == 12  # every point restored, none recomputed
+        assert pickle.dumps(tuple(uninterrupted.values)) == pickle.dumps(
+            tuple(resumed.values)
+        )
+
+    def test_partial_journal_restores_and_computes_the_rest(self, tmp_path):
+        spec = {"grid": 6}
+        with ShardedCheckpoint.open("part", spec, directory=tmp_path) as seed:
+            for index in (0, 2, 4):
+                seed.record(
+                    PointResult(
+                        index=index, point=index, value=index * index, elapsed_s=0.1
+                    )
+                )
+        worker = FabricWorker()
+        threading.Thread(target=worker.serve_forever, daemon=True).start()
+        try:
+            with ShardedCheckpoint.open("part", spec, directory=tmp_path) as journal:
+                result = fabric_sweep(
+                    square,
+                    range(6),
+                    workers=[worker.address],
+                    heartbeat_s=0.1,
+                    checkpoint=journal,
+                )
+        finally:
+            worker.close()
+        assert result.resumed == 3
+        assert list(result.values) == [x * x for x in range(6)]
+        statuses = [o.status for o in result.outcomes]
+        assert statuses == ["skipped", "ok", "skipped", "ok", "skipped", "ok"]
+
+
+class TestWorkerLifecycle:
+    def test_max_sessions_bounds_the_worker(self):
+        worker = FabricWorker(max_sessions=1)
+        thread = threading.Thread(target=worker.serve_forever, daemon=True)
+        thread.start()
+        try:
+            fabric_sweep(square, range(4), workers=[worker.address], heartbeat_s=0.1)
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()  # served its one session and returned
+        finally:
+            worker.close()
+
+    def test_worker_survives_a_vanishing_coordinator(self):
+        import socket as _socket
+
+        worker = FabricWorker()
+        threading.Thread(target=worker.serve_forever, daemon=True).start()
+        try:
+            # A client that connects and hangs up mid-handshake.
+            drive_by = _socket.create_connection(worker.address, timeout=2.0)
+            drive_by.close()
+            # The worker must still serve a real sweep afterwards.
+            result = fabric_sweep(
+                square, range(5), workers=[worker.address], heartbeat_s=0.1
+            )
+        finally:
+            worker.close()
+        assert list(result.values) == [x * x for x in range(5)]
+
+    def test_invalid_worker_construction(self):
+        with pytest.raises(ValueError):
+            FabricWorker(throttle_s=-1.0)
+        with pytest.raises(ValueError):
+            FabricWorker(max_sessions=0)
+
+
+class TestWireProtocol:
+    def test_malformed_frame_raises_fabric_error(self):
+        import io
+
+        with pytest.raises(FabricError, match="malformed"):
+            _recv(io.StringIO("this is not json\n"))
+        with pytest.raises(FabricError, match="without a type"):
+            _recv(io.StringIO('{"no": "type"}\n'))
+        assert _recv(io.StringIO("")) is None

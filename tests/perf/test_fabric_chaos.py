@@ -1,0 +1,137 @@
+"""Fabric chaos: real worker processes, really killed mid-sweep.
+
+These tests spawn actual ``repro-taxonomy sweep-worker`` subprocesses
+and deliver real SIGKILLs, asserting the coordinator's contract: a lost
+worker's leased points are re-queued and finished elsewhere, a point
+that *keeps* killing workers is drained through the last-resort path,
+and nothing is ever silently dropped. The CI ``chaos`` job
+(``scripts/chaos_fabric.py``) proves the same invariants at the CLI
+artifact level; these stay in-suite because they run in seconds.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.perf import fabric_sweep
+
+HERE = Path(__file__).resolve().parent
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+if str(HERE) not in sys.path:  # fabric_helpers lives beside this file
+    sys.path.insert(0, str(HERE))
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="needs POSIX signals"
+)
+
+
+def _worker_env():
+    env = dict(os.environ)
+    # Workers must import both the library and the helper module that
+    # defines the (pickled-by-reference) point functions.
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_SRC), str(HERE), env.get("PYTHONPATH", "")]
+    )
+    return env
+
+
+def start_worker(*extra):
+    """Spawn a sweep-worker subprocess; returns (process, (host, port))."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "sweep-worker",
+            "--listen", "127.0.0.1:0", *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=_worker_env(),
+    )
+    line = proc.stdout.readline()
+    match = re.match(r"worker listening on ([^:]+):(\d+)", line)
+    assert match, f"worker announcement missing, got {line!r}"
+    return proc, (match.group(1), int(match.group(2)))
+
+
+@pytest.fixture
+def two_workers():
+    """Two real worker processes; yields (procs, endpoints)."""
+    procs, endpoints = [], []
+    for _ in range(2):
+        proc, endpoint = start_worker("--throttle", "0.1")
+        procs.append(proc)
+        endpoints.append(endpoint)
+    yield procs, endpoints
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()
+
+
+def test_sigkilled_worker_points_are_requeued_not_dropped(two_workers):
+    from fabric_helpers import slow_square
+
+    procs, endpoints = two_workers
+
+    def assassinate():
+        time.sleep(0.6)  # well into the sweep, points still outstanding
+        procs[0].send_signal(signal.SIGKILL)
+
+    killer = threading.Thread(target=assassinate)
+    killer.start()
+    result = fabric_sweep(
+        slow_square, range(16), workers=endpoints, heartbeat_s=0.1
+    )
+    killer.join()
+    assert procs[0].poll() is not None  # the victim really died
+    assert list(result.values) == [x * x for x in range(16)]
+    assert all(o.status == "ok" for o in result.outcomes)
+    assert len(result.outcomes) == 16  # every point accounted for
+
+
+def test_worker_killing_point_is_drained_through_last_resort(two_workers):
+    # fabric_helpers.worker_assassin SIGKILLs any *worker* that touches
+    # point 5 (the env marker keeps it harmless in this process). It
+    # murders both workers in turn, exhausts its crash budget, and the
+    # coordinator's last-resort drain evaluates it locally — where it is
+    # perfectly well behaved. The sweep must end complete.
+    from fabric_helpers import worker_assassin
+
+    _, endpoints = two_workers
+    result = fabric_sweep(
+        worker_assassin,
+        range(10),
+        workers=endpoints,
+        heartbeat_s=0.1,
+        on_error="skip",
+        max_point_crashes=1,
+    )
+    assert list(result.values) == [x * x for x in range(10)]
+    assert all(o.status == "ok" for o in result.outcomes)
+
+
+def test_all_workers_lost_finishes_locally(two_workers):
+    from fabric_helpers import slow_square
+
+    procs, endpoints = two_workers
+
+    def massacre():
+        time.sleep(0.4)
+        for proc in procs:
+            proc.send_signal(signal.SIGKILL)
+
+    killer = threading.Thread(target=massacre)
+    killer.start()
+    result = fabric_sweep(
+        slow_square, range(12), workers=endpoints, heartbeat_s=0.1
+    )
+    killer.join()
+    assert list(result.values) == [x * x for x in range(12)]
+    assert len(result.outcomes) == 12
