@@ -9,25 +9,36 @@ code) and error taxonomy as both a human-readable table and an
 optional JSON artifact — the file the CI serve-smoke step uploads and
 asserts its p99 bound against.
 
+Two connection modes, reported side by side in the summary:
+
+* the default opens a fresh TCP connection per request (``urllib``) —
+  the HTTP/1.0-era worst case and the regression baseline;
+* ``--keep-alive`` gives every worker thread one persistent
+  ``http.client`` connection reused across requests, with
+  per-connection accounting (connections opened, requests per
+  connection) so reuse is measurable, not assumed.
+
 Usage::
 
     python scripts/loadgen.py http://127.0.0.1:8080 --requests 200
-    python scripts/loadgen.py $URL --threads 8 --out artifacts/load.json
+    python scripts/loadgen.py $URL --keep-alive --threads 8
     python scripts/loadgen.py $URL --fail-on-5xx   # exit 1 on any 5xx
 
-Stdlib only (``urllib``, ``threading``) — the same zero-dependency
-stance as the server it exercises.
+Stdlib only (``urllib``, ``http.client``, ``threading``) — the same
+zero-dependency stance as the server it exercises.
 """
 
 from __future__ import annotations
 
 import argparse
+import http.client
 import itertools
 import json
 import sys
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from pathlib import Path
 
@@ -89,6 +100,64 @@ def one_request(base_url: str, path: str, timeout_s: float) -> "tuple[int, float
     return status, time.monotonic() - started
 
 
+class KeepAliveClient:
+    """One worker thread's persistent connection, with reuse accounting.
+
+    The server may close the connection at any time (request budget
+    spent, idle timeout, drain), so every request gets exactly one
+    reconnect-and-retry before it counts as a transport error — that
+    retry is what makes budget-exhaustion invisible to throughput while
+    still showing up in ``connections_opened``.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float):
+        split = urllib.parse.urlsplit(base_url)
+        self.host = split.hostname
+        self.port = split.port
+        self.timeout_s = timeout_s
+        self.connections_opened = 0
+        self.requests_sent = 0
+        self._conn: "http.client.HTTPConnection | None" = None
+
+    def _connect(self) -> http.client.HTTPConnection:
+        self._conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        self.connections_opened += 1
+        return self._conn
+
+    def _once(self, path: str) -> int:
+        conn = self._conn if self._conn is not None else self._connect()
+        conn.request("GET", path)
+        response = conn.getresponse()
+        response.read()
+        if response.getheader("Connection", "").lower() == "close":
+            self.close()
+        return response.status
+
+    def request(self, path: str) -> "tuple[int, float]":
+        """One GET over the persistent connection; (status, seconds)."""
+        started = time.monotonic()
+        try:
+            status = self._once(path)
+        except (http.client.HTTPException, OSError):
+            self.close()  # stale keep-alive socket: reconnect and retry once
+            try:
+                status = self._once(path)
+            except (http.client.HTTPException, OSError):
+                self.close()
+                status = 0
+        if status != 0:
+            self.requests_sent += 1
+        return status, time.monotonic() - started
+
+    def close(self) -> None:
+        """Drop the current connection (the next request reconnects)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
 def run_load(
     base_url: str,
     *,
@@ -96,24 +165,36 @@ def run_load(
     threads: int,
     timeout_s: float,
     paths: "tuple[str, ...]" = DEFAULT_PATHS,
+    keep_alive: bool = False,
 ) -> dict:
     """Drive the closed loop and return the summary dict."""
     budget = itertools.count()
     lock = threading.Lock()
     latencies: "list[float]" = []
     by_status: "dict[int, list[float]]" = {}
+    clients: "list[KeepAliveClient]" = []
 
     def worker() -> None:
-        while True:
-            ordinal = next(budget)
-            if ordinal >= requests:
-                return
-            status, elapsed = one_request(
-                base_url, paths[ordinal % len(paths)], timeout_s
-            )
+        client = KeepAliveClient(base_url, timeout_s) if keep_alive else None
+        if client is not None:
             with lock:
-                latencies.append(elapsed)
-                by_status.setdefault(status, []).append(elapsed)
+                clients.append(client)
+        try:
+            while True:
+                ordinal = next(budget)
+                if ordinal >= requests:
+                    return
+                path = paths[ordinal % len(paths)]
+                if client is not None:
+                    status, elapsed = client.request(path)
+                else:
+                    status, elapsed = one_request(base_url, path, timeout_s)
+                with lock:
+                    latencies.append(elapsed)
+                    by_status.setdefault(status, []).append(elapsed)
+        finally:
+            if client is not None:
+                client.close()
 
     started = time.monotonic()
     pool = [threading.Thread(target=worker) for _ in range(threads)]
@@ -128,10 +209,11 @@ def run_load(
         len(samples) for code, samples in by_status.items() if code >= 500
     )
     transport_errors = len(by_status.get(0, []))
-    return {
+    summary = {
         "base_url": base_url,
         "requests": total,
         "threads": threads,
+        "keep_alive": keep_alive,
         "elapsed_s": round(elapsed, 4),
         "throughput_rps": round(total / elapsed, 2) if elapsed > 0 else 0.0,
         "status_mix": {
@@ -148,13 +230,24 @@ def run_load(
             for code in sorted(by_status)
         },
     }
+    if keep_alive:
+        connections = sum(client.connections_opened for client in clients)
+        sent = sum(client.requests_sent for client in clients)
+        summary["connections"] = {
+            "opened": connections,
+            "requests_per_connection": (
+                round(sent / connections, 2) if connections else 0.0
+            ),
+        }
+    return summary
 
 
 def render(summary: dict) -> str:
     """The human-readable report printed after a run."""
+    mode = "keep-alive" if summary.get("keep_alive") else "connection-per-request"
     lines = [
         f"{summary['requests']} requests via {summary['threads']} threads "
-        f"in {summary['elapsed_s']}s ({summary['throughput_rps']} req/s)",
+        f"({mode}) in {summary['elapsed_s']}s ({summary['throughput_rps']} req/s)",
         "status mix: "
         + ", ".join(
             f"{code}={count}" for code, count in summary["status_mix"].items()
@@ -164,6 +257,11 @@ def render(summary: dict) -> str:
             f"{name}={value}" for name, value in summary["latency_ms"].items()
         ),
     ]
+    if "connections" in summary:
+        lines.append(
+            f"connections: {summary['connections']['opened']} opened, "
+            f"{summary['connections']['requests_per_connection']} requests/connection"
+        )
     for code, stats in summary["by_status"].items():
         lines.append(
             f"  {code}: {stats['count']} requests, "
@@ -184,6 +282,11 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--threads", type=int, default=4)
     parser.add_argument("--timeout", type=float, default=10.0, metavar="S")
     parser.add_argument(
+        "--keep-alive", action="store_true",
+        help="reuse one persistent connection per worker thread "
+        "(reports connections opened and requests per connection)",
+    )
+    parser.add_argument(
         "--out", default=None, metavar="FILE", help="write the JSON summary here"
     )
     parser.add_argument(
@@ -196,6 +299,7 @@ def main(argv: "list[str] | None" = None) -> int:
         requests=args.requests,
         threads=args.threads,
         timeout_s=args.timeout,
+        keep_alive=args.keep_alive,
     )
     print(render(summary))
     if args.out:

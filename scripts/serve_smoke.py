@@ -3,33 +3,45 @@
 
 This is the CI serve-smoke step. It:
 
-1. boots ``python -m repro.serve --port 0`` as a subprocess and parses
-   the ``listening on <url>`` line for the ephemeral address;
-2. drives ``scripts/loadgen.py`` against it (default 200 requests) and
-   writes the latency summary artifact;
-3. sends SIGTERM and asserts the drain completes with exit code 0;
-4. fails (exit 1) on any 5xx, transport error, unclean shutdown, or a
+1. boots ``python -m repro.serve --port 0`` as a subprocess (optionally
+   pre-forked via ``--processes``) and parses the ``listening on
+   <url>`` line for the ephemeral address;
+2. drives ``scripts/loadgen.py`` against it with keep-alive connection
+   reuse (default 200 requests) and writes the latency summary artifact;
+3. exercises the full data plane: asserts connections were actually
+   reused, posts one batch request, checks ``/v1/readyz`` reports every
+   pre-forked worker, and checks ``/v1/metrics`` shows a nonzero
+   response-cache hit count;
+4. sends SIGTERM and asserts the (multi-worker) drain completes with
+   exit code 0;
+5. fails (exit 1) on any 5xx, transport error, unclean shutdown, or a
    p99 latency above ``--max-p99-ms`` (0 disables the bound).
 
 Usage::
 
     python scripts/serve_smoke.py
-    python scripts/serve_smoke.py --requests 500 --out artifacts/load.json
+    python scripts/serve_smoke.py --processes 2 --requests 500
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import signal
 import subprocess
 import sys
 import time
+import urllib.request
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "scripts"))
 
 from loadgen import render, run_load  # noqa: E402
+
+BATCH_BODY = json.dumps(
+    {"items": [{"class": "IAP-IV", "n": n} for n in (4, 16, 64)]}
+).encode()
 
 
 def boot_server(extra_args: "list[str]", timeout_s: float) -> "tuple[subprocess.Popen, str]":
@@ -50,6 +62,45 @@ def boot_server(extra_args: "list[str]", timeout_s: float) -> "tuple[subprocess.
     return proc, line.removeprefix("listening on ")
 
 
+def check_batch(url: str, failures: "list[str]") -> None:
+    """One batch POST must answer every item successfully."""
+    request = urllib.request.Request(
+        url + "/v1/costs", data=BATCH_BODY, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        payload = json.loads(response.read())
+    if payload.get("count") != 3 or payload.get("errors") != 0:
+        failures.append(f"batch request misbehaved: {payload}")
+    else:
+        print(f"batch POST ok ({payload['count']} items, 0 errors)")
+
+
+def check_fleet(url: str, processes: int, failures: "list[str]") -> None:
+    """``/v1/readyz`` must report every pre-forked worker."""
+    with urllib.request.urlopen(url + "/v1/readyz", timeout=30.0) as response:
+        ready = json.loads(response.read())
+    workers = ready.get("fleet", {}).get("workers", 0)
+    if workers != processes:
+        failures.append(f"readyz reports {workers} workers, expected {processes}")
+    else:
+        print(f"readyz reports the full fleet ({workers} worker(s))")
+
+
+def check_cache_hits(url: str, failures: "list[str]") -> None:
+    """The aggregated metrics must show a nonzero cache hit count."""
+    with urllib.request.urlopen(url + "/v1/metrics", timeout=30.0) as response:
+        text = response.read().decode()
+    hits = 0.0
+    for line in text.splitlines():
+        if line.startswith("repro_serve_cache_hits_total "):
+            hits = float(line.split()[1])
+    if hits <= 0:
+        failures.append("metrics show zero response-cache hits after the load")
+    else:
+        print(f"response cache served {hits:.0f} hits")
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """Boot, load, drain; exit nonzero on any robustness violation."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -62,32 +113,47 @@ def main(argv: "list[str] | None" = None) -> int:
         "--workers", type=int, default=4, help="server worker threads"
     )
     parser.add_argument(
+        "--processes", type=int, default=1,
+        help="pre-forked server processes (the fleet size readyz must report)",
+    )
+    parser.add_argument(
         "--max-p99-ms", type=float, default=0.0, metavar="MS",
         help="fail when overall p99 latency exceeds MS (0 disables; CI "
         "sets a generous bound to catch pathological regressions only)",
     )
     args = parser.parse_args(argv)
 
-    proc, url = boot_server(["--workers", str(args.workers)], timeout_s=30.0)
+    proc, url = boot_server(
+        ["--workers", str(args.workers), "--processes", str(args.processes)],
+        timeout_s=30.0,
+    )
     print(f"server up at {url}")
     failures: "list[str]" = []
     try:
         summary = run_load(
-            url, requests=args.requests, threads=args.threads, timeout_s=30.0
+            url, requests=args.requests, threads=args.threads,
+            timeout_s=30.0, keep_alive=True,
         )
         print(render(summary))
         if summary["server_errors"]:
             failures.append(f"{summary['server_errors']} 5xx responses")
         if summary["transport_errors"]:
             failures.append(f"{summary['transport_errors']} transport errors")
+        connections = summary.get("connections", {}).get("opened", 0)
+        if not connections or connections >= summary["requests"]:
+            failures.append(
+                f"keep-alive reuse did not happen: {connections} connections "
+                f"for {summary['requests']} requests"
+            )
         p99_ms = summary["latency_ms"]["p99"]
         if args.max_p99_ms and p99_ms > args.max_p99_ms:
             failures.append(
                 f"p99 latency {p99_ms}ms exceeds the {args.max_p99_ms}ms bound"
             )
+        check_batch(url, failures)
+        check_fleet(url, args.processes, failures)
+        check_cache_hits(url, failures)
         if args.out:
-            import json
-
             path = Path(args.out)
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")

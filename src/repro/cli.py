@@ -217,8 +217,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads executing taxonomy work (default 4)",
     )
     serve_parser.add_argument(
+        "--processes", type=int, default=1,
+        help="pre-fork worker processes sharing the port via SO_REUSEPORT "
+        "(default 1 = single process)",
+    )
+    serve_parser.add_argument(
         "--queue-depth", type=int, default=16,
         help="requests allowed to wait for a worker before 503s (default 16)",
+    )
+    serve_parser.add_argument(
+        "--keepalive-requests", type=int, default=100,
+        help="requests served per keep-alive connection before it closes "
+        "(default 100; 0 disables keep-alive)",
+    )
+    serve_parser.add_argument(
+        "--keepalive-idle", type=float, default=5.0, metavar="S",
+        help="idle seconds before a keep-alive connection is closed (default 5)",
+    )
+    serve_parser.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="response-cache entries over /v1/classify and /v1/costs "
+        "(default 1024; 0 disables caching)",
     )
     serve_parser.add_argument(
         "--deadline", type=float, default=2.0, metavar="S",
@@ -416,6 +435,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        processes=args.processes,
         queue_depth=args.queue_depth,
         deadline_s=args.deadline,
         rate=args.rate,
@@ -428,6 +448,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         log_requests=args.log_requests,
         fabric_workers=args.fabric_workers,
+        keepalive_requests=args.keepalive_requests,
+        keepalive_idle_s=args.keepalive_idle,
+        cache_size=args.cache_size,
     )
     return run_server(config)
 

@@ -162,6 +162,24 @@ class Histogram:
         """Per-bucket observation counts, overflow bucket last."""
         return tuple(self._counts)
 
+    def merge(self, buckets: "list[int]", count: int, total: float) -> None:
+        """Fold another histogram's state into this one, element-wise.
+
+        The other histogram must share this one's boundaries (that is
+        the invariant fixed boundaries buy); ``buckets``/``count``/
+        ``total`` are the fields of its :meth:`snapshot`. Used by the
+        serve fleet to aggregate per-worker registries into one
+        exposition.
+        """
+        if len(buckets) != len(self._counts):
+            raise ValueError(
+                f"histogram {self.name}: cannot merge {len(buckets)} buckets "
+                f"into {len(self._counts)}"
+            )
+        self._counts = [mine + int(theirs) for mine, theirs in zip(self._counts, buckets)]
+        self._count += int(count)
+        self._total += float(total)
+
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready state: boundaries, bucket counts, count/total/mean."""
         return {

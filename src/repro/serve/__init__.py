@@ -5,12 +5,17 @@ paper's pipeline as JSON endpoints, built for overload rather than for
 the happy path: bounded worker pool behind an explicit admission queue,
 token-bucket rate limiting, per-request deadlines that cancel queued
 work, a deterministic circuit breaker around sweep-backed queries, and
-a graceful SIGTERM/SIGINT drain. See ``docs/serving.md`` for the guide
-and capacity-tuning table, and ``scripts/loadgen.py`` for the
-closed-loop load generator that exercises all of it.
+a graceful SIGTERM/SIGINT drain. The data plane adds HTTP/1.1
+keep-alive, a bounded response cache over the pure endpoints, batch
+``{"items": [...]}`` bodies, and an optional pre-fork multi-process
+front end sharing one port via ``SO_REUSEPORT`` with fleet-aggregated
+metrics. See ``docs/serving.md`` for the guide and capacity-tuning
+table, and ``scripts/loadgen.py`` for the closed-loop load generator
+that exercises all of it.
 """
 
 from repro.serve.breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from repro.serve.cache import CACHEABLE_PATHS, ResponseCache
 from repro.serve.errors import (
     BadRequestError,
     BreakerOpenError,
@@ -24,8 +29,10 @@ from repro.serve.errors import (
     ServeError,
     as_serve_error,
 )
+from repro.serve.fleet import FleetBus, merge_metric_snapshots, render_fleet_prometheus
 from repro.serve.lifecycle import DrainController, install_signal_handlers
 from repro.serve.limits import Deadline, Job, TokenBucket, WorkerPool
+from repro.serve.prefork import run_prefork, supports_prefork
 from repro.serve.router import Request, Response, Router, TaxonomyService
 from repro.serve.server import ServerConfig, ServiceApp, TaxonomyHTTPServer, run_server
 
@@ -34,6 +41,9 @@ __all__ = [
     "BreakerPolicy",
     "BreakerState",
     "CircuitBreaker",
+    # cache
+    "CACHEABLE_PATHS",
+    "ResponseCache",
     # errors
     "ServeError",
     "BadRequestError",
@@ -46,6 +56,10 @@ __all__ = [
     "DeadlineExceededError",
     "InternalError",
     "as_serve_error",
+    # fleet
+    "FleetBus",
+    "merge_metric_snapshots",
+    "render_fleet_prometheus",
     # lifecycle
     "DrainController",
     "install_signal_handlers",
@@ -54,6 +68,9 @@ __all__ = [
     "Job",
     "TokenBucket",
     "WorkerPool",
+    # prefork
+    "run_prefork",
+    "supports_prefork",
     # routing
     "Request",
     "Response",

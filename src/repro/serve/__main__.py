@@ -22,7 +22,11 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0)
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--processes", type=int, default=1)
     parser.add_argument("--queue-depth", type=int, default=16)
+    parser.add_argument("--keepalive-requests", type=int, default=100)
+    parser.add_argument("--keepalive-idle", type=float, default=5.0)
+    parser.add_argument("--cache-size", type=int, default=1024)
     parser.add_argument("--deadline", type=float, default=2.0)
     parser.add_argument("--rate", type=float, default=0.0)
     parser.add_argument("--drain-deadline", type=float, default=5.0)
@@ -39,6 +43,7 @@ def main(argv: "list[str] | None" = None) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        processes=args.processes,
         queue_depth=args.queue_depth,
         deadline_s=args.deadline,
         rate=args.rate,
@@ -46,6 +51,9 @@ def main(argv: "list[str] | None" = None) -> int:
         breaker=BreakerPolicy(),
         fault_plan=fault_plan,
         fabric_workers=args.fabric_workers,
+        keepalive_requests=args.keepalive_requests,
+        keepalive_idle_s=args.keepalive_idle,
+        cache_size=args.cache_size,
     )
     return run_server(config)
 

@@ -1,0 +1,139 @@
+"""The cross-worker stats bus behind the pre-fork front end.
+
+Pre-fork workers are separate processes, so each accumulates its own
+:mod:`repro.obs` registry and response-cache counters. Orchestrators
+still want *one* answer from ``/v1/metrics`` and ``/v1/readyz``, no
+matter which worker the kernel's SO_REUSEPORT hash routed the scrape
+to. This module makes every worker able to answer for the fleet:
+
+* each worker runs a :class:`FleetBus` — a unix-domain socket under the
+  fleet directory that serves a JSON snapshot (pid, in-flight, queue
+  depth, cache stats, full metrics registry) to anyone who connects;
+* a scraped worker :meth:`~FleetBus.collect`\\ s its siblings' snapshots
+  and merges them with its own — counters and histograms sum
+  (histograms share fixed boundaries by construction), gauges sum.
+
+Collection is best-effort by design: a sibling mid-restart or freshly
+killed simply drops out of the answer, which is exactly what a fleet
+health endpoint should report. Dead socket files are skipped, never a
+failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from pathlib import Path
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+
+__all__ = ["FleetBus", "merge_metric_snapshots", "render_fleet_prometheus"]
+
+
+class FleetBus:
+    """One worker's stats endpoint plus the sibling collector."""
+
+    def __init__(
+        self,
+        directory: "str | os.PathLike",
+        snapshot: Callable[[], dict],
+        *,
+        name: "str | None" = None,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / (name if name is not None else f"worker-{os.getpid()}.sock")
+        self._snapshot = snapshot
+        self._closed = False
+        self.path.unlink(missing_ok=True)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(str(self.path))
+        self._sock.listen(16)
+        self._thread = threading.Thread(
+            target=self._serve, name="serve-fleet-bus", daemon=True
+        )
+        self._thread.start()
+
+    def _serve(self) -> None:
+        """Accept loop: one JSON snapshot per connection, then EOF."""
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:  # the bus socket was closed: we're done
+                return
+            try:
+                conn.sendall(json.dumps(self._snapshot(), sort_keys=True).encode("utf-8"))
+            except OSError:  # pragma: no cover - collector hung up first
+                pass
+            finally:
+                conn.close()
+
+    def collect(self, timeout_s: float = 1.0) -> list[dict]:
+        """Snapshots from every *sibling* worker, best-effort.
+
+        The caller adds its own (fresher-than-any-socket) snapshot; a
+        sibling that refuses the connection or sends garbage is simply
+        absent from the fleet view.
+        """
+        members: list[dict] = []
+        for sock_path in sorted(self.directory.glob("worker-*.sock")):
+            if sock_path == self.path:
+                continue
+            try:
+                with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as client:
+                    client.settimeout(timeout_s)
+                    client.connect(str(sock_path))
+                    chunks = []
+                    while True:
+                        chunk = client.recv(65536)
+                        if not chunk:
+                            break
+                        chunks.append(chunk)
+                members.append(json.loads(b"".join(chunks)))
+            except (OSError, ValueError):
+                continue  # dead or mid-restart sibling: best-effort view
+        return members
+
+    def close(self) -> None:
+        """Stop serving and remove this worker from the fleet directory."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        finally:
+            self.path.unlink(missing_ok=True)
+
+
+def merge_metric_snapshots(snapshots: "list[dict]") -> MetricsRegistry:
+    """Fold per-worker registry snapshots into one fresh registry.
+
+    Counters and gauges sum; histograms sum element-wise (their
+    boundaries are identical across workers because every worker runs
+    the same code). The result is a plain :class:`MetricsRegistry`, so
+    the standard Prometheus renderer applies unchanged.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        for name, state in snapshot.items():
+            kind = state.get("type")
+            if kind == "counter":
+                merged.counter(name, help=state.get("help", "")).inc(state["value"])
+            elif kind == "gauge":
+                merged.gauge(name, help=state.get("help", "")).inc(state["value"])
+            elif kind == "histogram":
+                histogram = merged.histogram(
+                    name,
+                    boundaries=tuple(state["boundaries"]),
+                    help=state.get("help", ""),
+                )
+                histogram.merge(state["buckets"], state["count"], state["total"])
+    return merged
+
+
+def render_fleet_prometheus(snapshots: "list[dict]") -> str:
+    """The merged fleet registry in Prometheus text exposition format."""
+    return render_prometheus(merge_metric_snapshots(snapshots))

@@ -1,0 +1,178 @@
+"""The pre-fork front end: N worker processes, one shared port.
+
+``run_server`` handles one process's worth of traffic; this module
+multiplies it. The parent binds a *probe* socket with ``SO_REUSEPORT``
+— never listening, just holding the port (and resolving ``port=0`` to
+a concrete ephemeral port before any child exists) — then forks
+``config.processes`` workers. Each worker binds the same address with
+``SO_REUSEPORT`` and runs the full single-process pipeline; the kernel
+load-balances accepted connections across the listening workers.
+
+The parent's lifecycle contract is exactly the single-process one, so
+orchestration scripts cannot tell the difference:
+
+* it prints ``listening on http://HOST:PORT`` on stdout once every
+  worker has bound and is accepting;
+* SIGTERM/SIGINT are forwarded to every worker, which each run their
+  own graceful drain (stop accepting, finish in-flight work, shed the
+  rest with structured 503s);
+* it prints ``drained cleanly, exiting`` on stderr and exits 0 only
+  when *every* worker drained cleanly — any worker's failure is the
+  fleet's failure (exit 1).
+
+Workers discover each other through a parent-owned fleet directory of
+unix-socket stats buses (:mod:`repro.serve.fleet`), which is what lets
+``/v1/metrics`` and ``/v1/readyz`` answer for the whole fleet no
+matter which worker a scrape lands on. On platforms without ``fork``
+or ``SO_REUSEPORT`` the front end degrades to a single process with a
+warning rather than failing to start.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import socket
+import sys
+import tempfile
+from dataclasses import replace
+
+from repro.serve.server import ServerConfig, TaxonomyHTTPServer, run_server
+
+__all__ = ["run_prefork", "supports_prefork"]
+
+
+def supports_prefork() -> bool:
+    """True when this platform can fork workers onto a shared port."""
+    return hasattr(os, "fork") and hasattr(socket, "SO_REUSEPORT")
+
+
+def _bind_probe(config: ServerConfig) -> "tuple[socket.socket, int]":
+    """Reserve the listen port without listening on it.
+
+    A bound-but-not-listening ``SO_REUSEPORT`` socket receives no
+    connections, but it pins the port: ``port=0`` resolves to one
+    concrete ephemeral port that every forked worker then shares, with
+    no bind race and no window where another process could take it.
+    """
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        probe.bind((config.host, config.port))
+    except BaseException:
+        probe.close()
+        raise
+    return probe, probe.getsockname()[1]
+
+
+def _spawn_worker(
+    worker_config: ServerConfig, probe: socket.socket
+) -> "tuple[int, int]":
+    """Fork one worker; returns ``(pid, readiness_read_fd)``.
+
+    The worker writes one byte to the readiness pipe the moment its
+    listener is bound and about to accept, then serves until signalled.
+    It always leaves through ``os._exit`` so a worker crash can never
+    fall back into the parent's stack.
+    """
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid > 0:  # parent
+        os.close(write_fd)
+        return pid, read_fd
+    # worker: nothing below may return into the caller's frames.
+    status = 1
+    try:
+        os.close(read_fd)
+        probe.close()
+
+        def ready(server: TaxonomyHTTPServer) -> None:
+            """Signal the parent that this worker is accepting."""
+            os.write(write_fd, b"1")
+            os.close(write_fd)
+
+        status = run_server(worker_config, ready=ready, announce=False)
+    except BaseException as error:  # noqa: BLE001 - worker's last words
+        print(f"worker {os.getpid()} crashed: {error}", file=sys.stderr)
+    finally:
+        os._exit(status)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def run_prefork(config: ServerConfig) -> int:
+    """Run ``config.processes`` forked workers on one shared port.
+
+    Blocks until every worker has exited (normally after a forwarded
+    SIGTERM/SIGINT triggered their drains). Returns 0 only when every
+    worker drained cleanly.
+    """
+    if config.processes < 2:
+        return run_server(config)
+    if not supports_prefork():
+        print(
+            "warning: this platform lacks fork/SO_REUSEPORT; "
+            "serving from a single process",
+            file=sys.stderr,
+        )
+        return run_server(replace(config, processes=1))
+
+    probe, port = _bind_probe(config)
+    fleet_dir = tempfile.mkdtemp(prefix="repro-serve-fleet-")
+    worker_config = replace(
+        config,
+        port=port,
+        processes=1,
+        reuse_port=True,
+        fleet_dir=fleet_dir,
+    )
+    workers: list[int] = []
+    ready_fds: list[int] = []
+    try:
+        for _ in range(config.processes):
+            pid, read_fd = _spawn_worker(worker_config, probe)
+            workers.append(pid)
+            ready_fds.append(read_fd)
+
+        def forward(signum: int, frame: object) -> None:
+            """Relay the shutdown signal to every live worker."""
+            for pid in workers:
+                try:
+                    os.kill(pid, signum)
+                except ProcessLookupError:  # pragma: no cover - already gone
+                    pass
+
+        signal.signal(signal.SIGTERM, forward)
+        signal.signal(signal.SIGINT, forward)
+
+        # A worker that dies before binding closes its pipe unwritten;
+        # announce only once every worker reported in (or gave up).
+        ready_count = 0
+        for read_fd in ready_fds:
+            if os.read(read_fd, 1):
+                ready_count += 1
+            os.close(read_fd)
+        if ready_count == len(workers):
+            print(f"listening on http://{config.host}:{port}", flush=True)
+        else:
+            print(
+                f"warning: only {ready_count}/{len(workers)} workers came up",
+                file=sys.stderr,
+            )
+
+        failures = 0
+        for pid in workers:
+            _, status = os.waitpid(pid, 0)
+            if os.waitstatus_to_exitcode(status) != 0:
+                failures += 1
+    finally:
+        probe.close()
+        shutil.rmtree(fleet_dir, ignore_errors=True)
+    if failures == 0:
+        print("drained cleanly, exiting", file=sys.stderr)
+        return 0
+    print(
+        f"{failures} of {len(workers)} worker(s) exited uncleanly",
+        file=sys.stderr,
+    )
+    return 1

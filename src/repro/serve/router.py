@@ -63,12 +63,19 @@ _CACHE_WAIT = _metrics.REGISTRY.histogram(
 
 @dataclass(frozen=True)
 class Request:
-    """One parsed request, transport-independent."""
+    """One parsed request, transport-independent.
+
+    ``items`` is only set for batch requests (``{"items": [...]}``
+    bodies): each entry is one sub-request's parameter mapping, and
+    ``params`` is then empty — the batch executor builds a per-item
+    :class:`Request` carrying the shared deadline.
+    """
 
     method: str
     path: str
     params: Mapping[str, str] = field(default_factory=dict)
     deadline: "Deadline | None" = None
+    items: "tuple[Mapping[str, str], ...] | None" = None
 
     @classmethod
     def get(
@@ -177,6 +184,7 @@ class TaxonomyService:
         self.router.add("GET", "/v1/classify", self.handle_classify)
         self.router.add("POST", "/v1/classify", self.handle_classify)
         self.router.add("GET", "/v1/costs", self.handle_costs)
+        self.router.add("POST", "/v1/costs", self.handle_costs)
         self.router.add("GET", "/v1/survey", self.handle_survey)
 
     # -- shared infrastructure -------------------------------------------

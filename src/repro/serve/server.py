@@ -6,23 +6,46 @@ Layering (transport at the edge, everything testable without sockets)::
         -> ServiceApp.dispatch        admission pipeline (this module)
             -> DrainController        reject new work mid-drain (503)
             -> TokenBucket            rate limiting (429 + Retry-After)
+            -> ResponseCache          pure-endpoint hits skip the pool
             -> WorkerPool             bounded concurrency + queue (503),
                                       per-request deadlines (504)
                 -> Router.handle      endpoint handlers (repro.serve.router)
                     -> CircuitBreaker around sweep-backed queries (503)
 
-Connection threads (one per request, HTTP/1.0, ``Connection: close``)
-never execute taxonomy work themselves: they enqueue a job on the
-bounded pool and wait under the request deadline, so the number of
-concurrently *executing* requests is capped at ``workers`` and the
-number *buffered* at ``queue_depth`` — everything beyond that is shed
-immediately with a structured 503 and a ``Retry-After`` hint, keeping
-the p99 of accepted requests inside the configured deadline no matter
-the offered load.
+The data plane speaks HTTP/1.1 with keep-alive: one connection thread
+serves many requests (``keepalive_requests`` per connection, closed
+after ``keepalive_idle_s`` idle seconds), so steady clients pay the TCP
+handshake once, not per request. Connection threads never execute
+taxonomy work themselves: they enqueue a job on the bounded pool and
+wait under the request deadline, so the number of concurrently
+*executing* requests is capped at ``workers`` and the number *buffered*
+at ``queue_depth`` — everything beyond that is shed immediately with a
+structured 503 and a ``Retry-After`` hint, keeping the p99 of accepted
+requests inside the configured deadline no matter the offered load.
+
+Two multipliers sit on top of the single-process pipeline:
+
+* a bounded :class:`~repro.serve.cache.ResponseCache` over the pure
+  endpoints (``/v1/classify``, ``/v1/costs``) — a hit is answered by
+  the connection thread itself, after drain and rate-limit admission
+  but without queueing for a worker;
+* a pre-fork front end (``processes > 1``): N worker processes share
+  the listen port via ``SO_REUSEPORT`` (:mod:`repro.serve.prefork`),
+  each running this exact pipeline, with ``/v1/metrics`` and
+  ``/v1/readyz`` aggregated across the fleet via
+  :mod:`repro.serve.fleet`.
+
+Batch endpoints (``POST /v1/classify`` and ``POST /v1/costs`` with an
+``{"items": [...]}`` body) amortise admission: one drain check, one
+rate-limit token and one pool job cover up to ``MAX_BATCH_ITEMS``
+signatures, each answered (or failed) independently in the response's
+``results`` array.
 """
 
 from __future__ import annotations
 
+import os
+import socket
 import threading
 import time
 from dataclasses import dataclass, field
@@ -35,13 +58,20 @@ from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.perf import ModelCache
 from repro.serve.breaker import BreakerPolicy, CircuitBreaker
-from repro.serve.errors import BadRequestError, MethodNotAllowedError, as_serve_error
+from repro.serve.cache import ResponseCache
+from repro.serve.errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    MethodNotAllowedError,
+    as_serve_error,
+)
+from repro.serve.fleet import FleetBus, render_fleet_prometheus
 from repro.serve.lifecycle import DrainController, install_signal_handlers
 from repro.serve.limits import Deadline, TokenBucket, WorkerPool
 from repro.serve.router import Request, Response
 from repro.serve.validation import (
     MAX_BODY_BYTES,
-    parse_json_body,
+    parse_body,
     parse_query,
     stable_json,
 )
@@ -60,6 +90,16 @@ _ERRORS = _metrics.REGISTRY.counter("serve.errors", help="internal errors return
 _REQUEST_S = _metrics.REGISTRY.histogram(
     "serve.request_s", help="request handling latency, admission to response (s)"
 )
+_BATCH_REQUESTS = _metrics.REGISTRY.counter(
+    "serve.batch_requests", help="batch requests received (items bodies)"
+)
+_BATCH_ITEMS = _metrics.REGISTRY.counter(
+    "serve.batch_items", help="individual items carried by batch requests"
+)
+
+#: Paths accepting an ``{"items": [...]}`` batch body — the pure,
+#: per-item-independent endpoints.
+_BATCH_PATHS = ("/v1/classify", "/v1/costs")
 
 #: Endpoints served inline — no admission control, usable mid-drain.
 _CONTROL_PATHS = ("/", "/v1/healthz", "/v1/metrics", "/v1/readyz")
@@ -92,12 +132,42 @@ class ServerConfig:
     #: Optional ``HOST:PORT,...`` sweep-worker endpoints: sweep-backed
     #: queries run on the distributed fabric (behind the breaker).
     fabric_workers: "str | None" = None
+    #: Pre-fork worker processes sharing the port via SO_REUSEPORT
+    #: (1 = single process, the embedded/test default).
+    processes: int = 1
+    #: Requests served per keep-alive connection before it is closed;
+    #: 0 disables keep-alive entirely (``Connection: close`` per
+    #: request — the pre-keep-alive data plane, kept for benchmarking).
+    keepalive_requests: int = 100
+    #: Seconds a keep-alive connection may idle between requests.
+    keepalive_idle_s: float = 5.0
+    #: Response-cache capacity in entries over the pure endpoints
+    #: (0 disables caching).
+    cache_size: int = 1024
+    #: Bind the listener with SO_REUSEPORT (set by the pre-fork parent
+    #: so every worker can share one port).
+    reuse_port: bool = False
+    #: Directory holding the fleet stats-bus sockets (set by the
+    #: pre-fork parent; ``None`` means single-process, no bus).
+    fleet_dir: "str | None" = None
 
     def __post_init__(self) -> None:
         if self.drain_s < 0:
             raise ValueError(f"drain_s must be >= 0, got {self.drain_s}")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+        if self.processes < 1:
+            raise ValueError(f"processes must be >= 1, got {self.processes}")
+        if self.keepalive_requests < 0:
+            raise ValueError(
+                f"keepalive_requests must be >= 0, got {self.keepalive_requests}"
+            )
+        if self.keepalive_idle_s <= 0:
+            raise ValueError(
+                f"keepalive_idle_s must be positive, got {self.keepalive_idle_s}"
+            )
+        if self.cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
 
 
 class ServiceApp:
@@ -125,6 +195,10 @@ class ServiceApp:
             fabric_workers=self.config.fabric_workers,
         )
         self.router = self.service.router
+        self.response_cache = ResponseCache(self.config.cache_size)
+        self.fleet: "FleetBus | None" = None
+        if self.config.fleet_dir is not None and hasattr(socket, "AF_UNIX"):
+            self.fleet = FleetBus(self.config.fleet_dir, self._bus_snapshot)
 
     # -- control endpoints (inline, drain-exempt) ------------------------
 
@@ -138,7 +212,7 @@ class ServiceApp:
         if request.path == "/v1/readyz":
             return self._handle_readyz()
         if request.path == "/v1/metrics":
-            return Response(text=_metrics.REGISTRY.render_prometheus())
+            return Response(text=self._render_metrics())
         return Response(
             payload={
                 "service": "repro-taxonomy",
@@ -146,16 +220,54 @@ class ServiceApp:
             }
         )
 
+    def _member_snapshot(self) -> dict:
+        """This worker's row in the fleet health view."""
+        return {
+            "pid": os.getpid(),
+            "inflight": self.drain.inflight,
+            "queued": self.pool.queued,
+            "draining": self.drain.draining,
+            "cache": self.response_cache.stats(),
+        }
+
+    def _bus_snapshot(self) -> dict:
+        """What this worker serves siblings over the fleet bus."""
+        return {**self._member_snapshot(), "metrics": _metrics.REGISTRY.snapshot()}
+
+    def _fleet_members(self) -> list[dict]:
+        """Every live worker's snapshot, this one first-hand, pid-sorted."""
+        members = [self._member_snapshot()]
+        if self.fleet is not None:
+            members.extend(self.fleet.collect())
+        return sorted(members, key=lambda member: member.get("pid", 0))
+
+    def _render_metrics(self) -> str:
+        """The Prometheus exposition, fleet-aggregated when pre-forked."""
+        if self.fleet is not None:
+            siblings = self.fleet.collect()
+            if siblings:
+                snapshots = [_metrics.REGISTRY.snapshot()] + [
+                    member["metrics"] for member in siblings if "metrics" in member
+                ]
+                return render_fleet_prometheus(snapshots)
+        return _metrics.REGISTRY.render_prometheus()
+
     def _handle_readyz(self) -> Response:
         breaker = self.service.breaker.snapshot()
         draining = self.drain.draining
         ready = not draining and breaker["state"] != "open"
         status = "ready" if ready else ("draining" if draining else "not_ready")
+        members = [
+            {key: value for key, value in member.items() if key != "metrics"}
+            for member in self._fleet_members()
+        ]
         payload = {
             "status": status,
             "breaker": breaker,
             "inflight": self.drain.inflight,
             "queued": self.pool.queued,
+            "cache": self.response_cache.stats(),
+            "fleet": {"workers": len(members), "members": members},
         }
         return Response(status=200 if ready else 503, payload=payload)
 
@@ -170,29 +282,38 @@ class ServiceApp:
         try:
             with _trace.span("serve.request", method=method, path=path):
                 params = parse_query(split.query)
+                items = None
                 if body:
-                    fields = parse_json_body(body)
-                    overlap = sorted(set(params) & set(fields))
-                    if overlap:
-                        raise BadRequestError(
-                            f"parameter(s) {', '.join(map(repr, overlap))} given in "
-                            "both the query string and the body"
-                        )
-                    params.update(fields)
+                    fields, items = parse_body(body)
+                    if items is not None:
+                        if params:
+                            raise BadRequestError(
+                                "query parameters cannot be combined with a "
+                                "batch 'items' body"
+                            )
+                    else:
+                        overlap = sorted(set(params) & set(fields))
+                        if overlap:
+                            raise BadRequestError(
+                                f"parameter(s) {', '.join(map(repr, overlap))} given in "
+                                "both the query string and the body"
+                            )
+                        params.update(fields)
                 deadline = (
                     Deadline(self.config.deadline_s, clock=self._clock)
                     if self.config.deadline_s is not None
                     else None
                 )
-                request = Request(method.upper(), path, params, deadline)
+                request = Request(method.upper(), path, params, deadline, items=items)
                 if path in _CONTROL_PATHS:
                     response = self._handle_control(request)
                 else:
                     with self.drain.admit():
                         self.limiter.admit()
-                        response = self.pool.run(
-                            lambda: self.router.handle(request), deadline=deadline
-                        )
+                        if items is not None:
+                            response = self._admit_batch(request, deadline)
+                        else:
+                            response = self._run_single(request, deadline)
         except BaseException as error:  # noqa: BLE001 - becomes a structured body
             serve_error = as_serve_error(error)
             headers: list[tuple[str, str]] = []
@@ -217,12 +338,94 @@ class ServiceApp:
             _REQUEST_S.observe(max(self._clock() - started, 0.0))
         return response
 
+    # -- the response cache and batch executor ---------------------------
+
+    def _run_single(self, request: Request, deadline: "Deadline | None") -> Response:
+        """One admitted request: cache probe, then the bounded pool.
+
+        A hit is answered by the calling (connection) thread itself — no
+        queueing, no worker — which is why the pure endpoints stay fast
+        even when the pool is saturated with expensive work.
+        """
+        cache = self.response_cache
+        key = (
+            cache.key(request.path, request.params)
+            if cache.cacheable(request.method, request.path)
+            else None
+        )
+        if key is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+
+        def handle() -> Response:
+            response = self.router.handle(request)
+            if key is not None:
+                cache.put(key, response)
+            return response
+
+        return self.pool.run(handle, deadline=deadline)
+
+    def _cached_handle(self, request: Request) -> Response:
+        """Route one (batch-item) request through the response cache."""
+        cache = self.response_cache
+        if not cache.cacheable(request.method, request.path):
+            return self.router.handle(request)
+        key = cache.key(request.path, request.params)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        response = self.router.handle(request)
+        cache.put(key, response)
+        return response
+
+    def _admit_batch(self, request: Request, deadline: "Deadline | None") -> Response:
+        """Validate and run a batch request as one pool job."""
+        if request.method != "POST":
+            raise BadRequestError("a batch 'items' body requires POST")
+        if request.path not in _BATCH_PATHS:
+            raise BadRequestError(
+                "batch bodies are only supported on "
+                + " and ".join(_BATCH_PATHS)
+            )
+        _BATCH_REQUESTS.inc()
+        _BATCH_ITEMS.inc(len(request.items))
+        return self.pool.run(lambda: self._run_batch(request), deadline=deadline)
+
+    def _run_batch(self, request: Request) -> Response:
+        """Execute every item under the shared deadline, independently.
+
+        One item's failure never sinks its neighbours: each entry of
+        ``results`` is either the item's normal payload or its
+        structured error body. Only the shared deadline aborts the
+        whole batch (504) — by then every remaining item would time out
+        anyway.
+        """
+        results: list[dict] = []
+        errors = 0
+        assert request.items is not None
+        for index, item in enumerate(request.items):
+            request.check_deadline(f"processing batch item {index}")
+            sub = Request(request.method, request.path, item, request.deadline)
+            try:
+                results.append(self._cached_handle(sub).payload)
+            except DeadlineExceededError:
+                raise
+            except BaseException as error:  # noqa: BLE001 - per-item isolation
+                errors += 1
+                results.append(as_serve_error(error).payload())
+        return Response(
+            payload={"count": len(results), "errors": errors, "results": results}
+        )
+
     def shutdown(self, *, drain_s: "float | None" = None) -> bool:
         """Drain in-flight requests and stop the pool; True when clean."""
         budget = self.config.drain_s if drain_s is None else drain_s
         self.drain.begin_drain()
         drained = self.drain.wait_drained(budget)
         pool_clean = self.pool.shutdown(drain_s=budget)
+        if self.fleet is not None:
+            self.fleet.close()
         return drained and pool_clean
 
 
@@ -232,6 +435,9 @@ class TaxonomyHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     # Drain is bounded by DrainController; never block close indefinitely.
     block_on_close = False
+    # The stdlib default backlog (5) drops SYNs under reconnect storms,
+    # turning overload into 1s retransmit stalls instead of quick 503s.
+    request_queue_size = 128
 
     def __init__(self, config: ServerConfig, app: "ServiceApp | None" = None):
         self.app = app if app is not None else ServiceApp(config)
@@ -243,6 +449,12 @@ class TaxonomyHTTPServer(ThreadingHTTPServer):
             target=self.shutdown, name="serve-shutdown", daemon=True
         ).start()
 
+    def server_bind(self) -> None:
+        """Bind the listener, optionally sharing the port (pre-fork)."""
+        if self.config.reuse_port and hasattr(socket, "SO_REUSEPORT"):
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
     @property
     def url(self) -> str:
         """The server's base URL with the actually-bound port."""
@@ -251,10 +463,30 @@ class TaxonomyHTTPServer(ThreadingHTTPServer):
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
-    """Thin HTTP adapter: parse, dispatch, encode; no business logic."""
+    """Thin HTTP adapter: parse, dispatch, encode; no business logic.
+
+    Speaks HTTP/1.1 with keep-alive: the base class loops
+    ``handle_one_request`` until ``close_connection`` flips, and
+    :meth:`_write` flips it when the per-connection request budget
+    (``keepalive_requests``) is spent, a drain begins, or the client
+    asked to close. The idle timeout is the socket timeout installed in
+    :meth:`setup` — a connection that sends nothing for
+    ``keepalive_idle_s`` seconds is closed by the read of its next
+    request line timing out.
+    """
 
     server_version = "repro-serve/1.0"
-    protocol_version = "HTTP/1.0"
+    protocol_version = "HTTP/1.1"
+    # Headers and body are separate small writes; on a keep-alive
+    # connection Nagle would hold the body for the client's delayed ACK
+    # (~40ms per response). TCP_NODELAY keeps responses one round-trip.
+    disable_nagle_algorithm = True
+
+    def setup(self) -> None:
+        """Install the idle timeout and the per-connection budget."""
+        self.timeout = self.server.config.keepalive_idle_s
+        self._served = 0
+        super().setup()
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         """Serve a GET request."""
@@ -267,6 +499,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
         except ValueError:
             length = -1
         if length < 0 or length > MAX_BODY_BYTES:
+            # The body was never read, so the stream is unframed from
+            # here on: this connection cannot be kept alive.
+            self.close_connection = True
             self._write(
                 Response(
                     status=400,
@@ -289,17 +524,33 @@ class _RequestHandler(BaseHTTPRequestHandler):
             if response.text is not None
             else stable_json(response.payload)
         )
+        self._served += 1
+        remaining = self.server.config.keepalive_requests - self._served
+        keep = (
+            remaining > 0
+            and not self.close_connection
+            and not self.server.app.drain.draining
+        )
         try:
             self.send_response(response.status)
             self.send_header("Content-Type", response.content_type)
             self.send_header("Content-Length", str(len(encoded)))
-            self.send_header("Connection", "close")
+            if keep:
+                # send_header("Connection", ...) also syncs close_connection.
+                self.send_header("Connection", "keep-alive")
+                self.send_header(
+                    "Keep-Alive",
+                    f"timeout={self.server.config.keepalive_idle_s:g}, "
+                    f"max={remaining}",
+                )
+            else:
+                self.send_header("Connection", "close")
             for name, value in response.headers:
                 self.send_header(name, value)
             self.end_headers()
             self.wfile.write(encoded)
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
-            pass  # the client hung up first; nothing useful to do
+            self.close_connection = True  # the client hung up first
 
     def log_message(self, format: str, *args: Any) -> None:
         """Access-log to stderr only when configured; never to stdout."""
@@ -311,6 +562,7 @@ def run_server(
     config: "ServerConfig | None" = None,
     *,
     ready: "Callable[[TaxonomyHTTPServer], None] | None" = None,
+    announce: bool = True,
 ) -> int:
     """Serve until SIGTERM/SIGINT, then drain; the CLI's blocking entry.
 
@@ -318,15 +570,26 @@ def run_server(
     accepted request answered), 1 when stragglers had to be abandoned.
     ``ready`` (if given) is called with the bound server before the
     first accept — used by tests and the smoke script to learn the
-    ephemeral port.
+    ephemeral port. ``announce=False`` silences the "listening on" and
+    drain-outcome lines (the pre-fork parent speaks for its workers).
+
+    With ``config.processes > 1`` this delegates to
+    :func:`repro.serve.prefork.run_prefork`, which forks that many
+    workers onto one SO_REUSEPORT-shared port and reports their
+    aggregate exit status.
     """
     import sys
 
     config = config if config is not None else ServerConfig()
+    if config.processes > 1:
+        from repro.serve.prefork import run_prefork
+
+        return run_prefork(config)
     server = TaxonomyHTTPServer(config)
     app = server.app
     install_signal_handlers(app.drain)
-    print(f"listening on {server.url}", flush=True)
+    if announce:
+        print(f"listening on {server.url}", flush=True)
     if ready is not None:
         ready(server)
     try:
@@ -337,13 +600,17 @@ def run_server(
     # listener stopped accepting; give in-flight requests their budget.
     drained = app.drain.wait_drained(config.drain_s)
     pool_clean = app.pool.shutdown(drain_s=config.drain_s)
+    if app.fleet is not None:
+        app.fleet.close()
     leftover = app.drain.inflight
     if drained and pool_clean:
-        print("drained cleanly, exiting", file=sys.stderr)
+        if announce:
+            print("drained cleanly, exiting", file=sys.stderr)
         return 0
-    print(
-        f"drain deadline of {config.drain_s:g}s exceeded "
-        f"({leftover} request(s) abandoned)",
-        file=sys.stderr,
-    )
+    if announce:
+        print(
+            f"drain deadline of {config.drain_s:g}s exceeded "
+            f"({leftover} request(s) abandoned)",
+            file=sys.stderr,
+        )
     return 1

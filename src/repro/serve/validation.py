@@ -21,10 +21,12 @@ from urllib.parse import parse_qsl
 from repro.serve.errors import BadRequestError
 
 __all__ = [
+    "MAX_BATCH_ITEMS",
     "MAX_BODY_BYTES",
     "MAX_DESIGN_N",
     "parse_query",
     "parse_json_body",
+    "parse_body",
     "require_known",
     "string_field",
     "int_field",
@@ -40,6 +42,10 @@ MAX_BODY_BYTES = 64 * 1024
 #: any surveyed architecture, small enough that one request stays cheap.
 MAX_DESIGN_N = 4096
 
+#: Upper bound on batch ``items`` per request — one admission token buys
+#: at most this much work, keeping batches inside the request deadline.
+MAX_BATCH_ITEMS = 256
+
 
 def parse_query(raw: str) -> dict[str, str]:
     """Decode a query string into a flat dict; repeats are rejected."""
@@ -51,8 +57,22 @@ def parse_query(raw: str) -> dict[str, str]:
     return params
 
 
-def parse_json_body(body: bytes) -> dict[str, str]:
-    """Decode a JSON object body into string-valued parameters."""
+def _coerce_fields(decoded: dict, *, where: str = "request body") -> dict[str, str]:
+    """Coerce one JSON object's scalar fields into string parameters."""
+    params: dict[str, str] = {}
+    for key, value in decoded.items():
+        if not isinstance(key, str):
+            raise BadRequestError(f"{where} keys must be strings")
+        if isinstance(value, bool) or not isinstance(value, (str, int, float)):
+            raise BadRequestError(
+                f"field {key!r} must be a string or number, got {type(value).__name__}"
+            )
+        params[key] = str(value)
+    return params
+
+
+def _decode_object(body: bytes) -> dict:
+    """Decode a request body into the top-level JSON object, strictly."""
     if len(body) > MAX_BODY_BYTES:
         raise BadRequestError(
             f"request body exceeds {MAX_BODY_BYTES} bytes"
@@ -63,16 +83,50 @@ def parse_json_body(body: bytes) -> dict[str, str]:
         raise BadRequestError(f"request body is not valid JSON: {error}") from None
     if not isinstance(decoded, dict):
         raise BadRequestError("request body must be a JSON object")
-    params: dict[str, str] = {}
-    for key, value in decoded.items():
-        if not isinstance(key, str):
-            raise BadRequestError("request body keys must be strings")
-        if isinstance(value, bool) or not isinstance(value, (str, int, float)):
+    return decoded
+
+
+def parse_json_body(body: bytes) -> dict[str, str]:
+    """Decode a JSON object body into string-valued parameters."""
+    return _coerce_fields(_decode_object(body))
+
+
+def parse_body(body: bytes) -> "tuple[dict[str, str], tuple[dict[str, str], ...] | None]":
+    """Decode a body as flat fields *or* a batch ``items`` array.
+
+    Returns ``(params, None)`` for an ordinary single-request body, or
+    ``({}, items)`` when the body is ``{"items": [...]}`` — each item
+    validated with exactly the rules a single request's body gets, so a
+    batch of one is indistinguishable from the single-request path.
+    """
+    decoded = _decode_object(body)
+    if "items" not in decoded:
+        return _coerce_fields(decoded), None
+    extras = sorted(set(decoded) - {"items"})
+    if extras:
+        raise BadRequestError(
+            f"a batch body accepts only 'items'; also got "
+            f"{', '.join(repr(name) for name in extras)}"
+        )
+    raw_items = decoded["items"]
+    if not isinstance(raw_items, list):
+        raise BadRequestError(
+            f"'items' must be a JSON array, got {type(raw_items).__name__}"
+        )
+    if not raw_items:
+        raise BadRequestError("'items' must contain at least one entry")
+    if len(raw_items) > MAX_BATCH_ITEMS:
+        raise BadRequestError(
+            f"'items' holds {len(raw_items)} entries; the batch limit is {MAX_BATCH_ITEMS}"
+        )
+    items = []
+    for index, item in enumerate(raw_items):
+        if not isinstance(item, dict):
             raise BadRequestError(
-                f"field {key!r} must be a string or number, got {type(value).__name__}"
+                f"batch item {index} must be a JSON object, got {type(item).__name__}"
             )
-        params[key] = str(value)
-    return params
+        items.append(_coerce_fields(item, where=f"batch item {index}"))
+    return {}, tuple(items)
 
 
 def require_known(params: Mapping[str, str], allowed: "tuple[str, ...]") -> None:

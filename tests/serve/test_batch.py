@@ -1,0 +1,145 @@
+"""Batch ``{"items": [...]}`` bodies: parity, validation, deadlines."""
+
+import json
+
+import pytest
+
+from repro.serve.router import Response
+from repro.serve.server import ServerConfig, ServiceApp
+from repro.serve.validation import MAX_BATCH_ITEMS, stable_json
+
+SIGNATURE = {
+    "ips": "1", "dps": "n", "ip-dp": "1-n", "ip-im": "1-1",
+    "dp-dm": "nxn", "dp-dp": "nxn",
+}
+
+
+def batch_body(items):
+    """Encode a batch request body."""
+    return json.dumps({"items": items}).encode()
+
+
+@pytest.fixture()
+def app():
+    """A default in-process ServiceApp, shut down after the test."""
+    instance = ServiceApp(ServerConfig(port=0))
+    yield instance
+    instance.shutdown()
+
+
+class TestBatchResults:
+    def test_classify_batch_matches_single_requests(self, app):
+        single = app.dispatch(
+            "GET", "/v1/classify?" + "&".join(f"{k}={v}" for k, v in SIGNATURE.items())
+        )
+        batch = app.dispatch("POST", "/v1/classify", batch_body([SIGNATURE]))
+        assert batch.status == 200
+        assert batch.payload["count"] == 1
+        assert batch.payload["errors"] == 0
+        assert stable_json(batch.payload["results"][0]) == stable_json(single.payload)
+
+    def test_costs_batch_matches_single_requests(self, app):
+        items = [{"class": "IAP-IV", "n": n} for n in (4, 16, 64)]
+        batch = app.dispatch("POST", "/v1/costs", batch_body(items))
+        assert batch.status == 200
+        assert batch.payload["errors"] == 0
+        for item, result in zip(items, batch.payload["results"]):
+            single = app.dispatch("GET", f"/v1/costs?class=IAP-IV&n={item['n']}")
+            assert stable_json(result) == stable_json(single.payload)
+
+    def test_item_failures_are_isolated(self, app):
+        items = [SIGNATURE, {"nonsense": "x"}, SIGNATURE]
+        batch = app.dispatch("POST", "/v1/classify", batch_body(items))
+        assert batch.status == 200
+        assert batch.payload["count"] == 3
+        assert batch.payload["errors"] == 1
+        good, bad, good2 = batch.payload["results"]
+        assert good["class"]["short_name"] == "IAP-IV"
+        assert bad["error"]["status"] == 400
+        assert "nonsense" in bad["error"]["message"]
+        assert good2 == good
+
+    def test_batch_items_feed_the_response_cache(self, app):
+        app.dispatch("POST", "/v1/classify", batch_body([SIGNATURE, SIGNATURE]))
+        stats = app.response_cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+
+
+class TestBatchValidation:
+    def test_batch_requires_post(self, app):
+        response = app.dispatch("GET", "/v1/classify", batch_body([SIGNATURE]))
+        assert response.status == 400
+        assert "requires POST" in response.payload["error"]["message"]
+
+    def test_batch_only_on_pure_endpoints(self, app):
+        response = app.dispatch("POST", "/v1/survey", batch_body([SIGNATURE]))
+        assert response.status == 400
+        assert "/v1/classify and /v1/costs" in response.payload["error"]["message"]
+
+    def test_items_must_be_a_list(self, app):
+        response = app.dispatch("POST", "/v1/classify", b'{"items": "nope"}')
+        assert response.status == 400
+        assert "JSON array" in response.payload["error"]["message"]
+
+    def test_items_must_be_non_empty(self, app):
+        response = app.dispatch("POST", "/v1/classify", b'{"items": []}')
+        assert response.status == 400
+        assert "at least one" in response.payload["error"]["message"]
+
+    def test_items_over_the_limit_are_rejected(self, app):
+        response = app.dispatch(
+            "POST", "/v1/classify", batch_body([SIGNATURE] * (MAX_BATCH_ITEMS + 1))
+        )
+        assert response.status == 400
+        assert str(MAX_BATCH_ITEMS) in response.payload["error"]["message"]
+
+    def test_items_must_be_objects(self, app):
+        response = app.dispatch("POST", "/v1/classify", b'{"items": [1]}')
+        assert response.status == 400
+        assert "batch item 0" in response.payload["error"]["message"]
+
+    def test_extra_keys_next_to_items_are_rejected(self, app):
+        response = app.dispatch(
+            "POST", "/v1/classify", b'{"items": [{}], "n": 4}'
+        )
+        assert response.status == 400
+        assert "only 'items'" in response.payload["error"]["message"]
+
+    def test_query_params_cannot_join_a_batch(self, app):
+        response = app.dispatch(
+            "POST", "/v1/classify?n=4", batch_body([SIGNATURE])
+        )
+        assert response.status == 400
+        assert "query parameters" in response.payload["error"]["message"]
+
+
+class TestBatchDeadline:
+    def test_expired_deadline_fails_the_whole_batch(self):
+        class Clock:
+            """A manually advanced monotonic clock."""
+
+            def __init__(self):
+                self.t = 0.0
+
+            def __call__(self):
+                return self.t
+
+        clock = Clock()
+        app = ServiceApp(
+            ServerConfig(port=0, deadline_s=1.0, cache_size=0), clock=clock
+        )
+
+        def slow_item(request):
+            clock.t += 10.0  # each item burns far past the shared deadline
+            return Response(payload={"ok": True})
+
+        app.router.add("POST", "/v1/costs", slow_item)
+        try:
+            response = app.dispatch(
+                "POST", "/v1/costs", batch_body([{"n": "1"}, {"n": "2"}])
+            )
+            assert response.status == 504
+            assert response.payload["error"]["code"] == "deadline_exceeded"
+        finally:
+            app.shutdown()

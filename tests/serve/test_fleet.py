@@ -1,0 +1,90 @@
+"""Fleet stats bus: sibling discovery, collection, metric merging."""
+
+import socket
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.fleet import (
+    FleetBus,
+    merge_metric_snapshots,
+    render_fleet_prometheus,
+)
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="fleet bus needs AF_UNIX sockets"
+)
+
+
+def registry_snapshot(requests, latencies):
+    """A small per-worker registry snapshot for merge tests."""
+    registry = MetricsRegistry()
+    registry.counter("serve.requests", help="reqs").inc(requests)
+    registry.gauge("serve.inflight", help="now").inc(requests % 3)
+    histogram = registry.histogram("serve.request_s", help="lat")
+    for value in latencies:
+        histogram.observe(value)
+    return registry.snapshot()
+
+
+class TestFleetBus:
+    def test_two_workers_see_each_other(self, tmp_path):
+        a = FleetBus(tmp_path, lambda: {"pid": 1, "role": "a"}, name="worker-1.sock")
+        b = FleetBus(tmp_path, lambda: {"pid": 2, "role": "b"}, name="worker-2.sock")
+        try:
+            assert a.collect() == [{"pid": 2, "role": "b"}]
+            assert b.collect() == [{"pid": 1, "role": "a"}]
+        finally:
+            a.close()
+            b.close()
+
+    def test_closed_sibling_drops_out(self, tmp_path):
+        a = FleetBus(tmp_path, lambda: {"pid": 1}, name="worker-1.sock")
+        b = FleetBus(tmp_path, lambda: {"pid": 2}, name="worker-2.sock")
+        try:
+            b.close()
+            assert a.collect() == []
+        finally:
+            a.close()
+
+    def test_dead_socket_file_is_skipped(self, tmp_path):
+        (tmp_path / "worker-9.sock").touch()  # plain file, not a socket
+        a = FleetBus(tmp_path, lambda: {"pid": 1}, name="worker-1.sock")
+        try:
+            assert a.collect() == []
+        finally:
+            a.close()
+
+    def test_close_is_idempotent_and_unlinks(self, tmp_path):
+        a = FleetBus(tmp_path, lambda: {}, name="worker-1.sock")
+        path = a.path
+        assert path.exists()
+        a.close()
+        a.close()
+        assert not path.exists()
+
+
+class TestMerge:
+    def test_counters_gauges_histograms_sum(self):
+        merged = merge_metric_snapshots(
+            [registry_snapshot(10, [0.1, 0.2]), registry_snapshot(5, [0.3])]
+        )
+        snapshot = merged.snapshot()
+        assert snapshot["serve.requests"]["value"] == 15
+        assert snapshot["serve.inflight"]["value"] == (10 % 3) + (5 % 3)
+        assert snapshot["serve.request_s"]["count"] == 3
+        assert snapshot["serve.request_s"]["total"] == pytest.approx(0.6)
+
+    def test_render_is_valid_prometheus_text(self):
+        text = render_fleet_prometheus(
+            [registry_snapshot(1, [0.1]), registry_snapshot(2, [0.2])]
+        )
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 3" in text
+
+    def test_merge_rejects_mismatched_histograms(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h", boundaries=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            histogram.merge([1, 2], 3, 1.5)  # wrong bucket count

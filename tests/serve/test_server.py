@@ -58,6 +58,9 @@ class TestEndpoints:
         )
         assert status == 200
         assert payload["class"]["short_name"] == "IAP-IV"
+        # urllib sends "Connection: close", which the server honours even
+        # with keep-alive enabled; reuse itself is covered in
+        # test_keepalive.py with a persistent http.client connection.
         assert headers["Connection"] == "close"
 
     def test_post_classify_json_body(self, serve):
@@ -95,7 +98,9 @@ class TestEndpoints:
 
     def test_wrong_method_is_405_with_allow_header(self, serve):
         server = serve(ServerConfig(port=0))
-        status, headers, payload = fetch(server.url + "/v1/costs", method="POST")
+        status, headers, payload = fetch(
+            server.url + "/v1/survey", method="POST", body=b"{}"
+        )
         assert status == 405
         assert payload["error"]["code"] == "method_not_allowed"
         assert headers["Allow"] == "GET"
