@@ -156,6 +156,7 @@ def explore(
     resume: bool = False,
     checkpoint_dir: "str | None" = None,
     workers: "str | None" = None,
+    batch_kernel: bool = True,
 ) -> Recommendation:
     """Rank every implementable class against the requirements.
 
@@ -165,7 +166,10 @@ def explore(
     :func:`repro.analysis.pareto.evaluate_classes`, so a long DSE run
     can skip bad points and restart from its checkpoint journal.
     ``workers`` routes the evaluation over the distributed sweep fabric
-    — the recommendation is byte-identical either way.
+    — the recommendation is byte-identical either way. ``batch_kernel``
+    forwards too: single-job runs price all classes through the
+    vectorized :mod:`repro.core.batch` kernel when NumPy is available,
+    again with a byte-identical recommendation.
     """
     with _trace.span(
         "analysis.dse", objective=objective.name, n=requirements.n, jobs=jobs
@@ -181,6 +185,7 @@ def explore(
             resume=resume,
             checkpoint_dir=checkpoint_dir,
             workers=workers,
+            batch_kernel=batch_kernel,
         )
         feasible = [p for p in points if requirements.admits(p)]
         infeasible = [p for p in points if not requirements.admits(p)]

@@ -102,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(dse_parser)
     _add_resilience_arguments(dse_parser)
     _add_fabric_argument(dse_parser)
+    _add_batch_kernel_argument(dse_parser)
     _add_trace_argument(dse_parser)
     _add_profile_argument(dse_parser)
 
@@ -115,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(costs_parser)
     _add_resilience_arguments(costs_parser)
     _add_fabric_argument(costs_parser)
+    _add_batch_kernel_argument(costs_parser)
     _add_trace_argument(costs_parser)
     _add_profile_argument(costs_parser)
 
@@ -280,6 +282,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="route the sweep-backed survey endpoint over the distributed "
         "sweep fabric (comma-separated sweep-worker endpoints)",
     )
+    _add_batch_kernel_argument(serve_parser)
+
+    populations_parser = sub.add_parser(
+        "populations",
+        help="generate or describe a seeded synthetic signature population",
+    )
+    populations_parser.add_argument(
+        "action", choices=["generate", "describe"],
+        help="generate: one canonical signature per line; "
+        "describe: class-occupancy table for the same draw",
+    )
+    populations_parser.add_argument(
+        "--size", type=int, default=1000,
+        help="number of signatures to draw (default 1000)",
+    )
+    populations_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="population seed; same seed, same population (default 0)",
+    )
+    populations_parser.add_argument(
+        "--mode", choices=["stratified", "uniform"], default="stratified",
+        help="stratified cycles the 47 class structures round-robin; "
+        "uniform draws from all 406 valid structures (default stratified)",
+    )
+    populations_parser.add_argument(
+        "--max-n", type=int, default=256, dest="max_n",
+        help="largest concrete count decorated onto n/m/v placeholders "
+        "(default 256)",
+    )
+    populations_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the output to FILE instead of stdout",
+    )
 
     sub.add_parser("errata", help="paper-vs-derived discrepancies")
     sub.add_parser("audit", help="run the library self-consistency audit")
@@ -340,6 +375,23 @@ def _add_fabric_argument(parser: argparse.ArgumentParser) -> None:
         "--workers", default=None, metavar="HOST:PORT,...",
         help="distribute the sweep over these sweep-worker endpoints "
         "(default: run locally)",
+    )
+
+
+def _add_batch_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--batch-kernel/--no-batch-kernel`` flag.
+
+    The vectorized :mod:`repro.core.batch` fast path is bit-exact, so
+    the flag never changes any artifact — ``--no-batch-kernel`` exists
+    for A/B debugging and for timing the scalar path.
+    """
+    parser.add_argument(
+        "--batch-kernel",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="route single-job default-model evaluations through the "
+        "vectorized batch kernel when NumPy is available "
+        "(default on; output is byte-identical either way)",
     )
 
 
@@ -451,8 +503,45 @@ def _run_serve(args: argparse.Namespace) -> int:
         keepalive_requests=args.keepalive_requests,
         keepalive_idle_s=args.keepalive_idle,
         cache_size=args.cache_size,
+        batch_kernel=args.batch_kernel,
     )
     return run_server(config)
+
+
+def _run_populations(args: argparse.Namespace) -> int:
+    """The ``populations`` subcommand: seeded synthetic signature sets.
+
+    ``generate`` prints one canonical signature per line — exactly the
+    population a :class:`repro.core.batch.SignatureBatch` would be built
+    from; ``describe`` prints the class-occupancy table for the same
+    draw. Both are pure functions of (size, seed, mode, max-n):
+    re-running a command reproduces its output byte-for-byte.
+    """
+    from repro.registry.populations import (
+        PopulationSpec,
+        describe_population,
+        generate_signatures,
+    )
+
+    spec = PopulationSpec(
+        size=args.size, seed=args.seed, mode=args.mode, max_n=args.max_n
+    )
+    signatures = generate_signatures(spec)
+    if args.action == "describe":
+        text = describe_population(signatures)
+    else:
+        text = "\n".join(signature.describe() for signature in signatures)
+    if args.out and args.out != "-":
+        from pathlib import Path
+
+        path = Path(args.out)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
 
 
 def _run_sweep_worker(args: argparse.Namespace) -> int:
@@ -621,6 +710,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             timeout_s=args.timeout,
             resume=args.resume,
             workers=args.workers,
+            batch_kernel=args.batch_kernel,
         )
         print(recommendation.explain())
     elif args.command == "costs":
@@ -634,6 +724,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 timeout_s=args.timeout,
                 resume=args.resume,
                 workers=args.workers,
+                batch_kernel=args.batch_kernel,
             )
         )
     elif args.command == "report":
@@ -656,6 +747,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_faults(args)
     elif args.command == "metrics":
         return _run_metrics(args)
+    elif args.command == "populations":
+        return _run_populations(args)
     elif args.command == "serve":
         return _run_serve(args)
     elif args.command == "sweep-worker":

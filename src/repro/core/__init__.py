@@ -15,6 +15,18 @@ from repro.core.baselines import (
     flynn_class,
     skillicorn_verdict,
 )
+from repro.core.batch import (
+    HAVE_NUMPY,
+    BatchClassification,
+    BatchEstimates,
+    CompiledTaxonomy,
+    KernelUnavailableError,
+    SignatureBatch,
+    classify_batch,
+    compile_taxonomy,
+    kernel_supports,
+    price_batch,
+)
 from repro.core.classify import Classification, canonical_class, classify
 from repro.core.compare import NameComparison, compare_classes, compare_names, similarity
 from repro.core.components import (
@@ -71,6 +83,17 @@ __all__ = [
     "extension_report",
     "flynn_class",
     "skillicorn_verdict",
+    # batch kernel
+    "HAVE_NUMPY",
+    "BatchClassification",
+    "BatchEstimates",
+    "CompiledTaxonomy",
+    "KernelUnavailableError",
+    "SignatureBatch",
+    "classify_batch",
+    "compile_taxonomy",
+    "kernel_supports",
+    "price_batch",
     # components / connectivity
     "ComponentCount",
     "ComponentKind",

@@ -10,6 +10,14 @@ from repro.registry.architectures import (
     architectures_by_family,
 )
 from repro.registry.custom import CustomEntry, CustomRegistry
+from repro.registry.populations import (
+    POPULATION_MODES,
+    PopulationSpec,
+    class_occupancy,
+    describe_population,
+    generate_batch,
+    generate_signatures,
+)
 from repro.registry.record import ArchitectureFamily, ArchitectureRecord
 from repro.registry.survey import (
     SurveyEntry,
@@ -31,6 +39,12 @@ __all__ = [
     "architecture",
     "architecture_names",
     "architectures_by_family",
+    "POPULATION_MODES",
+    "PopulationSpec",
+    "class_occupancy",
+    "describe_population",
+    "generate_batch",
+    "generate_signatures",
     "SurveyEntry",
     "survey_table",
     "flexibility_ranking",

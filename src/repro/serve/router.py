@@ -223,14 +223,18 @@ class TaxonomyService:
 
     # -- /v1/classify ----------------------------------------------------
 
-    def handle_classify(self, request: Request) -> Response:
-        """Classify a signature given as query parameters or JSON fields."""
+    def parse_classify_request(self, request: Request) -> Any:
+        """Validate a classify request and build its :class:`Signature`.
+
+        Shared by the scalar handler and the batch kernel path, so both
+        reject malformed items with the exact same structured errors.
+        """
         params = request.params
         require_known(params, _SIGNATURE_PARAMS)
         ips = string_field(params, "ips", required=True)
         dps = string_field(params, "dps", required=True)
         request.check_deadline("validating the request")
-        signature = make_signature(
+        return make_signature(
             ips,
             dps,
             ip_ip=string_field(params, "ip-ip"),
@@ -240,9 +244,17 @@ class TaxonomyService:
             dp_dp=string_field(params, "dp-dp"),
             granularity=string_field(params, "granularity"),
         )
-        result = classify(signature)
+
+    @staticmethod
+    def classify_payload(signature: Any, result: Any) -> "dict[str, Any]":
+        """Render one classification as the endpoint's response body.
+
+        Both the scalar handler and the vectorized batch path go through
+        this function, which (together with ``stable_json`` encoding) is
+        what makes kernel-on and kernel-off responses byte-identical.
+        """
         name = result.name
-        payload = {
+        return {
             "class": {
                 "serial": result.taxonomy_class.serial,
                 "short_name": result.short_name,
@@ -254,7 +266,12 @@ class TaxonomyService:
             "switched_sites": [site.label for site in signature.switched_sites()],
             "explain": result.explain(),
         }
-        return Response(payload=payload)
+
+    def handle_classify(self, request: Request) -> Response:
+        """Classify a signature given as query parameters or JSON fields."""
+        signature = self.parse_classify_request(request)
+        result = classify(signature)
+        return Response(payload=self.classify_payload(signature, result))
 
     # -- /v1/costs -------------------------------------------------------
 

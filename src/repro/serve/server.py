@@ -150,6 +150,11 @@ class ServerConfig:
     #: Directory holding the fleet stats-bus sockets (set by the
     #: pre-fork parent; ``None`` means single-process, no bus).
     fleet_dir: "str | None" = None
+    #: Classify ``{"items": [...]}`` batches through the vectorized
+    #: :mod:`repro.core.batch` kernel when NumPy is available. Response
+    #: bodies are byte-identical either way; False forces the scalar
+    #: per-item loop (debugging / A-B benchmarking).
+    batch_kernel: bool = True
 
     def __post_init__(self) -> None:
         if self.drain_s < 0:
@@ -400,7 +405,16 @@ class ServiceApp:
         structured error body. Only the shared deadline aborts the
         whole batch (504) — by then every remaining item would time out
         anyway.
+
+        Classify batches take the vectorized kernel path when enabled
+        (``config.batch_kernel``) and NumPy is importable; its response
+        is byte-identical to this scalar loop's.
         """
+        if self.config.batch_kernel and request.path == "/v1/classify":
+            from repro.core import batch as _batch
+
+            if _batch.HAVE_NUMPY:
+                return self._run_batch_kernel(request)
         results: list[dict] = []
         errors = 0
         assert request.items is not None
@@ -414,6 +428,87 @@ class ServiceApp:
             except BaseException as error:  # noqa: BLE001 - per-item isolation
                 errors += 1
                 results.append(as_serve_error(error).payload())
+        return Response(
+            payload={"count": len(results), "errors": errors, "results": results}
+        )
+
+    def _run_batch_kernel(self, request: Request) -> Response:
+        """Vectorized classify-batch execution via :mod:`repro.core.batch`.
+
+        Three phases, preserving every observable of the scalar loop:
+        per-item deadline checks, per-item response-cache probes and
+        per-item error isolation happen first (items are parsed by the
+        same validation code the scalar handler uses); the surviving
+        signatures are then classified in one table-gather; finally each
+        payload is rendered by the shared
+        :meth:`~repro.serve.router.TaxonomyService.classify_payload`, so
+        the response body is byte-identical to the scalar path's. A
+        duplicate of an item already awaiting classification defers its
+        cache probe until after that item's payload is stored, keeping
+        the cache's hit/miss accounting identical to the scalar loop's.
+        """
+        from repro.core import batch as _batch
+
+        cache = self.response_cache
+        results: "list[dict | None]" = []
+        errors = 0
+        pending: "list[tuple[int, Any, tuple | None]]" = []
+        pending_slots: "dict[tuple, int]" = {}
+        aliases: "list[tuple[int, tuple, int]]" = []
+        assert request.items is not None
+        for index, item in enumerate(request.items):
+            request.check_deadline(f"processing batch item {index}")
+            sub = Request(request.method, request.path, item, request.deadline)
+            key = (
+                cache.key(sub.path, sub.params)
+                if cache.cacheable(sub.method, sub.path)
+                else None
+            )
+            if key is not None:
+                source = pending_slots.get(key)
+                if source is not None:
+                    results.append(None)
+                    aliases.append((len(results) - 1, key, source))
+                    continue
+                hit = cache.get(key)
+                if hit is not None:
+                    results.append(hit.payload)
+                    continue
+            try:
+                signature = self.service.parse_classify_request(sub)
+            except DeadlineExceededError:
+                raise
+            except BaseException as error:  # noqa: BLE001 - per-item isolation
+                errors += 1
+                results.append(as_serve_error(error).payload())
+                continue
+            results.append(None)
+            pending.append((len(results) - 1, signature, key))
+            if key is not None:
+                pending_slots[key] = len(results) - 1
+        if pending:
+            request.check_deadline("classifying the batch")
+            columns = _batch.SignatureBatch.from_signatures(
+                signature for _, signature, _ in pending
+            )
+            classified = _batch.classify_batch(columns)
+            for row, (slot, signature, key) in enumerate(pending):
+                result = classified.classification(row, signature)
+                payload = self.service.classify_payload(signature, result)
+                if key is not None:
+                    cache.put(key, Response(payload=payload))
+                results[slot] = payload
+        for slot, key, source in aliases:
+            hit = cache.get(key)
+            if hit is not None:
+                results[slot] = hit.payload
+            else:
+                # Evicted between put and probe (cache smaller than the
+                # batch): re-store, exactly as a scalar re-miss would.
+                payload = results[source]
+                assert payload is not None
+                cache.put(key, Response(payload=payload))
+                results[slot] = payload
         return Response(
             payload={"count": len(results), "errors": errors, "results": results}
         )

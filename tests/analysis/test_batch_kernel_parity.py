@@ -1,0 +1,63 @@
+"""Kernel-vs-scalar parity for the analysis entry points.
+
+``evaluate_classes``, ``evaluate_survey``, ``survey_cost_table`` and
+``explore`` all route single-job default-model runs through the batch
+kernel; every one of them must produce results equal (``==`` on every
+field) to the scalar sweep it replaces.
+"""
+
+from repro.analysis.dse import Objective, Requirements, explore
+from repro.analysis.pareto import evaluate_classes, pareto_frontier
+from repro.analysis.survey_costs import evaluate_survey, survey_cost_table
+from repro.models.area import AreaModel
+from repro.models.configbits import ConfigBitsModel
+
+
+class TestEvaluateClasses:
+    def test_matches_scalar_at_several_sizes(self):
+        for n in (1, 16, 64):
+            kernel = evaluate_classes(n=n, batch_kernel=True)
+            scalar = evaluate_classes(n=n, batch_kernel=False)
+            assert kernel == scalar
+
+    def test_custom_models_match_scalar(self):
+        area = AreaModel(width_bits=48)
+        config = ConfigBitsModel(reconfigurable_components=False)
+        kernel = evaluate_classes(
+            n=16, area_model=area, config_model=config, batch_kernel=True
+        )
+        scalar = evaluate_classes(
+            n=16, area_model=area, config_model=config, batch_kernel=False
+        )
+        assert kernel == scalar
+
+    def test_frontier_is_flag_independent(self):
+        frontier_on = pareto_frontier(evaluate_classes(batch_kernel=True))
+        frontier_off = pareto_frontier(evaluate_classes(batch_kernel=False))
+        assert frontier_on == frontier_off
+
+
+class TestEvaluateSurvey:
+    def test_matches_scalar(self):
+        for default_n in (1, 16):
+            kernel = evaluate_survey(default_n=default_n, batch_kernel=True)
+            scalar = evaluate_survey(default_n=default_n, batch_kernel=False)
+            assert kernel == scalar
+
+    def test_table_bytes_identical(self):
+        assert survey_cost_table(batch_kernel=True) == survey_cost_table(
+            batch_kernel=False
+        )
+
+
+class TestExplore:
+    def test_recommendation_is_flag_independent(self):
+        requirements = Requirements(min_flexibility=3, max_config_bits=100_000)
+        for objective in Objective:
+            kernel = explore(
+                requirements, objective=objective, batch_kernel=True
+            )
+            scalar = explore(
+                requirements, objective=objective, batch_kernel=False
+            )
+            assert kernel == scalar

@@ -1,0 +1,117 @@
+"""Byte-identity of batch ``/v1/classify`` with the kernel on vs off.
+
+The vectorized batch path (``ServerConfig.batch_kernel``) must be
+unobservable from outside: identical response bytes, identical error
+isolation, identical response-cache accounting. These tests run the
+same batches through both configurations and compare the encoded
+bodies, the way a client on the wire would see them.
+"""
+
+import json
+
+import pytest
+
+from repro.serve.server import ServerConfig, ServiceApp
+from repro.serve.validation import stable_json
+
+GOOD = {
+    "ips": "1", "dps": "n", "ip-dp": "1-n", "ip-im": "1-1",
+    "dp-dm": "nxn", "dp-dp": "nxn",
+}
+CONCRETE = {
+    "ips": "1", "dps": "64", "ip-dp": "1-64", "ip-im": "1-1",
+    "dp-dm": "64x64", "dp-dp": "64x64",
+}
+DATAFLOW = {"ips": "0", "dps": "1", "dp-dm": "1-1"}
+BAD = {"nonsense": "x"}
+
+MIXED_BATCH = [GOOD, CONCRETE, BAD, DATAFLOW, GOOD, {"ips": "9", "dps": "q"}]
+
+
+def batch_body(items):
+    """Encode a batch request body."""
+    return json.dumps({"items": items}).encode()
+
+
+def both_apps(**config):
+    """A (kernel-on, kernel-off) ServiceApp pair with shared settings."""
+    on = ServiceApp(ServerConfig(port=0, batch_kernel=True, **config))
+    off = ServiceApp(ServerConfig(port=0, batch_kernel=False, **config))
+    return on, off
+
+
+def dispatch_bytes(app, items):
+    response = app.dispatch("POST", "/v1/classify", batch_body(items))
+    return response.status, stable_json(response.payload)
+
+
+@pytest.mark.parametrize("cache_size", [1024, 0])
+def test_mixed_batch_bytes_identical(cache_size):
+    on, off = both_apps(cache_size=cache_size)
+    try:
+        assert dispatch_bytes(on, MIXED_BATCH) == dispatch_bytes(off, MIXED_BATCH)
+    finally:
+        on.shutdown()
+        off.shutdown()
+
+
+def test_error_isolation_matches():
+    on, off = both_apps()
+    try:
+        status_on, body_on = dispatch_bytes(on, [BAD, GOOD, BAD])
+        status_off, body_off = dispatch_bytes(off, [BAD, GOOD, BAD])
+        assert (status_on, body_on) == (status_off, body_off)
+        payload = json.loads(body_on)
+        assert payload["errors"] == 2
+        assert payload["results"][1]["class"]["short_name"] == "IAP-IV"
+    finally:
+        on.shutdown()
+        off.shutdown()
+
+
+def test_cache_accounting_matches_scalar_path():
+    on, off = both_apps()
+    try:
+        items = [GOOD, GOOD, CONCRETE]
+        assert dispatch_bytes(on, items) == dispatch_bytes(off, items)
+        assert on.response_cache.stats() == off.response_cache.stats()
+    finally:
+        on.shutdown()
+        off.shutdown()
+
+
+def test_repeat_batch_served_from_cache():
+    on, off = both_apps()
+    try:
+        first_on = dispatch_bytes(on, [GOOD, CONCRETE])
+        second_on = dispatch_bytes(on, [GOOD, CONCRETE])
+        dispatch_bytes(off, [GOOD, CONCRETE])
+        second_off = dispatch_bytes(off, [GOOD, CONCRETE])
+        assert first_on == second_on == second_off
+        assert on.response_cache.stats() == off.response_cache.stats()
+    finally:
+        on.shutdown()
+        off.shutdown()
+
+
+def test_batch_matches_single_requests_with_kernel():
+    on, _ = both_apps(cache_size=0)
+    try:
+        query = "&".join(f"{k}={v}" for k, v in GOOD.items())
+        single = on.dispatch("GET", "/v1/classify?" + query)
+        batch = on.dispatch("POST", "/v1/classify", batch_body([GOOD]))
+        assert stable_json(batch.payload["results"][0]) == stable_json(single.payload)
+    finally:
+        on.shutdown()
+
+
+def test_costs_batches_are_untouched_by_the_flag():
+    on, off = both_apps()
+    try:
+        items = [{"class": "IAP-IV", "n": n} for n in (4, 16)]
+        response_on = on.dispatch("POST", "/v1/costs", batch_body(items))
+        response_off = off.dispatch("POST", "/v1/costs", batch_body(items))
+        assert stable_json(response_on.payload) == stable_json(response_off.payload)
+    finally:
+        on.shutdown()
+        off.shutdown()
