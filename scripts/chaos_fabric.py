@@ -13,6 +13,12 @@ robustness claims with real processes and real SIGKILLs:
    ``--resume`` is SIGKILLed mid-sweep; re-running the same command
    restores the journalled points from the per-shard checkpoints and
    the final stdout is again byte-identical to the baseline.
+3. **A relaunched worker rejoins the live sweep.** One of two workers
+   is SIGKILLed mid-sweep and immediately relaunched on the *same*
+   port (``--max-sessions 1``). The coordinator's rejoin loop
+   (``--rejoin-backoff``) must re-dial it, hand it leases — proven by
+   the relaunched worker exiting 0 after serving a full session — and
+   the merged artifact must still be byte-identical to the baseline.
 
 Workers run with ``--throttle`` so the sweep is slow enough to kill
 things mid-flight; the throttle shapes scheduling only, never values,
@@ -47,13 +53,21 @@ def _env(checkpoint_dir: "str | None" = None) -> dict:
     return env
 
 
-def start_worker(throttle_s: float) -> "tuple[subprocess.Popen, str]":
+def start_worker(
+    throttle_s: float,
+    *,
+    port: int = 0,
+    max_sessions: "int | None" = None,
+) -> "tuple[subprocess.Popen, str]":
     """Boot one throttled sweep-worker; returns (process, HOST:PORT)."""
+    command = [
+        sys.executable, "-m", "repro.cli", "sweep-worker",
+        "--listen", f"127.0.0.1:{port}", "--throttle", str(throttle_s),
+    ]
+    if max_sessions is not None:
+        command += ["--max-sessions", str(max_sessions)]
     proc = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro.cli", "sweep-worker",
-            "--listen", "127.0.0.1:0", "--throttle", str(throttle_s),
-        ],
+        command,
         stdout=subprocess.PIPE,
         stderr=subprocess.DEVNULL,
         text=True,
@@ -87,6 +101,7 @@ def run_costs(
     resume: bool = False,
     checkpoint_dir: "str | None" = None,
     kill_after_s: "float | None" = None,
+    extra_args: "tuple[str, ...]" = (),
 ) -> "tuple[int | None, str]":
     """Run ``repro-taxonomy costs``; optionally SIGKILL it mid-sweep.
 
@@ -98,6 +113,7 @@ def run_costs(
         command += ["--workers", workers]
     if resume:
         command += ["--resume"]
+    command += list(extra_args)
     proc = subprocess.Popen(
         command,
         stdout=subprocess.PIPE,
@@ -186,8 +202,69 @@ def chaos_coordinator_loss(
     return failures
 
 
+def chaos_worker_rejoin(
+    baseline: str, throttle_s: float, kill_after_s: float
+) -> "list[str]":
+    """Scenario 3: SIGKILL a worker, relaunch it on the same port, rejoin.
+
+    The relaunched worker runs with ``--max-sessions 1``: it exits 0
+    only after serving one *complete* fabric session, which is the
+    hard evidence that the coordinator re-dialed it and it drew leases
+    from the live sweep rather than idling until the end.
+    """
+    failures: "list[str]" = []
+    victim, victim_addr = start_worker(throttle_s)
+    victim_port = int(victim_addr.rsplit(":", 1)[1])
+    survivor, survivor_addr = start_worker(throttle_s)
+    replacement: "subprocess.Popen | None" = None
+    try:
+        import threading
+
+        def kill_and_relaunch() -> None:
+            nonlocal replacement
+            time.sleep(kill_after_s)
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+            replacement, _ = start_worker(
+                throttle_s, port=victim_port, max_sessions=1
+            )
+
+        timer = threading.Thread(target=kill_and_relaunch, daemon=True)
+        timer.start()
+        # A wide-but-finite rejoin window: attempts ~0.5s/1.5s/3.5s after
+        # the loss, comfortably past the replacement's interpreter boot.
+        status, out = run_costs(
+            f"{victim_addr},{survivor_addr}",
+            extra_args=("--rejoin-backoff", "0.5"),
+        )
+        timer.join(timeout=30.0)
+        if status != 0:
+            failures.append(f"rejoin run exited {status}, wanted 0")
+        elif out != baseline:
+            failures.append("rejoin stdout differs from the single-host baseline")
+        if replacement is None:
+            failures.append("replacement worker was never launched")
+        else:
+            try:
+                rc = replacement.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                failures.append(
+                    "relaunched worker never served a session — the "
+                    "coordinator did not re-dial it"
+                )
+            else:
+                if rc != 0:
+                    failures.append(f"relaunched worker exited {rc}, wanted 0")
+    finally:
+        stop(victim)
+        stop(survivor)
+        if replacement is not None:
+            stop(replacement)
+    return failures
+
+
 def main(argv: "list[str] | None" = None) -> int:
-    """Run both chaos scenarios; exit nonzero on any violated invariant."""
+    """Run the chaos scenarios; exit nonzero on any violated invariant."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--throttle", type=float, default=0.2, metavar="S",
@@ -215,11 +292,18 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     failures += resume_failures
 
+    rejoin_failures = chaos_worker_rejoin(baseline, args.throttle, args.kill_after)
+    print(
+        "scenario 3 (worker SIGKILL + same-port relaunch rejoins): "
+        + ("FAIL" if rejoin_failures else "ok")
+    )
+    failures += rejoin_failures
+
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("chaos fabric passed: both kill scenarios byte-identical to baseline")
+    print("chaos fabric passed: all three kill scenarios byte-identical to baseline")
     return 0
 
 

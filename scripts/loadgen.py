@@ -9,6 +9,14 @@ code) and error taxonomy as both a human-readable table and an
 optional JSON artifact — the file the CI serve-smoke step uploads and
 asserts its p99 bound against.
 
+Transport failures are bucketed, not lumped: a connection *refused*
+(nothing listening — the server is down or not yet up) and a
+connection *reset* (the server died mid-exchange — a crash or an
+unclean drain) are different diagnoses, so they get their own
+status buckets (``refused``/``reset``) alongside the generic
+``transport`` catch-all. All three count toward ``transport_errors``
+and trip ``--fail-on-5xx``.
+
 Two connection modes, reported side by side in the summary:
 
 * the default opens a fresh TCP connection per request (``urllib``) —
@@ -85,8 +93,49 @@ def latency_summary(samples: "list[float]") -> dict:
     }
 
 
+#: Sentinel status codes for requests that never produced an HTTP
+#: response. Negative so they can never collide with a real status.
+STATUS_TRANSPORT = 0  #: generic transport failure (timeout, DNS, ...)
+STATUS_REFUSED = -1  #: connection refused — nothing listening
+STATUS_RESET = -2  #: connection reset / broken pipe — peer died mid-exchange
+
+
+def transport_code(error: BaseException) -> int:
+    """Classify a transport-layer failure into its status bucket.
+
+    ``urllib`` wraps socket errors in :class:`urllib.error.URLError`,
+    so unwrap ``reason`` first; ``http.client`` raises the ``OSError``
+    subclasses directly.
+
+    >>> transport_code(ConnectionRefusedError())
+    -1
+    >>> transport_code(urllib.error.URLError(ConnectionResetError()))
+    -2
+    >>> transport_code(TimeoutError())
+    0
+    """
+    if isinstance(error, urllib.error.URLError):
+        reason = error.reason
+        if isinstance(reason, BaseException):
+            error = reason
+    if isinstance(error, ConnectionRefusedError):
+        return STATUS_REFUSED
+    if isinstance(error, (ConnectionResetError, BrokenPipeError)):
+        return STATUS_RESET
+    return STATUS_TRANSPORT
+
+
+def _status_label(code: int) -> str:
+    """The bucket name a (possibly sentinel) status code reports under."""
+    return {
+        STATUS_TRANSPORT: "transport",
+        STATUS_REFUSED: "refused",
+        STATUS_RESET: "reset",
+    }.get(code, str(code))
+
+
 def one_request(base_url: str, path: str, timeout_s: float) -> "tuple[int, float]":
-    """Issue one GET; returns (status, elapsed seconds). 0 = transport error."""
+    """Issue one GET; returns (status, elapsed seconds). <= 0 = transport error."""
     started = time.monotonic()
     try:
         with urllib.request.urlopen(base_url + path, timeout=timeout_s) as response:
@@ -95,8 +144,8 @@ def one_request(base_url: str, path: str, timeout_s: float) -> "tuple[int, float
     except urllib.error.HTTPError as error:
         error.read()
         status = error.code
-    except (urllib.error.URLError, OSError, TimeoutError):
-        status = 0
+    except (urllib.error.URLError, OSError, TimeoutError) as error:
+        status = transport_code(error)
     return status, time.monotonic() - started
 
 
@@ -144,10 +193,10 @@ class KeepAliveClient:
             self.close()  # stale keep-alive socket: reconnect and retry once
             try:
                 status = self._once(path)
-            except (http.client.HTTPException, OSError):
+            except (http.client.HTTPException, OSError) as error:
                 self.close()
-                status = 0
-        if status != 0:
+                status = transport_code(error)
+        if status > 0:
             self.requests_sent += 1
         return status, time.monotonic() - started
 
@@ -208,7 +257,9 @@ def run_load(
     server_errors = sum(
         len(samples) for code, samples in by_status.items() if code >= 500
     )
-    transport_errors = len(by_status.get(0, []))
+    transport_errors = sum(
+        len(samples) for code, samples in by_status.items() if code <= 0
+    )
     summary = {
         "base_url": base_url,
         "requests": total,
@@ -217,13 +268,18 @@ def run_load(
         "elapsed_s": round(elapsed, 4),
         "throughput_rps": round(total / elapsed, 2) if elapsed > 0 else 0.0,
         "status_mix": {
-            str(code): len(by_status[code]) for code in sorted(by_status)
+            _status_label(code): len(by_status[code]) for code in sorted(by_status)
         },
         "server_errors": server_errors,
         "transport_errors": transport_errors,
+        "transport": {
+            "refused": len(by_status.get(STATUS_REFUSED, [])),
+            "reset": len(by_status.get(STATUS_RESET, [])),
+            "other": len(by_status.get(STATUS_TRANSPORT, [])),
+        },
         "latency_ms": latency_summary(latencies),
         "by_status": {
-            str(code): {
+            _status_label(code): {
                 "count": len(by_status[code]),
                 "latency_ms": latency_summary(by_status[code]),
             }
@@ -270,7 +326,14 @@ def render(summary: dict) -> str:
     if summary["server_errors"]:
         lines.append(f"!! {summary['server_errors']} server (5xx) errors")
     if summary["transport_errors"]:
-        lines.append(f"!! {summary['transport_errors']} transport errors")
+        taxonomy = summary.get("transport", {})
+        detail = ", ".join(
+            f"{bucket}={count}" for bucket, count in taxonomy.items() if count
+        )
+        lines.append(
+            f"!! {summary['transport_errors']} transport errors"
+            + (f" ({detail})" if detail else "")
+        )
     return "\n".join(lines)
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.analysis.pareto import DesignPoint, evaluate_classes
 from repro.core.naming import MachineType
@@ -156,6 +157,7 @@ def explore(
     resume: bool = False,
     checkpoint_dir: "str | None" = None,
     workers: "str | None" = None,
+    fabric_options: "Mapping[str, Any] | None" = None,
     batch_kernel: bool = True,
 ) -> Recommendation:
     """Rank every implementable class against the requirements.
@@ -166,7 +168,9 @@ def explore(
     :func:`repro.analysis.pareto.evaluate_classes`, so a long DSE run
     can skip bad points and restart from its checkpoint journal.
     ``workers`` routes the evaluation over the distributed sweep fabric
-    — the recommendation is byte-identical either way. ``batch_kernel``
+    — the recommendation is byte-identical either way — and
+    ``fabric_options`` carries extra :func:`~repro.perf.fabric_sweep`
+    scheduling knobs along with it. ``batch_kernel``
     forwards too: single-job runs price all classes through the
     vectorized :mod:`repro.core.batch` kernel when NumPy is available,
     again with a byte-identical recommendation.
@@ -185,6 +189,7 @@ def explore(
             resume=resume,
             checkpoint_dir=checkpoint_dir,
             workers=workers,
+            fabric_options=fabric_options,
             batch_kernel=batch_kernel,
         )
         feasible = [p for p in points if requirements.admits(p)]

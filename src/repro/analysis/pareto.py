@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.core.flexibility import flexibility
 from repro.core.naming import MachineType
@@ -146,6 +147,7 @@ def evaluate_classes(
     resume: bool = False,
     checkpoint_dir: "str | None" = None,
     workers: "str | None" = None,
+    fabric_options: "Mapping[str, Any] | None" = None,
     batch_kernel: bool = True,
 ) -> list[DesignPoint]:
     """Evaluate Eq. 1 and Eq. 2 for every (given) implementable class.
@@ -161,6 +163,10 @@ def evaluate_classes(
     ``workers`` (``"HOST:PORT,HOST:PORT"``) routes the sweep through the
     distributed fabric (:func:`repro.perf.fabric_sweep`); the journal
     then shards by point index so any worker mix resumes bit-exactly.
+    ``fabric_options`` forwards extra keyword arguments to
+    :func:`~repro.perf.fabric_sweep` (``max_lease_size``,
+    ``membership``, ``listen``, …) — scheduling knobs only, never
+    artifact-affecting.
 
     ``batch_kernel=True`` (the default) routes plain single-job
     evaluations through the vectorized :mod:`repro.core.batch` kernel
@@ -212,6 +218,7 @@ def evaluate_classes(
                     checkpoint=checkpoint,
                     fallback_executor=chosen_executor,
                     fallback_jobs=jobs,
+                    **dict(fabric_options or {}),
                 )
             else:
                 result = sweep(

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.core.components import Multiplicity
 from repro.core.errors import FaultError
@@ -185,6 +186,7 @@ def resilience_sweep(
     resume: bool = False,
     checkpoint_dir: "str | None" = None,
     workers: "str | None" = None,
+    fabric_options: "Mapping[str, Any] | None" = None,
 ) -> list[ResiliencePoint]:
     """Degradation curves for the whole survey, best-sustained first.
 
@@ -199,6 +201,9 @@ def resilience_sweep(
     ``workers`` (``"HOST:PORT,HOST:PORT"``) fans the architectures out
     over the distributed fabric instead of a local pool — same results,
     same order, and with ``resume=True`` an index-sharded journal.
+    ``fabric_options`` forwards extra :func:`~repro.perf.fabric_sweep`
+    keywords (``max_lease_size``, ``membership``, ``listen``, …);
+    they steer scheduling only, never the artifact.
     """
     if not rates:
         raise ValueError("at least one fault rate is required")
@@ -236,6 +241,7 @@ def resilience_sweep(
                     checkpoint=checkpoint,
                     fallback_executor=chosen_executor,
                     fallback_jobs=jobs,
+                    **dict(fabric_options or {}),
                 )
             else:
                 result = sweep(

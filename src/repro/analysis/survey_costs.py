@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.models.area import AreaModel
 from repro.models.configbits import ConfigBitsModel
@@ -148,6 +149,7 @@ def evaluate_survey(
     resume: bool = False,
     checkpoint_dir: "str | None" = None,
     workers: "str | None" = None,
+    fabric_options: "Mapping[str, Any] | None" = None,
     batch_kernel: bool = True,
 ) -> list[SurveyCostPoint]:
     """Estimate every surveyed architecture's costs at its own size.
@@ -163,6 +165,9 @@ def evaluate_survey(
     distributed fabric instead of a local pool; with ``resume=True`` the
     journal becomes an index-sharded :class:`ShardedCheckpoint` whose
     merge is byte-identical to the single-host journal.
+    ``fabric_options`` forwards extra :func:`~repro.perf.fabric_sweep`
+    keywords (``max_lease_size``, ``membership``, ``listen``, …) —
+    scheduling knobs that never change the artifact.
 
     ``batch_kernel=True`` (the default) prices plain single-job,
     default-model runs through the vectorized :mod:`repro.core.batch`
@@ -218,6 +223,7 @@ def evaluate_survey(
                     checkpoint=checkpoint,
                     fallback_executor=chosen_executor,
                     fallback_jobs=jobs,
+                    **dict(fabric_options or {}),
                 )
             else:
                 result = sweep(
@@ -243,12 +249,14 @@ def survey_cost_table(
     timeout_s: "float | None" = None,
     resume: bool = False,
     workers: "str | None" = None,
+    fabric_options: "Mapping[str, Any] | None" = None,
     batch_kernel: bool = True,
 ) -> str:
     """Rendered cost table over the whole survey.
 
     Byte-identical whether the batch kernel, the scalar sweep, or the
-    distributed fabric produced the underlying points.
+    distributed fabric produced the underlying points — including under
+    any ``fabric_options`` scheduling knobs.
     """
     from repro.reporting.tables import format_table
 
@@ -259,6 +267,7 @@ def survey_cost_table(
         timeout_s=timeout_s,
         resume=resume,
         workers=workers,
+        fabric_options=fabric_options,
         batch_kernel=batch_kernel,
     )
     header = (

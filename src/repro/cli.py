@@ -19,11 +19,12 @@
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.analysis.dse import Objective, Requirements, explore
 from repro.core.classify import classify
-from repro.core.errors import FaultError, ReproError
+from repro.core.errors import FabricError, FaultError, ReproError
 from repro.core.signature import make_signature
 from repro.registry.architectures import architecture
 from repro.registry.survey import errata_report
@@ -363,19 +364,89 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_fabric_argument(parser: argparse.ArgumentParser) -> None:
-    """The shared ``--workers`` flag: run the sweep on the distributed fabric.
+    """The shared fabric flags: ``--workers``, ``--supervise``,
+    ``--max-lease-size``, ``--rejoin-backoff``.
 
-    The endpoints name running ``sweep-worker`` processes (coordinator
-    dials workers). Results stay byte-identical to a local run; if no
-    worker answers within the join deadline the sweep silently runs
-    locally instead. With ``--resume`` the checkpoint journal shards by
-    point index (``.s0of8`` … files) and merges deterministically.
+    ``--workers`` endpoints name running ``sweep-worker`` processes
+    (coordinator dials workers). Results stay byte-identical to a local
+    run; if no worker answers within the join deadline the sweep
+    silently runs locally instead. With ``--resume`` the checkpoint
+    journal shards by point index (``.s0of8`` … files) and merges
+    deterministically. ``--supervise N`` launches (and respawns) N
+    local workers for the duration of the command; the other two tune
+    the elastic-membership scheduler — none of the three can change an
+    artifact.
     """
     parser.add_argument(
         "--workers", default=None, metavar="HOST:PORT,...",
         help="distribute the sweep over these sweep-worker endpoints "
         "(default: run locally)",
     )
+    parser.add_argument(
+        "--supervise", type=int, default=0, metavar="N",
+        help="launch N supervised local sweep workers for this command "
+        "(crashed workers respawn on the same port; default 0)",
+    )
+    parser.add_argument(
+        "--max-lease-size", type=int, default=None, metavar="N",
+        dest="max_lease_size",
+        help="let per-worker lease sizes autoscale up to N points from "
+        "observed throughput (default: fixed at the base lease size)",
+    )
+    parser.add_argument(
+        "--rejoin-backoff", type=float, default=None, metavar="S",
+        dest="rejoin_backoff",
+        help="base seconds before re-dialing a lost worker endpoint "
+        "(exponential with jitter; 0 disables rejoin; default 0.25)",
+    )
+
+
+@contextlib.contextmanager
+def _fabric_fleet(args: argparse.Namespace):
+    """Resolve the fabric flags into ``(workers, fabric_options)``.
+
+    Builds the :func:`~repro.perf.fabric_sweep` option dict from
+    ``--max-lease-size`` / ``--rejoin-backoff``, and — under
+    ``--supervise N`` — boots a :class:`~repro.perf.WorkerSupervisor`
+    whose endpoints are appended to ``--workers`` for the duration of
+    the command. The supervisor (and its workers) are torn down on the
+    way out, success or not. Out-of-range flag values surface as
+    :class:`~repro.core.errors.FabricError` so the CLI's usual
+    ``error: ...`` / exit-2 contract holds.
+    """
+    options: "dict[str, object]" = {}
+    if getattr(args, "max_lease_size", None) is not None:
+        if args.max_lease_size < 1:
+            raise FabricError(
+                f"--max-lease-size must be >= 1, got {args.max_lease_size}"
+            )
+        options["max_lease_size"] = args.max_lease_size
+    if getattr(args, "rejoin_backoff", None) is not None:
+        from repro.perf.fabric import MembershipPolicy
+
+        try:
+            options["membership"] = MembershipPolicy(
+                rejoin_backoff_s=args.rejoin_backoff
+            )
+        except ValueError as error:
+            raise FabricError(f"--rejoin-backoff: {error}") from error
+    workers = args.workers
+    supervise = getattr(args, "supervise", 0)
+    if not supervise:
+        yield workers, options
+        return
+    from repro.perf.supervisor import WorkerSupervisor
+
+    try:
+        supervisor = WorkerSupervisor(supervise)
+    except ValueError as error:
+        raise FabricError(f"--supervise: {error}") from error
+    endpoints = ",".join(supervisor.start())
+    merged = f"{workers},{endpoints}" if workers else endpoints
+    try:
+        yield merged, options
+    finally:
+        supervisor.stop()
 
 
 def _add_batch_kernel_argument(parser: argparse.ArgumentParser) -> None:
@@ -642,16 +713,18 @@ def _run_faults(args: argparse.Namespace) -> int:
             ) from None
     else:
         rates = DEFAULT_FAULT_RATES
-    points = resilience_sweep(
-        rates,
-        n=args.n,
-        spares=args.spares,
-        jobs=args.jobs,
-        on_error=args.on_error,
-        timeout_s=args.timeout,
-        resume=args.resume,
-        workers=args.workers,
-    )
+    with _fabric_fleet(args) as (workers, fabric_options):
+        points = resilience_sweep(
+            rates,
+            n=args.n,
+            spares=args.spares,
+            jobs=args.jobs,
+            on_error=args.on_error,
+            timeout_s=args.timeout,
+            resume=args.resume,
+            workers=workers,
+            fabric_options=fabric_options,
+        )
     print(render_resilience_table(points))
 
     if args.out != "-":
@@ -702,31 +775,35 @@ def _dispatch(args: argparse.Namespace) -> int:
             max_config_bits=args.max_config_bits,
             n=args.n,
         )
-        recommendation = explore(
-            requirements,
-            objective=objective,
-            jobs=args.jobs,
-            on_error=args.on_error,
-            timeout_s=args.timeout,
-            resume=args.resume,
-            workers=args.workers,
-            batch_kernel=args.batch_kernel,
-        )
-        print(recommendation.explain())
-    elif args.command == "costs":
-        from repro.analysis.survey_costs import survey_cost_table
-
-        print(
-            survey_cost_table(
-                default_n=args.n,
+        with _fabric_fleet(args) as (workers, fabric_options):
+            recommendation = explore(
+                requirements,
+                objective=objective,
                 jobs=args.jobs,
                 on_error=args.on_error,
                 timeout_s=args.timeout,
                 resume=args.resume,
-                workers=args.workers,
+                workers=workers,
+                fabric_options=fabric_options,
                 batch_kernel=args.batch_kernel,
             )
-        )
+        print(recommendation.explain())
+    elif args.command == "costs":
+        from repro.analysis.survey_costs import survey_cost_table
+
+        with _fabric_fleet(args) as (workers, fabric_options):
+            print(
+                survey_cost_table(
+                    default_n=args.n,
+                    jobs=args.jobs,
+                    on_error=args.on_error,
+                    timeout_s=args.timeout,
+                    resume=args.resume,
+                    workers=workers,
+                    fabric_options=fabric_options,
+                    batch_kernel=args.batch_kernel,
+                )
+            )
     elif args.command == "report":
         from repro.reporting.bundle import generate_report
 

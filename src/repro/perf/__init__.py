@@ -11,8 +11,12 @@ a shared engine:
   worker-crash isolation and checkpoint/resume;
 * :func:`fabric_sweep` / :class:`FabricWorker` — the distributed
   fabric: the same sweep sharded over TCP workers with lease-based
-  failure detection, work-stealing and chaos-verified resume (the
-  CLI's ``sweep-worker`` / ``--workers`` flags);
+  failure detection, work-stealing, chaos-verified resume and
+  self-healing elastic membership — lost endpoints are re-dialed,
+  flappers quarantined (:class:`MembershipPolicy`), late joiners
+  admitted mid-sweep, and :class:`WorkerSupervisor` keeps local
+  worker processes respawned (the CLI's ``sweep-worker`` /
+  ``--workers`` / ``--supervise`` flags);
 * :class:`SweepCheckpoint` — the append-only journal behind the CLI's
   ``--resume`` flag, keyed by a content hash of the sweep spec — and
   :class:`ShardedCheckpoint`, its fabric-side sibling that fans the
@@ -49,9 +53,12 @@ from repro.perf.engine import (
 )
 from repro.perf.fabric import (
     FABRIC_PROTOCOL,
+    FABRIC_PROTOCOLS,
     WORKER_ENV,
     FabricWorker,
+    MembershipPolicy,
     fabric_sweep,
+    fleet_health,
     parse_endpoints,
 )
 from repro.perf.journal import (
@@ -64,6 +71,7 @@ from repro.perf.journal import (
     merge_journal_loads,
     spec_digest,
 )
+from repro.perf.supervisor import WorkerSupervisor
 
 __all__ = [
     "EXECUTORS",
@@ -76,9 +84,13 @@ __all__ = [
     "resolve_jobs",
     "sweep",
     "FABRIC_PROTOCOL",
+    "FABRIC_PROTOCOLS",
     "WORKER_ENV",
     "FabricWorker",
+    "MembershipPolicy",
+    "WorkerSupervisor",
     "fabric_sweep",
+    "fleet_health",
     "parse_endpoints",
     "DEFAULT_SHARDS",
     "JournalEntry",

@@ -25,6 +25,19 @@ case, not the exception:
   host rebooted) or a missed heartbeat (``lease_ttl_s`` without a sign
   of life — the worker is wedged or partitioned) expires the worker:
   every point it held is re-queued and evaluated elsewhere;
+* **elastic membership** — a lost endpoint is not lost capacity: the
+  coordinator re-dials it with seeded exponential backoff + jitter
+  (:class:`MembershipPolicy`), and an optional listen socket lets
+  brand-new workers *register* mid-sweep (``listen=``) — late joins and
+  rejoins are issued leases immediately;
+* **quarantine** — a per-worker health ledger (consecutive losses,
+  crash-budget spend, heartbeat gap) spots flapping workers; past
+  ``quarantine_losses`` consecutive losses a worker sits out a
+  geometric probation (mirroring the serve circuit breaker) and is
+  ejected for good once it exhausts ``max_quarantines``;
+* **adaptive leases** — each worker's observed points/sec (EWMA) sizes
+  its next lease between ``lease_size`` and ``max_lease_size``, so
+  stragglers stop hoarding work and fast workers stop round-tripping;
 * **work-stealing** — an idle worker with nothing left in the queue
   duplicates the oldest outstanding lease of a straggler; the first
   result for a point wins and later duplicates are discarded, which is
@@ -35,9 +48,9 @@ case, not the exception:
   performs) and finished through the engine's last-resort path instead
   of wedging the fleet;
 * **graceful degradation** — if no worker joins within
-  ``join_deadline_s``, or every worker is lost mid-sweep, the
-  coordinator finishes the remaining points locally: a lost fleet
-  costs wall-clock, never a lost sweep;
+  ``join_deadline_s``, or every worker is lost and none can possibly
+  return within a lease TTL, the coordinator finishes the remaining
+  points locally: a lost fleet costs wall-clock, never a lost sweep;
 * **checkpointing** — pass a
   :class:`~repro.perf.journal.ShardedCheckpoint` and every completed
   point is fsync-journalled into its index's home shard as results
@@ -46,8 +59,13 @@ case, not the exception:
 
 Results are byte-identical to a single-host run: outcomes are keyed by
 point index, values are whatever the pure point function returns, and
-the fabric's scheduling (which worker, in what order, stolen or not)
-leaves no trace in the output.
+the fabric's scheduling (which worker, in what order, stolen, rejoined
+or not) leaves no trace in the output.
+
+Fleet health (state per endpoint, rejoin counts, lease latency) is
+published through :func:`fleet_health` and ``fabric.*`` gauges so the
+serve plane's ``/v1/readyz`` — and any orchestrator scraping it — can
+watch the fleet breathe.
 
 Trust model: the worker executes a function object shipped by whoever
 connects to it — the same trust level as unpickling a checkpoint
@@ -57,9 +75,11 @@ journal. Bind workers to loopback or a network you trust.
 from __future__ import annotations
 
 import base64
+import copy
 import json
 import os
 import pickle
+import random
 import socket
 import threading
 import time
@@ -79,14 +99,22 @@ __all__ = [
     "DEFAULT_LEASE_SIZE",
     "DEFAULT_MAX_POINT_CRASHES",
     "FABRIC_PROTOCOL",
+    "FABRIC_PROTOCOLS",
+    "MembershipPolicy",
     "WORKER_ENV",
     "FabricWorker",
     "fabric_sweep",
+    "fleet_health",
     "parse_endpoints",
 ]
 
-#: Protocol tag exchanged in the handshake; mismatches refuse the link.
-FABRIC_PROTOCOL = "repro-sweep-fabric/1"
+#: Protocol tag this build speaks natively (offered in every handshake).
+FABRIC_PROTOCOL = "repro-sweep-fabric/2"
+
+#: Protocol tags the coordinator accepts, newest first. A v1 worker's
+#: hello is answered with a v1 job frame (the coordinator echoes the
+#: worker's protocol), so old fleets keep working against new drivers.
+FABRIC_PROTOCOLS = ("repro-sweep-fabric/2", "repro-sweep-fabric/1")
 
 #: Environment variable set to ``"1"`` inside ``sweep-worker`` processes,
 #: so point functions can tell whether they run on a worker or locally.
@@ -120,6 +148,18 @@ _WORKERS_JOINED = _metrics.REGISTRY.counter(
 _WORKERS_LOST = _metrics.REGISTRY.counter(
     "fabric.workers_lost", help="workers lost mid-sweep (dead socket or expired lease)"
 )
+_WORKERS_REJOINED = _metrics.REGISTRY.counter(
+    "fabric.workers_rejoined", help="lost endpoints re-admitted after a successful re-dial"
+)
+_LATE_JOINS = _metrics.REGISTRY.counter(
+    "fabric.late_joins", help="workers that registered on the listen socket mid-sweep"
+)
+_WORKERS_QUARANTINED = _metrics.REGISTRY.counter(
+    "fabric.workers_quarantined", help="flapping workers put on re-admission probation"
+)
+_WORKERS_EJECTED = _metrics.REGISTRY.counter(
+    "fabric.workers_ejected", help="workers ejected after exhausting their quarantine budget"
+)
 _LEASES_EXPIRED = _metrics.REGISTRY.counter(
     "fabric.leases_expired", help="leases expired by missed heartbeats"
 )
@@ -134,6 +174,18 @@ _POINTS_RESPAWNED = _metrics.REGISTRY.counter(
 )
 _LOCAL_FALLBACKS = _metrics.REGISTRY.counter(
     "fabric.local_fallbacks", help="sweeps (or sweep tails) finished locally for lack of workers"
+)
+_LIVE_WORKERS = _metrics.REGISTRY.gauge(
+    "fabric.live_workers", help="workers currently holding a live fabric session"
+)
+_QUARANTINED_WORKERS = _metrics.REGISTRY.gauge(
+    "fabric.quarantined_workers", help="workers currently sitting out a probation window"
+)
+_PENDING_POINTS = _metrics.REGISTRY.gauge(
+    "fabric.pending_points", help="points queued and not yet leased (scale on this)"
+)
+_LEASE_LATENCY = _metrics.REGISTRY.histogram(
+    "fabric.lease_latency_s", help="seconds from lease issue to its result frame"
 )
 
 
@@ -204,6 +256,193 @@ def _recv(rfile: Any) -> "dict[str, Any] | None":
     return frame
 
 
+# -- membership policy -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MembershipPolicy:
+    """How the coordinator heals, polices and prunes fleet membership.
+
+    Two seeded-geometric schedules (the same deterministic shape the
+    serve :class:`~repro.serve.breaker.BreakerPolicy` uses for its
+    recovery intervals) drive the two halves of the lifecycle:
+
+    * **rejoin** — a lost endpoint is re-dialed after
+      ``rejoin_backoff_s``, doubling (``rejoin_factor``) per failed
+      dial up to ``max_rejoin_backoff_s``; ``max_dial_failures``
+      consecutive connection failures write the endpoint off as
+      unreachable. ``rejoin_backoff_s = 0`` disables re-dialing
+      entirely (the pre-elastic fabric's behaviour).
+    * **quarantine** — ``quarantine_losses`` consecutive session losses
+      (or any loss while on probation) quarantine the worker for
+      ``probation_s``, doubling per quarantine up to
+      ``max_probation_s``; more than ``max_quarantines`` quarantines
+      eject it for the rest of the sweep.
+
+    Jitter is deterministic: ``seed`` is hash-mixed with the endpoint
+    ordinal and attempt number, so a membership schedule replays
+    identically — which is what lets hypothesis pin the determinism
+    contract over join/leave/quarantine interleavings.
+    """
+
+    rejoin_backoff_s: float = 0.25
+    rejoin_factor: float = 2.0
+    rejoin_jitter: float = 0.25
+    max_rejoin_backoff_s: float = 2.0
+    max_dial_failures: int = 3
+    quarantine_losses: int = 3
+    probation_s: float = 1.0
+    probation_factor: float = 2.0
+    max_probation_s: float = 30.0
+    max_quarantines: int = 2
+    seed: int = 0
+
+    def __post_init__(self):
+        """Validate the knobs; raises :class:`ValueError` on nonsense."""
+        if self.rejoin_backoff_s < 0.0:
+            raise ValueError(
+                f"rejoin_backoff_s must be >= 0, got {self.rejoin_backoff_s}"
+            )
+        if self.rejoin_factor < 1.0:
+            raise ValueError(f"rejoin_factor must be >= 1, got {self.rejoin_factor}")
+        if not 0.0 <= self.rejoin_jitter <= 1.0:
+            raise ValueError(
+                f"rejoin_jitter must be within [0, 1], got {self.rejoin_jitter}"
+            )
+        if self.max_rejoin_backoff_s < self.rejoin_backoff_s:
+            raise ValueError(
+                f"max_rejoin_backoff_s ({self.max_rejoin_backoff_s:g}) must be >= "
+                f"rejoin_backoff_s ({self.rejoin_backoff_s:g})"
+            )
+        if self.max_dial_failures < 1:
+            raise ValueError(
+                f"max_dial_failures must be >= 1, got {self.max_dial_failures}"
+            )
+        if self.quarantine_losses < 1:
+            raise ValueError(
+                f"quarantine_losses must be >= 1, got {self.quarantine_losses}"
+            )
+        if self.probation_s <= 0.0:
+            raise ValueError(f"probation_s must be positive, got {self.probation_s}")
+        if self.probation_factor < 1.0:
+            raise ValueError(
+                f"probation_factor must be >= 1, got {self.probation_factor}"
+            )
+        if self.max_probation_s < self.probation_s:
+            raise ValueError(
+                f"max_probation_s ({self.max_probation_s:g}) must be >= "
+                f"probation_s ({self.probation_s:g})"
+            )
+        if self.max_quarantines < 0:
+            raise ValueError(
+                f"max_quarantines must be >= 0, got {self.max_quarantines}"
+            )
+
+    def _noise(self, *salts: int) -> float:
+        """Deterministic jitter in ``[0, 1)`` from the seed and salts."""
+        mixed = (self.seed & 0xFFFFFFFF) * 0x9E3779B1
+        for salt in salts:
+            mixed = (mixed ^ (mixed >> 16)) * 0x85EBCA6B + salt
+        return random.Random(mixed & 0xFFFFFFFFFFFFFFFF).random()
+
+    def rejoin_delay_s(self, ordinal: int, attempt: int) -> float:
+        """Seconds before re-dial ``attempt`` (1-based) of endpoint ``ordinal``."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        base = min(
+            self.rejoin_backoff_s * self.rejoin_factor ** (attempt - 1),
+            self.max_rejoin_backoff_s,
+        )
+        return base * (1.0 + self.rejoin_jitter * self._noise(ordinal + 1, attempt))
+
+    def probation_delay_s(self, ordinal: int, quarantine_count: int) -> float:
+        """Seconds quarantine ``quarantine_count`` (1-based) sidelines the worker."""
+        if quarantine_count < 1:
+            raise ValueError(f"quarantine_count is 1-based, got {quarantine_count}")
+        base = min(
+            self.probation_s * self.probation_factor ** (quarantine_count - 1),
+            self.max_probation_s,
+        )
+        return base * (
+            1.0 + self.rejoin_jitter * self._noise(-(ordinal + 1), quarantine_count)
+        )
+
+
+@dataclass
+class _EndpointHealth:
+    """The coordinator's health ledger entry for one worker identity.
+
+    States: ``connecting`` (a dial is in flight), ``live`` (session up),
+    ``lost`` (awaiting a rejoin backoff), ``quarantined`` (flapping —
+    sitting out probation), ``unreachable`` (dial budget exhausted, or
+    an inbound registration that cannot be re-dialed), ``ejected``
+    (quarantine budget exhausted; out for the rest of the sweep).
+    """
+
+    ordinal: int
+    endpoint: str
+    addr: "tuple[str, int] | None"
+    state: str = "connecting"
+    link_id: "int | None" = None
+    label: str = "?"
+    losses: int = 0
+    consecutive_losses: int = 0
+    dial_failures: int = 0
+    rejoins: int = 0
+    quarantines: int = 0
+    crash_spend: int = 0
+    probation: bool = False
+    gap_ewma_s: float = 0.0
+    rate_ewma: float = 0.0
+    next_attempt: float = 0.0
+    dialing: bool = False
+
+    def snapshot(self) -> "dict[str, Any]":
+        """A JSON-safe view of this entry for :func:`fleet_health`."""
+        return {
+            "endpoint": self.endpoint,
+            "identity": self.label,
+            "state": self.state,
+            "losses": self.losses,
+            "consecutive_losses": self.consecutive_losses,
+            "dial_failures": self.dial_failures,
+            "rejoins": self.rejoins,
+            "quarantines": self.quarantines,
+            "crash_spend": self.crash_spend,
+            "probation": self.probation,
+            "heartbeat_gap_s": round(self.gap_ewma_s, 4),
+            "points_per_s": round(self.rate_ewma, 3),
+        }
+
+
+# -- fleet health ----------------------------------------------------------
+
+_FLEET_LOCK = threading.Lock()
+_FLEET: "dict[str, Any]" = {"active": False, "workers": []}
+
+
+def fleet_health() -> "dict[str, Any]":
+    """A snapshot of the most recent (or in-flight) fabric sweep's fleet.
+
+    ``{"active": bool, "workers": [ledger entries], "counts": {state:
+    n}, "points": {"total", "done", "pending"}, "rejoins",
+    "late_joins", "lease": {...}}``. Published once per coordinator
+    tick; after the sweep ends the final tallies stay readable with
+    ``active`` false. Concurrent sweeps overwrite each other — the
+    serve plane runs one fabric sweep at a time, which is the intended
+    consumer (``/v1/readyz``).
+    """
+    with _FLEET_LOCK:
+        return copy.deepcopy(_FLEET)
+
+
+def _publish(snapshot: "dict[str, Any]") -> None:
+    """Replace the module-level fleet snapshot atomically."""
+    with _FLEET_LOCK:
+        _FLEET.clear()
+        _FLEET.update(snapshot)
+
+
 # -- coordinator -----------------------------------------------------------
 
 
@@ -221,6 +460,8 @@ class _Link:
     wlock: threading.Lock = field(default_factory=threading.Lock)
     last_seen: float = field(default_factory=time.monotonic)
     lost: bool = False
+    rate_ewma: float = 0.0
+    gap_ewma_s: float = 0.0
 
     @property
     def label(self) -> str:
@@ -239,15 +480,105 @@ class _Lease:
     stolen: bool = False
 
 
+def _handshake(
+    sock: socket.socket,
+    endpoint: str,
+    link_id: int,
+    *,
+    fn_blob: str,
+    spec_blob: str,
+    heartbeat_s: float,
+    lease_ttl_s: float,
+    timeout_s: float,
+) -> _Link:
+    """Complete the coordinator side of the handshake on a raw socket.
+
+    The worker speaks first (hello) on *both* the dial and the
+    registration path, which is what makes inbound registration a
+    one-line reuse of this function. The job frame echoes whichever
+    protocol the worker offered, so v1 workers — which check for an
+    exact protocol match — keep working. Raises :class:`OSError` or
+    :class:`FabricError`; the caller owns closing the socket then.
+    """
+    sock.settimeout(timeout_s)
+    rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+    wfile = sock.makefile("w", encoding="utf-8", newline="\n")
+    hello = _recv(rfile)
+    if (
+        hello is None
+        or hello.get("type") != "hello"
+        or hello.get("protocol") not in FABRIC_PROTOCOLS
+    ):
+        raise FabricError(
+            f"worker {endpoint} spoke an unexpected protocol: {hello!r}"
+        )
+    link = _Link(
+        id=link_id,
+        endpoint=endpoint,
+        sock=sock,
+        rfile=rfile,
+        wfile=wfile,
+        host=str(hello.get("host", "?")),
+        pid=int(hello.get("pid", 0)),
+    )
+    _send(
+        wfile,
+        link.wlock,
+        {
+            "type": "job",
+            "protocol": str(hello.get("protocol")),
+            "fn": fn_blob,
+            "spec": spec_blob,
+            "heartbeat_s": heartbeat_s,
+            "lease_ttl_s": lease_ttl_s,
+        },
+    )
+    sock.settimeout(None)
+    return link
+
+
+def _dial_once(
+    endpoint: "tuple[str, int]",
+    link_id: int,
+    *,
+    fn_blob: str,
+    spec_blob: str,
+    heartbeat_s: float,
+    lease_ttl_s: float,
+    timeout_s: float,
+) -> _Link:
+    """One connection + handshake attempt; raises on any failure."""
+    host, port = endpoint
+    sock = socket.create_connection((host, port), timeout=timeout_s)
+    try:
+        return _handshake(
+            sock,
+            f"{host}:{port}",
+            link_id,
+            fn_blob=fn_blob,
+            spec_blob=spec_blob,
+            heartbeat_s=heartbeat_s,
+            lease_ttl_s=lease_ttl_s,
+            timeout_s=timeout_s,
+        )
+    except (OSError, FabricError):
+        try:
+            sock.close()
+        except OSError:
+            pass
+        raise
+
+
 class _Coordinator:
-    """Shard, lease, watch, steal, merge — the fabric's control loop.
+    """Shard, lease, watch, steal, heal, merge — the fabric's control loop.
 
     One instance drives one sweep. Reader threads (one per worker link)
     handle the message traffic; the caller's thread runs :meth:`run`,
-    which polices heartbeats, finishes poison points, and degrades to
-    local execution when the fleet is gone. All shared state is guarded
-    by one lock — the fabric's scale ceiling is network round-trips,
-    not this lock.
+    which polices heartbeats, re-dials lost endpoints, admits
+    late-registering workers, finishes poison points, and degrades to
+    local execution when the fleet is gone for good. All shared state
+    is guarded by one lock — the fabric's scale ceiling is network
+    round-trips, not this lock.
     """
 
     def __init__(
@@ -256,21 +587,34 @@ class _Coordinator:
         pairs: "list[tuple[int, Any]]",
         links: "list[_Link]",
         *,
+        endpoints: "tuple[tuple[str, int], ...]",
+        fn_blob: str,
+        spec_blob: str,
         spec: Any,
         checkpoint: Any,
         lease_size: int,
+        max_lease_size: int,
         heartbeat_s: float,
         lease_ttl_s: float,
         max_point_crashes: int,
+        policy: MembershipPolicy,
+        listener: "socket.socket | None",
+        connect_timeout_s: float,
         span: Any,
     ):
         self._fn = fn
+        self._fn_blob = fn_blob
+        self._spec_blob = spec_blob
         self._spec = spec
         self._checkpoint = checkpoint
         self._lease_size = lease_size
+        self._max_lease_size = max_lease_size
         self._heartbeat_s = heartbeat_s
         self._lease_ttl_s = lease_ttl_s
         self._max_point_crashes = max_point_crashes
+        self._policy = policy
+        self._listener = listener
+        self._connect_timeout_s = connect_timeout_s
         self._span = span
         self._total = len(pairs)
         self._lock = threading.Lock()
@@ -283,24 +627,44 @@ class _Coordinator:
         self._poisoned: set[int] = set()
         self._links: dict[int, _Link] = {link.id: link for link in links}
         self._lease_seq = 0
+        self._latency_ewma_s = 0.0
+        self._late_joins = 0
         self._complete = threading.Event()
         self._tick_s = max(0.01, min(0.05, heartbeat_s / 4.0))
+        self._readers: "list[threading.Thread]" = []
+        # The health ledger: one entry per dialable endpoint up front
+        # (ordinal == join-time link id), grown by registrations.
+        now = time.monotonic()
+        self._health: "list[_EndpointHealth]" = []
+        self._health_by_link: "dict[int, _EndpointHealth]" = {}
+        for ordinal, (host, port) in enumerate(endpoints):
+            health = _EndpointHealth(
+                ordinal=ordinal, endpoint=f"{host}:{port}", addr=(host, port)
+            )
+            link = self._links.get(ordinal)
+            if link is not None:
+                health.state = "live"
+                health.link_id = ordinal
+                health.label = link.label
+                self._health_by_link[ordinal] = health
+            elif policy.rejoin_backoff_s <= 0.0:
+                health.state = "unreachable"
+            else:
+                health.state = "lost"
+                health.next_attempt = now + policy.rejoin_delay_s(ordinal, 1)
+            self._health.append(health)
+        self._link_seq = len(endpoints)
 
     # -- lifecycle -------------------------------------------------------
 
     def run(self) -> "list[PointResult]":
         """Drive the sweep to completion; returns fresh outcomes."""
-        readers = [
+        for link in self._links.values():
+            self._start_reader(link)
+        if self._listener is not None:
             threading.Thread(
-                target=self._read_loop,
-                args=(link,),
-                name=f"fabric-worker-{link.id}",
-                daemon=True,
-            )
-            for link in self._links.values()
-        ]
-        for reader in readers:
-            reader.start()
+                target=self._accept_loop, name="fabric-accept", daemon=True
+            ).start()
         try:
             if self._total == 0:
                 self._complete.set()
@@ -308,20 +672,47 @@ class _Coordinator:
                 self._complete.wait(self._tick_s)
                 self._expire_stale_links()
                 self._finish_poison_points()
+                self._membership_tick()
+                self._publish_fleet()
                 with self._lock:
-                    alive = any(not link.lost for link in self._links.values())
                     done = len(self._results) >= self._total
+                    possible = self._workers_possible(time.monotonic())
                 if done:
                     self._complete.set()
-                elif not alive and not self._poison:
+                elif not possible and not self._poison:
                     self._finish_locally()
         finally:
             self._complete.set()
+            self._close_listener()
             self._shutdown_links()
+            self._publish_fleet(active=False)
+        with self._lock:
+            readers = list(self._readers)
         for reader in readers:
             reader.join(timeout=2.0)
         with self._lock:
             return sorted(self._results.values(), key=lambda r: r.index)
+
+    def _start_reader(self, link: _Link) -> None:
+        """Spin up (and track) the reader thread for one link."""
+        reader = threading.Thread(
+            target=self._read_loop,
+            args=(link,),
+            name=f"fabric-worker-{link.id}",
+            daemon=True,
+        )
+        with self._lock:
+            self._readers.append(reader)
+        reader.start()
+
+    def _close_listener(self) -> None:
+        """Stop accepting registrations (best effort)."""
+        if self._listener is None:
+            return
+        try:
+            self._listener.close()
+        except OSError:
+            pass
 
     def _shutdown_links(self) -> None:
         """Best-effort ``done`` + close on every link that is still up."""
@@ -346,6 +737,213 @@ class _Coordinator:
         except OSError:
             pass
 
+    # -- elastic membership ----------------------------------------------
+
+    def _workers_possible(self, now: float) -> bool:
+        """Could any worker still produce results? (lock held).
+
+        True while a link is live, a dial is in flight, or a lost /
+        quarantined endpoint's next re-dial lands within one lease TTL
+        — the horizon past which waiting costs more than finishing the
+        tail locally.
+        """
+        if any(not link.lost for link in self._links.values()):
+            return True
+        for health in self._health:
+            if health.dialing or health.state == "connecting":
+                return True
+            if (
+                health.addr is not None
+                and health.state in ("lost", "quarantined")
+                and health.next_attempt <= now + self._lease_ttl_s
+            ):
+                return True
+        return False
+
+    def _membership_tick(self) -> None:
+        """Schedule re-dials for every endpoint whose backoff has lapsed."""
+        now = time.monotonic()
+        due: "list[tuple[_EndpointHealth, int]]" = []
+        with self._lock:
+            if self._complete.is_set():
+                return
+            for health in self._health:
+                if health.dialing or health.addr is None:
+                    continue
+                if health.state not in ("lost", "quarantined"):
+                    continue
+                if health.next_attempt > now:
+                    continue
+                if health.state == "quarantined":
+                    health.probation = True
+                health.dialing = True
+                health.state = "connecting"
+                self._link_seq += 1
+                due.append((health, self._link_seq))
+        for health, link_id in due:
+            threading.Thread(
+                target=self._redial,
+                args=(health, link_id),
+                name=f"fabric-redial-{health.ordinal}",
+                daemon=True,
+            ).start()
+
+    def _redial(self, health: _EndpointHealth, link_id: int) -> None:
+        """One re-dial attempt for a lost endpoint (own thread)."""
+        try:
+            link = _dial_once(
+                health.addr,  # type: ignore[arg-type]
+                link_id,
+                fn_blob=self._fn_blob,
+                spec_blob=self._spec_blob,
+                heartbeat_s=self._heartbeat_s,
+                lease_ttl_s=self._lease_ttl_s,
+                timeout_s=self._connect_timeout_s,
+            )
+        except (OSError, FabricError):
+            self._redial_failed(health)
+            return
+        if not self._admit(link, health, event="worker_rejoined"):
+            return
+
+    def _redial_failed(self, health: _EndpointHealth) -> None:
+        """Bookkeeping after a failed re-dial: back off or write off."""
+        unreachable = False
+        with self._lock:
+            health.dialing = False
+            health.dial_failures += 1
+            if health.dial_failures >= self._policy.max_dial_failures:
+                health.state = "unreachable"
+                unreachable = True
+            else:
+                health.state = "lost"
+                health.next_attempt = time.monotonic() + self._policy.rejoin_delay_s(
+                    health.ordinal, health.dial_failures + 1
+                )
+        if unreachable and not self._complete.is_set():
+            self._span.add_event(
+                "worker_unreachable",
+                endpoint=health.endpoint,
+                dial_failures=health.dial_failures,
+            )
+
+    def _admit(self, link: _Link, health: _EndpointHealth, *, event: str,
+               start_reader: bool = True) -> bool:
+        """Register a freshly-handshaken link (rejoin or late join)."""
+        with self._lock:
+            if self._complete.is_set():
+                health.dialing = False
+                if health.state == "connecting":
+                    health.state = "lost"
+                self._sever(link)
+                return False
+            self._links[link.id] = link
+            self._health_by_link[link.id] = health
+            health.link_id = link.id
+            health.label = link.label
+            health.state = "live"
+            health.dialing = False
+            health.dial_failures = 0
+            if event == "worker_rejoined":
+                health.rejoins += 1
+            else:
+                self._late_joins += 1
+        _WORKERS_JOINED.inc()
+        if event == "worker_rejoined":
+            _WORKERS_REJOINED.inc()
+        else:
+            _LATE_JOINS.inc()
+        self._span.add_event(
+            event, worker=link.id, endpoint=link.endpoint, identity=link.label
+        )
+        if start_reader:
+            self._start_reader(link)
+        return True
+
+    def _accept_loop(self) -> None:
+        """Accept inbound worker registrations until the sweep settles."""
+        while not self._complete.is_set():
+            try:
+                conn, _ = self._listener.accept()  # type: ignore[union-attr]
+            except OSError:
+                return  # listener closed under us
+            threading.Thread(
+                target=self._admit_registration,
+                args=(conn,),
+                name="fabric-register",
+                daemon=True,
+            ).start()
+
+    def _admit_registration(self, conn: socket.socket) -> None:
+        """Handshake one inbound registration and admit it as a late join."""
+        try:
+            peer = conn.getpeername()
+            endpoint = f"{peer[0]}:{peer[1]}"
+        except OSError:
+            endpoint = "registered:?"
+        with self._lock:
+            self._link_seq += 1
+            link_id = self._link_seq
+        try:
+            link = _handshake(
+                conn,
+                endpoint,
+                link_id,
+                fn_blob=self._fn_blob,
+                spec_blob=self._spec_blob,
+                heartbeat_s=self._heartbeat_s,
+                lease_ttl_s=self._lease_ttl_s,
+                timeout_s=self._connect_timeout_s,
+            )
+        except (OSError, FabricError):
+            try:
+                conn.close()
+            except OSError:
+                pass
+            return
+        # Inbound workers have no dialable address: if the session is
+        # lost it is gone unless it registers again of its own accord.
+        with self._lock:
+            health = _EndpointHealth(
+                ordinal=len(self._health), endpoint=endpoint, addr=None
+            )
+            self._health.append(health)
+        self._admit(link, health, event="late_join")
+
+    def _publish_fleet(self, *, active: bool = True) -> None:
+        """Refresh :func:`fleet_health` and the fleet gauges."""
+        with self._lock:
+            counts: "dict[str, int]" = {}
+            for health in self._health:
+                counts[health.state] = counts.get(health.state, 0) + 1
+            snapshot = {
+                "active": active,
+                "workers": [health.snapshot() for health in self._health],
+                "counts": counts,
+                "points": {
+                    "total": self._total,
+                    "done": len(self._results),
+                    "pending": len(self._pending),
+                },
+                "rejoins": sum(health.rejoins for health in self._health),
+                "late_joins": self._late_joins,
+                "lease": {
+                    "latency_ewma_s": round(self._latency_ewma_s, 6),
+                    "size_min": self._lease_size,
+                    "size_max": self._max_lease_size,
+                },
+            }
+            pending = len(self._pending)
+        if active:
+            _LIVE_WORKERS.set(counts.get("live", 0))
+            _QUARANTINED_WORKERS.set(counts.get("quarantined", 0))
+            _PENDING_POINTS.set(pending)
+        else:
+            _LIVE_WORKERS.set(0)
+            _QUARANTINED_WORKERS.set(0)
+            _PENDING_POINTS.set(0)
+        _publish(snapshot)
+
     # -- per-link reader -------------------------------------------------
 
     def _read_loop(self, link: _Link) -> None:
@@ -356,7 +954,12 @@ class _Coordinator:
                 frame = _recv(link.rfile)
                 if frame is None:
                     break
-                link.last_seen = time.monotonic()
+                now = time.monotonic()
+                gap = now - link.last_seen
+                link.gap_ewma_s = (
+                    gap if link.gap_ewma_s <= 0.0 else 0.8 * link.gap_ewma_s + 0.2 * gap
+                )
+                link.last_seen = now
                 kind = frame["type"]
                 if kind == "heartbeat":
                     continue
@@ -392,10 +995,24 @@ class _Coordinator:
         except OSError:
             self._lose_worker(link, "send failed")
 
+    def _lease_target(self, link: _Link) -> int:
+        """Points to lease this worker now: rate EWMA × two heartbeats.
+
+        With ``max_lease_size == lease_size`` (the default) this is the
+        fixed pre-elastic behaviour; otherwise a worker that proved it
+        can chew N points/sec is handed roughly two heartbeats' worth,
+        clamped into ``[lease_size, max_lease_size]``.
+        """
+        if self._max_lease_size <= self._lease_size or link.rate_ewma <= 0.0:
+            return self._lease_size
+        target = int(link.rate_ewma * 2.0 * self._heartbeat_s)
+        return max(self._lease_size, min(self._max_lease_size, target))
+
     def _next_chunk(self, link: _Link) -> "_Lease | None":
         """Pop a fresh lease, or steal from a straggler (lock held)."""
         pairs: "list[tuple[int, Any]]" = []
-        while self._pending and len(pairs) < self._lease_size:
+        limit = self._lease_target(link)
+        while self._pending and len(pairs) < limit:
             index, point = self._pending.popleft()
             if index not in self._results:
                 pairs.append((index, point))
@@ -450,11 +1067,30 @@ class _Coordinator:
     def _accept_result(self, link: _Link, frame: "dict[str, Any]") -> None:
         """Record a lease's outcomes; duplicates (stolen races) are dropped."""
         outcomes: "list[PointResult]" = _unpack(frame["outcomes"])
+        now = time.monotonic()
         with self._lock:
             lease = self._leases.pop(int(frame["id"]), None)
             if lease is not None:
+                elapsed = max(now - lease.issued, 1e-9)
+                _LEASE_LATENCY.observe(elapsed)
+                self._latency_ewma_s = (
+                    elapsed
+                    if self._latency_ewma_s <= 0.0
+                    else 0.8 * self._latency_ewma_s + 0.2 * elapsed
+                )
+                rate = len(lease.pairs) / elapsed
+                link.rate_ewma = (
+                    rate if link.rate_ewma <= 0.0 else 0.7 * link.rate_ewma + 0.3 * rate
+                )
                 for index, _ in lease.pairs:
                     self._covered[index] = max(0, self._covered.get(index, 0) - 1)
+            health = self._health_by_link.get(link.id)
+            if health is not None:
+                # A delivered result proves the worker is wholesome again.
+                health.consecutive_losses = 0
+                health.probation = False
+                health.rate_ewma = link.rate_ewma
+                health.gap_ewma_s = link.gap_ewma_s
             for outcome in outcomes:
                 self._settle(outcome)
 
@@ -471,7 +1107,10 @@ class _Coordinator:
     # -- failure handling ------------------------------------------------
 
     def _lose_worker(self, link: _Link, reason: str) -> None:
-        """Expire a worker: re-queue its points, bound their crash budget."""
+        """Expire a worker: re-queue its points, update its health ledger."""
+        now = time.monotonic()
+        quarantined = ejected = False
+        health: "_EndpointHealth | None" = None
         with self._lock:
             if link.lost:
                 return
@@ -481,13 +1120,14 @@ class _Coordinator:
             ]
             for lease in orphaned:
                 del self._leases[lease.id]
-            requeued = 0
+            requeued = crashed = 0
             for lease in orphaned:
                 for index, point in lease.pairs:
                     self._covered[index] = max(0, self._covered.get(index, 0) - 1)
                     if index in self._results or index in self._poisoned:
                         continue
                     self._crashes[index] = self._crashes.get(index, 0) + 1
+                    crashed += 1
                     if self._crashes[index] > self._max_point_crashes:
                         self._poisoned.add(index)
                         self._poison.append((index, point))
@@ -495,6 +1135,39 @@ class _Coordinator:
                     elif self._covered.get(index, 0) == 0:
                         self._pending.appendleft((index, point))
                         requeued += 1
+            if not self._complete.is_set():
+                health = self._health_by_link.get(link.id)
+                if health is not None:
+                    health.link_id = None
+                    health.losses += 1
+                    health.consecutive_losses += 1
+                    health.crash_spend += crashed
+                    policy = self._policy
+                    if health.addr is None or policy.rejoin_backoff_s <= 0.0:
+                        health.state = "unreachable"
+                    elif (
+                        health.probation
+                        or health.consecutive_losses >= policy.quarantine_losses
+                    ):
+                        health.quarantines += 1
+                        health.probation = False
+                        health.consecutive_losses = 0
+                        if health.quarantines > policy.max_quarantines:
+                            health.state = "ejected"
+                            ejected = True
+                        else:
+                            health.state = "quarantined"
+                            health.dial_failures = 0
+                            health.next_attempt = now + policy.probation_delay_s(
+                                health.ordinal, health.quarantines
+                            )
+                            quarantined = True
+                    else:
+                        health.state = "lost"
+                        health.dial_failures = 0
+                        health.next_attempt = now + policy.rejoin_delay_s(
+                            health.ordinal, 1
+                        )
         if self._complete.is_set():
             return  # orderly shutdown, not a failure
         _WORKERS_LOST.inc()
@@ -507,6 +1180,22 @@ class _Coordinator:
             reason=reason,
             requeued=requeued,
         )
+        if quarantined and health is not None:
+            _WORKERS_QUARANTINED.inc()
+            self._span.add_event(
+                "worker_quarantined",
+                endpoint=health.endpoint,
+                identity=health.label,
+                quarantines=health.quarantines,
+            )
+        if ejected and health is not None:
+            _WORKERS_EJECTED.inc()
+            self._span.add_event(
+                "worker_ejected",
+                endpoint=health.endpoint,
+                identity=health.label,
+                losses=health.losses,
+            )
         self._sever(link)
 
     def _expire_stale_links(self) -> None:
@@ -543,7 +1232,7 @@ class _Coordinator:
                 self._settle(outcome)
 
     def _finish_locally(self) -> None:
-        """Every worker is gone: finish the remaining points in-process."""
+        """No worker can return: finish the remaining points in-process."""
         with self._lock:
             remaining = sorted(
                 {
@@ -575,58 +1264,23 @@ def _dial(
     fn_blob: str,
     spec_blob: str,
     heartbeat_s: float,
+    lease_ttl_s: float,
     connect_timeout_s: float,
     give_up: threading.Event,
 ) -> "_Link | None":
     """Connect to one worker and complete the handshake (with retries)."""
-    host, port = endpoint
     while not give_up.is_set():
         try:
-            sock = socket.create_connection((host, port), timeout=connect_timeout_s)
-        except OSError:
-            if give_up.wait(0.05):
-                return None
-            continue
-        try:
-            sock.settimeout(connect_timeout_s)
-            rfile = sock.makefile("r", encoding="utf-8", newline="\n")
-            wfile = sock.makefile("w", encoding="utf-8", newline="\n")
-            hello = _recv(rfile)
-            if (
-                hello is None
-                or hello.get("type") != "hello"
-                or hello.get("protocol") != FABRIC_PROTOCOL
-            ):
-                raise FabricError(
-                    f"worker {host}:{port} spoke an unexpected protocol: {hello!r}"
-                )
-            link = _Link(
-                id=link_id,
-                endpoint=f"{host}:{port}",
-                sock=sock,
-                rfile=rfile,
-                wfile=wfile,
-                host=str(hello.get("host", "?")),
-                pid=int(hello.get("pid", 0)),
+            return _dial_once(
+                endpoint,
+                link_id,
+                fn_blob=fn_blob,
+                spec_blob=spec_blob,
+                heartbeat_s=heartbeat_s,
+                lease_ttl_s=lease_ttl_s,
+                timeout_s=connect_timeout_s,
             )
-            _send(
-                wfile,
-                link.wlock,
-                {
-                    "type": "job",
-                    "protocol": FABRIC_PROTOCOL,
-                    "fn": fn_blob,
-                    "spec": spec_blob,
-                    "heartbeat_s": heartbeat_s,
-                },
-            )
-            sock.settimeout(None)
-            return link
         except (OSError, FabricError):
-            try:
-                sock.close()
-            except OSError:
-                pass
             if give_up.wait(0.05):
                 return None
     return None
@@ -635,9 +1289,10 @@ def _dial(
 def _join(
     endpoints: "tuple[tuple[str, int], ...]",
     *,
-    fn: Callable[[Any], Any],
-    spec: Any,
+    fn_blob: str,
+    spec_blob: str,
     heartbeat_s: float,
+    lease_ttl_s: float,
     join_deadline_s: float,
     connect_timeout_s: float,
     span: Any,
@@ -646,20 +1301,24 @@ def _join(
 
     Endpoints are retried until the join deadline. Once at least one
     worker has joined, stragglers get a short grace period rather than
-    the full deadline — a half-up fleet should start sweeping, not wait.
+    the full deadline — a half-up fleet should start sweeping, not
+    wait. (Under an elastic :class:`MembershipPolicy` the stragglers
+    are not abandoned either way: the coordinator keeps re-dialing
+    them once the sweep is in flight.)
     """
-    fn_blob, spec_blob = _pack(fn), _pack(spec)
     give_up = threading.Event()
     joined: "list[_Link]" = []
     joined_lock = threading.Lock()
 
     def attempt(endpoint: "tuple[str, int]", link_id: int) -> None:
+        """Dial one endpoint until it joins or the fleet gives up."""
         link = _dial(
             endpoint,
             link_id,
             fn_blob=fn_blob,
             spec_blob=spec_blob,
             heartbeat_s=heartbeat_s,
+            lease_ttl_s=lease_ttl_s,
             connect_timeout_s=connect_timeout_s,
             give_up=give_up,
         )
@@ -706,6 +1365,7 @@ def fabric_sweep(
     *,
     workers: "str | Iterable[Any]",
     lease_size: int = DEFAULT_LEASE_SIZE,
+    max_lease_size: "int | None" = None,
     on_error: str = "raise",
     retry: "RetryPolicy | None" = None,
     timeout_s: "float | None" = None,
@@ -715,6 +1375,8 @@ def fabric_sweep(
     join_deadline_s: float = DEFAULT_JOIN_DEADLINE_S,
     connect_timeout_s: float = 1.0,
     max_point_crashes: int = DEFAULT_MAX_POINT_CRASHES,
+    membership: "MembershipPolicy | None" = None,
+    listen: "str | socket.socket | None" = None,
     fallback_executor: str = "process",
     fallback_jobs: "int | None" = None,
 ) -> SweepResult:
@@ -722,12 +1384,23 @@ def fabric_sweep(
 
     The distributed counterpart of :func:`repro.perf.sweep`, returning
     the same :class:`~repro.perf.engine.SweepResult` (``executor`` is
-    ``"fabric"``, ``jobs`` is the number of workers that joined) with
-    values in input order, byte-identical to a single-host run of the
-    same sweep. ``on_error``/``retry``/``timeout_s`` are the engine's
-    failure policies, enforced *on the workers*; under ``"raise"`` the
-    coordinator raises :class:`~repro.core.errors.FabricError` for the
-    lowest-indexed failing point once the sweep settles.
+    ``"fabric"``, ``jobs`` is the number of workers that joined up
+    front) with values in input order, byte-identical to a single-host
+    run of the same sweep. ``on_error``/``retry``/``timeout_s`` are the
+    engine's failure policies, enforced *on the workers*; under
+    ``"raise"`` the coordinator raises
+    :class:`~repro.core.errors.FabricError` for the lowest-indexed
+    failing point once the sweep settles.
+
+    Membership is elastic: lost endpoints are re-dialed under
+    ``membership`` (a :class:`MembershipPolicy`; the default re-dials
+    with 0.25 s seeded exponential backoff and quarantines flappers),
+    and passing ``listen`` (a ``"host:port"`` string or a pre-bound
+    listening socket, which the fabric takes ownership of and closes)
+    lets new workers :meth:`FabricWorker.register` mid-sweep. Lease
+    sizes autoscale per worker between ``lease_size`` and
+    ``max_lease_size`` from observed throughput; the default
+    (``max_lease_size=None``) keeps them fixed at ``lease_size``.
 
     ``checkpoint`` should be a
     :class:`~repro.perf.journal.ShardedCheckpoint` (any object with the
@@ -741,6 +1414,11 @@ def fabric_sweep(
     endpoints = parse_endpoints(workers)
     if lease_size < 1:
         raise ValueError(f"lease_size must be >= 1, got {lease_size}")
+    max_lease = lease_size if max_lease_size is None else int(max_lease_size)
+    if max_lease < lease_size:
+        raise ValueError(
+            f"max_lease_size ({max_lease}) must be >= lease_size ({lease_size})"
+        )
     if on_error not in _engine.ON_ERROR_POLICIES:
         raise ValueError(
             f"unknown on_error {on_error!r}: expected one of "
@@ -761,85 +1439,112 @@ def fabric_sweep(
         raise ValueError(
             f"lease_ttl_s ({ttl_s:g}) must exceed heartbeat_s ({heartbeat_s:g})"
         )
+    policy = membership if membership is not None else MembershipPolicy()
+    listener: "socket.socket | None" = None
+    if listen is not None:
+        if isinstance(listen, socket.socket):
+            listener = listen
+        else:
+            bind_points = parse_endpoints(listen)
+            if len(bind_points) != 1:
+                raise ValueError(f"listen takes one HOST:PORT, got {listen!r}")
+            listener = socket.create_server(bind_points[0], backlog=8)
     spec = _engine._EvalSpec(
         on_error=on_error,
         retry=(retry or RetryPolicy()) if on_error == "retry" else None,
         timeout_s=timeout_s,
     )
+    fn_blob, spec_blob = _pack(fn), _pack(spec)
     indexed: "list[tuple[int, Any]]" = list(enumerate(points))
     _FABRIC_SWEEPS.inc()
     start = time.perf_counter()
-    with _trace.span(
-        "perf.fabric",
-        endpoints=len(endpoints),
-        points=len(indexed),
-        lease_size=lease_size,
-        on_error=on_error,
-    ) as span:
-        links = _join(
-            endpoints,
-            fn=fn,
-            spec=spec,
-            heartbeat_s=heartbeat_s,
-            join_deadline_s=join_deadline_s,
-            connect_timeout_s=connect_timeout_s,
-            span=span,
-        )
-        if not links:
-            _LOCAL_FALLBACKS.inc()
-            span.add_event("fallback_local", points=len(indexed), reason="no workers joined")
-            return _engine.sweep(
-                fn,
-                [point for _, point in indexed],
-                executor=fallback_executor,
-                jobs=fallback_jobs,
-                on_error=on_error,
-                retry=retry,
-                timeout_s=timeout_s,
-                checkpoint=checkpoint,
-            )
-        restored, remaining = _engine._restore_from_checkpoint(checkpoint, indexed)
-        if restored:
-            span.add_event("resume", restored=len(restored), remaining=len(remaining))
-        coordinator = _Coordinator(
-            fn,
-            remaining,
-            links,
-            spec=spec,
-            checkpoint=checkpoint,
+    try:
+        with _trace.span(
+            "perf.fabric",
+            endpoints=len(endpoints),
+            points=len(indexed),
             lease_size=lease_size,
-            heartbeat_s=heartbeat_s,
-            lease_ttl_s=ttl_s,
-            max_point_crashes=max_point_crashes,
-            span=span,
-        )
-        fresh = coordinator.run()
-        outcomes = sorted(restored + fresh, key=lambda r: r.index)
-        if on_error == "raise":
-            first_bad = next((o for o in outcomes if not o.ok), None)
-            if first_bad is not None:
-                raise FabricError(
-                    f"point {first_bad.index} {first_bad.status} on the fabric: "
-                    f"{first_bad.error}"
+            on_error=on_error,
+        ) as span:
+            links = _join(
+                endpoints,
+                fn_blob=fn_blob,
+                spec_blob=spec_blob,
+                heartbeat_s=heartbeat_s,
+                lease_ttl_s=ttl_s,
+                join_deadline_s=join_deadline_s,
+                connect_timeout_s=connect_timeout_s,
+                span=span,
+            )
+            if not links:
+                _LOCAL_FALLBACKS.inc()
+                span.add_event("fallback_local", points=len(indexed), reason="no workers joined")
+                return _engine.sweep(
+                    fn,
+                    [point for _, point in indexed],
+                    executor=fallback_executor,
+                    jobs=fallback_jobs,
+                    on_error=on_error,
+                    retry=retry,
+                    timeout_s=timeout_s,
+                    checkpoint=checkpoint,
                 )
-        wall = time.perf_counter() - start
-        result = SweepResult(
-            values=tuple(r.value for r in outcomes),
-            timings=tuple(r.elapsed_s for r in outcomes),
-            executor="fabric",
-            jobs=len(links),
-            chunksize=lease_size,
-            wall_s=wall,
-            outcomes=tuple(outcomes),
-            resumed=len(restored),
-            respawns=0,
-        )
-        span.set_attributes(
-            workers=len(links),
-            wall_s=result.wall_s,
-            point_s=result.point_s,
-            resumed=result.resumed,
-        )
+            restored, remaining = _engine._restore_from_checkpoint(checkpoint, indexed)
+            if restored:
+                span.add_event("resume", restored=len(restored), remaining=len(remaining))
+            coordinator = _Coordinator(
+                fn,
+                remaining,
+                links,
+                endpoints=endpoints,
+                fn_blob=fn_blob,
+                spec_blob=spec_blob,
+                spec=spec,
+                checkpoint=checkpoint,
+                lease_size=lease_size,
+                max_lease_size=max_lease,
+                heartbeat_s=heartbeat_s,
+                lease_ttl_s=ttl_s,
+                max_point_crashes=max_point_crashes,
+                policy=policy,
+                listener=listener,
+                connect_timeout_s=connect_timeout_s,
+                span=span,
+            )
+            listener = None  # the coordinator owns (and closes) it now
+            fresh = coordinator.run()
+            outcomes = sorted(restored + fresh, key=lambda r: r.index)
+            if on_error == "raise":
+                first_bad = next((o for o in outcomes if not o.ok), None)
+                if first_bad is not None:
+                    raise FabricError(
+                        f"point {first_bad.index} {first_bad.status} on the fabric: "
+                        f"{first_bad.error}"
+                    )
+            wall = time.perf_counter() - start
+            result = SweepResult(
+                values=tuple(r.value for r in outcomes),
+                timings=tuple(r.elapsed_s for r in outcomes),
+                executor="fabric",
+                jobs=len(links),
+                chunksize=lease_size,
+                wall_s=wall,
+                outcomes=tuple(outcomes),
+                resumed=len(restored),
+                respawns=0,
+            )
+            span.set_attributes(
+                workers=len(links),
+                wall_s=result.wall_s,
+                point_s=result.point_s,
+                resumed=result.resumed,
+            )
+    finally:
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
     _engine._SWEEP_RUNS.inc()
     _engine._SWEEP_POINTS.inc(len(result))
     _engine._SWEEP_WALL.observe(result.wall_s)
@@ -858,9 +1563,17 @@ class FabricWorker:
     coordinators queue in the listen backlog. Inside a session the
     worker asks for work (``ready``), evaluates each leased point under
     the sweep's shipped policy (retries, deadlines), ships results
-    back, and heartbeats from a side thread the whole time. A vanished
-    coordinator (dead socket mid-session) returns the worker to
-    listening — workers outlive the sweeps they serve.
+    back, and heartbeats from a side thread the whole time — liveness
+    is decoupled from point completion, so a slow-but-legal point never
+    trips the coordinator's ``lease_ttl_s``. A vanished coordinator
+    (dead socket mid-session) returns the worker to listening —
+    workers outlive the sweeps they serve, and a coordinator under an
+    elastic :class:`MembershipPolicy` re-dials them right back in.
+
+    Workers can also take the first step themselves:
+    :meth:`register` dials a coordinator's ``listen`` socket and runs
+    one session over that connection — the late-join path for fleets
+    that scale up mid-sweep.
 
     ``throttle_s`` sleeps before every point evaluation: an operational
     chaos aid for exercising work-stealing, failure detection and the
@@ -910,6 +1623,20 @@ class FabricWorker:
             self._serve_session(conn)
         return sessions
 
+    def register(
+        self, host: str, port: int, *, connect_timeout_s: float = 1.0
+    ) -> None:
+        """Dial a coordinator's ``listen`` socket and serve one session.
+
+        The wire sequence is identical to an accepted session — the
+        worker speaks first (hello) on both paths — so registration is
+        a connect plus the ordinary session loop. Returns when the
+        coordinator says ``done`` or the connection dies.
+        """
+        conn = socket.create_connection((host, port), timeout=connect_timeout_s)
+        conn.settimeout(None)
+        self._serve_session(conn)
+
     def close(self) -> None:
         """Stop accepting sessions (unblocks :meth:`serve_forever`)."""
         self._closed.set()
@@ -939,7 +1666,11 @@ class FabricWorker:
                 },
             )
             job = _recv(rfile)
-            if job is None or job.get("type") != "job" or job.get("protocol") != FABRIC_PROTOCOL:
+            if (
+                job is None
+                or job.get("type") != "job"
+                or job.get("protocol") not in FABRIC_PROTOCOLS
+            ):
                 return
             fn = _unpack(job["fn"])
             spec = _unpack(job["spec"])

@@ -62,6 +62,7 @@ import os
 import pickle
 import socket
 import time
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Mapping
@@ -320,7 +321,11 @@ class SweepCheckpoint:
         for line in lines[1:]:
             entry = _decode_record(line)
             if entry is None:
-                break  # a crash mid-append truncates at most the tail
+                # A truncated tail (crash mid-append) or a corrupt
+                # middle record (bit rot, caught by the per-record
+                # CRC): drop just that record — its point re-runs —
+                # and keep restoring everything after it.
+                continue
             entries[entry.index] = entry
         return entries
 
@@ -358,6 +363,7 @@ class SweepCheckpoint:
             "error": outcome.error,
             "value": payload,
         }
+        record["crc"] = _record_crc(record)
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
@@ -499,13 +505,29 @@ class ShardedCheckpoint:
         self.close()
 
 
+def _record_crc(body: "dict[str, Any]") -> int:
+    """CRC32 of a record body's canonical JSON (sans the ``crc`` key)."""
+    return zlib.crc32(json.dumps(body, sort_keys=True).encode("utf-8"))
+
+
 def _decode_record(line: str) -> "JournalEntry | None":
-    """One JSONL record back into a :class:`JournalEntry`; None if bad."""
+    """One JSONL record back into a :class:`JournalEntry`; None if bad.
+
+    Records written by this build carry a ``crc`` of their canonical
+    body: a record that parses as JSON but fails its checksum (a
+    flipped bit mid-file, not just a truncated tail) is rejected the
+    same way, so the caller re-runs that point instead of trusting a
+    silently corrupted value. Legacy records without a ``crc`` are
+    accepted as before.
+    """
     try:
         record = json.loads(line)
     except json.JSONDecodeError:
         return None
     if not isinstance(record, dict) or not isinstance(record.get("index"), int):
+        return None
+    crc = record.pop("crc", None)
+    if crc is not None and crc != _record_crc(record):
         return None
     status = record.get("status")
     if status not in ("ok", "failed", "timed_out", "crashed"):

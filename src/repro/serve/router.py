@@ -17,7 +17,10 @@ Endpoints (all under ``/v1``):
 * ``survey`` — the 25 Table-III records with derived classifications;
   ``?costs=true`` adds model estimates via the circuit-broken sweep.
 * ``healthz`` / ``readyz`` — liveness vs readiness (drain and breaker
-  state flip readiness, never liveness).
+  state flip readiness, never liveness); ``readyz`` also carries the
+  sweep fabric's fleet ledger (``fabric`` key:
+  :func:`repro.perf.fabric.fleet_health`) so orchestrators can scale
+  workers on live/quarantined counts and pending-point depth.
 * ``metrics`` — the :mod:`repro.obs` registry in Prometheus text form.
 """
 

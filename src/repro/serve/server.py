@@ -57,6 +57,7 @@ from repro.faults import FaultPlan
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.perf import ModelCache
+from repro.perf.fabric import fleet_health
 from repro.serve.breaker import BreakerPolicy, CircuitBreaker
 from repro.serve.cache import ResponseCache
 from repro.serve.errors import (
@@ -273,6 +274,10 @@ class ServiceApp:
             "queued": self.pool.queued,
             "cache": self.response_cache.stats(),
             "fleet": {"workers": len(members), "members": members},
+            # The sweep fabric's fleet ledger (live/quarantined/lost
+            # workers, rejoin counts, lease latency): orchestrators
+            # scaling workers on queue depth read it from here.
+            "fabric": fleet_health(),
         }
         return Response(status=200 if ready else 503, payload=payload)
 

@@ -20,7 +20,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.perf import fabric_sweep
+from repro.perf import MembershipPolicy, fabric_sweep
+from repro.perf.fabric import _WORKERS_REJOINED
 
 HERE = Path(__file__).resolve().parent
 REPO_SRC = Path(__file__).resolve().parents[2] / "src"
@@ -42,12 +43,12 @@ def _worker_env():
     return env
 
 
-def start_worker(*extra):
+def start_worker(*extra, port=0):
     """Spawn a sweep-worker subprocess; returns (process, (host, port))."""
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro.cli", "sweep-worker",
-            "--listen", "127.0.0.1:0", *extra,
+            "--listen", f"127.0.0.1:{port}", *extra,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.DEVNULL,
@@ -115,6 +116,56 @@ def test_worker_killing_point_is_drained_through_last_resort(two_workers):
     )
     assert list(result.values) == [x * x for x in range(10)]
     assert all(o.status == "ok" for o in result.outcomes)
+
+
+def test_sigkilled_worker_relaunched_on_same_port_rejoins(two_workers):
+    # The elastic-membership contract, subprocess flavour: a SIGKILLed
+    # worker relaunched on the *same* port must be re-dialed by the
+    # coordinator's rejoin loop and drawn back into the live sweep. The
+    # replacement runs with --max-sessions 1, so its own exit status 0
+    # is hard evidence it served a complete session (drew leases) rather
+    # than idling until the sweep ended without it.
+    from fabric_helpers import slow_square
+
+    procs, endpoints = two_workers
+    _, victim_port = endpoints[0]
+    replacement = []
+
+    def kill_and_relaunch():
+        time.sleep(0.5)
+        procs[0].send_signal(signal.SIGKILL)
+        procs[0].wait()
+        proc, _ = start_worker(
+            "--throttle", "0.1", "--max-sessions", "1", port=victim_port
+        )
+        replacement.append(proc)
+
+    rejoins_before = _WORKERS_REJOINED.value
+    relauncher = threading.Thread(target=kill_and_relaunch)
+    relauncher.start()
+    try:
+        result = fabric_sweep(
+            slow_square,
+            range(30),
+            workers=endpoints,
+            heartbeat_s=0.1,
+            membership=MembershipPolicy(rejoin_backoff_s=0.2, seed=5),
+        )
+        relauncher.join()
+        assert list(result.values) == [x * x for x in range(30)]
+        assert len(result.outcomes) == 30
+        assert all(o.status == "ok" for o in result.outcomes)
+        assert _WORKERS_REJOINED.value >= rejoins_before + 1
+        assert replacement, "the replacement worker was never launched"
+        # Serving its one allotted session to completion is what lets
+        # --max-sessions 1 exit 0; a worker that never rejoined hangs.
+        assert replacement[0].wait(timeout=30.0) == 0
+    finally:
+        relauncher.join(timeout=10.0)
+        for proc in replacement:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait()
 
 
 def test_all_workers_lost_finishes_locally(two_workers):

@@ -153,6 +153,105 @@ class TestSweepCheckpoint:
         assert _decode_record("not json") is None
 
 
+def _corrupt_record(path, index, mutate):
+    """Rewrite the journal record for ``index`` through ``mutate``.
+
+    The mutated record is re-serialised as valid JSON with its *original*
+    ``crc`` untouched, so only the checksum — not the JSON parser, not the
+    pickle decoder — can tell the record went bad.
+    """
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for position, line in enumerate(lines[1:], start=1):
+        record = json.loads(line)
+        if isinstance(record, dict) and record.get("index") == index:
+            mutate(record)
+            lines[position] = json.dumps(record, sort_keys=True)
+            break
+    else:  # pragma: no cover - would mean the test setup is wrong
+        raise AssertionError(f"no record for index {index} in {path}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+class TestRecordChecksums:
+    """Per-record CRCs turn silent bit rot into a drop-and-rerun."""
+
+    def test_bit_rotted_record_is_dropped_but_neighbours_survive(self, tmp_path):
+        spec = {"n": 3}
+        with SweepCheckpoint.open("unit", spec, directory=tmp_path) as checkpoint:
+            for index in range(3):
+                checkpoint.record(_ok(index, f"value-{index}"))
+            path = checkpoint.path
+
+        def flip_a_value_byte(record):
+            # A *valid* base64 pickle of a different value: every layer
+            # except the CRC would happily accept it.
+            import base64
+
+            record["value"] = base64.b64encode(pickle.dumps("tampered")).decode()
+
+        _corrupt_record(path, 1, flip_a_value_byte)
+        reopened = SweepCheckpoint.open("unit", spec, directory=tmp_path)
+        done = reopened.load()
+        reopened.close()
+        assert set(done) == {0, 2}
+        assert done[0].value == "value-0"
+        assert done[2].value == "value-2"
+
+    def test_tampered_metadata_fails_the_crc_too(self, tmp_path):
+        spec = {"n": 2}
+        with SweepCheckpoint.open("unit", spec, directory=tmp_path) as checkpoint:
+            checkpoint.record(_ok(0, "zero"))
+            checkpoint.record(_ok(1, "one"))
+            path = checkpoint.path
+        _corrupt_record(path, 0, lambda record: record.update(attempts=99))
+        reopened = SweepCheckpoint.open("unit", spec, directory=tmp_path)
+        done = reopened.load()
+        reopened.close()
+        assert set(done) == {1}
+
+    def test_legacy_record_without_crc_still_loads(self, tmp_path):
+        import base64
+
+        spec = {"n": 2}
+        with SweepCheckpoint.open("unit", spec, directory=tmp_path) as checkpoint:
+            checkpoint.record(_ok(0, "zero"))
+            path = checkpoint.path
+        legacy = {
+            "index": 1,
+            "status": "ok",
+            "attempts": 1,
+            "elapsed_s": 0.1,
+            "error": None,
+            "value": base64.b64encode(pickle.dumps("one")).decode("ascii"),
+        }
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(legacy) + "\n")
+        reopened = SweepCheckpoint.open("unit", spec, directory=tmp_path)
+        done = reopened.load()
+        reopened.close()
+        assert set(done) == {0, 1}
+        assert done[1].value == "one"
+
+    def test_resume_recomputes_only_the_corrupted_point(self, tmp_path):
+        from repro.perf import sweep
+
+        spec = {"kind": "crc-resume"}
+        with SweepCheckpoint.open("unit", spec, directory=tmp_path) as checkpoint:
+            sweep(lambda x: x * 10, range(4), checkpoint=checkpoint)
+            path = checkpoint.path
+        _corrupt_record(path, 2, lambda record: record.update(elapsed_s=1e9))
+        recomputed = []
+
+        def traced(x):
+            recomputed.append(x)
+            return x * 10
+
+        with SweepCheckpoint.open("unit", spec, directory=tmp_path) as checkpoint:
+            result = sweep(traced, range(4), checkpoint=checkpoint)
+        assert list(result.values) == [0, 10, 20, 30]
+        assert recomputed == [2]
+
+
 class TestAtomicWrites:
     def test_atomic_write_text_replaces_content(self, tmp_path):
         target = tmp_path / "artifact.txt"

@@ -1,0 +1,113 @@
+"""The local worker supervisor: spawn, watch, respawn — within a budget.
+
+These tests boot real ``sweep-worker`` subprocesses through
+:class:`~repro.perf.WorkerSupervisor` and really kill them, asserting
+the respawn contract: a replacement comes back *on the same port* (so
+a coordinator's re-dial loop finds it), and a crash-looping slot is
+given up once its restart-rate budget is spent. Point functions are
+picklable-by-reference builtins (``str``) so the worker subprocesses
+need nothing beyond the installed package.
+"""
+
+import signal
+import time
+
+import pytest
+
+from repro.core.errors import FabricError
+from repro.perf import WorkerSupervisor, fabric_sweep
+from repro.perf.supervisor import _GIVEUPS, _RESPAWNS
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="needs POSIX signals"
+)
+
+
+def _wait_for(predicate, timeout_s=15.0, interval_s=0.05):
+    """Poll ``predicate`` until true or the deadline passes."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+class TestSupervisorLifecycle:
+    def test_supervised_fleet_serves_a_sweep(self):
+        with WorkerSupervisor(2) as fleet:
+            endpoints = fleet.endpoints
+            assert len(endpoints) == 2
+            result = fabric_sweep(
+                str, range(6), workers=",".join(endpoints), heartbeat_s=0.1
+            )
+        assert list(result.values) == [str(x) for x in range(6)]
+        assert result.executor == "fabric"
+
+    def test_killed_worker_respawns_on_the_same_port(self):
+        supervisor = WorkerSupervisor(1, poll_s=0.05)
+        try:
+            (endpoint,) = supervisor.start()
+            victim = supervisor._slots[0].process
+            respawns_before = _RESPAWNS.value
+            victim.kill()
+            victim.wait()
+            assert _wait_for(lambda: _RESPAWNS.value > respawns_before)
+            assert supervisor.endpoints == (endpoint,)  # same port
+            replacement = supervisor._slots[0].process
+            assert replacement.pid != victim.pid
+            # The replacement serves sweeps exactly where the casualty was.
+            result = fabric_sweep(
+                str, range(4), workers=endpoint, heartbeat_s=0.1
+            )
+            assert list(result.values) == [str(x) for x in range(4)]
+        finally:
+            supervisor.stop()
+
+    def test_crash_loop_exhausts_the_restart_budget(self):
+        supervisor = WorkerSupervisor(
+            1, poll_s=0.05, max_restarts=0, restart_window_s=60.0
+        )
+        try:
+            supervisor.start()
+            giveups_before = _GIVEUPS.value
+            supervisor._slots[0].process.kill()
+            assert _wait_for(lambda: _GIVEUPS.value > giveups_before)
+            assert supervisor._slots[0].given_up
+        finally:
+            supervisor.stop()
+
+    def test_stop_is_idempotent(self):
+        supervisor = WorkerSupervisor(1)
+        supervisor.start()
+        supervisor.stop()
+        supervisor.stop()
+        assert all(
+            slot.process is None or slot.process.poll() is not None
+            for slot in supervisor._slots
+        )
+
+
+class TestSupervisorValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"count": 0},
+            {"count": 1, "throttle_s": -0.1},
+            {"count": 1, "max_restarts": -1},
+            {"count": 1, "restart_window_s": 0.0},
+            {"count": 1, "poll_s": 0.0},
+        ],
+    )
+    def test_invalid_construction_is_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkerSupervisor(**kwargs)
+
+    def test_double_start_is_refused(self):
+        supervisor = WorkerSupervisor(1)
+        try:
+            supervisor.start()
+            with pytest.raises(FabricError):
+                supervisor.start()
+        finally:
+            supervisor.stop()

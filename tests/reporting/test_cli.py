@@ -98,6 +98,22 @@ class TestErrorContract:
         assert code == 0  # the demo reports per-machine faults and continues
         assert "fail-fast abort" in captured.out
 
+    @pytest.mark.parametrize(
+        ("flag", "value"),
+        [
+            ("--max-lease-size", "0"),
+            ("--rejoin-backoff", "-1"),
+            ("--supervise", "-3"),
+        ],
+    )
+    def test_bad_fabric_flags_exit_2(self, capsys, flag, value):
+        code = main(["costs", flag, value])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert flag in captured.err
+        assert captured.out == ""
+
 
 class TestFaultsCommand:
     def test_deterministic_across_runs(self, capsys):

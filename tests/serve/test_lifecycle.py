@@ -5,6 +5,7 @@ import signal
 import subprocess
 import sys
 import threading
+import time
 import urllib.request
 from pathlib import Path
 
@@ -127,6 +128,119 @@ class TestSoak:
                 proc.wait()
         assert status == 0
         assert "drained cleanly" in proc.stderr.read()
+
+
+class TestKeepAliveBatchDrain:
+    def test_sigterm_mid_batch_finishes_the_batch_then_closes(self):
+        """SIGTERM with a batch POST in flight: finish it, close, exit 0.
+
+        The batch is parked behind a slow fabric-backed survey on a
+        1-thread pool, so the SIGTERM reliably lands while the batch
+        holds an admission token but has not yet run. The drain contract:
+        the batch still completes (200, every item answered), its
+        keep-alive connection is told ``Connection: close``, and the
+        server exits 0 reporting a clean drain.
+        """
+        import http.client
+        from urllib.parse import urlsplit
+
+        worker = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "sweep-worker",
+                "--listen", "127.0.0.1:0", "--throttle", "0.25",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        proc = None
+        connection = None
+        try:
+            announced = worker.stdout.readline().strip()
+            assert announced.startswith("worker listening on ")
+            endpoint = announced.removeprefix("worker listening on ")
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.serve",
+                    "--port", "0", "--workers", "1",
+                    "--deadline", "30", "--drain-deadline", "30",
+                    "--keepalive-idle", "30",
+                    "--fabric-workers", endpoint,
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                cwd=REPO_ROOT,
+            )
+            line = proc.stdout.readline().strip()
+            assert line.startswith("listening on ")
+            url = urlsplit(line.removeprefix("listening on "))
+            connection = http.client.HTTPConnection(
+                url.hostname, url.port, timeout=60.0
+            )
+
+            # Prove the connection really is keep-alive before the drain.
+            connection.request("GET", CLASSIFY)
+            with connection.getresponse() as warmup:
+                assert warmup.status == 200
+                assert warmup.getheader("Connection") == "keep-alive"
+                warmup.read()
+
+            # Occupy the single worker thread with a throttled,
+            # fabric-backed sweep (~22 survey machines x 0.25s each).
+            base_url = line.removeprefix("listening on ")
+            survey_status = []
+
+            def slow_survey():
+                with urllib.request.urlopen(
+                    base_url + "/v1/survey?costs=true&n=64", timeout=60.0
+                ) as response:
+                    survey_status.append(response.status)
+
+            survey = threading.Thread(target=slow_survey, daemon=True)
+            survey.start()
+            # Wait until readyz reports the fabric sweep mid-flight, so
+            # the batch below reliably queues behind it.
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                with urllib.request.urlopen(
+                    base_url + "/v1/readyz", timeout=10.0
+                ) as probe:
+                    if json.loads(probe.read())["fabric"].get("active"):
+                        break
+                time.sleep(0.05)
+            else:
+                pytest.fail("the survey sweep never reached the fabric")
+
+            items = [{"serial": 1 + (k % 47), "n": 1 + k} for k in range(32)]
+            connection.request(
+                "POST",
+                "/v1/costs",
+                body=json.dumps({"items": items}),
+                headers={"Content-Type": "application/json"},
+            )
+            time.sleep(0.5)  # the batch is queued, token held
+            proc.send_signal(signal.SIGTERM)
+
+            with connection.getresponse() as response:
+                assert response.status == 200
+                assert response.getheader("Connection") == "close"
+                payload = json.loads(response.read())
+            assert payload["count"] == len(items)
+            assert payload["errors"] == 0
+            survey.join(60.0)
+            assert survey_status == [200]
+            status = proc.wait(timeout=60.0)
+            assert status == 0
+            assert "drained cleanly" in proc.stderr.read()
+        finally:
+            if connection is not None:
+                connection.close()
+            for leftover in (proc, worker):
+                if leftover is not None and leftover.poll() is None:
+                    leftover.kill()
+                    leftover.wait()
 
 
 class TestRunServer:
