@@ -89,11 +89,11 @@ def test_model_cache_hit_rate(benchmark):
 
 
 def evaluate_survey_with_cache(cache):
-    from repro.analysis.survey_costs import _cost_point
+    from repro.analysis.survey_costs import cost_point
     from repro.registry.architectures import all_architectures
 
     return [
-        _cost_point(record, default_n=16, cache=cache)
+        cost_point(record, default_n=16, cache=cache)
         for record in all_architectures()
     ]
 

@@ -26,11 +26,20 @@ Two connection modes, reported side by side in the summary:
   per-connection accounting (connections opened, requests per
   connection) so reuse is measurable, not assumed.
 
+A second mode exercises the durable async job subsystem instead of the
+synchronous endpoints: ``--jobs N`` submits N jobs (the server must be
+running with ``--jobs-dir``), immediately *resubmits each one with the
+same idempotency key* — asserting the retry is deduplicated onto the
+original job id — then polls every job to a terminal state and fetches
+its result, reporting submit-to-completion latency percentiles
+alongside the dedupe tally.
+
 Usage::
 
     python scripts/loadgen.py http://127.0.0.1:8080 --requests 200
     python scripts/loadgen.py $URL --keep-alive --threads 8
     python scripts/loadgen.py $URL --fail-on-5xx   # exit 1 on any 5xx
+    python scripts/loadgen.py $URL --jobs 10       # async job round-trips
 
 Stdlib only (``urllib``, ``http.client``, ``threading``) — the same
 zero-dependency stance as the server it exercises.
@@ -298,6 +307,168 @@ def run_load(
     return summary
 
 
+#: Terminal job states — polling stops when one is reached.
+TERMINAL_JOB_STATES = ("succeeded", "failed", "cancelled", "expired")
+
+
+def _json_request(
+    url: str, *, method: str = "GET", payload: "dict | None" = None,
+    timeout_s: float = 30.0,
+) -> "tuple[int, dict]":
+    """One JSON round-trip; returns (status, decoded body)."""
+    body = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, method=method,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def run_jobs_load(
+    base_url: str,
+    *,
+    jobs: int,
+    threads: int,
+    timeout_s: float,
+    poll_s: float = 0.1,
+    kind: str = "population",
+    params: "dict[str, object] | None" = None,
+) -> dict:
+    """Submit/poll/result round-trips against the async jobs API.
+
+    Every job is submitted with a unique idempotency key and then
+    *immediately resubmitted with the same key* — modelling a client
+    retrying a submission whose response it lost. The retry must come
+    back deduplicated onto the original job id; a fresh job id counts
+    as a dedupe failure. Jobs are then polled to a terminal state and
+    (on success) their result is fetched, giving the full
+    submit→complete→result client experience.
+    """
+    work = params if params is not None else {"size": 200, "chunk": 50}
+    nonce = time.time_ns()
+    budget = itertools.count()
+    lock = threading.Lock()
+    completion_s: "list[float]" = []
+    outcomes: "dict[str, int]" = {}
+    dedupe_ok = 0
+    dedupe_failed = 0
+    submit_errors = 0
+    result_errors = 0
+    polls = 0
+
+    def worker() -> None:
+        nonlocal dedupe_ok, dedupe_failed, submit_errors, result_errors, polls
+        while True:
+            ordinal = next(budget)
+            if ordinal >= jobs:
+                return
+            key = f"loadgen-{nonce}-{ordinal}"
+            payload = {"kind": kind, "idempotency-key": key, **work}
+            started = time.monotonic()
+            status, submitted = _json_request(
+                f"{base_url}/v1/jobs", method="POST", payload=payload,
+                timeout_s=timeout_s,
+            )
+            if status not in (200, 202):
+                with lock:
+                    submit_errors += 1
+                continue
+            job_id = submitted["job"]["id"]
+            retry_status, retried = _json_request(
+                f"{base_url}/v1/jobs", method="POST", payload=payload,
+                timeout_s=timeout_s,
+            )
+            deduped = (
+                retry_status == 200
+                and retried.get("deduplicated") is True
+                and retried.get("job", {}).get("id") == job_id
+            )
+            state = submitted["job"]["state"]
+            deadline = time.monotonic() + timeout_s
+            while state not in TERMINAL_JOB_STATES and time.monotonic() < deadline:
+                time.sleep(poll_s)
+                status, polled = _json_request(
+                    f"{base_url}/v1/jobs/{job_id}", timeout_s=timeout_s
+                )
+                with lock:
+                    polls += 1
+                if status != 200:
+                    break
+                state = polled["job"]["state"]
+            elapsed = time.monotonic() - started
+            fetched_ok = True
+            if state == "succeeded":
+                result_status, _ = _json_request(
+                    f"{base_url}/v1/jobs/{job_id}/result", timeout_s=timeout_s
+                )
+                fetched_ok = result_status == 200
+            with lock:
+                outcomes[state] = outcomes.get(state, 0) + 1
+                if state in TERMINAL_JOB_STATES:
+                    completion_s.append(elapsed)
+                if deduped:
+                    dedupe_ok += 1
+                else:
+                    dedupe_failed += 1
+                if not fetched_ok:
+                    result_errors += 1
+
+    started = time.monotonic()
+    pool = [threading.Thread(target=worker) for _ in range(max(1, threads))]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    elapsed = time.monotonic() - started
+    return {
+        "base_url": base_url,
+        "mode": "jobs",
+        "kind": kind,
+        "jobs": jobs,
+        "threads": threads,
+        "elapsed_s": round(elapsed, 4),
+        "outcomes": {state: outcomes[state] for state in sorted(outcomes)},
+        "succeeded": outcomes.get("succeeded", 0),
+        "submit_errors": submit_errors,
+        "result_errors": result_errors,
+        "poll_requests": polls,
+        "idempotency": {"deduplicated": dedupe_ok, "failed": dedupe_failed},
+        "completion_ms": latency_summary(completion_s),
+    }
+
+
+def render_jobs(summary: dict) -> str:
+    """The human-readable report for a ``--jobs`` run."""
+    lines = [
+        f"{summary['jobs']} jobs ({summary['kind']}) via {summary['threads']} "
+        f"threads in {summary['elapsed_s']}s",
+        "outcomes: "
+        + (
+            ", ".join(f"{k}={v}" for k, v in summary["outcomes"].items())
+            or "none"
+        ),
+        f"idempotency retries deduplicated: "
+        f"{summary['idempotency']['deduplicated']}/{summary['jobs']}",
+        "completion ms: "
+        + ", ".join(f"{k}={v}" for k, v in summary["completion_ms"].items()),
+        f"poll requests: {summary['poll_requests']}",
+    ]
+    if summary["submit_errors"]:
+        lines.append(f"!! {summary['submit_errors']} submissions rejected")
+    if summary["result_errors"]:
+        lines.append(f"!! {summary['result_errors']} result fetches failed")
+    if summary["idempotency"]["failed"]:
+        lines.append(
+            f"!! {summary['idempotency']['failed']} idempotency retries were "
+            "NOT deduplicated"
+        )
+    return "\n".join(lines)
+
+
 def render(summary: dict) -> str:
     """The human-readable report printed after a run."""
     mode = "keep-alive" if summary.get("keep_alive") else "connection-per-request"
@@ -356,21 +527,47 @@ def main(argv: "list[str] | None" = None) -> int:
         "--fail-on-5xx", action="store_true",
         help="exit 1 when any request returned a 5xx or transport error",
     )
-    args = parser.parse_args(argv)
-    summary = run_load(
-        args.url.rstrip("/"),
-        requests=args.requests,
-        threads=args.threads,
-        timeout_s=args.timeout,
-        keep_alive=args.keep_alive,
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="instead of the synchronous mix, run N async job round-trips "
+        "(submit + idempotent retry + poll + result; server needs --jobs-dir)",
     )
-    print(render(summary))
+    parser.add_argument(
+        "--job-kind", default="population", metavar="KIND",
+        help="job kind for --jobs mode (default: population)",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs > 0:
+        summary = run_jobs_load(
+            args.url.rstrip("/"),
+            jobs=args.jobs,
+            threads=args.threads,
+            timeout_s=args.timeout,
+            kind=args.job_kind,
+        )
+        print(render_jobs(summary))
+        failed = (
+            summary["submit_errors"]
+            or summary["result_errors"]
+            or summary["idempotency"]["failed"]
+            or summary["succeeded"] != summary["jobs"]
+        )
+    else:
+        summary = run_load(
+            args.url.rstrip("/"),
+            requests=args.requests,
+            threads=args.threads,
+            timeout_s=args.timeout,
+            keep_alive=args.keep_alive,
+        )
+        print(render(summary))
+        failed = bool(summary["server_errors"] or summary["transport_errors"])
     if args.out:
         path = Path(args.out)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path}")
-    if args.fail_on_5xx and (summary["server_errors"] or summary["transport_errors"]):
+    if args.fail_on_5xx and failed:
         return 1
     return 0
 

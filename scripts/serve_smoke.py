@@ -12,10 +12,14 @@ This is the CI serve-smoke step. It:
    reused, posts one batch request, checks ``/v1/readyz`` reports every
    pre-forked worker, and checks ``/v1/metrics`` shows a nonzero
    response-cache hit count;
-4. sends SIGTERM and asserts the (multi-worker) drain completes with
+4. exercises the async job plane (the server boots with ``--jobs-dir``):
+   a few submit/poll/result round-trips with idempotent-retry dedupe,
+   and — when pre-forked — a SIGKILL of one worker mid-job, asserting
+   the supervisor respawns the slot and the job still completes;
+5. sends SIGTERM and asserts the (multi-worker) drain completes with
    exit code 0;
-5. fails (exit 1) on any 5xx, transport error, unclean shutdown, or a
-   p99 latency above ``--max-p99-ms`` (0 disables the bound).
+6. fails (exit 1) on any 5xx, transport error, unclean shutdown, lost
+   job, or a p99 latency above ``--max-p99-ms`` (0 disables the bound).
 
 Usage::
 
@@ -27,9 +31,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import shutil
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 import urllib.request
 from pathlib import Path
@@ -37,7 +44,14 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "scripts"))
 
-from loadgen import render, run_load  # noqa: E402
+from loadgen import (  # noqa: E402
+    TERMINAL_JOB_STATES,
+    _json_request,
+    render,
+    render_jobs,
+    run_jobs_load,
+    run_load,
+)
 
 BATCH_BODY = json.dumps(
     {"items": [{"class": "IAP-IV", "n": n} for n in (4, 16, 64)]}
@@ -101,6 +115,91 @@ def check_cache_hits(url: str, failures: "list[str]") -> None:
         print(f"response cache served {hits:.0f} hits")
 
 
+def check_jobs(url: str, failures: "list[str]") -> None:
+    """A few async job round-trips, including idempotent-retry dedupe."""
+    summary = run_jobs_load(url, jobs=3, threads=3, timeout_s=60.0)
+    print(render_jobs(summary))
+    if summary["succeeded"] != summary["jobs"]:
+        failures.append(
+            f"only {summary['succeeded']}/{summary['jobs']} jobs succeeded: "
+            f"{summary['outcomes']}"
+        )
+    if summary["idempotency"]["failed"]:
+        failures.append(
+            f"{summary['idempotency']['failed']} idempotency retries were "
+            "not deduplicated"
+        )
+    if summary["submit_errors"] or summary["result_errors"]:
+        failures.append(
+            f"jobs API errors: {summary['submit_errors']} submit, "
+            f"{summary['result_errors']} result"
+        )
+
+
+def check_job_survives_respawn(
+    url: str, processes: int, failures: "list[str]"
+) -> None:
+    """SIGKILL one pre-fork worker mid-job; the job must still finish.
+
+    The job store lives on shared disk and crash-freed claims are
+    adopted on the next poll, so losing the worker that was running the
+    job must cost at most a resume — never the job.
+    """
+    status, submitted = _json_request(
+        f"{url}/v1/jobs", method="POST", payload={
+            "kind": "population", "size": 2000, "chunk": 50, "throttle": 0.05,
+        }, timeout_s=30.0,
+    )
+    if status != 202:
+        failures.append(f"slow job submit returned {status}: {submitted}")
+        return
+    job_id = submitted["job"]["id"]
+    _, ready = _json_request(f"{url}/v1/readyz", timeout_s=30.0)
+    pids = [m["pid"] for m in ready.get("fleet", {}).get("members", [])]
+    if not pids:
+        failures.append("readyz listed no fleet members to kill")
+        return
+    victim = pids[0]
+    os.kill(victim, signal.SIGKILL)
+    print(f"killed worker {victim} with SIGKILL mid-job {job_id}")
+
+    deadline = time.monotonic() + 30.0
+    respawned = False
+    while time.monotonic() < deadline:
+        try:
+            _, ready = _json_request(f"{url}/v1/readyz", timeout_s=5.0)
+        except OSError:
+            time.sleep(0.2)
+            continue
+        fleet = ready.get("fleet", {})
+        if (
+            fleet.get("workers") == processes
+            and fleet.get("respawns", {}).get("respawns", 0) >= 1
+        ):
+            respawned = True
+            break
+        time.sleep(0.2)
+    if not respawned:
+        failures.append("supervisor did not respawn the killed worker")
+        return
+    print(f"supervisor respawned the slot (fleet back to {processes})")
+
+    state = "queued"
+    while state not in TERMINAL_JOB_STATES and time.monotonic() < deadline:
+        time.sleep(0.2)
+        status, polled = _json_request(f"{url}/v1/jobs/{job_id}", timeout_s=5.0)
+        if status == 200:
+            state = polled["job"]["state"]
+    if state != "succeeded":
+        failures.append(f"job {job_id} did not survive the respawn: {state}")
+        return
+    status, _ = _json_request(f"{url}/v1/jobs/{job_id}/result", timeout_s=30.0)
+    if status != 200:
+        failures.append(f"result fetch after respawn returned {status}")
+    else:
+        print(f"job {job_id} survived the worker kill and completed")
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """Boot, load, drain; exit nonzero on any robustness violation."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -123,8 +222,13 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    jobs_dir = tempfile.mkdtemp(prefix="repro-smoke-jobs-")
     proc, url = boot_server(
-        ["--workers", str(args.workers), "--processes", str(args.processes)],
+        [
+            "--workers", str(args.workers),
+            "--processes", str(args.processes),
+            "--jobs-dir", jobs_dir,
+        ],
         timeout_s=30.0,
     )
     print(f"server up at {url}")
@@ -153,6 +257,9 @@ def main(argv: "list[str] | None" = None) -> int:
         check_batch(url, failures)
         check_fleet(url, args.processes, failures)
         check_cache_hits(url, failures)
+        check_jobs(url, failures)
+        if args.processes > 1:
+            check_job_survives_respawn(url, args.processes, failures)
         if args.out:
             path = Path(args.out)
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -166,6 +273,7 @@ def main(argv: "list[str] | None" = None) -> int:
             proc.kill()
             proc.wait()
             status = None
+        shutil.rmtree(jobs_dir, ignore_errors=True)
     if status != 0:
         failures.append(f"server exited {status}, wanted a clean drain (0)")
     else:

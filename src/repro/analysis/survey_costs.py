@@ -31,7 +31,7 @@ from repro.perf import (
 from repro.registry.architectures import all_architectures
 from repro.registry.record import ArchitectureRecord
 
-__all__ = ["SurveyCostPoint", "evaluate_survey", "survey_cost_table"]
+__all__ = ["SurveyCostPoint", "cost_point", "evaluate_survey", "survey_cost_table"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,10 +68,16 @@ def _effective_n(record: ArchitectureRecord, default_n: int) -> int:
     return max(resolved, 1)
 
 
-def _cost_point(
+def cost_point(
     record: ArchitectureRecord, *, default_n: int, cache: "ModelCache | None"
 ) -> SurveyCostPoint:
-    """Price one surveyed architecture — the sweep's per-point worker."""
+    """Price one surveyed architecture — the sweep's per-point worker.
+
+    Public because the async ``survey-costs`` job kind
+    (:mod:`repro.serve.jobs`) sweeps over exactly this function; it is
+    a pure function of ``(record, default_n)``, which is what makes the
+    job's checkpointed resume bit-identical.
+    """
     n = _effective_n(record, default_n)
     estimates = evaluate_models(record.signature, n=n, cache=cache)
     return SurveyCostPoint(
@@ -198,7 +204,7 @@ def evaluate_survey(
             reconfig_model=reconfig_model,
         )
     )
-    worker = functools.partial(_cost_point, default_n=default_n, cache=cache)
+    worker = functools.partial(cost_point, default_n=default_n, cache=cache)
     chosen_executor = "serial" if jobs == 1 else executor
     checkpoint = None
     if resume:

@@ -14,6 +14,8 @@
     repro-taxonomy costs --profile          # cProfile top-N to artifacts/
     repro-taxonomy metrics                  # counters after a calibration run
     repro-taxonomy serve --port 0           # hardened HTTP query service
+    repro-taxonomy jobs submit --kind survey-costs --param n=32 --wait
+    repro-taxonomy jobs status j-abc123     # poll a durable async job
 """
 
 from __future__ import annotations
@@ -283,7 +285,111 @@ def build_parser() -> argparse.ArgumentParser:
         help="route the sweep-backed survey endpoint over the distributed "
         "sweep fabric (comma-separated sweep-worker endpoints)",
     )
+    serve_parser.add_argument(
+        "--jobs-dir", default=None, metavar="DIR",
+        help="enable the durable /v1/jobs subsystem, persisting job "
+        "journals, checkpoints and result artifacts under DIR "
+        "(default: disabled)",
+    )
+    serve_parser.add_argument(
+        "--job-runners", type=int, default=2,
+        help="async job-runner threads per process (default 2)",
+    )
+    serve_parser.add_argument(
+        "--job-ttl", type=float, default=3600.0, metavar="S",
+        help="seconds a finished job (and its result artifact) is kept "
+        "before TTL garbage collection (default 3600)",
+    )
+    serve_parser.add_argument(
+        "--job-poll", type=float, default=0.25, metavar="S",
+        help="job-runner scan interval: queue polls, orphan adoption and "
+        "GC all run on this cadence (default 0.25)",
+    )
     _add_batch_kernel_argument(serve_parser)
+
+    jobs_parser = sub.add_parser(
+        "jobs",
+        help="submit, poll and manage durable async jobs on a running server",
+    )
+    jobs_sub = jobs_parser.add_subparsers(dest="jobs_command", required=True)
+
+    def _add_url(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--url", default="http://127.0.0.1:8080",
+            help="base URL of the serving endpoint (default http://127.0.0.1:8080)",
+        )
+
+    jobs_submit = jobs_sub.add_parser(
+        "submit", help="submit a job (POST /v1/jobs) and print its record"
+    )
+    _add_url(jobs_submit)
+    jobs_submit.add_argument(
+        "--kind", required=True,
+        help="registered job kind (e.g. survey-costs, population)",
+    )
+    jobs_submit.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="one job parameter; repeat for several (e.g. --param n=32)",
+    )
+    jobs_submit.add_argument(
+        "--idempotency-key", default=None, metavar="KEY",
+        help="dedupe key: resubmitting with the same key returns the "
+        "original job instead of running it again",
+    )
+    jobs_submit.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="per-job wall-clock deadline in seconds (server default 300)",
+    )
+    jobs_submit.add_argument(
+        "--ttl", type=float, default=None, metavar="S",
+        help="seconds the finished job outlives completion (server default)",
+    )
+    jobs_submit.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="execution attempts before a transient failure turns permanent",
+    )
+    jobs_submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job reaches a terminal state, then print the "
+        "result document on success",
+    )
+    jobs_submit.add_argument(
+        "--poll-interval", type=float, default=0.2, metavar="S",
+        help="seconds between --wait polls (default 0.2)",
+    )
+
+    jobs_status = jobs_sub.add_parser(
+        "status", help="print one job's current record (GET /v1/jobs/ID)"
+    )
+    _add_url(jobs_status)
+    jobs_status.add_argument("job_id")
+
+    jobs_result = jobs_sub.add_parser(
+        "result",
+        help="print a succeeded job's result document, byte-identical to "
+        "its on-disk artifact (GET /v1/jobs/ID/result)",
+    )
+    _add_url(jobs_result)
+    jobs_result.add_argument("job_id")
+
+    jobs_cancel = jobs_sub.add_parser(
+        "cancel", help="request cooperative cancellation (DELETE /v1/jobs/ID)"
+    )
+    _add_url(jobs_cancel)
+    jobs_cancel.add_argument("job_id")
+
+    jobs_list = jobs_sub.add_parser(
+        "list", help="list jobs, oldest first (GET /v1/jobs)"
+    )
+    _add_url(jobs_list)
+    jobs_list.add_argument(
+        "--state", default=None,
+        choices=["queued", "running", "succeeded", "failed", "cancelled", "expired"],
+        help="only jobs currently in this state",
+    )
+    jobs_list.add_argument(
+        "--kind", default=None, help="only jobs of this kind"
+    )
 
     populations_parser = sub.add_parser(
         "populations",
@@ -575,8 +681,110 @@ def _run_serve(args: argparse.Namespace) -> int:
         keepalive_idle_s=args.keepalive_idle,
         cache_size=args.cache_size,
         batch_kernel=args.batch_kernel,
+        jobs_dir=args.jobs_dir,
+        job_runners=args.job_runners,
+        job_ttl_s=args.job_ttl,
+        job_poll_s=args.job_poll,
     )
     return run_server(config)
+
+
+def _jobs_http(url: str, *, method: str = "GET", payload: "dict | None" = None) -> bytes:
+    """One request against the jobs API; HTTP errors become ReproError.
+
+    The server's structured error body carries a user-facing message;
+    surfacing it through :class:`~repro.core.errors.ReproError` reuses
+    the CLI's ``error: ...`` / exit-2 contract.
+    """
+    import json
+    import urllib.error
+    import urllib.request
+
+    body = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url,
+        data=body,
+        method=method,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.read()
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        try:
+            message = json.loads(raw)["error"]["message"]
+        except (ValueError, KeyError, TypeError):
+            message = raw.decode("utf-8", "replace").strip() or str(error)
+        raise ReproError(f"{error.code}: {message}") from None
+    except urllib.error.URLError as error:
+        raise ReproError(f"cannot reach {url}: {error.reason}") from None
+
+
+def _run_jobs(args: argparse.Namespace) -> int:
+    """The ``jobs`` subcommand group: an HTTP client over ``/v1/jobs``.
+
+    ``result`` writes the response body verbatim — the same bytes as
+    the server's on-disk ``result.json`` artifact — so shell pipelines
+    can diff results across runs and restarts.
+    """
+    import json
+    import time as _time
+
+    base = args.url.rstrip("/")
+    if args.jobs_command == "submit":
+        payload: "dict[str, object]" = {"kind": args.kind}
+        for pair in args.param:
+            key, sep, value = pair.partition("=")
+            if not sep or not key:
+                raise ReproError(f"--param must look like KEY=VALUE, got {pair!r}")
+            payload[key] = value
+        if args.idempotency_key is not None:
+            payload["idempotency-key"] = args.idempotency_key
+        if args.deadline is not None:
+            payload["deadline"] = args.deadline
+        if args.ttl is not None:
+            payload["ttl"] = args.ttl
+        if args.max_attempts is not None:
+            payload["max-attempts"] = args.max_attempts
+        raw = _jobs_http(f"{base}/v1/jobs", method="POST", payload=payload)
+        submitted = json.loads(raw)
+        job = submitted["job"]
+        if not args.wait:
+            sys.stdout.write(raw.decode("utf-8"))
+            return 0
+        job_id = job["id"]
+        while job["state"] not in ("succeeded", "failed", "cancelled", "expired"):
+            _time.sleep(args.poll_interval)
+            job = json.loads(_jobs_http(f"{base}/v1/jobs/{job_id}"))["job"]
+        if job["state"] != "succeeded":
+            raise ReproError(
+                f"job {job_id} ended in state {job['state']}"
+                + (f": {job['error']}" if job.get("error") else "")
+            )
+        sys.stdout.buffer.write(_jobs_http(f"{base}/v1/jobs/{job_id}/result"))
+        return 0
+    if args.jobs_command == "status":
+        sys.stdout.write(
+            _jobs_http(f"{base}/v1/jobs/{args.job_id}").decode("utf-8")
+        )
+        return 0
+    if args.jobs_command == "result":
+        sys.stdout.buffer.write(_jobs_http(f"{base}/v1/jobs/{args.job_id}/result"))
+        return 0
+    if args.jobs_command == "cancel":
+        sys.stdout.write(
+            _jobs_http(f"{base}/v1/jobs/{args.job_id}", method="DELETE").decode("utf-8")
+        )
+        return 0
+    query = []
+    if args.state is not None:
+        query.append(f"state={args.state}")
+    if args.kind is not None:
+        query.append(f"kind={args.kind}")
+    suffix = ("?" + "&".join(query)) if query else ""
+    sys.stdout.write(_jobs_http(f"{base}/v1/jobs{suffix}").decode("utf-8"))
+    return 0
 
 
 def _run_populations(args: argparse.Namespace) -> int:
@@ -828,6 +1036,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_populations(args)
     elif args.command == "serve":
         return _run_serve(args)
+    elif args.command == "jobs":
+        return _run_jobs(args)
     elif args.command == "sweep-worker":
         return _run_sweep_worker(args)
     elif args.command == "baselines":

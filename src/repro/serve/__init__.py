@@ -19,6 +19,7 @@ from repro.serve.cache import CACHEABLE_PATHS, ResponseCache
 from repro.serve.errors import (
     BadRequestError,
     BreakerOpenError,
+    ConflictError,
     DeadlineExceededError,
     DrainingError,
     InternalError,
@@ -30,6 +31,21 @@ from repro.serve.errors import (
     as_serve_error,
 )
 from repro.serve.fleet import FleetBus, merge_metric_snapshots, render_fleet_prometheus
+from repro.serve.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobContext,
+    JobKind,
+    JobManager,
+    JobRecord,
+    JobsApi,
+    JobStore,
+    TransientJobError,
+    fold_events,
+    get_job_kind,
+    job_kinds,
+    register_job_kind,
+)
 from repro.serve.lifecycle import DrainController, install_signal_handlers
 from repro.serve.limits import Deadline, Job, TokenBucket, WorkerPool
 from repro.serve.prefork import run_prefork, supports_prefork
@@ -49,6 +65,7 @@ __all__ = [
     "BadRequestError",
     "NotFoundError",
     "MethodNotAllowedError",
+    "ConflictError",
     "RateLimitedError",
     "OverloadedError",
     "BreakerOpenError",
@@ -60,6 +77,20 @@ __all__ = [
     "FleetBus",
     "merge_metric_snapshots",
     "render_fleet_prometheus",
+    # jobs
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobContext",
+    "JobKind",
+    "JobManager",
+    "JobRecord",
+    "JobStore",
+    "JobsApi",
+    "TransientJobError",
+    "fold_events",
+    "get_job_kind",
+    "job_kinds",
+    "register_job_kind",
     # lifecycle
     "DrainController",
     "install_signal_handlers",

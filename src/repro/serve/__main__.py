@@ -33,6 +33,10 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--fault-seed", type=int, default=None)
     parser.add_argument("--fault-rate", type=float, default=0.1)
     parser.add_argument("--fabric-workers", default=None, metavar="HOST:PORT,...")
+    parser.add_argument("--jobs-dir", default=None, metavar="DIR")
+    parser.add_argument("--job-runners", type=int, default=2)
+    parser.add_argument("--job-ttl", type=float, default=3600.0)
+    parser.add_argument("--job-poll", type=float, default=0.25)
     args = parser.parse_args(argv)
     fault_plan = None
     if args.fault_seed is not None:
@@ -54,6 +58,10 @@ def main(argv: "list[str] | None" = None) -> int:
         keepalive_requests=args.keepalive_requests,
         keepalive_idle_s=args.keepalive_idle,
         cache_size=args.cache_size,
+        jobs_dir=args.jobs_dir,
+        job_runners=args.job_runners,
+        job_ttl_s=args.job_ttl,
+        job_poll_s=args.job_poll,
     )
     return run_server(config)
 

@@ -38,6 +38,7 @@ __all__ = [
     "BadRequestError",
     "NotFoundError",
     "MethodNotAllowedError",
+    "ConflictError",
     "RateLimitedError",
     "OverloadedError",
     "BreakerOpenError",
@@ -99,6 +100,23 @@ class MethodNotAllowedError(ServeError):
     def __init__(self, message: str, *, allowed: "tuple[str, ...]" = ()):
         super().__init__(message)
         self.allowed = allowed
+
+
+class ConflictError(ServeError):
+    """The request is valid but the resource's state forbids it now.
+
+    The jobs API speaks this for ``GET .../result`` on a job that has
+    not (or will never) produce one; a ``retry_after_s`` hint marks the
+    retryable flavour (result not *yet* ready) apart from the final one
+    (the job failed, was cancelled, or expired).
+    """
+
+    status = 409
+    code = "conflict"
+
+    def __init__(self, message: str, *, retry_after_s: "float | None" = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class RateLimitedError(ServeError):

@@ -26,18 +26,31 @@ unix-socket stats buses (:mod:`repro.serve.fleet`), which is what lets
 matter which worker a scrape lands on. On platforms without ``fork``
 or ``SO_REUSEPORT`` the front end degrades to a single process with a
 warning rather than failing to start.
+
+The parent also *supervises*: a worker that dies outside a drain
+(segfault, OOM kill, SIGKILL chaos) is respawned onto the same shared
+port, under a per-slot restart-rate limit (``config.respawn_max``
+respawns inside ``config.respawn_window_s``) so a crash-looping
+workload degrades the fleet instead of forking forever. Respawn counts
+are published to ``fleet_dir/respawns.json``, which every worker
+surfaces under ``/v1/readyz``'s ``fleet.respawns`` key.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
 import signal
 import socket
 import sys
 import tempfile
+import time
+from collections import deque
 from dataclasses import replace
+from pathlib import Path
 
+from repro.core.atomicio import atomic_write_text
 from repro.serve.server import ServerConfig, TaxonomyHTTPServer, run_server
 
 __all__ = ["run_prefork", "supports_prefork"]
@@ -126,17 +139,25 @@ def run_prefork(config: ServerConfig) -> int:
         reuse_port=True,
         fleet_dir=fleet_dir,
     )
-    workers: list[int] = []
-    ready_fds: list[int] = []
+    live: dict[int, int] = {}  # pid -> worker slot
+    restarts: "list[deque[float]]" = [deque() for _ in range(config.processes)]
+    ledger = {"respawns": 0, "given_up": 0}
+    draining = False
+    drain_signum = signal.SIGTERM
     try:
-        for _ in range(config.processes):
+        _write_respawn_ledger(fleet_dir, ledger)
+        ready_fds: list[int] = []
+        for slot in range(config.processes):
             pid, read_fd = _spawn_worker(worker_config, probe)
-            workers.append(pid)
+            live[pid] = slot
             ready_fds.append(read_fd)
 
         def forward(signum: int, frame: object) -> None:
             """Relay the shutdown signal to every live worker."""
-            for pid in workers:
+            nonlocal draining, drain_signum
+            draining = True
+            drain_signum = signum
+            for pid in list(live):
                 try:
                     os.kill(pid, signum)
                 except ProcessLookupError:  # pragma: no cover - already gone
@@ -152,19 +173,62 @@ def run_prefork(config: ServerConfig) -> int:
             if os.read(read_fd, 1):
                 ready_count += 1
             os.close(read_fd)
-        if ready_count == len(workers):
+        if ready_count == len(live):
             print(f"listening on http://{config.host}:{port}", flush=True)
         else:
             print(
-                f"warning: only {ready_count}/{len(workers)} workers came up",
+                f"warning: only {ready_count}/{len(live)} workers came up",
                 file=sys.stderr,
             )
 
         failures = 0
-        for pid in workers:
-            _, status = os.waitpid(pid, 0)
-            if os.waitstatus_to_exitcode(status) != 0:
+        while live:
+            try:
+                pid, status = os.waitpid(-1, 0)
+            except ChildProcessError:  # pragma: no cover - all reaped
+                break
+            slot = live.pop(pid, None)
+            if slot is None:  # pragma: no cover - not one of ours
+                continue
+            exitcode = os.waitstatus_to_exitcode(status)
+            if draining:
+                # Expected exits: the forwarded signal triggered drains.
+                if exitcode != 0:
+                    failures += 1
+                continue
+            # Unexpected death (crash, OOM, SIGKILL chaos): respawn the
+            # slot under its restart-rate limit.
+            window = restarts[slot]
+            now = time.monotonic()
+            while window and now - window[0] > config.respawn_window_s:
+                window.popleft()
+            if len(window) >= config.respawn_max:
+                print(
+                    f"worker slot {slot} exceeded {config.respawn_max} respawns "
+                    f"in {config.respawn_window_s:g}s; giving up on it",
+                    file=sys.stderr,
+                )
+                ledger["given_up"] += 1
+                _write_respawn_ledger(fleet_dir, ledger)
                 failures += 1
+                continue
+            window.append(now)
+            new_pid, read_fd = _spawn_worker(worker_config, probe)
+            os.read(read_fd, 1)
+            os.close(read_fd)
+            live[new_pid] = slot
+            ledger["respawns"] += 1
+            _write_respawn_ledger(fleet_dir, ledger)
+            print(
+                f"worker {pid} (slot {slot}) exited {exitcode} unexpectedly; "
+                f"respawned as {new_pid}",
+                file=sys.stderr,
+            )
+            if draining:  # the drain signal raced our respawn
+                try:  # pragma: no cover - narrow race window
+                    os.kill(new_pid, drain_signum)
+                except ProcessLookupError:  # pragma: no cover
+                    pass
     finally:
         probe.close()
         shutil.rmtree(fleet_dir, ignore_errors=True)
@@ -172,7 +236,18 @@ def run_prefork(config: ServerConfig) -> int:
         print("drained cleanly, exiting", file=sys.stderr)
         return 0
     print(
-        f"{failures} of {len(workers)} worker(s) exited uncleanly",
+        f"{failures} of {config.processes} worker slot(s) exited uncleanly",
         file=sys.stderr,
     )
     return 1
+
+
+def _write_respawn_ledger(fleet_dir: str, ledger: "dict[str, int]") -> None:
+    """Publish the supervision counters workers serve via ``/v1/readyz``."""
+    try:
+        atomic_write_text(
+            Path(fleet_dir) / "respawns.json",
+            json.dumps(ledger, sort_keys=True) + "\n",
+        )
+    except OSError:  # pragma: no cover - fleet dir racing teardown
+        pass

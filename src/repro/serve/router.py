@@ -113,18 +113,42 @@ class Response:
 
 
 class Router:
-    """Exact-path routing table with per-method dispatch."""
+    """Exact-path routing table with per-method dispatch.
+
+    Exact routes always win; a *prefix* route (``add_prefix``) catches
+    every path strictly below its mount point (``/v1/jobs`` matches
+    ``/v1/jobs/j-1`` and ``/v1/jobs/j-1/result``, never ``/v1/jobs``
+    itself or ``/v1/jobsx``) — the handler parses the remainder, which
+    keeps the table free of pattern syntax.
+    """
 
     def __init__(self) -> None:
         self._routes: dict[str, dict[str, Callable[[Request], Response]]] = {}
+        self._prefixes: dict[str, dict[str, Callable[[Request], Response]]] = {}
 
     def add(self, method: str, path: str, handler: Callable[[Request], Response]) -> None:
         """Register ``handler`` for ``method path``."""
         self._routes.setdefault(path, {})[method.upper()] = handler
 
+    def add_prefix(
+        self, method: str, prefix: str, handler: Callable[[Request], Response]
+    ) -> None:
+        """Register ``handler`` for every path below ``prefix``."""
+        self._prefixes.setdefault(prefix.rstrip("/"), {})[method.upper()] = handler
+
+    def _match(self, path: str) -> "dict[str, Callable[[Request], Response]] | None":
+        methods = self._routes.get(path)
+        if methods is not None:
+            return methods
+        best: "str | None" = None
+        for prefix in self._prefixes:
+            if path.startswith(prefix + "/") and (best is None or len(prefix) > len(best)):
+                best = prefix
+        return None if best is None else self._prefixes[best]
+
     def handle(self, request: Request) -> Response:
         """Dispatch one request; unknown path → 404, wrong method → 405."""
-        methods = self._routes.get(request.path)
+        methods = self._match(request.path)
         if methods is None:
             raise NotFoundError(f"no such endpoint: {request.path}")
         handler = methods.get(request.method.upper())

@@ -49,6 +49,7 @@ import socket
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 from urllib.parse import urlsplit
@@ -156,6 +157,22 @@ class ServerConfig:
     #: bodies are byte-identical either way; False forces the scalar
     #: per-item loop (debugging / A-B benchmarking).
     batch_kernel: bool = True
+    #: Directory backing the durable ``/v1/jobs`` subsystem
+    #: (:mod:`repro.serve.jobs`); ``None`` disables it. Pre-fork workers
+    #: inherit one shared directory, so any worker serves any job.
+    jobs_dir: "str | None" = None
+    #: Job-runner threads per process (claim + execute async jobs).
+    job_runners: int = 2
+    #: Default seconds a terminal job (and its artifacts) outlives
+    #: completion before TTL garbage collection.
+    job_ttl_s: float = 3600.0
+    #: Runner scan interval in seconds (queue poll, orphan adoption, GC).
+    job_poll_s: float = 0.25
+    #: Times one pre-fork worker slot may be respawned inside
+    #: ``respawn_window_s`` before the parent gives up on it.
+    respawn_max: int = 5
+    #: The sliding window (seconds) for the respawn rate limit.
+    respawn_window_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.drain_s < 0:
@@ -174,6 +191,18 @@ class ServerConfig:
             )
         if self.cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.job_runners < 1:
+            raise ValueError(f"job_runners must be >= 1, got {self.job_runners}")
+        if self.job_ttl_s < 0:
+            raise ValueError(f"job_ttl_s must be >= 0, got {self.job_ttl_s}")
+        if self.job_poll_s <= 0:
+            raise ValueError(f"job_poll_s must be positive, got {self.job_poll_s}")
+        if self.respawn_max < 0:
+            raise ValueError(f"respawn_max must be >= 0, got {self.respawn_max}")
+        if self.respawn_window_s <= 0:
+            raise ValueError(
+                f"respawn_window_s must be positive, got {self.respawn_window_s}"
+            )
 
 
 class ServiceApp:
@@ -205,6 +234,17 @@ class ServiceApp:
         self.fleet: "FleetBus | None" = None
         if self.config.fleet_dir is not None and hasattr(socket, "AF_UNIX"):
             self.fleet = FleetBus(self.config.fleet_dir, self._bus_snapshot)
+        self.jobs: "Any | None" = None
+        if self.config.jobs_dir is not None:
+            from repro.serve.jobs import JobManager, JobsApi
+
+            self.jobs = JobManager(
+                self.config.jobs_dir,
+                runners=self.config.job_runners,
+                poll_s=self.config.job_poll_s,
+                default_ttl_s=self.config.job_ttl_s,
+            )
+            JobsApi(self.jobs).register(self.router)
 
     # -- control endpoints (inline, drain-exempt) ------------------------
 
@@ -267,19 +307,42 @@ class ServiceApp:
             {key: value for key, value in member.items() if key != "metrics"}
             for member in self._fleet_members()
         ]
+        fleet_view: dict[str, Any] = {"workers": len(members), "members": members}
+        respawns = self._respawn_ledger()
+        if respawns is not None:
+            fleet_view["respawns"] = respawns
         payload = {
             "status": status,
             "breaker": breaker,
             "inflight": self.drain.inflight,
             "queued": self.pool.queued,
             "cache": self.response_cache.stats(),
-            "fleet": {"workers": len(members), "members": members},
+            "fleet": fleet_view,
             # The sweep fabric's fleet ledger (live/quarantined/lost
             # workers, rejoin counts, lease latency): orchestrators
             # scaling workers on queue depth read it from here.
             "fabric": fleet_health(),
         }
+        if self.jobs is not None:
+            # The job store is shared by every pre-fork worker, so this
+            # worker's stats are already the fleet-wide backlog view.
+            payload["jobs"] = self.jobs.stats()
         return Response(status=200 if ready else 503, payload=payload)
+
+    def _respawn_ledger(self) -> "dict[str, Any] | None":
+        """The pre-fork parent's respawn ledger, if it published one."""
+        if self.config.fleet_dir is None:
+            return None
+        import json
+
+        try:
+            raw = (Path(self.config.fleet_dir) / "respawns.json").read_text(
+                encoding="utf-8"
+            )
+            ledger = json.loads(raw)
+        except (OSError, ValueError):
+            return None
+        return ledger if isinstance(ledger, dict) else None
 
     # -- the admission pipeline ------------------------------------------
 
@@ -519,14 +582,23 @@ class ServiceApp:
         )
 
     def shutdown(self, *, drain_s: "float | None" = None) -> bool:
-        """Drain in-flight requests and stop the pool; True when clean."""
+        """Drain in-flight requests and stop the pool; True when clean.
+
+        Running async jobs are *interrupted*, not abandoned: the job
+        drain journals them back to ``queued`` with their completed
+        sweep points already checkpointed, so the next process to open
+        the store resumes them.
+        """
         budget = self.config.drain_s if drain_s is None else drain_s
         self.drain.begin_drain()
         drained = self.drain.wait_drained(budget)
         pool_clean = self.pool.shutdown(drain_s=budget)
+        jobs_clean = True
+        if self.jobs is not None:
+            jobs_clean = self.jobs.drain(max(budget, 0.1))
         if self.fleet is not None:
             self.fleet.close()
-        return drained and pool_clean
+        return drained and pool_clean and jobs_clean
 
 
 class TaxonomyHTTPServer(ThreadingHTTPServer):
@@ -590,6 +662,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         """Serve a GET request."""
+        self._respond(b"")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server naming
+        """Serve a DELETE request (job cancellation)."""
         self._respond(b"")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
@@ -700,6 +776,10 @@ def run_server(
     # listener stopped accepting; give in-flight requests their budget.
     drained = app.drain.wait_drained(config.drain_s)
     pool_clean = app.pool.shutdown(drain_s=config.drain_s)
+    if app.jobs is not None:
+        # Interrupt running jobs back to ``queued`` (checkpoints intact)
+        # so whoever opens the store next resumes rather than restarts.
+        pool_clean = app.jobs.drain(max(config.drain_s, 0.1)) and pool_clean
     if app.fleet is not None:
         app.fleet.close()
     leftover = app.drain.inflight

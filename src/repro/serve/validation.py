@@ -30,6 +30,7 @@ __all__ = [
     "require_known",
     "string_field",
     "int_field",
+    "float_field",
     "bool_field",
     "choice_field",
     "stable_json",
@@ -175,6 +176,31 @@ def int_field(
         raise BadRequestError(f"parameter {name!r} must be >= {minimum}, got {value}")
     if maximum is not None and value > maximum:
         raise BadRequestError(f"parameter {name!r} must be <= {maximum}, got {value}")
+    return value
+
+
+def float_field(
+    params: Mapping[str, str],
+    name: str,
+    *,
+    default: "float | None" = None,
+    minimum: "float | None" = None,
+    maximum: "float | None" = None,
+) -> "float | None":
+    """A finite float parameter with inclusive bounds."""
+    raw = params.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise BadRequestError(f"parameter {name!r} must be a number, got {raw!r}") from None
+    if value != value or value in (float("inf"), float("-inf")):
+        raise BadRequestError(f"parameter {name!r} must be finite, got {raw!r}")
+    if minimum is not None and value < minimum:
+        raise BadRequestError(f"parameter {name!r} must be >= {minimum:g}, got {value:g}")
+    if maximum is not None and value > maximum:
+        raise BadRequestError(f"parameter {name!r} must be <= {maximum:g}, got {value:g}")
     return value
 
 

@@ -55,10 +55,10 @@ def test_survey_costs_resume_is_identical(tmp_path, monkeypatch):
 
     monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
     clean = survey_cost_table(default_n=8)
-    real = _interrupt_after(monkeypatch, survey_costs, "_cost_point", 4)
+    real = _interrupt_after(monkeypatch, survey_costs, "cost_point", 4)
     with pytest.raises(KeyboardInterrupt):
         survey_cost_table(default_n=8, resume=True)
-    monkeypatch.setattr(survey_costs, "_cost_point", real)
+    monkeypatch.setattr(survey_costs, "cost_point", real)
     resumed = survey_cost_table(default_n=8, resume=True)
     assert resumed == clean
 

@@ -110,11 +110,11 @@ class TestResumeByteIdentical:
         assert main(argv) == 0
         clean = capsys.readouterr().out
 
-        real = _interrupt_after(monkeypatch, survey_costs, "_cost_point", 5)
+        real = _interrupt_after(monkeypatch, survey_costs, "cost_point", 5)
         assert main(argv + ["--resume"]) == 130
         capsys.readouterr()
 
-        monkeypatch.setattr(survey_costs, "_cost_point", real)
+        monkeypatch.setattr(survey_costs, "cost_point", real)
         assert main(argv + ["--resume"]) == 0
         resumed = capsys.readouterr().out
         assert resumed == clean
